@@ -1,0 +1,105 @@
+//! Shared baseline plumbing: the estimate container and uniform pair
+//! sampling.
+
+use rand::Rng;
+use saphyra_graph::{Graph, NodeId};
+
+/// Output of a whole-network baseline estimator.
+#[derive(Debug, Clone)]
+pub struct BaselineEstimate {
+    /// Estimated betweenness for every node, Eq. 3 normalization.
+    pub bc: Vec<f64>,
+    /// Samples drawn.
+    pub samples: usize,
+    /// Whether an adaptive stopping rule fired before the worst-case budget
+    /// (always true for fixed-size RK).
+    pub converged_early: bool,
+}
+
+impl BaselineEstimate {
+    /// Extracts estimates for a target subset, aligned with `targets`.
+    pub fn subset(&self, targets: &[NodeId]) -> Vec<f64> {
+        targets.iter().map(|&v| self.bc[v as usize]).collect()
+    }
+}
+
+/// Draws a uniform ordered node pair `s ≠ t`.
+#[inline]
+pub fn uniform_pair<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (NodeId, NodeId) {
+    debug_assert!(n >= 2);
+    let s = rng.gen_range(0..n as NodeId);
+    let mut t = rng.gen_range(0..n as NodeId - 1);
+    if t >= s {
+        t += 1;
+    }
+    (s, t)
+}
+
+/// Diameter-based VC dimension used by the whole-network estimators
+/// (Table I, "Riondato et al." column): `⌊log₂(VD(V) − 1)⌋ + 1` with the
+/// `2·ecc` upper bound on VD per connected component.
+pub fn diameter_vc_bound(g: &Graph) -> usize {
+    let n = g.num_nodes();
+    let mut ws = saphyra_graph::bfs::BfsWorkspace::new(n);
+    let mut seen = vec![false; n];
+    let mut vd_upper = 0u32;
+    for v in g.nodes() {
+        if seen[v as usize] || g.degree(v) == 0 {
+            continue;
+        }
+        ws.run(g, v);
+        for &u in &ws.order {
+            seen[u as usize] = true;
+        }
+        vd_upper = vd_upper.max(2 * ws.eccentricity());
+    }
+    log2_floor_plus1(vd_upper.saturating_sub(1))
+}
+
+/// `⌊log₂ x⌋ + 1`, clamped to ≥ 1.
+pub fn log2_floor_plus1(x: u32) -> usize {
+    if x <= 1 {
+        1
+    } else {
+        (31 - x.leading_zeros()) as usize + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_pair_never_equal_and_covers_all() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5000 {
+            let (s, t) = uniform_pair(4, &mut rng);
+            assert_ne!(s, t);
+            seen.insert((s, t));
+        }
+        assert_eq!(seen.len(), 12); // all ordered pairs of 4 nodes
+    }
+
+    #[test]
+    fn subset_extraction() {
+        let est = BaselineEstimate {
+            bc: vec![0.1, 0.2, 0.3, 0.4],
+            samples: 10,
+            converged_early: true,
+        };
+        assert_eq!(est.subset(&[3, 0]), vec![0.4, 0.1]);
+    }
+
+    #[test]
+    fn diameter_vc_bound_on_fixtures() {
+        use saphyra_graph::fixtures;
+        // Path of 9: VD = 8, upper ≤ 16 -> vc ≤ log2(15)+1 = 4.
+        let b = diameter_vc_bound(&fixtures::path_graph(9));
+        assert!((3..=4).contains(&b), "b = {b}");
+        // Complete graph: VD = 1, upper 2 -> log2(1)+1 = 1.
+        assert_eq!(diameter_vc_bound(&fixtures::complete_graph(5)), 1);
+    }
+}

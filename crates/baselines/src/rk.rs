@@ -1,0 +1,128 @@
+//! Riondato–Kornaropoulos: fixed-size shortest-path sampling
+//! ("Fast approximation of betweenness centrality through sampling",
+//! DMKD 2016).
+//!
+//! The sample size comes from the diameter-based VC bound of Table I:
+//! `N = c/ε² (⌊log₂(VD(V)−1)⌋ + 1 + ln(1/δ))`. Each sample picks a uniform
+//! ordered pair, samples one uniform shortest path between them (here via
+//! the same balanced bidirectional BFS the other estimators use — the
+//! distribution is identical to the original's Dijkstra-based sampler) and
+//! credits the path's inner nodes with `1/N`. Disconnected pairs are
+//! counted as zero-hit samples, matching the Eq. 3 normalization.
+
+use rand::RngCore;
+use saphyra_graph::bbbfs::BiBfs;
+use saphyra_graph::Graph;
+use saphyra_stats::{vc_sample_bound, C_VC};
+
+use crate::common::{diameter_vc_bound, uniform_pair, BaselineEstimate};
+
+/// RK configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RkConfig {
+    /// Additive error target ε.
+    pub eps: f64,
+    /// Failure probability δ.
+    pub delta: f64,
+    /// Lemma 4 constant (default [`C_VC`]).
+    pub c_vc: f64,
+}
+
+impl RkConfig {
+    /// Standard configuration.
+    pub fn new(eps: f64, delta: f64) -> Self {
+        assert!(eps > 0.0 && delta > 0.0 && delta < 1.0);
+        RkConfig {
+            eps,
+            delta,
+            c_vc: C_VC,
+        }
+    }
+}
+
+/// Runs the RK estimator over the whole network.
+pub fn rk(g: &Graph, cfg: &RkConfig, rng: &mut dyn RngCore) -> BaselineEstimate {
+    let n = g.num_nodes();
+    let mut bc = vec![0.0f64; n];
+    if n < 2 || g.num_edges() == 0 {
+        return BaselineEstimate {
+            bc,
+            samples: 0,
+            converged_early: true,
+        };
+    }
+    let vc = diameter_vc_bound(g);
+    let samples = vc_sample_bound(cfg.eps, cfg.delta, vc).max(1);
+    let mut bb = BiBfs::new(n);
+    let mut path: Vec<u32> = Vec::new();
+    for _ in 0..samples {
+        let (s, t) = uniform_pair(n, rng);
+        let Some(res) = bb.query(g, s, t, |_| true) else {
+            continue; // disconnected pair: a zero-hit sample
+        };
+        if res.dist < 2 {
+            continue; // no inner nodes
+        }
+        bb.sample_path_into(g, res, rng, |_| true, &mut path);
+        for &v in &path[1..path.len() - 1] {
+            bc[v as usize] += 1.0;
+        }
+    }
+    let inv = 1.0 / samples as f64;
+    for x in bc.iter_mut() {
+        *x *= inv;
+    }
+    BaselineEstimate {
+        bc,
+        samples,
+        converged_early: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use saphyra_graph::brandes::betweenness_exact;
+    use saphyra_graph::fixtures;
+
+    #[test]
+    fn accuracy_on_fixtures() {
+        for (g, seed) in [
+            (fixtures::grid_graph(6, 5), 1u64),
+            (fixtures::paper_fig2(), 2),
+            (fixtures::lollipop_graph(5, 5), 3),
+        ] {
+            let truth = betweenness_exact(&g);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let est = rk(&g, &RkConfig::new(0.05, 0.1), &mut rng);
+            for v in g.nodes() {
+                let err = (est.bc[v as usize] - truth[v as usize]).abs();
+                assert!(err < 0.05, "node {v}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_size_grows_with_tighter_eps() {
+        let g = fixtures::grid_graph(5, 5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let loose = rk(&g, &RkConfig::new(0.2, 0.1), &mut rng);
+        let tight = rk(&g, &RkConfig::new(0.05, 0.1), &mut rng);
+        assert!(tight.samples > loose.samples);
+    }
+
+    #[test]
+    fn handles_disconnected_and_edgeless_graphs() {
+        let g = fixtures::disconnected_mix();
+        let mut rng = StdRng::seed_from_u64(5);
+        let est = rk(&g, &RkConfig::new(0.1, 0.1), &mut rng);
+        assert_eq!(est.bc.len(), 6);
+        // All exact bc are zero here.
+        assert!(est.bc.iter().all(|&x| x < 0.1));
+        let empty = saphyra_graph::GraphBuilder::new(3).build().unwrap();
+        let est = rk(&empty, &RkConfig::new(0.1, 0.1), &mut rng);
+        assert_eq!(est.samples, 0);
+    }
+}

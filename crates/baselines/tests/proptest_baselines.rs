@@ -1,0 +1,64 @@
+//! Property-based checks of the baseline estimators: unbiasedness-style
+//! aggregate invariants that hold on any graph, any seed.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saphyra_baselines::{abra, kadabra, rk, AbraConfig, KadabraConfig, RkConfig};
+use saphyra_graph::{Graph, GraphBuilder};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..=18).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..=max_edges)
+            .prop_map(move |edges| GraphBuilder::new(n).edges(edges).build().unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn estimates_are_valid_probabilities(g in arb_graph(), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for est in [
+            rk(&g, &RkConfig::new(0.2, 0.2), &mut rng).bc,
+            kadabra(&g, &KadabraConfig::new(0.2, 0.2), &mut rng).bc,
+            abra(&g, &AbraConfig::new(0.2, 0.2), &mut rng).bc,
+        ] {
+            prop_assert_eq!(est.len(), g.num_nodes());
+            for (v, &x) in est.iter().enumerate() {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&x), "node {v}: {x}");
+                // Leaves and isolated nodes are never interior.
+                if g.degree(v as u32) < 2 {
+                    prop_assert_eq!(x, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_mass_is_bounded_by_average_interior_length(g in arb_graph(), seed in 0u64..100) {
+        // Σ_v bc(v) = E[#inner nodes of a random shortest path] ≤ n − 2,
+        // and the path-sampling estimators preserve this per sample.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let est = rk(&g, &RkConfig::new(0.2, 0.2), &mut rng);
+        let total: f64 = est.bc.iter().sum();
+        prop_assert!(total <= g.num_nodes() as f64 - 2.0 + 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn estimates_within_epsilon_most_of_the_time(g in arb_graph(), seed in 0u64..20) {
+        // δ = 0.2 per run; with proptest cases this is a smoke invariant,
+        // not a sharp statistical test — use a generous 2ε envelope so the
+        // property never flakes while still catching gross bias.
+        let truth = saphyra_graph::brandes::betweenness_exact(&g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let eps = 0.15;
+        let est = kadabra(&g, &KadabraConfig::new(eps, 0.2), &mut rng);
+        for v in g.nodes() {
+            let err = (est.bc[v as usize] - truth[v as usize]).abs();
+            prop_assert!(err < 2.0 * eps, "node {v}: err {err}");
+        }
+    }
+}

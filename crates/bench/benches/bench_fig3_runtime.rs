@@ -1,0 +1,42 @@
+//! Fig. 3 bench: end-to-end running time of each algorithm at
+//! representative ε values (reduced network sizes; the full-scale series
+//! comes from `--bin fig3`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saphyra_bench::{random_subset, run_algo, Algo};
+use saphyra_gen::datasets::{SimNetwork, SizeClass};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let g = SimNetwork::LiveJournal.build(SizeClass::Tiny, 1);
+    let mut rng = StdRng::seed_from_u64(9);
+    let subset = random_subset(&g, 100.min(g.num_nodes()), &mut rng);
+    for eps in [0.1, 0.05] {
+        for algo in Algo::all() {
+            let id = format!("fig3_runtime/{}/eps{eps}", algo.name());
+            c.bench_function(&id, |b| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    std::hint::black_box(run_algo(algo, &g, &subset, eps, 0.1, seed).samples)
+                })
+            });
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig3
+}
+criterion_main!(benches);

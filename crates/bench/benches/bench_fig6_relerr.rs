@@ -1,0 +1,48 @@
+//! Fig. 6 bench: the relative-error / zero-classification pipeline — one
+//! estimator run plus histogram construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saphyra_bench::{random_subset, run_algo, Algo};
+use saphyra_gen::datasets::{SimNetwork, SizeClass};
+use saphyra_graph::brandes::betweenness_exact;
+use saphyra_stats::relative_errors;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let g = SimNetwork::LiveJournal.build(SizeClass::Tiny, 1);
+    let truth = betweenness_exact(&g);
+    let mut rng = StdRng::seed_from_u64(3);
+    let subset = random_subset(&g, 100.min(g.num_nodes()), &mut rng);
+    let truth_sub: Vec<f64> = subset.iter().map(|&v| truth[v as usize]).collect();
+    for algo in [Algo::Kadabra, Algo::Saphyra] {
+        c.bench_function(&format!("fig6_relerr_pipeline/{}", algo.name()), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let out = run_algo(algo, &g, &subset, 0.05, 0.1, seed);
+                let rep = relative_errors(&out.subset_bc, &truth_sub, 150.0, 25);
+                std::hint::black_box(rep.false_zero_frac)
+            })
+        });
+    }
+    c.bench_function("fig6_histogram_only", |b| {
+        let est = run_algo(Algo::Saphyra, &g, &subset, 0.05, 0.1, 1).subset_bc;
+        b.iter(|| std::hint::black_box(relative_errors(&est, &truth_sub, 150.0, 25).mean_abs_pct))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig6
+}
+criterion_main!(benches);

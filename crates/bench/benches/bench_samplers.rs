@@ -1,0 +1,85 @@
+//! Sampler microbenches, including the bidirectional-vs-unidirectional BFS
+//! ablation (Lemma 21) and the relative per-sample cost of the three
+//! sampling styles (Gen_bc path, KADABRA path, ABRA node-pair).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saphyra::bc::{build_a_index, BcApproxProblem, Outreach};
+use saphyra_gen::datasets::{SimNetwork, SizeClass};
+use saphyra_graph::bbbfs::BiBfs;
+use saphyra_graph::bfs::{sample_path_to, BfsWorkspace};
+use saphyra_graph::{Bicomps, BlockCutTree};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let g = SimNetwork::LiveJournal.build(SizeClass::Tiny, 1);
+    let n = g.num_nodes();
+    let bic = Bicomps::compute(&g);
+    let tree = BlockCutTree::compute(&bic);
+    let outreach = Outreach::compute(&bic, &tree);
+    let mut rng = StdRng::seed_from_u64(7);
+    let targets: Vec<u32> = (0..100u32).collect();
+    let a_index = build_a_index(n, &targets);
+
+    // Gen_bc: multistage PISP sampling with rejection.
+    let mut prob = BcApproxProblem::new(&g, &bic, &outreach, &targets, &a_index, 3);
+    c.bench_function("gen_bc_sample", |b| {
+        b.iter(|| std::hint::black_box(prob.sample_approx_path(&mut rng).len()))
+    });
+
+    // KADABRA-style: uniform pair + bidirectional BFS path.
+    let mut bb = BiBfs::new(n);
+    c.bench_function("kadabra_pair_sample_bidirectional", |b| {
+        b.iter(|| {
+            let (s, t) = random_pair(n, &mut rng);
+            if let Some(res) = bb.query(&g, s, t, |_| true) {
+                std::hint::black_box(bb.sample_path(&g, res, &mut rng, |_| true).len());
+            }
+        })
+    });
+
+    // Ablation: the same sample via a full unidirectional BFS.
+    let mut ws = BfsWorkspace::new(n);
+    c.bench_function("pair_sample_unidirectional", |b| {
+        b.iter(|| {
+            let (s, t) = random_pair(n, &mut rng);
+            ws.run_counting(&g, s, Some(t), |_| true);
+            if ws.visited(t) {
+                std::hint::black_box(sample_path_to(&ws, &g, t, &mut rng, |_| true).len());
+            }
+        })
+    });
+
+    // ABRA-style: full pair-dependency accumulation (costed via its BFS).
+    c.bench_function("abra_pair_bfs", |b| {
+        b.iter(|| {
+            let (s, t) = random_pair(n, &mut rng);
+            ws.run_counting(&g, s, Some(t), |_| true);
+            std::hint::black_box(ws.reached())
+        })
+    });
+}
+
+fn random_pair(n: usize, rng: &mut StdRng) -> (u32, u32) {
+    let s = rng.gen_range(0..n as u32);
+    let mut t = rng.gen_range(0..n as u32 - 1);
+    if t >= s {
+        t += 1;
+    }
+    (s, t)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_samplers
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Substrate microbenches: BFS, biconnected decomposition, block-cut tree +
+//! out-reach, and one Brandes single-source accumulation — the building
+//! blocks whose costs Lemma 18 / Lemma 25 reason about.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saphyra_gen::datasets::{SimNetwork, SizeClass};
+use saphyra_graph::bfs::BfsWorkspace;
+use saphyra_graph::{Bicomps, BlockCutTree};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let g = SimNetwork::LiveJournal.build(SizeClass::Tiny, 1);
+    let n = g.num_nodes();
+
+    let mut ws = BfsWorkspace::new(n);
+    c.bench_function("bfs_full_counting", |b| {
+        b.iter(|| {
+            ws.run_counting(&g, 0, None, |_| true);
+            std::hint::black_box(ws.reached())
+        })
+    });
+
+    c.bench_function("bicomp_decomposition", |b| {
+        b.iter(|| std::hint::black_box(Bicomps::compute(&g).num_bicomps))
+    });
+
+    let bic = Bicomps::compute(&g);
+    c.bench_function("blockcut_tree_and_outreach", |b| {
+        b.iter(|| {
+            let tree = BlockCutTree::compute(&bic);
+            let or = saphyra::bc::Outreach::compute(&bic, &tree);
+            std::hint::black_box(or.total_weight)
+        })
+    });
+
+    let mut delta = vec![0.0f64; n];
+    let mut bc = vec![0.0f64; n];
+    c.bench_function("brandes_single_source", |b| {
+        b.iter(|| {
+            ws.run_counting(&g, 0, None, |_| true);
+            for i in (0..ws.order.len()).rev() {
+                let v = ws.order[i];
+                let coeff = (1.0 + delta[v as usize]) / ws.sigma(v);
+                if ws.dist(v) > 0 {
+                    for &w in g.neighbors(v) {
+                        if ws.visited(w) && ws.dist(w) + 1 == ws.dist(v) {
+                            delta[w as usize] += ws.sigma(w) * coeff;
+                        }
+                    }
+                    bc[v as usize] += delta[v as usize];
+                }
+            }
+            for &v in &ws.order {
+                delta[v as usize] = 0.0;
+            }
+            std::hint::black_box(bc[0])
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_substrate
+}
+criterion_main!(benches);

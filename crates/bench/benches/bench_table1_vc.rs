@@ -1,0 +1,37 @@
+//! Table I bench: cost of computing the personalized VC-dimension bounds
+//! (diameter, bicomponent and subset bounds) per network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saphyra::bc::vc_bounds;
+use saphyra_bench::random_subset;
+use saphyra_gen::datasets::{SimNetwork, SizeClass};
+use saphyra_graph::Bicomps;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn bench_table1(c: &mut Criterion) {
+    for net in SimNetwork::all() {
+        let g = net.build(SizeClass::Tiny, 1);
+        let bic = Bicomps::compute(&g);
+        let mut rng = StdRng::seed_from_u64(3);
+        let subset = random_subset(&g, 100.min(g.num_nodes()), &mut rng);
+        c.bench_function(&format!("table1_vc_bounds/{}", net.name()), |b| {
+            b.iter(|| std::hint::black_box(vc_bounds(&g, &bic, &subset).vc_subset))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_table1
+}
+criterion_main!(benches);

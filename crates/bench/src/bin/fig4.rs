@@ -1,0 +1,33 @@
+//! Fig. 4: Spearman rank correlation to the exact ground truth at each ε,
+//! with the 95% confidence band over random target subsets.
+
+use saphyra_bench::report::{fmt_ci, fmt_f};
+use saphyra_bench::sweep::{run_eps_sweep, EPS_GRID};
+use saphyra_bench::{scale_from_env, seed_from_env, trials_from_env, Table};
+
+fn main() {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    let trials = trials_from_env(3);
+    let records = run_eps_sweep(scale, seed, trials, 100, &EPS_GRID);
+
+    let mut table = Table::new(
+        format!("Fig. 4 — Spearman rank correlation ({scale:?} scale, {trials} subsets of 100)"),
+        &["network", "eps", "algorithm", "rho (mean±95ci)", "rho min", "rho max"],
+    );
+    for r in &records {
+        table.row(vec![
+            r.network.to_string(),
+            fmt_f(r.eps, 2),
+            r.algo.name().to_string(),
+            fmt_ci(&r.rho, 3),
+            fmt_f(r.rho.min, 3),
+            fmt_f(r.rho.max, 3),
+        ]);
+    }
+    table.print();
+    table.save_tsv("fig4_rank.tsv").expect("write results/fig4_rank.tsv");
+    println!("\nexpected shape (paper): SaPHyRa/SaPHyRa-full dominate at every eps (e.g. 0.84 vs");
+    println!("0.13/0.09 on LiveJournal at eps=0.05); baseline rho varies wildly across subsets");
+    println!("(wide min-max band) while SaPHyRa stays tight.");
+}

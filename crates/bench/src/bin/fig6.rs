@@ -1,0 +1,70 @@
+//! Fig. 6: signed relative-error histograms with true-zero / false-zero
+//! classification at ε = 0.05. The paper's diagnosis: >95% of baseline
+//! estimates are exact zeros — true zeros are harmless, false zeros destroy
+//! the ranking; SaPHyRa has no false zeros (Lemma 19).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saphyra_bench::report::fmt_f;
+use saphyra_bench::sweep::DELTA;
+use saphyra_bench::{
+    build_networks, ground_truth, random_subset, run_algo, scale_from_env, seed_from_env,
+    trials_from_env, Algo, Table,
+};
+use saphyra_stats::relative_errors;
+
+fn main() {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    let trials = trials_from_env(3);
+    let eps = 0.05;
+
+    let mut table = Table::new(
+        format!("Fig. 6 — signed relative error at eps={eps} (union of {trials} subsets of 100)"),
+        &[
+            "network",
+            "algorithm",
+            "true-zero %",
+            "false-zero %",
+            "mean |err| %",
+            "histogram [-100%..150%] (10 buckets)",
+        ],
+    );
+    for net in build_networks(scale, seed) {
+        let truth = ground_truth(net.name, &net.graph, scale, seed);
+        // Union of the trial subsets = the evaluated node population.
+        let mut subset_rng = StdRng::seed_from_u64(seed ^ 0x66);
+        let mut pool: Vec<u32> = (0..trials)
+            .flat_map(|_| random_subset(&net.graph, 100.min(net.graph.num_nodes()), &mut subset_rng))
+            .collect();
+        pool.sort_unstable();
+        pool.dedup();
+        let truth_pool: Vec<f64> = pool.iter().map(|&v| truth[v as usize]).collect();
+
+        for algo in Algo::all() {
+            let est = if algo.subset_aware() {
+                run_algo(algo, &net.graph, &pool, eps, DELTA, seed).subset_bc
+            } else {
+                let all: Vec<u32> = net.graph.nodes().collect();
+                let out = run_algo(algo, &net.graph, &all, eps, DELTA, seed);
+                pool.iter().map(|&v| out.subset_bc[v as usize]).collect()
+            };
+            let rep = relative_errors(&est, &truth_pool, 150.0, 10);
+            let hist: Vec<String> = rep.histogram.iter().map(|&h| format!("{:.0}", h * 100.0)).collect();
+            table.row(vec![
+                net.name.to_string(),
+                algo.name().to_string(),
+                fmt_f(rep.true_zero_frac * 100.0, 1),
+                fmt_f(rep.false_zero_frac * 100.0, 1),
+                fmt_f(rep.mean_abs_pct, 1),
+                hist.join(" "),
+            ]);
+        }
+    }
+    table.print();
+    table.save_tsv("fig6_relerr.tsv").expect("write results/fig6_relerr.tsv");
+    println!("\nexpected shape (paper): ABRA/KADABRA show large false-zero fractions (37-96%),");
+    println!("growing with network density (Flickr < LiveJournal < Orkut); SaPHyRa variants show 0%");
+    println!("false zeros (Lemma 19), and the more true zeros a network has, the better the");
+    println!("baselines' rank correlation looks in Fig. 4.");
+}

@@ -1,0 +1,43 @@
+//! Combined ε-sweep: one run of the Fig. 3 / Fig. 4 experiment writing both
+//! tables (the two figures share all computation; use this at `full` scale).
+
+use saphyra_bench::report::{fmt_ci, fmt_f};
+use saphyra_bench::sweep::{run_eps_sweep, EPS_GRID};
+use saphyra_bench::{scale_from_env, seed_from_env, trials_from_env, Table};
+
+fn main() {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    let trials = trials_from_env(3);
+    let records = run_eps_sweep(scale, seed, trials, 100, &EPS_GRID);
+
+    let mut fig3 = Table::new(
+        format!("Fig. 3 — running time in seconds ({scale:?} scale, {trials} subsets)"),
+        &["network", "eps", "algorithm", "time(s)", "samples"],
+    );
+    let mut fig4 = Table::new(
+        format!("Fig. 4 — Spearman rank correlation ({scale:?} scale, {trials} subsets of 100)"),
+        &["network", "eps", "algorithm", "rho (mean±95ci)", "rho min", "rho max"],
+    );
+    for r in &records {
+        fig3.row(vec![
+            r.network.to_string(),
+            fmt_f(r.eps, 2),
+            r.algo.name().to_string(),
+            fmt_ci(&r.time, 3),
+            r.samples.to_string(),
+        ]);
+        fig4.row(vec![
+            r.network.to_string(),
+            fmt_f(r.eps, 2),
+            r.algo.name().to_string(),
+            fmt_ci(&r.rho, 3),
+            fmt_f(r.rho.min, 3),
+            fmt_f(r.rho.max, 3),
+        ]);
+    }
+    fig3.print();
+    fig4.print();
+    fig3.save_tsv("fig3_runtime.tsv").expect("write fig3 tsv");
+    fig4.save_tsv("fig4_rank.tsv").expect("write fig4 tsv");
+}

@@ -1,0 +1,57 @@
+//! Table I: VC-dimension bound comparison — Riondato et al.'s diameter
+//! bound vs SaPHyRa_bc's bicomponent bound (full network), subset bound
+//! `BS(A)` (random subsets) and the ℓ-hop bound.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saphyra::bc::{vc_bounds, vc_lhop};
+use saphyra_bench::{build_networks, random_subset, scale_from_env, seed_from_env, Table};
+use saphyra_graph::bfs::BfsWorkspace;
+use saphyra_graph::Bicomps;
+
+fn main() {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    let mut table = Table::new(
+        format!("Table I — VC-dimension bounds ({scale:?} scale)"),
+        &[
+            "network",
+            "VD(V)<=",
+            "BD(V)<=",
+            "BS(A)<= (|A|=100)",
+            "VC riondato",
+            "VC saphyra-full",
+            "VC saphyra-subset",
+            "VC 2-hop",
+        ],
+    );
+    for net in build_networks(scale, seed) {
+        let g = &net.graph;
+        let bic = Bicomps::compute(g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let subset = random_subset(g, 100.min(g.num_nodes()), &mut rng);
+        let r = vc_bounds(g, &bic, &subset);
+
+        // The ℓ-hop column: targets within 2 hops of one node.
+        let mut ws = BfsWorkspace::new(g.num_nodes());
+        ws.run(g, subset[0]);
+        let lhop_vc = vc_lhop(2);
+
+        table.row(vec![
+            net.name.to_string(),
+            r.vd_upper.to_string(),
+            r.bd_upper.to_string(),
+            r.bs_upper.to_string(),
+            r.vc_riondato.to_string(),
+            r.vc_full.to_string(),
+            r.vc_subset.to_string(),
+            lhop_vc.to_string(),
+        ]);
+    }
+    table.print();
+    table.save_tsv("table1.tsv").expect("write results/table1.tsv");
+    println!("\nexpected shape (paper Table I): VC(subset) <= VC(full, bicomponent) <= VC(Riondato,");
+    println!("diameter). The bicomponent bound wins on pendant-heavy networks (flickr-sim);");
+    println!("the subset bound wins for small or localized subsets — the 2-hop column shows the");
+    println!("l-hop specialization log2(2l+1)+1, independent of the network diameter.");
+}

@@ -1,0 +1,27 @@
+//! # saphyra-bench
+//!
+//! The benchmark harness regenerating every table and figure of the SaPHyRa
+//! evaluation (§V) on the simulated networks of `saphyra-gen`
+//! (see DESIGN.md §4 for the dataset substitutions and §5 for the
+//! experiment index).
+//!
+//! * Binaries (`cargo run --release -p saphyra-bench --bin <name>`):
+//!   `table1`, `table2`, `fig3`, `fig4`, `fig5`, `fig6`, `fig7`,
+//!   `ablation`. Each prints the paper-style rows and writes a TSV under
+//!   `results/`.
+//! * Criterion benches (`cargo bench`): reduced-size versions of the same
+//!   experiments plus substrate microbenches.
+//!
+//! Environment knobs: `SAPHYRA_SCALE` = `tiny` | `small` | `full`
+//! (default `small`), `SAPHYRA_TRIALS` = subsets per configuration
+//! (default 3; the paper uses 1000), `SAPHYRA_SEED`.
+
+pub mod harness;
+pub mod report;
+pub mod sweep;
+
+pub use harness::{
+    build_networks, ground_truth, random_subset, run_algo, scale_from_env, seed_from_env,
+    trials_from_env, Algo, Network, RunOutput,
+};
+pub use report::Table;

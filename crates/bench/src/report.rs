@@ -1,0 +1,110 @@
+//! Aligned table printing and TSV export for the figure binaries.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A printable results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table.
+    pub fn new<S: Into<String>>(title: S, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the table with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.chars().count());
+            }
+        }
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let line = |out: &mut dyn Write, cells: &[String]| {
+            let mut s = String::new();
+            for (w, c) in widths.iter().zip(cells) {
+                s.push_str(&format!("{c:<width$}  ", width = w));
+            }
+            let _ = writeln!(out, "{}", s.trim_end());
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        let _ = writeln!(out, "{}", "-".repeat(total.saturating_sub(2)));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+    }
+
+    /// Writes the table as TSV under `results/`.
+    pub fn save_tsv(&self, file: &str) -> std::io::Result<()> {
+        let dir = Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join(file))?);
+        writeln!(f, "# {}", self.title)?;
+        writeln!(f, "{}", self.headers.join("\t"))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join("\t"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `prec` decimals.
+pub fn fmt_f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Formats a mean with its 95% CI halfwidth.
+pub fn fmt_ci(s: &saphyra_stats::Summary, prec: usize) -> String {
+    format!("{:.prec$}±{:.prec$}", s.mean, s.ci_hi - s.mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        t.print();
+        t.save_tsv("test_demo.tsv").unwrap();
+        let text = std::fs::read_to_string("results/test_demo.tsv").unwrap();
+        assert!(text.contains("a\tbb"));
+        assert!(text.contains("333\t4"));
+        std::fs::remove_file("results/test_demo.tsv").ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        let s = saphyra_stats::Summary::of(&[1.0, 2.0]);
+        assert!(fmt_ci(&s, 2).starts_with("1.50±"));
+    }
+}

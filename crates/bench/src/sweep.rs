@@ -1,0 +1,113 @@
+//! The shared ε-sweep behind Figs. 3 and 4 (and the subset-size sweep of
+//! Fig. 5): run every algorithm over every network at every ε, collecting
+//! wall-clock and rank-quality records.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saphyra_gen::datasets::SizeClass;
+use saphyra_stats::{spearman_vs_truth, Summary};
+
+use crate::harness::{build_networks, ground_truth, random_subset, run_algo, Algo};
+
+/// The paper's ε grid (Figs. 3-4).
+pub const EPS_GRID: [f64; 5] = [0.2, 0.1, 0.05, 0.02, 0.01];
+
+/// The paper's δ.
+pub const DELTA: f64 = 0.01;
+
+/// One (network, ε, algorithm) record aggregated over trial subsets.
+#[derive(Debug, Clone)]
+pub struct SweepRecord {
+    /// Network display name.
+    pub network: &'static str,
+    /// Error target ε.
+    pub eps: f64,
+    /// Algorithm.
+    pub algo: Algo,
+    /// Wall-clock seconds over runs.
+    pub time: Summary,
+    /// Spearman ρ against the exact ground truth over trial subsets.
+    pub rho: Summary,
+    /// Samples drawn (first run).
+    pub samples: usize,
+}
+
+/// Runs the ε sweep. `subset_size` matches the paper's 100;
+/// `trials` subsets per configuration.
+pub fn run_eps_sweep(
+    scale: SizeClass,
+    seed: u64,
+    trials: usize,
+    subset_size: usize,
+    eps_grid: &[f64],
+) -> Vec<SweepRecord> {
+    let networks = build_networks(scale, seed);
+    let mut records = Vec::new();
+    for net in &networks {
+        let truth = ground_truth(net.name, &net.graph, scale, seed);
+        let subset_size = subset_size.min(net.graph.num_nodes());
+        let mut subset_rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let subsets: Vec<Vec<u32>> = (0..trials)
+            .map(|_| random_subset(&net.graph, subset_size, &mut subset_rng))
+            .collect();
+        for &eps in eps_grid {
+            for algo in Algo::all() {
+                let mut times = Vec::new();
+                let mut rhos = Vec::new();
+                let mut samples = 0usize;
+                if algo.subset_aware() {
+                    // SaPHyRa runs once per subset.
+                    for (i, subset) in subsets.iter().enumerate() {
+                        let out =
+                            run_algo(algo, &net.graph, subset, eps, DELTA, seed + i as u64);
+                        let truth_sub: Vec<f64> =
+                            subset.iter().map(|&v| truth[v as usize]).collect();
+                        rhos.push(spearman_vs_truth(&out.subset_bc, &truth_sub));
+                        times.push(out.seconds);
+                        samples = out.samples;
+                    }
+                } else {
+                    // Whole-network estimators: one run, evaluated on every
+                    // subset (their estimates do not depend on the subset).
+                    let all: Vec<u32> = net.graph.nodes().collect();
+                    let out = run_algo(algo, &net.graph, &all, eps, DELTA, seed);
+                    times.push(out.seconds);
+                    samples = out.samples;
+                    for subset in &subsets {
+                        let est_sub: Vec<f64> =
+                            subset.iter().map(|&v| out.subset_bc[v as usize]).collect();
+                        let truth_sub: Vec<f64> =
+                            subset.iter().map(|&v| truth[v as usize]).collect();
+                        rhos.push(spearman_vs_truth(&est_sub, &truth_sub));
+                    }
+                }
+                records.push(SweepRecord {
+                    network: net.name,
+                    eps,
+                    algo,
+                    time: Summary::of(&times),
+                    rho: Summary::of(&rhos),
+                    samples,
+                });
+            }
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_produces_full_grid() {
+        let records = run_eps_sweep(SizeClass::Tiny, 3, 2, 20, &[0.2, 0.1]);
+        // 4 networks × 2 eps × 4 algos.
+        assert_eq!(records.len(), 4 * 2 * 4);
+        for r in &records {
+            assert!(r.time.mean >= 0.0);
+            assert!(r.rho.mean >= -1.0 && r.rho.mean <= 1.0 + 1e-9);
+            assert!(r.samples > 0);
+        }
+    }
+}

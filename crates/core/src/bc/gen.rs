@@ -1,0 +1,305 @@
+//! `Gen_bc` (Algorithm 2): rejection sampling over the PISP space, and the
+//! [`crate::framework::HrProblem`] implementation driving Algorithm 1.
+//!
+//! A sample is drawn in four stages (component → source → target → uniform
+//! shortest path via balanced bidirectional BFS restricted to the
+//! component's edges) and *rejected* if it lands in the exact subspace
+//! (length-2 path with a target inner node), which realizes the
+//! approximate distribution `D̃` of Eq. 31.
+
+use rand::Rng;
+use saphyra_graph::bbbfs::BiBfs;
+use saphyra_graph::{Bicomps, Graph, NodeId};
+
+use super::isp::Pisp;
+use super::outreach::Outreach;
+use crate::framework::HrProblem;
+
+const NONE: u32 = u32::MAX;
+
+/// The approximate-subspace sampling problem for one target set.
+pub struct BcApproxProblem<'a> {
+    g: &'a Graph,
+    bic: &'a Bicomps,
+    pisp: Pisp,
+    a_index: &'a [u32],
+    vc_dim: usize,
+    bb: BiBfs,
+    path_buf: Vec<NodeId>,
+    /// Samples accepted (returned to the estimator).
+    pub accepted: u64,
+    /// Samples rejected into the exact subspace (Algorithm 2 line 6).
+    pub rejected: u64,
+    /// Whether exact-subspace samples are rejected (false = the
+    /// no-partitioning ablation: sample the raw PISP distribution).
+    pub reject_exact: bool,
+}
+
+impl<'a> BcApproxProblem<'a> {
+    /// Builds the sampler. `a_index` maps node → target position (or
+    /// `u32::MAX`); `vc_dim` is the personalized VC bound (Corollary 22).
+    pub fn new(
+        g: &'a Graph,
+        bic: &'a Bicomps,
+        outreach: &Outreach,
+        targets: &[NodeId],
+        a_index: &'a [u32],
+        vc_dim: usize,
+    ) -> Self {
+        let pisp = Pisp::new(bic, outreach, targets);
+        BcApproxProblem {
+            g,
+            bic,
+            pisp,
+            a_index,
+            vc_dim,
+            bb: BiBfs::new(g.num_nodes()),
+            path_buf: Vec::new(),
+            accepted: 0,
+            rejected: 0,
+            reject_exact: true,
+        }
+    }
+
+    /// The PISP tables (exposes `η` and `I(A)`).
+    pub fn pisp(&self) -> &Pisp {
+        &self.pisp
+    }
+
+    /// Draws one PISP path *without* the exact-subspace rejection — the raw
+    /// ISP distribution, used by tests and by the no-partitioning ablation.
+    pub fn sample_isp_path<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<NodeId> {
+        self.sample_isp_into(rng);
+        self.path_buf.clone()
+    }
+
+    /// Fills the internal path buffer with one raw ISP sample (the
+    /// allocation-free hot path of the estimator).
+    fn sample_isp_into<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let (b, s, t) = self.pisp.sample_pair(self.bic, rng);
+        let g = self.g;
+        let bic = self.bic;
+        let filter = |slot: usize| bic.bicomp_of_slot(g, slot) == b;
+        let res = self
+            .bb
+            .query(g, s, t, filter)
+            .expect("co-component pair must be connected within its component");
+        self.bb.sample_path_into(g, res, rng, filter, &mut self.path_buf);
+    }
+
+    /// Whether a path lies in the exact subspace `X̂` (Eq. 29).
+    #[inline]
+    pub fn in_exact_subspace(&self, path: &[NodeId]) -> bool {
+        path.len() == 3 && self.a_index[path[1] as usize] != NONE
+    }
+
+    /// Draws one sample from `D̃` (rejection loop of Algorithm 2).
+    pub fn sample_approx_path<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<NodeId> {
+        self.sample_approx_into(rng);
+        self.path_buf.clone()
+    }
+
+    /// Buffer-filling variant of [`BcApproxProblem::sample_approx_path`].
+    fn sample_approx_into<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        loop {
+            self.sample_isp_into(rng);
+            if self.path_buf.len() == 3 && self.a_index[self.path_buf[1] as usize] != NONE {
+                self.rejected += 1;
+                continue;
+            }
+            self.accepted += 1;
+            return;
+        }
+    }
+
+    /// Empirical rejection rate (should approach `λ̂`, Lemma 17).
+    pub fn rejection_rate(&self) -> f64 {
+        let total = self.accepted + self.rejected;
+        if total == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / total as f64
+        }
+    }
+}
+
+impl HrProblem for BcApproxProblem<'_> {
+    fn num_hypotheses(&self) -> usize {
+        self.a_index.iter().filter(|&&i| i != NONE).count()
+    }
+
+    fn sample_hits(&mut self, rng: &mut dyn rand::RngCore, hits: &mut Vec<u32>) {
+        if self.reject_exact {
+            self.sample_approx_into(rng);
+        } else {
+            self.sample_isp_into(rng);
+        }
+        // Inner nodes only: endpoints are never counted (Eq. 6).
+        let len = self.path_buf.len();
+        for &v in &self.path_buf[1..len.saturating_sub(1)] {
+            let ai = self.a_index[v as usize];
+            if ai != NONE {
+                hits.push(ai);
+            }
+        }
+    }
+
+    fn vc_dimension(&self) -> usize {
+        self.vc_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bc::exact2hop::build_a_index;
+    use crate::bc::isp::enumerate_pair_probs;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use saphyra_graph::fixtures::{self, fig2::*};
+    use saphyra_graph::BlockCutTree;
+
+    fn setup(g: &Graph) -> (Bicomps, Outreach) {
+        let bic = Bicomps::compute(g);
+        let tree = BlockCutTree::compute(&bic);
+        let or = Outreach::compute(&bic, &tree);
+        (bic, or)
+    }
+
+    #[test]
+    fn isp_paths_stay_inside_one_component() {
+        let g = fixtures::paper_fig2();
+        let (bic, or) = setup(&g);
+        let all: Vec<u32> = g.nodes().collect();
+        let a_index = build_a_index(11, &all);
+        let mut prob = BcApproxProblem::new(&g, &bic, &or, &all, &a_index, 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..2000 {
+            let p = prob.sample_isp_path(&mut rng);
+            assert!(p.len() >= 2);
+            for w in p.windows(2) {
+                assert!(g.has_edge(w[0], w[1]));
+            }
+            // All edges of the path share one component.
+            let b0 = bic.edge_bicomp[g.edge_id(p[0], p[1]).unwrap() as usize];
+            for w in p.windows(2) {
+                let b = bic.edge_bicomp[g.edge_id(w[0], w[1]).unwrap() as usize];
+                assert_eq!(b, b0);
+            }
+        }
+    }
+
+    #[test]
+    fn isp_sampling_matches_closed_form_expectation() {
+        // Lemma 13 (statistical form): γ·E_{p∼Dc}[g(v,p)] + bcₐ(v) = bc(v).
+        let g = fixtures::paper_fig2();
+        let (bic, or) = setup(&g);
+        let tree = BlockCutTree::compute(&bic);
+        let all: Vec<u32> = g.nodes().collect();
+        let a_index = build_a_index(11, &all);
+        let mut prob = BcApproxProblem::new(&g, &bic, &or, &all, &a_index, 3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 400_000usize;
+        let mut inner_counts = [0u64; 11];
+        for _ in 0..trials {
+            let p = prob.sample_isp_path(&mut rng);
+            for &v in &p[1..p.len() - 1] {
+                inner_counts[v as usize] += 1;
+            }
+        }
+        let gamma = super::super::outreach::gamma(&g, &or);
+        let bca = super::super::outreach::bca_values(&g, &bic, &tree);
+        let bc = saphyra_graph::brandes::betweenness_exact(&g);
+        for v in 0..11usize {
+            let est = gamma * inner_counts[v] as f64 / trials as f64 + bca[v];
+            assert!(
+                (est - bc[v]).abs() < 0.01,
+                "node {v}: sampled {est} vs exact {}",
+                bc[v]
+            );
+        }
+    }
+
+    #[test]
+    fn rejection_rate_matches_lambda_hat() {
+        let g = fixtures::grid_graph(5, 5);
+        let (bic, or) = setup(&g);
+        let targets: Vec<u32> = vec![6, 12, 18];
+        let a_index = build_a_index(25, &targets);
+        let exact = super::super::exact2hop::exact_bc(&g, &bic, &or, &targets, &a_index);
+        let mut prob = BcApproxProblem::new(&g, &bic, &or, &targets, &a_index, 4);
+        let gamma_eta = prob.pisp().total_weight() / (25.0 * 24.0);
+        let lambda_hat = exact.lambda_raw / gamma_eta;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30_000 {
+            let _ = prob.sample_approx_path(&mut rng);
+        }
+        let rate = prob.rejection_rate();
+        assert!(
+            (rate - lambda_hat).abs() < 0.01,
+            "rejection {rate} vs λ̂ {lambda_hat}"
+        );
+    }
+
+    #[test]
+    fn approx_samples_never_come_from_exact_subspace() {
+        let g = fixtures::grid_graph(4, 4);
+        let (bic, or) = setup(&g);
+        let targets: Vec<u32> = vec![5, 10];
+        let a_index = build_a_index(16, &targets);
+        let mut prob = BcApproxProblem::new(&g, &bic, &or, &targets, &a_index, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..3000 {
+            let p = prob.sample_approx_path(&mut rng);
+            assert!(!prob.in_exact_subspace(&p));
+        }
+    }
+
+    #[test]
+    fn pair_marginals_match_enumeration_under_sampling() {
+        // End-to-end check that path endpoints follow the PISP pair law.
+        let g = fixtures::two_triangles_bridge();
+        let (bic, or) = setup(&g);
+        let targets = vec![2u32];
+        let a_index = build_a_index(6, &targets);
+        let mut prob = BcApproxProblem::new(&g, &bic, &or, &targets, &a_index, 2);
+        let probs = enumerate_pair_probs(&g, &bic, &or, prob.pisp());
+        let mut expect = std::collections::HashMap::new();
+        for (_, s, t, q) in probs {
+            *expect.entry((s, t)).or_insert(0.0) += q;
+        }
+        let mut rng = StdRng::seed_from_u64(21);
+        let trials = 100_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..trials {
+            let p = prob.sample_isp_path(&mut rng);
+            *counts.entry((p[0], *p.last().unwrap())).or_insert(0usize) += 1;
+        }
+        for ((s, t), &q) in &expect {
+            let got = *counts.get(&(*s, *t)).unwrap_or(&0) as f64 / trials as f64;
+            assert!((got - q).abs() < 0.01 + 0.1 * q, "pair ({s},{t}): {got} vs {q}");
+        }
+    }
+
+    #[test]
+    fn hr_problem_interface() {
+        use crate::framework::HrProblem;
+        let g = fixtures::paper_fig2();
+        let (bic, or) = setup(&g);
+        let targets = vec![C, D];
+        let a_index = build_a_index(11, &targets);
+        let mut prob = BcApproxProblem::new(&g, &bic, &or, &targets, &a_index, 2);
+        assert_eq!(prob.num_hypotheses(), 2);
+        assert_eq!(prob.vc_dimension(), 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hits = Vec::new();
+        for _ in 0..500 {
+            hits.clear();
+            prob.sample_hits(&mut rng, &mut hits);
+            assert!(hits.len() <= 2);
+            for &h in &hits {
+                assert!(h < 2);
+            }
+        }
+    }
+}

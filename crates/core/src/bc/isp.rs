@@ -1,0 +1,271 @@
+//! The personalized intra-component shortest-path (PISP) distribution
+//! (paper §IV-A, Eq. 22-24) and its multistage sampling tables.
+//!
+//! Given targets `A`, the PISP space restricts the ISP space to the
+//! bicomponents `I(A)` that contain at least one target. A shortest path
+//! `p` from `s` to `t` inside `Cᵢ` has probability
+//! `Pr[x = p] = q_st / (σ_st · γ · η)` with `q_st = rᵢ(s)·rᵢ(t)/(n(n−1))`.
+//! Sampling factorizes (Algorithm 2): pick `Cᵢ ∝ Wᵢ`, pick `s ∝
+//! rᵢ(s)(n_c − rᵢ(s))`, pick `t ≠ s ∝ rᵢ(t)`, pick a uniform shortest
+//! path — each stage a binary search over a prefix-sum table.
+
+use rand::Rng;
+use saphyra_graph::{Bicomps, Graph, NodeId};
+
+use super::outreach::Outreach;
+
+/// Sampling tables for the PISP distribution of one target set.
+#[derive(Debug, Clone)]
+pub struct Pisp {
+    /// The component ids of `I(A)`, ascending.
+    pub members: Vec<u32>,
+    /// `η` (Eq. 23): PISP mass relative to the ISP space.
+    pub eta: f64,
+    /// Cumulative `W_b` over `members`.
+    cum_weight: Vec<f64>,
+    /// Per member: cumulative `r(s)·(n_c − r(s))` over `nodes_of(b)`.
+    pair_prefix: Vec<Vec<f64>>,
+    /// Per member: cumulative `r(t)` over `nodes_of(b)`.
+    r_prefix: Vec<Vec<f64>>,
+}
+
+impl Pisp {
+    /// Builds the tables for target set `targets` (any order, unique).
+    pub fn new(bic: &Bicomps, outreach: &Outreach, targets: &[NodeId]) -> Self {
+        // I(A): union of memberships of the targets.
+        let mut members: Vec<u32> = targets
+            .iter()
+            .flat_map(|&v| bic.bicomps_of(v).iter().copied())
+            .collect();
+        members.sort_unstable();
+        members.dedup();
+
+        let mut cum_weight = Vec::with_capacity(members.len());
+        let mut pair_prefix = Vec::with_capacity(members.len());
+        let mut r_prefix = Vec::with_capacity(members.len());
+        let mut acc = 0.0f64;
+        let mut in_mass = 0.0f64;
+        for &b in &members {
+            let rs = outreach.r_slice(bic, b);
+            let n_c: f64 = rs.iter().map(|&x| x as f64).sum();
+            let mut pair = Vec::with_capacity(rs.len());
+            let mut rsum = Vec::with_capacity(rs.len());
+            let (mut p_acc, mut r_acc) = (0.0f64, 0.0f64);
+            for &r in rs {
+                p_acc += r as f64 * (n_c - r as f64);
+                r_acc += r as f64;
+                pair.push(p_acc);
+                rsum.push(r_acc);
+            }
+            in_mass += outreach.pair_weight[b as usize];
+            acc += outreach.pair_weight[b as usize];
+            cum_weight.push(acc);
+            pair_prefix.push(pair);
+            r_prefix.push(rsum);
+        }
+        let eta = if outreach.total_weight > 0.0 {
+            in_mass / outreach.total_weight
+        } else {
+            0.0
+        };
+        Pisp {
+            members,
+            eta,
+            cum_weight,
+            pair_prefix,
+            r_prefix,
+        }
+    }
+
+    /// Total unnormalized weight of the PISP space (`= γη · n(n−1)`).
+    pub fn total_weight(&self) -> f64 {
+        *self.cum_weight.last().unwrap_or(&0.0)
+    }
+
+    /// Whether the PISP space is empty (no target touches any edge).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty() || self.total_weight() <= 0.0
+    }
+
+    /// Stages 1-3 of Algorithm 2: samples `(component, s, t)` with
+    /// `Pr ∝ r(s)·r(t)` over ordered intra-component pairs of `I(A)`.
+    pub fn sample_pair<R: Rng + ?Sized>(
+        &self,
+        bic: &Bicomps,
+        rng: &mut R,
+    ) -> (u32, NodeId, NodeId) {
+        debug_assert!(!self.is_empty());
+        // Stage 1: component ∝ W_b.
+        let total = self.total_weight();
+        let x = rng.gen::<f64>() * total;
+        let mi = self.cum_weight.partition_point(|&c| c <= x).min(self.members.len() - 1);
+        let b = self.members[mi];
+        let nodes = bic.nodes_of(b);
+
+        // Stage 2: source ∝ r(s)·(n_c − r(s)).
+        let pair = &self.pair_prefix[mi];
+        let w = *pair.last().expect("nonempty component");
+        let x = rng.gen::<f64>() * w;
+        let si = pair.partition_point(|&c| c <= x).min(nodes.len() - 1);
+        let s = nodes[si];
+
+        // Stage 3: target ∝ r(t), excluding s: skip s's own r-mass.
+        let rp = &self.r_prefix[mi];
+        let n_c = *rp.last().expect("nonempty component");
+        let r_s = rp[si] - if si == 0 { 0.0 } else { rp[si - 1] };
+        let before_s = rp[si] - r_s;
+        let x = rng.gen::<f64>() * (n_c - r_s);
+        let ti = if x < before_s {
+            rp.partition_point(|&c| c <= x).min(si.saturating_sub(1))
+        } else {
+            let shifted = x + r_s;
+            rp.partition_point(|&c| c <= shifted)
+                .max(si + 1)
+                .min(nodes.len() - 1)
+        };
+        debug_assert_ne!(ti, si);
+        (b, s, nodes[ti])
+    }
+}
+
+/// Exact enumeration of the PISP *pair* probabilities (all ordered
+/// intra-component pairs of `I(A)` with their mass `q_st / (γη)`), for
+/// validating the sampler on small graphs. O(Σ |C_b|²).
+pub fn enumerate_pair_probs(
+    g: &Graph,
+    bic: &Bicomps,
+    outreach: &Outreach,
+    pisp: &Pisp,
+) -> Vec<(u32, NodeId, NodeId, f64)> {
+    let n = g.num_nodes() as f64;
+    let gamma_eta = pisp.total_weight() / (n * (n - 1.0));
+    let mut out = Vec::new();
+    for &b in &pisp.members {
+        let nodes = bic.nodes_of(b);
+        let rs = outreach.r_slice(bic, b);
+        for (i, &s) in nodes.iter().enumerate() {
+            for (j, &t) in nodes.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let q = rs[i] as f64 * rs[j] as f64 / (n * (n - 1.0));
+                out.push((b, s, t, q / gamma_eta));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use saphyra_graph::fixtures::{self, fig2::*};
+    use saphyra_graph::BlockCutTree;
+
+    fn setup(g: &Graph) -> (Bicomps, Outreach) {
+        let bic = Bicomps::compute(g);
+        let tree = BlockCutTree::compute(&bic);
+        let or = Outreach::compute(&bic, &tree);
+        (bic, or)
+    }
+
+    #[test]
+    fn members_are_target_bicomps() {
+        let g = fixtures::paper_fig2();
+        let (bic, or) = setup(&g);
+        // Target {g}: only the triangle c-g-h.
+        let p = Pisp::new(&bic, &or, &[G]);
+        assert_eq!(p.members.len(), 1);
+        assert_eq!(bic.nodes_of(p.members[0]), &[C, G, H]);
+        // Target {d}: d is a cutpoint in C1, C3, C5 -> three members.
+        let p = Pisp::new(&bic, &or, &[D]);
+        assert_eq!(p.members.len(), 3);
+        // Full network: everything.
+        let all: Vec<u32> = g.nodes().collect();
+        let p = Pisp::new(&bic, &or, &all);
+        assert_eq!(p.members.len(), bic.num_bicomps);
+        assert!((p.eta - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eta_fraction_matches_weights() {
+        let g = fixtures::two_triangles_bridge();
+        let (bic, or) = setup(&g);
+        // Target node 0: only in the first triangle.
+        let p = Pisp::new(&bic, &or, &[0]);
+        let b = bic.share_bicomp(0, 1).unwrap();
+        let expect = or.pair_weight[b as usize] / or.total_weight;
+        assert!((p.eta - expect).abs() < 1e-12);
+        assert!(p.eta < 1.0);
+    }
+
+    #[test]
+    fn pair_probs_sum_to_one() {
+        let g = fixtures::paper_fig2();
+        let (bic, or) = setup(&g);
+        for targets in [vec![A], vec![D], vec![G, J], (0..11u32).collect::<Vec<_>>()] {
+            let p = Pisp::new(&bic, &or, &targets);
+            let probs = enumerate_pair_probs(&g, &bic, &or, &p);
+            // Σ over pairs of σ_st · Pr[path] = Σ pair masses = 1.
+            let total: f64 = probs.iter().map(|&(_, _, _, q)| q).sum();
+            assert!((total - 1.0).abs() < 1e-9, "targets {targets:?}: {total}");
+        }
+    }
+
+    #[test]
+    fn sampler_matches_enumeration() {
+        let g = fixtures::paper_fig2();
+        let (bic, or) = setup(&g);
+        let p = Pisp::new(&bic, &or, &[D, G]);
+        let probs = enumerate_pair_probs(&g, &bic, &or, &p);
+        let mut expect: std::collections::HashMap<(u32, u32, u32), f64> =
+            std::collections::HashMap::new();
+        for (b, s, t, q) in probs {
+            *expect.entry((b, s, t)).or_insert(0.0) += q;
+        }
+        let mut rng = StdRng::seed_from_u64(17);
+        let trials = 200_000usize;
+        let mut counts: std::collections::HashMap<(u32, u32, u32), usize> =
+            std::collections::HashMap::new();
+        for _ in 0..trials {
+            let (b, s, t) = p.sample_pair(&bic, &mut rng);
+            assert_ne!(s, t);
+            *counts.entry((b, s, t)).or_insert(0) += 1;
+        }
+        for (key, &q) in &expect {
+            let got = *counts.get(key).unwrap_or(&0) as f64 / trials as f64;
+            assert!(
+                (got - q).abs() < 0.01 + 0.15 * q,
+                "pair {key:?}: got {got}, expect {q}"
+            );
+        }
+        // No pair outside the enumeration was sampled.
+        for key in counts.keys() {
+            assert!(expect.contains_key(key), "unexpected pair {key:?}");
+        }
+    }
+
+    #[test]
+    fn empty_when_targets_isolated() {
+        let g = fixtures::disconnected_mix();
+        let (bic, or) = setup(&g);
+        // Node 5 is isolated: no bicomponents.
+        let p = Pisp::new(&bic, &or, &[5]);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn stage3_never_returns_source() {
+        let g = fixtures::lollipop_graph(4, 3);
+        let (bic, or) = setup(&g);
+        let all: Vec<u32> = g.nodes().collect();
+        let p = Pisp::new(&bic, &or, &all);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5000 {
+            let (_, s, t) = p.sample_pair(&bic, &mut rng);
+            assert_ne!(s, t);
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! SaPHyRa_bc end-to-end (paper §IV-D, Theorem 24): preprocessing index,
+//! subset ranking driver, and the final estimate assembly
+//! `b̃c(v) = bcₐ(v) + γη·(ℓ̂_v + λ·ℓ̃_v)`.
+
+use rand::RngCore;
+use saphyra_graph::{Bicomps, BlockCutTree, Graph, NodeId};
+
+use super::exact2hop::{build_a_index, exact_bc};
+use super::gen::BcApproxProblem;
+use super::outreach::{bca_values, gamma, Outreach};
+use super::vcbound::{vc_bounds, VcBoundReport};
+use crate::framework::{AdaptiveOutcome, ExactPart};
+
+/// Accuracy configuration of a SaPHyRa_bc run.
+#[derive(Debug, Clone, Copy)]
+pub struct SaphyraBcConfig {
+    /// Additive error target ε on betweenness values (Theorem 24).
+    pub eps: f64,
+    /// Failure probability δ.
+    pub delta: f64,
+    /// Ablation: when false, skip `Exact_bc` and the rejection step —
+    /// the estimator degrades to direct ISP sampling (λ̂ = 0).
+    pub use_exact_subspace: bool,
+    /// Ablation: when false, draw the full `N_max` budget without
+    /// Bernstein checks.
+    pub adaptive: bool,
+}
+
+impl SaphyraBcConfig {
+    /// Standard configuration (exact subspace and adaptive stopping on).
+    pub fn new(eps: f64, delta: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        SaphyraBcConfig {
+            eps,
+            delta,
+            use_exact_subspace: true,
+            adaptive: true,
+        }
+    }
+
+    /// Disables the exact subspace (sample-space-partitioning ablation).
+    pub fn without_exact_subspace(mut self) -> Self {
+        self.use_exact_subspace = false;
+        self
+    }
+
+    /// Disables adaptive stopping (fixed VC-budget ablation).
+    pub fn with_fixed_budget(mut self) -> Self {
+        self.adaptive = false;
+        self
+    }
+}
+
+/// Telemetry of one ranking run.
+#[derive(Debug, Clone)]
+pub struct BcRunStats {
+    /// ISP normalizer γ (Eq. 19).
+    pub gamma: f64,
+    /// PISP mass η (Eq. 23).
+    pub eta: f64,
+    /// Exact-subspace mass λ̂ (Lemma 17).
+    pub lambda_hat: f64,
+    /// Personalized VC bound used for `N_max` (Corollary 22).
+    pub vc: VcBoundReport,
+    /// ε passed to the inner framework (ε / (γη); see DESIGN.md erratum).
+    pub eps_inner: f64,
+    /// Main-phase samples drawn.
+    pub samples: usize,
+    /// Pilot samples drawn.
+    pub pilot_samples: usize,
+    /// Samples rejected into the exact subspace.
+    pub rejected: u64,
+    /// CSR slots visited by `Exact_bc` (the `K` of Lemma 18).
+    pub exact_work: u64,
+    /// Whether the Bernstein check stopped before `N_max`.
+    pub converged_early: bool,
+    /// Worst-case sample budget.
+    pub nmax: usize,
+    /// Bernstein rounds run.
+    pub rounds: usize,
+}
+
+/// Betweenness estimates for a target subset, decomposed by source.
+#[derive(Debug, Clone)]
+pub struct BcEstimate {
+    /// The target nodes, in caller order.
+    pub targets: Vec<NodeId>,
+    /// Estimated betweenness `b̃c(v)`, aligned with `targets`.
+    pub bc: Vec<f64>,
+    /// Break-point component `bcₐ(v)` (exact, Eq. 21).
+    pub bca_part: Vec<f64>,
+    /// 2-hop exact-subspace component `γη·ℓ̂_v` (exact, Lemma 17).
+    pub exact_path_part: Vec<f64>,
+    /// Sampled component `γη·λ·ℓ̃_v`.
+    pub approx_part: Vec<f64>,
+    /// Run telemetry.
+    pub stats: BcRunStats,
+}
+
+impl BcEstimate {
+    /// Target positions sorted best-first (highest estimate, ties by
+    /// position — the paper's id tie-break for targets given in id order).
+    pub fn ranking(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.bc.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.bc[b]
+                .partial_cmp(&self.bc[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// The `k` highest-ranked targets as `(node, estimate)` pairs.
+    pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
+        self.ranking()
+            .into_iter()
+            .take(k)
+            .map(|i| (self.targets[i], self.bc[i]))
+            .collect()
+    }
+
+    /// The estimate for a specific target node, if it was ranked.
+    pub fn bc_of(&self, v: NodeId) -> Option<f64> {
+        self.targets
+            .iter()
+            .position(|&t| t == v)
+            .map(|i| self.bc[i])
+    }
+}
+
+/// Reusable preprocessing for SaPHyRa_bc on one graph: biconnected
+/// decomposition, block-cut tree, out-reach sets, γ and bcₐ. Building the
+/// index is O(m + n); it can then rank any number of subsets.
+#[derive(Debug)]
+pub struct BcIndex<'g> {
+    /// The underlying graph.
+    pub graph: &'g Graph,
+    /// Biconnected components.
+    pub bic: Bicomps,
+    /// Block-cut tree with branch weights.
+    pub tree: BlockCutTree,
+    /// Out-reach sets and pair weights.
+    pub outreach: Outreach,
+    /// Per-node break-point mass bcₐ (Eq. 21).
+    pub bca: Vec<f64>,
+    /// ISP normalizer γ (Eq. 19).
+    pub gamma: f64,
+}
+
+impl<'g> BcIndex<'g> {
+    /// Builds the index.
+    pub fn new(graph: &'g Graph) -> Self {
+        let bic = Bicomps::compute(graph);
+        let tree = BlockCutTree::compute(&bic);
+        let outreach = Outreach::compute(&bic, &tree);
+        let bca = bca_values(graph, &bic, &tree);
+        let gamma = gamma(graph, &outreach);
+        BcIndex {
+            graph,
+            bic,
+            tree,
+            outreach,
+            bca,
+            gamma,
+        }
+    }
+
+    /// Ranks the given target subset (SaPHyRa_bc). Targets must be unique
+    /// node ids; the output is aligned with the input order.
+    pub fn rank_subset(
+        &self,
+        targets: &[NodeId],
+        cfg: &SaphyraBcConfig,
+        rng: &mut dyn RngCore,
+    ) -> BcEstimate {
+        let n = self.graph.num_nodes();
+        let k = targets.len();
+        let a_index = build_a_index(n, targets);
+        let vc = vc_bounds(self.graph, &self.bic, targets);
+
+        let mut prob = BcApproxProblem::new(
+            self.graph,
+            &self.bic,
+            &self.outreach,
+            targets,
+            &a_index,
+            vc.vc_subset,
+        );
+        let eta = prob.pisp().eta;
+        let gamma_eta = self.gamma * eta;
+        let bca_part: Vec<f64> = targets.iter().map(|&v| self.bca[v as usize]).collect();
+
+        if prob.pisp().is_empty() || gamma_eta <= 0.0 {
+            // No PISP mass: betweenness of the targets is exactly bcₐ.
+            let stats = BcRunStats {
+                gamma: self.gamma,
+                eta,
+                lambda_hat: 0.0,
+                vc,
+                eps_inner: cfg.eps,
+                samples: 0,
+                pilot_samples: 0,
+                rejected: 0,
+                exact_work: 0,
+                converged_early: true,
+                nmax: 0,
+                rounds: 0,
+            };
+            return BcEstimate {
+                targets: targets.to_vec(),
+                bc: bca_part.clone(),
+                bca_part,
+                exact_path_part: vec![0.0; k],
+                approx_part: vec![0.0; k],
+                stats,
+            };
+        }
+
+        // Exact oracle (Algorithm 1 line 3); the ablation degrades to
+        // direct ISP sampling with an empty exact subspace.
+        let (exact_part, exact_work) = if cfg.use_exact_subspace {
+            let exact = exact_bc(self.graph, &self.bic, &self.outreach, targets, &a_index);
+            let lambda_hat = (exact.lambda_raw / gamma_eta).clamp(0.0, 1.0);
+            let exact_risks: Vec<f64> = exact.exact_raw.iter().map(|&x| x / gamma_eta).collect();
+            (
+                ExactPart {
+                    lambda_hat,
+                    exact_risks,
+                },
+                exact.work,
+            )
+        } else {
+            prob.reject_exact = false;
+            (ExactPart::trivial(k), 0)
+        };
+        let lambda_hat = exact_part.lambda_hat;
+
+        // Theorem 24 chain: b̃c − bc = γη(ℓ − R), so the inner framework
+        // must reach ε/(γη) on the combined risk (the framework further
+        // divides by λ for the approximate subspace).
+        let eps_inner = cfg.eps / gamma_eta;
+        let est = crate::framework::saphyra_estimate_cfg(
+            &mut prob,
+            &exact_part,
+            eps_inner,
+            cfg.delta,
+            cfg.adaptive,
+            rng,
+        );
+
+        let exact_path_part: Vec<f64> = est.exact_part.iter().map(|&x| gamma_eta * x).collect();
+        let approx_part: Vec<f64> = est
+            .approx_part
+            .iter()
+            .map(|&x| gamma_eta * est.lambda * x)
+            .collect();
+        let bc: Vec<f64> = (0..k)
+            .map(|i| bca_part[i] + exact_path_part[i] + approx_part[i])
+            .collect();
+
+        let outcome: &AdaptiveOutcome = &est.outcome;
+        let stats = BcRunStats {
+            gamma: self.gamma,
+            eta,
+            lambda_hat,
+            vc,
+            eps_inner,
+            samples: outcome.samples_used,
+            pilot_samples: outcome.pilot_samples,
+            rejected: prob.rejected,
+            exact_work,
+            converged_early: outcome.converged_early,
+            nmax: outcome.nmax,
+            rounds: outcome.rounds_run,
+        };
+        BcEstimate {
+            targets: targets.to_vec(),
+            bc,
+            bca_part,
+            exact_path_part,
+            approx_part,
+            stats,
+        }
+    }
+
+    /// SaPHyRa_bc-full: ranks every node of the graph (the paper's
+    /// whole-network variant used in Figs. 3-7).
+    pub fn rank_full(&self, cfg: &SaphyraBcConfig, rng: &mut dyn RngCore) -> BcEstimate {
+        let all: Vec<NodeId> = self.graph.nodes().collect();
+        self.rank_subset(&all, cfg, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use saphyra_graph::brandes::betweenness_exact;
+    use saphyra_graph::fixtures;
+
+    fn check_accuracy(g: &Graph, targets: &[NodeId], eps: f64, seed: u64) {
+        let truth = betweenness_exact(g);
+        let index = BcIndex::new(g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let est = index.rank_subset(targets, &SaphyraBcConfig::new(eps, 0.1), &mut rng);
+        for (i, &v) in targets.iter().enumerate() {
+            let err = (est.bc[i] - truth[v as usize]).abs();
+            assert!(
+                err < eps,
+                "node {v}: est {} truth {} err {err} (eps {eps})",
+                est.bc[i],
+                truth[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_on_fixtures() {
+        check_accuracy(&fixtures::paper_fig2(), &(0..11u32).collect::<Vec<_>>(), 0.05, 1);
+        check_accuracy(&fixtures::grid_graph(6, 6), &[7, 14, 21, 28, 35], 0.05, 2);
+        check_accuracy(&fixtures::lollipop_graph(6, 6), &(0..12u32).collect::<Vec<_>>(), 0.05, 3);
+        check_accuracy(&fixtures::cycle_graph(20), &[0, 5, 10], 0.05, 4);
+    }
+
+    #[test]
+    fn accuracy_on_random_graph() {
+        let mut grng = StdRng::seed_from_u64(10);
+        let n = 40;
+        let mut b = saphyra_graph::GraphBuilder::new(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if grng.gen::<f64>() < 0.1 {
+                    b.push(u, v);
+                }
+            }
+        }
+        let g = b.build().unwrap();
+        let targets: Vec<u32> = (0..n as u32).step_by(3).collect();
+        check_accuracy(&g, &targets, 0.06, 11);
+    }
+
+    #[test]
+    fn no_false_zeros_lemma19() {
+        // Every positive-betweenness target must receive a positive
+        // estimate — the property ABRA/KADABRA lack (Fig. 6).
+        let mut grng = StdRng::seed_from_u64(20);
+        for round in 0..5 {
+            let n = 30;
+            let mut b = saphyra_graph::GraphBuilder::new(n);
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if grng.gen::<f64>() < 0.12 {
+                        b.push(u, v);
+                    }
+                }
+            }
+            let g = b.build().unwrap();
+            let truth = betweenness_exact(&g);
+            let index = BcIndex::new(&g);
+            let targets: Vec<u32> = g.nodes().collect();
+            let mut rng = StdRng::seed_from_u64(round);
+            // Large eps: the sampled part may see nothing, the exact part
+            // must still be positive.
+            let est = index.rank_subset(&targets, &SaphyraBcConfig::new(0.3, 0.1), &mut rng);
+            for (i, &v) in targets.iter().enumerate() {
+                if truth[v as usize] > 0.0 {
+                    assert!(
+                        est.bc[i] > 0.0,
+                        "round {round}: node {v} has bc {} but estimate 0",
+                        truth[v as usize]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_betweenness_is_pure_bca() {
+        // In a tree the ISP space has only length-1 paths: the sampled and
+        // 2-hop parts are zero and b̃c = bcₐ = bc exactly.
+        let g = fixtures::binary_tree(4);
+        let truth = betweenness_exact(&g);
+        let index = BcIndex::new(&g);
+        let targets: Vec<u32> = g.nodes().collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let est = index.rank_subset(&targets, &SaphyraBcConfig::new(0.05, 0.1), &mut rng);
+        for (i, &v) in targets.iter().enumerate() {
+            assert!(
+                (est.bc[i] - truth[v as usize]).abs() < 1e-12,
+                "node {v}: {} vs {}",
+                est.bc[i],
+                truth[v as usize]
+            );
+            assert_eq!(est.exact_path_part[i], 0.0);
+            assert_eq!(est.approx_part[i], 0.0);
+        }
+    }
+
+    #[test]
+    fn isolated_targets_get_zero() {
+        let g = fixtures::disconnected_mix();
+        let index = BcIndex::new(&g);
+        let mut rng = StdRng::seed_from_u64(6);
+        let est = index.rank_subset(&[5], &SaphyraBcConfig::new(0.1, 0.1), &mut rng);
+        assert_eq!(est.bc, vec![0.0]);
+        assert_eq!(est.stats.samples, 0);
+    }
+
+    #[test]
+    fn full_ranking_correlates_with_truth() {
+        let g = fixtures::grid_graph(7, 5);
+        let truth = betweenness_exact(&g);
+        let index = BcIndex::new(&g);
+        let mut rng = StdRng::seed_from_u64(8);
+        let est = index.rank_full(&SaphyraBcConfig::new(0.02, 0.1), &mut rng);
+        let rho = saphyra_stats::spearman_vs_truth(&est.bc, &truth);
+        assert!(rho > 0.9, "rho = {rho}");
+    }
+
+    #[test]
+    fn ranking_output_is_a_permutation() {
+        let g = fixtures::grid_graph(5, 5);
+        let index = BcIndex::new(&g);
+        let targets: Vec<u32> = vec![2, 7, 11, 13, 21];
+        let mut rng = StdRng::seed_from_u64(9);
+        let est = index.rank_subset(&targets, &SaphyraBcConfig::new(0.1, 0.1), &mut rng);
+        let mut ranking = est.ranking();
+        assert_eq!(ranking.len(), 5);
+        ranking.sort_unstable();
+        assert_eq!(ranking, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn top_k_and_lookup() {
+        let g = fixtures::grid_graph(5, 5);
+        let index = BcIndex::new(&g);
+        let targets: Vec<u32> = vec![0, 12, 24]; // corners vs center
+        let mut rng = StdRng::seed_from_u64(10);
+        let est = index.rank_subset(&targets, &SaphyraBcConfig::new(0.05, 0.1), &mut rng);
+        let top = est.top_k(2);
+        assert_eq!(top.len(), 2);
+        // The grid center dominates both corners.
+        assert_eq!(top[0].0, 12);
+        assert!(top[0].1 >= top[1].1);
+        assert_eq!(est.bc_of(12), Some(top[0].1));
+        assert_eq!(est.bc_of(99), None);
+        // top_k larger than the target set is clamped.
+        assert_eq!(est.top_k(10).len(), 3);
+    }
+
+    #[test]
+    fn decomposition_parts_sum_to_estimate() {
+        let g = fixtures::lollipop_graph(5, 4);
+        let index = BcIndex::new(&g);
+        let targets: Vec<u32> = g.nodes().collect();
+        let mut rng = StdRng::seed_from_u64(12);
+        let est = index.rank_subset(&targets, &SaphyraBcConfig::new(0.05, 0.1), &mut rng);
+        for i in 0..targets.len() {
+            let sum = est.bca_part[i] + est.exact_path_part[i] + est.approx_part[i];
+            assert!((sum - est.bc[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ablation_without_exact_subspace_is_still_accurate() {
+        let g = fixtures::grid_graph(6, 5);
+        let truth = betweenness_exact(&g);
+        let index = BcIndex::new(&g);
+        let targets: Vec<u32> = vec![7, 8, 14, 21];
+        let mut rng = StdRng::seed_from_u64(31);
+        let cfg = SaphyraBcConfig::new(0.05, 0.1).without_exact_subspace();
+        let est = index.rank_subset(&targets, &cfg, &mut rng);
+        assert_eq!(est.stats.lambda_hat, 0.0);
+        assert_eq!(est.stats.exact_work, 0);
+        for (i, &v) in targets.iter().enumerate() {
+            assert!((est.bc[i] - truth[v as usize]).abs() < 0.05);
+            assert_eq!(est.exact_path_part[i], 0.0);
+        }
+    }
+
+    #[test]
+    fn ablation_fixed_budget_draws_nmax() {
+        let g = fixtures::grid_graph(6, 5);
+        let index = BcIndex::new(&g);
+        let targets: Vec<u32> = vec![7, 14, 21];
+        let mut rng = StdRng::seed_from_u64(32);
+        let cfg = SaphyraBcConfig::new(0.1, 0.1).with_fixed_budget();
+        let est = index.rank_subset(&targets, &cfg, &mut rng);
+        assert!(!est.stats.converged_early);
+        assert_eq!(est.stats.samples, est.stats.nmax);
+        assert_eq!(est.stats.pilot_samples, 0);
+        // Adaptive run on the same instance uses no more samples.
+        let mut rng = StdRng::seed_from_u64(32);
+        let adaptive = index.rank_subset(&targets, &SaphyraBcConfig::new(0.1, 0.1), &mut rng);
+        assert!(adaptive.stats.samples <= est.stats.samples);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = fixtures::grid_graph(6, 6);
+        let index = BcIndex::new(&g);
+        let targets: Vec<u32> = vec![14, 15, 20, 21];
+        let mut rng = StdRng::seed_from_u64(13);
+        let est = index.rank_subset(&targets, &SaphyraBcConfig::new(0.05, 0.1), &mut rng);
+        assert!(est.stats.gamma > 0.0);
+        assert!(est.stats.eta > 0.0 && est.stats.eta <= 1.0);
+        assert!(est.stats.samples > 0);
+        assert!(est.stats.exact_work > 0);
+        assert!(est.stats.vc.vc_subset >= 1);
+    }
+}

@@ -1,0 +1,352 @@
+//! Algorithm 1's sampling engine: pilot variance pass, per-hypothesis error
+//! allocation, doubling schedule with empirical-Bernstein stopping, and the
+//! VC-bounded worst-case budget.
+
+use saphyra_stats::{
+    allocate_deltas, bernoulli_sample_variance, doubling_rounds, empirical_bernstein_epsilon,
+    vc_sample_bound, C_VC,
+};
+
+use super::problem::HrProblem;
+
+/// Tuning knobs of the adaptive estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// Per-hypothesis deviation target ε′ on the approximate distribution.
+    pub eps_prime: f64,
+    /// Total failure probability δ.
+    pub delta: f64,
+    /// The constant of Lemma 4 (defaults to [`C_VC`]).
+    pub c_vc: f64,
+    /// Lower bound on the pilot size (variance estimates need a few
+    /// observations even when ε′ is large).
+    pub min_pilot: usize,
+    /// When false, skip the pilot pass and all Bernstein checks and draw
+    /// exactly `N_max` samples (the fixed-size VC-bound estimator — the
+    /// "adaptive stopping" ablation of DESIGN.md §5).
+    pub adaptive: bool,
+}
+
+impl AdaptiveConfig {
+    /// Standard configuration for the given accuracy target.
+    pub fn new(eps_prime: f64, delta: f64) -> Self {
+        assert!(eps_prime > 0.0, "eps must be positive");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        AdaptiveConfig {
+            eps_prime,
+            delta,
+            c_vc: C_VC,
+            min_pilot: 16,
+            adaptive: true,
+        }
+    }
+
+    /// Disables adaptive stopping (fixed `N_max` budget).
+    pub fn with_fixed_budget(mut self) -> Self {
+        self.adaptive = false;
+        self
+    }
+}
+
+/// Telemetry and estimates produced by [`estimate_risks`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveOutcome {
+    /// `ℓ̃ᵢ`: mean loss of each hypothesis over the drawn samples.
+    pub estimates: Vec<f64>,
+    /// Samples drawn in the main phase.
+    pub samples_used: usize,
+    /// Samples drawn in the (independent) pilot phase.
+    pub pilot_samples: usize,
+    /// Doubling rounds executed (Bernstein checks performed).
+    pub rounds_run: usize,
+    /// Initial budget `N₀ = c/ε′² ln(1/δ)` (line 6).
+    pub n0: usize,
+    /// Worst-case budget `N_max = c/ε′² (VC + ln(1/δ))` (line 7).
+    pub nmax: usize,
+    /// Whether the Bernstein check stopped sampling before `N_max`.
+    pub converged_early: bool,
+    /// The largest per-hypothesis Bernstein deviation at the stop point
+    /// (`≤ ε′` when `converged_early`; otherwise the VC bound guarantees ε′
+    /// at `N_max` regardless).
+    pub achieved_eps: f64,
+}
+
+impl AdaptiveOutcome {
+    /// Outcome of a skipped sampling phase (empty approximate subspace).
+    pub fn empty() -> Self {
+        AdaptiveOutcome {
+            estimates: Vec::new(),
+            samples_used: 0,
+            pilot_samples: 0,
+            rounds_run: 0,
+            n0: 0,
+            nmax: 0,
+            converged_early: true,
+            achieved_eps: 0.0,
+        }
+    }
+}
+
+/// Runs the adaptive estimation loop of Algorithm 1 (lines 6-20) on the
+/// approximate subspace of `problem`.
+///
+/// The paper's loop performs at most `R = ⌈log₂(N_max/N₀)⌉` Bernstein checks
+/// at sizes `N₀, 2N₀, …`; each check spends `Σᵢ 2δᵢ = δ/R` of the failure
+/// budget (Eq. 13). If no check passes, sampling runs to `N_max`, where
+/// Lemma 4's VC bound guarantees the (ε′, δ)-estimate unconditionally.
+pub fn estimate_risks<P: HrProblem + ?Sized>(
+    problem: &mut P,
+    cfg: &AdaptiveConfig,
+    rng: &mut dyn rand::RngCore,
+) -> AdaptiveOutcome {
+    let k = problem.num_hypotheses();
+    if k == 0 {
+        return AdaptiveOutcome::empty();
+    }
+    let ln_inv_delta = (1.0 / cfg.delta).ln();
+    let vc = problem.vc_dimension().max(1);
+    let n0 = ((cfg.c_vc / (cfg.eps_prime * cfg.eps_prime) * ln_inv_delta).ceil() as usize)
+        .max(cfg.min_pilot);
+    let nmax = vc_sample_bound(cfg.eps_prime, cfg.delta, vc).max(n0);
+
+    let mut hits_buf: Vec<u32> = Vec::new();
+
+    if !cfg.adaptive {
+        // Fixed-size ablation: the plain Lemma 4 estimator.
+        let mut hits = vec![0u64; k];
+        for _ in 0..nmax {
+            hits_buf.clear();
+            problem.sample_hits(rng, &mut hits_buf);
+            for &i in &hits_buf {
+                hits[i as usize] += 1;
+            }
+        }
+        return AdaptiveOutcome {
+            estimates: hits.iter().map(|&h| h as f64 / nmax as f64).collect(),
+            samples_used: nmax,
+            pilot_samples: 0,
+            rounds_run: 0,
+            n0,
+            nmax,
+            converged_early: false,
+            achieved_eps: cfg.eps_prime,
+        };
+    }
+
+    // Pilot pass (line 9 / §III-C): independent samples estimating each
+    // hypothesis' variance for the δᵢ allocation.
+    let mut pilot_hits = vec![0u64; k];
+    for _ in 0..n0 {
+        hits_buf.clear();
+        problem.sample_hits(rng, &mut hits_buf);
+        for &i in &hits_buf {
+            pilot_hits[i as usize] += 1;
+        }
+    }
+    let pilot_vars: Vec<f64> = pilot_hits
+        .iter()
+        .map(|&h| bernoulli_sample_variance(h, n0 as u64))
+        .collect();
+
+    let rounds = doubling_rounds(n0, nmax);
+    let deltas = allocate_deltas(&pilot_vars, nmax, cfg.eps_prime, cfg.delta / rounds as f64);
+
+    // Main loop (lines 10-18): fresh samples, doubling with early stop.
+    let mut hits = vec![0u64; k];
+    let mut n = 0usize;
+    let mut target = n0.min(nmax);
+    let mut converged_early = false;
+    let mut achieved_eps;
+    let mut rounds_run = 0usize;
+    loop {
+        while n < target {
+            hits_buf.clear();
+            problem.sample_hits(rng, &mut hits_buf);
+            for &i in &hits_buf {
+                hits[i as usize] += 1;
+            }
+            n += 1;
+        }
+        rounds_run += 1;
+        let mut max_eps = 0.0f64;
+        for i in 0..k {
+            let var = bernoulli_sample_variance(hits[i], n as u64);
+            let e = empirical_bernstein_epsilon(n.max(2), deltas[i].min(0.5), var);
+            if e > max_eps {
+                max_eps = e;
+            }
+        }
+        achieved_eps = max_eps;
+        if max_eps <= cfg.eps_prime {
+            converged_early = true;
+            break;
+        }
+        if target >= nmax {
+            // Forced stop: Lemma 4 guarantees ε′ at N_max.
+            break;
+        }
+        if rounds_run >= rounds {
+            // Bernstein budget exhausted: run straight to N_max.
+            while n < nmax {
+                hits_buf.clear();
+                problem.sample_hits(rng, &mut hits_buf);
+                for &i in &hits_buf {
+                    hits[i as usize] += 1;
+                }
+                n += 1;
+            }
+            break;
+        }
+        target = (2 * target).min(nmax);
+    }
+
+    let estimates: Vec<f64> = hits.iter().map(|&h| h as f64 / n as f64).collect();
+    AdaptiveOutcome {
+        estimates,
+        samples_used: n,
+        pilot_samples: n0,
+        rounds_run,
+        n0,
+        nmax,
+        converged_early,
+        achieved_eps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Synthetic problem: k independent Bernoulli hypotheses with known
+    /// hit probabilities.
+    struct MockProblem {
+        probs: Vec<f64>,
+        vc: usize,
+    }
+
+    impl HrProblem for MockProblem {
+        fn num_hypotheses(&self) -> usize {
+            self.probs.len()
+        }
+        fn sample_hits(&mut self, rng: &mut dyn rand::RngCore, hits: &mut Vec<u32>) {
+            for (i, &p) in self.probs.iter().enumerate() {
+                if rng.gen::<f64>() < p {
+                    hits.push(i as u32);
+                }
+            }
+        }
+        fn vc_dimension(&self) -> usize {
+            self.vc
+        }
+    }
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn estimates_are_accurate() {
+        let mut p = MockProblem {
+            probs: vec![0.5, 0.1, 0.02, 0.0],
+            vc: 2,
+        };
+        let out = estimate_risks(&mut p, &AdaptiveConfig::new(0.05, 0.05), &mut rng(1));
+        for (est, truth) in out.estimates.iter().zip(&p.probs) {
+            assert!((est - truth).abs() < 0.05, "est {est} truth {truth}");
+        }
+        assert!(out.samples_used >= out.n0);
+        assert!(out.samples_used <= out.nmax);
+    }
+
+    #[test]
+    fn zero_variance_stops_at_pilot_budget() {
+        // All-zero hypotheses: variance 0, the first Bernstein check passes.
+        let mut p = MockProblem {
+            probs: vec![0.0; 8],
+            vc: 3,
+        };
+        let out = estimate_risks(&mut p, &AdaptiveConfig::new(0.05, 0.05), &mut rng(2));
+        assert!(out.converged_early);
+        assert_eq!(out.samples_used, out.n0);
+        assert_eq!(out.rounds_run, 1);
+        assert!(out.estimates.iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    fn low_variance_needs_fewer_samples_than_high_variance() {
+        let cfg = AdaptiveConfig::new(0.02, 0.05);
+        let mut low = MockProblem {
+            probs: vec![0.005; 4],
+            vc: 4,
+        };
+        let mut high = MockProblem {
+            probs: vec![0.5; 4],
+            vc: 4,
+        };
+        let out_low = estimate_risks(&mut low, &cfg, &mut rng(3));
+        let out_high = estimate_risks(&mut high, &cfg, &mut rng(4));
+        assert!(
+            out_low.samples_used < out_high.samples_used,
+            "low {} high {}",
+            out_low.samples_used,
+            out_high.samples_used
+        );
+    }
+
+    #[test]
+    fn low_variance_converges_in_first_round() {
+        // Rare hypotheses at a small ε: at realistic accuracy targets the
+        // Bernstein linear term is negligible and the pilot budget already
+        // satisfies the check (n0 ≈ 3.7k here, variance ~1e-3).
+        let mut p = MockProblem {
+            probs: vec![0.001, 0.002],
+            vc: 2,
+        };
+        let out = estimate_risks(&mut p, &AdaptiveConfig::new(0.02, 0.05), &mut rng(5));
+        assert!(out.converged_early, "achieved {}", out.achieved_eps);
+        assert_eq!(out.samples_used, out.n0);
+        assert_eq!(out.rounds_run, 1);
+    }
+
+    #[test]
+    fn respects_nmax_cap() {
+        // Very tight eps with tiny delta: hits the VC cap.
+        let mut p = MockProblem {
+            probs: vec![0.5],
+            vc: 1,
+        };
+        let cfg = AdaptiveConfig::new(0.2, 0.3);
+        let out = estimate_risks(&mut p, &cfg, &mut rng(6));
+        assert!(out.samples_used <= out.nmax);
+        assert!(out.nmax >= out.n0);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let mut p = MockProblem {
+            probs: vec![],
+            vc: 1,
+        };
+        let out = estimate_risks(&mut p, &AdaptiveConfig::new(0.05, 0.05), &mut rng(7));
+        assert!(out.estimates.is_empty());
+        assert_eq!(out.samples_used, 0);
+    }
+
+    #[test]
+    fn higher_vc_means_larger_worst_case_budget() {
+        let cfg = AdaptiveConfig::new(0.05, 0.05);
+        let mut a = MockProblem {
+            probs: vec![0.5],
+            vc: 1,
+        };
+        let mut b = MockProblem {
+            probs: vec![0.5],
+            vc: 20,
+        };
+        let oa = estimate_risks(&mut a, &cfg, &mut rng(8));
+        let ob = estimate_risks(&mut b, &cfg, &mut rng(8));
+        assert!(ob.nmax > oa.nmax);
+    }
+}

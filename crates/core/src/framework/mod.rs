@@ -1,0 +1,194 @@
+//! The generic SaPHyRa framework (paper §III): hypothesis-ranking problems,
+//! the sample-space-partitioning estimator (Algorithm 1), and the
+//! variance-reduction analysis (Claim 8).
+
+mod adaptive;
+mod problem;
+mod variance;
+mod weighted;
+
+pub use adaptive::{estimate_risks, AdaptiveConfig, AdaptiveOutcome};
+pub use problem::{ExactPart, HrProblem};
+pub use variance::{partitioned_variance_ratio, variance_reduction_factor};
+pub use weighted::{
+    estimate_weighted_risks, saphyra_estimate_weighted, WeightedHrProblem,
+};
+
+/// The combined output of the SaPHyRa framework on one problem instance.
+#[derive(Debug, Clone)]
+pub struct SaphyraEstimate {
+    /// Combined risks `ℓᵢ = ℓ̂ᵢ + λ·ℓ̃ᵢ` (Eq. 8) — the quantities to rank by.
+    pub combined: Vec<f64>,
+    /// Exact-subspace risks `ℓ̂ᵢ` (Eq. 9).
+    pub exact_part: Vec<f64>,
+    /// Approximate-subspace estimates `ℓ̃ᵢ` (mean loss under `D̃`).
+    pub approx_part: Vec<f64>,
+    /// `λ = 1 − λ̂`, the probability mass of the approximate subspace.
+    pub lambda: f64,
+    /// Sampling telemetry (empty outcome when `λ ≈ 0` and sampling was
+    /// skipped entirely).
+    pub outcome: AdaptiveOutcome,
+}
+
+impl SaphyraEstimate {
+    /// Hypothesis indices sorted best-first (highest combined risk first,
+    /// ties by index — the paper's id tie-break).
+    pub fn ranking(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.combined.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.combined[b]
+                .partial_cmp(&self.combined[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+}
+
+/// Runs the full SaPHyRa pipeline (Algorithm 1) for a problem whose exact
+/// part has already been evaluated.
+///
+/// `eps` is the target accuracy *on the combined risk*; internally the
+/// approximate subspace is estimated to `ε′ = ε/λ` (line 5 of Algorithm 1).
+/// When `λ` is (numerically) zero the exact part already covers the whole
+/// space and no samples are drawn.
+pub fn saphyra_estimate<P: HrProblem + ?Sized>(
+    problem: &mut P,
+    exact: &ExactPart,
+    eps: f64,
+    delta: f64,
+    rng: &mut dyn rand::RngCore,
+) -> SaphyraEstimate {
+    saphyra_estimate_cfg(problem, exact, eps, delta, true, rng)
+}
+
+/// [`saphyra_estimate`] with explicit control over adaptive stopping
+/// (`adaptive = false` draws the fixed `N_max` budget — the ablation of
+/// DESIGN.md §5).
+pub fn saphyra_estimate_cfg<P: HrProblem + ?Sized>(
+    problem: &mut P,
+    exact: &ExactPart,
+    eps: f64,
+    delta: f64,
+    adaptive: bool,
+    rng: &mut dyn rand::RngCore,
+) -> SaphyraEstimate {
+    let k = exact.exact_risks.len();
+    assert_eq!(k, problem.num_hypotheses(), "exact part size mismatch");
+    let lambda = (1.0 - exact.lambda_hat).clamp(0.0, 1.0);
+    if lambda <= f64::EPSILON {
+        return SaphyraEstimate {
+            combined: exact.exact_risks.clone(),
+            exact_part: exact.exact_risks.clone(),
+            approx_part: vec![0.0; k],
+            lambda,
+            outcome: AdaptiveOutcome::empty(),
+        };
+    }
+    let eps_prime = eps / lambda;
+    let mut cfg = AdaptiveConfig::new(eps_prime, delta);
+    cfg.adaptive = adaptive;
+    let outcome = estimate_risks(problem, &cfg, rng);
+    let combined: Vec<f64> = exact
+        .exact_risks
+        .iter()
+        .zip(&outcome.estimates)
+        .map(|(&e, &a)| e + lambda * a)
+        .collect();
+    SaphyraEstimate {
+        combined,
+        exact_part: exact.exact_risks.clone(),
+        approx_part: outcome.estimates.clone(),
+        lambda,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    struct Mock {
+        probs: Vec<f64>,
+    }
+
+    impl HrProblem for Mock {
+        fn num_hypotheses(&self) -> usize {
+            self.probs.len()
+        }
+        fn sample_hits(&mut self, rng: &mut dyn rand::RngCore, hits: &mut Vec<u32>) {
+            for (i, &p) in self.probs.iter().enumerate() {
+                if rng.gen::<f64>() < p {
+                    hits.push(i as u32);
+                }
+            }
+        }
+        fn vc_dimension(&self) -> usize {
+            2
+        }
+    }
+
+    #[test]
+    fn combination_rule_eq8() {
+        // D̃ hit probabilities R̃; with λ = 0.5 the combined risk must be
+        // ℓ̂ + λ·ℓ̃ and approximate the true risk ℓ̂ + λ·R̃.
+        let mut p = Mock {
+            probs: vec![0.4, 0.1],
+        };
+        let exact = ExactPart {
+            lambda_hat: 0.5,
+            exact_risks: vec![0.05, 0.2],
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let est = saphyra_estimate(&mut p, &exact, 0.02, 0.05, &mut rng);
+        assert_eq!(est.lambda, 0.5);
+        for i in 0..2 {
+            let expect_combined = exact.exact_risks[i] + 0.5 * est.approx_part[i];
+            assert!((est.combined[i] - expect_combined).abs() < 1e-12);
+            let truth = exact.exact_risks[i] + 0.5 * p.probs[i];
+            assert!((est.combined[i] - truth).abs() < 0.02, "hyp {i}");
+        }
+    }
+
+    #[test]
+    fn ranking_orders_by_combined_risk() {
+        let mut p = Mock {
+            probs: vec![0.0, 0.0, 0.0],
+        };
+        let exact = ExactPart {
+            lambda_hat: 0.9,
+            exact_risks: vec![0.1, 0.3, 0.2],
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let est = saphyra_estimate(&mut p, &exact, 0.05, 0.1, &mut rng);
+        assert_eq!(est.ranking(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn empty_approximate_subspace_short_circuits() {
+        let mut p = Mock {
+            probs: vec![0.7],
+        };
+        let exact = ExactPart {
+            lambda_hat: 1.0,
+            exact_risks: vec![0.42],
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let est = saphyra_estimate(&mut p, &exact, 0.01, 0.01, &mut rng);
+        assert_eq!(est.outcome.samples_used, 0);
+        assert_eq!(est.combined, vec![0.42]);
+    }
+
+    #[test]
+    fn tie_break_is_by_index() {
+        let est = SaphyraEstimate {
+            combined: vec![0.5, 0.5, 0.7],
+            exact_part: vec![],
+            approx_part: vec![],
+            lambda: 0.0,
+            outcome: AdaptiveOutcome::empty(),
+        };
+        assert_eq!(est.ranking(), vec![2, 0, 1]);
+    }
+}

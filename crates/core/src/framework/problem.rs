@@ -1,0 +1,62 @@
+//! The hypothesis-ranking problem abstraction (paper §II-B).
+//!
+//! A problem owns the approximate sample space `X̃`, its distribution `D̃`,
+//! and a hypothesis class `H = {h₁ … h_k}` with 0-1 losses. Because a
+//! single sample touches few hypotheses (a shortest path contains few
+//! target nodes), losses are reported *sparsely*: one sample yields the
+//! list of hypothesis indices with loss 1.
+
+/// Result of the `Exact(·)` oracle (Algorithm 1, line 3): the probability
+/// mass `λ̂` of the exact subspace and the per-hypothesis exact risks `ℓ̂ᵢ`
+/// (Eq. 9), both under the *full* distribution `D`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactPart {
+    /// `λ̂ = Pr_{x∼D}[x ∈ X̂]`.
+    pub lambda_hat: f64,
+    /// `ℓ̂ᵢ` for each hypothesis.
+    pub exact_risks: Vec<f64>,
+}
+
+impl ExactPart {
+    /// An empty exact subspace (`λ̂ = 0`): degrades SaPHyRa to direct
+    /// estimation on `D`.
+    pub fn trivial(k: usize) -> Self {
+        ExactPart {
+            lambda_hat: 0.0,
+            exact_risks: vec![0.0; k],
+        }
+    }
+}
+
+/// A hypothesis-ranking problem over the approximate subspace.
+///
+/// Implementors: [`crate::bc::BcApproxProblem`] (random intra-component
+/// shortest paths), [`crate::kpath::KPathApproxProblem`] (random walks).
+pub trait HrProblem {
+    /// Number of hypotheses `k`.
+    fn num_hypotheses(&self) -> usize;
+
+    /// Draws one sample `x ∼ D̃` (the `Gen(·)` oracle) and appends to
+    /// `hits` the indices of all hypotheses with `L(hᵢ(x), f(x)) = 1`.
+    /// `hits` arrives empty.
+    fn sample_hits(&mut self, rng: &mut dyn rand::RngCore, hits: &mut Vec<u32>);
+
+    /// An upper bound on the VC dimension of the hypothesis class over the
+    /// approximate subspace, used for the worst-case budget `N_max`
+    /// (Lemma 4). Implementations should return the tightest bound they can
+    /// prove (Lemma 5 / Corollary 22); `log2(k) + 1` is always sound
+    /// because π_max ≤ k.
+    fn vc_dimension(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_exact_part() {
+        let e = ExactPart::trivial(3);
+        assert_eq!(e.lambda_hat, 0.0);
+        assert_eq!(e.exact_risks, vec![0.0; 3]);
+    }
+}

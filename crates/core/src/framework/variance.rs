@@ -1,0 +1,78 @@
+//! The variance-reduction analysis of §III-D (Claim 8).
+//!
+//! For a hypothesis with full expected risk `μ` and exact-subspace mass
+//! `μ̂`, direct sampling sees a Bernoulli with variance `μ(1−μ)` while the
+//! partitioned estimator samples a Bernoulli with mean `μ−μ̂`, variance
+//! `(μ−μ̂)(1−μ+μ̂)`. Since sample complexity is roughly proportional to
+//! variance (Eq. 15 with the first term dominating), the ratio of the two
+//! variances is the paper's predicted sample saving.
+
+/// `Var(Z) / Var(Z′) = (μ−μ̂)(1−μ+μ̂) / (μ(1−μ))` — Claim 8's ratio.
+/// Returns 0 when the partitioned variance vanishes and 1 when `μ ∈ {0, 1}`
+/// (both variances zero).
+pub fn partitioned_variance_ratio(mu: f64, mu_hat: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&mu), "mu out of range");
+    assert!(
+        (0.0..=mu + 1e-12).contains(&mu_hat),
+        "exact mass cannot exceed the risk"
+    );
+    let denom = mu * (1.0 - mu);
+    if denom == 0.0 {
+        return 1.0;
+    }
+    let rest = (mu - mu_hat).max(0.0);
+    rest * (1.0 - rest) / denom
+}
+
+/// The approximate sample-saving factor `μ / (μ−μ̂)` of Claim 8 for
+/// `μ ≪ 1`; `∞` when the exact part covers the whole risk.
+pub fn variance_reduction_factor(mu: f64, mu_hat: f64) -> f64 {
+    if mu <= 0.0 {
+        return 1.0;
+    }
+    let rest = mu - mu_hat;
+    if rest <= 0.0 {
+        f64::INFINITY
+    } else {
+        mu / rest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_below_one_for_low_risk_hypotheses() {
+        // Claim 8: μ < 1/2 implies Var(Z) < Var(Z').
+        for &(mu, mu_hat) in &[(0.4, 0.1), (0.1, 0.05), (0.01, 0.002)] {
+            let r = partitioned_variance_ratio(mu, mu_hat);
+            assert!(r < 1.0, "mu={mu} mu_hat={mu_hat}: {r}");
+        }
+    }
+
+    #[test]
+    fn small_mu_approximation() {
+        // For μ ≪ 1 the ratio approaches (μ−μ̂)/μ.
+        let (mu, mu_hat) = (1e-4, 4e-5);
+        let r = partitioned_variance_ratio(mu, mu_hat);
+        assert!((r - (mu - mu_hat) / mu).abs() < 1e-3);
+        let f = variance_reduction_factor(mu, mu_hat);
+        assert!((f - mu / (mu - mu_hat)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(partitioned_variance_ratio(0.0, 0.0), 1.0);
+        assert_eq!(partitioned_variance_ratio(1.0, 0.5), 1.0);
+        assert_eq!(partitioned_variance_ratio(0.3, 0.3), 0.0);
+        assert_eq!(variance_reduction_factor(0.0, 0.0), 1.0);
+        assert_eq!(variance_reduction_factor(0.2, 0.2), f64::INFINITY);
+    }
+
+    #[test]
+    fn no_exact_mass_means_no_reduction() {
+        assert!((partitioned_variance_ratio(0.2, 0.0) - 1.0).abs() < 1e-12);
+        assert_eq!(variance_reduction_factor(0.2, 0.0), 1.0);
+    }
+}

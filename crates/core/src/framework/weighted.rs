@@ -1,0 +1,285 @@
+//! Fractional-loss extension of the framework (the paper's future-work
+//! direction: "extending the framework to other centrality measures such as
+//! closeness centrality", §VI).
+//!
+//! Algorithm 1 only needs losses in `[0, 1]` — nothing about it is specific
+//! to 0-1 losses except the Bernoulli variance shortcut. This module
+//! generalizes the adaptive estimator to bounded real losses: per-hypothesis
+//! sums and sums of squares give the unbiased sample variance for the
+//! empirical-Bernstein check, and the worst-case budget falls back to
+//! Hoeffding + union bound over the `k` hypotheses (the
+//! `O(1/ε²(ln k + ln 1/δ))` of §II-A) since the VC argument of Lemma 4 does
+//! not apply to real-valued classes.
+
+use saphyra_stats::{allocate_deltas, doubling_rounds, empirical_bernstein_epsilon, hoeffding_samples};
+
+use super::adaptive::{AdaptiveConfig, AdaptiveOutcome};
+use super::problem::ExactPart;
+use super::SaphyraEstimate;
+
+/// A hypothesis-ranking problem with losses in `[0, 1]`.
+pub trait WeightedHrProblem {
+    /// Number of hypotheses `k`.
+    fn num_hypotheses(&self) -> usize;
+
+    /// Draws one sample `x ∼ D̃` and appends `(hypothesis, loss)` for every
+    /// hypothesis with a nonzero loss on `x`. Losses must lie in `[0, 1]`.
+    fn sample_losses(&mut self, rng: &mut dyn rand::RngCore, out: &mut Vec<(u32, f64)>);
+}
+
+/// Per-hypothesis accumulator: `Var = (Σx² − (Σx)²/N) / (N−1)`.
+#[derive(Debug, Clone, Copy, Default)]
+struct Acc {
+    sum: f64,
+    sumsq: f64,
+}
+
+impl Acc {
+    #[inline]
+    fn push(&mut self, x: f64) {
+        debug_assert!((0.0..=1.0 + 1e-9).contains(&x), "loss out of range: {x}");
+        self.sum += x;
+        self.sumsq += x * x;
+    }
+
+    fn sample_variance(&self, n: usize) -> f64 {
+        if n < 2 {
+            return 0.0;
+        }
+        ((self.sumsq - self.sum * self.sum / n as f64) / (n as f64 - 1.0)).max(0.0)
+    }
+}
+
+/// The adaptive estimator of Algorithm 1 for fractional losses.
+pub fn estimate_weighted_risks<P: WeightedHrProblem + ?Sized>(
+    problem: &mut P,
+    cfg: &AdaptiveConfig,
+    rng: &mut dyn rand::RngCore,
+) -> AdaptiveOutcome {
+    let k = problem.num_hypotheses();
+    if k == 0 {
+        return AdaptiveOutcome::empty();
+    }
+    let ln_inv_delta = (1.0 / cfg.delta).ln();
+    let n0 = ((cfg.c_vc / (cfg.eps_prime * cfg.eps_prime) * ln_inv_delta).ceil() as usize)
+        .max(cfg.min_pilot);
+    let nmax = hoeffding_samples(cfg.eps_prime, cfg.delta, k).max(n0);
+
+    let mut buf: Vec<(u32, f64)> = Vec::new();
+    let mut draw = |accs: &mut [Acc], problem: &mut P, rng: &mut dyn rand::RngCore| {
+        buf.clear();
+        problem.sample_losses(rng, &mut buf);
+        for &(i, x) in &buf {
+            accs[i as usize].push(x);
+        }
+    };
+
+    if !cfg.adaptive {
+        let mut accs = vec![Acc::default(); k];
+        for _ in 0..nmax {
+            draw(&mut accs, problem, rng);
+        }
+        return AdaptiveOutcome {
+            estimates: accs.iter().map(|a| a.sum / nmax as f64).collect(),
+            samples_used: nmax,
+            pilot_samples: 0,
+            rounds_run: 0,
+            n0,
+            nmax,
+            converged_early: false,
+            achieved_eps: cfg.eps_prime,
+        };
+    }
+
+    // Pilot pass for the δᵢ allocation (Eq. 13).
+    let mut pilot = vec![Acc::default(); k];
+    for _ in 0..n0 {
+        draw(&mut pilot, problem, rng);
+    }
+    let pilot_vars: Vec<f64> = pilot.iter().map(|a| a.sample_variance(n0)).collect();
+    let rounds = doubling_rounds(n0, nmax);
+    let deltas = allocate_deltas(&pilot_vars, nmax, cfg.eps_prime, cfg.delta / rounds as f64);
+
+    let mut accs = vec![Acc::default(); k];
+    let mut n = 0usize;
+    let mut target = n0.min(nmax);
+    let mut converged_early = false;
+    let mut achieved_eps;
+    let mut rounds_run = 0usize;
+    loop {
+        while n < target {
+            draw(&mut accs, problem, rng);
+            n += 1;
+        }
+        rounds_run += 1;
+        let mut max_eps = 0.0f64;
+        for i in 0..k {
+            let e = empirical_bernstein_epsilon(
+                n.max(2),
+                deltas[i].min(0.5),
+                accs[i].sample_variance(n),
+            );
+            if e > max_eps {
+                max_eps = e;
+            }
+        }
+        achieved_eps = max_eps;
+        if max_eps <= cfg.eps_prime {
+            converged_early = true;
+            break;
+        }
+        if target >= nmax {
+            break;
+        }
+        if rounds_run >= rounds {
+            while n < nmax {
+                draw(&mut accs, problem, rng);
+                n += 1;
+            }
+            break;
+        }
+        target = (2 * target).min(nmax);
+    }
+
+    AdaptiveOutcome {
+        estimates: accs.iter().map(|a| a.sum / n as f64).collect(),
+        samples_used: n,
+        pilot_samples: n0,
+        rounds_run,
+        n0,
+        nmax,
+        converged_early,
+        achieved_eps,
+    }
+}
+
+/// The full SaPHyRa pipeline for fractional-loss problems (combination rule
+/// Eq. 8, identical to the 0-1 case).
+pub fn saphyra_estimate_weighted<P: WeightedHrProblem + ?Sized>(
+    problem: &mut P,
+    exact: &ExactPart,
+    eps: f64,
+    delta: f64,
+    rng: &mut dyn rand::RngCore,
+) -> SaphyraEstimate {
+    let k = exact.exact_risks.len();
+    assert_eq!(k, problem.num_hypotheses(), "exact part size mismatch");
+    let lambda = (1.0 - exact.lambda_hat).clamp(0.0, 1.0);
+    if lambda <= f64::EPSILON {
+        return SaphyraEstimate {
+            combined: exact.exact_risks.clone(),
+            exact_part: exact.exact_risks.clone(),
+            approx_part: vec![0.0; k],
+            lambda,
+            outcome: AdaptiveOutcome::empty(),
+        };
+    }
+    let outcome = estimate_weighted_risks(problem, &AdaptiveConfig::new(eps / lambda, delta), rng);
+    let combined: Vec<f64> = exact
+        .exact_risks
+        .iter()
+        .zip(&outcome.estimates)
+        .map(|(&e, &a)| e + lambda * a)
+        .collect();
+    SaphyraEstimate {
+        combined,
+        exact_part: exact.exact_risks.clone(),
+        approx_part: outcome.estimates.clone(),
+        lambda,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    /// Hypotheses whose losses are `value` with probability `p`, else 0.
+    struct Mock {
+        params: Vec<(f64, f64)>, // (p, value)
+    }
+
+    impl WeightedHrProblem for Mock {
+        fn num_hypotheses(&self) -> usize {
+            self.params.len()
+        }
+        fn sample_losses(&mut self, rng: &mut dyn rand::RngCore, out: &mut Vec<(u32, f64)>) {
+            for (i, &(p, v)) in self.params.iter().enumerate() {
+                if rng.gen::<f64>() < p {
+                    out.push((i as u32, v));
+                }
+            }
+        }
+    }
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn estimates_converge_to_expectations() {
+        let mut p = Mock {
+            params: vec![(0.5, 0.4), (0.1, 1.0), (0.9, 0.05), (0.0, 1.0)],
+        };
+        let out = estimate_weighted_risks(&mut p, &AdaptiveConfig::new(0.02, 0.05), &mut rng(1));
+        let expect = [0.2, 0.1, 0.045, 0.0];
+        for (e, t) in out.estimates.iter().zip(expect) {
+            assert!((e - t).abs() < 0.02, "est {e} expect {t}");
+        }
+    }
+
+    #[test]
+    fn zero_loss_hypotheses_converge_fast() {
+        let mut p = Mock {
+            params: vec![(0.0, 1.0); 5],
+        };
+        let out = estimate_weighted_risks(&mut p, &AdaptiveConfig::new(0.05, 0.05), &mut rng(2));
+        assert!(out.converged_early);
+        assert_eq!(out.samples_used, out.n0);
+    }
+
+    #[test]
+    fn fixed_budget_path() {
+        let mut p = Mock {
+            params: vec![(0.3, 0.5)],
+        };
+        let cfg = AdaptiveConfig::new(0.1, 0.1).with_fixed_budget();
+        let out = estimate_weighted_risks(&mut p, &cfg, &mut rng(3));
+        assert!(!out.converged_early);
+        assert_eq!(out.samples_used, out.nmax);
+        assert!((out.estimates[0] - 0.15).abs() < 0.05);
+    }
+
+    #[test]
+    fn combination_matches_exact_plus_lambda_weighted() {
+        let mut p = Mock {
+            params: vec![(0.4, 0.5), (0.2, 0.25)],
+        };
+        let exact = ExactPart {
+            lambda_hat: 0.25,
+            exact_risks: vec![0.05, 0.01],
+        };
+        let est = saphyra_estimate_weighted(&mut p, &exact, 0.02, 0.05, &mut rng(4));
+        assert!((est.lambda - 0.75).abs() < 1e-12);
+        for i in 0..2 {
+            let expect = exact.exact_risks[i] + est.lambda * est.approx_part[i];
+            assert!((est.combined[i] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn full_exact_coverage_skips_sampling() {
+        let mut p = Mock {
+            params: vec![(0.4, 0.5)],
+        };
+        let exact = ExactPart {
+            lambda_hat: 1.0,
+            exact_risks: vec![0.2],
+        };
+        let est = saphyra_estimate_weighted(&mut p, &exact, 0.02, 0.05, &mut rng(5));
+        assert_eq!(est.outcome.samples_used, 0);
+        assert_eq!(est.combined, vec![0.2]);
+    }
+}

@@ -1,0 +1,284 @@
+//! k-path centrality through the SaPHyRa framework — the paper's second
+//! worked example of the ranking-subset → hypothesis-ranking mapping
+//! (§II-A).
+//!
+//! A sample is a random walk: pick a start node `u` uniformly, a length
+//! `l` uniformly from `1..=k`, and walk `l` uniform-neighbor steps (a walk
+//! from an isolated node is empty). The hypothesis `h_v` fires when `v`
+//! appears among the nodes *after* the start, and the expected risk is the
+//! walk-visit probability — a k-path centrality.
+//!
+//! The partition demonstrates the framework beyond betweenness:
+//!
+//! * **exact subspace** — all samples with `l = 1`, whose mass is exactly
+//!   `λ̂ = 1/k` and whose per-target risk has the closed form
+//!   `ℓ̂_v = (1/(nk)) Σ_{u ∈ N(v)} 1/deg(u)`;
+//! * **approximate subspace** — walks with `l ≥ 2`, sampled directly by
+//!   drawing `l` uniformly from `2..=k`.
+
+use rand::Rng;
+use rand::RngCore;
+use saphyra_graph::{Graph, NodeId};
+
+use crate::framework::{saphyra_estimate, ExactPart, HrProblem, SaphyraEstimate};
+
+const NONE: u32 = u32::MAX;
+
+/// Closed-form exact part: `λ̂ = 1/k`,
+/// `ℓ̂_v = (1/(nk)) Σ_{u ∈ N(v)} 1/deg(u)`.
+pub fn kpath_exact_part(g: &Graph, targets: &[NodeId], k: usize) -> ExactPart {
+    assert!(k >= 1);
+    let n = g.num_nodes() as f64;
+    let exact_risks: Vec<f64> = targets
+        .iter()
+        .map(|&v| {
+            g.neighbors(v)
+                .iter()
+                .map(|&u| 1.0 / g.degree(u) as f64)
+                .sum::<f64>()
+                / (n * k as f64)
+        })
+        .collect();
+    ExactPart {
+        lambda_hat: 1.0 / k as f64,
+        exact_risks,
+    }
+}
+
+/// The approximate-subspace walk sampler (`l ≥ 2`).
+pub struct KPathApproxProblem<'a> {
+    g: &'a Graph,
+    a_index: Vec<u32>,
+    k: usize,
+    num_targets: usize,
+    walk: Vec<NodeId>,
+}
+
+impl<'a> KPathApproxProblem<'a> {
+    /// Builds the sampler for walks of up to `k ≥ 2` hops.
+    pub fn new(g: &'a Graph, targets: &[NodeId], k: usize) -> Self {
+        assert!(k >= 2, "the approximate subspace needs k >= 2");
+        let mut a_index = vec![NONE; g.num_nodes()];
+        for (i, &v) in targets.iter().enumerate() {
+            assert!(a_index[v as usize] == NONE, "duplicate target {v}");
+            a_index[v as usize] = i as u32;
+        }
+        KPathApproxProblem {
+            g,
+            a_index,
+            k,
+            num_targets: targets.len(),
+            walk: Vec::with_capacity(k + 1),
+        }
+    }
+
+    /// Performs one `l ≥ 2` walk into the internal buffer and returns it.
+    pub fn sample_walk<R: Rng + ?Sized>(&mut self, rng: &mut R) -> &[NodeId] {
+        let n = self.g.num_nodes();
+        let l = rng.gen_range(2..=self.k);
+        self.walk.clear();
+        let mut cur = rng.gen_range(0..n as NodeId);
+        self.walk.push(cur);
+        for _ in 0..l {
+            let d = self.g.degree(cur);
+            if d == 0 {
+                break;
+            }
+            cur = self.g.neighbors(cur)[rng.gen_range(0..d)];
+            self.walk.push(cur);
+        }
+        &self.walk
+    }
+}
+
+impl HrProblem for KPathApproxProblem<'_> {
+    fn num_hypotheses(&self) -> usize {
+        self.num_targets
+    }
+
+    fn sample_hits(&mut self, rng: &mut dyn RngCore, hits: &mut Vec<u32>) {
+        self.sample_walk(rng);
+        // 0-1 losses: each visited target counts once per sample.
+        for i in 1..self.walk.len() {
+            let ai = self.a_index[self.walk[i] as usize];
+            if ai != NONE {
+                hits.push(ai);
+            }
+        }
+        hits.sort_unstable();
+        hits.dedup();
+    }
+
+    fn vc_dimension(&self) -> usize {
+        // π_max ≤ min(k, |A|): a walk visits at most k nodes after the
+        // start (Lemma 5).
+        let pi_max = self.k.min(self.num_targets) as u32;
+        crate::bc::vcbound::log2_floor_plus1(pi_max)
+    }
+}
+
+/// k-path centrality estimates for a target subset.
+#[derive(Debug, Clone)]
+pub struct KPathEstimate {
+    /// Targets in caller order.
+    pub targets: Vec<NodeId>,
+    /// Estimated k-path centrality (combined risks).
+    pub kpc: Vec<f64>,
+    /// The underlying framework output.
+    pub inner: SaphyraEstimate,
+}
+
+/// Ranks `targets` by k-path centrality with the SaPHyRa partition.
+pub fn rank_kpath(
+    g: &Graph,
+    targets: &[NodeId],
+    k: usize,
+    eps: f64,
+    delta: f64,
+    rng: &mut dyn RngCore,
+) -> KPathEstimate {
+    assert!(k >= 2, "k-path ranking needs k >= 2");
+    let exact = kpath_exact_part(g, targets, k);
+    let mut prob = KPathApproxProblem::new(g, targets, k);
+    let inner = saphyra_estimate(&mut prob, &exact, eps, delta, rng);
+    KPathEstimate {
+        targets: targets.to_vec(),
+        kpc: inner.combined.clone(),
+        inner,
+    }
+}
+
+/// Direct Monte-Carlo estimator over the *full* walk space (`l ∈ 1..=k`),
+/// the unpartitioned baseline used in tests and the partitioning ablation.
+pub fn kpath_direct_monte_carlo(
+    g: &Graph,
+    targets: &[NodeId],
+    k: usize,
+    samples: usize,
+    rng: &mut dyn RngCore,
+) -> Vec<f64> {
+    assert!(k >= 1);
+    let mut a_index = vec![NONE; g.num_nodes()];
+    for (i, &v) in targets.iter().enumerate() {
+        a_index[v as usize] = i as u32;
+    }
+    let mut hits = vec![0u64; targets.len()];
+    let n = g.num_nodes();
+    let mut seen: Vec<u32> = Vec::new();
+    for _ in 0..samples {
+        let l = rng.gen_range(1..=k);
+        let mut cur = rng.gen_range(0..n as NodeId);
+        seen.clear();
+        for _ in 0..l {
+            let d = g.degree(cur);
+            if d == 0 {
+                break;
+            }
+            cur = g.neighbors(cur)[rng.gen_range(0..d)];
+            let ai = a_index[cur as usize];
+            if ai != NONE {
+                seen.push(ai);
+            }
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        for &ai in &seen {
+            hits[ai as usize] += 1;
+        }
+    }
+    hits.iter().map(|&h| h as f64 / samples as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use saphyra_graph::fixtures;
+
+    #[test]
+    fn exact_part_closed_form_on_star() {
+        // Star center: Σ_{u∈leaves} 1/deg(u) = (n−1)/1; ℓ̂ = (n−1)/(nk).
+        let g = fixtures::star_graph(5);
+        let e = kpath_exact_part(&g, &[0, 1], 4);
+        assert!((e.lambda_hat - 0.25).abs() < 1e-12);
+        assert!((e.exact_risks[0] - 4.0 / (5.0 * 4.0)).abs() < 1e-12);
+        // Leaf 1: only neighbor is the center with degree 4.
+        assert!((e.exact_risks[1] - (1.0 / 4.0) / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partitioned_matches_direct_estimation() {
+        let g = fixtures::grid_graph(6, 5);
+        let targets: Vec<u32> = vec![7, 8, 14, 21, 22];
+        let k = 5;
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = rank_kpath(&g, &targets, k, 0.02, 0.1, &mut rng);
+        let mut rng2 = StdRng::seed_from_u64(4);
+        let direct = kpath_direct_monte_carlo(&g, &targets, k, 400_000, &mut rng2);
+        for (i, (&a, &b)) in est.kpc.iter().zip(&direct).enumerate() {
+            assert!((a - b).abs() < 0.02, "target {i}: partitioned {a} direct {b}");
+        }
+    }
+
+    #[test]
+    fn walks_respect_length_bounds() {
+        let g = fixtures::cycle_graph(10);
+        let mut p = KPathApproxProblem::new(&g, &[0, 5], 6);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let w = p.sample_walk(&mut rng).to_vec();
+            assert!(w.len() >= 3 && w.len() <= 7, "len {}", w.len());
+            for pair in w.windows(2) {
+                assert!(g.has_edge(pair[0], pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn hits_are_deduplicated() {
+        // Path of 2 nodes: walks bounce between them; a node can be visited
+        // many times but must be reported once.
+        let g = fixtures::path_graph(2);
+        let mut p = KPathApproxProblem::new(&g, &[0, 1], 6);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut hits = Vec::new();
+        for _ in 0..200 {
+            hits.clear();
+            p.sample_hits(&mut rng, &mut hits);
+            let mut sorted = hits.clone();
+            sorted.dedup();
+            assert_eq!(sorted.len(), hits.len());
+        }
+    }
+
+    #[test]
+    fn high_degree_nodes_rank_higher() {
+        // Lollipop: clique nodes see far more walk traffic than tail tip.
+        let g = fixtures::lollipop_graph(6, 6);
+        let targets: Vec<u32> = vec![0, 11]; // clique member vs path tip
+        let mut rng = StdRng::seed_from_u64(7);
+        let est = rank_kpath(&g, &targets, 4, 0.05, 0.1, &mut rng);
+        assert!(est.kpc[0] > est.kpc[1]);
+        assert_eq!(est.inner.ranking()[0], 0);
+    }
+
+    #[test]
+    fn vc_dimension_bound() {
+        let g = fixtures::grid_graph(4, 4);
+        let p = KPathApproxProblem::new(&g, &[1, 2, 3], 8);
+        // π_max ≤ min(8, 3) = 3 → VC ≤ ⌊log₂3⌋+1 = 2.
+        assert_eq!(p.vc_dimension(), 2);
+    }
+
+    #[test]
+    fn isolated_nodes_contribute_empty_walks() {
+        let g = fixtures::disconnected_mix();
+        let targets: Vec<u32> = vec![0, 5];
+        let mut rng = StdRng::seed_from_u64(8);
+        let est = rank_kpath(&g, &targets, 3, 0.1, 0.1, &mut rng);
+        // Node 5 is isolated: never visited.
+        assert_eq!(est.kpc[1], 0.0);
+        assert!(est.kpc[0] > 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! The four named simulated networks of the evaluation (Table II
+//! analogues), in three size classes.
+//!
+//! | Paper network | Generator | Regime preserved |
+//! |---|---|---|
+//! | Flickr | BA core + pendant leaves | small diameter, ~50% true zeros |
+//! | LiveJournal | R-MAT (social) | power law, moderate zeros |
+//! | USA-road | perturbed grid | huge diameter, near-uniform tiny bc |
+//! | Orkut | R-MAT (dense) | dense, tiny diameter, no easy zeros |
+//!
+//! `Full` sizes keep every experiment within laptop minutes (including exact
+//! Brandes ground truth); `Small`/`Tiny` shrink the same shapes for
+//! integration tests and Criterion benches.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saphyra_graph::Graph;
+
+use crate::ba::ba_with_pendants;
+use crate::rmat::{rmat, RmatParams};
+use crate::road::{road_grid, RoadNetwork};
+
+/// Size class for the simulated networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeClass {
+    /// Hundreds of nodes — unit/property tests.
+    Tiny,
+    /// Thousands of nodes — integration tests, Criterion benches.
+    Small,
+    /// Tens of thousands of nodes — the figure-regeneration binaries.
+    Full,
+}
+
+/// The four simulated networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimNetwork {
+    /// Flickr analogue (BA + pendants).
+    Flickr,
+    /// LiveJournal analogue (social R-MAT).
+    LiveJournal,
+    /// USA-road analogue (perturbed grid).
+    UsaRoad,
+    /// Orkut analogue (dense R-MAT).
+    Orkut,
+}
+
+impl SimNetwork {
+    /// All four, in the paper's presentation order.
+    pub fn all() -> [SimNetwork; 4] {
+        [
+            SimNetwork::Flickr,
+            SimNetwork::LiveJournal,
+            SimNetwork::UsaRoad,
+            SimNetwork::Orkut,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimNetwork::Flickr => "flickr-sim",
+            SimNetwork::LiveJournal => "livejournal-sim",
+            SimNetwork::UsaRoad => "usa-road-sim",
+            SimNetwork::Orkut => "orkut-sim",
+        }
+    }
+
+    /// Builds the network at the given size class (deterministic per seed).
+    pub fn build(&self, size: SizeClass, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5a9a_c0de);
+        match (self, size) {
+            (SimNetwork::Flickr, SizeClass::Tiny) => ba_with_pendants(300, 4, 300, &mut rng),
+            (SimNetwork::Flickr, SizeClass::Small) => ba_with_pendants(1500, 6, 1500, &mut rng),
+            (SimNetwork::Flickr, SizeClass::Full) => ba_with_pendants(6000, 8, 6000, &mut rng),
+            (SimNetwork::LiveJournal, SizeClass::Tiny) => {
+                rmat(9, 4_000, RmatParams::social(), &mut rng)
+            }
+            (SimNetwork::LiveJournal, SizeClass::Small) => {
+                rmat(12, 30_000, RmatParams::social(), &mut rng)
+            }
+            (SimNetwork::LiveJournal, SizeClass::Full) => {
+                rmat(14, 130_000, RmatParams::social(), &mut rng)
+            }
+            (SimNetwork::UsaRoad, _) => road_sim(size, seed).graph,
+            (SimNetwork::Orkut, SizeClass::Tiny) => {
+                rmat(9, 8_000, RmatParams::dense_social(), &mut rng)
+            }
+            (SimNetwork::Orkut, SizeClass::Small) => {
+                rmat(11, 50_000, RmatParams::dense_social(), &mut rng)
+            }
+            (SimNetwork::Orkut, SizeClass::Full) => {
+                rmat(13, 240_000, RmatParams::dense_social(), &mut rng)
+            }
+        }
+    }
+}
+
+/// Flickr analogue (see [`SimNetwork::Flickr`]).
+pub fn flickr_sim(size: SizeClass, seed: u64) -> Graph {
+    SimNetwork::Flickr.build(size, seed)
+}
+
+/// LiveJournal analogue.
+pub fn lj_sim(size: SizeClass, seed: u64) -> Graph {
+    SimNetwork::LiveJournal.build(size, seed)
+}
+
+/// Orkut analogue.
+pub fn orkut_sim(size: SizeClass, seed: u64) -> Graph {
+    SimNetwork::Orkut.build(size, seed)
+}
+
+/// USA-road analogue, with grid geometry for the Fig. 7 areas.
+pub fn road_sim(size: SizeClass, seed: u64) -> RoadNetwork {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00dd_5eed);
+    match size {
+        SizeClass::Tiny => road_grid(24, 16, 0.08, &mut rng),
+        SizeClass::Small => road_grid(80, 50, 0.08, &mut rng),
+        SizeClass::Full => road_grid(180, 110, 0.08, &mut rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saphyra_graph::connectivity::Components;
+
+    #[test]
+    fn tiny_networks_build_and_are_nontrivial() {
+        for net in SimNetwork::all() {
+            let g = net.build(SizeClass::Tiny, 1);
+            assert!(g.num_nodes() >= 300, "{}: n={}", net.name(), g.num_nodes());
+            assert!(g.num_edges() >= 300, "{}: m={}", net.name(), g.num_edges());
+            let c = Components::compute(&g);
+            let giant = c.sizes[c.largest() as usize] as f64;
+            assert!(
+                giant >= 0.5 * g.num_nodes() as f64,
+                "{}: giant {giant} of {}",
+                net.name(),
+                g.num_nodes()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for net in SimNetwork::all() {
+            let a = net.build(SizeClass::Tiny, 42);
+            let b = net.build(SizeClass::Tiny, 42);
+            assert_eq!(a.num_edges(), b.num_edges(), "{}", net.name());
+            let c = net.build(SizeClass::Tiny, 43);
+            // Different seed should (overwhelmingly) differ.
+            assert!(
+                a.num_edges() != c.num_edges()
+                    || a.edges().collect::<Vec<_>>() != c.edges().collect::<Vec<_>>(),
+                "{}",
+                net.name()
+            );
+        }
+    }
+
+    #[test]
+    fn flickr_sim_has_many_leaves() {
+        let g = flickr_sim(SizeClass::Tiny, 7);
+        let leaves = g.nodes().filter(|&v| g.degree(v) == 1).count();
+        assert!(leaves as f64 > 0.3 * g.num_nodes() as f64);
+    }
+
+    #[test]
+    fn road_sim_exposes_areas() {
+        let r = road_sim(SizeClass::Tiny, 7);
+        let areas = r.case_study_areas();
+        assert_eq!(areas.len(), 4);
+        assert!(areas.iter().all(|a| !a.nodes(&r).is_empty()));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = SimNetwork::all().iter().map(|n| n.name()).collect();
+        assert_eq!(
+            names,
+            vec!["flickr-sim", "livejournal-sim", "usa-road-sim", "orkut-sim"]
+        );
+    }
+}

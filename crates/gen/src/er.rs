@@ -1,0 +1,122 @@
+//! Erdős–Rényi random graphs.
+
+use rand::Rng;
+use saphyra_graph::{Graph, GraphBuilder, NodeId};
+
+/// `G(n, m)`: exactly `m` distinct uniform edges (rejection sampling; `m`
+/// must leave the graph simple).
+pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(n >= 2, "need at least two nodes");
+    let max_edges = n as u64 * (n as u64 - 1) / 2;
+    assert!(
+        (m as u64) <= max_edges,
+        "m={m} exceeds the {max_edges} possible edges"
+    );
+    // Rejection sampling is fine while m is far below max_edges; fall back
+    // to dense enumeration otherwise.
+    if (m as u64) * 3 > max_edges {
+        return gnm_dense(n, m, rng);
+    }
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::new(n).with_edge_capacity(m);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as NodeId);
+        let v = rng.gen_range(0..n as NodeId);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.push(key.0, key.1);
+        }
+    }
+    b.build().expect("valid ER graph")
+}
+
+/// Dense fallback: partial Fisher–Yates over all pairs.
+fn gnm_dense<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            pairs.push((u, v));
+        }
+    }
+    for i in 0..m {
+        let j = rng.gen_range(i..pairs.len());
+        pairs.swap(i, j);
+    }
+    GraphBuilder::new(n)
+        .edges(pairs.into_iter().take(m))
+        .build()
+        .expect("valid dense ER graph")
+}
+
+/// `G(n, p)`: each pair independently with probability `p` (O(n²); use for
+/// small graphs / tests only).
+pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p));
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            if rng.gen::<f64>() < p {
+                b.push(u, v);
+            }
+        }
+    }
+    b.build().expect("valid Gnp graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gnm(100, 300, &mut rng);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 300);
+    }
+
+    #[test]
+    fn gnm_dense_path() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // 10 nodes -> 45 pairs; ask for 40 (dense branch).
+        let g = gnm(10, 40, &mut rng);
+        assert_eq!(g.num_edges(), 40);
+    }
+
+    #[test]
+    fn gnm_complete() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gnm(8, 28, &mut rng);
+        assert_eq!(g.num_edges(), 28);
+        assert_eq!(g.max_degree(), 7);
+    }
+
+    #[test]
+    fn gnp_expected_density() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = gnp(200, 0.1, &mut rng);
+        let expect = 0.1 * (200.0 * 199.0 / 2.0);
+        let got = g.num_edges() as f64;
+        assert!((got - expect).abs() < 0.15 * expect, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g1 = gnm(50, 100, &mut StdRng::seed_from_u64(9));
+        let g2 = gnm(50, 100, &mut StdRng::seed_from_u64(9));
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_rejects_impossible_m() {
+        gnm(4, 7, &mut StdRng::seed_from_u64(0));
+    }
+}

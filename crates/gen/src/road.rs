@@ -1,0 +1,157 @@
+//! Perturbed-grid road networks with geographic sub-areas.
+//!
+//! The USA-road network (DIMACS challenge 9) is a planar-ish, near-constant
+//! degree, enormous-diameter graph in which almost all nodes have tiny but
+//! nonzero betweenness — the hardest ranking regime in the paper (Fig. 4c:
+//! baselines' rank correlation collapses). A grid with random edge
+//! deletions reproduces the regime: deletions create dead-end spurs and
+//! bridges (pendant-tree bicomponents, so `BD(V) ≪ VD(V)`), while the
+//! lattice keeps the diameter `Θ(√n)`.
+//!
+//! The Fig. 7 / Table III case study maps four geographic areas (NYC, BAY,
+//! CO, FL) onto the full network as *target subsets*; [`Area`] models them
+//! as axis-aligned sub-rectangles, sized with the same relative proportions
+//! as the paper's areas (1.1%, 1.3%, 1.8%, 4.5% of all nodes).
+
+use rand::Rng;
+use saphyra_graph::{Graph, GraphBuilder, NodeId};
+
+/// A generated road network: the graph plus its grid geometry.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    /// The road graph; node `(x, y)` has id `y * width + x`.
+    pub graph: Graph,
+    /// Grid width.
+    pub width: usize,
+    /// Grid height.
+    pub height: usize,
+}
+
+/// An axis-aligned rectangle of grid cells acting as a target subset.
+#[derive(Debug, Clone)]
+pub struct Area {
+    /// Human-readable name (paper analogue).
+    pub name: &'static str,
+    /// Inclusive cell bounds `x0..x1`, `y0..y1` (exclusive upper).
+    pub x0: usize,
+    pub y0: usize,
+    pub x1: usize,
+    pub y1: usize,
+}
+
+impl Area {
+    /// Node ids inside the rectangle.
+    pub fn nodes(&self, road: &RoadNetwork) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity((self.x1 - self.x0) * (self.y1 - self.y0));
+        for y in self.y0..self.y1.min(road.height) {
+            for x in self.x0..self.x1.min(road.width) {
+                out.push((y * road.width + x) as NodeId);
+            }
+        }
+        out
+    }
+}
+
+/// Generates a `width × height` grid road network where each lattice edge
+/// survives with probability `1 − p_delete`.
+pub fn road_grid<R: Rng>(width: usize, height: usize, p_delete: f64, rng: &mut R) -> RoadNetwork {
+    assert!(width >= 2 && height >= 2);
+    assert!((0.0..1.0).contains(&p_delete));
+    let n = width * height;
+    let mut b = GraphBuilder::new(n).with_edge_capacity(2 * n);
+    for y in 0..height {
+        for x in 0..width {
+            let v = (y * width + x) as NodeId;
+            if x + 1 < width && rng.gen::<f64>() >= p_delete {
+                b.push(v, v + 1);
+            }
+            if y + 1 < height && rng.gen::<f64>() >= p_delete {
+                b.push(v, v + width as NodeId);
+            }
+        }
+    }
+    RoadNetwork {
+        graph: b.build().expect("valid road grid"),
+        width,
+        height,
+    }
+}
+
+impl RoadNetwork {
+    /// The four case-study areas with the paper's relative sizes
+    /// (NYC < BAY < CO < FL; Table III).
+    pub fn case_study_areas(&self) -> Vec<Area> {
+        // Fractions of total nodes from Table III: 264K/321K/435K/1070K of
+        // 23.9M. Side length of a square covering fraction f is sqrt(f).
+        let mk = |name, frac: f64, cx: f64, cy: f64| {
+            let side_x = ((self.width as f64) * frac.sqrt()).max(2.0) as usize;
+            let side_y = ((self.height as f64) * frac.sqrt()).max(2.0) as usize;
+            let x0 = ((self.width as f64 * cx) as usize).min(self.width - side_x);
+            let y0 = ((self.height as f64 * cy) as usize).min(self.height - side_y);
+            Area {
+                name,
+                x0,
+                y0,
+                x1: x0 + side_x,
+                y1: y0 + side_y,
+            }
+        };
+        vec![
+            mk("NYC", 0.011, 0.85, 0.15),
+            mk("BAY", 0.013, 0.05, 0.35),
+            mk("CO", 0.018, 0.40, 0.45),
+            mk("FL", 0.045, 0.70, 0.75),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use saphyra_graph::connectivity::Components;
+    use saphyra_graph::diameter;
+
+    #[test]
+    fn full_grid_when_no_deletion() {
+        let r = road_grid(10, 8, 0.0, &mut StdRng::seed_from_u64(1));
+        assert_eq!(r.graph.num_nodes(), 80);
+        assert_eq!(r.graph.num_edges(), 9 * 8 + 10 * 7);
+    }
+
+    #[test]
+    fn deletion_reduces_edges_but_keeps_giant_component() {
+        let r = road_grid(40, 30, 0.08, &mut StdRng::seed_from_u64(2));
+        let full = 39 * 30 + 40 * 29;
+        assert!(r.graph.num_edges() < full);
+        let c = Components::compute(&r.graph);
+        let giant = c.sizes[c.largest() as usize] as f64;
+        assert!(giant > 0.9 * 1200.0, "giant={giant}");
+    }
+
+    #[test]
+    fn diameter_scales_like_grid() {
+        let r = road_grid(40, 40, 0.05, &mut StdRng::seed_from_u64(3));
+        let mut ws = saphyra_graph::bfs::BfsWorkspace::new(1600);
+        let lower = diameter::double_sweep_lower(&r.graph, 0, &mut ws);
+        assert!(lower >= 40, "diameter lower bound {lower}");
+    }
+
+    #[test]
+    fn areas_are_disjoint_ish_and_sized() {
+        let r = road_grid(100, 60, 0.05, &mut StdRng::seed_from_u64(4));
+        let areas = r.case_study_areas();
+        assert_eq!(areas.len(), 4);
+        let sizes: Vec<usize> = areas.iter().map(|a| a.nodes(&r).len()).collect();
+        // Monotone increasing NYC < BAY < CO < FL.
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "{sizes:?}");
+        // FL ~ 4.5% of 6000.
+        assert!(sizes[3] >= 150 && sizes[3] <= 500, "{sizes:?}");
+        for a in &areas {
+            for &v in &a.nodes(&r) {
+                assert!((v as usize) < r.graph.num_nodes());
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Watts–Strogatz small-world graphs (ring lattice with rewiring).
+
+use rand::Rng;
+use saphyra_graph::{Graph, GraphBuilder, NodeId};
+
+/// Watts–Strogatz: ring of `n` nodes, each joined to its `k/2` clockwise
+/// neighbors (`k` even), every edge rewired with probability `beta` to a
+/// uniform non-duplicate target.
+pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
+    assert!(k >= 2 && k.is_multiple_of(2) && n > k, "need even k with n > k");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut adj: Vec<std::collections::BTreeSet<NodeId>> =
+        vec![std::collections::BTreeSet::new(); n];
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            adj[u].insert(v as NodeId);
+            adj[v].insert(u as NodeId);
+        }
+    }
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            if rng.gen::<f64>() >= beta {
+                continue;
+            }
+            // Rewire u-v to u-w.
+            if !adj[u].remove(&(v as NodeId)) {
+                continue; // already rewired away from the other side
+            }
+            adj[v].remove(&(u as NodeId));
+            let mut w;
+            loop {
+                w = rng.gen_range(0..n as NodeId);
+                if w as usize != u && !adj[u].contains(&w) {
+                    break;
+                }
+            }
+            adj[u].insert(w);
+            adj[w as usize].insert(u as NodeId);
+        }
+    }
+    let mut b = GraphBuilder::new(n);
+    for (u, set) in adj.iter().enumerate() {
+        for &v in set {
+            if (u as NodeId) < v {
+                b.push(u as NodeId, v);
+            }
+        }
+    }
+    b.build().expect("valid WS graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use saphyra_graph::diameter::exact_diameter;
+
+    #[test]
+    fn beta_zero_is_ring_lattice() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = watts_strogatz(30, 4, 0.0, &mut rng);
+        assert_eq!(g.num_edges(), 30 * 2);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let ring = watts_strogatz(200, 4, 0.0, &mut StdRng::seed_from_u64(2));
+        let small = watts_strogatz(200, 4, 0.3, &mut StdRng::seed_from_u64(2));
+        assert!(exact_diameter(&small) < exact_diameter(&ring));
+    }
+
+    #[test]
+    fn edge_count_preserved_by_rewiring() {
+        let g = watts_strogatz(100, 6, 0.5, &mut StdRng::seed_from_u64(3));
+        assert_eq!(g.num_edges(), 100 * 3);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based invariants of the synthetic network generators.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saphyra_gen::ba::{ba_with_pendants, barabasi_albert};
+use saphyra_gen::er::{gnm, gnp};
+use saphyra_gen::rmat::{rmat, RmatParams};
+use saphyra_gen::road::road_grid;
+use saphyra_gen::ws::watts_strogatz;
+use saphyra_graph::connectivity::Components;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gnm_has_exact_edge_count(n in 4usize..60, frac in 0.0f64..0.9, seed in 0u64..1000) {
+        let max = n * (n - 1) / 2;
+        let m = ((max as f64) * frac) as usize;
+        let g = gnm(n, m, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.num_nodes(), n);
+        prop_assert_eq!(g.num_edges(), m);
+    }
+
+    #[test]
+    fn gnp_is_simple(n in 2usize..40, p in 0.0f64..1.0, seed in 0u64..1000) {
+        let g = gnp(n, p, &mut StdRng::seed_from_u64(seed));
+        // Builder guarantees simplicity; check no self-loops survive.
+        for v in g.nodes() {
+            prop_assert!(!g.has_edge(v, v));
+        }
+        prop_assert!(g.num_edges() <= n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn ba_is_connected_with_min_degree(n in 10usize..120, m in 1usize..5, seed in 0u64..1000) {
+        prop_assume!(n > m + 1);
+        let g = barabasi_albert(n, m, &mut StdRng::seed_from_u64(seed));
+        let c = Components::compute(&g);
+        prop_assert_eq!(c.count(), 1);
+        for v in g.nodes() {
+            prop_assert!(g.degree(v) >= m);
+        }
+    }
+
+    #[test]
+    fn ba_pendants_are_degree_one(core in 10usize..60, leaves in 1usize..40, seed in 0u64..500) {
+        let g = ba_with_pendants(core, 2, leaves, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.num_nodes(), core + leaves);
+        for leaf in core..core + leaves {
+            prop_assert_eq!(g.degree(leaf as u32), 1);
+        }
+    }
+
+    #[test]
+    fn ws_preserves_edge_count(n in 10usize..80, half_k in 1usize..4, beta in 0.0f64..1.0, seed in 0u64..500) {
+        let k = 2 * half_k;
+        prop_assume!(n > k);
+        let g = watts_strogatz(n, k, beta, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.num_edges(), n * half_k);
+    }
+
+    #[test]
+    fn rmat_stays_in_bounds(scale in 4u32..10, m in 10usize..2000, seed in 0u64..500) {
+        let g = rmat(scale, m, RmatParams::social(), &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.num_nodes(), 1usize << scale);
+        prop_assert!(g.num_edges() <= m + m / 4);
+    }
+
+    #[test]
+    fn road_grid_respects_lattice(w in 2usize..25, h in 2usize..25, pd in 0.0f64..0.5, seed in 0u64..500) {
+        let r = road_grid(w, h, pd, &mut StdRng::seed_from_u64(seed));
+        let g = &r.graph;
+        prop_assert_eq!(g.num_nodes(), w * h);
+        // Every surviving edge is a lattice edge.
+        for (u, v, _) in g.edges() {
+            let (ux, uy) = (u as usize % w, u as usize / w);
+            let (vx, vy) = (v as usize % w, v as usize / w);
+            let manhattan = ux.abs_diff(vx) + uy.abs_diff(vy);
+            prop_assert_eq!(manhattan, 1, "non-lattice edge {}-{}", u, v);
+        }
+        prop_assert!(g.num_edges() <= (w - 1) * h + w * (h - 1));
+    }
+
+    #[test]
+    fn areas_lie_within_grid(w in 10usize..40, h in 10usize..40, seed in 0u64..200) {
+        let r = road_grid(w, h, 0.05, &mut StdRng::seed_from_u64(seed));
+        for a in r.case_study_areas() {
+            let nodes = a.nodes(&r);
+            prop_assert!(!nodes.is_empty(), "{} empty", a.name);
+            for &v in &nodes {
+                prop_assert!((v as usize) < w * h);
+            }
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Breadth-first searches with reusable, stamp-cleared workspaces.
+//!
+//! Samplers call BFS millions of times; clearing `O(n)` state per call would
+//! dominate the running time. A [`BfsWorkspace`] therefore tags every write
+//! with a generation stamp and "clears" by bumping the stamp — O(1) per
+//! search (perf-book: reuse workhorse collections).
+//!
+//! All searches accept an *edge filter* on CSR slots. SaPHyRa_bc restricts
+//! traversal to a single biconnected component by filtering on the slot's
+//! bicomp id instead of materializing per-component subgraphs (only
+//! cutpoints carry edges of more than one component, so the filter is nearly
+//! free).
+
+use crate::csr::{Graph, NodeId};
+
+/// Sentinel for "unreached" distances.
+pub const INFINITY: u32 = u32::MAX;
+
+/// Reusable BFS state: distances, shortest-path counts (`σ`), the visit
+/// order, and per-level boundaries.
+#[derive(Debug)]
+pub struct BfsWorkspace {
+    dist: Vec<u32>,
+    sigma: Vec<f64>,
+    stamp: Vec<u32>,
+    generation: u32,
+    /// Visit order of the last search (valid after any `run_*` call).
+    pub order: Vec<NodeId>,
+    /// `level_starts[d]` indexes `order` at the first node of distance `d`;
+    /// terminated by `order.len()`.
+    pub level_starts: Vec<usize>,
+}
+
+impl BfsWorkspace {
+    /// Allocates a workspace for graphs of up to `n` nodes.
+    pub fn new(n: usize) -> Self {
+        BfsWorkspace {
+            dist: vec![0; n],
+            sigma: vec![0.0; n],
+            stamp: vec![0; n],
+            generation: 0,
+            order: Vec::new(),
+            level_starts: Vec::new(),
+        }
+    }
+
+    /// Begins a fresh search; invalidates all previous distances in O(1).
+    fn reset(&mut self) {
+        self.generation = self.generation.checked_add(1).unwrap_or_else(|| {
+            // Stamp space exhausted after 2^32 searches: hard-clear once.
+            self.stamp.fill(0);
+            1
+        });
+        self.order.clear();
+        self.level_starts.clear();
+    }
+
+    /// Whether `v` was reached by the last search.
+    #[inline]
+    pub fn visited(&self, v: NodeId) -> bool {
+        self.stamp[v as usize] == self.generation
+    }
+
+    /// Distance of `v` from the last source, or [`INFINITY`] if unreached.
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> u32 {
+        if self.visited(v) {
+            self.dist[v as usize]
+        } else {
+            INFINITY
+        }
+    }
+
+    /// Number of shortest paths from the last source to `v` (0.0 if
+    /// unreached). Counts are `f64`: they overflow `u64` on large graphs and
+    /// are only ever used in ratios.
+    #[inline]
+    pub fn sigma(&self, v: NodeId) -> f64 {
+        if self.visited(v) {
+            self.sigma[v as usize]
+        } else {
+            0.0
+        }
+    }
+
+    #[inline]
+    fn settle(&mut self, v: NodeId, d: u32, s: f64) {
+        self.stamp[v as usize] = self.generation;
+        self.dist[v as usize] = d;
+        self.sigma[v as usize] = s;
+        self.order.push(v);
+    }
+
+    /// Full BFS from `source` computing distances, σ-counts, the visit order
+    /// and level boundaries. `keep_edge` filters CSR slots; pass `|_| true`
+    /// for the whole graph. If `stop_at` is given, the search still finishes
+    /// the level on which the target is found (so σ at that level is final)
+    /// and then stops.
+    pub fn run_counting<F>(
+        &mut self,
+        g: &Graph,
+        source: NodeId,
+        stop_at: Option<NodeId>,
+        mut keep_edge: F,
+    ) where
+        F: FnMut(usize) -> bool,
+    {
+        self.reset();
+        self.settle(source, 0, 1.0);
+        self.level_starts.push(0);
+        let mut level_begin = 0usize;
+        let mut d = 0u32;
+        loop {
+            let level_end = self.order.len();
+            if level_begin == level_end {
+                break;
+            }
+            self.level_starts.push(level_end);
+            let mut found_target = false;
+            for i in level_begin..level_end {
+                let v = self.order[i];
+                let sv = self.sigma[v as usize];
+                for slot in g.slot_range(v) {
+                    if !keep_edge(slot) {
+                        continue;
+                    }
+                    let w = g.neighbor_at(slot);
+                    if !self.visited(w) {
+                        self.settle(w, d + 1, sv);
+                        if stop_at == Some(w) {
+                            found_target = true;
+                        }
+                    } else if self.dist[w as usize] == d + 1 {
+                        self.sigma[w as usize] += sv;
+                    }
+                }
+            }
+            level_begin = level_end;
+            d += 1;
+            if found_target {
+                break;
+            }
+        }
+        // `level_starts` ends with one redundant boundary equal to
+        // `order.len()` exactly when the last level was empty; normalize so
+        // the terminator is always present exactly once.
+        while self
+            .level_starts
+            .last()
+            .is_some_and(|&b| b == self.order.len())
+        {
+            self.level_starts.pop();
+        }
+        self.level_starts.push(self.order.len());
+    }
+
+    /// Plain distance BFS (no σ), whole graph.
+    pub fn run(&mut self, g: &Graph, source: NodeId) {
+        self.run_counting(g, source, None, |_| true);
+    }
+
+    /// Eccentricity of the source after a completed search: the maximum
+    /// distance among reached nodes.
+    pub fn eccentricity(&self) -> u32 {
+        self.order
+            .last()
+            .map(|&v| self.dist[v as usize])
+            .unwrap_or(0)
+    }
+
+    /// The farthest reached node (ties broken by visit order).
+    pub fn farthest(&self) -> Option<NodeId> {
+        self.order.last().copied()
+    }
+
+    /// Number of nodes reached by the last search.
+    pub fn reached(&self) -> usize {
+        self.order.len()
+    }
+}
+
+/// Samples one uniform shortest path from the source of the last
+/// [`BfsWorkspace::run_counting`] call to `t`, walking backwards through the
+/// shortest-path DAG and choosing each predecessor `u` with probability
+/// `σ(u) / σ(v)`.
+///
+/// Returns the node sequence source..=t. Panics if `t` was not reached.
+pub fn sample_path_to<R, F>(
+    ws: &BfsWorkspace,
+    g: &Graph,
+    t: NodeId,
+    rng: &mut R,
+    mut keep_edge: F,
+) -> Vec<NodeId>
+where
+    R: rand::Rng + ?Sized,
+    F: FnMut(usize) -> bool,
+{
+    assert!(ws.visited(t), "target not reached by the last BFS");
+    let len = ws.dist(t) as usize;
+    let mut path = vec![0 as NodeId; len + 1];
+    path[len] = t;
+    let mut v = t;
+    for d in (0..len).rev() {
+        // Choose predecessor ∝ σ(u) among filtered neighbors at distance d.
+        let u = rand_weighted_pred(ws, g, v, d as u32, rng, &mut keep_edge);
+        assert!(u != INFINITY, "BFS DAG missing predecessor");
+        path[d] = u;
+        v = u;
+    }
+    path
+}
+
+#[inline]
+fn rand_weighted_pred<R, F>(
+    ws: &BfsWorkspace,
+    g: &Graph,
+    v: NodeId,
+    d: u32,
+    rng: &mut R,
+    keep_edge: &mut F,
+) -> u32
+where
+    R: rand::Rng + ?Sized,
+    F: FnMut(usize) -> bool,
+{
+    let sv = ws.sigma(v);
+    let mut x = rng.gen::<f64>() * sv;
+    let mut last = INFINITY;
+    for slot in g.slot_range(v) {
+        if !keep_edge(slot) {
+            continue;
+        }
+        let u = g.neighbor_at(slot);
+        if ws.visited(u) && ws.dist(u) == d {
+            last = u;
+            x -= ws.sigma(u);
+            if x <= 0.0 {
+                return u;
+            }
+        }
+    }
+    // Floating-point slack: fall back to the last valid predecessor.
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::fixtures;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distances_on_path_graph() {
+        let g = fixtures::path_graph(5);
+        let mut ws = BfsWorkspace::new(5);
+        ws.run(&g, 0);
+        for v in 0..5u32 {
+            assert_eq!(ws.dist(v), v);
+        }
+        assert_eq!(ws.eccentricity(), 4);
+        assert_eq!(ws.farthest(), Some(4));
+        assert_eq!(ws.reached(), 5);
+    }
+
+    #[test]
+    fn sigma_counts_on_square() {
+        // 4-cycle: two shortest paths between opposite corners.
+        let g = fixtures::cycle_graph(4);
+        let mut ws = BfsWorkspace::new(4);
+        ws.run_counting(&g, 0, None, |_| true);
+        assert_eq!(ws.sigma(0), 1.0);
+        assert_eq!(ws.sigma(1), 1.0);
+        assert_eq!(ws.sigma(3), 1.0);
+        assert_eq!(ws.sigma(2), 2.0);
+    }
+
+    #[test]
+    fn level_starts_partition_order() {
+        let g = fixtures::grid_graph(4, 3);
+        let mut ws = BfsWorkspace::new(12);
+        ws.run(&g, 0);
+        let ls = &ws.level_starts;
+        assert_eq!(*ls.first().unwrap(), 0);
+        assert_eq!(*ls.last().unwrap(), ws.order.len());
+        for w in ls.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // All nodes in level slice d are at distance d.
+        for d in 0..ls.len() - 1 {
+            for &v in &ws.order[ls[d]..ls[d + 1]] {
+                assert_eq!(ws.dist(v), d as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn stamped_reset_invalidates_previous_run() {
+        let g = fixtures::path_graph(4);
+        let mut ws = BfsWorkspace::new(4);
+        ws.run(&g, 0);
+        assert!(ws.visited(3));
+        ws.run_counting(&g, 3, Some(2), |_| true);
+        assert_eq!(ws.dist(3), 0);
+        assert_eq!(ws.dist(2), 1);
+        // 0 untouched in this truncated search.
+        assert!(!ws.visited(0));
+        assert_eq!(ws.dist(0), INFINITY);
+        assert_eq!(ws.sigma(0), 0.0);
+    }
+
+    #[test]
+    fn early_stop_finishes_target_level() {
+        // Diamond: 0-1, 0-2, 1-3, 2-3; stop at 3 must still see sigma(3)=2.
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build()
+            .unwrap();
+        let mut ws = BfsWorkspace::new(4);
+        ws.run_counting(&g, 0, Some(3), |_| true);
+        assert_eq!(ws.sigma(3), 2.0);
+    }
+
+    #[test]
+    fn edge_filter_restricts_search() {
+        // Two triangles sharing node 2; filter keeps only first triangle's
+        // edges (ids 0,1,2 by lexicographic edge order).
+        let g = GraphBuilder::new(5)
+            .edges([(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)])
+            .build()
+            .unwrap();
+        let mut ws = BfsWorkspace::new(5);
+        ws.run_counting(&g, 0, None, |slot| g.edge_id_at(slot) <= 2);
+        assert!(ws.visited(2));
+        assert!(!ws.visited(3));
+        assert!(!ws.visited(4));
+    }
+
+    #[test]
+    fn sampled_paths_are_valid_shortest_paths() {
+        let g = fixtures::grid_graph(5, 5);
+        let mut ws = BfsWorkspace::new(25);
+        ws.run_counting(&g, 0, None, |_| true);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let p = sample_path_to(&ws, &g, 24, &mut rng, |_| true);
+            assert_eq!(p.len() as u32 - 1, ws.dist(24));
+            assert_eq!(p[0], 0);
+            assert_eq!(*p.last().unwrap(), 24);
+            for w in p.windows(2) {
+                assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_paths_uniform_on_square() {
+        // 4-cycle, two paths 0-1-2 and 0-3-2; each should appear ~half.
+        let g = fixtures::cycle_graph(4);
+        let mut ws = BfsWorkspace::new(4);
+        ws.run_counting(&g, 0, None, |_| true);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut via1 = 0usize;
+        let trials = 4000;
+        for _ in 0..trials {
+            let p = sample_path_to(&ws, &g, 2, &mut rng, |_| true);
+            if p[1] == 1 {
+                via1 += 1;
+            }
+        }
+        let frac = via1 as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.05, "frac={frac}");
+    }
+}

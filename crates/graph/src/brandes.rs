@@ -1,0 +1,224 @@
+//! Exact betweenness centrality (Brandes' algorithm).
+//!
+//! The paper's ground truth (§V-A) is exact BC computed with a parallel
+//! Brandes implementation. `bc(v)` follows Eq. 3: the fraction over *ordered*
+//! pairs `s ≠ t` (normalized by `n(n−1)`) of shortest paths with `v` strictly
+//! interior. Running the single-source phase from every source enumerates
+//! ordered pairs directly.
+
+use crate::bfs::BfsWorkspace;
+use crate::csr::{Graph, NodeId};
+
+/// Exact normalized betweenness centrality, serial.
+pub fn betweenness_exact(g: &Graph) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut bc = vec![0.0f64; n];
+    let mut ws = BfsWorkspace::new(n);
+    let mut delta = vec![0.0f64; n];
+    for s in g.nodes() {
+        accumulate_source(g, s, &mut ws, &mut delta, &mut bc);
+    }
+    normalize(&mut bc, n);
+    bc
+}
+
+/// Exact normalized betweenness centrality using `threads` worker threads
+/// (sources are partitioned; each worker owns its accumulator).
+pub fn betweenness_exact_parallel(g: &Graph, threads: usize) -> Vec<f64> {
+    let n = g.num_nodes();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n < 2 {
+        return betweenness_exact(g);
+    }
+    let mut partials: Vec<Vec<f64>> = Vec::with_capacity(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            handles.push(scope.spawn(move |_| {
+                let mut bc = vec![0.0f64; n];
+                let mut ws = BfsWorkspace::new(n);
+                let mut delta = vec![0.0f64; n];
+                let mut s = t as NodeId;
+                while (s as usize) < n {
+                    accumulate_source(g, s, &mut ws, &mut delta, &mut bc);
+                    s += threads as NodeId;
+                }
+                bc
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("brandes worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let mut bc = vec![0.0f64; n];
+    for p in partials {
+        for (acc, x) in bc.iter_mut().zip(p) {
+            *acc += x;
+        }
+    }
+    normalize(&mut bc, n);
+    bc
+}
+
+/// One single-source dependency accumulation (Brandes 2001).
+fn accumulate_source(
+    g: &Graph,
+    s: NodeId,
+    ws: &mut BfsWorkspace,
+    delta: &mut [f64],
+    bc: &mut [f64],
+) {
+    ws.run_counting(g, s, None, |_| true);
+    // Reverse visit order; `delta` is zeroed for visited nodes afterwards so
+    // the buffer can be reused without an O(n) clear.
+    for i in (0..ws.order.len()).rev() {
+        let v = ws.order[i];
+        let coeff = (1.0 + delta[v as usize]) / ws.sigma(v);
+        let dv = ws.dist(v);
+        if dv > 0 {
+            for slot in g.slot_range(v) {
+                let w = g.neighbor_at(slot);
+                if ws.visited(w) && ws.dist(w) + 1 == dv {
+                    delta[w as usize] += ws.sigma(w) * coeff;
+                }
+            }
+            bc[v as usize] += delta[v as usize];
+        }
+    }
+    for &v in &ws.order {
+        delta[v as usize] = 0.0;
+    }
+}
+
+fn normalize(bc: &mut [f64], n: usize) {
+    if n >= 2 {
+        let scale = 1.0 / (n as f64 * (n as f64 - 1.0));
+        for x in bc.iter_mut() {
+            *x *= scale;
+        }
+    }
+}
+
+/// Brute-force normalized BC by explicit all-pairs path enumeration —
+/// O(n² · paths), used only to validate `betweenness_exact` on tiny graphs.
+pub fn betweenness_bruteforce(g: &Graph) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut bc = vec![0.0f64; n];
+    let mut ws = BfsWorkspace::new(n);
+    let mut ws_back = BfsWorkspace::new(n);
+    for s in g.nodes() {
+        ws.run_counting(g, s, None, |_| true);
+        for t in g.nodes() {
+            if t == s || !ws.visited(t) {
+                continue;
+            }
+            // σ_st(v) = σ_s(v) · σ_t(v) for v with d_s(v) + d_t(v) = d_s(t).
+            ws_back.run_counting(g, t, None, |_| true);
+            let d = ws.dist(t);
+            let sigma_st = ws.sigma(t);
+            for v in g.nodes() {
+                if v != s
+                    && v != t
+                    && ws.visited(v)
+                    && ws_back.visited(v)
+                    && ws.dist(v) + ws_back.dist(v) == d
+                {
+                    bc[v as usize] += ws.sigma(v) * ws_back.sigma(v) / sigma_st;
+                }
+            }
+        }
+    }
+    normalize(&mut bc, n);
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < 1e-12, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn path_graph_closed_form() {
+        // Path 0-1-2-3-4: bc(v) for inner v at position i is
+        // 2·i·(n-1-i)/(n(n-1)) with n=5.
+        let g = fixtures::path_graph(5);
+        let bc = betweenness_exact(&g);
+        let norm = 1.0 / 20.0;
+        assert_close(
+            &bc,
+            &[
+                0.0,
+                2.0 * 3.0 * norm,
+                2.0 * 4.0 * norm,
+                2.0 * 3.0 * norm,
+                0.0,
+            ],
+        );
+    }
+
+    #[test]
+    fn star_center_is_maximal() {
+        let g = fixtures::star_graph(6);
+        let bc = betweenness_exact(&g);
+        // Center lies on all 5·4 = 20 leaf pairs; n(n-1) = 30.
+        assert!((bc[0] - 20.0 / 30.0).abs() < 1e-12);
+        assert!(bc[1..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn cycle_symmetry() {
+        let g = fixtures::cycle_graph(7);
+        let bc = betweenness_exact(&g);
+        for w in bc.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-12);
+        }
+        assert!(bc[0] > 0.0);
+    }
+
+    #[test]
+    fn complete_graph_all_zero() {
+        let g = fixtures::complete_graph(6);
+        let bc = betweenness_exact(&g);
+        assert!(bc.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn matches_bruteforce_on_fixtures() {
+        for g in [
+            fixtures::paper_fig2(),
+            fixtures::grid_graph(4, 3),
+            fixtures::lollipop_graph(4, 3),
+            fixtures::two_triangles_bridge(),
+            fixtures::disconnected_mix(),
+            fixtures::binary_tree(3),
+        ] {
+            assert_close(&betweenness_exact(&g), &betweenness_bruteforce(&g));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let g = fixtures::grid_graph(8, 7);
+        let serial = betweenness_exact(&g);
+        for threads in [2, 3, 8] {
+            assert_close(&serial, &betweenness_exact_parallel(&g, threads));
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_normalization_is_global() {
+        let g = fixtures::disconnected_mix();
+        let bc = betweenness_exact(&g);
+        // All nodes of the triangle and the edge have zero betweenness.
+        assert!(bc.iter().all(|&x| x == 0.0));
+    }
+}

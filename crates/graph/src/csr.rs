@@ -1,0 +1,210 @@
+//! Compressed-sparse-row storage for undirected, unweighted simple graphs.
+//!
+//! Node ids are `u32` (the paper's largest network has 10⁸ nodes, well within
+//! range) which halves memory traffic relative to `usize` on 64-bit targets.
+//! Each undirected edge `{u, v}` occupies two CSR slots, `(u → v)` and
+//! `(v → u)`; both slots carry the same *undirected edge id* so that
+//! edge-partitioning algorithms (biconnected components, §IV-A) can label
+//! edges once and look the label up from either direction in O(1).
+
+/// Node identifier. Always `< Graph::num_nodes()`.
+pub type NodeId = u32;
+
+/// An immutable undirected simple graph in CSR form.
+///
+/// Construct via [`crate::GraphBuilder`] (deduplicates, drops self-loops) or
+/// [`crate::io::read_edge_list`]. Adjacency lists are sorted ascending, so
+/// [`Graph::has_edge`] is a binary search.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v + 1]` indexes `neighbors`/`edge_ids` for `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency lists; length `2m`.
+    neighbors: Vec<NodeId>,
+    /// Undirected edge id per slot; both directions of an edge share an id.
+    edge_ids: Vec<u32>,
+    /// Number of undirected edges `m`.
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Builds a graph from already-validated CSR arrays.
+    ///
+    /// Callers must guarantee CSR well-formedness (monotone offsets, sorted
+    /// per-node neighbor slices, twin slots sharing edge ids). Only the
+    /// builder and loaders in this crate construct graphs.
+    pub(crate) fn from_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<NodeId>,
+        edge_ids: Vec<u32>,
+        num_edges: usize,
+    ) -> Self {
+        debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        debug_assert_eq!(neighbors.len(), edge_ids.len());
+        debug_assert_eq!(neighbors.len(), 2 * num_edges);
+        Graph {
+            offsets,
+            neighbors,
+            edge_ids,
+            num_edges,
+        }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Sorted neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// The CSR slot range of `v`; slot `i` pairs `self.neighbor_at(i)` with
+    /// `self.edge_id_at(i)`.
+    #[inline]
+    pub fn slot_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.offsets[v as usize]..self.offsets[v as usize + 1]
+    }
+
+    /// Neighbor stored in CSR slot `slot`.
+    #[inline]
+    pub fn neighbor_at(&self, slot: usize) -> NodeId {
+        self.neighbors[slot]
+    }
+
+    /// Undirected edge id stored in CSR slot `slot`.
+    #[inline]
+    pub fn edge_id_at(&self, slot: usize) -> u32 {
+        self.edge_ids[slot]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists (binary search).
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// The undirected edge id of `{u, v}`, if the edge exists.
+    pub fn edge_id(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        let base = self.offsets[u as usize];
+        self.neighbors(u)
+            .binary_search(&v)
+            .ok()
+            .map(|i| self.edge_ids[base + i])
+    }
+
+    /// Iterates all node ids `0..n`.
+    #[inline]
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// Iterates every undirected edge exactly once as `(u, v, edge_id)` with
+    /// `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, u32)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.slot_range(u).filter_map(move |s| {
+                let v = self.neighbor_at(s);
+                (u < v).then(|| (u, v, self.edge_id_at(s)))
+            })
+        })
+    }
+
+    /// Maximum degree over all nodes (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Sum of `deg(v)²` over `v ∈ nodes`, the `K` of Lemma 18 driving the
+    /// `Exact_bc` complexity.
+    pub fn sum_degree_squared<I: IntoIterator<Item = NodeId>>(&self, nodes: I) -> u64 {
+        nodes
+            .into_iter()
+            .map(|v| (self.degree(v) as u64).pow(2))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn basic_accessors() {
+        // Triangle plus a pendant: 0-1, 1-2, 2-0, 2-3.
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+            .build()
+            .unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn edge_ids_shared_between_twin_slots() {
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+            .build()
+            .unwrap();
+        for (u, v, id) in g.edges() {
+            assert_eq!(g.edge_id(u, v), Some(id));
+            assert_eq!(g.edge_id(v, u), Some(id));
+        }
+        assert_eq!(g.edge_id(0, 3), None);
+        // Ids form 0..m.
+        let mut ids: Vec<u32> = g.edges().map(|(_, _, id)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = GraphBuilder::new(5)
+            .edges([(0, 1), (3, 4), (1, 2), (0, 2)])
+            .build()
+            .unwrap();
+        let es: Vec<(u32, u32)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn sum_degree_squared_matches_manual() {
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+            .build()
+            .unwrap();
+        // degrees: 2, 2, 3, 1
+        assert_eq!(g.sum_degree_squared(g.nodes()), 4 + 4 + 9 + 1);
+        assert_eq!(g.sum_degree_squared([2u32]), 9);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Eccentricity and diameter estimation.
+//!
+//! The VC-dimension bounds of Table I need (upper bounds on) the graph
+//! diameter `VD(V)`, the maximum bicomponent diameter `BD(V)` and subset
+//! diameters `VD(A ∩ Cᵢ)`. Exact diameters are intractable at scale, so the
+//! paper (§IV-C) bounds a set's diameter by twice the maximum BFS distance
+//! from an arbitrary member: `∀s ∈ A′, VD(A′) ≤ 2·max_{t∈A′} d(s,t)`. We
+//! implement that upper bound, the classical double-sweep *lower* bound, and
+//! exact all-pairs BFS for tests and small graphs.
+
+use crate::bfs::BfsWorkspace;
+use crate::csr::{Graph, NodeId};
+
+/// Exact diameter by all-pairs BFS — O(nm), tests/small graphs only.
+/// Returns the maximum eccentricity over all nodes (0 for edgeless graphs);
+/// infinite distances across components are ignored.
+pub fn exact_diameter(g: &Graph) -> u32 {
+    let mut ws = BfsWorkspace::new(g.num_nodes());
+    let mut best = 0;
+    for v in g.nodes() {
+        ws.run(g, v);
+        best = best.max(ws.eccentricity());
+    }
+    best
+}
+
+/// Double-sweep diameter *lower* bound: BFS from `seed`, then BFS again from
+/// the farthest node found; the second eccentricity lower-bounds the
+/// diameter (exact on trees).
+pub fn double_sweep_lower(g: &Graph, seed: NodeId, ws: &mut BfsWorkspace) -> u32 {
+    ws.run(g, seed);
+    let far = match ws.farthest() {
+        Some(f) => f,
+        None => return 0,
+    };
+    ws.run(g, far);
+    ws.eccentricity()
+}
+
+/// Diameter *upper* bound for the component of `seed`: `2 · ecc(seed)`
+/// (triangle inequality through the seed). This is the paper's §IV-C bound
+/// with `A′` = the whole component.
+pub fn diameter_upper(g: &Graph, seed: NodeId, ws: &mut BfsWorkspace) -> u32 {
+    ws.run(g, seed);
+    2 * ws.eccentricity()
+}
+
+/// Upper bound on the diameter of the node subset `subset` (paper §IV-C):
+/// runs one BFS from `subset[0]` and returns `2 · max_{t ∈ subset} d(s, t)`.
+/// Pairs of `subset` in different components are ignored (no shortest path
+/// exists between them, so they never co-occur on a sample).
+pub fn subset_diameter_upper(g: &Graph, subset: &[NodeId], ws: &mut BfsWorkspace) -> u32 {
+    let Some(&s) = subset.first() else { return 0 };
+    ws.run(g, s);
+    let maxd = subset
+        .iter()
+        .map(|&t| ws.dist(t))
+        .filter(|&d| d != crate::bfs::INFINITY)
+        .max()
+        .unwrap_or(0);
+    2 * maxd
+}
+
+/// Exact diameter of the node subset (max pairwise distance within
+/// components) — O(|subset| · m), tests/small graphs only.
+pub fn exact_subset_diameter(g: &Graph, subset: &[NodeId]) -> u32 {
+    let mut ws = BfsWorkspace::new(g.num_nodes());
+    let mut best = 0;
+    for &s in subset {
+        ws.run(g, s);
+        for &t in subset {
+            let d = ws.dist(t);
+            if d != crate::bfs::INFINITY {
+                best = best.max(d);
+            }
+        }
+    }
+    best
+}
+
+/// Eccentricity of `seed` restricted to edges accepted by `keep_edge`
+/// (used for per-bicomponent diameters in the `BD(V)` bound).
+pub fn eccentricity_filtered<F>(g: &Graph, seed: NodeId, ws: &mut BfsWorkspace, keep_edge: F) -> u32
+where
+    F: FnMut(usize) -> bool,
+{
+    ws.run_counting(g, seed, None, keep_edge);
+    ws.eccentricity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn exact_diameter_known_graphs() {
+        assert_eq!(exact_diameter(&fixtures::path_graph(7)), 6);
+        assert_eq!(exact_diameter(&fixtures::cycle_graph(8)), 4);
+        assert_eq!(exact_diameter(&fixtures::complete_graph(5)), 1);
+        assert_eq!(exact_diameter(&fixtures::grid_graph(4, 3)), 3 + 2);
+        assert_eq!(exact_diameter(&fixtures::star_graph(9)), 2);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_trees() {
+        let g = fixtures::binary_tree(4);
+        let mut ws = BfsWorkspace::new(g.num_nodes());
+        let lower = double_sweep_lower(&g, 0, &mut ws);
+        assert_eq!(lower, exact_diameter(&g));
+    }
+
+    #[test]
+    fn bounds_sandwich_exact() {
+        for g in [
+            fixtures::grid_graph(6, 4),
+            fixtures::lollipop_graph(5, 6),
+            fixtures::cycle_graph(9),
+            fixtures::paper_fig2(),
+        ] {
+            let exact = exact_diameter(&g);
+            let mut ws = BfsWorkspace::new(g.num_nodes());
+            let lower = double_sweep_lower(&g, 0, &mut ws);
+            let upper = diameter_upper(&g, 0, &mut ws);
+            assert!(lower <= exact, "lower {lower} > exact {exact}");
+            assert!(upper >= exact, "upper {upper} < exact {exact}");
+        }
+    }
+
+    #[test]
+    fn subset_diameter_bounds() {
+        let g = fixtures::path_graph(10);
+        let subset = [1u32, 4, 8];
+        let exact = exact_subset_diameter(&g, &subset);
+        assert_eq!(exact, 7);
+        let mut ws = BfsWorkspace::new(10);
+        let upper = subset_diameter_upper(&g, &subset, &mut ws);
+        assert!(upper >= exact);
+        assert_eq!(subset_diameter_upper(&g, &[], &mut ws), 0);
+    }
+
+    #[test]
+    fn subset_diameter_ignores_cross_component_pairs() {
+        let g = fixtures::disconnected_mix();
+        // 0,1 in triangle; 3 in the edge component.
+        assert_eq!(exact_subset_diameter(&g, &[0, 1, 3]), 1);
+        let mut ws = BfsWorkspace::new(6);
+        let ub = subset_diameter_upper(&g, &[0, 1, 3], &mut ws);
+        assert!(ub >= 1);
+    }
+
+    #[test]
+    fn filtered_eccentricity_stays_in_component_edges() {
+        use crate::fixtures::fig2::*;
+        let g = fixtures::paper_fig2();
+        let bic = crate::bicomp::Bicomps::compute(&g);
+        // Eccentricity of C within its triangle {c,g,h} is 1.
+        let b = bic.bicomp_of_edge(g.edge_id(C, G).unwrap());
+        let mut ws = BfsWorkspace::new(g.num_nodes());
+        let ecc =
+            eccentricity_filtered(&g, C, &mut ws, |slot| bic.edge_bicomp[g.edge_id_at(slot) as usize] == b);
+        assert_eq!(ecc, 1);
+    }
+}

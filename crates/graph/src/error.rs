@@ -1,0 +1,87 @@
+//! Error type shared by graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced while building or loading graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge endpoint was `>= n` for a graph declared with `n` nodes.
+    EndpointOutOfRange {
+        /// The offending endpoint.
+        node: u64,
+        /// The declared node count.
+        n: u64,
+    },
+    /// The declared node count exceeds the `u32` id space.
+    TooManyNodes(u64),
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EndpointOutOfRange { node, n } => {
+                write!(f, "edge endpoint {node} out of range for {n} nodes")
+            }
+            GraphError::TooManyNodes(n) => {
+                write!(f, "{n} nodes exceed the u32 node-id space")
+            }
+            GraphError::Parse { line, content } => {
+                write!(f, "cannot parse edge-list line {line}: {content:?}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = GraphError::EndpointOutOfRange { node: 9, n: 4 };
+        assert!(e.to_string().contains("out of range"));
+        let e = GraphError::TooManyNodes(1 << 40);
+        assert!(e.to_string().contains("u32"));
+        let e = GraphError::Parse {
+            line: 3,
+            content: "x y".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = GraphError::Io(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e = GraphError::Io(std::io::Error::other("x"));
+        assert!(e.source().is_some());
+        let e = GraphError::TooManyNodes(0);
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,194 @@
+//! Small named graphs used by tests, examples and benches across the
+//! workspace, including the paper's Fig. 2 example.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+
+/// Path `0 - 1 - ... - n-1`.
+pub fn path_graph(n: usize) -> Graph {
+    GraphBuilder::new(n)
+        .edges((1..n as NodeId).map(|v| (v - 1, v)))
+        .build()
+        .expect("valid path graph")
+}
+
+/// Cycle on `n ≥ 3` nodes.
+pub fn cycle_graph(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    GraphBuilder::new(n)
+        .edges((0..n as NodeId).map(|v| (v, (v + 1) % n as NodeId)))
+        .build()
+        .expect("valid cycle graph")
+}
+
+/// Star: hub 0 connected to `n - 1` leaves.
+pub fn star_graph(n: usize) -> Graph {
+    assert!(n >= 2, "star needs at least 2 nodes");
+    GraphBuilder::new(n)
+        .edges((1..n as NodeId).map(|v| (0, v)))
+        .build()
+        .expect("valid star graph")
+}
+
+/// Complete graph `K_n`.
+pub fn complete_graph(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            b.push(u, v);
+        }
+    }
+    b.build().expect("valid complete graph")
+}
+
+/// `w × h` grid; node `(x, y)` has id `y * w + x`.
+pub fn grid_graph(w: usize, h: usize) -> Graph {
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = (y * w + x) as NodeId;
+            if x + 1 < w {
+                b.push(v, v + 1);
+            }
+            if y + 1 < h {
+                b.push(v, v + w as NodeId);
+            }
+        }
+    }
+    b.build().expect("valid grid graph")
+}
+
+/// Lollipop: clique `K_k` on `0..k` with a path of `l` extra nodes attached
+/// to node `k - 1`.
+pub fn lollipop_graph(k: usize, l: usize) -> Graph {
+    assert!(k >= 2);
+    let n = k + l;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..k as NodeId {
+        for v in (u + 1)..k as NodeId {
+            b.push(u, v);
+        }
+    }
+    for i in 0..l {
+        let u = (k + i) as NodeId;
+        b.push(if i == 0 { k as NodeId - 1 } else { u - 1 }, u);
+    }
+    b.build().expect("valid lollipop graph")
+}
+
+/// Complete binary tree with `depth` levels below the root
+/// (so `2^(depth+1) - 1` nodes).
+pub fn binary_tree(depth: usize) -> Graph {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as NodeId {
+        b.push((v - 1) / 2, v);
+    }
+    b.build().expect("valid binary tree")
+}
+
+/// Node ids of the paper's Fig. 2 graph, `a = 0` through `k = 10`.
+pub mod fig2 {
+    /// Letter-named node constants for readable tests.
+    pub const A: u32 = 0;
+    pub const B: u32 = 1;
+    pub const C: u32 = 2;
+    pub const D: u32 = 3;
+    pub const E: u32 = 4;
+    pub const F: u32 = 5;
+    pub const G: u32 = 6;
+    pub const H: u32 = 7;
+    pub const I: u32 = 8;
+    pub const J: u32 = 9;
+    pub const K: u32 = 10;
+}
+
+/// The example graph of the paper's Fig. 2: five bi-components
+/// `C1 = {a,b,c,d,e}` (a 5-cycle), `C2 = {c,g,h}` (triangle),
+/// `C3 = {d,f}` (bridge), `C4 = {i,j,k}` (triangle), `C5 = {d,i}` (bridge),
+/// with cutpoints `c`, `d`, `i`.
+pub fn paper_fig2() -> Graph {
+    use fig2::*;
+    GraphBuilder::new(11)
+        .edges([
+            // C1: 5-cycle b-a-c-d-e-b
+            (B, A),
+            (A, C),
+            (C, D),
+            (D, E),
+            (E, B),
+            // C2: triangle c-g-h
+            (C, G),
+            (G, H),
+            (H, C),
+            // C3: bridge d-f
+            (D, F),
+            // C4: triangle i-j-k
+            (I, J),
+            (J, K),
+            (K, I),
+            // C5: bridge d-i
+            (D, I),
+        ])
+        .build()
+        .expect("valid fig2 graph")
+}
+
+/// Two triangles `{0,1,2}` and `{3,4,5}` joined by the bridge `2 - 3`.
+pub fn two_triangles_bridge() -> Graph {
+    GraphBuilder::new(6)
+        .edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+        .build()
+        .expect("valid bridged triangles")
+}
+
+/// Disjoint union of a triangle `{0,1,2}`, an edge `{3,4}` and the isolated
+/// node `5` — exercises multi-component handling.
+pub fn disconnected_mix() -> Graph {
+    GraphBuilder::new(6)
+        .edges([(0, 1), (1, 2), (2, 0), (3, 4)])
+        .build()
+        .expect("valid disconnected graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_as_documented() {
+        assert_eq!(path_graph(5).num_edges(), 4);
+        assert_eq!(cycle_graph(6).num_edges(), 6);
+        assert_eq!(star_graph(7).num_edges(), 6);
+        assert_eq!(complete_graph(5).num_edges(), 10);
+        assert_eq!(grid_graph(4, 3).num_edges(), 3 * 3 + 4 * 2);
+        assert_eq!(lollipop_graph(4, 3).num_nodes(), 7);
+        assert_eq!(lollipop_graph(4, 3).num_edges(), 6 + 3);
+        assert_eq!(binary_tree(3).num_nodes(), 15);
+        assert_eq!(binary_tree(3).num_edges(), 14);
+        let f = paper_fig2();
+        assert_eq!(f.num_nodes(), 11);
+        assert_eq!(f.num_edges(), 13);
+        assert_eq!(two_triangles_bridge().num_edges(), 7);
+        assert_eq!(disconnected_mix().num_nodes(), 6);
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let g = grid_graph(3, 3);
+        assert_eq!(g.degree(4), 4); // center
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(1), 3); // edge midpoint
+    }
+
+    #[test]
+    fn fig2_adjacency_spot_checks() {
+        use fig2::*;
+        let g = paper_fig2();
+        assert!(g.has_edge(C, D));
+        assert!(g.has_edge(D, I));
+        assert!(g.has_edge(D, F));
+        assert!(!g.has_edge(A, K));
+        assert_eq!(g.degree(D), 4); // c, e, f, i
+    }
+}

@@ -1,0 +1,128 @@
+//! Edge-list I/O (the SNAP/DIMACS interchange format the paper's datasets
+//! ship in): one `u v` pair per line, `#`-prefixed comments ignored.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::error::GraphError;
+
+/// Parses an edge list from any reader. Node count is `1 + max id` unless
+/// `min_nodes` demands more (isolated trailing nodes).
+pub fn read_edge_list<R: Read>(reader: R, min_nodes: usize) -> Result<Graph, GraphError> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_id: u64 = 0;
+    let mut line = String::new();
+    let mut reader = BufReader::new(reader);
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u64, GraphError> {
+            tok.and_then(|t| t.parse::<u64>().ok())
+                .ok_or_else(|| GraphError::Parse {
+                    line: lineno,
+                    content: trimmed.to_string(),
+                })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        if u > u32::MAX as u64 || v > u32::MAX as u64 {
+            return Err(GraphError::TooManyNodes(u.max(v)));
+        }
+        max_id = max_id.max(u).max(v);
+        edges.push((u as u32, v as u32));
+    }
+    let n = if edges.is_empty() {
+        min_nodes
+    } else {
+        min_nodes.max(max_id as usize + 1)
+    };
+    GraphBuilder::new(n).edges(edges).build()
+}
+
+/// Loads an edge-list file.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file, 0)
+}
+
+/// Writes the graph as an edge list (one canonical `u v` line per edge).
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# saphyra edge list: {} nodes, {} edges", g.num_nodes(), g.num_edges())?;
+    for (u, v, _) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Saves the graph to a file.
+pub fn save_edge_list<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(g, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn round_trip() {
+        let g = fixtures::paper_fig2();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], 0).unwrap();
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for (u, v, _) in g.edges() {
+            assert!(g2.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# header\n\n0 1\n # another\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), 0).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn min_nodes_pads_isolated_tail() {
+        let g = read_edge_list("0 1\n".as_bytes(), 5).unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.degree(4), 0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = read_edge_list("0 x\n".as_bytes(), 0).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = read_edge_list("7\n".as_bytes(), 0).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = fixtures::grid_graph(3, 3);
+        let dir = std::env::temp_dir().join("saphyra_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grid.txt");
+        save_edge_list(&g, &path).unwrap();
+        let g2 = load_edge_list(&path).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,49 @@
+//! # saphyra-graph
+//!
+//! Graph substrate for the SaPHyRa reproduction (ICDE 2022).
+//!
+//! This crate provides everything the SaPHyRa framework and its baselines
+//! need from a graph engine:
+//!
+//! * [`Graph`]: a compressed-sparse-row (CSR) representation of undirected,
+//!   unweighted simple graphs with per-slot *undirected edge ids* (needed by
+//!   the biconnected-component machinery).
+//! * [`builder::GraphBuilder`]: deduplicating, self-loop-dropping
+//!   construction from edge lists.
+//! * [`bfs`]: breadth-first searches with reusable, stamp-cleared workspaces
+//!   and optional edge filters (used to restrict traversal to a single
+//!   biconnected component without extracting subgraphs).
+//! * [`bbbfs`]: the balanced bidirectional BFS of Borassi–Natale (KADABRA),
+//!   which computes `σ_st` and samples a uniformly random shortest `s`–`t`
+//!   path while exploring only a small fraction of the graph.
+//! * [`brandes`]: exact betweenness centrality (serial and
+//!   crossbeam-parallel), the ground truth of the paper's evaluation.
+//! * [`bicomp`]: iterative Hopcroft–Tarjan biconnected components, cutpoints
+//!   and the block-cut tree (paper §IV-A, Fig. 2).
+//! * [`diameter`]: eccentricity and diameter estimation (double sweep lower
+//!   bounds, `2·ecc` upper bounds) feeding the VC-dimension bounds of
+//!   Table I.
+//! * [`connectivity`]: connected components.
+//! * [`fixtures`]: small named graphs used across the workspace's tests,
+//!   including the paper's Fig. 2 example.
+
+pub mod bbbfs;
+pub mod bfs;
+pub mod bicomp;
+pub mod blockcut;
+pub mod brandes;
+pub mod builder;
+pub mod connectivity;
+pub mod csr;
+pub mod diameter;
+pub mod error;
+pub mod fixtures;
+pub mod io;
+pub mod subgraph;
+
+pub use bicomp::Bicomps;
+pub use blockcut::BlockCutTree;
+pub use builder::GraphBuilder;
+pub use connectivity::Components;
+pub use csr::{Graph, NodeId};
+pub use error::GraphError;

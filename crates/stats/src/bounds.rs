@@ -1,0 +1,145 @@
+//! Concentration bounds: Hoeffding, empirical Bernstein (paper Lemma 3,
+//! Maurer–Pontil Theorem 4) and the VC sample-complexity bound (Lemma 4).
+
+/// The constant `c` of Lemma 4, "approximately 0.5" per the paper.
+pub const C_VC: f64 = 0.5;
+
+/// Two-sided Hoeffding deviation for `n` i.i.d. samples in `[0, 1]` at
+/// failure probability `delta`: `ε = sqrt(ln(2/δ) / (2n))`.
+pub fn hoeffding_epsilon(n: usize, delta: f64) -> f64 {
+    assert!(n > 0 && delta > 0.0 && delta < 1.0);
+    ((2.0 / delta).ln() / (2.0 * n as f64)).sqrt()
+}
+
+/// Samples needed for a uniform (ε, δ)-estimate over `k` hypotheses via
+/// Hoeffding + union bound: `O(1/ε² (ln k + ln 1/δ))` (paper §II-A).
+pub fn hoeffding_samples(eps: f64, delta: f64, k: usize) -> usize {
+    assert!(eps > 0.0 && delta > 0.0 && delta < 1.0 && k > 0);
+    let ln_term = (2.0 * k as f64 / delta).ln();
+    (ln_term / (2.0 * eps * eps)).ceil() as usize
+}
+
+/// One-sided empirical-Bernstein deviation (paper Lemma 3 / Maurer–Pontil):
+///
+/// `ε(N, δ, V) = sqrt(2 V ln(2/δ) / N) + 7 ln(2/δ) / (3(N − 1))`.
+///
+/// `var` is the *sample* variance (the U-statistic of Lemma 3). The paper
+/// prints `3N` in the linear term; Maurer–Pontil's Theorem 4 has `3(N−1)`,
+/// which we use (the conservative direction; identical asymptotics).
+pub fn empirical_bernstein_epsilon(n: usize, delta: f64, var: f64) -> f64 {
+    assert!(n > 1, "empirical Bernstein needs N >= 2");
+    assert!(delta > 0.0 && delta < 1.0);
+    let var = var.max(0.0);
+    let ln_term = (2.0 / delta).ln();
+    (2.0 * var * ln_term / n as f64).sqrt() + 7.0 * ln_term / (3.0 * (n as f64 - 1.0))
+}
+
+/// Inverse of [`empirical_bernstein_epsilon`] in `δ`: the smallest failure
+/// probability at which `N` samples of variance `var` reach deviation
+/// `target_eps` (ε shrinks as δ grows). Returns `min_delta` when even the
+/// tiniest δ meets the target, and `1.0` when the target is unreachable at
+/// this `N` (such hypotheses need the largest share of the probability
+/// budget; the schedule's rescaling step normalizes either way).
+pub fn empirical_bernstein_delta(n: usize, var: f64, target_eps: f64, min_delta: f64) -> f64 {
+    assert!(n > 1 && target_eps > 0.0);
+    let min_delta = min_delta.clamp(f64::MIN_POSITIVE, 0.5);
+    // ε is monotone decreasing in δ; binary search on ln δ.
+    if empirical_bernstein_epsilon(n, 1.0 - 1e-12, var) > target_eps {
+        // Unreachable even with the loosest bound.
+        return 1.0;
+    }
+    if empirical_bernstein_epsilon(n, min_delta, var) <= target_eps {
+        return min_delta;
+    }
+    let (mut lo, mut hi) = (min_delta.ln(), 0.0f64); // δ in [min_delta, 1)
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if empirical_bernstein_epsilon(n, mid.exp().min(1.0 - 1e-12), var) > target_eps {
+            lo = mid; // need larger δ
+        } else {
+            hi = mid;
+        }
+    }
+    hi.exp().min(1.0)
+}
+
+/// VC sample-complexity bound (paper Lemma 4 / Shalev-Shwartz & Ben-David
+/// Thm. 6.8): `N = c/ε² (VC + ln(1/δ))` with `c =` [`C_VC`].
+pub fn vc_sample_bound(eps: f64, delta: f64, vc_dim: usize) -> usize {
+    assert!(eps > 0.0 && delta > 0.0 && delta < 1.0);
+    let n = C_VC / (eps * eps) * (vc_dim as f64 + (1.0 / delta).ln());
+    (n.ceil() as usize).max(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hoeffding_shrinks_with_n() {
+        let e1 = hoeffding_epsilon(100, 0.05);
+        let e2 = hoeffding_epsilon(400, 0.05);
+        assert!(e2 < e1);
+        // Quadrupling n halves ε.
+        assert!((e1 / e2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hoeffding_samples_monotone() {
+        assert!(hoeffding_samples(0.05, 0.01, 100) > hoeffding_samples(0.1, 0.01, 100));
+        assert!(hoeffding_samples(0.05, 0.01, 1000) > hoeffding_samples(0.05, 0.01, 10));
+        // Achieves the target: plug back in with union bound.
+        let n = hoeffding_samples(0.05, 0.01, 100);
+        assert!(hoeffding_epsilon(n, 0.01 / 100.0) <= 0.05 * 1.0001);
+    }
+
+    #[test]
+    fn bernstein_beats_hoeffding_at_low_variance() {
+        // Variance far below the worst case 1/4: Bernstein is tighter.
+        let n = 10_000;
+        let eb = empirical_bernstein_epsilon(n, 0.01, 0.001);
+        let hf = hoeffding_epsilon(n, 0.005); // comparable two-sided budget
+        assert!(eb < hf, "eb={eb} hf={hf}");
+    }
+
+    #[test]
+    fn bernstein_epsilon_monotonicities() {
+        let base = empirical_bernstein_epsilon(1000, 0.01, 0.1);
+        assert!(empirical_bernstein_epsilon(2000, 0.01, 0.1) < base);
+        assert!(empirical_bernstein_epsilon(1000, 0.001, 0.1) > base);
+        assert!(empirical_bernstein_epsilon(1000, 0.01, 0.2) > base);
+        // Zero variance leaves only the 1/(N-1) term.
+        let z = empirical_bernstein_epsilon(1000, 0.01, 0.0);
+        assert!((z - 7.0 * (2.0f64 / 0.01).ln() / (3.0 * 999.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernstein_delta_inverts_epsilon() {
+        for &(n, var, target) in &[(1000usize, 0.05f64, 0.05f64), (5000, 0.2, 0.03), (200, 0.01, 0.1)] {
+            let d = empirical_bernstein_delta(n, var, target, 1e-12);
+            if d < 1.0 && d > 1e-12 {
+                let eps = empirical_bernstein_epsilon(n, d, var);
+                assert!((eps - target).abs() < 1e-6, "n={n} var={var}: {eps} vs {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn bernstein_delta_saturates() {
+        // Huge sample budget: even tiny δ reaches the target -> min_delta.
+        let d = empirical_bernstein_delta(10_000_000, 1e-6, 0.2, 1e-9);
+        assert!(d <= 1e-9 * 1.0001);
+        // Tiny sample budget: unreachable -> full budget weight.
+        let d = empirical_bernstein_delta(3, 0.25, 1e-6, 1e-9);
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn vc_bound_values() {
+        // Matches c/ε² (VC + ln 1/δ).
+        let n = vc_sample_bound(0.05, 0.01, 4);
+        let expect = 0.5 / 0.0025 * (4.0 + 100.0f64.ln());
+        assert_eq!(n, expect.ceil() as usize);
+        assert!(vc_sample_bound(0.05, 0.01, 8) > n);
+    }
+}

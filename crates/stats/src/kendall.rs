@@ -1,0 +1,138 @@
+//! Kendall's τ rank correlation, the alternative measure the paper mentions
+//! alongside Spearman's ρ (§II-A). O(k log k) via merge-sort inversion
+//! counting.
+
+/// Kendall's τ-a between two value vectors over the same items, ranked with
+/// the id tie-break (so both rankings are permutations):
+/// `τ = 1 − 4·inversions / (k(k−1))`.
+pub fn kendall_tau(estimates: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(estimates.len(), truth.len());
+    let k = estimates.len();
+    if k <= 1 {
+        return 1.0;
+    }
+    let ra = crate::spearman::ranks_by_value(estimates);
+    let rb = crate::spearman::ranks_by_value(truth);
+    // Order items by ranking A, then count inversions of ranking B.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by_key(|&i| ra[i]);
+    let mut seq: Vec<usize> = order.iter().map(|&i| rb[i]).collect();
+    let inv = count_inversions(&mut seq);
+    let pairs = (k * (k - 1) / 2) as f64;
+    1.0 - 2.0 * inv as f64 / pairs
+}
+
+/// Counts inversions in `seq` (destructively) by merge sort.
+fn count_inversions(seq: &mut [usize]) -> u64 {
+    let n = seq.len();
+    if n < 2 {
+        return 0;
+    }
+    let mut buf = vec![0usize; n];
+    merge_count(seq, &mut buf)
+}
+
+fn merge_count(seq: &mut [usize], buf: &mut [usize]) -> u64 {
+    let n = seq.len();
+    if n < 2 {
+        return 0;
+    }
+    let mid = n / 2;
+    let (left_buf, right_buf) = buf.split_at_mut(mid);
+    let mut inv = {
+        let (l, r) = seq.split_at_mut(mid);
+        merge_count(l, left_buf) + merge_count(r, right_buf)
+    };
+    let (mut i, mut j, mut out) = (0usize, mid, 0usize);
+    while i < mid && j < n {
+        if seq[i] <= seq[j] {
+            buf[out] = seq[i];
+            i += 1;
+        } else {
+            // seq[j] jumps over the remaining left elements.
+            inv += (mid - i) as u64;
+            buf[out] = seq[j];
+            j += 1;
+        }
+        out += 1;
+    }
+    buf[out..out + (mid - i)].copy_from_slice(&seq[i..mid]);
+    let out = out + (mid - i);
+    buf[out..out + (n - j)].copy_from_slice(&seq[j..n]);
+    seq.copy_from_slice(&buf[..n]);
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kendall_naive(est: &[f64], truth: &[f64]) -> f64 {
+        let ra = crate::spearman::ranks_by_value(est);
+        let rb = crate::spearman::ranks_by_value(truth);
+        let k = est.len();
+        let mut conc = 0i64;
+        let mut disc = 0i64;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let a = (ra[i] as i64 - ra[j] as i64).signum();
+                let b = (rb[i] as i64 - rb[j] as i64).signum();
+                if a == b {
+                    conc += 1;
+                } else {
+                    disc += 1;
+                }
+            }
+        }
+        (conc - disc) as f64 / (k * (k - 1) / 2) as f64
+    }
+
+    #[test]
+    fn agreement_and_reversal() {
+        let v = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert_eq!(kendall_tau(&v, &v), 1.0);
+        let rev: Vec<f64> = v.iter().rev().copied().collect();
+        assert_eq!(kendall_tau(&rev, &v), -1.0);
+    }
+
+    #[test]
+    fn matches_naive_on_random_inputs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let k = rng.gen_range(2..40);
+            let est: Vec<f64> = (0..k).map(|_| rng.gen::<f64>()).collect();
+            let truth: Vec<f64> = (0..k).map(|_| rng.gen::<f64>()).collect();
+            let fast = kendall_tau(&est, &truth);
+            let slow = kendall_naive(&est, &truth);
+            assert!((fast - slow).abs() < 1e-12, "k={k}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn single_swap() {
+        // One adjacent transposition in 4 items: 1 discordant of 6 pairs.
+        let est = [4.0, 2.0, 3.0, 1.0];
+        let truth = [4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau(&est, &truth) - (4.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate() {
+        assert_eq!(kendall_tau(&[], &[]), 1.0);
+        assert_eq!(kendall_tau(&[1.0], &[0.0]), 1.0);
+    }
+
+    #[test]
+    fn tau_never_exceeds_one_in_magnitude() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let k = rng.gen_range(2..25);
+            let est: Vec<f64> = (0..k).map(|_| rng.gen::<f64>()).collect();
+            let truth: Vec<f64> = (0..k).map(|_| rng.gen::<f64>()).collect();
+            let t = kendall_tau(&est, &truth);
+            assert!((-1.0..=1.0).contains(&t));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # saphyra-stats
+//!
+//! The statistical learning-theory toolkit behind SaPHyRa (ICDE 2022):
+//!
+//! * [`bounds`]: Hoeffding and empirical-Bernstein deviation bounds
+//!   (paper Lemma 3), their inverses, and the VC sample-complexity bound
+//!   (Lemma 4, constant `c ≈ 0.5`).
+//! * [`moments`]: streaming mean/variance accumulators — the Bernoulli
+//!   fast path used by SaPHyRa/KADABRA (0-1 losses) and Welford for ABRA's
+//!   fractional pair-dependencies.
+//! * [`schedule`]: the adaptive-sampling schedule of Algorithm 1 — doubling
+//!   rounds and per-hypothesis error-probability allocation (Eq. 13).
+//! * [`spearman`], [`kendall`]: rank correlations (Eq. 1 and Kendall's τ)
+//!   with the paper's tie-break-by-node-id ranking.
+//! * [`relerr`]: signed relative errors, true/false-zero classification and
+//!   the Fig. 6 histogram.
+//! * [`summary`]: mean / 95%-confidence-interval summaries for the shaded
+//!   bands of Figs. 3-5.
+
+pub mod bounds;
+pub mod kendall;
+pub mod moments;
+pub mod relerr;
+pub mod schedule;
+pub mod spearman;
+pub mod summary;
+
+pub use bounds::{
+    empirical_bernstein_delta, empirical_bernstein_epsilon, hoeffding_epsilon, hoeffding_samples,
+    vc_sample_bound, C_VC,
+};
+pub use kendall::kendall_tau;
+pub use moments::{bernoulli_sample_variance, StreamingMoments};
+pub use relerr::{relative_errors, RelErrReport};
+pub use schedule::{allocate_deltas, doubling_rounds};
+pub use spearman::{rank_deviation, ranks_by_value, spearman_rho, spearman_vs_truth};
+pub use summary::Summary;

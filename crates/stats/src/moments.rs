@@ -1,0 +1,159 @@
+//! Streaming mean/variance accumulators.
+//!
+//! The empirical-Bernstein bound consumes the *sample variance* (Lemma 3's
+//! U-statistic `1/(N(N−1)) Σ_{j1<j2} (z_{j1} − z_{j2})²`, equal to the usual
+//! unbiased sample variance). SaPHyRa's 0-1 losses admit a closed form from
+//! the hit count alone; ABRA's fractional pair-dependencies need Welford.
+
+/// Unbiased sample variance of `n` Bernoulli observations with `hits` ones:
+/// `S(N−S) / (N(N−1))` differing pairs over `N(N−1)` ordered pairs, i.e.
+/// `p̂(1−p̂) · N/(N−1)`.
+pub fn bernoulli_sample_variance(hits: u64, n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    debug_assert!(hits <= n);
+    let s = hits as f64;
+    let nf = n as f64;
+    s * (nf - s) / (nf * (nf - 1.0))
+}
+
+/// Welford accumulator for general bounded losses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamingMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl StreamingMoments {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Adds `count` observations all equal to `x` (used for the implicit
+    /// zeros of sparse hit streams).
+    pub fn push_repeated(&mut self, x: f64, count: u64) {
+        // Merge with a degenerate accumulator of `count` copies of x
+        // (Chan's parallel update with m2_b = 0).
+        if count == 0 {
+            return;
+        }
+        let nb = count as f64;
+        let na = self.n as f64;
+        let d = x - self.mean;
+        let n = na + nb;
+        self.mean += d * nb / n;
+        self.m2 += d * d * na * nb / n;
+        self.n += count;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 when `n < 2`).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n as f64 - 1.0)).max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_var(xs: &[f64]) -> f64 {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    }
+
+    #[test]
+    fn bernoulli_matches_naive() {
+        for (hits, n) in [(3u64, 10u64), (0, 5), (5, 5), (1, 2), (7, 20)] {
+            let xs: Vec<f64> = (0..n).map(|i| if i < hits { 1.0 } else { 0.0 }).collect();
+            let expect = naive_var(&xs);
+            assert!(
+                (bernoulli_sample_variance(hits, n) - expect).abs() < 1e-12,
+                "hits={hits} n={n}"
+            );
+        }
+        assert_eq!(bernoulli_sample_variance(0, 1), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_matches_lemma3_pair_statistic() {
+        // Direct evaluation of 1/(N(N-1)) Σ_{j1<j2} (z_j1 - z_j2)².
+        let (hits, n) = (4u64, 9u64);
+        let xs: Vec<f64> = (0..n).map(|i| if i < hits { 1.0 } else { 0.0 }).collect();
+        let mut acc = 0.0;
+        for i in 0..xs.len() {
+            for j in (i + 1)..xs.len() {
+                acc += (xs[i] - xs[j]).powi(2);
+            }
+        }
+        let lemma3 = acc / (n as f64 * (n as f64 - 1.0));
+        assert!((bernoulli_sample_variance(hits, n) - lemma3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [0.1, 0.9, 0.4, 0.4, 0.0, 1.0, 0.25];
+        let mut m = StreamingMoments::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        assert_eq!(m.count(), xs.len() as u64);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((m.mean() - mean).abs() < 1e-12);
+        assert!((m.sample_variance() - naive_var(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_repeated_equals_push_loop() {
+        let mut a = StreamingMoments::new();
+        let mut b = StreamingMoments::new();
+        a.push(0.7);
+        b.push(0.7);
+        a.push_repeated(0.0, 1000);
+        for _ in 0..1000 {
+            b.push(0.0);
+        }
+        a.push(0.3);
+        b.push(0.3);
+        assert_eq!(a.count(), b.count());
+        assert!((a.mean() - b.mean()).abs() < 1e-12);
+        assert!((a.sample_variance() - b.sample_variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut m = StreamingMoments::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.sample_variance(), 0.0);
+        m.push(0.5);
+        assert_eq!(m.sample_variance(), 0.0);
+        m.push_repeated(0.5, 0);
+        assert_eq!(m.count(), 1);
+    }
+}

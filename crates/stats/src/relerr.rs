@@ -1,0 +1,139 @@
+//! Signed relative errors, true/false-zero classification and the Fig. 6
+//! histogram.
+//!
+//! The paper defines the signed relative error of an estimate as
+//! `(b̃c(v)/bc(v) − 1) · 100%`, with two special zero classes that drive the
+//! ranking analysis of §V-B:
+//!
+//! * **true zero** — `bc(v) = 0` estimated as 0 (error 0; unavoidable easy
+//!   cases that every algorithm gets right);
+//! * **false zero** — `bc(v) > 0` estimated as 0 (error −100%; the cases
+//!   that destroy ABRA/KADABRA's ranking and that SaPHyRa's exact subspace
+//!   eliminates, Lemma 19).
+
+/// Histogram and zero-class breakdown for a batch of estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelErrReport {
+    /// Fraction of nodes that are true zeros.
+    pub true_zero_frac: f64,
+    /// Fraction of nodes that are false zeros.
+    pub false_zero_frac: f64,
+    /// Fraction with `bc(v) = 0` but a positive estimate ("ghost" mass;
+    /// impossible for path-sampling estimators, tracked for completeness).
+    pub spurious_frac: f64,
+    /// Histogram of signed relative errors in percent over
+    /// `[-100, clamp_pct]`, `bins` equal-width buckets; errors above
+    /// `clamp_pct` land in the last bucket (the paper groups >150% together).
+    pub histogram: Vec<f64>,
+    /// Lower edge of each histogram bucket, in percent.
+    pub bucket_edges: Vec<f64>,
+    /// Mean of |signed relative error| over nodes with `bc(v) > 0`.
+    pub mean_abs_pct: f64,
+}
+
+/// Computes the signed relative error report (Fig. 6).
+///
+/// `clamp_pct` is the paper's 150% cut-off; `bins` buckets span
+/// `[-100%, clamp_pct]`.
+pub fn relative_errors(estimates: &[f64], truth: &[f64], clamp_pct: f64, bins: usize) -> RelErrReport {
+    assert_eq!(estimates.len(), truth.len());
+    assert!(bins >= 2 && clamp_pct > 0.0);
+    let k = estimates.len().max(1);
+    let width = (clamp_pct + 100.0) / bins as f64;
+    let mut histogram = vec![0.0; bins];
+    let bucket_edges: Vec<f64> = (0..bins).map(|i| -100.0 + i as f64 * width).collect();
+    let (mut tz, mut fz, mut sp) = (0usize, 0usize, 0usize);
+    let mut abs_sum = 0.0;
+    let mut abs_n = 0usize;
+    for (&est, &bc) in estimates.iter().zip(truth) {
+        let pct = if bc == 0.0 {
+            if est == 0.0 {
+                tz += 1;
+                0.0
+            } else {
+                sp += 1;
+                clamp_pct // by convention ∞ clamps into the top bucket
+            }
+        } else {
+            if est == 0.0 {
+                fz += 1;
+            }
+            (est / bc - 1.0) * 100.0
+        };
+        if bc > 0.0 {
+            abs_sum += pct.abs();
+            abs_n += 1;
+        }
+        let clamped = pct.clamp(-100.0, clamp_pct);
+        let mut b = ((clamped + 100.0) / width).floor() as usize;
+        if b >= bins {
+            b = bins - 1;
+        }
+        histogram[b] += 1.0;
+    }
+    for h in histogram.iter_mut() {
+        *h /= k as f64;
+    }
+    RelErrReport {
+        true_zero_frac: tz as f64 / k as f64,
+        false_zero_frac: fz as f64 / k as f64,
+        spurious_frac: sp as f64 / k as f64,
+        histogram,
+        bucket_edges,
+        mean_abs_pct: if abs_n > 0 { abs_sum / abs_n as f64 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_classes() {
+        let truth = [0.0, 0.0, 0.5, 0.5];
+        let est = [0.0, 0.1, 0.0, 0.5];
+        let r = relative_errors(&est, &truth, 150.0, 10);
+        assert_eq!(r.true_zero_frac, 0.25);
+        assert_eq!(r.spurious_frac, 0.25);
+        assert_eq!(r.false_zero_frac, 0.25);
+    }
+
+    #[test]
+    fn histogram_sums_to_one() {
+        let truth = [0.1, 0.2, 0.0, 0.4, 0.5];
+        let est = [0.12, 0.1, 0.0, 0.9, 0.5];
+        let r = relative_errors(&est, &truth, 150.0, 25);
+        let total: f64 = r.histogram.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(r.bucket_edges.len(), 25);
+        assert_eq!(r.bucket_edges[0], -100.0);
+    }
+
+    #[test]
+    fn exact_estimates_concentrate_at_zero_bucket() {
+        let truth = [0.1, 0.2, 0.3];
+        let r = relative_errors(&truth.clone(), &truth, 150.0, 10);
+        // 0% error: bucket index floor((0+100)/25) = 4.
+        assert_eq!(r.histogram[4], 1.0);
+        assert_eq!(r.mean_abs_pct, 0.0);
+        assert_eq!(r.false_zero_frac, 0.0);
+    }
+
+    #[test]
+    fn false_zeros_fall_in_lowest_bucket() {
+        let truth = [0.5, 0.5];
+        let est = [0.0, 0.0];
+        let r = relative_errors(&est, &truth, 150.0, 5);
+        assert_eq!(r.histogram[0], 1.0);
+        assert_eq!(r.false_zero_frac, 1.0);
+        assert_eq!(r.mean_abs_pct, 100.0);
+    }
+
+    #[test]
+    fn overshoot_clamps_to_top_bucket() {
+        let truth = [0.1];
+        let est = [1.0]; // +900% clamps to 150%
+        let r = relative_errors(&est, &truth, 150.0, 5);
+        assert_eq!(*r.histogram.last().unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! The adaptive-sampling schedule of Algorithm 1.
+//!
+//! The estimator starts at `N₀` samples, doubles until `N_max`, and stops
+//! early once every hypothesis' empirical-Bernstein deviation is below the
+//! target. Each hypothesis `hᵢ` checks its bound at failure probability
+//! `δᵢ`, and each of the `R = ⌈log₂(N_max/N₀)⌉` rounds may perform one check,
+//! so soundness needs `Σᵢ 2δᵢ = δ / R` (Eq. 13; the factor 2 converts the
+//! one-sided Lemma 3 into a two-sided bound).
+//!
+//! The allocation is optimized as in §III-C: a pilot estimate of each
+//! variance gives a *raw* δᵢ via the inverse Bernstein bound (low-variance
+//! hypotheses can afford tiny δᵢ), and the raw values are rescaled to meet
+//! Eq. 13 exactly.
+
+use crate::bounds::empirical_bernstein_delta;
+
+/// Number of doubling rounds `⌈log₂(n_max / n0)⌉`, at least 1.
+pub fn doubling_rounds(n0: usize, n_max: usize) -> usize {
+    assert!(n0 > 0);
+    if n_max <= n0 {
+        return 1;
+    }
+    let ratio = n_max as f64 / n0 as f64;
+    (ratio.log2().ceil() as usize).max(1)
+}
+
+/// Allocates per-hypothesis failure probabilities (Eq. 13).
+///
+/// * `pilot_variances` — sample variances from the pilot pass;
+/// * `n_max` — the worst-case sample budget (the bound must hold there);
+/// * `eps_target` — the per-round deviation target ε′;
+/// * `delta_round` — the probability budget of one round, `δ / R`.
+///
+/// Returns `δᵢ` with `Σ 2δᵢ = delta_round` (up to float rounding).
+pub fn allocate_deltas(
+    pilot_variances: &[f64],
+    n_max: usize,
+    eps_target: f64,
+    delta_round: f64,
+) -> Vec<f64> {
+    let k = pilot_variances.len();
+    assert!(k > 0 && delta_round > 0.0 && delta_round < 1.0);
+    let budget = delta_round / 2.0;
+
+    let raw: Vec<f64> = pilot_variances
+        .iter()
+        .map(|&v| empirical_bernstein_delta(n_max.max(2), v.max(0.0), eps_target, 1e-12))
+        .collect();
+    let total: f64 = raw.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        return vec![budget / k as f64; k];
+    }
+    raw.iter().map(|&d| d / total * budget).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::empirical_bernstein_epsilon;
+
+    #[test]
+    fn rounds_examples() {
+        assert_eq!(doubling_rounds(100, 100), 1);
+        assert_eq!(doubling_rounds(100, 50), 1);
+        assert_eq!(doubling_rounds(100, 200), 1);
+        assert_eq!(doubling_rounds(100, 201), 2);
+        assert_eq!(doubling_rounds(100, 1600), 4);
+        assert_eq!(doubling_rounds(1, 1 << 20), 20);
+    }
+
+    #[test]
+    fn allocation_satisfies_eq13() {
+        let vars = [0.2, 0.01, 0.0, 0.05, 0.25];
+        let deltas = allocate_deltas(&vars, 10_000, 0.05, 0.01);
+        let total: f64 = deltas.iter().map(|d| 2.0 * d).sum();
+        assert!((total - 0.01).abs() < 1e-12, "total={total}");
+        assert!(deltas.iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn high_variance_hypotheses_get_larger_delta() {
+        // A high-variance hypothesis needs a looser δ to hit the same ε at
+        // N_max, so after normalization it receives more budget.
+        let deltas = allocate_deltas(&[0.25, 0.001], 5_000, 0.05, 0.01);
+        assert!(deltas[0] > deltas[1], "{deltas:?}");
+    }
+
+    #[test]
+    fn uniform_when_variances_equal() {
+        let deltas = allocate_deltas(&[0.1; 4], 10_000, 0.05, 0.02);
+        for &d in &deltas {
+            assert!((d - 0.02 / 2.0 / 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn allocated_deltas_are_usable_in_the_bound() {
+        // End-to-end: with the allocated δᵢ, the Bernstein deviation at
+        // N_max is below ε for every hypothesis whose raw δ was feasible.
+        let vars = [0.2, 0.02];
+        let n_max = 50_000;
+        let eps = 0.05;
+        let deltas = allocate_deltas(&vars, n_max, eps, 0.01);
+        for (v, d) in vars.iter().zip(&deltas) {
+            let e = empirical_bernstein_epsilon(n_max, *d, *v);
+            assert!(e <= eps * 1.5, "e={e}");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Spearman's rank correlation (paper Eq. 1) and rank deviation (Fig. 7a).
+//!
+//! The paper ranks nodes by estimated centrality, breaking ties by node id,
+//! so ranks are a permutation of `1..=k` and the closed form
+//! `ρ = 1 − 6 Σ dᵣ² / (k(k²−1))` applies.
+
+/// Ranks of `values` where rank 1 is the *largest* value; ties broken by
+/// ascending index (the paper's "break the tie by the nodes' IDs").
+/// Returns `ranks[i]` = rank of item `i`, in `1..=k`.
+pub fn ranks_by_value(values: &[f64]) -> Vec<usize> {
+    let k = values.len();
+    let mut idx: Vec<usize> = (0..k).collect();
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut ranks = vec![0usize; k];
+    for (r, &i) in idx.iter().enumerate() {
+        ranks[i] = r + 1;
+    }
+    ranks
+}
+
+/// Spearman's ρ between two rank permutations of `1..=k` (Eq. 1).
+/// `ρ = 1` for `k ≤ 1` (a single node is trivially ranked correctly).
+pub fn spearman_rho(ranks_a: &[usize], ranks_b: &[usize]) -> f64 {
+    assert_eq!(ranks_a.len(), ranks_b.len());
+    let k = ranks_a.len();
+    if k <= 1 {
+        return 1.0;
+    }
+    let d2: f64 = ranks_a
+        .iter()
+        .zip(ranks_b)
+        .map(|(&a, &b)| {
+            let d = a as f64 - b as f64;
+            d * d
+        })
+        .sum();
+    let kf = k as f64;
+    1.0 - 6.0 * d2 / (kf * (kf * kf - 1.0))
+}
+
+/// Convenience: ρ between an estimate vector and the ground truth over the
+/// same item order (both ranked internally with the id tie-break).
+pub fn spearman_vs_truth(estimates: &[f64], truth: &[f64]) -> f64 {
+    spearman_rho(&ranks_by_value(estimates), &ranks_by_value(truth))
+}
+
+/// Average absolute rank displacement as a fraction of `k` (the "rank
+/// deviation" of Fig. 7a): `1/k Σ |rank_est − rank_true| / k`.
+pub fn rank_deviation(estimates: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(estimates.len(), truth.len());
+    let k = estimates.len();
+    if k <= 1 {
+        return 0.0;
+    }
+    let ra = ranks_by_value(estimates);
+    let rb = ranks_by_value(truth);
+    let total: f64 = ra
+        .iter()
+        .zip(&rb)
+        .map(|(&a, &b)| (a as f64 - b as f64).abs())
+        .sum();
+    total / (k as f64 * k as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_descending_with_id_tiebreak() {
+        let r = ranks_by_value(&[0.5, 0.9, 0.5, 0.1]);
+        // 0.9 -> 1; first 0.5 -> 2; second 0.5 -> 3; 0.1 -> 4.
+        assert_eq!(r, vec![2, 1, 3, 4]);
+    }
+
+    #[test]
+    fn perfect_and_reversed_correlation() {
+        let a = vec![1, 2, 3, 4, 5];
+        let b = vec![5, 4, 3, 2, 1];
+        assert_eq!(spearman_rho(&a, &a), 1.0);
+        assert_eq!(spearman_rho(&a, &b), -1.0);
+    }
+
+    #[test]
+    fn value_interface_matches_rank_interface() {
+        let est = [0.3, 0.1, 0.9, 0.7];
+        let truth = [0.25, 0.2, 0.8, 0.6];
+        let rho = spearman_vs_truth(&est, &truth);
+        assert_eq!(rho, 1.0); // same ordering
+        // Exactly reversed ordering of the truth ranks [3,4,1,2] -> [2,1,4,3].
+        let est_bad = [0.7, 0.9, 0.1, 0.3];
+        assert_eq!(spearman_vs_truth(&est_bad, &truth), -1.0);
+    }
+
+    #[test]
+    fn single_swap_known_value() {
+        // k=4, swap adjacent ranks 2,3: Σd² = 2, ρ = 1 - 12/60 = 0.8.
+        let a = vec![1, 2, 3, 4];
+        let b = vec![1, 3, 2, 4];
+        assert!((spearman_rho(&a, &b) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(spearman_rho(&[1], &[1]), 1.0);
+        assert_eq!(spearman_rho(&[], &[]), 1.0);
+        assert_eq!(rank_deviation(&[], &[]), 0.0);
+        assert_eq!(rank_deviation(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn rank_deviation_values() {
+        // Reversal of 4 items: displacements 3,1,1,3 = 8; 8/16 = 0.5.
+        let est = [4.0, 3.0, 2.0, 1.0];
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        assert!((rank_deviation(&est, &truth) - 0.5).abs() < 1e-12);
+        assert_eq!(rank_deviation(&truth, &truth), 0.0);
+    }
+
+    #[test]
+    fn ranking_invariant_to_monotone_transform() {
+        let truth = [0.01, 0.5, 0.3, 0.02, 0.9];
+        let est: Vec<f64> = truth.iter().map(|x| x * 100.0 + 3.0).collect();
+        assert_eq!(spearman_vs_truth(&est, &truth), 1.0);
+    }
+}

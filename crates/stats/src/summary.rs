@@ -1,0 +1,105 @@
+//! Mean / spread summaries for repeated trials (the shaded 95% bands of
+//! Figs. 3-5).
+
+/// Summary statistics of a batch of trial outcomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation (0 for n < 2).
+    pub std: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Lower edge of the normal-approximation 95% confidence interval of
+    /// the mean.
+    pub ci_lo: f64,
+    /// Upper edge of the 95% confidence interval.
+    pub ci_hi: f64,
+}
+
+impl Summary {
+    /// Summarizes `xs`; panics on empty input.
+    pub fn of(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "cannot summarize an empty batch");
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let std = var.sqrt();
+        let half = 1.96 * std / (n as f64).sqrt();
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Summary {
+            n,
+            mean,
+            std,
+            min,
+            max,
+            ci_lo: mean - half,
+            ci_hi: mean + half,
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} ± {:.4} [{:.4}, {:.4}] (n={})",
+            self.mean,
+            self.ci_hi - self.mean,
+            self.min,
+            self.max,
+            self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // var = (2.25+0.25+0.25+2.25)/3 = 5/3
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!(s.ci_lo < s.mean && s.mean < s.ci_hi);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of(&[0.7]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci_lo, 0.7);
+        assert_eq!(s.ci_hi, 0.7);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Summary::of(&[0.5, 0.5]);
+        let text = s.to_string();
+        assert!(text.contains("0.5"));
+        assert!(text.contains("n=2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn panics_on_empty() {
+        Summary::of(&[]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based invariants of the statistical toolkit.
+
+use proptest::prelude::*;
+use saphyra_stats::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn spearman_bounds_and_identity(values in proptest::collection::vec(-1e3f64..1e3, 2..40)) {
+        let rho = spearman_vs_truth(&values, &values);
+        prop_assert!((rho - 1.0).abs() < 1e-12);
+        let reversed: Vec<f64> = values.iter().map(|x| -x).collect();
+        let anti = spearman_vs_truth(&reversed, &values);
+        prop_assert!((-1.0..=1.0).contains(&anti));
+    }
+
+    #[test]
+    fn spearman_within_bounds(a in proptest::collection::vec(0f64..1.0, 2..30),
+                              b in proptest::collection::vec(0f64..1.0, 2..30)) {
+        let k = a.len().min(b.len());
+        let rho = spearman_vs_truth(&a[..k], &b[..k]);
+        prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&rho));
+    }
+
+    #[test]
+    fn kendall_within_bounds_and_consistent_sign(a in proptest::collection::vec(0f64..1.0, 2..25),
+                                                 b in proptest::collection::vec(0f64..1.0, 2..25)) {
+        let k = a.len().min(b.len());
+        let tau = kendall_tau(&a[..k], &b[..k]);
+        prop_assert!((-1.0..=1.0).contains(&tau));
+        // Perfect agreement in ranks gives τ = ρ = 1.
+        let tau_self = kendall_tau(&a[..k], &a[..k]);
+        prop_assert!((tau_self - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_deviation_bounds(a in proptest::collection::vec(0f64..1.0, 1..40),
+                             b in proptest::collection::vec(0f64..1.0, 1..40)) {
+        let k = a.len().min(b.len());
+        let rd = rank_deviation(&a[..k], &b[..k]);
+        prop_assert!((0.0..=0.5 + 1e-12).contains(&rd), "rd = {rd}");
+        prop_assert_eq!(rank_deviation(&a[..k], &a[..k]), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_variance_matches_welford(hits in 0u64..50, extra in 0u64..50) {
+        let n = hits + extra;
+        prop_assume!(n >= 2);
+        let mut m = StreamingMoments::new();
+        m.push_repeated(1.0, hits);
+        m.push_repeated(0.0, extra);
+        prop_assert!((bernoulli_sample_variance(hits, n) - m.sample_variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernstein_inverse_roundtrip(n in 10usize..100_000, var in 0.0f64..0.25, target in 0.001f64..0.5) {
+        let d = empirical_bernstein_delta(n, var, target, 1e-12);
+        if d > 1e-12 && d < 1.0 {
+            let eps = empirical_bernstein_epsilon(n, d, var);
+            prop_assert!((eps - target).abs() < 1e-5, "eps {eps} target {target}");
+        }
+    }
+
+    #[test]
+    fn bernstein_monotone_in_n(n in 10usize..10_000, var in 0.0f64..0.25) {
+        let a = empirical_bernstein_epsilon(n, 0.05, var);
+        let b = empirical_bernstein_epsilon(2 * n, 0.05, var);
+        prop_assert!(b <= a + 1e-12);
+    }
+
+    #[test]
+    fn vc_bound_monotone(eps in 0.01f64..0.3, delta in 0.001f64..0.3, vc in 1usize..20) {
+        let n1 = vc_sample_bound(eps, delta, vc);
+        prop_assert!(vc_sample_bound(eps, delta, vc + 1) >= n1);
+        prop_assert!(vc_sample_bound(eps / 2.0, delta, vc) >= n1);
+    }
+
+    #[test]
+    fn summary_mean_within_min_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.ci_lo <= s.mean && s.mean <= s.ci_hi);
+    }
+
+    #[test]
+    fn relerr_histogram_is_a_distribution(est in proptest::collection::vec(0f64..1.0, 1..60),
+                                          truth in proptest::collection::vec(0f64..1.0, 1..60)) {
+        let k = est.len().min(truth.len());
+        let rep = relative_errors(&est[..k], &truth[..k], 150.0, 10);
+        let total: f64 = rep.histogram.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(rep.true_zero_frac + rep.false_zero_frac + rep.spurious_frac <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn delta_allocation_respects_budget(vars in proptest::collection::vec(0.0f64..0.25, 1..30),
+                                        budget in 0.0001f64..0.2) {
+        let deltas = allocate_deltas(&vars, 10_000, 0.05, budget);
+        let total: f64 = deltas.iter().map(|d| 2.0 * d).sum();
+        prop_assert!((total - budget).abs() < 1e-9);
+        prop_assert!(deltas.iter().all(|&d| d >= 0.0));
+    }
+}

@@ -1,0 +1,386 @@
+//! `saphyra-cli` — rank nodes of an edge-list graph from the command line.
+//!
+//! ```text
+//! saphyra-cli info  <edge-list>
+//! saphyra-cli exact <edge-list> [--top K] [--threads N]
+//! saphyra-cli rank  <edge-list> --targets 1,2,3 [--measure bc|kpath|harmonic]
+//!                   [--eps 0.01] [--delta 0.01] [--seed 7] [--khops 5]
+//! saphyra-cli rank  <edge-list> --random 100 [...]
+//! saphyra-cli gen   <flickr|livejournal|usa-road|orkut> <tiny|small|full> <out-file>
+//! ```
+
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saphyra::bc::{BcIndex, SaphyraBcConfig};
+use saphyra::closeness::rank_harmonic;
+use saphyra::kpath::rank_kpath;
+use saphyra_graph::{io, Graph, NodeId};
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    Info {
+        path: String,
+    },
+    Exact {
+        path: String,
+        top: usize,
+        threads: usize,
+    },
+    Rank {
+        path: String,
+        targets: TargetSpec,
+        measure: Measure,
+        eps: f64,
+        delta: f64,
+        seed: u64,
+        khops: usize,
+    },
+    Gen {
+        network: String,
+        size: String,
+        out: String,
+        seed: u64,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum TargetSpec {
+    List(Vec<NodeId>),
+    Random(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Measure {
+    Betweenness,
+    KPath,
+    Harmonic,
+}
+
+fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or("missing command (info|exact|rank|gen)")?;
+    match cmd.as_str() {
+        "info" => {
+            let path = it.next().ok_or("info: missing edge-list path")?.clone();
+            Ok(Command::Info { path })
+        }
+        "exact" => {
+            let path = it.next().ok_or("exact: missing edge-list path")?.clone();
+            let (mut top, mut threads) = (10usize, 0usize);
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--top" => top = next_parse(&mut it, "--top")?,
+                    "--threads" => threads = next_parse(&mut it, "--threads")?,
+                    other => return Err(format!("exact: unknown flag {other}")),
+                }
+            }
+            Ok(Command::Exact { path, top, threads })
+        }
+        "rank" => {
+            let path = it.next().ok_or("rank: missing edge-list path")?.clone();
+            let mut targets = None;
+            let mut measure = Measure::Betweenness;
+            let (mut eps, mut delta, mut seed, mut khops) = (0.01f64, 0.01f64, 2022u64, 5usize);
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--targets" => {
+                        let list = it.next().ok_or("--targets needs a value")?;
+                        let ids: Result<Vec<NodeId>, _> =
+                            list.split(',').map(|s| s.trim().parse()).collect();
+                        targets = Some(TargetSpec::List(
+                            ids.map_err(|_| format!("--targets: cannot parse {list:?}"))?,
+                        ));
+                    }
+                    "--random" => targets = Some(TargetSpec::Random(next_parse(&mut it, "--random")?)),
+                    "--measure" => {
+                        let m = it.next().ok_or("--measure needs a value")?;
+                        measure = match m.as_str() {
+                            "bc" | "betweenness" => Measure::Betweenness,
+                            "kpath" => Measure::KPath,
+                            "harmonic" | "closeness" => Measure::Harmonic,
+                            other => return Err(format!("unknown measure {other}")),
+                        };
+                    }
+                    "--eps" => eps = next_parse(&mut it, "--eps")?,
+                    "--delta" => delta = next_parse(&mut it, "--delta")?,
+                    "--seed" => seed = next_parse(&mut it, "--seed")?,
+                    "--khops" => khops = next_parse(&mut it, "--khops")?,
+                    other => return Err(format!("rank: unknown flag {other}")),
+                }
+            }
+            let targets = targets.ok_or("rank: need --targets or --random")?;
+            Ok(Command::Rank {
+                path,
+                targets,
+                measure,
+                eps,
+                delta,
+                seed,
+                khops,
+            })
+        }
+        "gen" => {
+            let network = it.next().ok_or("gen: missing network name")?.clone();
+            let size = it.next().ok_or("gen: missing size class")?.clone();
+            let out = it.next().ok_or("gen: missing output path")?.clone();
+            let mut seed = 2022u64;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--seed" => seed = next_parse(&mut it, "--seed")?,
+                    other => return Err(format!("gen: unknown flag {other}")),
+                }
+            }
+            Ok(Command::Gen {
+                network,
+                size,
+                out,
+                seed,
+            })
+        }
+        other => Err(format!("unknown command {other}; expected info|exact|rank|gen")),
+    }
+}
+
+fn next_parse<'a, T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<T, String> {
+    it.next()
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("{flag}: invalid value"))
+}
+
+fn load(path: &str) -> Result<Graph, String> {
+    io::load_edge_list(path).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Info { path } => {
+            let g = load(&path)?;
+            let index = BcIndex::new(&g);
+            let comps = saphyra_graph::connectivity::Components::compute(&g);
+            println!("nodes            {}", g.num_nodes());
+            println!("edges            {}", g.num_edges());
+            println!("max degree       {}", g.max_degree());
+            println!("components       {}", comps.count());
+            println!("bi-components    {}", index.bic.num_bicomps);
+            println!(
+                "cutpoints        {}",
+                index.bic.is_cutpoint.iter().filter(|&&c| c).count()
+            );
+            println!("gamma (Eq. 19)   {:.6}", index.gamma);
+            Ok(())
+        }
+        Command::Exact { path, top, threads } => {
+            let g = load(&path)?;
+            let bc = saphyra_baselines::exact_betweenness(&g, threads);
+            let ranks = saphyra_stats::ranks_by_value(&bc);
+            let mut order: Vec<usize> = (0..g.num_nodes()).collect();
+            order.sort_by_key(|&v| ranks[v]);
+            println!("{:<8} {:<10} betweenness", "rank", "node");
+            for &v in order.iter().take(top) {
+                println!("{:<8} {:<10} {:.8}", ranks[v], v, bc[v]);
+            }
+            Ok(())
+        }
+        Command::Rank {
+            path,
+            targets,
+            measure,
+            eps,
+            delta,
+            seed,
+            khops,
+        } => {
+            let g = load(&path)?;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let targets = resolve_targets(&g, targets, &mut rng)?;
+            let (values, label): (Vec<f64>, &str) = match measure {
+                Measure::Betweenness => {
+                    let index = BcIndex::new(&g);
+                    let est = index.rank_subset(&targets, &SaphyraBcConfig::new(eps, delta), &mut rng);
+                    eprintln!(
+                        "samples {} (λ̂ {:.3}, VC {})",
+                        est.stats.samples, est.stats.lambda_hat, est.stats.vc.vc_subset
+                    );
+                    (est.bc, "betweenness")
+                }
+                Measure::KPath => (
+                    rank_kpath(&g, &targets, khops, eps, delta, &mut rng).kpc,
+                    "k-path",
+                ),
+                Measure::Harmonic => (
+                    rank_harmonic(&g, &targets, eps, delta, &mut rng).hc,
+                    "harmonic",
+                ),
+            };
+            let ranks = saphyra_stats::ranks_by_value(&values);
+            let mut order: Vec<usize> = (0..targets.len()).collect();
+            order.sort_by_key(|&i| ranks[i]);
+            println!("{:<8} {:<10} {label}", "rank", "node");
+            for &i in &order {
+                println!("{:<8} {:<10} {:.8}", ranks[i], targets[i], values[i]);
+            }
+            Ok(())
+        }
+        Command::Gen {
+            network,
+            size,
+            out,
+            seed,
+        } => {
+            use saphyra_gen::datasets::{SimNetwork, SizeClass};
+            let net = match network.as_str() {
+                "flickr" => SimNetwork::Flickr,
+                "livejournal" => SimNetwork::LiveJournal,
+                "usa-road" => SimNetwork::UsaRoad,
+                "orkut" => SimNetwork::Orkut,
+                other => return Err(format!("unknown network {other}")),
+            };
+            let size = match size.as_str() {
+                "tiny" => SizeClass::Tiny,
+                "small" => SizeClass::Small,
+                "full" => SizeClass::Full,
+                other => return Err(format!("unknown size class {other}")),
+            };
+            let g = net.build(size, seed);
+            io::save_edge_list(&g, &out).map_err(|e| e.to_string())?;
+            println!("wrote {} ({} nodes, {} edges)", out, g.num_nodes(), g.num_edges());
+            Ok(())
+        }
+    }
+}
+
+fn resolve_targets(
+    g: &Graph,
+    spec: TargetSpec,
+    rng: &mut StdRng,
+) -> Result<Vec<NodeId>, String> {
+    match spec {
+        TargetSpec::List(ids) => {
+            for &v in &ids {
+                if v as usize >= g.num_nodes() {
+                    return Err(format!("target {v} out of range (n = {})", g.num_nodes()));
+                }
+            }
+            Ok(ids)
+        }
+        TargetSpec::Random(k) => {
+            if k > g.num_nodes() {
+                return Err(format!("--random {k} exceeds n = {}", g.num_nodes()));
+            }
+            let mut set = std::collections::BTreeSet::new();
+            while set.len() < k {
+                set.insert(rng.gen_range(0..g.num_nodes() as NodeId));
+            }
+            Ok(set.into_iter().collect())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: saphyra-cli <info|exact|rank|gen> ... (see module docs / README)"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_info() {
+        let c = parse_args(&sv(&["info", "g.txt"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Info {
+                path: "g.txt".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_rank_with_flags() {
+        let c = parse_args(&sv(&[
+            "rank", "g.txt", "--targets", "1,2,3", "--measure", "harmonic", "--eps", "0.05",
+            "--seed", "9",
+        ]))
+        .unwrap();
+        match c {
+            Command::Rank {
+                targets: TargetSpec::List(ids),
+                measure,
+                eps,
+                seed,
+                ..
+            } => {
+                assert_eq!(ids, vec![1, 2, 3]);
+                assert_eq!(measure, Measure::Harmonic);
+                assert_eq!(eps, 0.05);
+                assert_eq!(seed, 9);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_random_targets() {
+        let c = parse_args(&sv(&["rank", "g.txt", "--random", "50"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Rank {
+                targets: TargetSpec::Random(50),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_args(&sv(&[])).is_err());
+        assert!(parse_args(&sv(&["frobnicate"])).is_err());
+        assert!(parse_args(&sv(&["rank", "g.txt"])).is_err()); // no targets
+        assert!(parse_args(&sv(&["rank", "g.txt", "--targets", "1,x"])).is_err());
+        assert!(parse_args(&sv(&["rank", "g.txt", "--random", "5", "--measure", "pagerank"])).is_err());
+        assert!(parse_args(&sv(&["gen", "flickr", "tiny"])).is_err()); // no out
+    }
+
+    #[test]
+    fn end_to_end_rank_on_temp_graph() {
+        let g = saphyra_graph::fixtures::grid_graph(5, 5);
+        let dir = std::env::temp_dir().join("saphyra_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grid.txt");
+        saphyra_graph::io::save_edge_list(&g, &path).unwrap();
+        let cmd = parse_args(&sv(&[
+            "rank",
+            path.to_str().unwrap(),
+            "--targets",
+            "6,12,18",
+            "--eps",
+            "0.1",
+        ]))
+        .unwrap();
+        run(cmd).unwrap();
+        let cmd = parse_args(&sv(&["info", path.to_str().unwrap()])).unwrap();
+        run(cmd).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,19 @@
+//! # saphyra-repro
+//!
+//! Umbrella package of the SaPHyRa reproduction (ICDE 2022). It hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`), and re-exports the workspace crates for convenience:
+//!
+//! * [`saphyra`] — the framework and SaPHyRa_bc;
+//! * [`saphyra_graph`] — the graph substrate;
+//! * [`saphyra_gen`] — simulated networks;
+//! * [`saphyra_stats`] — bounds and rank metrics;
+//! * [`saphyra_baselines`] — RK / ABRA / KADABRA / exact Brandes.
+//!
+//! Start with `cargo run --release --example quickstart`.
+
+pub use saphyra;
+pub use saphyra_baselines;
+pub use saphyra_gen;
+pub use saphyra_graph;
+pub use saphyra_stats;
