@@ -19,7 +19,7 @@
 use rand::RngCore;
 use saphyra_graph::bfs::BfsWorkspace;
 use saphyra_graph::{Graph, NodeId};
-use saphyra_stats::{vc_sample_bound, C_VC};
+use saphyra_stats::{stream, vc_sample_bound, C_VC};
 
 use crate::common::{diameter_vc_bound, uniform_pair, BaselineEstimate};
 
@@ -88,7 +88,9 @@ fn pair_dependencies(g: &Graph, ws: &BfsWorkspace, t: NodeId, scratch: &mut DagS
         }
     }
     // Process by decreasing distance: φ(v) = σs(v)·Σ_succ φ(w)/σs(w).
-    scratch.nodes.sort_unstable_by_key(|&v| std::cmp::Reverse(ws.dist(v)));
+    scratch
+        .nodes
+        .sort_unstable_by_key(|&v| std::cmp::Reverse(ws.dist(v)));
     for &v in &scratch.nodes {
         scratch.phi[v as usize] = 0.0;
     }
@@ -134,6 +136,61 @@ fn era_upper_bound(sumsq_nonzero: &[f64], zero_nodes: usize, n_samples: usize) -
     eval((0.5 * (lo + hi)).exp())
 }
 
+/// Draws `count` node-pair samples from chunks `first_chunk ..` and folds
+/// their pair dependencies into `sums` / `sumsq`.
+///
+/// Chunks carry counter-based RNGs and fold inside the fixed-order groups
+/// of [`stream::par_grouped_fold`]: one `f64` association order, so ABRA
+/// stays bit-identical for every thread count like the SaPHyRa estimators
+/// it is benchmarked against.
+fn accumulate_block(
+    g: &Graph,
+    master: u64,
+    first_chunk: u64,
+    count: usize,
+    sums: &mut [f64],
+    sumsq: &mut [f64],
+) {
+    let n = g.num_nodes();
+    let chunks = stream::num_chunks(count, stream::CHUNK);
+    // Whole-graph f64 accumulators: cap groups so transient memory stays
+    // bounded on large n (thread-count-independent, as f64 merging needs).
+    // Trade-off: past ~2M nodes the cap shrinks below typical worker
+    // counts and sampling parallelism degrades — inherent to O(n)-sized
+    // deterministic f64 accumulators, acceptable for a baseline.
+    let partials = stream::par_grouped_fold(
+        chunks,
+        stream::f64_groups(2 * n * std::mem::size_of::<f64>()),
+        || (BfsWorkspace::new(n), DagScratch::new(n)),
+        || (vec![0.0f64; n], vec![0.0f64; n]),
+        |(ws, scratch), (s_acc, q_acc), c| {
+            let mut rng = stream::chunk_rng(master, 0, first_chunk + c as u64);
+            let len = stream::chunk_len(count, stream::CHUNK, c);
+            for _ in 0..len {
+                let (s, t) = uniform_pair(n, &mut rng);
+                ws.run_counting(g, s, Some(t), |_| true);
+                if ws.visited(t) && ws.dist(t) >= 2 {
+                    pair_dependencies(g, ws, t, scratch);
+                    for &v in &scratch.nodes {
+                        if v == s || v == t {
+                            continue;
+                        }
+                        let phi = scratch.phi[v as usize];
+                        s_acc[v as usize] += phi;
+                        q_acc[v as usize] += phi * phi;
+                    }
+                }
+            }
+        },
+    );
+    for (s_acc, q_acc) in partials {
+        for v in 0..n {
+            sums[v] += s_acc[v];
+            sumsq[v] += q_acc[v];
+        }
+    }
+}
+
 /// Runs ABRA over the whole network.
 pub fn abra(g: &Graph, cfg: &AbraConfig, rng: &mut dyn RngCore) -> BaselineEstimate {
     let n = g.num_nodes();
@@ -147,33 +204,21 @@ pub fn abra(g: &Graph, cfg: &AbraConfig, rng: &mut dyn RngCore) -> BaselineEstim
     let vc = diameter_vc_bound(g);
     let n0 = ((cfg.c_vc / (cfg.eps * cfg.eps) * (1.0 / cfg.delta).ln()).ceil() as usize).max(16);
     let nmax = vc_sample_bound(cfg.eps, cfg.delta, vc).max(n0);
+    let master = rng.next_u64();
 
     let mut sums = vec![0.0f64; n];
     let mut sumsq = vec![0.0f64; n];
-    let mut ws = BfsWorkspace::new(n);
-    let mut scratch = DagScratch::new(n);
 
     let mut drawn = 0usize;
+    let mut next_chunk = 0u64;
     let mut target = n0.min(nmax);
     let mut round = 0u32;
     let mut converged_early = false;
     loop {
-        while drawn < target {
-            let (s, t) = uniform_pair(n, rng);
-            ws.run_counting(g, s, Some(t), |_| true);
-            if ws.visited(t) && ws.dist(t) >= 2 {
-                pair_dependencies(g, &ws, t, &mut scratch);
-                for &v in &scratch.nodes {
-                    if v == s || v == t {
-                        continue;
-                    }
-                    let phi = scratch.phi[v as usize];
-                    sums[v as usize] += phi;
-                    sumsq[v as usize] += phi * phi;
-                }
-            }
-            drawn += 1;
-        }
+        let block = target - drawn;
+        accumulate_block(g, master, next_chunk, block, &mut sums, &mut sumsq);
+        next_chunk += stream::num_chunks(block, stream::CHUNK) as u64;
+        drawn = target;
         round += 1;
         let delta_r = cfg.delta / (1u64 << round.min(60)) as f64;
         let nonzero: Vec<f64> = sumsq.iter().copied().filter(|&q| q > 0.0).collect();
@@ -267,6 +312,28 @@ mod tests {
                 let err = (est.bc[v as usize] - truth[v as usize]).abs();
                 assert!(err < 0.05, "node {v}: err {err}");
             }
+        }
+    }
+
+    #[test]
+    fn estimate_is_bit_identical_across_thread_counts() {
+        let g = fixtures::grid_graph(6, 5);
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    let mut rng = StdRng::seed_from_u64(5);
+                    abra(&g, &AbraConfig::new(0.08, 0.1), &mut rng)
+                })
+        };
+        let reference = run(1);
+        for threads in [2, 4, 8] {
+            let est = run(threads);
+            // f64 dependencies merge in a fixed group order: exact bits.
+            assert_eq!(est.bc, reference.bc, "{threads} threads");
+            assert_eq!(est.samples, reference.samples);
         }
     }
 

@@ -98,7 +98,9 @@ fn main() {
         ]);
     }
     table.print();
-    table.save_tsv("ablation.tsv").expect("write results/ablation.tsv");
+    table
+        .save_tsv("ablation.tsv")
+        .expect("write results/ablation.tsv");
     println!("\nexpected shape: removing the exact subspace raises the false-zero rate and drops");
     println!("rho on dense networks; the fixed budget inflates samples/time at equal accuracy;");
     println!("dropping bicomponents entirely (KADABRA) loses on both quality and time.");

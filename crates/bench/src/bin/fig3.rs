@@ -26,7 +26,9 @@ fn main() {
         ]);
     }
     table.print();
-    table.save_tsv("fig3_runtime.tsv").expect("write results/fig3_runtime.tsv");
+    table
+        .save_tsv("fig3_runtime.tsv")
+        .expect("write results/fig3_runtime.tsv");
 
     // Headline ratios, as reported in §V-B.
     println!("\nspeedup of SaPHyRa over the baselines (same network & eps):");
@@ -50,9 +52,15 @@ fn main() {
             fmt_ratio(find("SaPHyRa-full")),
         );
     }
-    println!("\nexpected shape (paper): ABRA slowest by 1-2 orders of magnitude (node-pair samples");
-    println!("cost a truncated BFS each); SaPHyRa 4-11x faster than SaPHyRa-full and needing fewer");
-    println!("samples than KADABRA. Note: our KADABRA reimplementation shares SaPHyRa's bb-BFS and");
+    println!(
+        "\nexpected shape (paper): ABRA slowest by 1-2 orders of magnitude (node-pair samples"
+    );
+    println!(
+        "cost a truncated BFS each); SaPHyRa 4-11x faster than SaPHyRa-full and needing fewer"
+    );
+    println!(
+        "samples than KADABRA. Note: our KADABRA reimplementation shares SaPHyRa's bb-BFS and"
+    );
     println!("Bernstein machinery, so the paper's 7-235x gap vs the authors' binaries compresses");
     println!("to sample-count ratios at simulation scale (see EXPERIMENTS.md).");
 }

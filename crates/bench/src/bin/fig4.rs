@@ -13,7 +13,14 @@ fn main() {
 
     let mut table = Table::new(
         format!("Fig. 4 — Spearman rank correlation ({scale:?} scale, {trials} subsets of 100)"),
-        &["network", "eps", "algorithm", "rho (mean±95ci)", "rho min", "rho max"],
+        &[
+            "network",
+            "eps",
+            "algorithm",
+            "rho (mean±95ci)",
+            "rho min",
+            "rho max",
+        ],
     );
     for r in &records {
         table.row(vec![
@@ -26,7 +33,9 @@ fn main() {
         ]);
     }
     table.print();
-    table.save_tsv("fig4_rank.tsv").expect("write results/fig4_rank.tsv");
+    table
+        .save_tsv("fig4_rank.tsv")
+        .expect("write results/fig4_rank.tsv");
     println!("\nexpected shape (paper): SaPHyRa/SaPHyRa-full dominate at every eps (e.g. 0.84 vs");
     println!("0.13/0.09 on LiveJournal at eps=0.05); baseline rho varies wildly across subsets");
     println!("(wide min-max band) while SaPHyRa stays tight.");

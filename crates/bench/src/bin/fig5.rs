@@ -21,7 +21,14 @@ fn main() {
 
     let mut table = Table::new(
         format!("Fig. 5 — rank correlation vs subset size (eps={eps}, {trials} subsets each)"),
-        &["network", "size", "algorithm", "rho (mean±95ci)", "rho min", "rho max"],
+        &[
+            "network",
+            "size",
+            "algorithm",
+            "rho (mean±95ci)",
+            "rho min",
+            "rho max",
+        ],
     );
     for net in build_networks(scale, seed) {
         let truth = ground_truth(net.name, &net.graph, scale, seed);
@@ -63,8 +70,14 @@ fn main() {
                 .iter()
                 .enumerate()
                 .map(|(i, subset)| {
-                    let out =
-                        run_algo(Algo::Saphyra, &net.graph, subset, eps, DELTA, seed + i as u64);
+                    let out = run_algo(
+                        Algo::Saphyra,
+                        &net.graph,
+                        subset,
+                        eps,
+                        DELTA,
+                        seed + i as u64,
+                    );
                     let t: Vec<f64> = subset.iter().map(|&v| truth[v as usize]).collect();
                     spearman_vs_truth(&out.subset_bc, &t)
                 })
@@ -81,7 +94,9 @@ fn main() {
         }
     }
     table.print();
-    table.save_tsv("fig5_subset_size.tsv").expect("write results/fig5_subset_size.tsv");
+    table
+        .save_tsv("fig5_subset_size.tsv")
+        .expect("write results/fig5_subset_size.tsv");
     println!("\nexpected shape (paper): the baselines' min-max band widens as the subset shrinks;");
     println!("SaPHyRa's band stays narrow at every size.");
 }

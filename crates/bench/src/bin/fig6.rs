@@ -35,7 +35,9 @@ fn main() {
         // Union of the trial subsets = the evaluated node population.
         let mut subset_rng = StdRng::seed_from_u64(seed ^ 0x66);
         let mut pool: Vec<u32> = (0..trials)
-            .flat_map(|_| random_subset(&net.graph, 100.min(net.graph.num_nodes()), &mut subset_rng))
+            .flat_map(|_| {
+                random_subset(&net.graph, 100.min(net.graph.num_nodes()), &mut subset_rng)
+            })
             .collect();
         pool.sort_unstable();
         pool.dedup();
@@ -50,7 +52,11 @@ fn main() {
                 pool.iter().map(|&v| out.subset_bc[v as usize]).collect()
             };
             let rep = relative_errors(&est, &truth_pool, 150.0, 10);
-            let hist: Vec<String> = rep.histogram.iter().map(|&h| format!("{:.0}", h * 100.0)).collect();
+            let hist: Vec<String> = rep
+                .histogram
+                .iter()
+                .map(|&h| format!("{:.0}", h * 100.0))
+                .collect();
             table.row(vec![
                 net.name.to_string(),
                 algo.name().to_string(),
@@ -62,9 +68,13 @@ fn main() {
         }
     }
     table.print();
-    table.save_tsv("fig6_relerr.tsv").expect("write results/fig6_relerr.tsv");
+    table
+        .save_tsv("fig6_relerr.tsv")
+        .expect("write results/fig6_relerr.tsv");
     println!("\nexpected shape (paper): ABRA/KADABRA show large false-zero fractions (37-96%),");
-    println!("growing with network density (Flickr < LiveJournal < Orkut); SaPHyRa variants show 0%");
+    println!(
+        "growing with network density (Flickr < LiveJournal < Orkut); SaPHyRa variants show 0%"
+    );
     println!("false zeros (Lemma 19), and the more true zeros a network has, the better the");
     println!("baselines' rank correlation looks in Fig. 4.");
 }

@@ -70,7 +70,9 @@ fn main() {
         ]);
     }
     table.print();
-    table.save_tsv("fig7_road.tsv").expect("write results/fig7_road.tsv");
+    table
+        .save_tsv("fig7_road.tsv")
+        .expect("write results/fig7_road.tsv");
     println!("\nexpected shape (paper): SaPHyRa beats KADABRA on both time and rank quality in");
     println!("every area; SaPHyRa's time shrinks with the area (105s FL -> 59s NYC at paper");
     println!("scale); rank deviation: KADABRA up to 39%, SaPHyRa-full/SaPHyRa 11-12%.");

@@ -17,7 +17,14 @@ fn main() {
     );
     let mut fig4 = Table::new(
         format!("Fig. 4 — Spearman rank correlation ({scale:?} scale, {trials} subsets of 100)"),
-        &["network", "eps", "algorithm", "rho (mean±95ci)", "rho min", "rho max"],
+        &[
+            "network",
+            "eps",
+            "algorithm",
+            "rho (mean±95ci)",
+            "rho min",
+            "rho max",
+        ],
     );
     for r in &records {
         fig3.row(vec![

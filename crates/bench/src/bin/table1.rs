@@ -49,8 +49,12 @@ fn main() {
         ]);
     }
     table.print();
-    table.save_tsv("table1.tsv").expect("write results/table1.tsv");
-    println!("\nexpected shape (paper Table I): VC(subset) <= VC(full, bicomponent) <= VC(Riondato,");
+    table
+        .save_tsv("table1.tsv")
+        .expect("write results/table1.tsv");
+    println!(
+        "\nexpected shape (paper Table I): VC(subset) <= VC(full, bicomponent) <= VC(Riondato,"
+    );
     println!("diameter). The bicomponent bound wins on pendant-heavy networks (flickr-sim);");
     println!("the subset bound wins for small or localized subsets — the 2-hop column shows the");
     println!("l-hop specialization log2(2l+1)+1, independent of the network diameter.");

@@ -13,8 +13,15 @@ fn main() {
     let mut table = Table::new(
         format!("Table II — networks' summary ({scale:?} scale, seed {seed})"),
         &[
-            "network", "nodes", "edges", "diam>=", "avg-deg", "bicomps", "largest-bicomp",
-            "cutpoints", "gamma",
+            "network",
+            "nodes",
+            "edges",
+            "diam>=",
+            "avg-deg",
+            "bicomps",
+            "largest-bicomp",
+            "cutpoints",
+            "gamma",
         ],
     );
     for net in build_networks(scale, seed) {
@@ -40,8 +47,12 @@ fn main() {
         ]);
     }
     table.print();
-    table.save_tsv("table2.tsv").expect("write results/table2.tsv");
-    println!("\npaper reference (Table II): Flickr 1.6M/15.5M diam 24; LiveJournal 5.2M/49.2M diam 23;");
+    table
+        .save_tsv("table2.tsv")
+        .expect("write results/table2.tsv");
+    println!(
+        "\npaper reference (Table II): Flickr 1.6M/15.5M diam 24; LiveJournal 5.2M/49.2M diam 23;"
+    );
     println!("USA-road 23.9M/58.3M diam 1524; Orkut 3.1M/117.2M diam 10.");
     println!("expected shape: road-sim diameter orders of magnitude above the social networks.");
 }

@@ -58,8 +58,7 @@ pub fn run_eps_sweep(
                 if algo.subset_aware() {
                     // SaPHyRa runs once per subset.
                     for (i, subset) in subsets.iter().enumerate() {
-                        let out =
-                            run_algo(algo, &net.graph, subset, eps, DELTA, seed + i as u64);
+                        let out = run_algo(algo, &net.graph, subset, eps, DELTA, seed + i as u64);
                         let truth_sub: Vec<f64> =
                             subset.iter().map(|&v| truth[v as usize]).collect();
                         rhos.push(spearman_vs_truth(&out.subset_bc, &truth_sub));

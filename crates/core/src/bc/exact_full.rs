@@ -50,16 +50,7 @@ impl BcIndex<'_> {
             }
             for (&s, &r_s) in nodes.iter().zip(rs) {
                 accumulate_weighted_source(
-                    g,
-                    s,
-                    r_s as f64,
-                    &self.bic,
-                    b,
-                    &mut ws,
-                    &mut delta,
-                    &weight,
-                    &mut bc,
-                    norm,
+                    g, s, r_s as f64, &self.bic, b, &mut ws, &mut delta, &weight, &mut bc, norm,
                 );
             }
             for &v in nodes {

@@ -6,33 +6,127 @@
 //! component's edges) and *rejected* if it lands in the exact subspace
 //! (length-2 path with a target inner node), which realizes the
 //! approximate distribution `D̃` of Eq. 31.
+//!
+//! The problem/sampler split follows the parallel batch contract: the
+//! [`BcApproxProblem`] owns the immutable PISP prefix-sum tables and index
+//! maps (shared across workers by reference — they are never copied), and
+//! each [`BcSampler`] owns a private [`BiBfs`] workspace and path buffer,
+//! so concurrent workers draw without locks or allocation. Accept/reject
+//! telemetry flows back through relaxed atomic counters (totals only —
+//! per-worker interleaving is irrelevant).
 
-use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::{Rng, RngCore};
 use saphyra_graph::bbbfs::BiBfs;
 use saphyra_graph::{Bicomps, Graph, NodeId};
 
 use super::isp::Pisp;
 use super::outreach::Outreach;
-use crate::framework::HrProblem;
+use crate::framework::{HrProblem, HrSampler};
 
 const NONE: u32 = u32::MAX;
 
-/// The approximate-subspace sampling problem for one target set.
+/// The exact-subspace membership test of Eq. 29: a length-2 path whose
+/// inner node is a target. The one definition shared by the rejection
+/// loops and [`BcApproxProblem::in_exact_subspace`].
+#[inline]
+fn path_in_exact_subspace(a_index: &[u32], path: &[NodeId]) -> bool {
+    path.len() == 3 && a_index[path[1] as usize] != NONE
+}
+
+/// The approximate-subspace sampling problem for one target set: the
+/// shared, read-only half of the `Gen_bc` engine.
 pub struct BcApproxProblem<'a> {
     g: &'a Graph,
     bic: &'a Bicomps,
     pisp: Pisp,
     a_index: &'a [u32],
     vc_dim: usize,
-    bb: BiBfs,
-    path_buf: Vec<NodeId>,
-    /// Samples accepted (returned to the estimator).
-    pub accepted: u64,
+    /// Samples accepted (returned to the estimator), summed over all
+    /// workers.
+    accepted: AtomicU64,
     /// Samples rejected into the exact subspace (Algorithm 2 line 6).
-    pub rejected: u64,
+    rejected: AtomicU64,
     /// Whether exact-subspace samples are rejected (false = the
     /// no-partitioning ablation: sample the raw PISP distribution).
     pub reject_exact: bool,
+    /// Scratch for the single-sample convenience methods (not used by the
+    /// batch path, which creates one scratch per worker).
+    own: BcScratch,
+}
+
+/// Mutable per-drawing-head state: BFS workspace and path buffer.
+struct BcScratch {
+    bb: BiBfs,
+    path: Vec<NodeId>,
+}
+
+impl BcScratch {
+    fn new(n: usize) -> Self {
+        BcScratch {
+            bb: BiBfs::new(n),
+            path: Vec::new(),
+        }
+    }
+}
+
+/// Draws one raw ISP sample into `scratch.path`.
+fn sample_isp_into<R: Rng + ?Sized>(
+    g: &Graph,
+    bic: &Bicomps,
+    pisp: &Pisp,
+    scratch: &mut BcScratch,
+    rng: &mut R,
+) {
+    let (b, s, t) = pisp.sample_pair(bic, rng);
+    let filter = |slot: usize| bic.bicomp_of_slot(g, slot) == b;
+    let res = scratch
+        .bb
+        .query(g, s, t, filter)
+        .expect("co-component pair must be connected within its component");
+    scratch
+        .bb
+        .sample_path_into(g, res, rng, filter, &mut scratch.path);
+}
+
+/// One `Gen_bc` draw into `hits`: optional rejection loop plus inner-node
+/// hit extraction (endpoints never count, Eq. 6). Returns the
+/// `(accepted, rejected)` deltas; shared by the per-worker [`BcSampler`]
+/// and the problem's own single-sample path.
+#[allow(clippy::too_many_arguments)]
+fn draw_hits(
+    g: &Graph,
+    bic: &Bicomps,
+    pisp: &Pisp,
+    a_index: &[u32],
+    reject_exact: bool,
+    scratch: &mut BcScratch,
+    rng: &mut dyn RngCore,
+    hits: &mut Vec<u32>,
+) -> (u64, u64) {
+    let mut rejected = 0;
+    if reject_exact {
+        loop {
+            sample_isp_into(g, bic, pisp, scratch, rng);
+            if path_in_exact_subspace(a_index, &scratch.path) {
+                rejected += 1;
+                continue;
+            }
+            break;
+        }
+    } else {
+        sample_isp_into(g, bic, pisp, scratch, rng);
+    }
+    let path = &scratch.path;
+    let len = path.len();
+    for &v in &path[1..len.saturating_sub(1)] {
+        let ai = a_index[v as usize];
+        if ai != NONE {
+            hits.push(ai);
+        }
+    }
+    (1, rejected)
 }
 
 impl<'a> BcApproxProblem<'a> {
@@ -53,11 +147,10 @@ impl<'a> BcApproxProblem<'a> {
             pisp,
             a_index,
             vc_dim,
-            bb: BiBfs::new(g.num_nodes()),
-            path_buf: Vec::new(),
-            accepted: 0,
-            rejected: 0,
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
             reject_exact: true,
+            own: BcScratch::new(g.num_nodes()),
         }
     }
 
@@ -66,60 +159,99 @@ impl<'a> BcApproxProblem<'a> {
         &self.pisp
     }
 
+    /// Samples accepted so far (all workers).
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Samples rejected into the exact subspace so far (all workers).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
     /// Draws one PISP path *without* the exact-subspace rejection — the raw
     /// ISP distribution, used by tests and by the no-partitioning ablation.
     pub fn sample_isp_path<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<NodeId> {
-        self.sample_isp_into(rng);
-        self.path_buf.clone()
-    }
-
-    /// Fills the internal path buffer with one raw ISP sample (the
-    /// allocation-free hot path of the estimator).
-    fn sample_isp_into<R: Rng + ?Sized>(&mut self, rng: &mut R) {
-        let (b, s, t) = self.pisp.sample_pair(self.bic, rng);
-        let g = self.g;
-        let bic = self.bic;
-        let filter = |slot: usize| bic.bicomp_of_slot(g, slot) == b;
-        let res = self
-            .bb
-            .query(g, s, t, filter)
-            .expect("co-component pair must be connected within its component");
-        self.bb.sample_path_into(g, res, rng, filter, &mut self.path_buf);
+        sample_isp_into(self.g, self.bic, &self.pisp, &mut self.own, rng);
+        self.own.path.clone()
     }
 
     /// Whether a path lies in the exact subspace `X̂` (Eq. 29).
     #[inline]
     pub fn in_exact_subspace(&self, path: &[NodeId]) -> bool {
-        path.len() == 3 && self.a_index[path[1] as usize] != NONE
+        path_in_exact_subspace(self.a_index, path)
     }
 
     /// Draws one sample from `D̃` (rejection loop of Algorithm 2).
     pub fn sample_approx_path<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<NodeId> {
-        self.sample_approx_into(rng);
-        self.path_buf.clone()
-    }
-
-    /// Buffer-filling variant of [`BcApproxProblem::sample_approx_path`].
-    fn sample_approx_into<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let (mut accepted, mut rejected) = (0, 0);
         loop {
-            self.sample_isp_into(rng);
-            if self.path_buf.len() == 3 && self.a_index[self.path_buf[1] as usize] != NONE {
-                self.rejected += 1;
+            sample_isp_into(self.g, self.bic, &self.pisp, &mut self.own, rng);
+            if path_in_exact_subspace(self.a_index, &self.own.path) {
+                rejected += 1;
                 continue;
             }
-            self.accepted += 1;
-            return;
+            accepted += 1;
+            break;
         }
+        self.accepted.fetch_add(accepted, Ordering::Relaxed);
+        self.rejected.fetch_add(rejected, Ordering::Relaxed);
+        self.own.path.clone()
     }
 
     /// Empirical rejection rate (should approach `λ̂`, Lemma 17).
     pub fn rejection_rate(&self) -> f64 {
-        let total = self.accepted + self.rejected;
+        let accepted = self.accepted();
+        let rejected = self.rejected();
+        let total = accepted + rejected;
         if total == 0 {
             0.0
         } else {
-            self.rejected as f64 / total as f64
+            rejected as f64 / total as f64
         }
+    }
+}
+
+/// Per-worker drawing head of `Gen_bc`: borrows the shared tables, owns
+/// the BFS scratch.
+pub struct BcSampler<'p> {
+    g: &'p Graph,
+    bic: &'p Bicomps,
+    pisp: &'p Pisp,
+    a_index: &'p [u32],
+    reject_exact: bool,
+    scratch: BcScratch,
+    local_accepted: u64,
+    local_rejected: u64,
+    accepted: &'p AtomicU64,
+    rejected: &'p AtomicU64,
+}
+
+impl Drop for BcSampler<'_> {
+    fn drop(&mut self) {
+        // Telemetry flush: one atomic RMW per worker lifetime, not per
+        // sample.
+        self.accepted
+            .fetch_add(self.local_accepted, Ordering::Relaxed);
+        self.rejected
+            .fetch_add(self.local_rejected, Ordering::Relaxed);
+    }
+}
+
+impl HrSampler for BcSampler<'_> {
+    fn sample_hits_into(&mut self, rng: &mut dyn RngCore, hits: &mut Vec<u32>) {
+        let (accepted, rejected) = draw_hits(
+            self.g,
+            self.bic,
+            self.pisp,
+            self.a_index,
+            self.reject_exact,
+            &mut self.scratch,
+            rng,
+            hits,
+        );
+        self.local_accepted += accepted;
+        self.local_rejected += rejected;
     }
 }
 
@@ -128,24 +260,40 @@ impl HrProblem for BcApproxProblem<'_> {
         self.a_index.iter().filter(|&&i| i != NONE).count()
     }
 
-    fn sample_hits(&mut self, rng: &mut dyn rand::RngCore, hits: &mut Vec<u32>) {
-        if self.reject_exact {
-            self.sample_approx_into(rng);
-        } else {
-            self.sample_isp_into(rng);
-        }
-        // Inner nodes only: endpoints are never counted (Eq. 6).
-        let len = self.path_buf.len();
-        for &v in &self.path_buf[1..len.saturating_sub(1)] {
-            let ai = self.a_index[v as usize];
-            if ai != NONE {
-                hits.push(ai);
-            }
-        }
+    fn sampler(&self) -> Box<dyn HrSampler + '_> {
+        Box::new(BcSampler {
+            g: self.g,
+            bic: self.bic,
+            pisp: &self.pisp,
+            a_index: self.a_index,
+            reject_exact: self.reject_exact,
+            scratch: BcScratch::new(self.g.num_nodes()),
+            local_accepted: 0,
+            local_rejected: 0,
+            accepted: &self.accepted,
+            rejected: &self.rejected,
+        })
     }
 
     fn vc_dimension(&self) -> usize {
         self.vc_dim
+    }
+
+    /// Single-sample path through the problem-owned scratch: no per-call
+    /// sampler allocation (overrides the default one-shot adapter).
+    fn sample_hits(&mut self, rng: &mut dyn RngCore, hits: &mut Vec<u32>) {
+        let (accepted, rejected) = draw_hits(
+            self.g,
+            self.bic,
+            &self.pisp,
+            self.a_index,
+            self.reject_exact,
+            &mut self.own,
+            rng,
+            hits,
+        );
+        *self.accepted.get_mut() += accepted;
+        *self.rejected.get_mut() += rejected;
     }
 }
 
@@ -277,7 +425,10 @@ mod tests {
         }
         for ((s, t), &q) in &expect {
             let got = *counts.get(&(*s, *t)).unwrap_or(&0) as f64 / trials as f64;
-            assert!((got - q).abs() < 0.01 + 0.1 * q, "pair ({s},{t}): {got} vs {q}");
+            assert!(
+                (got - q).abs() < 0.01 + 0.1 * q,
+                "pair ({s},{t}): {got} vs {q}"
+            );
         }
     }
 
@@ -300,6 +451,75 @@ mod tests {
             for &h in &hits {
                 assert!(h < 2);
             }
+        }
+    }
+
+    #[test]
+    fn concurrent_samplers_share_tables_and_flush_telemetry() {
+        let g = fixtures::grid_graph(6, 6);
+        let (bic, or) = setup(&g);
+        let targets: Vec<u32> = vec![7, 14, 21, 28];
+        let a_index = build_a_index(36, &targets);
+        let prob = BcApproxProblem::new(&g, &bic, &or, &targets, &a_index, 3);
+        let per_worker = 2000u64;
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let prob = &prob;
+                scope.spawn(move || {
+                    let mut sampler = prob.sampler();
+                    let mut rng = StdRng::seed_from_u64(100 + w);
+                    let mut hits = Vec::new();
+                    for _ in 0..per_worker {
+                        hits.clear();
+                        sampler.sample_hits_into(&mut rng, &mut hits);
+                    }
+                });
+            }
+        });
+        // Every accepted draw was counted exactly once after the drops.
+        assert_eq!(prob.accepted(), 4 * per_worker);
+        // Rejection happens on this instance (targets sit on many 2-paths).
+        assert!(prob.rejected() > 0);
+    }
+
+    #[test]
+    fn batch_and_single_sample_paths_agree_in_distribution() {
+        // The batch sampler head and the legacy single-sample path draw
+        // from the same D̃: compare per-hypothesis hit frequencies.
+        let g = fixtures::grid_graph(6, 5);
+        let (bic, or) = setup(&g);
+        let targets: Vec<u32> = vec![7, 8, 14, 21];
+        let a_index = build_a_index(30, &targets);
+        let mut prob = BcApproxProblem::new(&g, &bic, &or, &targets, &a_index, 3);
+        let trials = 60_000usize;
+
+        let mut batch_counts = vec![0u64; targets.len()];
+        {
+            let mut sampler = prob.sampler();
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut hits = Vec::new();
+            for _ in 0..trials {
+                hits.clear();
+                sampler.sample_hits_into(&mut rng, &mut hits);
+                for &h in &hits {
+                    batch_counts[h as usize] += 1;
+                }
+            }
+        }
+        let mut single_counts = vec![0u64; targets.len()];
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut hits = Vec::new();
+        for _ in 0..trials {
+            hits.clear();
+            prob.sample_hits(&mut rng, &mut hits);
+            for &h in &hits {
+                single_counts[h as usize] += 1;
+            }
+        }
+        for i in 0..targets.len() {
+            let a = batch_counts[i] as f64 / trials as f64;
+            let b = single_counts[i] as f64 / trials as f64;
+            assert!((a - b).abs() < 0.02, "hypothesis {i}: batch {a} single {b}");
         }
     }
 }

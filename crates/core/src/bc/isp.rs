@@ -98,7 +98,10 @@ impl Pisp {
         // Stage 1: component ∝ W_b.
         let total = self.total_weight();
         let x = rng.gen::<f64>() * total;
-        let mi = self.cum_weight.partition_point(|&c| c <= x).min(self.members.len() - 1);
+        let mi = self
+            .cum_weight
+            .partition_point(|&c| c <= x)
+            .min(self.members.len() - 1);
         let b = self.members[mi];
         let nodes = bic.nodes_of(b);
 

@@ -13,7 +13,7 @@ pub mod outreach;
 pub mod ranker;
 pub mod vcbound;
 
-pub use exact2hop::{exact_bc, build_a_index, ExactBcOutput};
+pub use exact2hop::{build_a_index, exact_bc, ExactBcOutput};
 pub use gen::BcApproxProblem;
 pub use isp::Pisp;
 pub use outreach::{bca_values, gamma, Outreach};

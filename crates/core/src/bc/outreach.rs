@@ -163,8 +163,7 @@ mod tests {
             for b in 0..bic.num_bicomps as u32 {
                 let total: u64 = or.r_slice(&bic, b).iter().map(|&x| x as u64).sum();
                 assert_eq!(
-                    total,
-                    tree.comp_total_of_bicomp[b as usize] as u64,
+                    total, tree.comp_total_of_bicomp[b as usize] as u64,
                     "component {b}"
                 );
             }

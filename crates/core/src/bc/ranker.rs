@@ -242,7 +242,7 @@ impl<'g> BcIndex<'g> {
         // divides by λ for the approximate subspace).
         let eps_inner = cfg.eps / gamma_eta;
         let est = crate::framework::saphyra_estimate_cfg(
-            &mut prob,
+            &prob,
             &exact_part,
             eps_inner,
             cfg.delta,
@@ -269,7 +269,7 @@ impl<'g> BcIndex<'g> {
             eps_inner,
             samples: outcome.samples_used,
             pilot_samples: outcome.pilot_samples,
-            rejected: prob.rejected,
+            rejected: prob.rejected(),
             exact_work,
             converged_early: outcome.converged_early,
             nmax: outcome.nmax,
@@ -319,9 +319,19 @@ mod tests {
 
     #[test]
     fn accuracy_on_fixtures() {
-        check_accuracy(&fixtures::paper_fig2(), &(0..11u32).collect::<Vec<_>>(), 0.05, 1);
+        check_accuracy(
+            &fixtures::paper_fig2(),
+            &(0..11u32).collect::<Vec<_>>(),
+            0.05,
+            1,
+        );
         check_accuracy(&fixtures::grid_graph(6, 6), &[7, 14, 21, 28, 35], 0.05, 2);
-        check_accuracy(&fixtures::lollipop_graph(6, 6), &(0..12u32).collect::<Vec<_>>(), 0.05, 3);
+        check_accuracy(
+            &fixtures::lollipop_graph(6, 6),
+            &(0..12u32).collect::<Vec<_>>(),
+            0.05,
+            3,
+        );
         check_accuracy(&fixtures::cycle_graph(20), &[0, 5, 10], 0.05, 4);
     }
 

@@ -111,9 +111,7 @@ pub fn vc_bounds(g: &Graph, bic: &Bicomps, targets: &[NodeId]) -> VcBoundReport 
             .max()
             .unwrap_or(0);
         let vd_ci = bicomp_diam_upper(b, &mut ws);
-        let bound = (vd_ci.saturating_sub(1))
-            .min(2 * sd + 1)
-            .min(count);
+        let bound = (vd_ci.saturating_sub(1)).min(2 * sd + 1).min(count);
         bs_upper = bs_upper.max(bound);
         i = j;
     }

@@ -20,7 +20,7 @@ use saphyra_graph::bfs::{BfsWorkspace, INFINITY};
 use saphyra_graph::{Graph, NodeId};
 
 use crate::framework::{
-    saphyra_estimate_weighted, ExactPart, SaphyraEstimate, WeightedHrProblem,
+    saphyra_estimate_weighted, ExactPart, SaphyraEstimate, WeightedHrProblem, WeightedHrSampler,
 };
 
 const NONE: u32 = u32::MAX;
@@ -79,12 +79,13 @@ pub fn harmonic_exact_part(g: &Graph, targets: &[NodeId]) -> ExactPart {
     }
 }
 
-/// The approximate-subspace sampler: uniform sources from `V ∖ A`.
+/// The approximate-subspace sampling problem: uniform sources from
+/// `V ∖ A`. Shared read-only half; BFS scratch lives in
+/// [`HarmonicSampler`].
 pub struct HarmonicApproxProblem<'a> {
     g: &'a Graph,
     a_pos: Vec<u32>,
     complement: Vec<NodeId>,
-    ws: BfsWorkspace,
     k: usize,
 }
 
@@ -106,8 +107,30 @@ impl<'a> HarmonicApproxProblem<'a> {
             g,
             a_pos,
             complement,
-            ws: BfsWorkspace::new(n),
             k: targets.len(),
+        }
+    }
+}
+
+/// Per-worker drawing head: one BFS workspace per worker.
+pub struct HarmonicSampler<'p> {
+    problem: &'p HarmonicApproxProblem<'p>,
+    ws: BfsWorkspace,
+}
+
+impl WeightedHrSampler for HarmonicSampler<'_> {
+    fn sample_losses_into(&mut self, rng: &mut dyn RngCore, out: &mut Vec<(u32, f64)>) {
+        let p = self.problem;
+        let u = p.complement[rng.gen_range(0..p.complement.len())];
+        self.ws.run(p.g, u);
+        for (v, &pos) in p.a_pos.iter().enumerate() {
+            if pos == NONE {
+                continue;
+            }
+            let d = self.ws.dist(v as NodeId);
+            if d != INFINITY && d > 0 {
+                out.push((pos, 1.0 / d as f64));
+            }
         }
     }
 }
@@ -117,18 +140,11 @@ impl WeightedHrProblem for HarmonicApproxProblem<'_> {
         self.k
     }
 
-    fn sample_losses(&mut self, rng: &mut dyn RngCore, out: &mut Vec<(u32, f64)>) {
-        let u = self.complement[rng.gen_range(0..self.complement.len())];
-        self.ws.run(self.g, u);
-        for (v, &pos) in self.a_pos.iter().enumerate() {
-            if pos == NONE {
-                continue;
-            }
-            let d = self.ws.dist(v as NodeId);
-            if d != INFINITY && d > 0 {
-                out.push((pos, 1.0 / d as f64));
-            }
-        }
+    fn sampler(&self) -> Box<dyn WeightedHrSampler + '_> {
+        Box::new(HarmonicSampler {
+            problem: self,
+            ws: BfsWorkspace::new(self.g.num_nodes()),
+        })
     }
 }
 
@@ -167,8 +183,8 @@ pub fn rank_harmonic(
             },
         };
     }
-    let mut prob = HarmonicApproxProblem::new(g, targets);
-    let inner = saphyra_estimate_weighted(&mut prob, &exact, eps, delta, rng);
+    let prob = HarmonicApproxProblem::new(g, targets);
+    let inner = saphyra_estimate_weighted(&prob, &exact, eps, delta, rng);
     HarmonicEstimate {
         targets: targets.to_vec(),
         hc: inner.combined.clone(),

@@ -1,12 +1,23 @@
 //! Algorithm 1's sampling engine: pilot variance pass, per-hypothesis error
 //! allocation, doubling schedule with empirical-Bernstein stopping, and the
 //! VC-bounded worst-case budget.
+//!
+//! Sampling is executed by the parallel batch engine
+//! ([`super::batch`]): every phase — the pilot pass, the fixed-budget
+//! ablation, and each doubling round — draws its block of samples as
+//! counter-seeded chunks fanned out over rayon workers, each worker owning
+//! an [`super::problem::HrSampler`] with private scratch. The caller's
+//! `rng` contributes exactly one `u64` master seed, after which every
+//! drawn value is a pure function of `(master, stream, chunk)`: the
+//! returned estimates are **bit-identical for every thread count**.
 
+use rand::RngCore;
 use saphyra_stats::{
     allocate_deltas, bernoulli_sample_variance, doubling_rounds, empirical_bernstein_epsilon,
     vc_sample_bound, C_VC,
 };
 
+use super::batch::{chunks_used, sample_hit_counts, STREAM_MAIN, STREAM_PILOT};
 use super::problem::HrProblem;
 
 /// Tuning knobs of the adaptive estimator.
@@ -94,33 +105,29 @@ impl AdaptiveOutcome {
 /// at sizes `N₀, 2N₀, …`; each check spends `Σᵢ 2δᵢ = δ/R` of the failure
 /// budget (Eq. 13). If no check passes, sampling runs to `N_max`, where
 /// Lemma 4's VC bound guarantees the (ε′, δ)-estimate unconditionally.
+///
+/// The caller's `rng` is consumed for a single master seed; all sample
+/// blocks are then drawn in parallel through [`HrProblem::sampler`] heads
+/// with deterministic per-chunk RNG streams.
 pub fn estimate_risks<P: HrProblem + ?Sized>(
-    problem: &mut P,
+    problem: &P,
     cfg: &AdaptiveConfig,
-    rng: &mut dyn rand::RngCore,
+    rng: &mut dyn RngCore,
 ) -> AdaptiveOutcome {
     let k = problem.num_hypotheses();
     if k == 0 {
         return AdaptiveOutcome::empty();
     }
+    let master = rng.next_u64();
     let ln_inv_delta = (1.0 / cfg.delta).ln();
     let vc = problem.vc_dimension().max(1);
     let n0 = ((cfg.c_vc / (cfg.eps_prime * cfg.eps_prime) * ln_inv_delta).ceil() as usize)
         .max(cfg.min_pilot);
     let nmax = vc_sample_bound(cfg.eps_prime, cfg.delta, vc).max(n0);
 
-    let mut hits_buf: Vec<u32> = Vec::new();
-
     if !cfg.adaptive {
         // Fixed-size ablation: the plain Lemma 4 estimator.
-        let mut hits = vec![0u64; k];
-        for _ in 0..nmax {
-            hits_buf.clear();
-            problem.sample_hits(rng, &mut hits_buf);
-            for &i in &hits_buf {
-                hits[i as usize] += 1;
-            }
-        }
+        let hits = sample_hit_counts(problem, k, master, STREAM_MAIN, 0, nmax);
         return AdaptiveOutcome {
             estimates: hits.iter().map(|&h| h as f64 / nmax as f64).collect(),
             samples_used: nmax,
@@ -135,14 +142,7 @@ pub fn estimate_risks<P: HrProblem + ?Sized>(
 
     // Pilot pass (line 9 / §III-C): independent samples estimating each
     // hypothesis' variance for the δᵢ allocation.
-    let mut pilot_hits = vec![0u64; k];
-    for _ in 0..n0 {
-        hits_buf.clear();
-        problem.sample_hits(rng, &mut hits_buf);
-        for &i in &hits_buf {
-            pilot_hits[i as usize] += 1;
-        }
-    }
+    let pilot_hits = sample_hit_counts(problem, k, master, STREAM_PILOT, 0, n0);
     let pilot_vars: Vec<f64> = pilot_hits
         .iter()
         .map(|&h| bernoulli_sample_variance(h, n0 as u64))
@@ -152,21 +152,25 @@ pub fn estimate_risks<P: HrProblem + ?Sized>(
     let deltas = allocate_deltas(&pilot_vars, nmax, cfg.eps_prime, cfg.delta / rounds as f64);
 
     // Main loop (lines 10-18): fresh samples, doubling with early stop.
+    // Every round extends STREAM_MAIN past the chunks already drawn; the
+    // round boundaries are a deterministic function of the counts alone,
+    // so the union of drawn chunks — and therefore every estimate below —
+    // does not depend on the worker count.
     let mut hits = vec![0u64; k];
     let mut n = 0usize;
+    let mut next_chunk = 0u64;
     let mut target = n0.min(nmax);
     let mut converged_early = false;
     let mut achieved_eps;
     let mut rounds_run = 0usize;
     loop {
-        while n < target {
-            hits_buf.clear();
-            problem.sample_hits(rng, &mut hits_buf);
-            for &i in &hits_buf {
-                hits[i as usize] += 1;
-            }
-            n += 1;
+        let block = target - n;
+        let block_hits = sample_hit_counts(problem, k, master, STREAM_MAIN, next_chunk, block);
+        next_chunk += chunks_used(block);
+        for (h, b) in hits.iter_mut().zip(block_hits) {
+            *h += b;
         }
+        n = target;
         rounds_run += 1;
         let mut max_eps = 0.0f64;
         for i in 0..k {
@@ -187,14 +191,12 @@ pub fn estimate_risks<P: HrProblem + ?Sized>(
         }
         if rounds_run >= rounds {
             // Bernstein budget exhausted: run straight to N_max.
-            while n < nmax {
-                hits_buf.clear();
-                problem.sample_hits(rng, &mut hits_buf);
-                for &i in &hits_buf {
-                    hits[i as usize] += 1;
-                }
-                n += 1;
+            let block = nmax - n;
+            let block_hits = sample_hit_counts(problem, k, master, STREAM_MAIN, next_chunk, block);
+            for (h, b) in hits.iter_mut().zip(block_hits) {
+                *h += b;
             }
+            n = nmax;
             break;
         }
         target = (2 * target).min(nmax);
@@ -215,6 +217,7 @@ pub fn estimate_risks<P: HrProblem + ?Sized>(
 
 #[cfg(test)]
 mod tests {
+    use super::super::problem::HrSampler;
     use super::*;
     use rand::Rng;
 
@@ -225,16 +228,26 @@ mod tests {
         vc: usize,
     }
 
-    impl HrProblem for MockProblem {
-        fn num_hypotheses(&self) -> usize {
-            self.probs.len()
-        }
-        fn sample_hits(&mut self, rng: &mut dyn rand::RngCore, hits: &mut Vec<u32>) {
+    struct MockSampler<'a> {
+        probs: &'a [f64],
+    }
+
+    impl HrSampler for MockSampler<'_> {
+        fn sample_hits_into(&mut self, rng: &mut dyn RngCore, hits: &mut Vec<u32>) {
             for (i, &p) in self.probs.iter().enumerate() {
                 if rng.gen::<f64>() < p {
                     hits.push(i as u32);
                 }
             }
+        }
+    }
+
+    impl HrProblem for MockProblem {
+        fn num_hypotheses(&self) -> usize {
+            self.probs.len()
+        }
+        fn sampler(&self) -> Box<dyn HrSampler + '_> {
+            Box::new(MockSampler { probs: &self.probs })
         }
         fn vc_dimension(&self) -> usize {
             self.vc
@@ -248,11 +261,11 @@ mod tests {
 
     #[test]
     fn estimates_are_accurate() {
-        let mut p = MockProblem {
+        let p = MockProblem {
             probs: vec![0.5, 0.1, 0.02, 0.0],
             vc: 2,
         };
-        let out = estimate_risks(&mut p, &AdaptiveConfig::new(0.05, 0.05), &mut rng(1));
+        let out = estimate_risks(&p, &AdaptiveConfig::new(0.05, 0.05), &mut rng(1));
         for (est, truth) in out.estimates.iter().zip(&p.probs) {
             assert!((est - truth).abs() < 0.05, "est {est} truth {truth}");
         }
@@ -263,11 +276,11 @@ mod tests {
     #[test]
     fn zero_variance_stops_at_pilot_budget() {
         // All-zero hypotheses: variance 0, the first Bernstein check passes.
-        let mut p = MockProblem {
+        let p = MockProblem {
             probs: vec![0.0; 8],
             vc: 3,
         };
-        let out = estimate_risks(&mut p, &AdaptiveConfig::new(0.05, 0.05), &mut rng(2));
+        let out = estimate_risks(&p, &AdaptiveConfig::new(0.05, 0.05), &mut rng(2));
         assert!(out.converged_early);
         assert_eq!(out.samples_used, out.n0);
         assert_eq!(out.rounds_run, 1);
@@ -277,16 +290,16 @@ mod tests {
     #[test]
     fn low_variance_needs_fewer_samples_than_high_variance() {
         let cfg = AdaptiveConfig::new(0.02, 0.05);
-        let mut low = MockProblem {
+        let low = MockProblem {
             probs: vec![0.005; 4],
             vc: 4,
         };
-        let mut high = MockProblem {
+        let high = MockProblem {
             probs: vec![0.5; 4],
             vc: 4,
         };
-        let out_low = estimate_risks(&mut low, &cfg, &mut rng(3));
-        let out_high = estimate_risks(&mut high, &cfg, &mut rng(4));
+        let out_low = estimate_risks(&low, &cfg, &mut rng(3));
+        let out_high = estimate_risks(&high, &cfg, &mut rng(4));
         assert!(
             out_low.samples_used < out_high.samples_used,
             "low {} high {}",
@@ -300,11 +313,11 @@ mod tests {
         // Rare hypotheses at a small ε: at realistic accuracy targets the
         // Bernstein linear term is negligible and the pilot budget already
         // satisfies the check (n0 ≈ 3.7k here, variance ~1e-3).
-        let mut p = MockProblem {
+        let p = MockProblem {
             probs: vec![0.001, 0.002],
             vc: 2,
         };
-        let out = estimate_risks(&mut p, &AdaptiveConfig::new(0.02, 0.05), &mut rng(5));
+        let out = estimate_risks(&p, &AdaptiveConfig::new(0.02, 0.05), &mut rng(5));
         assert!(out.converged_early, "achieved {}", out.achieved_eps);
         assert_eq!(out.samples_used, out.n0);
         assert_eq!(out.rounds_run, 1);
@@ -313,23 +326,23 @@ mod tests {
     #[test]
     fn respects_nmax_cap() {
         // Very tight eps with tiny delta: hits the VC cap.
-        let mut p = MockProblem {
+        let p = MockProblem {
             probs: vec![0.5],
             vc: 1,
         };
         let cfg = AdaptiveConfig::new(0.2, 0.3);
-        let out = estimate_risks(&mut p, &cfg, &mut rng(6));
+        let out = estimate_risks(&p, &cfg, &mut rng(6));
         assert!(out.samples_used <= out.nmax);
         assert!(out.nmax >= out.n0);
     }
 
     #[test]
     fn empty_problem() {
-        let mut p = MockProblem {
+        let p = MockProblem {
             probs: vec![],
             vc: 1,
         };
-        let out = estimate_risks(&mut p, &AdaptiveConfig::new(0.05, 0.05), &mut rng(7));
+        let out = estimate_risks(&p, &AdaptiveConfig::new(0.05, 0.05), &mut rng(7));
         assert!(out.estimates.is_empty());
         assert_eq!(out.samples_used, 0);
     }
@@ -337,16 +350,40 @@ mod tests {
     #[test]
     fn higher_vc_means_larger_worst_case_budget() {
         let cfg = AdaptiveConfig::new(0.05, 0.05);
-        let mut a = MockProblem {
+        let a = MockProblem {
             probs: vec![0.5],
             vc: 1,
         };
-        let mut b = MockProblem {
+        let b = MockProblem {
             probs: vec![0.5],
             vc: 20,
         };
-        let oa = estimate_risks(&mut a, &cfg, &mut rng(8));
-        let ob = estimate_risks(&mut b, &cfg, &mut rng(8));
+        let oa = estimate_risks(&a, &cfg, &mut rng(8));
+        let ob = estimate_risks(&b, &cfg, &mut rng(8));
         assert!(ob.nmax > oa.nmax);
+    }
+
+    #[test]
+    fn outcome_is_bit_identical_across_thread_counts() {
+        let p = MockProblem {
+            probs: vec![0.4, 0.07, 0.9, 0.0],
+            vc: 3,
+        };
+        let cfg = AdaptiveConfig::new(0.03, 0.1);
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| estimate_risks(&p, &cfg, &mut rng(99)))
+        };
+        let reference = run(1);
+        for threads in [2, 4, 8] {
+            let out = run(threads);
+            assert_eq!(out.estimates, reference.estimates, "{threads} threads");
+            assert_eq!(out.samples_used, reference.samples_used);
+            assert_eq!(out.rounds_run, reference.rounds_run);
+            assert_eq!(out.achieved_eps, reference.achieved_eps);
+        }
     }
 }

@@ -1,0 +1,235 @@
+//! The parallel batch-drawing engine behind Algorithm 1.
+//!
+//! Both adaptive estimators ([`super::adaptive::estimate_risks`] and
+//! [`super::weighted::estimate_weighted_risks`]) draw their sample blocks
+//! here. A block of `count` samples is partitioned into fixed
+//! [`stream::CHUNK`]-sized chunks; chunk `c` is drawn by an independent
+//! counter-based RNG ([`stream::chunk_rng`]) through a per-worker
+//! [`HrSampler`], so
+//!
+//! * workers never share mutable state (each owns its sampler scratch),
+//! * the drawn values are a pure function of `(master seed, stream id,
+//!   chunk index)` — **bit-identical for every thread count**, and
+//! * consecutive estimator phases extend the same stream by advancing the
+//!   first-chunk cursor, so a doubling round never replays chunks.
+//!
+//! Both accumulator kinds run through [`stream::par_grouped_fold`]: chunks
+//! fold sequentially inside thread-count-independent groups and the group
+//! accumulators merge left-to-right, giving `f64` losses one fixed
+//! association order (integer hit counts would tolerate any order, but
+//! share the discipline for free — one allocation per group instead of
+//! one per chunk).
+
+use saphyra_stats::stream;
+
+use super::problem::HrProblem;
+use super::weighted::WeightedHrProblem;
+
+/// Stream id of the pilot (variance) pass.
+pub(crate) const STREAM_PILOT: u64 = 0;
+/// Stream id of the main estimation pass (all doubling rounds).
+pub(crate) const STREAM_MAIN: u64 = 1;
+
+/// Draws `count` samples from chunks `first_chunk ..` of `stream_id` and
+/// returns the per-hypothesis hit counts.
+pub(crate) fn sample_hit_counts<P: HrProblem + ?Sized>(
+    problem: &P,
+    k: usize,
+    master: u64,
+    stream_id: u64,
+    first_chunk: u64,
+    count: usize,
+) -> Vec<u64> {
+    if count == 0 {
+        return vec![0u64; k];
+    }
+    let chunks = stream::num_chunks(count, stream::CHUNK);
+    // u64 counts merge exactly under any grouping: one group per worker.
+    let partials = stream::par_grouped_fold(
+        chunks,
+        stream::int_groups(),
+        || (problem.sampler(), Vec::<u32>::new()),
+        || vec![0u64; k],
+        |(sampler, hits), counts, c| {
+            let mut rng = stream::chunk_rng(master, stream_id, first_chunk + c as u64);
+            let len = stream::chunk_len(count, stream::CHUNK, c);
+            for _ in 0..len {
+                hits.clear();
+                sampler.sample_hits_into(&mut rng, hits);
+                for &i in hits.iter() {
+                    counts[i as usize] += 1;
+                }
+            }
+        },
+    );
+    let mut total = vec![0u64; k];
+    for part in partials {
+        for (t, x) in total.iter_mut().zip(part) {
+            *t += x;
+        }
+    }
+    total
+}
+
+/// Streaming first and second moments of one hypothesis' losses.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct LossAcc {
+    /// `Σ x`.
+    pub sum: f64,
+    /// `Σ x²`.
+    pub sumsq: f64,
+}
+
+impl LossAcc {
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        debug_assert!((0.0..=1.0 + 1e-9).contains(&x), "loss out of range: {x}");
+        self.sum += x;
+        self.sumsq += x * x;
+    }
+
+    /// Unbiased sample variance over `n` observations:
+    /// `(Σx² − (Σx)²/N) / (N−1)`.
+    pub fn sample_variance(&self, n: usize) -> f64 {
+        if n < 2 {
+            return 0.0;
+        }
+        ((self.sumsq - self.sum * self.sum / n as f64) / (n as f64 - 1.0)).max(0.0)
+    }
+
+    #[inline]
+    fn merge(&mut self, other: &LossAcc) {
+        self.sum += other.sum;
+        self.sumsq += other.sumsq;
+    }
+}
+
+/// Draws `count` weighted samples from chunks `first_chunk ..` of
+/// `stream_id` and returns per-hypothesis loss accumulators.
+///
+/// Chunks fold inside thread-count-independent groups
+/// ([`stream::par_grouped_fold`]) and groups merge left-to-right, fixing
+/// the `f64` association order.
+pub(crate) fn sample_loss_accs<P: WeightedHrProblem + ?Sized>(
+    problem: &P,
+    k: usize,
+    master: u64,
+    stream_id: u64,
+    first_chunk: u64,
+    count: usize,
+) -> Vec<LossAcc> {
+    if count == 0 {
+        return vec![LossAcc::default(); k];
+    }
+    let chunks = stream::num_chunks(count, stream::CHUNK);
+    let partials = stream::par_grouped_fold(
+        chunks,
+        stream::f64_groups(k * std::mem::size_of::<LossAcc>()),
+        || (problem.sampler(), Vec::<(u32, f64)>::new()),
+        || vec![LossAcc::default(); k],
+        |(sampler, buf), accs, c| {
+            let mut rng = stream::chunk_rng(master, stream_id, first_chunk + c as u64);
+            let len = stream::chunk_len(count, stream::CHUNK, c);
+            for _ in 0..len {
+                buf.clear();
+                sampler.sample_losses_into(&mut rng, buf);
+                for &(i, x) in buf.iter() {
+                    accs[i as usize].push(x);
+                }
+            }
+        },
+    );
+    let mut total = vec![LossAcc::default(); k];
+    for part in partials {
+        for (t, p) in total.iter_mut().zip(&part) {
+            t.merge(p);
+        }
+    }
+    total
+}
+
+/// Chunks consumed by a block of `count` samples (cursor advance).
+pub(crate) fn chunks_used(count: usize) -> u64 {
+    stream::num_chunks(count, stream::CHUNK) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::problem::HrSampler;
+    use super::*;
+    use rand::{Rng, RngCore};
+
+    struct Fixed {
+        probs: Vec<f64>,
+    }
+
+    struct FixedSampler<'a> {
+        probs: &'a [f64],
+    }
+
+    impl HrSampler for FixedSampler<'_> {
+        fn sample_hits_into(&mut self, rng: &mut dyn RngCore, hits: &mut Vec<u32>) {
+            for (i, &p) in self.probs.iter().enumerate() {
+                if rng.gen::<f64>() < p {
+                    hits.push(i as u32);
+                }
+            }
+        }
+    }
+
+    impl HrProblem for Fixed {
+        fn num_hypotheses(&self) -> usize {
+            self.probs.len()
+        }
+        fn sampler(&self) -> Box<dyn HrSampler + '_> {
+            Box::new(FixedSampler { probs: &self.probs })
+        }
+        fn vc_dimension(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn hit_counts_identical_across_thread_counts() {
+        let p = Fixed {
+            probs: vec![0.5, 0.1, 0.9],
+        };
+        let reference = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| sample_hit_counts(&p, 3, 42, STREAM_MAIN, 0, 10_000));
+        for threads in [2, 4, 8] {
+            let got = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| sample_hit_counts(&p, 3, 42, STREAM_MAIN, 0, 10_000));
+            assert_eq!(got, reference, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn disjoint_blocks_compose_like_one_block() {
+        // Drawing [0, a) then [a-chunks ..] with an advanced cursor must
+        // equal one contiguous block when a is chunk-aligned.
+        let p = Fixed {
+            probs: vec![0.3, 0.7],
+        };
+        let a = 4 * saphyra_stats::stream::CHUNK;
+        let b = 3 * saphyra_stats::stream::CHUNK + 17;
+        let whole = sample_hit_counts(&p, 2, 9, STREAM_MAIN, 0, a + b);
+        let first = sample_hit_counts(&p, 2, 9, STREAM_MAIN, 0, a);
+        let second = sample_hit_counts(&p, 2, 9, STREAM_MAIN, chunks_used(a), b);
+        let sum: Vec<u64> = first.iter().zip(&second).map(|(x, y)| x + y).collect();
+        assert_eq!(whole, sum);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let p = Fixed { probs: vec![0.5] };
+        let pilot = sample_hit_counts(&p, 1, 7, STREAM_PILOT, 0, 5000);
+        let main = sample_hit_counts(&p, 1, 7, STREAM_MAIN, 0, 5000);
+        assert_ne!(pilot, main);
+    }
+}

@@ -3,15 +3,16 @@
 //! variance-reduction analysis (Claim 8).
 
 mod adaptive;
+mod batch;
 mod problem;
 mod variance;
 mod weighted;
 
 pub use adaptive::{estimate_risks, AdaptiveConfig, AdaptiveOutcome};
-pub use problem::{ExactPart, HrProblem};
+pub use problem::{ExactPart, HrProblem, HrSampler};
 pub use variance::{partitioned_variance_ratio, variance_reduction_factor};
 pub use weighted::{
-    estimate_weighted_risks, saphyra_estimate_weighted, WeightedHrProblem,
+    estimate_weighted_risks, saphyra_estimate_weighted, WeightedHrProblem, WeightedHrSampler,
 };
 
 /// The combined output of the SaPHyRa framework on one problem instance.
@@ -53,7 +54,7 @@ impl SaphyraEstimate {
 /// When `λ` is (numerically) zero the exact part already covers the whole
 /// space and no samples are drawn.
 pub fn saphyra_estimate<P: HrProblem + ?Sized>(
-    problem: &mut P,
+    problem: &P,
     exact: &ExactPart,
     eps: f64,
     delta: f64,
@@ -66,7 +67,7 @@ pub fn saphyra_estimate<P: HrProblem + ?Sized>(
 /// (`adaptive = false` draws the fixed `N_max` budget — the ablation of
 /// DESIGN.md §5).
 pub fn saphyra_estimate_cfg<P: HrProblem + ?Sized>(
-    problem: &mut P,
+    problem: &P,
     exact: &ExactPart,
     eps: f64,
     delta: f64,
@@ -113,16 +114,26 @@ mod tests {
         probs: Vec<f64>,
     }
 
-    impl HrProblem for Mock {
-        fn num_hypotheses(&self) -> usize {
-            self.probs.len()
-        }
-        fn sample_hits(&mut self, rng: &mut dyn rand::RngCore, hits: &mut Vec<u32>) {
+    struct MockSampler<'a> {
+        probs: &'a [f64],
+    }
+
+    impl HrSampler for MockSampler<'_> {
+        fn sample_hits_into(&mut self, rng: &mut dyn rand::RngCore, hits: &mut Vec<u32>) {
             for (i, &p) in self.probs.iter().enumerate() {
                 if rng.gen::<f64>() < p {
                     hits.push(i as u32);
                 }
             }
+        }
+    }
+
+    impl HrProblem for Mock {
+        fn num_hypotheses(&self) -> usize {
+            self.probs.len()
+        }
+        fn sampler(&self) -> Box<dyn HrSampler + '_> {
+            Box::new(MockSampler { probs: &self.probs })
         }
         fn vc_dimension(&self) -> usize {
             2
@@ -133,7 +144,7 @@ mod tests {
     fn combination_rule_eq8() {
         // D̃ hit probabilities R̃; with λ = 0.5 the combined risk must be
         // ℓ̂ + λ·ℓ̃ and approximate the true risk ℓ̂ + λ·R̃.
-        let mut p = Mock {
+        let p = Mock {
             probs: vec![0.4, 0.1],
         };
         let exact = ExactPart {
@@ -141,7 +152,7 @@ mod tests {
             exact_risks: vec![0.05, 0.2],
         };
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let est = saphyra_estimate(&mut p, &exact, 0.02, 0.05, &mut rng);
+        let est = saphyra_estimate(&p, &exact, 0.02, 0.05, &mut rng);
         assert_eq!(est.lambda, 0.5);
         for i in 0..2 {
             let expect_combined = exact.exact_risks[i] + 0.5 * est.approx_part[i];
@@ -153,7 +164,7 @@ mod tests {
 
     #[test]
     fn ranking_orders_by_combined_risk() {
-        let mut p = Mock {
+        let p = Mock {
             probs: vec![0.0, 0.0, 0.0],
         };
         let exact = ExactPart {
@@ -161,21 +172,19 @@ mod tests {
             exact_risks: vec![0.1, 0.3, 0.2],
         };
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let est = saphyra_estimate(&mut p, &exact, 0.05, 0.1, &mut rng);
+        let est = saphyra_estimate(&p, &exact, 0.05, 0.1, &mut rng);
         assert_eq!(est.ranking(), vec![1, 2, 0]);
     }
 
     #[test]
     fn empty_approximate_subspace_short_circuits() {
-        let mut p = Mock {
-            probs: vec![0.7],
-        };
+        let p = Mock { probs: vec![0.7] };
         let exact = ExactPart {
             lambda_hat: 1.0,
             exact_risks: vec![0.42],
         };
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let est = saphyra_estimate(&mut p, &exact, 0.01, 0.01, &mut rng);
+        let est = saphyra_estimate(&p, &exact, 0.01, 0.01, &mut rng);
         assert_eq!(est.outcome.samples_used, 0);
         assert_eq!(est.combined, vec![0.42]);
     }

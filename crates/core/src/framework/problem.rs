@@ -1,10 +1,26 @@
-//! The hypothesis-ranking problem abstraction (paper §II-B).
+//! The hypothesis-ranking problem abstraction (paper §II-B) and the batch
+//! sampling contract behind the parallel `Gen(·)` engine.
 //!
 //! A problem owns the approximate sample space `X̃`, its distribution `D̃`,
 //! and a hypothesis class `H = {h₁ … h_k}` with 0-1 losses. Because a
 //! single sample touches few hypotheses (a shortest path contains few
 //! target nodes), losses are reported *sparsely*: one sample yields the
 //! list of hypothesis indices with loss 1.
+//!
+//! Sampling is split in two roles so the estimator can fan out across
+//! cores:
+//!
+//! * [`HrProblem`] is the *shared, immutable* description — graph
+//!   references, prefix-sum tables, index maps. It must be [`Sync`]: every
+//!   worker reads it concurrently through `&self`.
+//! * [`HrSampler`] is a *per-worker* drawing head created by
+//!   [`HrProblem::sampler`]. It owns all mutable scratch (BFS distance /
+//!   queue / σ buffers, path stacks) so a draw never allocates and never
+//!   contends. Workers receive their randomness as counter-based chunk
+//!   RNGs ([`saphyra_stats::stream`]), which makes estimates bit-identical
+//!   for every thread count.
+
+use rand::RngCore;
 
 /// Result of the `Exact(·)` oracle (Algorithm 1, line 3): the probability
 /// mass `λ̂` of the exact subspace and the per-hypothesis exact risks `ℓ̂ᵢ`
@@ -28,18 +44,35 @@ impl ExactPart {
     }
 }
 
+/// A per-worker drawing head for one [`HrProblem`].
+///
+/// A sampler owns every mutable buffer one draw needs, so
+/// [`HrSampler::sample_hits_into`] performs no allocation on the hot path
+/// and samplers on different threads never share mutable state. Samplers
+/// are `Send` (they may be created on one thread and driven on another)
+/// but need not be `Sync` — each worker drives exactly one.
+pub trait HrSampler: Send {
+    /// Draws one sample `x ∼ D̃` (the `Gen(·)` oracle) and appends to
+    /// `hits` the indices of all hypotheses with `L(hᵢ(x), f(x)) = 1`.
+    /// `hits` arrives empty.
+    fn sample_hits_into(&mut self, rng: &mut dyn RngCore, hits: &mut Vec<u32>);
+}
+
 /// A hypothesis-ranking problem over the approximate subspace.
 ///
 /// Implementors: [`crate::bc::BcApproxProblem`] (random intra-component
 /// shortest paths), [`crate::kpath::KPathApproxProblem`] (random walks).
-pub trait HrProblem {
+///
+/// The problem itself is the shared read-only half of the contract (hence
+/// the `Sync` bound); all drawing state lives in the [`HrSampler`] values
+/// it hands out.
+pub trait HrProblem: Sync {
     /// Number of hypotheses `k`.
     fn num_hypotheses(&self) -> usize;
 
-    /// Draws one sample `x ∼ D̃` (the `Gen(·)` oracle) and appends to
-    /// `hits` the indices of all hypotheses with `L(hᵢ(x), f(x)) = 1`.
-    /// `hits` arrives empty.
-    fn sample_hits(&mut self, rng: &mut dyn rand::RngCore, hits: &mut Vec<u32>);
+    /// Creates a drawing head with its own scratch buffers. The estimator
+    /// calls this once per worker, then draws whole chunks through it.
+    fn sampler(&self) -> Box<dyn HrSampler + '_>;
 
     /// An upper bound on the VC dimension of the hypothesis class over the
     /// approximate subspace, used for the worst-case budget `N_max`
@@ -47,16 +80,71 @@ pub trait HrProblem {
     /// prove (Lemma 5 / Corollary 22); `log2(k) + 1` is always sound
     /// because π_max ≤ k.
     fn vc_dimension(&self) -> usize;
+
+    /// Single-sample convenience path: a thin adapter over a one-chunk
+    /// batch. Creates a fresh sampler per call — use [`HrProblem::sampler`]
+    /// directly in loops.
+    fn sample_hits(&mut self, rng: &mut dyn RngCore, hits: &mut Vec<u32>) {
+        self.sampler().sample_hits_into(rng, hits);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn trivial_exact_part() {
         let e = ExactPart::trivial(3);
         assert_eq!(e.lambda_hat, 0.0);
         assert_eq!(e.exact_risks, vec![0.0; 3]);
+    }
+
+    /// A minimal problem exercising the default `sample_hits` adapter.
+    struct Coin;
+    struct CoinSampler;
+
+    impl HrSampler for CoinSampler {
+        fn sample_hits_into(&mut self, rng: &mut dyn RngCore, hits: &mut Vec<u32>) {
+            if rng.gen::<f64>() < 0.5 {
+                hits.push(0);
+            }
+        }
+    }
+
+    impl HrProblem for Coin {
+        fn num_hypotheses(&self) -> usize {
+            1
+        }
+        fn sampler(&self) -> Box<dyn HrSampler + '_> {
+            Box::new(CoinSampler)
+        }
+        fn vc_dimension(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn default_single_sample_adapter_matches_sampler() {
+        let mut p = Coin;
+        let mut via_adapter = 0u32;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = Vec::new();
+        for _ in 0..1000 {
+            hits.clear();
+            p.sample_hits(&mut rng, &mut hits);
+            via_adapter += hits.len() as u32;
+        }
+        let mut via_sampler = 0u32;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sampler = p.sampler();
+        for _ in 0..1000 {
+            hits.clear();
+            sampler.sample_hits_into(&mut rng, &mut hits);
+            via_sampler += hits.len() as u32;
+        }
+        assert_eq!(via_adapter, via_sampler);
     }
 }

@@ -10,75 +10,71 @@
 //! Hoeffding + union bound over the `k` hypotheses (the
 //! `O(1/ε²(ln k + ln 1/δ))` of §II-A) since the VC argument of Lemma 4 does
 //! not apply to real-valued classes.
+//!
+//! Like the 0-1 estimator, sampling runs through the parallel batch engine
+//! ([`super::batch`]): per-worker [`WeightedHrSampler`] heads, counter-based
+//! chunk RNG streams, and a fixed `f64` merge order, so results are
+//! bit-identical for every thread count.
 
-use saphyra_stats::{allocate_deltas, doubling_rounds, empirical_bernstein_epsilon, hoeffding_samples};
+use rand::RngCore;
+use saphyra_stats::{
+    allocate_deltas, doubling_rounds, empirical_bernstein_epsilon, hoeffding_samples,
+};
 
 use super::adaptive::{AdaptiveConfig, AdaptiveOutcome};
+use super::batch::{chunks_used, sample_loss_accs, LossAcc, STREAM_MAIN, STREAM_PILOT};
 use super::problem::ExactPart;
 use super::SaphyraEstimate;
 
+/// A per-worker drawing head for one [`WeightedHrProblem`] (the
+/// fractional-loss analogue of [`super::problem::HrSampler`]).
+pub trait WeightedHrSampler: Send {
+    /// Draws one sample `x ∼ D̃` and appends `(hypothesis, loss)` for every
+    /// hypothesis with a nonzero loss on `x`. Losses must lie in `[0, 1]`.
+    /// `out` arrives empty.
+    fn sample_losses_into(&mut self, rng: &mut dyn RngCore, out: &mut Vec<(u32, f64)>);
+}
+
 /// A hypothesis-ranking problem with losses in `[0, 1]`.
-pub trait WeightedHrProblem {
+///
+/// The problem is the shared read-only half (`Sync`); mutable drawing
+/// scratch lives in the [`WeightedHrSampler`] values it hands out.
+pub trait WeightedHrProblem: Sync {
     /// Number of hypotheses `k`.
     fn num_hypotheses(&self) -> usize;
 
-    /// Draws one sample `x ∼ D̃` and appends `(hypothesis, loss)` for every
-    /// hypothesis with a nonzero loss on `x`. Losses must lie in `[0, 1]`.
-    fn sample_losses(&mut self, rng: &mut dyn rand::RngCore, out: &mut Vec<(u32, f64)>);
-}
+    /// Creates a drawing head with its own scratch buffers.
+    fn sampler(&self) -> Box<dyn WeightedHrSampler + '_>;
 
-/// Per-hypothesis accumulator: `Var = (Σx² − (Σx)²/N) / (N−1)`.
-#[derive(Debug, Clone, Copy, Default)]
-struct Acc {
-    sum: f64,
-    sumsq: f64,
-}
-
-impl Acc {
-    #[inline]
-    fn push(&mut self, x: f64) {
-        debug_assert!((0.0..=1.0 + 1e-9).contains(&x), "loss out of range: {x}");
-        self.sum += x;
-        self.sumsq += x * x;
-    }
-
-    fn sample_variance(&self, n: usize) -> f64 {
-        if n < 2 {
-            return 0.0;
-        }
-        ((self.sumsq - self.sum * self.sum / n as f64) / (n as f64 - 1.0)).max(0.0)
+    /// Single-sample convenience path: a thin adapter over a one-chunk
+    /// batch. Creates a fresh sampler per call — use
+    /// [`WeightedHrProblem::sampler`] directly in loops.
+    fn sample_losses(&mut self, rng: &mut dyn RngCore, out: &mut Vec<(u32, f64)>) {
+        self.sampler().sample_losses_into(rng, out);
     }
 }
 
 /// The adaptive estimator of Algorithm 1 for fractional losses.
+///
+/// The caller's `rng` contributes one master seed; sample blocks are drawn
+/// by the parallel batch engine.
 pub fn estimate_weighted_risks<P: WeightedHrProblem + ?Sized>(
-    problem: &mut P,
+    problem: &P,
     cfg: &AdaptiveConfig,
-    rng: &mut dyn rand::RngCore,
+    rng: &mut dyn RngCore,
 ) -> AdaptiveOutcome {
     let k = problem.num_hypotheses();
     if k == 0 {
         return AdaptiveOutcome::empty();
     }
+    let master = rng.next_u64();
     let ln_inv_delta = (1.0 / cfg.delta).ln();
     let n0 = ((cfg.c_vc / (cfg.eps_prime * cfg.eps_prime) * ln_inv_delta).ceil() as usize)
         .max(cfg.min_pilot);
     let nmax = hoeffding_samples(cfg.eps_prime, cfg.delta, k).max(n0);
 
-    let mut buf: Vec<(u32, f64)> = Vec::new();
-    let mut draw = |accs: &mut [Acc], problem: &mut P, rng: &mut dyn rand::RngCore| {
-        buf.clear();
-        problem.sample_losses(rng, &mut buf);
-        for &(i, x) in &buf {
-            accs[i as usize].push(x);
-        }
-    };
-
     if !cfg.adaptive {
-        let mut accs = vec![Acc::default(); k];
-        for _ in 0..nmax {
-            draw(&mut accs, problem, rng);
-        }
+        let accs = sample_loss_accs(problem, k, master, STREAM_MAIN, 0, nmax);
         return AdaptiveOutcome {
             estimates: accs.iter().map(|a| a.sum / nmax as f64).collect(),
             samples_used: nmax,
@@ -92,25 +88,27 @@ pub fn estimate_weighted_risks<P: WeightedHrProblem + ?Sized>(
     }
 
     // Pilot pass for the δᵢ allocation (Eq. 13).
-    let mut pilot = vec![Acc::default(); k];
-    for _ in 0..n0 {
-        draw(&mut pilot, problem, rng);
-    }
+    let pilot = sample_loss_accs(problem, k, master, STREAM_PILOT, 0, n0);
     let pilot_vars: Vec<f64> = pilot.iter().map(|a| a.sample_variance(n0)).collect();
     let rounds = doubling_rounds(n0, nmax);
     let deltas = allocate_deltas(&pilot_vars, nmax, cfg.eps_prime, cfg.delta / rounds as f64);
 
-    let mut accs = vec![Acc::default(); k];
+    let mut accs = vec![LossAcc::default(); k];
     let mut n = 0usize;
+    let mut next_chunk = 0u64;
     let mut target = n0.min(nmax);
     let mut converged_early = false;
     let mut achieved_eps;
     let mut rounds_run = 0usize;
     loop {
-        while n < target {
-            draw(&mut accs, problem, rng);
-            n += 1;
+        let block = target - n;
+        let block_accs = sample_loss_accs(problem, k, master, STREAM_MAIN, next_chunk, block);
+        next_chunk += chunks_used(block);
+        for (a, b) in accs.iter_mut().zip(&block_accs) {
+            a.sum += b.sum;
+            a.sumsq += b.sumsq;
         }
+        n = target;
         rounds_run += 1;
         let mut max_eps = 0.0f64;
         for i in 0..k {
@@ -132,10 +130,13 @@ pub fn estimate_weighted_risks<P: WeightedHrProblem + ?Sized>(
             break;
         }
         if rounds_run >= rounds {
-            while n < nmax {
-                draw(&mut accs, problem, rng);
-                n += 1;
+            let block = nmax - n;
+            let block_accs = sample_loss_accs(problem, k, master, STREAM_MAIN, next_chunk, block);
+            for (a, b) in accs.iter_mut().zip(&block_accs) {
+                a.sum += b.sum;
+                a.sumsq += b.sumsq;
             }
+            n = nmax;
             break;
         }
         target = (2 * target).min(nmax);
@@ -156,11 +157,11 @@ pub fn estimate_weighted_risks<P: WeightedHrProblem + ?Sized>(
 /// The full SaPHyRa pipeline for fractional-loss problems (combination rule
 /// Eq. 8, identical to the 0-1 case).
 pub fn saphyra_estimate_weighted<P: WeightedHrProblem + ?Sized>(
-    problem: &mut P,
+    problem: &P,
     exact: &ExactPart,
     eps: f64,
     delta: f64,
-    rng: &mut dyn rand::RngCore,
+    rng: &mut dyn RngCore,
 ) -> SaphyraEstimate {
     let k = exact.exact_risks.len();
     assert_eq!(k, problem.num_hypotheses(), "exact part size mismatch");
@@ -201,16 +202,28 @@ mod tests {
         params: Vec<(f64, f64)>, // (p, value)
     }
 
-    impl WeightedHrProblem for Mock {
-        fn num_hypotheses(&self) -> usize {
-            self.params.len()
-        }
-        fn sample_losses(&mut self, rng: &mut dyn rand::RngCore, out: &mut Vec<(u32, f64)>) {
+    struct MockSampler<'a> {
+        params: &'a [(f64, f64)],
+    }
+
+    impl WeightedHrSampler for MockSampler<'_> {
+        fn sample_losses_into(&mut self, rng: &mut dyn RngCore, out: &mut Vec<(u32, f64)>) {
             for (i, &(p, v)) in self.params.iter().enumerate() {
                 if rng.gen::<f64>() < p {
                     out.push((i as u32, v));
                 }
             }
+        }
+    }
+
+    impl WeightedHrProblem for Mock {
+        fn num_hypotheses(&self) -> usize {
+            self.params.len()
+        }
+        fn sampler(&self) -> Box<dyn WeightedHrSampler + '_> {
+            Box::new(MockSampler {
+                params: &self.params,
+            })
         }
     }
 
@@ -220,10 +233,10 @@ mod tests {
 
     #[test]
     fn estimates_converge_to_expectations() {
-        let mut p = Mock {
+        let p = Mock {
             params: vec![(0.5, 0.4), (0.1, 1.0), (0.9, 0.05), (0.0, 1.0)],
         };
-        let out = estimate_weighted_risks(&mut p, &AdaptiveConfig::new(0.02, 0.05), &mut rng(1));
+        let out = estimate_weighted_risks(&p, &AdaptiveConfig::new(0.02, 0.05), &mut rng(1));
         let expect = [0.2, 0.1, 0.045, 0.0];
         for (e, t) in out.estimates.iter().zip(expect) {
             assert!((e - t).abs() < 0.02, "est {e} expect {t}");
@@ -232,21 +245,21 @@ mod tests {
 
     #[test]
     fn zero_loss_hypotheses_converge_fast() {
-        let mut p = Mock {
+        let p = Mock {
             params: vec![(0.0, 1.0); 5],
         };
-        let out = estimate_weighted_risks(&mut p, &AdaptiveConfig::new(0.05, 0.05), &mut rng(2));
+        let out = estimate_weighted_risks(&p, &AdaptiveConfig::new(0.05, 0.05), &mut rng(2));
         assert!(out.converged_early);
         assert_eq!(out.samples_used, out.n0);
     }
 
     #[test]
     fn fixed_budget_path() {
-        let mut p = Mock {
+        let p = Mock {
             params: vec![(0.3, 0.5)],
         };
         let cfg = AdaptiveConfig::new(0.1, 0.1).with_fixed_budget();
-        let out = estimate_weighted_risks(&mut p, &cfg, &mut rng(3));
+        let out = estimate_weighted_risks(&p, &cfg, &mut rng(3));
         assert!(!out.converged_early);
         assert_eq!(out.samples_used, out.nmax);
         assert!((out.estimates[0] - 0.15).abs() < 0.05);
@@ -254,14 +267,14 @@ mod tests {
 
     #[test]
     fn combination_matches_exact_plus_lambda_weighted() {
-        let mut p = Mock {
+        let p = Mock {
             params: vec![(0.4, 0.5), (0.2, 0.25)],
         };
         let exact = ExactPart {
             lambda_hat: 0.25,
             exact_risks: vec![0.05, 0.01],
         };
-        let est = saphyra_estimate_weighted(&mut p, &exact, 0.02, 0.05, &mut rng(4));
+        let est = saphyra_estimate_weighted(&p, &exact, 0.02, 0.05, &mut rng(4));
         assert!((est.lambda - 0.75).abs() < 1e-12);
         for i in 0..2 {
             let expect = exact.exact_risks[i] + est.lambda * est.approx_part[i];
@@ -271,15 +284,39 @@ mod tests {
 
     #[test]
     fn full_exact_coverage_skips_sampling() {
-        let mut p = Mock {
+        let p = Mock {
             params: vec![(0.4, 0.5)],
         };
         let exact = ExactPart {
             lambda_hat: 1.0,
             exact_risks: vec![0.2],
         };
-        let est = saphyra_estimate_weighted(&mut p, &exact, 0.02, 0.05, &mut rng(5));
+        let est = saphyra_estimate_weighted(&p, &exact, 0.02, 0.05, &mut rng(5));
         assert_eq!(est.outcome.samples_used, 0);
         assert_eq!(est.combined, vec![0.2]);
+    }
+
+    #[test]
+    fn weighted_outcome_is_bit_identical_across_thread_counts() {
+        let p = Mock {
+            params: vec![(0.5, 0.8), (0.05, 0.3), (0.9, 0.1)],
+        };
+        let cfg = AdaptiveConfig::new(0.03, 0.1);
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| estimate_weighted_risks(&p, &cfg, &mut rng(42)))
+        };
+        let reference = run(1);
+        for threads in [2, 4, 8] {
+            let out = run(threads);
+            // f64 accumulators merge in a fixed group order: bit equality,
+            // not approximate equality.
+            assert_eq!(out.estimates, reference.estimates, "{threads} threads");
+            assert_eq!(out.samples_used, reference.samples_used);
+            assert_eq!(out.achieved_eps, reference.achieved_eps);
+        }
     }
 }

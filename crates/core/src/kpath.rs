@@ -20,7 +20,7 @@ use rand::Rng;
 use rand::RngCore;
 use saphyra_graph::{Graph, NodeId};
 
-use crate::framework::{saphyra_estimate, ExactPart, HrProblem, SaphyraEstimate};
+use crate::framework::{saphyra_estimate, ExactPart, HrProblem, HrSampler, SaphyraEstimate};
 
 const NONE: u32 = u32::MAX;
 
@@ -74,30 +74,40 @@ impl<'a> KPathApproxProblem<'a> {
 
     /// Performs one `l ≥ 2` walk into the internal buffer and returns it.
     pub fn sample_walk<R: Rng + ?Sized>(&mut self, rng: &mut R) -> &[NodeId] {
-        let n = self.g.num_nodes();
-        let l = rng.gen_range(2..=self.k);
-        self.walk.clear();
-        let mut cur = rng.gen_range(0..n as NodeId);
-        self.walk.push(cur);
-        for _ in 0..l {
-            let d = self.g.degree(cur);
-            if d == 0 {
-                break;
-            }
-            cur = self.g.neighbors(cur)[rng.gen_range(0..d)];
-            self.walk.push(cur);
-        }
+        walk_into(self.g, self.k, &mut self.walk, rng);
         &self.walk
     }
 }
 
-impl HrProblem for KPathApproxProblem<'_> {
-    fn num_hypotheses(&self) -> usize {
-        self.num_targets
+/// One `l ≥ 2` uniform-neighbor walk into `walk` (cleared first).
+fn walk_into<R: Rng + ?Sized>(g: &Graph, k: usize, walk: &mut Vec<NodeId>, rng: &mut R) {
+    let n = g.num_nodes();
+    let l = rng.gen_range(2..=k);
+    walk.clear();
+    let mut cur = rng.gen_range(0..n as NodeId);
+    walk.push(cur);
+    for _ in 0..l {
+        let d = g.degree(cur);
+        if d == 0 {
+            break;
+        }
+        cur = g.neighbors(cur)[rng.gen_range(0..d)];
+        walk.push(cur);
     }
+}
 
-    fn sample_hits(&mut self, rng: &mut dyn RngCore, hits: &mut Vec<u32>) {
-        self.sample_walk(rng);
+/// Per-worker drawing head of the k-path problem: borrows the shared
+/// index, owns the walk buffer.
+pub struct KPathSampler<'p> {
+    g: &'p Graph,
+    a_index: &'p [u32],
+    k: usize,
+    walk: Vec<NodeId>,
+}
+
+impl HrSampler for KPathSampler<'_> {
+    fn sample_hits_into(&mut self, rng: &mut dyn RngCore, hits: &mut Vec<u32>) {
+        walk_into(self.g, self.k, &mut self.walk, rng);
         // 0-1 losses: each visited target counts once per sample.
         for i in 1..self.walk.len() {
             let ai = self.a_index[self.walk[i] as usize];
@@ -107,6 +117,21 @@ impl HrProblem for KPathApproxProblem<'_> {
         }
         hits.sort_unstable();
         hits.dedup();
+    }
+}
+
+impl HrProblem for KPathApproxProblem<'_> {
+    fn num_hypotheses(&self) -> usize {
+        self.num_targets
+    }
+
+    fn sampler(&self) -> Box<dyn HrSampler + '_> {
+        Box::new(KPathSampler {
+            g: self.g,
+            a_index: &self.a_index,
+            k: self.k,
+            walk: Vec::with_capacity(self.k + 1),
+        })
     }
 
     fn vc_dimension(&self) -> usize {
@@ -139,8 +164,8 @@ pub fn rank_kpath(
 ) -> KPathEstimate {
     assert!(k >= 2, "k-path ranking needs k >= 2");
     let exact = kpath_exact_part(g, targets, k);
-    let mut prob = KPathApproxProblem::new(g, targets, k);
-    let inner = saphyra_estimate(&mut prob, &exact, eps, delta, rng);
+    let prob = KPathApproxProblem::new(g, targets, k);
+    let inner = saphyra_estimate(&prob, &exact, eps, delta, rng);
     KPathEstimate {
         targets: targets.to_vec(),
         kpc: inner.combined.clone(),
@@ -217,7 +242,10 @@ mod tests {
         let mut rng2 = StdRng::seed_from_u64(4);
         let direct = kpath_direct_monte_carlo(&g, &targets, k, 400_000, &mut rng2);
         for (i, (&a, &b)) in est.kpc.iter().zip(&direct).enumerate() {
-            assert!((a - b).abs() < 0.02, "target {i}: partitioned {a} direct {b}");
+            assert!(
+                (a - b).abs() < 0.02,
+                "target {i}: partitioned {a} direct {b}"
+            );
         }
     }
 

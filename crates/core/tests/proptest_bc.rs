@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use saphyra::bc::{
-    bca_values, build_a_index, exact_bc, exact2hop::exact_bc_bruteforce, gamma, Outreach, Pisp,
+    bca_values, build_a_index, exact2hop::exact_bc_bruteforce, exact_bc, gamma, Outreach, Pisp,
 };
 use saphyra_graph::{Bicomps, BlockCutTree, Graph, GraphBuilder};
 

@@ -102,7 +102,10 @@ mod tests {
         let g = gnp(200, 0.1, &mut rng);
         let expect = 0.1 * (200.0 * 199.0 / 2.0);
         let got = g.num_edges() as f64;
-        assert!((got - expect).abs() < 0.15 * expect, "got {got}, expect {expect}");
+        assert!(
+            (got - expect).abs() < 0.15 * expect,
+            "got {got}, expect {expect}"
+        );
     }
 
     #[test]

@@ -103,7 +103,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let g = rmat(12, 40_000, RmatParams::social(), &mut rng);
         let avg = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
-        assert!(g.max_degree() as f64 > 8.0 * avg, "max {} avg {avg}", g.max_degree());
+        assert!(
+            g.max_degree() as f64 > 8.0 * avg,
+            "max {} avg {avg}",
+            g.max_degree()
+        );
     }
 
     #[test]

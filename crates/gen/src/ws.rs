@@ -7,7 +7,10 @@ use saphyra_graph::{Graph, GraphBuilder, NodeId};
 /// neighbors (`k` even), every edge rewired with probability `beta` to a
 /// uniform non-duplicate target.
 pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
-    assert!(k >= 2 && k.is_multiple_of(2) && n > k, "need even k with n > k");
+    assert!(
+        k >= 2 && k.is_multiple_of(2) && n > k,
+        "need even k with n > k"
+    );
     assert!((0.0..=1.0).contains(&beta));
     let mut adj: Vec<std::collections::BTreeSet<NodeId>> =
         vec![std::collections::BTreeSet::new(); n];

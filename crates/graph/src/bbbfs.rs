@@ -173,7 +173,13 @@ impl BiBfs {
     /// Computes distance and `σ_st`, or `None` when `s` and `t` are
     /// disconnected (within the filtered edge set). `keep_edge` filters CSR
     /// slots as in [`crate::bfs::BfsWorkspace::run_counting`].
-    pub fn query<F>(&mut self, g: &Graph, s: NodeId, t: NodeId, mut keep_edge: F) -> Option<PairResult>
+    pub fn query<F>(
+        &mut self,
+        g: &Graph,
+        s: NodeId,
+        t: NodeId,
+        mut keep_edge: F,
+    ) -> Option<PairResult>
     where
         F: FnMut(usize) -> bool,
     {
@@ -246,7 +252,13 @@ impl BiBfs {
     /// Samples one uniformly random shortest path for the pair of the last
     /// successful [`BiBfs::query`] (the same `keep_edge` must be supplied).
     /// Returns the node sequence `s ..= t`.
-    pub fn sample_path<R, F>(&self, g: &Graph, res: PairResult, rng: &mut R, keep_edge: F) -> Vec<NodeId>
+    pub fn sample_path<R, F>(
+        &self,
+        g: &Graph,
+        res: PairResult,
+        rng: &mut R,
+        keep_edge: F,
+    ) -> Vec<NodeId>
     where
         R: rand::Rng + ?Sized,
         F: FnMut(usize) -> bool,
@@ -310,7 +322,14 @@ impl BiBfs {
 }
 
 #[inline]
-fn weighted_pred<R, F>(side: &Side, g: &Graph, v: NodeId, d: u32, rng: &mut R, keep_edge: &mut F) -> NodeId
+fn weighted_pred<R, F>(
+    side: &Side,
+    g: &Graph,
+    v: NodeId,
+    d: u32,
+    rng: &mut R,
+    keep_edge: &mut F,
+) -> NodeId
 where
     R: rand::Rng + ?Sized,
     F: FnMut(usize) -> bool,
@@ -330,7 +349,10 @@ where
             }
         }
     }
-    debug_assert!(last != NodeId::MAX, "missing predecessor in bidirectional DAG");
+    debug_assert!(
+        last != NodeId::MAX,
+        "missing predecessor in bidirectional DAG"
+    );
     last
 }
 

@@ -184,7 +184,8 @@ impl Bicomps {
     /// Nodes of component `b`, sorted ascending.
     #[inline]
     pub fn nodes_of(&self, b: u32) -> &[NodeId] {
-        &self.bicomp_nodes[self.bicomp_node_offsets[b as usize]..self.bicomp_node_offsets[b as usize + 1]]
+        &self.bicomp_nodes
+            [self.bicomp_node_offsets[b as usize]..self.bicomp_node_offsets[b as usize + 1]]
     }
 
     /// Component ids `v` belongs to (empty for isolated nodes), sorted.
@@ -330,7 +331,7 @@ mod tests {
         assert!(bic.share_bicomp(G, H).is_some());
         assert!(bic.share_bicomp(A, G).is_none()); // across cutpoint c
         assert!(bic.share_bicomp(F, I).is_none()); // across cutpoint d
-        // A cutpoint shares with members of all its components.
+                                                   // A cutpoint shares with members of all its components.
         assert!(bic.share_bicomp(D, F).is_some());
         assert!(bic.share_bicomp(D, I).is_some());
         assert!(bic.share_bicomp(D, A).is_some());

@@ -31,10 +31,10 @@ pub fn betweenness_exact_parallel(g: &Graph, threads: usize) -> Vec<f64> {
         return betweenness_exact(g);
     }
     let mut partials: Vec<Vec<f64>> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut bc = vec![0.0f64; n];
                 let mut ws = BfsWorkspace::new(n);
                 let mut delta = vec![0.0f64; n];
@@ -49,8 +49,7 @@ pub fn betweenness_exact_parallel(g: &Graph, threads: usize) -> Vec<f64> {
         for h in handles {
             partials.push(h.join().expect("brandes worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut bc = vec![0.0f64; n];
     for p in partials {

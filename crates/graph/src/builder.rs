@@ -118,10 +118,8 @@ impl GraphBuilder {
             let r = offsets[v]..offsets[v + 1];
             // Sort (neighbor, edge_id) pairs by neighbor. Small slices; an
             // insertion-friendly unstable sort is fine.
-            let mut pairs: Vec<(NodeId, u32)> = r
-                .clone()
-                .map(|s| (neighbors[s], edge_ids[s]))
-                .collect();
+            let mut pairs: Vec<(NodeId, u32)> =
+                r.clone().map(|s| (neighbors[s], edge_ids[s])).collect();
             pairs.sort_unstable();
             for (k, s) in r.enumerate() {
                 neighbors[s] = pairs[k].0;
@@ -150,7 +148,10 @@ mod tests {
     #[test]
     fn rejects_out_of_range() {
         let err = GraphBuilder::new(2).edge(0, 5).build().unwrap_err();
-        assert!(matches!(err, GraphError::EndpointOutOfRange { node: 5, .. }));
+        assert!(matches!(
+            err,
+            GraphError::EndpointOutOfRange { node: 5, .. }
+        ));
     }
 
     #[test]

@@ -157,8 +157,9 @@ mod tests {
         // Eccentricity of C within its triangle {c,g,h} is 1.
         let b = bic.bicomp_of_edge(g.edge_id(C, G).unwrap());
         let mut ws = BfsWorkspace::new(g.num_nodes());
-        let ecc =
-            eccentricity_filtered(&g, C, &mut ws, |slot| bic.edge_bicomp[g.edge_id_at(slot) as usize] == b);
+        let ecc = eccentricity_filtered(&g, C, &mut ws, |slot| {
+            bic.edge_bicomp[g.edge_id_at(slot) as usize] == b
+        });
         assert_eq!(ecc, 1);
     }
 }

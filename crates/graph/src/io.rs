@@ -59,7 +59,12 @@ pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
 /// Writes the graph as an edge list (one canonical `u v` line per edge).
 pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# saphyra edge list: {} nodes, {} edges", g.num_nodes(), g.num_edges())?;
+    writeln!(
+        w,
+        "# saphyra edge list: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    )?;
     for (u, v, _) in g.edges() {
         writeln!(w, "{u} {v}")?;
     }

@@ -115,11 +115,18 @@ mod tests {
 
     #[test]
     fn bernstein_delta_inverts_epsilon() {
-        for &(n, var, target) in &[(1000usize, 0.05f64, 0.05f64), (5000, 0.2, 0.03), (200, 0.01, 0.1)] {
+        for &(n, var, target) in &[
+            (1000usize, 0.05f64, 0.05f64),
+            (5000, 0.2, 0.03),
+            (200, 0.01, 0.1),
+        ] {
             let d = empirical_bernstein_delta(n, var, target, 1e-12);
             if d < 1.0 && d > 1e-12 {
                 let eps = empirical_bernstein_epsilon(n, d, var);
-                assert!((eps - target).abs() < 1e-6, "n={n} var={var}: {eps} vs {target}");
+                assert!(
+                    (eps - target).abs() < 1e-6,
+                    "n={n} var={var}: {eps} vs {target}"
+                );
             }
         }
     }

@@ -16,6 +16,9 @@
 //!   the Fig. 6 histogram.
 //! * [`summary`]: mean / 95%-confidence-interval summaries for the shaded
 //!   bands of Figs. 3-5.
+//! * [`stream`]: counter-based deterministic RNG streams — the seed
+//!   discipline that makes the parallel batch samplers bit-identical for
+//!   every thread count.
 
 pub mod bounds;
 pub mod kendall;
@@ -23,6 +26,7 @@ pub mod moments;
 pub mod relerr;
 pub mod schedule;
 pub mod spearman;
+pub mod stream;
 pub mod summary;
 
 pub use bounds::{

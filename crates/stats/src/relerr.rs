@@ -35,7 +35,12 @@ pub struct RelErrReport {
 ///
 /// `clamp_pct` is the paper's 150% cut-off; `bins` buckets span
 /// `[-100%, clamp_pct]`.
-pub fn relative_errors(estimates: &[f64], truth: &[f64], clamp_pct: f64, bins: usize) -> RelErrReport {
+pub fn relative_errors(
+    estimates: &[f64],
+    truth: &[f64],
+    clamp_pct: f64,
+    bins: usize,
+) -> RelErrReport {
     assert_eq!(estimates.len(), truth.len());
     assert!(bins >= 2 && clamp_pct > 0.0);
     let k = estimates.len().max(1);
@@ -80,7 +85,11 @@ pub fn relative_errors(estimates: &[f64], truth: &[f64], clamp_pct: f64, bins: u
         spurious_frac: sp as f64 / k as f64,
         histogram,
         bucket_edges,
-        mean_abs_pct: if abs_n > 0 { abs_sum / abs_n as f64 } else { 0.0 },
+        mean_abs_pct: if abs_n > 0 {
+            abs_sum / abs_n as f64
+        } else {
+            0.0
+        },
     }
 }
 

@@ -92,7 +92,7 @@ mod tests {
         let truth = [0.25, 0.2, 0.8, 0.6];
         let rho = spearman_vs_truth(&est, &truth);
         assert_eq!(rho, 1.0); // same ordering
-        // Exactly reversed ordering of the truth ranks [3,4,1,2] -> [2,1,4,3].
+                              // Exactly reversed ordering of the truth ranks [3,4,1,2] -> [2,1,4,3].
         let est_bad = [0.7, 0.9, 0.1, 0.3];
         assert_eq!(spearman_vs_truth(&est_bad, &truth), -1.0);
     }

@@ -35,7 +35,10 @@ fn main() {
     let est = index.rank_subset(&targets, &cfg, &mut rng);
 
     let exact = betweenness_exact(&g);
-    println!("\n{:<6} {:>10} {:>10} {:>8}", "node", "saphyra", "exact", "err");
+    println!(
+        "\n{:<6} {:>10} {:>10} {:>8}",
+        "node", "saphyra", "exact", "err"
+    );
     for i in est.ranking() {
         let v = targets[i];
         println!(

@@ -53,7 +53,10 @@ fn main() {
     let fz_s = relative_errors(&est.bc, &truth_sub, 150.0, 10).false_zero_frac;
     let fz_k = relative_errors(&kad_sub, &truth_sub, 150.0, 10).false_zero_frac;
 
-    println!("\n{:<12} {:>9} {:>12} {:>14}", "algorithm", "time(s)", "spearman ρ", "false zeros %");
+    println!(
+        "\n{:<12} {:>9} {:>12} {:>14}",
+        "algorithm", "time(s)", "spearman ρ", "false zeros %"
+    );
     println!(
         "{:<12} {:>9.3} {:>12.3} {:>14.1}",
         "SaPHyRa",
@@ -70,7 +73,11 @@ fn main() {
     );
     println!(
         "\nSaPHyRa's exact subspace guarantees zero false zeros (Lemma 19): {}",
-        if fz_s == 0.0 { "confirmed ✓" } else { "VIOLATED" }
+        if fz_s == 0.0 {
+            "confirmed ✓"
+        } else {
+            "VIOLATED"
+        }
     );
     assert_eq!(fz_s, 0.0);
 }

@@ -50,8 +50,14 @@ fn main() {
     let rho_cut = spearman_vs_truth(&bc_cut, &truth_sub);
     let rho_saphyra = spearman_vs_truth(&est.bc, &truth_sub);
     println!("\n{:<28} {:>9} {:>12}", "method", "time(s)", "spearman ρ");
-    println!("{:<28} {:>9.3} {:>12.3}", "exact BC on cut-out area", t_cut, rho_cut);
-    println!("{:<28} {:>9.3} {:>12.3}", "SaPHyRa_bc on full network", t_saphyra, rho_saphyra);
+    println!(
+        "{:<28} {:>9.3} {:>12.3}",
+        "exact BC on cut-out area", t_cut, rho_cut
+    );
+    println!(
+        "{:<28} {:>9.3} {:>12.3}",
+        "SaPHyRa_bc on full network", t_saphyra, rho_saphyra
+    );
     println!(
         "\nthe cut-out loses all through-traffic: its 'exact' answer ranks the area worse\n\
          than a sampled ranking that sees the whole network (§I of the paper)."

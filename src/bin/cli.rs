@@ -94,7 +94,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                             ids.map_err(|_| format!("--targets: cannot parse {list:?}"))?,
                         ));
                     }
-                    "--random" => targets = Some(TargetSpec::Random(next_parse(&mut it, "--random")?)),
+                    "--random" => {
+                        targets = Some(TargetSpec::Random(next_parse(&mut it, "--random")?))
+                    }
                     "--measure" => {
                         let m = it.next().ok_or("--measure needs a value")?;
                         measure = match m.as_str() {
@@ -140,7 +142,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 seed,
             })
         }
-        other => Err(format!("unknown command {other}; expected info|exact|rank|gen")),
+        other => Err(format!(
+            "unknown command {other}; expected info|exact|rank|gen"
+        )),
     }
 }
 
@@ -203,7 +207,8 @@ fn run(cmd: Command) -> Result<(), String> {
             let (values, label): (Vec<f64>, &str) = match measure {
                 Measure::Betweenness => {
                     let index = BcIndex::new(&g);
-                    let est = index.rank_subset(&targets, &SaphyraBcConfig::new(eps, delta), &mut rng);
+                    let est =
+                        index.rank_subset(&targets, &SaphyraBcConfig::new(eps, delta), &mut rng);
                     eprintln!(
                         "samples {} (λ̂ {:.3}, VC {})",
                         est.stats.samples, est.stats.lambda_hat, est.stats.vc.vc_subset
@@ -250,17 +255,18 @@ fn run(cmd: Command) -> Result<(), String> {
             };
             let g = net.build(size, seed);
             io::save_edge_list(&g, &out).map_err(|e| e.to_string())?;
-            println!("wrote {} ({} nodes, {} edges)", out, g.num_nodes(), g.num_edges());
+            println!(
+                "wrote {} ({} nodes, {} edges)",
+                out,
+                g.num_nodes(),
+                g.num_edges()
+            );
             Ok(())
         }
     }
 }
 
-fn resolve_targets(
-    g: &Graph,
-    spec: TargetSpec,
-    rng: &mut StdRng,
-) -> Result<Vec<NodeId>, String> {
+fn resolve_targets(g: &Graph, spec: TargetSpec, rng: &mut StdRng) -> Result<Vec<NodeId>, String> {
     match spec {
         TargetSpec::List(ids) => {
             for &v in &ids {
@@ -289,9 +295,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!(
-                "usage: saphyra-cli <info|exact|rank|gen> ... (see module docs / README)"
-            );
+            eprintln!("usage: saphyra-cli <info|exact|rank|gen> ... (see module docs / README)");
             ExitCode::FAILURE
         }
     }
@@ -319,8 +323,16 @@ mod tests {
     #[test]
     fn parses_rank_with_flags() {
         let c = parse_args(&sv(&[
-            "rank", "g.txt", "--targets", "1,2,3", "--measure", "harmonic", "--eps", "0.05",
-            "--seed", "9",
+            "rank",
+            "g.txt",
+            "--targets",
+            "1,2,3",
+            "--measure",
+            "harmonic",
+            "--eps",
+            "0.05",
+            "--seed",
+            "9",
         ]))
         .unwrap();
         match c {
@@ -358,7 +370,15 @@ mod tests {
         assert!(parse_args(&sv(&["frobnicate"])).is_err());
         assert!(parse_args(&sv(&["rank", "g.txt"])).is_err()); // no targets
         assert!(parse_args(&sv(&["rank", "g.txt", "--targets", "1,x"])).is_err());
-        assert!(parse_args(&sv(&["rank", "g.txt", "--random", "5", "--measure", "pagerank"])).is_err());
+        assert!(parse_args(&sv(&[
+            "rank",
+            "g.txt",
+            "--random",
+            "5",
+            "--measure",
+            "pagerank"
+        ]))
+        .is_err());
         assert!(parse_args(&sv(&["gen", "flickr", "tiny"])).is_err()); // no out
     }
 

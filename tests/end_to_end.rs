@@ -4,7 +4,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use saphyra::bc::{BcIndex, SaphyraBcConfig};
-use saphyra_baselines::{abra, exact_betweenness, kadabra, rk, AbraConfig, KadabraConfig, RkConfig};
+use saphyra_baselines::{
+    abra, exact_betweenness, kadabra, rk, AbraConfig, KadabraConfig, RkConfig,
+};
 use saphyra_gen::datasets::{SimNetwork, SizeClass};
 use saphyra_stats::spearman_vs_truth;
 

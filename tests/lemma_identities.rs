@@ -37,7 +37,11 @@ fn exact_isp_mass(g: &Graph, bic: &Bicomps, outreach: &Outreach) -> Vec<f64> {
                 }
                 bwd.run_counting(g, t, None, |slot| bic.bicomp_of_slot(g, slot) == b);
                 let d = fwd.dist(t);
-                assert_ne!(d, saphyra_graph::bfs::INFINITY, "co-component pair connected");
+                assert_ne!(
+                    d,
+                    saphyra_graph::bfs::INFINITY,
+                    "co-component pair connected"
+                );
                 let q = rs[i] as f64 * rs[j] as f64 * norm;
                 let sigma_st = fwd.sigma(t);
                 for &v in &nodes {

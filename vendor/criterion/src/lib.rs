@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion its benches use: [`Criterion`] with
+//! `sample_size` / `measurement_time` / `warm_up_time`, `bench_function`
+//! with [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Timing methodology is criterion-shaped
+//! (warmup to estimate per-iteration cost, then fixed-count samples of
+//! batched iterations, median/mean/min/max over samples) without the
+//! statistical machinery (no outlier analysis, no HTML reports).
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding `x` or the work producing it.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver: collects timing samples and prints a summary line per
+/// benchmark.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timing samples per benchmark (min 2).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warmup time before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark, printing `name ... time: [min median max]`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: Mode::Warmup {
+                until: Instant::now() + self.warm_up_time,
+                iters_done: 0,
+            },
+        };
+        // Warmup: run the routine until the warmup clock expires, counting
+        // iterations to estimate per-iteration cost.
+        let warm_start = Instant::now();
+        loop {
+            f(&mut b);
+            match &b.mode {
+                Mode::Warmup { until, .. } if Instant::now() < *until => continue,
+                _ => break,
+            }
+        }
+        let iters_done = match b.mode {
+            Mode::Warmup { iters_done, .. } => iters_done.max(1),
+            _ => 1,
+        };
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+
+        // Measurement: sample_size samples, each batching enough iterations
+        // to fill measurement_time / sample_size.
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((per_sample / per_iter.max(1e-12)) as u64).max(1);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.mode = Mode::Measure {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if let Mode::Measure { elapsed, .. } = b.mode {
+                samples.push(elapsed.as_secs_f64() / iters_per_sample as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{name:<50} time: [{} {} {}]  (mean {}, {} samples x {} iters)",
+            fmt_time(samples[0]),
+            fmt_time(median),
+            fmt_time(*samples.last().unwrap()),
+            fmt_time(mean),
+            samples.len(),
+            iters_per_sample,
+        );
+        self
+    }
+
+    /// Compatibility no-op (upstream prints the final report here).
+    pub fn final_summary(&mut self) {}
+}
+
+enum Mode {
+    Warmup { until: Instant, iters_done: u64 },
+    Measure { iters: u64, elapsed: Duration },
+}
+
+/// Handed to the benchmark closure; [`Bencher::iter`] runs the routine.
+pub struct Bencher {
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Times `routine` (called in a batch whose size the driver chooses).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match &mut self.mode {
+            Mode::Warmup { iters_done, .. } => {
+                black_box(routine());
+                *iters_done += 1;
+            }
+            Mode::Measure { iters, elapsed } => {
+                let n = *iters;
+                let t0 = Instant::now();
+                for _ in 0..n {
+                    black_box(routine());
+                }
+                *elapsed += t0.elapsed();
+            }
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut count = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        assert!(count > 0);
+    }
+}

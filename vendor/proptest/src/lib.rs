@@ -1,0 +1,498 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of proptest its tests use: the [`proptest!`] macro
+//! (multiple `#[test]` fns, optional `#![proptest_config(..)]`),
+//! [`Strategy`] with `prop_map` / `prop_flat_map`, range and tuple
+//! strategies, [`collection::vec`], [`prelude::any`], and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from upstream: no shrinking — a failing case panics with
+//! its case index and per-case seed, which reproduces the inputs exactly
+//! (generation is deterministic per test name). `PROPTEST_CASES`
+//! overrides the case count like upstream.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+    /// `prop_assert!`-family failure.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates a value, then samples from the strategy `f` builds from
+    /// it (dependent generation).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.base.new_value(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.base.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Output of [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        self.0.new_value(rng)
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4)
+);
+
+/// Types with a canonical strategy ([`prelude::any`]).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy for [`Arbitrary`] scalars, sampling the full domain.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyScalar<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary {
+    ($($t:ty => |$rng:ident| $sample:expr),*) => {$(
+        impl Strategy for AnyScalar<$t> {
+            type Value = $t;
+            fn new_value(&self, $rng: &mut StdRng) -> $t {
+                $sample
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyScalar<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyScalar(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary!(
+    bool => |rng| rng.gen::<bool>(),
+    u8 => |rng| rng.gen::<u8>(),
+    u16 => |rng| rng.gen::<u16>(),
+    u32 => |rng| rng.gen::<u32>(),
+    u64 => |rng| rng.gen::<u64>(),
+    usize => |rng| rng.gen::<usize>(),
+    i32 => |rng| rng.gen::<i32>(),
+    i64 => |rng| rng.gen::<i64>(),
+    f64 => |rng| rng.gen::<f64>()
+);
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Length specification for [`vec`]: a fixed `usize`, `Range<usize>`,
+    /// or `RangeInclusive<usize>`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `element` values with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Deterministic per-(test, case) RNG so failures reproduce without
+/// shrinking support.
+pub fn case_rng(test_name: &str, case: u64) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Runs the body of one generated test (used by [`proptest!`]).
+pub fn run_cases(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut body: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    let mut rejected = 0u64;
+    for case in 0..config.cases as u64 {
+        let mut rng = case_rng(test_name, case);
+        match body(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                let budget = (config.cases as u64 * 8).max(256);
+                assert!(
+                    rejected < budget,
+                    "{test_name}: too many prop_assume! rejections ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: case {case} failed: {msg}");
+            }
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Namespace alias (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Property-test entry point; see the crate docs for the supported shape.
+///
+/// Argument lists are parsed by a token muncher (`@bind`) because an
+/// `:expr` fragment may not be followed by `)` — each `pat in strategy`
+/// pair becomes a `let` binding drawing from the per-case RNG.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(stringify!($name), &config, |case_rng| {
+                $crate::proptest!(@bind case_rng ($($args)* ,));
+                $body
+                Ok(())
+            });
+        }
+    )*};
+    (@bind $rng:ident ($pat:pat in $strat:expr, $($rest:tt)*)) => {
+        let $pat = $crate::Strategy::new_value(&($strat), &mut *$rng);
+        $crate::proptest!(@bind $rng ($($rest)*));
+    };
+    (@bind $rng:ident (,)) => {};
+    (@bind $rng:ident ()) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts inside [`proptest!`]; failure reports the case instead of
+/// unwinding through the generator.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(format!($($fmt)*)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 0u64..=5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 5);
+        }
+
+        #[test]
+        fn tuples_and_vec(v in crate::collection::vec((0u32..4, 0u32..4), 0..=6)) {
+            prop_assert!(v.len() <= 6);
+            for (a, b) in v {
+                prop_assert!(a < 4 && b < 4);
+            }
+        }
+
+        #[test]
+        fn flat_map_dependent(pair in (2usize..8).prop_flat_map(|n| (Just(n), 0usize..n))) {
+            let (n, i) = pair;
+            prop_assert!(i < n, "i {} n {}", i, n);
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+
+        #[test]
+        fn any_bool_varies(v in crate::collection::vec(any::<bool>(), 64)) {
+            prop_assert_eq!(v.len(), 64);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use rand::RngCore;
+        let a = crate::case_rng("t", 1).next_u64();
+        let b = crate::case_rng("t", 1).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, crate::case_rng("t", 2).next_u64());
+    }
+}

@@ -1,0 +1,391 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of rayon it uses: parallel iteration over index
+//! ranges (`into_par_iter` + `map` / `map_init`, terminal `collect` /
+//! `reduce` / `for_each`), [`ThreadPoolBuilder`] with
+//! [`ThreadPool::install`], and [`current_num_threads`] honouring
+//! `RAYON_NUM_THREADS`.
+//!
+//! Execution model: an index range of length `L` is split into
+//! `min(L, current_num_threads())` contiguous blocks, one scoped OS thread
+//! per block (`std::thread::scope`). This is a plain fork-join executor —
+//! no work stealing — which is exactly what the deterministic
+//! chunk-indexed sampling engine needs: item results are a pure function
+//! of the item index, so *ordered* terminals (`collect`) are bit-identical
+//! for every thread count. `reduce` combines block partials in
+//! thread-count-dependent groupings, so callers must only reduce with
+//! associative **and commutative** operations (integer sums); the
+//! estimators use ordered `collect` + sequential folds for float merges.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel calls on this thread will use.
+///
+/// Priority: innermost [`ThreadPool::install`] > `RAYON_NUM_THREADS` >
+/// `std::thread::available_parallelism()`.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_OVERRIDE.with(|c| c.get()) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a sized [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// A logical pool: parallel calls inside [`ThreadPool::install`] use this
+/// pool's thread count. (Threads are spawned per call, scoped, and joined
+/// before the call returns.)
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing nested parallel
+    /// iterators on the calling thread.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        // Drop guard: the previous size comes back even if `op` panics
+        // (callers may catch the unwind and keep using this thread).
+        let _restore = Restore(POOL_OVERRIDE.with(|c| c.replace(Some(self.num_threads))));
+        op()
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Splits `len` items into at most `current_num_threads()` contiguous
+/// blocks and runs `worker(block_range)` on scoped threads, returning the
+/// per-block results in block order.
+fn run_blocks<T, W>(len: usize, worker: W) -> Vec<T>
+where
+    T: Send,
+    W: Fn(Range<usize>) -> T + Sync,
+{
+    let threads = current_num_threads().max(1);
+    if len == 0 {
+        return Vec::new();
+    }
+    let blocks = threads.min(len);
+    if blocks == 1 {
+        return vec![worker(0..len)];
+    }
+    let base = len / blocks;
+    let extra = len % blocks;
+    let ranges: Vec<Range<usize>> = (0..blocks)
+        .map(|b| {
+            let start = b * base + b.min(extra);
+            let end = start + base + usize::from(b < extra);
+            start..end
+        })
+        .collect();
+    let worker = &worker;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(move || worker(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The produced iterator.
+    type Iter;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+macro_rules! impl_into_par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = ParRange;
+            fn into_par_iter(self) -> ParRange {
+                ParRange {
+                    start: self.start as u64,
+                    len: (self.end.saturating_sub(self.start)) as usize,
+                }
+            }
+        }
+    )*};
+}
+impl_into_par_range!(u32, u64, usize);
+
+/// Parallel iterator over an integer range; adapters receive indices as
+/// `u64` regardless of the originating range's integer type.
+pub struct ParRange {
+    start: u64,
+    len: usize,
+}
+
+impl ParRange {
+    /// Maps each index through `f`.
+    pub fn map<R, F>(self, f: F) -> ParMap<F>
+    where
+        F: Fn(u64) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            start: self.start,
+            len: self.len,
+            f,
+        }
+    }
+
+    /// Maps each index through `f` with per-worker state created by `init`.
+    pub fn map_init<T, R, INIT, F>(self, init: INIT, f: F) -> ParMapInit<INIT, F>
+    where
+        INIT: Fn() -> T + Sync,
+        F: Fn(&mut T, u64) -> R + Sync,
+        R: Send,
+    {
+        ParMapInit {
+            start: self.start,
+            len: self.len,
+            init,
+            f,
+        }
+    }
+
+    /// Runs `f` on every index.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(u64) + Sync,
+    {
+        let start = self.start;
+        run_blocks(self.len, |r| {
+            for i in r {
+                f(start + i as u64);
+            }
+        });
+    }
+}
+
+/// `range.map(f)` pipeline.
+pub struct ParMap<F> {
+    start: u64,
+    len: usize,
+    f: F,
+}
+
+impl<F> ParMap<F> {
+    /// Collects results **in index order** (deterministic for any thread
+    /// count when `f` is a pure function of the index).
+    pub fn collect<R>(self) -> Vec<R>
+    where
+        F: Fn(u64) -> R + Sync,
+        R: Send,
+    {
+        let (start, f) = (self.start, &self.f);
+        concat(run_blocks(self.len, |r| {
+            r.map(|i| f(start + i as u64)).collect::<Vec<R>>()
+        }))
+    }
+
+    /// Reduces results with `op` starting from `identity` per block.
+    ///
+    /// Block boundaries depend on the thread count: `op` must be
+    /// associative **and commutative** for thread-count-independent
+    /// results (integer sums are; float sums are not — use `collect`).
+    pub fn reduce<R, ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        F: Fn(u64) -> R + Sync,
+        R: Send,
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let (start, f, op) = (self.start, &self.f, &op);
+        run_blocks(self.len, |r| {
+            r.fold(identity(), |acc, i| op(acc, f(start + i as u64)))
+        })
+        .into_iter()
+        .fold(identity(), op)
+    }
+}
+
+/// `range.map_init(init, f)` pipeline: `init` runs once per worker block.
+pub struct ParMapInit<INIT, F> {
+    start: u64,
+    len: usize,
+    init: INIT,
+    f: F,
+}
+
+impl<INIT, F> ParMapInit<INIT, F> {
+    /// Collects results **in index order**.
+    pub fn collect<T, R>(self) -> Vec<R>
+    where
+        INIT: Fn() -> T + Sync,
+        F: Fn(&mut T, u64) -> R + Sync,
+        R: Send,
+    {
+        let (start, init, f) = (self.start, &self.init, &self.f);
+        concat(run_blocks(self.len, |r| {
+            let mut state = init();
+            r.map(|i| f(&mut state, start + i as u64))
+                .collect::<Vec<R>>()
+        }))
+    }
+
+    /// Reduces results with `op` (same commutativity caveat as
+    /// [`ParMap::reduce`]).
+    pub fn reduce<T, R, ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        INIT: Fn() -> T + Sync,
+        F: Fn(&mut T, u64) -> R + Sync,
+        R: Send,
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let (start, init, f, op) = (self.start, &self.init, &self.f, &op);
+        run_blocks(self.len, |r| {
+            let mut state = init();
+            r.fold(identity(), |acc, i| {
+                op(acc, f(&mut state, start + i as u64))
+            })
+        })
+        .into_iter()
+        .fold(identity(), op)
+    }
+}
+
+fn concat<R>(parts: Vec<Vec<R>>) -> Vec<R> {
+    let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0u64..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let s: u64 = (0u64..10_000)
+            .into_par_iter()
+            .map(|i| i)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn map_init_reuses_state_per_block() {
+        let inits = AtomicUsize::new(0);
+        let v: Vec<usize> = (0usize..256)
+            .into_par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0usize
+                },
+                |state, i| {
+                    *state += 1;
+                    i as usize
+                },
+            )
+            .collect();
+        assert_eq!(v.len(), 256);
+        assert!(inits.load(Ordering::Relaxed) <= current_num_threads());
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let one = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let v: Vec<u64> = one.install(|| (0u64..100).into_par_iter().map(|i| i).collect());
+        assert_eq!(v.len(), 100);
+    }
+
+    #[test]
+    fn empty_range() {
+        let v: Vec<u64> = (5u64..5).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let s: u64 = (5u64..5)
+            .into_par_iter()
+            .map(|i| i)
+            .reduce(|| 7, |a, b| a + b);
+        assert_eq!(s, 7);
+    }
+}
