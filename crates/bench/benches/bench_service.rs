@@ -1,0 +1,122 @@
+//! Ranking-service concurrency/throughput bench: requests/sec against an
+//! in-process `saphyra_service` server on the Flickr-tiny analogue,
+//! comparing the **cold** path (unique seeds — every request samples) with
+//! the **hot** path (repeated request — served from the LRU response
+//! cache).
+//!
+//! Prints an explicit table (stderr) with requests/sec and the observed
+//! cache hit counts, so the cache-hit fast path is a number in the bench
+//! output. Responses are byte-identical per seed whatever the worker
+//! count; the sweep only changes wall-clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saphyra_service::http::request;
+use saphyra_service::server::{serve_with, Service, ServiceConfig};
+use saphyra_service::GraphEntry;
+
+const CLIENT_THREADS: usize = 8;
+const REQUESTS_PER_ROUND: usize = 64;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn start_server(workers: usize) -> (saphyra_service::ServerHandle, String) {
+    let cfg = ServiceConfig {
+        workers,
+        cache_capacity: 256,
+    };
+    let service = Arc::new(Service::new(cfg));
+    let graph =
+        saphyra_gen::datasets::SimNetwork::Flickr.build(saphyra_gen::datasets::SizeClass::Tiny, 1);
+    service.registry().insert(GraphEntry::build("bench", graph));
+    let handle = serve_with("127.0.0.1:0", service).expect("bind");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn rank_body(seed: u64) -> String {
+    format!(r#"{{"graph":"bench","targets":[1,5,9,13,21,34],"eps":0.2,"delta":0.1,"seed":{seed}}}"#)
+}
+
+/// Fires `REQUESTS_PER_ROUND` requests from `CLIENT_THREADS` concurrent
+/// clients; returns elapsed seconds.
+fn fire_round(addr: &str, seed_of: impl Fn(usize) -> u64 + Sync) -> f64 {
+    let done = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..CLIENT_THREADS {
+            let done = &done;
+            let seed_of = &seed_of;
+            scope.spawn(move || {
+                let per = REQUESTS_PER_ROUND / CLIENT_THREADS;
+                for i in 0..per {
+                    let body = rank_body(seed_of(t * per + i));
+                    let resp = request(addr, "POST", "/rank", Some(&body)).expect("request");
+                    assert_eq!(resp.status, 200, "{}", resp.body);
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(done.load(Ordering::Relaxed) as usize, REQUESTS_PER_ROUND);
+    t0.elapsed().as_secs_f64()
+}
+
+fn bench_service(c: &mut Criterion) {
+    let (handle, addr) = start_server(0);
+
+    // Criterion timings: one cold request (fresh seed per iteration) vs one
+    // hot request (fixed seed, served from cache after the first).
+    let seed = AtomicU64::new(1_000);
+    c.bench_function("service_rank/cold", |b| {
+        b.iter(|| {
+            let body = rank_body(seed.fetch_add(1, Ordering::Relaxed));
+            request(&addr, "POST", "/rank", Some(&body)).unwrap()
+        })
+    });
+    c.bench_function("service_rank/hot", |b| {
+        b.iter(|| request(&addr, "POST", "/rank", Some(&rank_body(7))).unwrap())
+    });
+
+    // Explicit throughput table: 8 concurrent clients, cold vs hot rounds.
+    let service = Arc::clone(handle.service());
+    eprintln!("\nservice throughput (flickr tiny, {CLIENT_THREADS} concurrent clients, {REQUESTS_PER_ROUND} requests/round):");
+    eprintln!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "round", "req/s", "hits", "misses"
+    );
+    let round_seed = AtomicU64::new(100_000);
+    for round in ["cold", "hot", "hot2"] {
+        let (h0, m0) = (service.cache_hits(), service.cache_misses());
+        let dt = if round == "cold" {
+            let base = round_seed.fetch_add(REQUESTS_PER_ROUND as u64, Ordering::Relaxed);
+            fire_round(&addr, |i| base + i as u64)
+        } else {
+            fire_round(&addr, |_| 31) // one fixed request — pure cache path
+        };
+        let rate = REQUESTS_PER_ROUND as f64 / dt;
+        eprintln!(
+            "{round:>8} {rate:>12.0} {:>12} {:>12}",
+            service.cache_hits() - h0,
+            service.cache_misses() - m0
+        );
+    }
+    eprintln!();
+
+    handle.shutdown_and_join();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_service
+}
+criterion_main!(benches);

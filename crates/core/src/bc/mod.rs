@@ -17,5 +17,5 @@ pub use exact2hop::{build_a_index, exact_bc, ExactBcOutput};
 pub use gen::BcApproxProblem;
 pub use isp::Pisp;
 pub use outreach::{bca_values, gamma, Outreach};
-pub use ranker::{BcEstimate, BcIndex, BcRunStats, SaphyraBcConfig};
-pub use vcbound::{vc_bounds, vc_lhop, VcBoundReport};
+pub use ranker::{BcDecomposition, BcEstimate, BcIndex, BcRunStats, SaphyraBcConfig};
+pub use vcbound::{vc_bounds, vc_bounds_from, vc_lhop, VcBoundReport, VcPrecomp};

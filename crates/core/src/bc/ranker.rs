@@ -8,7 +8,7 @@ use saphyra_graph::{Bicomps, BlockCutTree, Graph, NodeId};
 use super::exact2hop::{build_a_index, exact_bc};
 use super::gen::BcApproxProblem;
 use super::outreach::{bca_values, gamma, Outreach};
-use super::vcbound::{vc_bounds, VcBoundReport};
+use super::vcbound::{vc_bounds_from, VcBoundReport, VcPrecomp};
 use crate::framework::{AdaptiveOutcome, ExactPart};
 
 /// Accuracy configuration of a SaPHyRa_bc run.
@@ -131,12 +131,13 @@ impl BcEstimate {
 }
 
 /// Reusable preprocessing for SaPHyRa_bc on one graph: biconnected
-/// decomposition, block-cut tree, out-reach sets, γ and bcₐ. Building the
-/// index is O(m + n); it can then rank any number of subsets.
+/// decomposition, block-cut tree, out-reach sets, γ, bcₐ and the
+/// target-independent VC-bound precomputation. Unlike [`BcIndex`] it does
+/// *not* borrow the graph, so a long-lived service can store the two
+/// side by side (e.g. behind one `Arc`) and share them across worker
+/// threads; every ranking method takes the graph explicitly.
 #[derive(Debug)]
-pub struct BcIndex<'g> {
-    /// The underlying graph.
-    pub graph: &'g Graph,
+pub struct BcDecomposition {
     /// Biconnected components.
     pub bic: Bicomps,
     /// Block-cut tree with branch weights.
@@ -147,41 +148,47 @@ pub struct BcIndex<'g> {
     pub bca: Vec<f64>,
     /// ISP normalizer γ (Eq. 19).
     pub gamma: f64,
+    /// Target-independent part of the Table I bounds.
+    pub vc_precomp: VcPrecomp,
 }
 
-impl<'g> BcIndex<'g> {
-    /// Builds the index.
-    pub fn new(graph: &'g Graph) -> Self {
+impl BcDecomposition {
+    /// Builds the decomposition for `graph` (O(m + n) plus one BFS per
+    /// connected/biconnected component for the diameter bounds).
+    pub fn compute(graph: &Graph) -> Self {
         let bic = Bicomps::compute(graph);
         let tree = BlockCutTree::compute(&bic);
         let outreach = Outreach::compute(&bic, &tree);
         let bca = bca_values(graph, &bic, &tree);
         let gamma = gamma(graph, &outreach);
-        BcIndex {
-            graph,
+        let vc_precomp = VcPrecomp::compute(graph, &bic);
+        BcDecomposition {
             bic,
             tree,
             outreach,
             bca,
             gamma,
+            vc_precomp,
         }
     }
 
-    /// Ranks the given target subset (SaPHyRa_bc). Targets must be unique
-    /// node ids; the output is aligned with the input order.
+    /// Ranks the given target subset (SaPHyRa_bc) on `graph`, which must be
+    /// the graph this decomposition was computed from. Targets must be
+    /// unique node ids; the output is aligned with the input order.
     pub fn rank_subset(
         &self,
+        graph: &Graph,
         targets: &[NodeId],
         cfg: &SaphyraBcConfig,
         rng: &mut dyn RngCore,
     ) -> BcEstimate {
-        let n = self.graph.num_nodes();
+        let n = graph.num_nodes();
         let k = targets.len();
         let a_index = build_a_index(n, targets);
-        let vc = vc_bounds(self.graph, &self.bic, targets);
+        let vc = vc_bounds_from(&self.vc_precomp, graph, &self.bic, targets);
 
         let mut prob = BcApproxProblem::new(
-            self.graph,
+            graph,
             &self.bic,
             &self.outreach,
             targets,
@@ -221,7 +228,7 @@ impl<'g> BcIndex<'g> {
         // Exact oracle (Algorithm 1 line 3); the ablation degrades to
         // direct ISP sampling with an empty exact subspace.
         let (exact_part, exact_work) = if cfg.use_exact_subspace {
-            let exact = exact_bc(self.graph, &self.bic, &self.outreach, targets, &a_index);
+            let exact = exact_bc(graph, &self.bic, &self.outreach, targets, &a_index);
             let lambda_hat = (exact.lambda_raw / gamma_eta).clamp(0.0, 1.0);
             let exact_risks: Vec<f64> = exact.exact_raw.iter().map(|&x| x / gamma_eta).collect();
             (
@@ -287,9 +294,60 @@ impl<'g> BcIndex<'g> {
 
     /// SaPHyRa_bc-full: ranks every node of the graph (the paper's
     /// whole-network variant used in Figs. 3-7).
+    pub fn rank_full(
+        &self,
+        graph: &Graph,
+        cfg: &SaphyraBcConfig,
+        rng: &mut dyn RngCore,
+    ) -> BcEstimate {
+        let all: Vec<NodeId> = graph.nodes().collect();
+        self.rank_subset(graph, &all, cfg, rng)
+    }
+}
+
+/// Borrowing convenience wrapper pairing a graph with its
+/// [`BcDecomposition`]. Building the index is O(m + n); it can then rank
+/// any number of subsets. Derefs to the decomposition, so all its fields
+/// (`bic`, `outreach`, `gamma`, ...) read through transparently.
+#[derive(Debug)]
+pub struct BcIndex<'g> {
+    /// The underlying graph.
+    pub graph: &'g Graph,
+    /// The owned decomposition.
+    pub dec: BcDecomposition,
+}
+
+impl<'g> std::ops::Deref for BcIndex<'g> {
+    type Target = BcDecomposition;
+    fn deref(&self) -> &BcDecomposition {
+        &self.dec
+    }
+}
+
+impl<'g> BcIndex<'g> {
+    /// Builds the index.
+    pub fn new(graph: &'g Graph) -> Self {
+        BcIndex {
+            graph,
+            dec: BcDecomposition::compute(graph),
+        }
+    }
+
+    /// Ranks the given target subset (SaPHyRa_bc). Targets must be unique
+    /// node ids; the output is aligned with the input order.
+    pub fn rank_subset(
+        &self,
+        targets: &[NodeId],
+        cfg: &SaphyraBcConfig,
+        rng: &mut dyn RngCore,
+    ) -> BcEstimate {
+        self.dec.rank_subset(self.graph, targets, cfg, rng)
+    }
+
+    /// SaPHyRa_bc-full: ranks every node of the graph (the paper's
+    /// whole-network variant used in Figs. 3-7).
     pub fn rank_full(&self, cfg: &SaphyraBcConfig, rng: &mut dyn RngCore) -> BcEstimate {
-        let all: Vec<NodeId> = self.graph.nodes().collect();
-        self.rank_subset(&all, cfg, rng)
+        self.dec.rank_full(self.graph, cfg, rng)
     }
 }
 

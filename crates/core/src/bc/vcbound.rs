@@ -45,40 +45,83 @@ pub fn vc_lhop(l: u32) -> usize {
     log2_floor_plus1(2 * l + 1)
 }
 
+/// Target-independent precomputation behind [`vc_bounds`]: the `VD(V)`
+/// upper bound and the per-bicomponent diameter upper bounds. Building it
+/// costs one BFS per connected component plus one filtered BFS per
+/// bicomponent; ranking services build it once per graph and reuse it for
+/// every request (only the target-dependent `BS(A)` part remains per-call).
+#[derive(Debug, Clone)]
+pub struct VcPrecomp {
+    /// Upper bound on the graph diameter `VD(V)`.
+    pub vd_upper: u32,
+    /// Upper bound on the maximum bicomponent diameter `BD(V)`.
+    pub bd_upper: u32,
+    /// Per-bicomponent diameter upper bounds (`2·ecc`, 1 for 2-node
+    /// blocks), indexed by bicomp id.
+    pub bicomp_diam_upper: Vec<u32>,
+}
+
+impl VcPrecomp {
+    /// Computes the target-independent bounds for one graph.
+    pub fn compute(g: &Graph, bic: &Bicomps) -> Self {
+        let n = g.num_nodes();
+        let mut ws = BfsWorkspace::new(n);
+
+        // VD(V) upper bound: 2·ecc from one seed per connected component.
+        let mut seen = vec![false; n];
+        let mut vd_upper = 0u32;
+        for v in g.nodes() {
+            if seen[v as usize] || g.degree(v) == 0 {
+                continue;
+            }
+            ws.run(g, v);
+            for &u in &ws.order {
+                seen[u as usize] = true;
+            }
+            vd_upper = vd_upper.max(2 * ws.eccentricity());
+        }
+
+        // Per-component diameter upper bounds; trivially 1 for 2-node
+        // blocks.
+        let mut bicomp_diam_upper = Vec::with_capacity(bic.num_bicomps);
+        let mut bd_upper = 0u32;
+        for b in 0..bic.num_bicomps as u32 {
+            let nodes = bic.nodes_of(b);
+            let d = if nodes.len() == 2 {
+                1
+            } else {
+                ws.run_counting(g, nodes[0], None, |slot| bic.bicomp_of_slot(g, slot) == b);
+                2 * ws.eccentricity()
+            };
+            bicomp_diam_upper.push(d);
+            bd_upper = bd_upper.max(d);
+        }
+
+        VcPrecomp {
+            vd_upper,
+            bd_upper,
+            bicomp_diam_upper,
+        }
+    }
+}
+
 /// Computes all Table I bounds for target set `targets`.
 pub fn vc_bounds(g: &Graph, bic: &Bicomps, targets: &[NodeId]) -> VcBoundReport {
+    vc_bounds_from(&VcPrecomp::compute(g, bic), g, bic, targets)
+}
+
+/// Computes the Table I bounds for `targets` reusing a precomputed
+/// [`VcPrecomp`] — only the target-dependent Eq. 34 part is evaluated.
+pub fn vc_bounds_from(
+    pre: &VcPrecomp,
+    g: &Graph,
+    bic: &Bicomps,
+    targets: &[NodeId],
+) -> VcBoundReport {
     let n = g.num_nodes();
     let mut ws = BfsWorkspace::new(n);
-
-    // VD(V) upper bound: 2·ecc from one seed per connected component.
-    let mut seen = vec![false; n];
-    let mut vd_upper = 0u32;
-    for v in g.nodes() {
-        if seen[v as usize] || g.degree(v) == 0 {
-            continue;
-        }
-        ws.run(g, v);
-        for &u in &ws.order {
-            seen[u as usize] = true;
-        }
-        vd_upper = vd_upper.max(2 * ws.eccentricity());
-    }
-
-    // Per-component diameter upper bounds; trivially 1 for 2-node blocks.
-    let bicomp_diam_upper = |b: u32, ws: &mut BfsWorkspace| -> u32 {
-        let nodes = bic.nodes_of(b);
-        if nodes.len() == 2 {
-            return 1;
-        }
-        let seed = nodes[0];
-        ws.run_counting(g, seed, None, |slot| bic.bicomp_of_slot(g, slot) == b);
-        2 * ws.eccentricity()
-    };
-
-    let mut bd_upper = 0u32;
-    for b in 0..bic.num_bicomps as u32 {
-        bd_upper = bd_upper.max(bicomp_diam_upper(b, &mut ws));
-    }
+    let vd_upper = pre.vd_upper;
+    let bd_upper = pre.bd_upper;
 
     // BS(A) via Eq. 34, per component of I(A).
     // Group targets by component membership.
@@ -110,7 +153,7 @@ pub fn vc_bounds(g: &Graph, bic: &Bicomps, targets: &[NodeId]) -> VcBoundReport 
             .filter(|&d| d != saphyra_graph::bfs::INFINITY)
             .max()
             .unwrap_or(0);
-        let vd_ci = bicomp_diam_upper(b, &mut ws);
+        let vd_ci = pre.bicomp_diam_upper[b as usize];
         let bound = (vd_ci.saturating_sub(1)).min(2 * sd + 1).min(count);
         bs_upper = bs_upper.max(bound);
         i = j;

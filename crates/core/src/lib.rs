@@ -50,6 +50,7 @@ pub mod bc;
 pub mod closeness;
 pub mod framework;
 pub mod kpath;
+pub mod params;
 
 pub use bc::{BcEstimate, BcIndex, SaphyraBcConfig};
 pub use framework::{AdaptiveOutcome, ExactPart, HrProblem, SaphyraEstimate};

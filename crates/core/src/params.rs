@@ -1,0 +1,98 @@
+//! Request-parameter validation shared by every user-facing entry point
+//! (CLI flags, service request bodies).
+//!
+//! The estimators themselves `assert!` on malformed accuracy parameters —
+//! `SaphyraBcConfig::new` panics on `eps ∉ (0,1)`, the sample schedules
+//! divide by `eps²` and `ln(1/δ)` — so front ends must reject garbage with
+//! a clear message *before* any work starts. Centralizing the checks here
+//! keeps the CLI and the HTTP service byte-for-byte consistent about what
+//! they accept.
+
+use saphyra_graph::NodeId;
+
+/// Checks an additive error target: finite and strictly inside `(0, 1)`.
+pub fn check_eps(eps: f64) -> Result<(), String> {
+    if !eps.is_finite() || eps <= 0.0 || eps >= 1.0 {
+        return Err(format!("eps must be a finite value in (0, 1), got {eps}"));
+    }
+    Ok(())
+}
+
+/// Checks a failure probability: finite and strictly inside `(0, 1)`.
+pub fn check_delta(delta: f64) -> Result<(), String> {
+    if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
+        return Err(format!(
+            "delta must be a finite value in (0, 1), got {delta}"
+        ));
+    }
+    Ok(())
+}
+
+/// Checks a k-path hop count: the approximate subspace needs `k ≥ 2`.
+pub fn check_khops(khops: usize) -> Result<(), String> {
+    if khops < 2 {
+        return Err(format!("khops must be >= 2, got {khops}"));
+    }
+    Ok(())
+}
+
+/// Checks an explicit worker/thread count (0 would spin up nothing and
+/// deadlock a pool; "auto" must be expressed by omitting the flag).
+pub fn check_threads(threads: usize) -> Result<(), String> {
+    if threads == 0 {
+        return Err("threads must be >= 1 (omit the flag for auto)".to_string());
+    }
+    Ok(())
+}
+
+/// Checks a target list: non-empty, ids in `0..n`, no duplicates (the
+/// rankers index per-target accumulators by id and assert on repeats).
+pub fn check_targets(targets: &[NodeId], num_nodes: usize) -> Result<(), String> {
+    if targets.is_empty() {
+        return Err("target set must not be empty".to_string());
+    }
+    let mut seen = vec![false; num_nodes];
+    for &v in targets {
+        if (v as usize) >= num_nodes {
+            return Err(format!("target {v} out of range (n = {num_nodes})"));
+        }
+        if seen[v as usize] {
+            return Err(format!("duplicate target {v}"));
+        }
+        seen[v as usize] = true;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eps_delta_domains() {
+        for good in [1e-9, 0.01, 0.5, 0.999] {
+            assert!(check_eps(good).is_ok());
+            assert!(check_delta(good).is_ok());
+        }
+        for bad in [0.0, 1.0, 1.5, -0.1, f64::NAN, f64::INFINITY] {
+            assert!(check_eps(bad).is_err(), "eps {bad} accepted");
+            assert!(check_delta(bad).is_err(), "delta {bad} accepted");
+        }
+    }
+
+    #[test]
+    fn khops_and_threads() {
+        assert!(check_khops(1).is_err());
+        assert!(check_khops(2).is_ok());
+        assert!(check_threads(0).is_err());
+        assert!(check_threads(1).is_ok());
+    }
+
+    #[test]
+    fn target_lists() {
+        assert!(check_targets(&[], 5).is_err());
+        assert!(check_targets(&[0, 4], 5).is_ok());
+        assert!(check_targets(&[5], 5).is_err());
+        assert!(check_targets(&[1, 1], 5).is_err());
+    }
+}

@@ -64,7 +64,43 @@ impl SimNetwork {
             SimNetwork::Orkut => "orkut-sim",
         }
     }
+}
 
+impl std::str::FromStr for SimNetwork {
+    type Err = String;
+
+    /// Parses the CLI/service spelling (`flickr`, `livejournal`,
+    /// `usa-road`, `orkut`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "flickr" => Ok(SimNetwork::Flickr),
+            "livejournal" => Ok(SimNetwork::LiveJournal),
+            "usa-road" => Ok(SimNetwork::UsaRoad),
+            "orkut" => Ok(SimNetwork::Orkut),
+            other => Err(format!(
+                "unknown network {other:?} (want flickr|livejournal|usa-road|orkut)"
+            )),
+        }
+    }
+}
+
+impl std::str::FromStr for SizeClass {
+    type Err = String;
+
+    /// Parses the CLI/service spelling (`tiny`, `small`, `full`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tiny" => Ok(SizeClass::Tiny),
+            "small" => Ok(SizeClass::Small),
+            "full" => Ok(SizeClass::Full),
+            other => Err(format!(
+                "unknown size class {other:?} (want tiny|small|full)"
+            )),
+        }
+    }
+}
+
+impl SimNetwork {
     /// Builds the network at the given size class (deterministic per seed).
     pub fn build(&self, size: SizeClass, seed: u64) -> Graph {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5a9a_c0de);

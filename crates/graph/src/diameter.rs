@@ -46,19 +46,32 @@ pub fn diameter_upper(g: &Graph, seed: NodeId, ws: &mut BfsWorkspace) -> u32 {
 }
 
 /// Upper bound on the diameter of the node subset `subset` (paper §IV-C):
-/// runs one BFS from `subset[0]` and returns `2 · max_{t ∈ subset} d(s, t)`.
-/// Pairs of `subset` in different components are ignored (no shortest path
-/// exists between them, so they never co-occur on a sample).
+/// one BFS per connected component that intersects the subset (seeded at its
+/// first subset member), returning the maximum per-component
+/// `2 · max_{t ∈ subset ∩ C} d(s, t)`. Pairs of `subset` in *different*
+/// components never co-occur on a shortest-path sample and contribute
+/// nothing — but pairs inside every intersected component do, so bounding
+/// only `subset[0]`'s component would understate `VD(A ∩ Cᵢ)` and make the
+/// reported VC bound unsound.
 pub fn subset_diameter_upper(g: &Graph, subset: &[NodeId], ws: &mut BfsWorkspace) -> u32 {
-    let Some(&s) = subset.first() else { return 0 };
-    ws.run(g, s);
-    let maxd = subset
-        .iter()
-        .map(|&t| ws.dist(t))
-        .filter(|&d| d != crate::bfs::INFINITY)
-        .max()
-        .unwrap_or(0);
-    2 * maxd
+    let mut covered = vec![false; subset.len()];
+    let mut best = 0u32;
+    for i in 0..subset.len() {
+        if covered[i] {
+            continue;
+        }
+        ws.run(g, subset[i]);
+        let mut maxd = 0u32;
+        for (j, &t) in subset.iter().enumerate() {
+            let d = ws.dist(t);
+            if d != crate::bfs::INFINITY {
+                covered[j] = true;
+                maxd = maxd.max(d);
+            }
+        }
+        best = best.max(2 * maxd);
+    }
+    best
 }
 
 /// Exact diameter of the node subset (max pairwise distance within
@@ -147,6 +160,45 @@ mod tests {
         let mut ws = BfsWorkspace::new(6);
         let ub = subset_diameter_upper(&g, &[0, 1, 3], &mut ws);
         assert!(ub >= 1);
+    }
+
+    #[test]
+    fn subset_diameter_sound_when_first_component_is_small() {
+        // Regression: component X = path 0-1-2, component Y = path 3-..-9.
+        // The subset's first member lives in X, but its *far-apart* pair
+        // (3, 9) lives in Y; a single BFS from subset[0] reported 0 here,
+        // understating the exact subset diameter of 6.
+        let mut b = crate::builder::GraphBuilder::new(10);
+        b.push(0, 1);
+        b.push(1, 2);
+        for v in 3..9u32 {
+            b.push(v, v + 1);
+        }
+        let g = b.build().unwrap();
+        let subset = [0u32, 3, 9];
+        let exact = exact_subset_diameter(&g, &subset);
+        assert_eq!(exact, 6);
+        let mut ws = BfsWorkspace::new(10);
+        let ub = subset_diameter_upper(&g, &subset, &mut ws);
+        assert!(ub >= exact, "upper {ub} < exact {exact}");
+    }
+
+    #[test]
+    fn subset_diameter_upper_dominates_exact_on_all_component_splits() {
+        // Every component of disconnected_mix intersected, in every order.
+        let g = fixtures::disconnected_mix();
+        let mut ws = BfsWorkspace::new(6);
+        for subset in [
+            vec![0u32, 3, 5],
+            vec![5, 3, 0],
+            vec![3, 4, 0, 1, 2],
+            vec![5],
+            vec![0, 1, 2, 3, 4, 5],
+        ] {
+            let exact = exact_subset_diameter(&g, &subset);
+            let ub = subset_diameter_upper(&g, &subset, &mut ws);
+            assert!(ub >= exact, "subset {subset:?}: upper {ub} < exact {exact}");
+        }
     }
 
     #[test]

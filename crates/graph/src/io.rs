@@ -9,10 +9,12 @@ use crate::csr::Graph;
 use crate::error::GraphError;
 
 /// Parses an edge list from any reader. Node count is `1 + max id` unless
-/// `min_nodes` demands more (isolated trailing nodes).
+/// `min_nodes` — or a `# nodes: N` header as written by
+/// [`write_edge_list`] — demands more (isolated trailing nodes).
 pub fn read_edge_list<R: Read>(reader: R, min_nodes: usize) -> Result<Graph, GraphError> {
     let mut edges: Vec<(u32, u32)> = Vec::new();
     let mut max_id: u64 = 0;
+    let mut min_nodes = min_nodes;
     let mut line = String::new();
     let mut reader = BufReader::new(reader);
     let mut lineno = 0usize;
@@ -24,6 +26,16 @@ pub fn read_edge_list<R: Read>(reader: R, min_nodes: usize) -> Result<Graph, Gra
         lineno += 1;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
+            if let Some(rest) = trimmed.strip_prefix("# nodes:") {
+                let n: u64 = rest.trim().parse().map_err(|_| GraphError::Parse {
+                    line: lineno,
+                    content: trimmed.to_string(),
+                })?;
+                if n > u32::MAX as u64 {
+                    return Err(GraphError::TooManyNodes(n));
+                }
+                min_nodes = min_nodes.max(n as usize);
+            }
             continue;
         }
         let mut it = trimmed.split_whitespace();
@@ -57,6 +69,9 @@ pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
 }
 
 /// Writes the graph as an edge list (one canonical `u v` line per edge).
+/// A machine-readable `# nodes: N` header preserves isolated trailing nodes
+/// across a [`read_edge_list`] round trip — the edge lines alone only
+/// recover `1 + max id`.
 pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
     writeln!(
@@ -65,6 +80,7 @@ pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError>
         g.num_nodes(),
         g.num_edges()
     )?;
+    writeln!(w, "# nodes: {}", g.num_nodes())?;
     for (u, v, _) in g.edges() {
         writeln!(w, "{u} {v}")?;
     }
@@ -109,6 +125,37 @@ mod tests {
         let g = read_edge_list("0 1\n".as_bytes(), 5).unwrap();
         assert_eq!(g.num_nodes(), 5);
         assert_eq!(g.degree(4), 0);
+    }
+
+    #[test]
+    fn round_trip_preserves_isolated_trailing_nodes() {
+        // 5-node graph whose last two nodes are isolated: the edge lines
+        // alone recover only 3 nodes, the `# nodes:` header restores 5.
+        let g = crate::builder::GraphBuilder::new(5)
+            .edges([(0, 1), (1, 2)])
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], 0).unwrap();
+        assert_eq!(g2.num_nodes(), 5);
+        assert_eq!(g2.num_edges(), 2);
+        assert_eq!(g2.degree(3), 0);
+        assert_eq!(g2.degree(4), 0);
+    }
+
+    #[test]
+    fn nodes_header_is_honored_and_validated() {
+        let g = read_edge_list("# nodes: 7\n0 1\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.num_nodes(), 7);
+        // Edges may still exceed the header; max id wins.
+        let g = read_edge_list("# nodes: 2\n0 4\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        // Garbage header is rejected, not silently ignored.
+        let err = read_edge_list("# nodes: x\n0 1\n".as_bytes(), 0).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = read_edge_list("# nodes: 99999999999\n".as_bytes(), 0).unwrap_err();
+        assert!(matches!(err, GraphError::TooManyNodes(_)));
     }
 
     #[test]

@@ -116,6 +116,26 @@ proptest! {
     }
 
     #[test]
+    fn subset_diameter_upper_is_sound_on_multi_component_subsets(
+        g in arb_graph(),
+        picks in proptest::collection::vec(0usize..1_000_000, 1..=8),
+    ) {
+        // arb_graph frequently produces disconnected graphs; the subset may
+        // intersect several components, and the §IV-C upper bound must
+        // dominate the exact subset diameter on every one of them.
+        let mut subset: Vec<u32> = picks
+            .iter()
+            .map(|&ix| (ix % g.num_nodes()) as u32)
+            .collect();
+        subset.sort_unstable();
+        subset.dedup();
+        let exact = saphyra_graph::diameter::exact_subset_diameter(&g, &subset);
+        let mut ws = BfsWorkspace::new(g.num_nodes());
+        let upper = saphyra_graph::diameter::subset_diameter_upper(&g, &subset, &mut ws);
+        prop_assert!(upper >= exact, "subset {:?}: upper {} < exact {}", subset, upper, exact);
+    }
+
+    #[test]
     fn edge_list_roundtrip(g in arb_graph()) {
         let mut buf = Vec::new();
         saphyra_graph::io::write_edge_list(&g, &mut buf).unwrap();

@@ -1,0 +1,123 @@
+//! A small LRU cache for completed rankings.
+//!
+//! Capacity is bounded and eviction is least-recently-used. Lookups and
+//! inserts bump a monotone tick; eviction scans for the minimum tick —
+//! O(capacity), which is irrelevant next to the cost of the rankings the
+//! cache fronts (a miss costs milliseconds to seconds of sampling).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Bounded LRU map.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, (u64, V)>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (0 disables
+    /// caching entirely).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::new(),
+            capacity,
+            tick: 0,
+        }
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some((t, v)) => {
+                *t = tick;
+                Some(v)
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts `key → value`, evicting the least-recently-used entry when
+    /// full. A no-op when capacity is 0.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (self.tick, value));
+    }
+
+    /// Drops every entry failing the predicate (used to purge a reloaded
+    /// graph's stale rankings).
+    pub fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) {
+        self.map.retain(|k, _| keep(k));
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // a is now fresher than b
+        c.insert("c", 3);
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("a", 10);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = LruCache::new(0);
+        c.insert("a", 1);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&"a"), None);
+    }
+
+    #[test]
+    fn retain_purges() {
+        let mut c = LruCache::new(4);
+        c.insert(("g1", 1), 1);
+        c.insert(("g2", 2), 2);
+        c.retain(|k| k.0 != "g1");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&("g2", 2)), Some(&2));
+    }
+}

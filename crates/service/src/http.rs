@@ -1,0 +1,340 @@
+//! Minimal HTTP/1.1 framing over `std::net` — just enough for a local JSON
+//! service and its test/CI client: request-line + headers + Content-Length
+//! bodies, `Connection: close` semantics (one request per connection).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Upper bound on a request body.
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path (query strings are not split off; the service does not
+    /// use them).
+    pub path: String,
+    /// Header name/value pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty when no Content-Length).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    pub fn body_str(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|_| "body is not valid UTF-8".to_string())
+    }
+}
+
+/// Reads one request from the stream. `Ok(None)` means the peer closed the
+/// connection before sending anything.
+///
+/// The request head is read through a [`Read::take`] capped at
+/// [`MAX_HEAD_BYTES`], so a peer streaming an endless header line cannot
+/// buffer unbounded memory — the cap bounds allocation *before* any line is
+/// materialized, not after.
+pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
+    let mut head = reader.by_ref().take(MAX_HEAD_BYTES as u64);
+    let head_err = |head: &io::Take<&mut R>| {
+        if head.limit() == 0 {
+            io::Error::new(io::ErrorKind::InvalidData, "request head too large")
+        } else {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-headers",
+            )
+        }
+    };
+
+    let mut line = String::new();
+    if head.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_ascii_uppercase(), p.to_string()),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed request line {line:?}"),
+            ))
+        }
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        if head.read_line(&mut line)? == 0 || !line.ends_with('\n') {
+            return Err(head_err(&head));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request body too large",
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// An HTTP response about to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (200, 400, ...).
+    pub status: u16,
+    /// Extra headers beyond Content-Type/Content-Length/Connection.
+    pub headers: Vec<(String, String)>,
+    /// Response body (JSON for every service endpoint).
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serializes the response (`Connection: close`).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len()
+        )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "\r\n{}", self.body)?;
+        w.flush()
+    }
+}
+
+/// Reason phrase for the status codes the service emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// A response as seen by the client helper.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body text.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One-shot HTTP client used by `saphyra-cli query`, the tests and the
+/// benches: connects, sends a single request, reads the full response.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<ClientResponse> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(120)))?;
+    let mut writer = stream.try_clone()?;
+    let body = body.unwrap_or("");
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line {status_line:?}"),
+            )
+        })?;
+
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-headers",
+            ));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().ok();
+            }
+            headers.push((name, value));
+        }
+    }
+
+    let body = match content_length {
+        Some(len) => {
+            let mut buf = vec![0u8; len];
+            reader.read_exact(&mut buf)?;
+            buf
+        }
+        None => {
+            let mut buf = Vec::new();
+            reader.read_to_end(&mut buf)?;
+            buf
+        }
+    };
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response body not UTF-8"))?;
+
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_request_with_body() {
+        let raw = b"POST /rank HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        let req = read_request(&mut &raw[..]).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/rank");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body_str().unwrap(), "{\"a\":1}");
+    }
+
+    #[test]
+    fn empty_stream_is_none() {
+        let raw: &[u8] = b"";
+        assert!(read_request(&mut &raw[..]).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_oversized_head_without_buffering_it() {
+        // One endless header line (no newline anywhere): the take() cap
+        // must fail the request at MAX_HEAD_BYTES, not buffer it all.
+        let flood = format!(
+            "GET / HTTP/1.1\r\nX-Flood: {}",
+            "a".repeat(MAX_HEAD_BYTES * 2)
+        );
+        let err = read_request(&mut flood.as_bytes()).unwrap_err();
+        assert_eq!(err.to_string(), "request head too large");
+        // Many small header lines exceeding the cap in aggregate.
+        let mut flood = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..(MAX_HEAD_BYTES / 8) {
+            flood.push_str(&format!("h{i}: v\r\n"));
+        }
+        assert!(read_request(&mut flood.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_body_and_bad_length() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(read_request(&mut raw.as_bytes()).is_err());
+        let raw = "POST / HTTP/1.1\r\nContent-Length: x\r\n\r\n";
+        assert!(read_request(&mut raw.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn response_serialization() {
+        let mut out = Vec::new();
+        Response::json(200, "{}")
+            .with_header("X-Saphyra-Cache", "hit")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("X-Saphyra-Cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

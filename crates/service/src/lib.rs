@@ -1,0 +1,59 @@
+//! # saphyra_service
+//!
+//! A long-lived HTTP/1.1 JSON ranking service over the SaPHyRa engine —
+//! std-only (`std::net::TcpListener` + a thread pool; no external
+//! dependencies, matching the offline build environment).
+//!
+//! ## Endpoints
+//!
+//! | Method | Path        | Body |
+//! |--------|-------------|------|
+//! | GET    | `/healthz`  | — (status, graph count, request/cache counters) |
+//! | GET    | `/graphs`   | — (loaded graphs, name-sorted) |
+//! | POST   | `/graphs`   | `{"name", "path"}` or `{"name", "network", "size"?, "seed"?}` |
+//! | POST   | `/rank`     | `{"graph", "targets", "measure"?, "eps"?, "delta"?, "seed"?, "khops"?}` |
+//! | POST   | `/shutdown` | — (graceful stop) |
+//!
+//! Loading a graph builds its [`saphyra::bc::BcDecomposition`] — bicomps,
+//! block-cut tree, out-reach/ISP tables, bcₐ, γ, VC-bound precomputation —
+//! **once**; the entry is then shared `Arc`-style across every worker.
+//! Completed rankings are cached (LRU) keyed by the full request tuple
+//! `(graph, measure, targets, eps, delta, seed, khops)`, so repeated
+//! queries are O(1) and replay byte-identical bodies.
+//!
+//! ## Determinism
+//!
+//! For a fixed request, the `/rank` response body is byte-identical
+//! regardless of worker count, rayon thread count, or cache state — the
+//! PR 1 engine-level determinism contract extended across the wire. See
+//! [`server`] for the mechanics.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use saphyra_service::registry::GraphEntry;
+//! use saphyra_service::server::{serve_with, Service, ServiceConfig};
+//! use std::sync::Arc;
+//!
+//! let cfg = ServiceConfig { workers: 2, cache_capacity: 16 };
+//! let service = Arc::new(Service::new(cfg));
+//! service.registry().insert(GraphEntry::build(
+//!     "grid",
+//!     saphyra_graph::fixtures::grid_graph(4, 4),
+//! ));
+//! let handle = serve_with("127.0.0.1:0", service).unwrap();
+//! let addr = handle.addr().to_string();
+//! let resp = saphyra_service::http::request(&addr, "GET", "/healthz", None).unwrap();
+//! assert_eq!(resp.status, 200);
+//! handle.shutdown_and_join();
+//! ```
+
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod registry;
+pub mod server;
+
+pub use http::{request, ClientResponse};
+pub use registry::{GraphEntry, Registry};
+pub use server::{serve, serve_with, ServerHandle, Service, ServiceConfig};

@@ -1,0 +1,130 @@
+//! The graph registry: named graphs with their preprocessing built once and
+//! shared across worker threads.
+//!
+//! Each entry pairs the CSR graph with its [`BcDecomposition`] (bicomps,
+//! block-cut tree, out-reach/ISP tables, bcₐ, γ and the target-independent
+//! VC-bound precomputation). Entries are immutable after construction and
+//! handed out as `Arc`s, so concurrent `/rank` requests read the same
+//! decomposition with zero contention; per-request sampler scratch lives in
+//! the request's own `BcApproxProblem`/`HrSampler`, never in the entry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use saphyra::bc::BcDecomposition;
+use saphyra_graph::Graph;
+
+/// Process-wide entry counter backing [`GraphEntry::epoch`].
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// One loaded graph and its reusable preprocessing.
+#[derive(Debug)]
+pub struct GraphEntry {
+    /// Registry key.
+    pub name: String,
+    /// The graph.
+    pub graph: Graph,
+    /// Preprocessing shared by every request against this graph.
+    pub dec: BcDecomposition,
+    /// Unique id of this *load* of the graph. Reloading under the same
+    /// name yields a new epoch, so cache keys derived from `(name, epoch)`
+    /// can never alias rankings of a replaced graph — even when an
+    /// in-flight request computed against the old entry finishes after
+    /// the replacement.
+    pub epoch: u64,
+}
+
+impl GraphEntry {
+    /// Builds the entry (runs the full O(m + n) decomposition once).
+    pub fn build(name: impl Into<String>, graph: Graph) -> Self {
+        let dec = BcDecomposition::compute(&graph);
+        GraphEntry {
+            name: name.into(),
+            graph,
+            dec,
+            epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+}
+
+/// Thread-safe name → entry map. `BTreeMap` keeps listings sorted, so
+/// `GET /graphs` output is deterministic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: RwLock<BTreeMap<String, Arc<GraphEntry>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Fetches a graph by name.
+    pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
+        self.inner.read().unwrap().get(name).cloned()
+    }
+
+    /// Inserts (or replaces) an entry; returns whether a previous entry
+    /// with the same name was replaced.
+    pub fn insert(&self, entry: GraphEntry) -> bool {
+        self.inner
+            .write()
+            .unwrap()
+            .insert(entry.name.clone(), Arc::new(entry))
+            .is_some()
+    }
+
+    /// All entries in name order.
+    pub fn list(&self) -> Vec<Arc<GraphEntry>> {
+        self.inner.read().unwrap().values().cloned().collect()
+    }
+
+    /// Number of loaded graphs.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap().len()
+    }
+
+    /// Whether no graph is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saphyra_graph::fixtures;
+
+    #[test]
+    fn insert_get_list() {
+        let reg = Registry::new();
+        assert!(reg.is_empty());
+        assert!(!reg.insert(GraphEntry::build("b", fixtures::grid_graph(3, 3))));
+        assert!(!reg.insert(GraphEntry::build("a", fixtures::path_graph(4))));
+        assert_eq!(reg.len(), 2);
+        let names: Vec<String> = reg.list().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(names, vec!["a", "b"]); // sorted
+        assert_eq!(reg.get("a").unwrap().graph.num_nodes(), 4);
+        assert!(reg.get("missing").is_none());
+        // Replacement reports the overwrite and swaps the entry.
+        assert!(reg.insert(GraphEntry::build("a", fixtures::path_graph(9))));
+        assert_eq!(reg.get("a").unwrap().graph.num_nodes(), 9);
+    }
+
+    #[test]
+    fn rebuilt_entries_get_fresh_epochs() {
+        let a = GraphEntry::build("g", fixtures::grid_graph(3, 3));
+        let b = GraphEntry::build("g", fixtures::grid_graph(3, 3));
+        assert_ne!(a.epoch, b.epoch);
+    }
+
+    #[test]
+    fn entry_precomputes_decomposition() {
+        let e = GraphEntry::build("g", fixtures::lollipop_graph(4, 3));
+        assert!(e.dec.gamma > 0.0);
+        assert!(e.dec.bic.num_bicomps > 0);
+        assert!(!e.dec.vc_precomp.bicomp_diam_upper.is_empty());
+    }
+}

@@ -1,0 +1,859 @@
+//! The ranking service: request routing, deterministic rank computation,
+//! response caching, and the `TcpListener` + thread-pool runtime.
+//!
+//! ## Determinism contract
+//!
+//! For a fixed request body, the `/rank` response **body** is byte-identical
+//! across runs, worker counts and rayon thread counts: the estimate itself
+//! is bit-identical for a given seed (PR 1's counter-based chunk RNG
+//! streams), JSON objects serialize in fixed field order, and `f64`
+//! formatting is Rust's shortest round-trip `Display`. Cache hits replay
+//! the stored body verbatim, so they cannot break the contract; whether a
+//! response was served from cache is reported out-of-band in the
+//! `X-Saphyra-Cache` header (`hit` / `miss`).
+//!
+//! ## Concurrency model
+//!
+//! Graph entries (graph + decomposition) are immutable `Arc`s from the
+//! [`Registry`]; every `/rank` request builds its own sampler scratch
+//! (`BcApproxProblem` / `HrSampler`), so concurrent requests share only
+//! read-only state. The response cache is the single mutex, held only for
+//! lookup/insert — never during sampling. Two identical requests racing a
+//! cold cache may both compute (last insert wins); both compute the same
+//! bytes, so the contract still holds.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saphyra::bc::SaphyraBcConfig;
+use saphyra::closeness::rank_harmonic;
+use saphyra::kpath::rank_kpath;
+use saphyra::params;
+use saphyra_gen::datasets::{SimNetwork, SizeClass};
+use saphyra_graph::{io as graph_io, NodeId};
+
+use crate::cache::LruCache;
+use crate::http::{read_request, Request, Response};
+use crate::json::Json;
+use crate::registry::{GraphEntry, Registry};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads handling connections (0 = available parallelism).
+    pub workers: usize,
+    /// Completed-ranking cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            cache_capacity: 128,
+        }
+    }
+}
+
+/// Centrality measures the service can rank by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Measure {
+    Betweenness,
+    KPath,
+    Harmonic,
+}
+
+impl Measure {
+    fn parse(s: &str) -> Option<Measure> {
+        match s {
+            "bc" | "betweenness" => Some(Measure::Betweenness),
+            "kpath" => Some(Measure::KPath),
+            "harmonic" | "closeness" => Some(Measure::Harmonic),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> &'static str {
+        match self {
+            Measure::Betweenness => "bc",
+            Measure::KPath => "kpath",
+            Measure::Harmonic => "harmonic",
+        }
+    }
+}
+
+/// Everything that makes a `/rank` response unique. `eps`/`delta` enter by
+/// bit pattern: distinct floats that print identically are still distinct
+/// requests. `epoch` pins the key to one *load* of the graph: a request
+/// that raced a same-name reload and computed against the old entry
+/// inserts under the old epoch and can never be served to requests
+/// resolving the new entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct RankKey {
+    graph: String,
+    epoch: u64,
+    measure: Measure,
+    targets: Vec<NodeId>,
+    eps_bits: u64,
+    delta_bits: u64,
+    seed: u64,
+    khops: usize,
+}
+
+/// A validated `/rank` request.
+struct RankParams {
+    graph: String,
+    measure: Measure,
+    targets: Vec<NodeId>,
+    eps: f64,
+    delta: f64,
+    seed: u64,
+    khops: usize,
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn error_response(status: u16, message: impl Into<String>) -> Response {
+    Response::json(
+        status,
+        obj(vec![("error", Json::from(message.into()))]).to_string(),
+    )
+}
+
+/// Shared service state: registry, cache, counters. Routing lives in
+/// [`Service::handle`], which is pure with respect to the network layer and
+/// therefore directly testable.
+#[derive(Debug)]
+pub struct Service {
+    registry: Registry,
+    cache: Mutex<LruCache<RankKey, Arc<String>>>,
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    workers: usize,
+}
+
+impl Service {
+    /// Creates the state for a server with the given configuration.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            cfg.workers
+        };
+        Service {
+            registry: Registry::new(),
+            cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+            requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            workers,
+        }
+    }
+
+    /// The graph registry (pre-loading graphs before `serve` is handy in
+    /// tests and benches).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Lifetime cache-hit count.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime cache-miss count.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Routes one request. The boolean asks the runtime to shut down.
+    pub fn handle(&self, req: &Request) -> (Response, bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let resp = match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => self.healthz(),
+            ("GET", "/graphs") => self.list_graphs(),
+            ("POST", "/graphs") => self.load_graph(req),
+            ("POST", "/rank") => self.rank(req),
+            ("POST", "/shutdown") => {
+                let body = obj(vec![("status", Json::from("shutting down"))]).to_string();
+                return (Response::json(200, body), true);
+            }
+            ("GET" | "POST", _) => error_response(404, format!("no such endpoint {}", req.path)),
+            _ => error_response(405, format!("method {} not allowed", req.method)),
+        };
+        (resp, false)
+    }
+
+    fn healthz(&self) -> Response {
+        let body = obj(vec![
+            ("status", Json::from("ok")),
+            ("graphs", Json::from(self.registry.len())),
+            ("workers", Json::from(self.workers)),
+            (
+                "requests",
+                Json::from(self.requests.load(Ordering::Relaxed)),
+            ),
+            ("cache_hits", Json::from(self.cache_hits())),
+            ("cache_misses", Json::from(self.cache_misses())),
+        ])
+        .to_string();
+        Response::json(200, body)
+    }
+
+    fn list_graphs(&self) -> Response {
+        let graphs: Vec<Json> = self.registry.list().iter().map(|e| graph_info(e)).collect();
+        Response::json(200, obj(vec![("graphs", Json::Arr(graphs))]).to_string())
+    }
+
+    fn load_graph(&self, req: &Request) -> Response {
+        let body = match req
+            .body_str()
+            .map_err(|e| e.to_string())
+            .and_then(|t| Json::parse(t).map_err(|e| format!("invalid JSON body: {e}")))
+        {
+            Ok(v) => v,
+            Err(e) => return error_response(400, e),
+        };
+        let name = match body.get("name").and_then(Json::as_str) {
+            Some(n) if valid_graph_name(n) => n.to_string(),
+            Some(n) => {
+                return error_response(
+                    400,
+                    format!("invalid graph name {n:?} (want 1-64 chars of [A-Za-z0-9._-])"),
+                )
+            }
+            None => return error_response(400, "missing required string field \"name\""),
+        };
+
+        let graph = match (body.get("path"), body.get("network")) {
+            (Some(path), None) => {
+                let Some(path) = path.as_str() else {
+                    return error_response(400, "\"path\" must be a string");
+                };
+                match graph_io::load_edge_list(path) {
+                    Ok(g) => g,
+                    Err(e) => return error_response(400, format!("cannot load {path}: {e}")),
+                }
+            }
+            (None, Some(network)) => {
+                let Some(network) = network.as_str() else {
+                    return error_response(400, "\"network\" must be a string");
+                };
+                let Ok(net) = network.parse::<SimNetwork>() else {
+                    return error_response(400, format!("unknown network {network:?}"));
+                };
+                let size = body.get("size").and_then(Json::as_str).unwrap_or("tiny");
+                let Ok(size) = size.parse::<SizeClass>() else {
+                    return error_response(400, format!("unknown size class {size:?}"));
+                };
+                let seed = match opt_u64(&body, "seed", 2022) {
+                    Ok(s) => s,
+                    Err(e) => return error_response(400, e),
+                };
+                net.build(size, seed)
+            }
+            _ => {
+                return error_response(
+                    400,
+                    "body must have exactly one of \"path\" (edge-list file) or \"network\" (generator)",
+                )
+            }
+        };
+
+        let entry = GraphEntry::build(name.clone(), graph);
+        let info = graph_info(&entry);
+        let replaced = self.registry.insert(entry);
+        if replaced {
+            // Correctness is already guaranteed by the epoch in RankKey
+            // (old-entry results can never alias the new load); dropping
+            // the dead entries here is memory hygiene.
+            self.cache.lock().unwrap().retain(|k| k.graph != name);
+        }
+        let Json::Obj(mut fields) = info else {
+            unreachable!()
+        };
+        fields.push(("replaced".to_string(), Json::Bool(replaced)));
+        Response::json(200, Json::Obj(fields).to_string())
+    }
+
+    fn rank(&self, req: &Request) -> Response {
+        let p = match self.parse_rank_request(req) {
+            Ok(p) => p,
+            Err(resp) => return *resp,
+        };
+        let Some(entry) = self.registry.get(&p.graph) else {
+            return error_response(
+                404,
+                format!("unknown graph {:?} (POST /graphs first)", p.graph),
+            );
+        };
+        if let Err(e) = params::check_targets(&p.targets, entry.graph.num_nodes()) {
+            return error_response(400, e);
+        }
+
+        let key = RankKey {
+            graph: p.graph.clone(),
+            epoch: entry.epoch,
+            measure: p.measure,
+            targets: p.targets.clone(),
+            eps_bits: p.eps.to_bits(),
+            delta_bits: p.delta.to_bits(),
+            seed: p.seed,
+            khops: p.khops,
+        };
+        if let Some(body) = self.cache.lock().unwrap().get(&key).cloned() {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Response::json(200, body.as_str()).with_header("X-Saphyra-Cache", "hit");
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        // Compute outside the cache lock; concurrent misses on the same key
+        // duplicate work but produce identical bytes.
+        let body = Arc::new(compute_rank_body(&entry, &p));
+        self.cache.lock().unwrap().insert(key, Arc::clone(&body));
+        Response::json(200, body.as_str()).with_header("X-Saphyra-Cache", "miss")
+    }
+
+    fn parse_rank_request(&self, req: &Request) -> Result<RankParams, Box<Response>> {
+        let bad = |msg: String| Box::new(error_response(400, msg));
+        let body = req
+            .body_str()
+            .map_err(|e| bad(e.to_string()))
+            .and_then(|t| Json::parse(t).map_err(|e| bad(format!("invalid JSON body: {e}"))))?;
+
+        let graph = body
+            .get("graph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing required string field \"graph\"".into()))?
+            .to_string();
+        let measure_name = body.get("measure").and_then(Json::as_str).unwrap_or("bc");
+        let measure = Measure::parse(measure_name).ok_or_else(|| {
+            bad(format!(
+                "unknown measure {measure_name:?} (want bc|kpath|harmonic)"
+            ))
+        })?;
+
+        let targets_json = body
+            .get("targets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing required array field \"targets\"".into()))?;
+        let mut targets = Vec::with_capacity(targets_json.len());
+        for t in targets_json {
+            let id = t
+                .as_u64()
+                .filter(|&v| v <= u32::MAX as u64)
+                .ok_or_else(|| bad(format!("target {t} is not a node id")))?;
+            targets.push(id as NodeId);
+        }
+
+        let eps = opt_f64(&body, "eps", 0.01).map_err(&bad)?;
+        let delta = opt_f64(&body, "delta", 0.01).map_err(&bad)?;
+        let seed = opt_u64(&body, "seed", 2022).map_err(&bad)?;
+        let khops = opt_u64(&body, "khops", 5).map_err(&bad)? as usize;
+
+        params::check_eps(eps).map_err(&bad)?;
+        params::check_delta(delta).map_err(&bad)?;
+        if measure == Measure::KPath {
+            params::check_khops(khops).map_err(&bad)?;
+        }
+
+        Ok(RankParams {
+            graph,
+            measure,
+            targets,
+            eps,
+            delta,
+            seed,
+            khops,
+        })
+    }
+}
+
+fn opt_f64(body: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match body.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| format!("field {key:?} must be a number")),
+    }
+}
+
+fn opt_u64(body: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match body.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| format!("field {key:?} must be a non-negative integer <= 2^53")),
+    }
+}
+
+fn valid_graph_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+fn graph_info(entry: &GraphEntry) -> Json {
+    obj(vec![
+        ("name", Json::from(entry.name.as_str())),
+        ("nodes", Json::from(entry.graph.num_nodes())),
+        ("edges", Json::from(entry.graph.num_edges())),
+        ("bicomps", Json::from(entry.dec.bic.num_bicomps)),
+        ("gamma", Json::Num(entry.dec.gamma)),
+    ])
+}
+
+/// Computes the deterministic `/rank` response body.
+fn compute_rank_body(entry: &GraphEntry, p: &RankParams) -> String {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let (scores, stats) = match p.measure {
+        Measure::Betweenness => {
+            let est = entry.dec.rank_subset(
+                &entry.graph,
+                &p.targets,
+                &SaphyraBcConfig::new(p.eps, p.delta),
+                &mut rng,
+            );
+            let stats = obj(vec![
+                ("samples", Json::from(est.stats.samples)),
+                ("nmax", Json::from(est.stats.nmax)),
+                ("converged_early", Json::from(est.stats.converged_early)),
+                ("vc_subset", Json::from(est.stats.vc.vc_subset)),
+                ("lambda_hat", Json::Num(est.stats.lambda_hat)),
+            ]);
+            (est.bc, stats)
+        }
+        Measure::KPath => {
+            let est = rank_kpath(&entry.graph, &p.targets, p.khops, p.eps, p.delta, &mut rng);
+            let stats = obj(vec![
+                ("samples", Json::from(est.inner.outcome.samples_used)),
+                ("nmax", Json::from(est.inner.outcome.nmax)),
+                (
+                    "converged_early",
+                    Json::from(est.inner.outcome.converged_early),
+                ),
+                ("lambda", Json::Num(est.inner.lambda)),
+            ]);
+            (est.kpc, stats)
+        }
+        Measure::Harmonic => {
+            let est = rank_harmonic(&entry.graph, &p.targets, p.eps, p.delta, &mut rng);
+            let stats = obj(vec![
+                ("samples", Json::from(est.inner.outcome.samples_used)),
+                ("nmax", Json::from(est.inner.outcome.nmax)),
+                (
+                    "converged_early",
+                    Json::from(est.inner.outcome.converged_early),
+                ),
+                ("lambda", Json::Num(est.inner.lambda)),
+            ]);
+            (est.hc, stats)
+        }
+    };
+    let ranks = saphyra_stats::ranks_by_value(&scores);
+
+    obj(vec![
+        ("graph", Json::from(p.graph.as_str())),
+        ("measure", Json::from(p.measure.as_str())),
+        ("eps", Json::Num(p.eps)),
+        ("delta", Json::Num(p.delta)),
+        ("seed", Json::from(p.seed)),
+        ("khops", Json::from(p.khops)),
+        (
+            "targets",
+            Json::Arr(p.targets.iter().map(|&t| Json::from(t)).collect()),
+        ),
+        (
+            "scores",
+            Json::Arr(scores.iter().map(|&x| Json::Num(x)).collect()),
+        ),
+        (
+            "ranks",
+            Json::Arr(ranks.iter().map(|&r| Json::from(r)).collect()),
+        ),
+        ("stats", stats),
+    ])
+    .to_string()
+}
+
+/// Shutdown latch shared by the acceptor and the workers: setting the flag
+/// plus a self-connect unblocks the blocking `accept`.
+#[derive(Debug)]
+struct ShutdownSignal {
+    flag: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl ShutdownSignal {
+    fn trigger(&self) {
+        if !self.flag.swap(true, Ordering::SeqCst) {
+            // Wake the acceptor; errors are fine (it may already be gone).
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        }
+    }
+
+    fn is_set(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server: bound address plus the runtime threads.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    shutdown: Arc<ShutdownSignal>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with `addr = "127.0.0.1:0"`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service state.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Requests shutdown without waiting.
+    pub fn shutdown(&self) {
+        self.shutdown.trigger();
+    }
+
+    /// Blocks until the server shuts down (via [`ServerHandle::shutdown`]
+    /// or `POST /shutdown`), then joins every thread.
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Triggers shutdown and joins.
+    pub fn shutdown_and_join(self) {
+        self.shutdown.trigger();
+        self.join();
+    }
+}
+
+/// Binds `addr` and starts the acceptor + worker threads. Returns
+/// immediately; use [`ServerHandle::join`] to block.
+pub fn serve(addr: &str, cfg: ServiceConfig) -> io::Result<ServerHandle> {
+    serve_with(addr, Arc::new(Service::new(cfg)))
+}
+
+/// [`serve`] with externally constructed state (lets tests and benches
+/// pre-load graphs into the registry before the first request).
+pub fn serve_with(addr: &str, service: Arc<Service>) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(ShutdownSignal {
+        flag: AtomicBool::new(false),
+        addr: local,
+    });
+
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let worker_count = service.workers;
+    let mut workers = Vec::with_capacity(worker_count);
+    for i in 0..worker_count {
+        let rx = Arc::clone(&rx);
+        let service = Arc::clone(&service);
+        let shutdown = Arc::clone(&shutdown);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("saphyra-worker-{i}"))
+                .spawn(move || loop {
+                    let stream = match rx.lock().unwrap().recv() {
+                        Ok(s) => s,
+                        Err(_) => break, // acceptor gone
+                    };
+                    handle_connection(&service, &shutdown, stream);
+                })?,
+        );
+    }
+
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("saphyra-acceptor".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.is_set() {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                }
+                // Dropping `tx` here drains the workers.
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr: local,
+        service,
+        shutdown,
+        acceptor,
+        workers,
+    })
+}
+
+fn handle_connection(service: &Service, shutdown: &ShutdownSignal, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    match read_request(&mut reader) {
+        Ok(Some(req)) => {
+            let (resp, shut) = service.handle(&req);
+            let _ = resp.write_to(&mut stream);
+            if shut {
+                shutdown.trigger();
+            }
+        }
+        Ok(None) => {} // peer connected and closed (e.g. the shutdown wake)
+        Err(e) => {
+            let _ = error_response(400, format!("malformed request: {e}")).write_to(&mut stream);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn service_with_grid() -> Service {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            cache_capacity: 8,
+        });
+        svc.registry().insert(GraphEntry::build(
+            "grid",
+            saphyra_graph::fixtures::grid_graph(5, 5),
+        ));
+        svc
+    }
+
+    #[test]
+    fn healthz_and_listing() {
+        let svc = service_with_grid();
+        let (resp, shut) = svc.handle(&get("/healthz"));
+        assert_eq!(resp.status, 200);
+        assert!(!shut);
+        let v = Json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(v.get("graphs").unwrap().as_u64(), Some(1));
+
+        let (resp, _) = svc.handle(&get("/graphs"));
+        let v = Json::parse(&resp.body).unwrap();
+        let graphs = v.get("graphs").unwrap().as_arr().unwrap();
+        assert_eq!(graphs.len(), 1);
+        assert_eq!(graphs[0].get("name").unwrap().as_str(), Some("grid"));
+        assert_eq!(graphs[0].get("nodes").unwrap().as_u64(), Some(25));
+    }
+
+    #[test]
+    fn rank_is_deterministic_and_cached() {
+        let svc = service_with_grid();
+        let body = r#"{"graph":"grid","targets":[6,12,18],"eps":0.1,"delta":0.1,"seed":7}"#;
+        let (r1, _) = svc.handle(&post("/rank", body));
+        assert_eq!(r1.status, 200, "{}", r1.body);
+        assert!(r1
+            .headers
+            .iter()
+            .any(|(k, v)| k == "X-Saphyra-Cache" && v == "miss"));
+        let (r2, _) = svc.handle(&post("/rank", body));
+        assert_eq!(r2.body, r1.body, "cache hit must replay identical bytes");
+        assert!(r2
+            .headers
+            .iter()
+            .any(|(k, v)| k == "X-Saphyra-Cache" && v == "hit"));
+        assert_eq!(svc.cache_hits(), 1);
+        assert_eq!(svc.cache_misses(), 1);
+
+        let v = Json::parse(&r1.body).unwrap();
+        assert_eq!(v.get("measure").unwrap().as_str(), Some("bc"));
+        assert_eq!(v.get("scores").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("ranks").unwrap().as_arr().unwrap().len(), 3);
+        // Grid center 12 dominates the off-center targets.
+        let ranks = v.get("ranks").unwrap().as_arr().unwrap();
+        assert_eq!(ranks[1].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn rank_measures_kpath_and_harmonic() {
+        let svc = service_with_grid();
+        for measure in ["kpath", "harmonic"] {
+            let body = format!(
+                r#"{{"graph":"grid","targets":[2,12,22],"measure":"{measure}","eps":0.2,"delta":0.1,"seed":3}}"#
+            );
+            let (r, _) = svc.handle(&post("/rank", &body));
+            assert_eq!(r.status, 200, "{measure}: {}", r.body);
+            let v = Json::parse(&r.body).unwrap();
+            assert_eq!(v.get("measure").unwrap().as_str(), Some(measure));
+        }
+    }
+
+    #[test]
+    fn rank_rejects_bad_requests() {
+        let svc = service_with_grid();
+        for (body, want) in [
+            (r#"{"#, 400),
+            (r#"{"targets":[1]}"#, 400),                  // no graph
+            (r#"{"graph":"grid"}"#, 400),                 // no targets
+            (r#"{"graph":"nope","targets":[1]}"#, 404),   // unknown graph
+            (r#"{"graph":"grid","targets":[]}"#, 400),    // empty targets
+            (r#"{"graph":"grid","targets":[999]}"#, 400), // out of range
+            (r#"{"graph":"grid","targets":[1,1]}"#, 400), // duplicate
+            (r#"{"graph":"grid","targets":[1],"eps":0}"#, 400), // eps = 0
+            (r#"{"graph":"grid","targets":[1],"eps":1.5}"#, 400), // eps > 1
+            (r#"{"graph":"grid","targets":[1],"delta":1}"#, 400), // delta = 1
+            (r#"{"graph":"grid","targets":[1],"eps":"x"}"#, 400), // non-numeric
+            (r#"{"graph":"grid","targets":[1],"seed":-1}"#, 400), // negative seed
+            (r#"{"graph":"grid","targets":[1],"measure":"pr"}"#, 400), // unknown measure
+            (
+                r#"{"graph":"grid","targets":[1],"measure":"kpath","khops":1}"#,
+                400,
+            ),
+            (r#"{"graph":"grid","targets":[1.5]}"#, 400), // fractional id
+        ] {
+            let (r, _) = svc.handle(&post("/rank", body));
+            assert_eq!(r.status, want, "body {body}: got {} ({})", r.status, r.body);
+        }
+        // khops is ignored (not validated) for non-kpath measures.
+        let (r, _) = svc.handle(&post(
+            "/rank",
+            r#"{"graph":"grid","targets":[1],"khops":1,"eps":0.3,"delta":0.1}"#,
+        ));
+        assert_eq!(r.status, 200, "{}", r.body);
+    }
+
+    #[test]
+    fn load_graph_via_generator_and_replacement_purges_cache() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            cache_capacity: 8,
+        });
+        let (r, _) = svc.handle(&post(
+            "/graphs",
+            r#"{"name":"fl","network":"flickr","size":"tiny","seed":5}"#,
+        ));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(v.get("replaced").unwrap().as_bool(), Some(false));
+        let nodes = v.get("nodes").unwrap().as_u64().unwrap();
+        assert!(nodes > 10);
+
+        let rank = r#"{"graph":"fl","targets":[1,2,3],"eps":0.2,"delta":0.1,"seed":1}"#;
+        let (r1, _) = svc.handle(&post("/rank", rank));
+        assert_eq!(r1.status, 200, "{}", r1.body);
+
+        // Reload under the same name with a different seed: stale rankings
+        // must not survive.
+        let (r, _) = svc.handle(&post(
+            "/graphs",
+            r#"{"name":"fl","network":"flickr","size":"tiny","seed":6}"#,
+        ));
+        assert_eq!(
+            Json::parse(&r.body)
+                .unwrap()
+                .get("replaced")
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+        let (r2, _) = svc.handle(&post("/rank", rank));
+        assert!(r2
+            .headers
+            .iter()
+            .any(|(k, v)| k == "X-Saphyra-Cache" && v == "miss"));
+        assert_ne!(
+            r1.body, r2.body,
+            "stale cache entry served for reloaded graph"
+        );
+    }
+
+    #[test]
+    fn load_graph_rejects_garbage() {
+        let svc = Service::new(ServiceConfig::default());
+        for body in [
+            r#"{}"#,
+            r#"{"name":"x"}"#,
+            r#"{"name":"../etc","path":"/etc/passwd"}"#,
+            r#"{"name":"x","network":"nope"}"#,
+            r#"{"name":"x","network":"flickr","size":"huge"}"#,
+            r#"{"name":"x","path":"/nonexistent/file.txt"}"#,
+            r#"{"name":"x","path":"p","network":"flickr"}"#,
+        ] {
+            let (r, _) = svc.handle(&post("/graphs", body));
+            assert_eq!(r.status, 400, "body {body}: {}", r.body);
+        }
+    }
+
+    #[test]
+    fn unknown_routes() {
+        let svc = Service::new(ServiceConfig::default());
+        let (r, _) = svc.handle(&get("/nope"));
+        assert_eq!(r.status, 404);
+        let (r, _) = svc.handle(&Request {
+            method: "DELETE".to_string(),
+            path: "/rank".to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        });
+        assert_eq!(r.status, 405);
+    }
+
+    #[test]
+    fn shutdown_route_requests_shutdown() {
+        let svc = Service::new(ServiceConfig::default());
+        let (r, shut) = svc.handle(&post("/shutdown", ""));
+        assert_eq!(r.status, 200);
+        assert!(shut);
+    }
+}

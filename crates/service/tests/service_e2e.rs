@@ -1,0 +1,183 @@
+//! End-to-end service tests over real TCP sockets: the wire-level
+//! determinism contract, cache isolation between graphs under concurrency,
+//! and graceful shutdown.
+
+use std::sync::Arc;
+
+use saphyra_service::http::request;
+use saphyra_service::json::Json;
+use saphyra_service::server::{serve, serve_with, Service, ServiceConfig};
+
+fn start(workers: usize) -> (saphyra_service::ServerHandle, String) {
+    let cfg = ServiceConfig {
+        workers,
+        cache_capacity: 64,
+    };
+    let handle = serve("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn load_flickr(addr: &str, name: &str, seed: u64) {
+    let body = format!(r#"{{"name":"{name}","network":"flickr","size":"tiny","seed":{seed}}}"#);
+    let resp = request(addr, "POST", "/graphs", Some(&body)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+}
+
+const RANK_BODY: &str =
+    r#"{"graph":"g","targets":[1,5,9,13,40],"measure":"bc","eps":0.15,"delta":0.1,"seed":42}"#;
+
+#[test]
+fn rank_is_byte_identical_across_worker_counts() {
+    let mut bodies = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let (handle, addr) = start(workers);
+        load_flickr(&addr, "g", 5);
+        let resp = request(&addr, "POST", "/rank", Some(RANK_BODY)).unwrap();
+        assert_eq!(resp.status, 200, "workers={workers}: {}", resp.body);
+        assert_eq!(resp.header("x-saphyra-cache"), Some("miss"));
+        bodies.push(resp.body);
+        handle.shutdown_and_join();
+    }
+    assert_eq!(bodies[0], bodies[1], "1 vs 2 workers differ");
+    assert_eq!(bodies[0], bodies[2], "1 vs 4 workers differ");
+}
+
+#[test]
+fn concurrent_identical_requests_are_identical_and_hit_the_cache() {
+    let (handle, addr) = start(4);
+    load_flickr(&addr, "g", 5);
+
+    // Warm the cache once so the concurrent wave can hit it.
+    let warm = request(&addr, "POST", "/rank", Some(RANK_BODY)).unwrap();
+    assert_eq!(warm.status, 200, "{}", warm.body);
+
+    let mut threads = Vec::new();
+    for _ in 0..8 {
+        let addr = addr.clone();
+        threads.push(std::thread::spawn(move || {
+            request(&addr, "POST", "/rank", Some(RANK_BODY)).unwrap()
+        }));
+    }
+    for t in threads {
+        let resp = t.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, warm.body, "concurrent response diverged");
+        assert_eq!(resp.header("x-saphyra-cache"), Some("hit"));
+    }
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn concurrent_mixed_graph_requests_do_not_cross_contaminate() {
+    // Two different graphs under one server; 8 interleaved requests (2
+    // graphs × 4 seeds) fired concurrently must each match the response
+    // the same request gets on a quiet, freshly loaded server.
+    let requests: Vec<(String, String)> = (0..8u64)
+        .map(|i| {
+            let graph = if i % 2 == 0 { "even" } else { "odd" };
+            let body = format!(
+                r#"{{"graph":"{graph}","targets":[2,3,5,8],"eps":0.15,"delta":0.1,"seed":{}}}"#,
+                100 + i / 2
+            );
+            (graph.to_string(), body)
+        })
+        .collect();
+
+    // Baselines: one server per request, zero concurrency.
+    let mut baselines = Vec::new();
+    {
+        let (handle, addr) = start(1);
+        load_flickr(&addr, "even", 5);
+        load_flickr(&addr, "odd", 77);
+        for (_, body) in &requests {
+            let resp = request(&addr, "POST", "/rank", Some(body)).unwrap();
+            assert_eq!(resp.status, 200, "{}", resp.body);
+            baselines.push(resp.body);
+        }
+        handle.shutdown_and_join();
+    }
+    // The two graphs genuinely differ, otherwise contamination is invisible.
+    assert_ne!(baselines[0], baselines[1]);
+
+    let (handle, addr) = start(4);
+    load_flickr(&addr, "even", 5);
+    load_flickr(&addr, "odd", 77);
+    let mut threads = Vec::new();
+    for (i, (_, body)) in requests.iter().enumerate() {
+        let addr = addr.clone();
+        let body = body.clone();
+        threads.push(std::thread::spawn(move || {
+            (i, request(&addr, "POST", "/rank", Some(&body)).unwrap())
+        }));
+    }
+    for t in threads {
+        let (i, resp) = t.join().unwrap();
+        assert_eq!(resp.status, 200, "request {i}: {}", resp.body);
+        assert_eq!(
+            resp.body, baselines[i],
+            "request {i} contaminated under concurrency"
+        );
+        let parsed = Json::parse(&resp.body).unwrap();
+        assert_eq!(
+            parsed.get("graph").unwrap().as_str(),
+            Some(requests[i].0.as_str())
+        );
+    }
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn preloaded_registry_and_health_counters() {
+    let cfg = ServiceConfig {
+        workers: 2,
+        cache_capacity: 8,
+    };
+    let service = Arc::new(Service::new(cfg));
+    service
+        .registry()
+        .insert(saphyra_service::GraphEntry::build(
+            "grid",
+            saphyra_graph::fixtures::grid_graph(5, 5),
+        ));
+    let handle = serve_with("127.0.0.1:0", service).unwrap();
+    let addr = handle.addr().to_string();
+
+    let resp = request(&addr, "GET", "/graphs", None).unwrap();
+    let v = Json::parse(&resp.body).unwrap();
+    let graphs = v.get("graphs").unwrap().as_arr().unwrap();
+    assert_eq!(graphs.len(), 1);
+    assert_eq!(graphs[0].get("name").unwrap().as_str(), Some("grid"));
+
+    let body = r#"{"graph":"grid","targets":[6,12],"eps":0.2,"delta":0.1,"seed":1}"#;
+    request(&addr, "POST", "/rank", Some(body)).unwrap();
+    request(&addr, "POST", "/rank", Some(body)).unwrap();
+    let resp = request(&addr, "GET", "/healthz", None).unwrap();
+    let v = Json::parse(&resp.body).unwrap();
+    assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(v.get("cache_hits").unwrap().as_u64(), Some(1));
+    assert_eq!(v.get("cache_misses").unwrap().as_u64(), Some(1));
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn wire_level_validation_errors() {
+    let (handle, addr) = start(1);
+    let resp = request(&addr, "POST", "/rank", Some("{not json")).unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(Json::parse(&resp.body).unwrap().get("error").is_some());
+    let resp = request(&addr, "GET", "/nope", None).unwrap();
+    assert_eq!(resp.status, 404);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server() {
+    let (handle, addr) = start(2);
+    let resp = request(&addr, "POST", "/shutdown", None).unwrap();
+    assert_eq!(resp.status, 200);
+    // join() returns only once the acceptor and all workers exited.
+    handle.join();
+    // The port no longer accepts requests.
+    assert!(request(&addr, "GET", "/healthz", None).is_err());
+}

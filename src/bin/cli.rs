@@ -7,7 +7,18 @@
 //!                   [--eps 0.01] [--delta 0.01] [--seed 7] [--khops 5]
 //! saphyra-cli rank  <edge-list> --random 100 [...]
 //! saphyra-cli gen   <flickr|livejournal|usa-road|orkut> <tiny|small|full> <out-file>
+//! saphyra-cli serve <addr> [--workers N] [--cache N]
+//! saphyra-cli query <addr> health
+//! saphyra-cli query <addr> graphs
+//! saphyra-cli query <addr> load --name G (--path <edge-list> | --gen <network>:<size>) [--seed S]
+//! saphyra-cli query <addr> rank --graph G --targets 1,2,3 [--measure M]
+//!                   [--eps 0.01] [--delta 0.01] [--seed 7] [--khops 5]
+//! saphyra-cli query <addr> shutdown
 //! ```
+//!
+//! `serve` runs the long-lived ranking service of [`saphyra_service`]
+//! (bind to port 0 for an ephemeral port; the bound address is printed as
+//! `listening on <addr>`). `query` is the tiny client used by tests/CI.
 
 use std::process::ExitCode;
 
@@ -44,6 +55,17 @@ enum Command {
         out: String,
         seed: u64,
     },
+    Serve {
+        addr: String,
+        workers: usize,
+        cache: usize,
+    },
+    Query {
+        addr: String,
+        method: &'static str,
+        path: &'static str,
+        body: Option<String>,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -73,7 +95,11 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--top" => top = next_parse(&mut it, "--top")?,
-                    "--threads" => threads = next_parse(&mut it, "--threads")?,
+                    "--threads" => {
+                        threads = next_parse(&mut it, "--threads")?;
+                        saphyra::params::check_threads(threads)
+                            .map_err(|e| format!("--threads: {e}"))?;
+                    }
                     other => return Err(format!("exact: unknown flag {other}")),
                 }
             }
@@ -95,7 +121,11 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                         ));
                     }
                     "--random" => {
-                        targets = Some(TargetSpec::Random(next_parse(&mut it, "--random")?))
+                        let k: usize = next_parse(&mut it, "--random")?;
+                        if k == 0 {
+                            return Err("--random: target count must be >= 1".to_string());
+                        }
+                        targets = Some(TargetSpec::Random(k))
                     }
                     "--measure" => {
                         let m = it.next().ok_or("--measure needs a value")?;
@@ -106,10 +136,19 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                             other => return Err(format!("unknown measure {other}")),
                         };
                     }
-                    "--eps" => eps = next_parse(&mut it, "--eps")?,
-                    "--delta" => delta = next_parse(&mut it, "--delta")?,
+                    "--eps" => {
+                        eps = next_parse(&mut it, "--eps")?;
+                        saphyra::params::check_eps(eps).map_err(|e| format!("--eps: {e}"))?;
+                    }
+                    "--delta" => {
+                        delta = next_parse(&mut it, "--delta")?;
+                        saphyra::params::check_delta(delta).map_err(|e| format!("--delta: {e}"))?;
+                    }
                     "--seed" => seed = next_parse(&mut it, "--seed")?,
-                    "--khops" => khops = next_parse(&mut it, "--khops")?,
+                    "--khops" => {
+                        khops = next_parse(&mut it, "--khops")?;
+                        saphyra::params::check_khops(khops).map_err(|e| format!("--khops: {e}"))?;
+                    }
                     other => return Err(format!("rank: unknown flag {other}")),
                 }
             }
@@ -142,8 +181,153 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 seed,
             })
         }
+        "serve" => {
+            let addr = it.next().ok_or("serve: missing bind address")?.clone();
+            let (mut workers, mut cache) = (0usize, 128usize);
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--workers" => {
+                        workers = next_parse(&mut it, "--workers")?;
+                        saphyra::params::check_threads(workers)
+                            .map_err(|e| format!("--workers: {e}"))?;
+                    }
+                    "--cache" => cache = next_parse(&mut it, "--cache")?,
+                    other => return Err(format!("serve: unknown flag {other}")),
+                }
+            }
+            Ok(Command::Serve {
+                addr,
+                workers,
+                cache,
+            })
+        }
+        "query" => {
+            let addr = it.next().ok_or("query: missing service address")?.clone();
+            let action = it.next().ok_or("query: missing action")?;
+            parse_query(addr, action, &mut it)
+        }
         other => Err(format!(
-            "unknown command {other}; expected info|exact|rank|gen"
+            "unknown command {other}; expected info|exact|rank|gen|serve|query"
+        )),
+    }
+}
+
+/// Rejects seeds the JSON wire format cannot carry exactly: `Json::Num` is
+/// an `f64`, so integers above 2⁵³ would silently round to a *different*
+/// seed than requested. The direct (non-service) `rank` path keeps the
+/// full u64 range.
+fn check_json_seed(seed: u64) -> Result<u64, String> {
+    if seed > saphyra_service::json::MAX_SAFE_INT {
+        return Err(format!(
+            "--seed: {seed} exceeds 2^53, the largest integer the JSON wire format carries exactly"
+        ));
+    }
+    Ok(seed)
+}
+
+/// Parses a `query <addr> <action> ...` invocation into the HTTP request
+/// it stands for. Validation mirrors the service's own (`saphyra::params`),
+/// so garbage fails fast client-side with the same messages.
+fn parse_query<'a>(
+    addr: String,
+    action: &str,
+    it: &mut impl Iterator<Item = &'a String>,
+) -> Result<Command, String> {
+    use saphyra_service::json::Json;
+    let query = |method, path, body: Option<String>| {
+        Ok(Command::Query {
+            addr,
+            method,
+            path,
+            body,
+        })
+    };
+    match action {
+        "health" => query("GET", "/healthz", None),
+        "graphs" => query("GET", "/graphs", None),
+        "shutdown" => query("POST", "/shutdown", None),
+        "load" => {
+            let (mut name, mut path, mut gen, mut seed) = (None, None, None, None::<u64>);
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--name" => name = Some(it.next().ok_or("--name needs a value")?.clone()),
+                    "--path" => path = Some(it.next().ok_or("--path needs a value")?.clone()),
+                    "--gen" => gen = Some(it.next().ok_or("--gen needs a value")?.clone()),
+                    "--seed" => seed = Some(check_json_seed(next_parse(it, "--seed")?)?),
+                    other => return Err(format!("load: unknown flag {other}")),
+                }
+            }
+            let name = name.ok_or("load: need --name")?;
+            let mut fields = vec![("name".to_string(), Json::from(name))];
+            match (path, gen) {
+                (Some(p), None) => fields.push(("path".to_string(), Json::from(p))),
+                (None, Some(g)) => {
+                    let (network, size) = g
+                        .split_once(':')
+                        .ok_or("--gen: want <network>:<size>, e.g. flickr:tiny")?;
+                    // Fail fast on unknown spellings before going on the wire.
+                    network.parse::<saphyra_gen::datasets::SimNetwork>()?;
+                    size.parse::<saphyra_gen::datasets::SizeClass>()?;
+                    fields.push(("network".to_string(), Json::from(network)));
+                    fields.push(("size".to_string(), Json::from(size)));
+                }
+                _ => return Err("load: need exactly one of --path or --gen".to_string()),
+            }
+            if let Some(s) = seed {
+                fields.push(("seed".to_string(), Json::from(s)));
+            }
+            query("POST", "/graphs", Some(Json::Obj(fields).to_string()))
+        }
+        "rank" => {
+            let mut graph = None;
+            let mut targets: Option<Vec<NodeId>> = None;
+            let mut measure = "bc".to_string();
+            let (mut eps, mut delta, mut seed, mut khops) = (0.01f64, 0.01f64, 2022u64, 5usize);
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--graph" => graph = Some(it.next().ok_or("--graph needs a value")?.clone()),
+                    "--targets" => {
+                        let list = it.next().ok_or("--targets needs a value")?;
+                        let ids: Result<Vec<NodeId>, _> =
+                            list.split(',').map(|s| s.trim().parse()).collect();
+                        targets =
+                            Some(ids.map_err(|_| format!("--targets: cannot parse {list:?}"))?);
+                    }
+                    "--measure" => measure = it.next().ok_or("--measure needs a value")?.clone(),
+                    "--eps" => {
+                        eps = next_parse(it, "--eps")?;
+                        saphyra::params::check_eps(eps).map_err(|e| format!("--eps: {e}"))?;
+                    }
+                    "--delta" => {
+                        delta = next_parse(it, "--delta")?;
+                        saphyra::params::check_delta(delta).map_err(|e| format!("--delta: {e}"))?;
+                    }
+                    "--seed" => seed = check_json_seed(next_parse(it, "--seed")?)?,
+                    "--khops" => {
+                        khops = next_parse(it, "--khops")?;
+                        saphyra::params::check_khops(khops).map_err(|e| format!("--khops: {e}"))?;
+                    }
+                    other => return Err(format!("rank: unknown flag {other}")),
+                }
+            }
+            let graph = graph.ok_or("rank: need --graph")?;
+            let targets = targets.ok_or("rank: need --targets")?;
+            let body = Json::Obj(vec![
+                ("graph".to_string(), Json::from(graph)),
+                ("measure".to_string(), Json::from(measure)),
+                (
+                    "targets".to_string(),
+                    Json::Arr(targets.iter().map(|&t| Json::from(t)).collect()),
+                ),
+                ("eps".to_string(), Json::Num(eps)),
+                ("delta".to_string(), Json::Num(delta)),
+                ("seed".to_string(), Json::from(seed)),
+                ("khops".to_string(), Json::from(khops)),
+            ]);
+            query("POST", "/rank", Some(body.to_string()))
+        }
+        other => Err(format!(
+            "query: unknown action {other}; expected health|graphs|load|rank|shutdown"
         )),
     }
 }
@@ -240,19 +424,8 @@ fn run(cmd: Command) -> Result<(), String> {
             seed,
         } => {
             use saphyra_gen::datasets::{SimNetwork, SizeClass};
-            let net = match network.as_str() {
-                "flickr" => SimNetwork::Flickr,
-                "livejournal" => SimNetwork::LiveJournal,
-                "usa-road" => SimNetwork::UsaRoad,
-                "orkut" => SimNetwork::Orkut,
-                other => return Err(format!("unknown network {other}")),
-            };
-            let size = match size.as_str() {
-                "tiny" => SizeClass::Tiny,
-                "small" => SizeClass::Small,
-                "full" => SizeClass::Full,
-                other => return Err(format!("unknown size class {other}")),
-            };
+            let net: SimNetwork = network.parse()?;
+            let size: SizeClass = size.parse()?;
             let g = net.build(size, seed);
             io::save_edge_list(&g, &out).map_err(|e| e.to_string())?;
             println!(
@@ -263,17 +436,44 @@ fn run(cmd: Command) -> Result<(), String> {
             );
             Ok(())
         }
+        Command::Serve {
+            addr,
+            workers,
+            cache,
+        } => {
+            let cfg = saphyra_service::ServiceConfig {
+                workers,
+                cache_capacity: cache,
+            };
+            let handle = saphyra_service::serve(&addr, cfg)
+                .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            println!("listening on {}", handle.addr());
+            handle.join();
+            println!("shut down");
+            Ok(())
+        }
+        Command::Query {
+            addr,
+            method,
+            path,
+            body,
+        } => {
+            let resp = saphyra_service::request(&addr, method, path, body.as_deref())
+                .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+            println!("{}", resp.body);
+            if resp.status == 200 {
+                Ok(())
+            } else {
+                Err(format!("service returned HTTP {}", resp.status))
+            }
+        }
     }
 }
 
 fn resolve_targets(g: &Graph, spec: TargetSpec, rng: &mut StdRng) -> Result<Vec<NodeId>, String> {
     match spec {
         TargetSpec::List(ids) => {
-            for &v in &ids {
-                if v as usize >= g.num_nodes() {
-                    return Err(format!("target {v} out of range (n = {})", g.num_nodes()));
-                }
-            }
+            saphyra::params::check_targets(&ids, g.num_nodes())?;
             Ok(ids)
         }
         TargetSpec::Random(k) => {
@@ -295,7 +495,9 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: saphyra-cli <info|exact|rank|gen> ... (see module docs / README)");
+            eprintln!(
+                "usage: saphyra-cli <info|exact|rank|gen|serve|query> ... (see module docs / README)"
+            );
             ExitCode::FAILURE
         }
     }
@@ -380,6 +582,214 @@ mod tests {
         ]))
         .is_err());
         assert!(parse_args(&sv(&["gen", "flickr", "tiny"])).is_err()); // no out
+    }
+
+    #[test]
+    fn rejects_out_of_domain_accuracy_params() {
+        for (flag, bad) in [
+            ("--eps", "0"),
+            ("--eps", "1"),
+            ("--eps", "NaN"),
+            ("--eps", "inf"),
+            ("--eps", "-0.5"),
+            ("--delta", "0"),
+            ("--delta", "1.5"),
+            ("--delta", "NaN"),
+            ("--khops", "1"),
+            ("--khops", "0"),
+        ] {
+            let r = parse_args(&sv(&["rank", "g.txt", "--targets", "1", flag, bad]));
+            assert!(r.is_err(), "{flag} {bad} accepted: {r:?}");
+        }
+        assert!(parse_args(&sv(&["rank", "g.txt", "--random", "0"])).is_err());
+        assert!(parse_args(&sv(&["exact", "g.txt", "--threads", "0"])).is_err());
+        // Omitting --threads keeps the auto default.
+        assert!(parse_args(&sv(&["exact", "g.txt"])).is_ok());
+        // Valid boundary-adjacent values still parse.
+        assert!(parse_args(&sv(&[
+            "rank",
+            "g.txt",
+            "--targets",
+            "1",
+            "--eps",
+            "0.999",
+            "--delta",
+            "0.001"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn parses_serve_and_query() {
+        let c = parse_args(&sv(&[
+            "serve",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--cache",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                cache: 9
+            }
+        );
+        assert!(parse_args(&sv(&["serve", "127.0.0.1:0", "--workers", "0"])).is_err());
+
+        let c = parse_args(&sv(&["query", "h:1", "health"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Query {
+                method: "GET",
+                path: "/healthz",
+                body: None,
+                ..
+            }
+        ));
+
+        let c = parse_args(&sv(&[
+            "query",
+            "h:1",
+            "load",
+            "--name",
+            "g",
+            "--gen",
+            "flickr:tiny",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        match c {
+            Command::Query {
+                method, path, body, ..
+            } => {
+                assert_eq!(method, "POST");
+                assert_eq!(path, "/graphs");
+                assert_eq!(
+                    body.unwrap(),
+                    r#"{"name":"g","network":"flickr","size":"tiny","seed":5}"#
+                );
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+
+        let c = parse_args(&sv(&[
+            "query",
+            "h:1",
+            "rank",
+            "--graph",
+            "g",
+            "--targets",
+            "1,2",
+            "--eps",
+            "0.1",
+        ]))
+        .unwrap();
+        match c {
+            Command::Query { path, body, .. } => {
+                assert_eq!(path, "/rank");
+                let body = body.unwrap();
+                assert!(body.contains(r#""graph":"g""#), "{body}");
+                assert!(body.contains(r#""targets":[1,2]"#), "{body}");
+                assert!(body.contains(r#""eps":0.1"#), "{body}");
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+
+        // Same validation as the direct rank path.
+        assert!(parse_args(&sv(&[
+            "query",
+            "h:1",
+            "rank",
+            "--graph",
+            "g",
+            "--targets",
+            "1",
+            "--eps",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_args(&sv(&["query", "h:1", "load", "--name", "g"])).is_err());
+        // Seeds above 2^53 cannot ride the JSON wire format exactly.
+        assert!(parse_args(&sv(&[
+            "query",
+            "h:1",
+            "rank",
+            "--graph",
+            "g",
+            "--targets",
+            "1",
+            "--seed",
+            "9007199254740993"
+        ]))
+        .is_err());
+        assert!(parse_args(&sv(&[
+            "query",
+            "h:1",
+            "load",
+            "--name",
+            "g",
+            "--gen",
+            "flickr:tiny",
+            "--seed",
+            "18446744073709551615"
+        ]))
+        .is_err());
+        assert!(parse_args(&sv(&[
+            "query",
+            "h:1",
+            "load",
+            "--name",
+            "g",
+            "--gen",
+            "bogus:tiny"
+        ]))
+        .is_err());
+        assert!(parse_args(&sv(&["query", "h:1", "frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_serve_query_round_trip() {
+        // Start the service in-process on an ephemeral port, then drive it
+        // exclusively through the `query` command path.
+        let handle = saphyra_service::serve(
+            "127.0.0.1:0",
+            saphyra_service::ServiceConfig {
+                workers: 2,
+                cache_capacity: 8,
+            },
+        )
+        .unwrap();
+        let addr = handle.addr().to_string();
+
+        let q = |args: &[&str]| -> Result<(), String> {
+            let mut argv = vec!["query", addr.as_str()];
+            argv.extend_from_slice(args);
+            run(parse_args(&sv(&argv))?)
+        };
+        q(&["health"]).unwrap();
+        q(&["load", "--name", "g", "--gen", "flickr:tiny", "--seed", "5"]).unwrap();
+        q(&["graphs"]).unwrap();
+        q(&[
+            "rank",
+            "--graph",
+            "g",
+            "--targets",
+            "1,2,3",
+            "--eps",
+            "0.2",
+            "--delta",
+            "0.1",
+        ])
+        .unwrap();
+        // Unknown graph surfaces as a non-200 error.
+        assert!(q(&["rank", "--graph", "nope", "--targets", "1"]).is_err());
+        q(&["shutdown"]).unwrap();
+        handle.join();
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! * [`saphyra_graph`] — the graph substrate;
 //! * [`saphyra_gen`] — simulated networks;
 //! * [`saphyra_stats`] — bounds and rank metrics;
-//! * [`saphyra_baselines`] — RK / ABRA / KADABRA / exact Brandes.
+//! * [`saphyra_baselines`] — RK / ABRA / KADABRA / exact Brandes;
+//! * [`saphyra_service`] — the long-lived HTTP JSON ranking service
+//!   (`saphyra-cli serve` / `saphyra-cli query`).
 //!
 //! Start with `cargo run --release --example quickstart`.
 
@@ -16,4 +18,5 @@ pub use saphyra;
 pub use saphyra_baselines;
 pub use saphyra_gen;
 pub use saphyra_graph;
+pub use saphyra_service;
 pub use saphyra_stats;
