@@ -1,37 +1,50 @@
 //! Ranking-service concurrency/throughput bench: requests/sec against an
 //! in-process `saphyra_service` server on the Flickr-tiny analogue,
-//! comparing the **cold** path (unique seeds — every request samples) with
-//! the **hot** path (repeated request — served from the LRU response
-//! cache).
+//! comparing the **cold** path (unique seeds — every request samples), the
+//! **hot** path (repeated request — served from the LRU response cache),
+//! and the **shared** path (identical concurrent cold requests collapsed
+//! by single-flight).
 //!
-//! Prints an explicit table (stderr) with requests/sec and the observed
-//! cache hit counts, so the cache-hit fast path is a number in the bench
-//! output. Responses are byte-identical per seed whatever the worker
-//! count; the sweep only changes wall-clock.
+//! Each hot round runs twice: once with one-shot clients (a fresh TCP
+//! connection per request — the PR 2 connection-per-request baseline) and
+//! once with persistent keep-alive clients (one pooled connection per
+//! client thread), so the keep-alive win on the cache-hit fast path is an
+//! explicit number in the bench output, alongside the observed cache
+//! hit/miss/shared and computation counts.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use saphyra_service::http::request;
+use saphyra_service::http::{request, Client};
 use saphyra_service::server::{serve_with, Service, ServiceConfig};
 use saphyra_service::GraphEntry;
 
 const CLIENT_THREADS: usize = 8;
 const REQUESTS_PER_ROUND: usize = 64;
 
+// Short measurement windows on purpose: every one-shot request parks a
+// server-side socket in TIME-WAIT for 60 s, and tens of thousands of those
+// exhaust the loopback ephemeral-port space — new connections then collide
+// with TIME-WAIT tuples and stall in retransmission backoff for minutes.
+// Sub-second windows keep the one-shot churn under ~10k sockets (each
+// loopback connection can park BOTH endpoints in TIME-WAIT), safely inside
+// the ~28k default port range. (Keep-alive traffic has no such limit — the
+// whole point of the tentpole — so the keep-alive benches run first, on an
+// unpoisoned port space.)
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(100))
 }
 
 fn start_server(workers: usize) -> (saphyra_service::ServerHandle, String) {
     let cfg = ServiceConfig {
         workers,
         cache_capacity: 256,
+        ..ServiceConfig::default()
     };
     let service = Arc::new(Service::new(cfg));
     let graph =
@@ -47,8 +60,10 @@ fn rank_body(seed: u64) -> String {
 }
 
 /// Fires `REQUESTS_PER_ROUND` requests from `CLIENT_THREADS` concurrent
-/// clients; returns elapsed seconds.
-fn fire_round(addr: &str, seed_of: impl Fn(usize) -> u64 + Sync) -> f64 {
+/// clients; returns elapsed seconds. `keep_alive` selects persistent
+/// pooled connections (one per client thread) vs a fresh connection per
+/// request (the PR 2 baseline).
+fn fire_round(addr: &str, keep_alive: bool, seed_of: impl Fn(usize) -> u64 + Sync) -> f64 {
     let done = AtomicU64::new(0);
     let t0 = Instant::now();
     std::thread::scope(|scope| {
@@ -56,10 +71,14 @@ fn fire_round(addr: &str, seed_of: impl Fn(usize) -> u64 + Sync) -> f64 {
             let done = &done;
             let seed_of = &seed_of;
             scope.spawn(move || {
+                let mut client = keep_alive.then(|| Client::new(addr));
                 let per = REQUESTS_PER_ROUND / CLIENT_THREADS;
                 for i in 0..per {
                     let body = rank_body(seed_of(t * per + i));
-                    let resp = request(addr, "POST", "/rank", Some(&body)).expect("request");
+                    let resp = match client.as_mut() {
+                        Some(c) => c.request("POST", "/rank", Some(&body)).expect("request"),
+                        None => request(addr, "POST", "/rank", Some(&body)).expect("request"),
+                    };
                     assert_eq!(resp.status, 200, "{}", resp.body);
                     done.fetch_add(1, Ordering::Relaxed);
                 }
@@ -73,40 +92,70 @@ fn fire_round(addr: &str, seed_of: impl Fn(usize) -> u64 + Sync) -> f64 {
 fn bench_service(c: &mut Criterion) {
     let (handle, addr) = start_server(0);
 
-    // Criterion timings: one cold request (fresh seed per iteration) vs one
-    // hot request (fixed seed, served from cache after the first).
+    // Criterion timings: one hot request (fixed seed, served from cache
+    // after the first) over a pooled keep-alive connection vs a fresh
+    // connection per request, plus the cold path (fresh seed per
+    // iteration). Keep-alive first — see the note on config() above.
     let seed = AtomicU64::new(1_000);
+    c.bench_function("service_rank/hot_keepalive", |b| {
+        let mut client = Client::new(addr.as_str());
+        b.iter(|| {
+            client
+                .request("POST", "/rank", Some(&rank_body(7)))
+                .unwrap()
+        })
+    });
     c.bench_function("service_rank/cold", |b| {
         b.iter(|| {
             let body = rank_body(seed.fetch_add(1, Ordering::Relaxed));
             request(&addr, "POST", "/rank", Some(&body)).unwrap()
         })
     });
-    c.bench_function("service_rank/hot", |b| {
+    c.bench_function("service_rank/hot_oneshot", |b| {
         b.iter(|| request(&addr, "POST", "/rank", Some(&rank_body(7))).unwrap())
     });
 
-    // Explicit throughput table: 8 concurrent clients, cold vs hot rounds.
+    // Explicit throughput table: 8 concurrent clients. "hot" rounds replay
+    // one cached request; "shared" fires 64 identical COLD requests that
+    // single-flight must collapse into one computation. The keep-alive
+    // sweep (ka rounds vs oneshot) is the tentpole number.
     let service = Arc::clone(handle.service());
     eprintln!("\nservice throughput (flickr tiny, {CLIENT_THREADS} concurrent clients, {REQUESTS_PER_ROUND} requests/round):");
     eprintln!(
-        "{:>8} {:>12} {:>12} {:>12}",
-        "round", "req/s", "hits", "misses"
+        "{:>16} {:>12} {:>8} {:>8} {:>8} {:>9}",
+        "round", "req/s", "hits", "misses", "shared", "computed"
     );
     let round_seed = AtomicU64::new(100_000);
-    for round in ["cold", "hot", "hot2"] {
+    let rounds: &[(&str, bool)] = &[
+        ("cold-oneshot", false),
+        ("cold-ka", true),
+        ("hot-oneshot", false),
+        ("hot-oneshot2", false),
+        ("hot-ka", true),
+        ("hot-ka2", true),
+        ("shared-ka", true),
+    ];
+    for &(round, keep_alive) in rounds {
         let (h0, m0) = (service.cache_hits(), service.cache_misses());
-        let dt = if round == "cold" {
+        let (s0, c0) = (service.cache_shared(), service.computations());
+        let dt = if round.starts_with("cold") {
             let base = round_seed.fetch_add(REQUESTS_PER_ROUND as u64, Ordering::Relaxed);
-            fire_round(&addr, |i| base + i as u64)
+            fire_round(&addr, keep_alive, |i| base + i as u64)
+        } else if round.starts_with("shared") {
+            // One fresh seed for the whole round: all 64 requests are cold
+            // and identical, so single-flight collapses them.
+            let seed = round_seed.fetch_add(1, Ordering::Relaxed);
+            fire_round(&addr, keep_alive, move |_| seed)
         } else {
-            fire_round(&addr, |_| 31) // one fixed request — pure cache path
+            fire_round(&addr, keep_alive, |_| 31) // one fixed request — cache path
         };
         let rate = REQUESTS_PER_ROUND as f64 / dt;
         eprintln!(
-            "{round:>8} {rate:>12.0} {:>12} {:>12}",
+            "{round:>16} {rate:>12.0} {:>8} {:>8} {:>8} {:>9}",
             service.cache_hits() - h0,
-            service.cache_misses() - m0
+            service.cache_misses() - m0,
+            service.cache_shared() - s0,
+            service.computations() - c0
         );
     }
     eprintln!();

@@ -1,6 +1,7 @@
 //! Minimal HTTP/1.1 framing over `std::net` — just enough for a local JSON
 //! service and its test/CI client: request-line + headers + Content-Length
-//! bodies, `Connection: close` semantics (one request per connection).
+//! bodies, persistent connections (`Connection: keep-alive` by default,
+//! honoring `Connection: close` from either side).
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -39,6 +40,14 @@ impl Request {
     pub fn body_str(&self) -> Result<&str, String> {
         std::str::from_utf8(&self.body).map_err(|_| "body is not valid UTF-8".to_string())
     }
+
+    /// Whether the client asked for the connection to be closed after this
+    /// request (`Connection: close`; HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .map(connection_has_close)
+            .unwrap_or(false)
+    }
 }
 
 /// Reads one request from the stream. `Ok(None)` means the peer closed the
@@ -64,6 +73,11 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
     let mut line = String::new();
     if head.read_line(&mut line)? == 0 {
         return Ok(None);
+    }
+    if !line.ends_with('\n') {
+        // A head truncated at the cap (or a peer that died mid-line) must
+        // fail here, not parse a mangled method/path from the fragment.
+        return Err(head_err(&head));
     }
     let mut parts = line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
@@ -142,19 +156,32 @@ impl Response {
         self
     }
 
-    /// Serializes the response (`Connection: close`).
-    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        write!(
-            w,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+    /// Serializes the response. `keep_alive` selects the `Connection`
+    /// header; the server passes `false` on the last response of a
+    /// connection (client asked to close, per-connection request cap hit,
+    /// or shutdown) so well-behaved clients stop reusing it.
+    ///
+    /// The whole response is buffered and written in a **single** `write`:
+    /// on a persistent connection, trickling header fragments as separate
+    /// small segments triggers the Nagle/delayed-ACK interaction (~40 ms
+    /// per request once the socket leaves quickack mode) — that would
+    /// erase the keep-alive win entirely.
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(self.body.len() + 256);
+        let _ = write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             status_text(self.status),
-            self.body.len()
-        )?;
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
+        );
         for (name, value) in &self.headers {
-            write!(w, "{name}: {value}\r\n")?;
+            let _ = write!(out, "{name}: {value}\r\n");
         }
-        write!(w, "\r\n{}", self.body)?;
+        let _ = write!(out, "\r\n{}", self.body);
+        w.write_all(out.as_bytes())?;
         w.flush()
     }
 }
@@ -194,29 +221,141 @@ impl ClientResponse {
     }
 }
 
-/// One-shot HTTP client used by `saphyra-cli query`, the tests and the
-/// benches: connects, sends a single request, reads the full response.
-pub fn request(
-    addr: &str,
-    method: &str,
-    path: &str,
-    body: Option<&str>,
-) -> io::Result<ClientResponse> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(120)))?;
-    let mut writer = stream.try_clone()?;
-    let body = body.unwrap_or("");
-    write!(
-        writer,
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    )?;
-    writer.flush()?;
+/// An HTTP client holding one pooled persistent connection to the service.
+///
+/// The first request dials the server; subsequent requests reuse the same
+/// TCP connection (`Connection: keep-alive`), which removes the per-request
+/// TCP setup cost from the cache-hit path. The connection is dropped when
+/// the server answers `Connection: close` (per-connection request cap, or
+/// shutdown) or the response has no `Content-Length`; the next request
+/// transparently redials. A request that fails on a *reused* connection is
+/// retried once on a fresh one — the pooled connection may have been closed
+/// by the server's idle timeout between requests.
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    conn: Option<BufReader<TcpStream>>,
+    timeout: Duration,
+}
 
-    let mut reader = BufReader::new(stream);
+impl Client {
+    /// A client for the service at `addr` (e.g. `"127.0.0.1:8471"`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            conn: None,
+            timeout: Duration::from_secs(120),
+        }
+    }
+
+    /// Overrides the per-request read/write timeout (default 120 s).
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sends one request over the pooled connection (dialing or redialing
+    /// as needed) and reads the full response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<ClientResponse> {
+        if self.conn.is_some() {
+            // The pooled connection may be stale (server idle timeout or
+            // request cap raced our send): retry once on a fresh dial —
+            // but only for errors that mean "the server had already closed
+            // this connection". Anything else (most importantly a read
+            // timeout: the server may still be computing) is surfaced, not
+            // retried, so a request is never silently executed twice.
+            match self.request_once(method, path, body, true) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if stale_connection(&e) => {} // request_once dropped conn
+                Err(e) => return Err(e),
+            }
+        }
+        self.request_once(method, path, body, true)
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        keep_alive: bool,
+    ) -> io::Result<ClientResponse> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            // Requests are written whole and are latency-sensitive: never
+            // let Nagle hold a segment back waiting for a delayed ACK.
+            stream.set_nodelay(true)?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        let reader = self.conn.as_mut().unwrap();
+        let body = body.unwrap_or("");
+        // Single write per request — see Response::write_to on why
+        // fragmenting the head into small segments is pathological on
+        // persistent connections.
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+            self.addr,
+            body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
+        );
+        let result = reader
+            .get_mut()
+            .write_all(head.as_bytes())
+            .and_then(|()| reader.get_mut().flush())
+            .and_then(|()| read_response(reader));
+        match result {
+            Ok((resp, reusable)) => {
+                if !keep_alive || !reusable {
+                    self.conn = None;
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Whether an error from a reused pooled connection means the server had
+/// already closed it (making a one-shot retry on a fresh dial safe).
+fn stale_connection(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+    )
+}
+
+/// Whether a `Connection` header value asks for the connection to close.
+fn connection_has_close(value: &str) -> bool {
+    value
+        .split(',')
+        .any(|t| t.trim().eq_ignore_ascii_case("close"))
+}
+
+/// Reads one response. The boolean says whether the connection can carry
+/// another request (the server did not answer `Connection: close`, and the
+/// body had an explicit length so the stream position is known).
+fn read_response<R: BufRead>(reader: &mut R) -> io::Result<(ClientResponse, bool)> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
+    if status_line.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before response",
+        ));
+    }
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
@@ -253,6 +392,7 @@ pub fn request(
         }
     }
 
+    let sized = content_length.is_some();
     let body = match content_length {
         Some(len) => {
             let mut buf = vec![0u8; len];
@@ -268,11 +408,29 @@ pub fn request(
     let body = String::from_utf8(body)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response body not UTF-8"))?;
 
-    Ok(ClientResponse {
+    let resp = ClientResponse {
         status,
         headers,
         body,
-    })
+    };
+    let server_close = resp
+        .header("connection")
+        .map(connection_has_close)
+        .unwrap_or(false);
+    let reusable = sized && !server_close;
+    Ok((resp, reusable))
+}
+
+/// One-shot HTTP client: connects, sends a single `Connection: close`
+/// request, reads the full response. [`Client`] amortizes the dial across
+/// requests; this helper is for callers that genuinely send one request.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<ClientResponse> {
+    Client::new(addr).request_once(method, path, body, false)
 }
 
 #[cfg(test)]
@@ -293,6 +451,28 @@ mod tests {
     fn empty_stream_is_none() {
         let raw: &[u8] = b"";
         assert!(read_request(&mut &raw[..]).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_request_line_without_newline() {
+        // A head truncated mid-request-line (no terminating newline) must
+        // be classified as truncation (UnexpectedEof), never parsed as a
+        // method/path fragment. Pre-fix, `b"POST"` was fed to the
+        // request-line parser and misreported as InvalidData
+        // "malformed request line".
+        for raw in [
+            &b"POST"[..],
+            &b"POST /rank"[..],
+            &b"POST /rank HTTP/1.1"[..],
+        ] {
+            let err = read_request(&mut &raw[..]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "{raw:?}");
+            assert_eq!(err.to_string(), "connection closed mid-headers", "{raw:?}");
+        }
+        // An endless request line hitting the head cap reports the cap.
+        let flood = format!("GET /{} HTTP/1.1", "a".repeat(MAX_HEAD_BYTES * 2));
+        let err = read_request(&mut flood.as_bytes()).unwrap_err();
+        assert_eq!(err.to_string(), "request head too large");
     }
 
     #[test]
@@ -329,12 +509,55 @@ mod tests {
         let mut out = Vec::new();
         Response::json(200, "{}")
             .with_header("X-Saphyra-Cache", "hit")
-            .write_to(&mut out)
+            .write_to(&mut out, true)
             .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.contains("X-Saphyra-Cache: hit\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        Response::json(200, "{}").write_to(&mut out, false).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn connection_close_detection() {
+        let req = |headers: &[(&str, &str)]| Request {
+            method: "GET".to_string(),
+            path: "/".to_string(),
+            headers: headers
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            body: Vec::new(),
+        };
+        assert!(!req(&[]).wants_close());
+        assert!(!req(&[("connection", "keep-alive")]).wants_close());
+        assert!(req(&[("connection", "close")]).wants_close());
+        assert!(req(&[("connection", "Keep-Alive, Close")]).wants_close());
+    }
+
+    #[test]
+    fn read_response_reports_reusability() {
+        let raw: &[u8] =
+            b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\n{}";
+        let (resp, reusable) = read_response(&mut &raw[..]).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "{}");
+        assert!(reusable);
+
+        let raw: &[u8] = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\n{}";
+        assert!(!read_response(&mut &raw[..]).unwrap().1);
+
+        // No Content-Length: body runs to EOF, the connection is spent.
+        let raw: &[u8] = b"HTTP/1.1 200 OK\r\n\r\n{}";
+        let (resp, reusable) = read_response(&mut &raw[..]).unwrap();
+        assert_eq!(resp.body, "{}");
+        assert!(!reusable);
     }
 }

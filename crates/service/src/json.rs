@@ -271,17 +271,30 @@ impl<'a> Parser<'a> {
                         }
                     }
                 }
-                _ => {
-                    // Re-scan as UTF-8 from the byte we consumed.
+                b if b < 0x20 => return Err("unescaped control character".to_string()),
+                b if b < 0x80 => out.push(b as char),
+                lead => {
+                    // Decode exactly one UTF-8 character from its lead
+                    // byte. Validating only the character's own bytes keeps
+                    // string parsing O(n) — re-validating the remaining
+                    // input per character would be O(n²) on
+                    // multibyte-heavy bodies, a DoS vector at the 64 MiB
+                    // body cap.
                     let start = self.pos - 1;
-                    let s = std::str::from_utf8(&self.bytes[start..])
-                        .map_err(|_| "invalid utf-8 in string".to_string())?;
-                    let ch = s.chars().next().unwrap();
-                    if (ch as u32) < 0x20 {
-                        return Err("unescaped control character".to_string());
-                    }
+                    let len = match lead {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err("invalid utf-8 in string".to_string()),
+                    };
+                    let ch = self
+                        .bytes
+                        .get(start..start + len)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| "invalid utf-8 in string".to_string())?;
                     out.push(ch);
-                    self.pos = start + ch.len_utf8();
+                    self.pos = start + len;
                 }
             }
         }
@@ -351,6 +364,10 @@ impl<'a> Parser<'a> {
     }
 }
 
+fn is_negative_zero(x: f64) -> bool {
+    x == 0.0 && x.is_sign_negative()
+}
+
 fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
     f.write_str("\"")?;
     for ch in s.chars() {
@@ -373,11 +390,19 @@ impl fmt::Display for Json {
             Json::Null => f.write_str("null"),
             Json::Bool(b) => write!(f, "{b}"),
             Json::Num(x) => {
-                // Integers print without a fraction; everything else uses
-                // the shortest round-trip Display (deterministic).
-                if x.fract() == 0.0 && x.abs() < 2f64.powi(53) {
+                // JSON has no NaN/Infinity literals and the parser rejects
+                // them, so the serializer must never emit them: non-finite
+                // values serialize as `null` (infallible-by-construction —
+                // to_string output always re-parses).
+                if !x.is_finite() {
+                    f.write_str("null")
+                } else if x.fract() == 0.0 && x.abs() < 2f64.powi(53) && !is_negative_zero(*x) {
+                    // Integers print without a fraction; `-0.0` must skip
+                    // this path or `as i64` silently drops its sign.
                     write!(f, "{}", *x as i64)
                 } else {
+                    // Shortest round-trip Display (deterministic); prints
+                    // `-0.0` as "-0", which re-parses sign-exact.
                     write!(f, "{x}")
                 }
             }
@@ -460,6 +485,72 @@ mod tests {
     fn unicode_escapes() {
         let v = Json::parse(r#""A😀""#).unwrap();
         assert_eq!(v.as_str().unwrap(), "A😀");
+    }
+
+    #[test]
+    fn non_finite_serializes_as_null_and_round_trips() {
+        // JSON has no NaN/Infinity: Display must never emit Rust's "NaN" /
+        // "inf" spellings, which the parser (correctly) rejects. Everything
+        // to_string produces must re-parse.
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let printed = Json::Num(x).to_string();
+            assert_eq!(printed, "null", "{x} must serialize as null");
+            assert_eq!(Json::parse(&printed).unwrap(), Json::Null);
+        }
+        // Inside containers too (the service serializes score arrays).
+        let v = Json::Arr(vec![Json::Num(1.5), Json::Num(f64::NAN)]);
+        let printed = v.to_string();
+        assert_eq!(printed, "[1.5,null]");
+        Json::parse(&printed).unwrap();
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign() {
+        let printed = Json::Num(-0.0).to_string();
+        assert_eq!(printed, "-0");
+        let reparsed = Json::parse(&printed).unwrap().as_f64().unwrap();
+        assert_eq!(reparsed.to_bits(), (-0.0f64).to_bits(), "sign of -0.0 lost");
+        // Positive zero still takes the integer fast path.
+        assert_eq!(Json::Num(0.0).to_string(), "0");
+    }
+
+    #[test]
+    fn large_multibyte_string_parses_in_linear_time() {
+        // 1M three-byte characters (~3 MiB). The old parser re-validated
+        // the entire remaining input per character — O(n²), which at this
+        // size takes minutes; the linear parser takes milliseconds. The
+        // generous wall-clock bound below only fails on quadratic
+        // behavior, not on slow machines.
+        let payload = "愛".repeat(1_000_000);
+        let doc = format!("\"{payload}\"");
+        let t0 = std::time::Instant::now();
+        let v = Json::parse(&doc).unwrap();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "multibyte string parse took {:?} — quadratic re-validation regressed",
+            t0.elapsed()
+        );
+        assert_eq!(v.as_str().unwrap(), payload);
+        // Mixed ASCII/multibyte round-trips through the new decode path.
+        let v = Json::parse("\"aé愛😀z\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "aé愛😀z");
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn string_rejects_truncated_or_invalid_utf8_bytes() {
+        // Json::parse takes &str so raw invalid UTF-8 can't reach it, but
+        // the decoder must still fail closed on impossible lead bytes.
+        let mut p = Parser {
+            bytes: b"\"\xff\"",
+            pos: 0,
+        };
+        assert!(p.string().is_err());
+        let mut p = Parser {
+            bytes: b"\"\xe6\x84", // 3-byte lead, only 2 bytes present
+            pos: 0,
+        };
+        assert!(p.string().is_err());
     }
 
     #[test]

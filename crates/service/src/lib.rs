@@ -19,7 +19,19 @@
 //! **once**; the entry is then shared `Arc`-style across every worker.
 //! Completed rankings are cached (LRU) keyed by the full request tuple
 //! `(graph, measure, targets, eps, delta, seed, khops)`, so repeated
-//! queries are O(1) and replay byte-identical bodies.
+//! queries are O(1) and replay byte-identical bodies. Identical requests
+//! racing a cold cache collapse behind one in-flight computation
+//! (single-flight; the `X-Saphyra-Cache` header reports `hit`, `miss`, or
+//! `shared`).
+//!
+//! ## Connections
+//!
+//! Connections are persistent (HTTP/1.1 keep-alive): clients can pipeline
+//! many requests over one TCP connection via [`http::Client`], which keeps
+//! the TCP setup cost off the cache-hit path. The server honors
+//! `Connection: close`, closes connections idle past
+//! [`ServiceConfig::idle_timeout`], and recycles a connection after
+//! [`ServiceConfig::max_requests_per_conn`] requests.
 //!
 //! ## Determinism
 //!
@@ -31,20 +43,23 @@
 //! ## Quick start
 //!
 //! ```
+//! use saphyra_service::http::Client;
 //! use saphyra_service::registry::GraphEntry;
 //! use saphyra_service::server::{serve_with, Service, ServiceConfig};
 //! use std::sync::Arc;
 //!
-//! let cfg = ServiceConfig { workers: 2, cache_capacity: 16 };
+//! let cfg = ServiceConfig { workers: 2, cache_capacity: 16, ..Default::default() };
 //! let service = Arc::new(Service::new(cfg));
 //! service.registry().insert(GraphEntry::build(
 //!     "grid",
 //!     saphyra_graph::fixtures::grid_graph(4, 4),
 //! ));
 //! let handle = serve_with("127.0.0.1:0", service).unwrap();
-//! let addr = handle.addr().to_string();
-//! let resp = saphyra_service::http::request(&addr, "GET", "/healthz", None).unwrap();
-//! assert_eq!(resp.status, 200);
+//! let mut client = Client::new(handle.addr().to_string());
+//! // Both requests ride the same pooled TCP connection.
+//! assert_eq!(client.request("GET", "/healthz", None).unwrap().status, 200);
+//! assert_eq!(client.request("GET", "/graphs", None).unwrap().status, 200);
+//! drop(client);
 //! handle.shutdown_and_join();
 //! ```
 
@@ -54,6 +69,6 @@ pub mod json;
 pub mod registry;
 pub mod server;
 
-pub use http::{request, ClientResponse};
+pub use http::{request, Client, ClientResponse};
 pub use registry::{GraphEntry, Registry};
 pub use server::{serve, serve_with, ServerHandle, Service, ServiceConfig};

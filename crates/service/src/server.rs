@@ -17,15 +17,28 @@
 //! Graph entries (graph + decomposition) are immutable `Arc`s from the
 //! [`Registry`]; every `/rank` request builds its own sampler scratch
 //! (`BcApproxProblem` / `HrSampler`), so concurrent requests share only
-//! read-only state. The response cache is the single mutex, held only for
-//! lookup/insert — never during sampling. Two identical requests racing a
-//! cold cache may both compute (last insert wins); both compute the same
-//! bytes, so the contract still holds.
+//! read-only state. The response cache is a mutex held only for
+//! lookup/insert — never during sampling. Identical requests racing a cold
+//! cache are collapsed behind one in-flight computation (single-flight):
+//! the first request computes, the rest block on a condvar and replay the
+//! same bytes (`X-Saphyra-Cache: shared`).
+//!
+//! ## Connection model
+//!
+//! Connections are persistent (HTTP/1.1 keep-alive): each worker runs a
+//! per-connection request loop until the client sends `Connection: close`
+//! or disconnects, the idle read timeout elapses between requests, or the
+//! per-connection request cap is reached (the last response then carries
+//! `Connection: close`). Workers therefore bound concurrent *connections*,
+//! not requests — size [`ServiceConfig::workers`] to the expected client
+//! count, and keep the idle timeout finite so abandoned connections hand
+//! their worker back.
 
+use std::collections::HashMap;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -50,6 +63,13 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Completed-ranking cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// How long a persistent connection may sit idle between requests
+    /// before the server closes it (also bounds how long a worker can be
+    /// held by a silent client).
+    pub idle_timeout: Duration,
+    /// Requests served on one connection before the server closes it with
+    /// `Connection: close` (0 = unlimited).
+    pub max_requests_per_conn: usize,
 }
 
 impl Default for ServiceConfig {
@@ -57,6 +77,8 @@ impl Default for ServiceConfig {
         ServiceConfig {
             workers: 0,
             cache_capacity: 128,
+            idle_timeout: Duration::from_secs(10),
+            max_requests_per_conn: 1024,
         }
     }
 }
@@ -133,17 +155,62 @@ fn error_response(status: u16, message: impl Into<String>) -> Response {
     )
 }
 
-/// Shared service state: registry, cache, counters. Routing lives in
-/// [`Service::handle`], which is pure with respect to the network layer and
-/// therefore directly testable.
+/// One in-flight `/rank` computation: the leader fills `done` and notifies;
+/// waiters block on the condvar. The inner `Option` is `None` when the
+/// leader failed without a body (it panicked), in which case waiters answer
+/// 500 rather than hanging or recomputing.
+#[derive(Debug, Default)]
+struct Inflight {
+    done: Mutex<Option<Option<Arc<String>>>>,
+    cv: Condvar,
+}
+
+/// Removes the leader's in-flight entry on every exit path — including a
+/// panic in the computation, where waiters would otherwise block forever.
+struct InflightGuard<'a> {
+    service: &'a Service,
+    key: RankKey,
+    slot: Arc<Inflight>,
+}
+
+impl InflightGuard<'_> {
+    /// Publishes the computed body to waiters (the guard's drop then only
+    /// removes the map entry).
+    fn publish(&self, body: Arc<String>) {
+        *self.slot.done.lock().unwrap() = Some(Some(body));
+        self.slot.cv.notify_all();
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let mut done = self.slot.done.lock().unwrap();
+        if done.is_none() {
+            *done = Some(None); // leader died without a body
+            self.slot.cv.notify_all();
+        }
+        drop(done);
+        self.service.inflight.lock().unwrap().remove(&self.key);
+    }
+}
+
+/// Shared service state: registry, cache, in-flight map, counters. Routing
+/// lives in [`Service::handle`], which is pure with respect to the network
+/// layer and therefore directly testable.
 #[derive(Debug)]
 pub struct Service {
     registry: Registry,
     cache: Mutex<LruCache<RankKey, Arc<String>>>,
+    inflight: Mutex<HashMap<RankKey, Arc<Inflight>>>,
     requests: AtomicU64,
+    connections: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    cache_shared: AtomicU64,
+    computations: AtomicU64,
     workers: usize,
+    idle_timeout: Duration,
+    max_requests_per_conn: usize,
 }
 
 impl Service {
@@ -159,10 +226,16 @@ impl Service {
         Service {
             registry: Registry::new(),
             cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+            inflight: Mutex::new(HashMap::new()),
             requests: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            cache_shared: AtomicU64::new(0),
+            computations: AtomicU64::new(0),
             workers,
+            idle_timeout: cfg.idle_timeout,
+            max_requests_per_conn: cfg.max_requests_per_conn,
         }
     }
 
@@ -180,6 +253,23 @@ impl Service {
     /// Lifetime cache-miss count.
     pub fn cache_misses(&self) -> u64 {
         self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of requests that waited on another request's
+    /// in-flight computation and replayed its bytes.
+    pub fn cache_shared(&self) -> u64 {
+        self.cache_shared.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of ranking computations actually performed (misses
+    /// minus single-flight collapsing).
+    pub fn computations(&self) -> u64 {
+        self.computations.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of TCP connections accepted.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
     }
 
     /// Routes one request. The boolean asks the runtime to shut down.
@@ -209,8 +299,11 @@ impl Service {
                 "requests",
                 Json::from(self.requests.load(Ordering::Relaxed)),
             ),
+            ("connections", Json::from(self.connections())),
             ("cache_hits", Json::from(self.cache_hits())),
             ("cache_misses", Json::from(self.cache_misses())),
+            ("cache_shared", Json::from(self.cache_shared())),
+            ("computations", Json::from(self.computations())),
         ])
         .to_string();
         Response::json(200, body)
@@ -321,12 +414,55 @@ impl Service {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Response::json(200, body.as_str()).with_header("X-Saphyra-Cache", "hit");
         }
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
 
-        // Compute outside the cache lock; concurrent misses on the same key
-        // duplicate work but produce identical bytes.
+        // Single-flight: identical concurrent cold requests collapse behind
+        // one in-flight computation. Lock order is inflight → cache; the
+        // cache re-check under the inflight lock closes the race where the
+        // leader finishes (cache insert + map removal) between our cache
+        // miss above and the map lookup here.
+        let guard = {
+            let mut inflight = self.inflight.lock().unwrap();
+            if let Some(body) = self.cache.lock().unwrap().get(&key).cloned() {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Response::json(200, body.as_str()).with_header("X-Saphyra-Cache", "hit");
+            }
+            match inflight.get(&key) {
+                Some(slot) => {
+                    let slot = Arc::clone(slot);
+                    drop(inflight);
+                    let mut done = slot.done.lock().unwrap();
+                    while done.is_none() {
+                        done = slot.cv.wait(done).unwrap();
+                    }
+                    return match done.as_ref().unwrap() {
+                        Some(body) => {
+                            self.cache_shared.fetch_add(1, Ordering::Relaxed);
+                            Response::json(200, body.as_str())
+                                .with_header("X-Saphyra-Cache", "shared")
+                        }
+                        None => error_response(500, "ranking computation failed"),
+                    };
+                }
+                None => {
+                    let slot = Arc::new(Inflight::default());
+                    inflight.insert(key.clone(), Arc::clone(&slot));
+                    InflightGuard {
+                        service: self,
+                        key: key.clone(),
+                        slot,
+                    }
+                }
+            }
+        };
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.computations.fetch_add(1, Ordering::Relaxed);
+
+        // Compute outside every lock; the guard publishes the bytes to any
+        // waiters and clears the in-flight entry even if this panics.
         let body = Arc::new(compute_rank_body(&entry, &p));
         self.cache.lock().unwrap().insert(key, Arc::clone(&body));
+        guard.publish(Arc::clone(&body));
+        drop(guard);
         Response::json(200, body.as_str()).with_header("X-Saphyra-Cache", "miss")
     }
 
@@ -622,25 +758,90 @@ pub fn serve_with(addr: &str, service: Arc<Service>) -> io::Result<ServerHandle>
     })
 }
 
+/// How often an idle worker wakes to re-check the shutdown flag while
+/// waiting for a connection's next request. Bounds shutdown latency when
+/// workers are parked on idle persistent connections.
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Serves one persistent connection: a request loop that ends when the
+/// client closes or asks to (`Connection: close`), the idle timeout
+/// elapses, the per-connection request cap is reached, or shutdown is
+/// requested. The final response of a connection carries
+/// `Connection: close` so clients stop reusing it.
+///
+/// Between requests the worker waits for the next request's first byte in
+/// short [`IDLE_POLL`] slices (no bytes are consumed while polling), so it
+/// observes both the shutdown flag and the idle-timeout budget promptly;
+/// once a request starts arriving, the full idle timeout bounds the read.
 fn handle_connection(service: &Service, shutdown: &ShutdownSignal, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    use std::io::BufRead;
+
+    service.connections.fetch_add(1, Ordering::Relaxed);
     let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
+    // Responses are written whole; Nagle would only add delayed-ACK
+    // latency on persistent connections.
+    let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut stream = stream;
-    match read_request(&mut reader) {
-        Ok(Some(req)) => {
-            let (resp, shut) = service.handle(&req);
-            let _ = resp.write_to(&mut stream);
-            if shut {
-                shutdown.trigger();
+    let mut served = 0usize;
+    let poll = service.idle_timeout.min(IDLE_POLL);
+    loop {
+        // Idle phase: poll for the next request without consuming bytes.
+        let mut idled = Duration::ZERO;
+        let _ = stream.set_read_timeout(Some(poll));
+        loop {
+            if shutdown.is_set() {
+                return;
+            }
+            match reader.fill_buf() {
+                Ok([]) => return, // peer closed between requests
+                Ok(_) => break,   // next request has started arriving
+                Err(e) if is_timeout(&e) => {
+                    idled += poll;
+                    if idled >= service.idle_timeout {
+                        return; // idle timeout: close quietly
+                    }
+                }
+                Err(_) => return,
             }
         }
-        Ok(None) => {} // peer connected and closed (e.g. the shutdown wake)
-        Err(e) => {
-            let _ = error_response(400, format!("malformed request: {e}")).write_to(&mut stream);
+        let _ = stream.set_read_timeout(Some(service.idle_timeout));
+        match read_request(&mut reader) {
+            Ok(Some(req)) => {
+                served += 1;
+                let (resp, shut) = service.handle(&req);
+                let at_cap =
+                    service.max_requests_per_conn != 0 && served >= service.max_requests_per_conn;
+                let keep_alive = !req.wants_close() && !shut && !at_cap && !shutdown.is_set();
+                let write_ok = resp.write_to(&mut stream, keep_alive).is_ok();
+                // Trigger even when the response write failed: the request
+                // WAS handled, and a /shutdown whose client died must still
+                // stop the server.
+                if shut {
+                    shutdown.trigger();
+                }
+                if !write_ok || !keep_alive {
+                    break;
+                }
+            }
+            Ok(None) => break, // peer closed (also the shutdown self-wake)
+            // Timeout mid-request: the peer stalled; close quietly.
+            Err(e) if is_timeout(&e) => break,
+            Err(e) => {
+                let _ = error_response(400, format!("malformed request: {e}"))
+                    .write_to(&mut stream, false);
+                break;
+            }
         }
     }
 }
@@ -671,6 +872,7 @@ mod tests {
         let svc = Service::new(ServiceConfig {
             workers: 1,
             cache_capacity: 8,
+            ..ServiceConfig::default()
         });
         svc.registry().insert(GraphEntry::build(
             "grid",
@@ -726,6 +928,67 @@ mod tests {
     }
 
     #[test]
+    fn single_flight_collapses_identical_concurrent_cold_requests() {
+        let svc = service_with_grid();
+        let body = r#"{"graph":"grid","targets":[6,12,18],"eps":0.1,"delta":0.1,"seed":11}"#;
+        let n = 8;
+        let responses: Vec<Response> = std::thread::scope(|scope| {
+            let svc = &svc;
+            let handles: Vec<_> = (0..n)
+                .map(|_| scope.spawn(move || svc.handle(&post("/rank", body)).0))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Exactly one ranking computation ran, whatever the interleaving.
+        assert_eq!(svc.computations(), 1, "single-flight failed to collapse");
+        let cache_state = |r: &Response| {
+            r.headers
+                .iter()
+                .find(|(k, _)| k == "X-Saphyra-Cache")
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        let misses = responses
+            .iter()
+            .filter(|r| cache_state(r) == "miss")
+            .count();
+        assert_eq!(misses, 1, "exactly one request must be the leader");
+        for r in &responses {
+            assert_eq!(r.status, 200, "{}", r.body);
+            assert_eq!(r.body, responses[0].body, "shared bytes diverged");
+            // Non-leaders either waited on the in-flight computation
+            // ("shared") or arrived after it landed in the cache ("hit").
+            assert!(matches!(cache_state(r).as_str(), "miss" | "shared" | "hit"));
+        }
+        // Counters are consistent: every request is accounted exactly once.
+        assert_eq!(
+            svc.cache_misses() + svc.cache_shared() + svc.cache_hits(),
+            n as u64
+        );
+    }
+
+    #[test]
+    fn single_flight_does_not_collapse_distinct_requests() {
+        let svc = service_with_grid();
+        let bodies: Vec<String> = (0..4)
+            .map(|s| {
+                format!(r#"{{"graph":"grid","targets":[6,12],"eps":0.1,"delta":0.1,"seed":{s}}}"#)
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for body in &bodies {
+                let svc = &svc;
+                scope.spawn(move || {
+                    let (r, _) = svc.handle(&post("/rank", body));
+                    assert_eq!(r.status, 200, "{}", r.body);
+                });
+            }
+        });
+        assert_eq!(svc.computations(), 4, "distinct keys must all compute");
+    }
+
+    #[test]
     fn rank_measures_kpath_and_harmonic() {
         let svc = service_with_grid();
         for measure in ["kpath", "harmonic"] {
@@ -778,6 +1041,7 @@ mod tests {
         let svc = Service::new(ServiceConfig {
             workers: 1,
             cache_capacity: 8,
+            ..ServiceConfig::default()
         });
         let (r, _) = svc.handle(&post(
             "/graphs",

@@ -1,10 +1,12 @@
 //! End-to-end service tests over real TCP sockets: the wire-level
-//! determinism contract, cache isolation between graphs under concurrency,
-//! and graceful shutdown.
+//! determinism contract, persistent-connection (keep-alive) semantics,
+//! single-flight collapsing, cache isolation between graphs under
+//! concurrency, and graceful shutdown.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use saphyra_service::http::request;
+use saphyra_service::http::{request, Client};
 use saphyra_service::json::Json;
 use saphyra_service::server::{serve, serve_with, Service, ServiceConfig};
 
@@ -12,6 +14,7 @@ fn start(workers: usize) -> (saphyra_service::ServerHandle, String) {
     let cfg = ServiceConfig {
         workers,
         cache_capacity: 64,
+        ..ServiceConfig::default()
     };
     let handle = serve("127.0.0.1:0", cfg).expect("bind ephemeral port");
     let addr = handle.addr().to_string();
@@ -128,10 +131,161 @@ fn concurrent_mixed_graph_requests_do_not_cross_contaminate() {
 }
 
 #[test]
+fn keep_alive_replays_byte_identical_responses_over_one_connection() {
+    let (handle, addr) = start(2);
+    load_flickr(&addr, "g", 5);
+
+    // One-shot baselines (fresh connection per request, the PR 2 model).
+    let baseline_rank = request(&addr, "POST", "/rank", Some(RANK_BODY)).unwrap();
+    assert_eq!(baseline_rank.status, 200, "{}", baseline_rank.body);
+    let baseline_graphs = request(&addr, "GET", "/graphs", None).unwrap();
+    let before = handle.service().connections();
+
+    // Many requests over ONE pooled persistent connection.
+    let mut client = Client::new(addr.clone());
+    for _ in 0..10 {
+        let resp = client.request("POST", "/rank", Some(RANK_BODY)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.body, baseline_rank.body,
+            "keep-alive response diverged from one-shot bytes"
+        );
+        assert_eq!(resp.header("connection"), Some("keep-alive"));
+    }
+    // Mixed endpoints ride the same connection too.
+    let resp = client.request("GET", "/graphs", None).unwrap();
+    assert_eq!(resp.body, baseline_graphs.body);
+    let resp = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(resp.status, 200);
+
+    // All 12 requests used exactly one new TCP connection.
+    assert_eq!(
+        handle.service().connections() - before,
+        1,
+        "client failed to reuse its pooled connection"
+    );
+    drop(client);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn single_flight_collapses_identical_cold_requests_on_the_wire() {
+    let (handle, addr) = start(8);
+    load_flickr(&addr, "g", 5);
+
+    // 8 identical COLD requests fired concurrently (no warm-up): exactly
+    // one ranking computation may run; the rest replay its bytes.
+    let mut threads = Vec::new();
+    for _ in 0..8 {
+        let addr = addr.clone();
+        threads.push(std::thread::spawn(move || {
+            request(&addr, "POST", "/rank", Some(RANK_BODY)).unwrap()
+        }));
+    }
+    let responses: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    assert_eq!(
+        handle.service().computations(),
+        1,
+        "identical concurrent cold requests were not collapsed"
+    );
+    let misses = responses
+        .iter()
+        .filter(|r| r.header("x-saphyra-cache") == Some("miss"))
+        .count();
+    assert_eq!(misses, 1);
+    for resp in &responses {
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert_eq!(resp.body, responses[0].body, "shared bytes diverged");
+        assert!(matches!(
+            resp.header("x-saphyra-cache"),
+            Some("miss" | "shared" | "hit")
+        ));
+    }
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn idle_timeout_closes_the_connection_and_client_redials() {
+    let cfg = ServiceConfig {
+        workers: 2,
+        cache_capacity: 8,
+        idle_timeout: Duration::from_millis(150),
+        ..ServiceConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", cfg).expect("bind");
+    let addr = handle.addr().to_string();
+
+    let mut client = Client::new(addr.clone());
+    assert_eq!(client.request("GET", "/healthz", None).unwrap().status, 200);
+    assert_eq!(handle.service().connections(), 1);
+
+    // Sit idle past the timeout: the server closes the pooled connection.
+    std::thread::sleep(Duration::from_millis(500));
+
+    // The client transparently redials and the request still succeeds.
+    assert_eq!(client.request("GET", "/healthz", None).unwrap().status, 200);
+    assert_eq!(
+        handle.service().connections(),
+        2,
+        "expected a redial after the server's idle timeout"
+    );
+    drop(client);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn max_requests_per_connection_recycles_the_connection() {
+    let cfg = ServiceConfig {
+        workers: 1,
+        cache_capacity: 8,
+        max_requests_per_conn: 3,
+        ..ServiceConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", cfg).expect("bind");
+    let addr = handle.addr().to_string();
+
+    let mut client = Client::new(addr.clone());
+    for i in 0..7 {
+        let resp = client.request("GET", "/healthz", None).unwrap();
+        assert_eq!(resp.status, 200, "request {i}");
+        // Every 3rd response on a connection announces the close.
+        let expect_close = i % 3 == 2;
+        assert_eq!(
+            resp.header("connection"),
+            Some(if expect_close { "close" } else { "keep-alive" }),
+            "request {i}"
+        );
+    }
+    // ceil(7 / 3) = 3 connections served the 7 requests.
+    assert_eq!(handle.service().connections(), 3);
+    drop(client);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn shutdown_is_prompt_even_with_idle_keep_alive_connections() {
+    let (handle, addr) = start(2);
+    let mut client = Client::new(addr.clone());
+    assert_eq!(client.request("GET", "/healthz", None).unwrap().status, 200);
+    // The client parks its pooled connection idle (default idle timeout
+    // 10 s). Workers poll the shutdown flag while idle, so join must
+    // return promptly instead of waiting out the idle timeout.
+    let t0 = std::time::Instant::now();
+    handle.shutdown_and_join();
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "shutdown waited on an idle connection: {:?}",
+        t0.elapsed()
+    );
+    drop(client);
+}
+
+#[test]
 fn preloaded_registry_and_health_counters() {
     let cfg = ServiceConfig {
         workers: 2,
         cache_capacity: 8,
+        ..ServiceConfig::default()
     };
     let service = Arc::new(Service::new(cfg));
     service

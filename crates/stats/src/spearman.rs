@@ -7,15 +7,17 @@
 /// Ranks of `values` where rank 1 is the *largest* value; ties broken by
 /// ascending index (the paper's "break the tie by the nodes' IDs").
 /// Returns `ranks[i]` = rank of item `i`, in `1..=k`.
+///
+/// Uses [`f64::total_cmp`] so the comparator is a total order even when a
+/// score is NaN (`partial_cmp(..).unwrap_or(Equal)` is intransitive there:
+/// `sort_by` may panic with "comparison function does not correctly
+/// implement a total order", or yield nondeterministic ranks). Under the
+/// IEEE total order a positive NaN sorts above `+inf`, so NaN scores get
+/// the best ranks — deterministically.
 pub fn ranks_by_value(values: &[f64]) -> Vec<usize> {
     let k = values.len();
     let mut idx: Vec<usize> = (0..k).collect();
-    idx.sort_by(|&a, &b| {
-        values[b]
-            .partial_cmp(&values[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| values[b].total_cmp(&values[a]).then(a.cmp(&b)));
     let mut ranks = vec![0usize; k];
     for (r, &i) in idx.iter().enumerate() {
         ranks[i] = r + 1;
@@ -76,6 +78,29 @@ mod tests {
         let r = ranks_by_value(&[0.5, 0.9, 0.5, 0.1]);
         // 0.9 -> 1; first 0.5 -> 2; second 0.5 -> 3; 0.1 -> 4.
         assert_eq!(r, vec![2, 1, 3, 4]);
+    }
+
+    #[test]
+    fn nan_scores_rank_deterministically_without_panicking() {
+        // A NaN score must not perturb the ranks of the finite scores or
+        // trip sort_by's total-order check. Under total_cmp a positive NaN
+        // sorts above +inf: NaN -> 1, 5.0 -> 2, 3.0 -> 3.
+        assert_eq!(ranks_by_value(&[5.0, f64::NAN, 3.0]), vec![2, 1, 3]);
+        // Deterministic under permutation-heavy input: many NaNs tie-break
+        // by index, and repeated calls agree.
+        let vals: Vec<f64> = (0..64)
+            .map(|i| if i % 3 == 0 { f64::NAN } else { i as f64 })
+            .collect();
+        let r1 = ranks_by_value(&vals);
+        let r2 = ranks_by_value(&vals);
+        assert_eq!(r1, r2);
+        let mut sorted = r1.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            (1..=64).collect::<Vec<_>>(),
+            "ranks not a permutation"
+        );
     }
 
     #[test]

@@ -12,13 +12,15 @@
 //! saphyra-cli query <addr> graphs
 //! saphyra-cli query <addr> load --name G (--path <edge-list> | --gen <network>:<size>) [--seed S]
 //! saphyra-cli query <addr> rank --graph G --targets 1,2,3 [--measure M]
-//!                   [--eps 0.01] [--delta 0.01] [--seed 7] [--khops 5]
+//!                   [--eps 0.01] [--delta 0.01] [--seed 7] [--khops 5] [--repeat N]
 //! saphyra-cli query <addr> shutdown
 //! ```
 //!
 //! `serve` runs the long-lived ranking service of [`saphyra_service`]
 //! (bind to port 0 for an ephemeral port; the bound address is printed as
-//! `listening on <addr>`). `query` is the tiny client used by tests/CI.
+//! `listening on <addr>`). `query` is the tiny client used by tests/CI; it
+//! talks over one persistent (keep-alive) connection, and `rank --repeat N`
+//! replays the same request N times on it, printing one body per line.
 
 use std::process::ExitCode;
 
@@ -65,6 +67,9 @@ enum Command {
         method: &'static str,
         path: &'static str,
         body: Option<String>,
+        /// Send the request this many times over one persistent connection
+        /// (printing each body); used by CI to exercise keep-alive.
+        repeat: usize,
     },
 }
 
@@ -234,18 +239,19 @@ fn parse_query<'a>(
     it: &mut impl Iterator<Item = &'a String>,
 ) -> Result<Command, String> {
     use saphyra_service::json::Json;
-    let query = |method, path, body: Option<String>| {
+    let query = |method, path, body: Option<String>, repeat| {
         Ok(Command::Query {
             addr,
             method,
             path,
             body,
+            repeat,
         })
     };
     match action {
-        "health" => query("GET", "/healthz", None),
-        "graphs" => query("GET", "/graphs", None),
-        "shutdown" => query("POST", "/shutdown", None),
+        "health" => query("GET", "/healthz", None, 1),
+        "graphs" => query("GET", "/graphs", None, 1),
+        "shutdown" => query("POST", "/shutdown", None, 1),
         "load" => {
             let (mut name, mut path, mut gen, mut seed) = (None, None, None, None::<u64>);
             while let Some(flag) = it.next() {
@@ -276,15 +282,22 @@ fn parse_query<'a>(
             if let Some(s) = seed {
                 fields.push(("seed".to_string(), Json::from(s)));
             }
-            query("POST", "/graphs", Some(Json::Obj(fields).to_string()))
+            query("POST", "/graphs", Some(Json::Obj(fields).to_string()), 1)
         }
         "rank" => {
             let mut graph = None;
             let mut targets: Option<Vec<NodeId>> = None;
             let mut measure = "bc".to_string();
             let (mut eps, mut delta, mut seed, mut khops) = (0.01f64, 0.01f64, 2022u64, 5usize);
+            let mut repeat = 1usize;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
+                    "--repeat" => {
+                        repeat = next_parse(it, "--repeat")?;
+                        if repeat == 0 {
+                            return Err("--repeat: must be >= 1".to_string());
+                        }
+                    }
                     "--graph" => graph = Some(it.next().ok_or("--graph needs a value")?.clone()),
                     "--targets" => {
                         let list = it.next().ok_or("--targets needs a value")?;
@@ -324,7 +337,7 @@ fn parse_query<'a>(
                 ("seed".to_string(), Json::from(seed)),
                 ("khops".to_string(), Json::from(khops)),
             ]);
-            query("POST", "/rank", Some(body.to_string()))
+            query("POST", "/rank", Some(body.to_string()), repeat)
         }
         other => Err(format!(
             "query: unknown action {other}; expected health|graphs|load|rank|shutdown"
@@ -444,6 +457,7 @@ fn run(cmd: Command) -> Result<(), String> {
             let cfg = saphyra_service::ServiceConfig {
                 workers,
                 cache_capacity: cache,
+                ..Default::default()
             };
             let handle = saphyra_service::serve(&addr, cfg)
                 .map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -457,15 +471,20 @@ fn run(cmd: Command) -> Result<(), String> {
             method,
             path,
             body,
+            repeat,
         } => {
-            let resp = saphyra_service::request(&addr, method, path, body.as_deref())
-                .map_err(|e| format!("cannot reach {addr}: {e}"))?;
-            println!("{}", resp.body);
-            if resp.status == 200 {
-                Ok(())
-            } else {
-                Err(format!("service returned HTTP {}", resp.status))
+            // All repeats ride one pooled persistent connection.
+            let mut client = saphyra_service::Client::new(addr.as_str());
+            for _ in 0..repeat {
+                let resp = client
+                    .request(method, path, body.as_deref())
+                    .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+                println!("{}", resp.body);
+                if resp.status != 200 {
+                    return Err(format!("service returned HTTP {}", resp.status));
+                }
             }
+            Ok(())
         }
     }
 }
@@ -700,6 +719,32 @@ mod tests {
             other => panic!("wrong parse: {other:?}"),
         }
 
+        let c = parse_args(&sv(&[
+            "query",
+            "h:1",
+            "rank",
+            "--graph",
+            "g",
+            "--targets",
+            "1",
+            "--repeat",
+            "3",
+        ]))
+        .unwrap();
+        assert!(matches!(c, Command::Query { repeat: 3, .. }));
+        assert!(parse_args(&sv(&[
+            "query",
+            "h:1",
+            "rank",
+            "--graph",
+            "g",
+            "--targets",
+            "1",
+            "--repeat",
+            "0",
+        ]))
+        .is_err());
+
         // Same validation as the direct rank path.
         assert!(parse_args(&sv(&[
             "query",
@@ -761,6 +806,7 @@ mod tests {
             saphyra_service::ServiceConfig {
                 workers: 2,
                 cache_capacity: 8,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -784,6 +830,8 @@ mod tests {
             "0.2",
             "--delta",
             "0.1",
+            "--repeat",
+            "3",
         ])
         .unwrap();
         // Unknown graph surfaces as a non-200 error.
