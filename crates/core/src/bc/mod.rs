@@ -11,6 +11,7 @@ pub mod gen;
 pub mod isp;
 pub mod outreach;
 pub mod ranker;
+pub mod snapshot;
 pub mod vcbound;
 
 pub use exact2hop::{build_a_index, exact_bc, ExactBcOutput};
@@ -18,4 +19,5 @@ pub use gen::BcApproxProblem;
 pub use isp::Pisp;
 pub use outreach::{bca_values, gamma, Outreach};
 pub use ranker::{BcDecomposition, BcEstimate, BcIndex, BcRunStats, SaphyraBcConfig};
+pub use snapshot::{read_decomposition, write_decomposition, DEC_FORMAT_VERSION};
 pub use vcbound::{vc_bounds, vc_bounds_from, vc_lhop, VcBoundReport, VcPrecomp};

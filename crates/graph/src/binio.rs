@@ -1,0 +1,350 @@
+//! Binary (de)serialization of the graph substrate: [`Graph`], [`Bicomps`]
+//! and [`BlockCutTree`], built on the checked primitives of [`crate::wire`].
+//!
+//! These encoders back the service's registry snapshots: a large SNAP graph
+//! plus its full decomposition loads in O(bytes) instead of re-running the
+//! O(m + n) preprocessing. Deserialization *validates structure* (CSR
+//! well-formedness, cross-array length consistency) so a corrupted or
+//! hand-crafted buffer is rejected with a [`WireError`] rather than
+//! producing a graph that violates the invariants the whole engine assumes;
+//! end-to-end integrity is additionally guarded by the snapshot checksum
+//! one layer up.
+
+use crate::bicomp::Bicomps;
+use crate::blockcut::BlockCutTree;
+use crate::csr::{Graph, NodeId};
+use crate::wire::{self, Reader, WireError};
+
+fn err<T>(msg: impl Into<String>) -> Result<T, WireError> {
+    Err(WireError(msg.into()))
+}
+
+// ---------------------------------------------------------------------------
+// Graph
+// ---------------------------------------------------------------------------
+
+/// Appends the binary encoding of `g`.
+pub fn write_graph(g: &Graph, out: &mut Vec<u8>) {
+    let (offsets, neighbors, edge_ids) = g.csr_parts();
+    wire::put_usize(out, g.num_nodes());
+    wire::put_usize(out, g.num_edges());
+    wire::put_vec_usize(out, offsets);
+    wire::put_vec_u32(out, neighbors);
+    wire::put_vec_u32(out, edge_ids);
+}
+
+/// Decodes a graph, re-validating every CSR invariant the builder
+/// guarantees: monotone offsets, strictly sorted in-range adjacency, no
+/// self-loops, and exactly two twin slots per undirected edge id agreeing
+/// on their endpoints.
+pub fn read_graph(r: &mut Reader) -> Result<Graph, WireError> {
+    let n = r.usize_()?;
+    let m = r.usize_()?;
+    if n > u32::MAX as usize {
+        return err(format!("node count {n} exceeds the u32 id space"));
+    }
+    let offsets = r.vec_usize()?;
+    let neighbors = r.vec_u32()?;
+    let edge_ids = r.vec_u32()?;
+
+    if offsets.len() != n + 1 {
+        return err(format!(
+            "offsets length {} != n + 1 = {}",
+            offsets.len(),
+            n + 1
+        ));
+    }
+    let slots = 2usize
+        .checked_mul(m)
+        .ok_or_else(|| WireError(format!("edge count {m} overflows")))?;
+    if neighbors.len() != slots || edge_ids.len() != slots {
+        return err(format!(
+            "slot arrays have {} / {} entries, want 2m = {slots}",
+            neighbors.len(),
+            edge_ids.len()
+        ));
+    }
+    if offsets[0] != 0 || offsets[n] != slots {
+        return err("offsets do not span the slot arrays");
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return err("offsets are not monotone");
+    }
+
+    // Per-node adjacency: strictly ascending (simple graph), in range, no
+    // self-loops, edge ids in range.
+    for v in 0..n {
+        let range = offsets[v]..offsets[v + 1];
+        let ns = &neighbors[range.clone()];
+        if ns.windows(2).any(|w| w[0] >= w[1]) {
+            return err(format!("adjacency of node {v} is not strictly sorted"));
+        }
+        for (&u, &id) in ns.iter().zip(&edge_ids[range]) {
+            if u as usize >= n {
+                return err(format!("neighbor {u} of node {v} out of range"));
+            }
+            if u as usize == v {
+                return err(format!("self-loop at node {v}"));
+            }
+            if id as usize >= m {
+                return err(format!("edge id {id} out of range for m = {m}"));
+            }
+        }
+    }
+
+    // Twin consistency: every undirected edge id labels exactly two slots,
+    // and those slots are the two directions of one edge {u, v}.
+    let mut seen: Vec<(u32, u32)> = vec![(u32::MAX, u32::MAX); m];
+    let mut counts = vec![0u8; m];
+    for v in 0..n {
+        for s in offsets[v]..offsets[v + 1] {
+            let (u, id) = (neighbors[s], edge_ids[s] as usize);
+            let key = (v.min(u as usize) as u32, v.max(u as usize) as u32);
+            match counts[id] {
+                0 => {
+                    seen[id] = key;
+                    counts[id] = 1;
+                }
+                1 if seen[id] == key => counts[id] = 2,
+                _ => return err(format!("edge id {id} labels inconsistent slots")),
+            }
+        }
+    }
+    if counts.iter().any(|&c| c != 2) {
+        return err("an edge id does not label exactly two twin slots");
+    }
+
+    Ok(Graph::from_parts(offsets, neighbors, edge_ids, m))
+}
+
+// ---------------------------------------------------------------------------
+// Bicomps
+// ---------------------------------------------------------------------------
+
+/// Appends the binary encoding of a biconnected decomposition.
+pub fn write_bicomps(b: &Bicomps, out: &mut Vec<u8>) {
+    wire::put_usize(out, b.num_bicomps);
+    wire::put_vec_u32(out, &b.edge_bicomp);
+    wire::put_vec_bool(out, &b.is_cutpoint);
+    wire::put_vec_usize(out, &b.bicomp_node_offsets);
+    wire::put_vec_u32(out, &b.bicomp_nodes);
+    wire::put_vec_usize(out, &b.membership_offsets);
+    wire::put_vec_u32(out, &b.membership_bicomps);
+}
+
+/// Checks that `offsets` is a monotone CSR offset array with `groups`
+/// groups covering `total` payload entries.
+fn check_offsets(
+    offsets: &[usize],
+    groups: usize,
+    total: usize,
+    what: &str,
+) -> Result<(), WireError> {
+    if offsets.len() != groups + 1
+        || offsets.first() != Some(&0)
+        || offsets.last() != Some(&total)
+        || offsets.windows(2).any(|w| w[0] > w[1])
+    {
+        return err(format!(
+            "{what} offsets are not a valid CSR over {groups} groups"
+        ));
+    }
+    Ok(())
+}
+
+/// Decodes a [`Bicomps`] for `g`, validating array lengths and id ranges
+/// against the graph.
+pub fn read_bicomps(r: &mut Reader, g: &Graph) -> Result<Bicomps, WireError> {
+    let (n, m) = (g.num_nodes(), g.num_edges());
+    let num_bicomps = r.usize_()?;
+    let edge_bicomp = r.vec_u32()?;
+    let is_cutpoint = r.vec_bool()?;
+    let bicomp_node_offsets = r.vec_usize()?;
+    let bicomp_nodes = r.vec_u32()?;
+    let membership_offsets = r.vec_usize()?;
+    let membership_bicomps = r.vec_u32()?;
+
+    if edge_bicomp.len() != m {
+        return err("edge_bicomp length mismatches edge count");
+    }
+    if is_cutpoint.len() != n {
+        return err("is_cutpoint length mismatches node count");
+    }
+    check_offsets(
+        &bicomp_node_offsets,
+        num_bicomps,
+        bicomp_nodes.len(),
+        "bicomp node",
+    )?;
+    check_offsets(
+        &membership_offsets,
+        n,
+        membership_bicomps.len(),
+        "membership",
+    )?;
+    let comp_ok = |&b: &u32| (b as usize) < num_bicomps;
+    if !edge_bicomp.iter().all(comp_ok) || !membership_bicomps.iter().all(comp_ok) {
+        return err("component id out of range");
+    }
+    if !bicomp_nodes.iter().all(|&v| (v as usize) < n) {
+        return err("component member out of range");
+    }
+
+    Ok(Bicomps {
+        num_bicomps,
+        edge_bicomp,
+        is_cutpoint,
+        bicomp_node_offsets,
+        bicomp_nodes,
+        membership_offsets,
+        membership_bicomps,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// BlockCutTree
+// ---------------------------------------------------------------------------
+
+/// Appends the binary encoding of a block-cut tree.
+pub fn write_blockcut(t: &BlockCutTree, out: &mut Vec<u8>) {
+    wire::put_vec_u32(out, &t.cutpoints);
+    wire::put_vec_u32(out, &t.cut_index);
+    wire::put_vec_usize(out, &t.cut_bicomp_offsets);
+    wire::put_vec_u32(out, &t.cut_bicomps);
+    wire::put_vec_u32(out, &t.cut_branch);
+    wire::put_vec_u32(out, &t.comp_total_of_bicomp);
+}
+
+/// Decodes a [`BlockCutTree`] for `g`/`bic`, validating lengths and ranges.
+pub fn read_blockcut(r: &mut Reader, g: &Graph, bic: &Bicomps) -> Result<BlockCutTree, WireError> {
+    let n = g.num_nodes();
+    let cutpoints: Vec<NodeId> = r.vec_u32()?;
+    let cut_index = r.vec_u32()?;
+    let cut_bicomp_offsets = r.vec_usize()?;
+    let cut_bicomps = r.vec_u32()?;
+    let cut_branch = r.vec_u32()?;
+    let comp_total_of_bicomp = r.vec_u32()?;
+
+    if cut_index.len() != n {
+        return err("cut_index length mismatches node count");
+    }
+    if !cutpoints.iter().all(|&v| (v as usize) < n) {
+        return err("cutpoint id out of range");
+    }
+    check_offsets(
+        &cut_bicomp_offsets,
+        cutpoints.len(),
+        cut_bicomps.len(),
+        "cut bicomp",
+    )?;
+    if cut_branch.len() != cut_bicomps.len() {
+        return err("cut_branch length mismatches cut_bicomps");
+    }
+    if !cut_bicomps.iter().all(|&b| (b as usize) < bic.num_bicomps) {
+        return err("cut-incident component id out of range");
+    }
+    if comp_total_of_bicomp.len() != bic.num_bicomps {
+        return err("comp_total_of_bicomp length mismatches component count");
+    }
+
+    Ok(BlockCutTree {
+        cutpoints,
+        cut_index,
+        cut_bicomp_offsets,
+        cut_bicomps,
+        cut_branch,
+        comp_total_of_bicomp,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    fn graphs() -> Vec<Graph> {
+        vec![
+            fixtures::paper_fig2(),
+            fixtures::grid_graph(5, 4),
+            fixtures::lollipop_graph(4, 3),
+            fixtures::disconnected_mix(),
+            crate::GraphBuilder::new(3).build().unwrap(), // edgeless
+            crate::GraphBuilder::new(0).build().unwrap(), // empty
+        ]
+    }
+
+    #[test]
+    fn graph_round_trip_is_structurally_identical() {
+        for g in graphs() {
+            let mut buf = Vec::new();
+            write_graph(&g, &mut buf);
+            let g2 = read_graph(&mut Reader::new(&buf)).unwrap();
+            assert_eq!(g.num_nodes(), g2.num_nodes());
+            assert_eq!(g.num_edges(), g2.num_edges());
+            let (o1, n1, e1) = g.csr_parts();
+            let (o2, n2, e2) = g2.csr_parts();
+            assert_eq!(o1, o2);
+            assert_eq!(n1, n2);
+            assert_eq!(e1, e2);
+        }
+    }
+
+    #[test]
+    fn bicomps_and_blockcut_round_trip() {
+        for g in graphs() {
+            let bic = Bicomps::compute(&g);
+            let tree = BlockCutTree::compute(&bic);
+            let mut buf = Vec::new();
+            write_bicomps(&bic, &mut buf);
+            write_blockcut(&tree, &mut buf);
+            let mut r = Reader::new(&buf);
+            let bic2 = read_bicomps(&mut r, &g).unwrap();
+            let tree2 = read_blockcut(&mut r, &g, &bic2).unwrap();
+            assert!(r.is_empty());
+            assert_eq!(bic.num_bicomps, bic2.num_bicomps);
+            assert_eq!(bic.edge_bicomp, bic2.edge_bicomp);
+            assert_eq!(bic.is_cutpoint, bic2.is_cutpoint);
+            assert_eq!(bic.bicomp_nodes, bic2.bicomp_nodes);
+            assert_eq!(tree.cutpoints, tree2.cutpoints);
+            assert_eq!(tree.cut_branch, tree2.cut_branch);
+            assert_eq!(tree.comp_total_of_bicomp, tree2.comp_total_of_bicomp);
+        }
+    }
+
+    #[test]
+    fn corrupt_graph_bytes_are_rejected() {
+        let g = fixtures::paper_fig2();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf);
+        // Truncation fails cleanly.
+        assert!(read_graph(&mut Reader::new(&buf[..buf.len() / 2])).is_err());
+        // A mangled neighbor breaks sortedness / twin consistency.
+        for flip in [buf.len() - 1, buf.len() / 2, 20] {
+            let mut bad = buf.clone();
+            bad[flip] ^= 0xFF;
+            // Either a decode error or (rarely) a still-valid prefix with
+            // trailing garbage — never a panic.
+            let _ = read_graph(&mut Reader::new(&bad));
+        }
+        // Specifically: swapping two neighbors violates strict sorting.
+        let mut bad = Vec::new();
+        wire::put_usize(&mut bad, 3);
+        wire::put_usize(&mut bad, 2);
+        wire::put_vec_usize(&mut bad, &[0, 1, 3, 4]);
+        wire::put_vec_u32(&mut bad, &[1, 2, 0, 1]); // node 1's list {2, 0} unsorted
+        wire::put_vec_u32(&mut bad, &[0, 1, 0, 1]);
+        assert!(read_graph(&mut Reader::new(&bad)).is_err());
+    }
+
+    #[test]
+    fn bicomps_with_wrong_lengths_are_rejected() {
+        let g = fixtures::paper_fig2();
+        let other = fixtures::grid_graph(2, 2);
+        let bic = Bicomps::compute(&g);
+        let mut buf = Vec::new();
+        write_bicomps(&bic, &mut buf);
+        // Valid against its own graph, invalid against a different one.
+        assert!(read_bicomps(&mut Reader::new(&buf), &g).is_ok());
+        assert!(read_bicomps(&mut Reader::new(&buf), &other).is_err());
+    }
+}

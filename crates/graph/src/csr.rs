@@ -50,6 +50,12 @@ impl Graph {
         }
     }
 
+    /// The raw CSR arrays `(offsets, neighbors, edge_ids)`, for the binary
+    /// serializer in [`crate::binio`].
+    pub(crate) fn csr_parts(&self) -> (&[usize], &[NodeId], &[u32]) {
+        (&self.offsets, &self.neighbors, &self.edge_ids)
+    }
+
     /// Number of nodes `n`.
     #[inline]
     pub fn num_nodes(&self) -> usize {

@@ -11,6 +11,13 @@ use crate::error::GraphError;
 /// Parses an edge list from any reader. Node count is `1 + max id` unless
 /// `min_nodes` — or a `# nodes: N` header as written by
 /// [`write_edge_list`] — demands more (isolated trailing nodes).
+///
+/// Every non-comment line must be exactly `u v`: lines with fewer or more
+/// tokens (e.g. a weighted `u v w` list, whose weights would otherwise be
+/// silently discarded) are rejected with a [`GraphError::Parse`] naming
+/// the line. A `# nodes: N` header is honored wherever it appears —
+/// before, between or after edge lines — and `# nodes: 0` is a no-op
+/// (the edge lines alone determine the node count).
 pub fn read_edge_list<R: Read>(reader: R, min_nodes: usize) -> Result<Graph, GraphError> {
     let mut edges: Vec<(u32, u32)> = Vec::new();
     let mut max_id: u64 = 0;
@@ -48,6 +55,15 @@ pub fn read_edge_list<R: Read>(reader: R, min_nodes: usize) -> Result<Graph, Gra
         };
         let u = parse(it.next())?;
         let v = parse(it.next())?;
+        if it.next().is_some() {
+            // Trailing tokens mean this is not the plain `u v` format —
+            // most likely a weighted list (`u v w`) whose weights would be
+            // silently discarded. Refuse instead of quietly degrading.
+            return Err(GraphError::Parse {
+                line: lineno,
+                content: trimmed.to_string(),
+            });
+        }
         if u > u32::MAX as u64 || v > u32::MAX as u64 {
             return Err(GraphError::TooManyNodes(u.max(v)));
         }
@@ -164,6 +180,59 @@ mod tests {
         assert!(matches!(err, GraphError::Parse { line: 1, .. }));
         let err = read_edge_list("7\n".as_bytes(), 0).unwrap_err();
         assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_lines_with_wrong_token_count() {
+        // A weighted SNAP file (`u v w`) must fail loudly instead of
+        // silently dropping the weights.
+        let err = read_edge_list("0 1\n1 2 0.5\n".as_bytes(), 0).unwrap_err();
+        match err {
+            GraphError::Parse { line, content } => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "1 2 0.5");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        // Integer third tokens are no better.
+        assert!(matches!(
+            read_edge_list("0 1 7\n".as_bytes(), 0).unwrap_err(),
+            GraphError::Parse { line: 1, .. }
+        ));
+        // Too few tokens.
+        assert!(matches!(
+            read_edge_list("0 1\n3\n".as_bytes(), 0).unwrap_err(),
+            GraphError::Parse { line: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn nodes_header_is_honored_anywhere_in_the_file() {
+        // Header after all edge lines (a concatenated/reordered file).
+        let g = read_edge_list("0 1\n1 2\n# nodes: 6\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.degree(5), 0);
+        // Header between edge lines.
+        let g = read_edge_list("0 1\n# nodes: 6\n1 2\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        // Several headers: the largest wins (each is a lower bound).
+        let g = read_edge_list("# nodes: 4\n0 1\n# nodes: 6\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.num_nodes(), 6);
+    }
+
+    #[test]
+    fn nodes_zero_header_is_a_no_op() {
+        // `# nodes: 0` on a non-empty edge list: the edges determine n.
+        let g = read_edge_list("# nodes: 0\n0 1\n1 2\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        // Trailing position behaves the same.
+        let g = read_edge_list("0 4\n# nodes: 0\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        // And on an empty list it is a genuinely empty graph.
+        let g = read_edge_list("# nodes: 0\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 pub mod bbbfs;
 pub mod bfs;
 pub mod bicomp;
+pub mod binio;
 pub mod blockcut;
 pub mod brandes;
 pub mod builder;
@@ -40,6 +41,7 @@ pub mod error;
 pub mod fixtures;
 pub mod io;
 pub mod subgraph;
+pub mod wire;
 
 pub use bicomp::Bicomps;
 pub use blockcut::BlockCutTree;

@@ -105,13 +105,25 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
         }
     }
 
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse::<usize>())
-        .transpose()
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))?
-        .unwrap_or(0);
+    // Exactly one Content-Length may appear. Taking "the first" of several
+    // (even several *agreeing* ones) is how request-smuggling splits
+    // happen on persistent connections: an intermediary that picks the
+    // other copy would desynchronize on where this request's body ends
+    // and parse attacker-controlled body bytes as the next request.
+    let mut content_length: Option<usize> = None;
+    for (_, v) in headers.iter().filter(|(k, _)| k == "content-length") {
+        if content_length.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "multiple Content-Length headers",
+            ));
+        }
+        content_length = Some(
+            v.parse::<usize>()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))?,
+        );
+    }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -386,7 +398,16 @@ fn read_response<R: BufRead>(reader: &mut R) -> io::Result<(ClientResponse, bool
             let name = name.trim().to_ascii_lowercase();
             let value = value.trim().to_string();
             if name == "content-length" {
-                content_length = value.parse().ok();
+                // A malformed length must fail loudly: `.parse().ok()`
+                // would silently drop into the read-to-EOF path, blocking
+                // until the server's idle timeout and desyncing the
+                // persistent connection.
+                content_length = Some(value.parse().map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("malformed response Content-Length {value:?}"),
+                    )
+                })?);
             }
             headers.push((name, value));
         }
@@ -491,6 +512,40 @@ mod tests {
             flood.push_str(&format!("h{i}: v\r\n"));
         }
         assert!(read_request(&mut flood.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_or_conflicting_content_length() {
+        // Two CONFLICTING lengths: whichever one a naive parser picks, an
+        // intermediary picking the other desynchronizes the connection —
+        // the request-smuggling primitive. Pre-fix the first match won
+        // silently.
+        let raw = b"POST /rank HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 2\r\n\r\n{\"a\":1}";
+        let err = read_request(&mut &raw[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(err.to_string(), "multiple Content-Length headers");
+        // Duplicates that AGREE are rejected too (RFC 9112 §6.3 allows
+        // coalescing them, but nothing legitimate sends them — and every
+        // accepted duplicate is smuggling surface).
+        let raw = b"POST /rank HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        let err = read_request(&mut &raw[..]).unwrap_err();
+        assert_eq!(err.to_string(), "multiple Content-Length headers");
+        // One well-formed length still parses, whatever its position.
+        let raw = b"POST /rank HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        assert!(read_request(&mut &raw[..]).unwrap().is_some());
+    }
+
+    #[test]
+    fn client_rejects_malformed_response_content_length() {
+        // Pre-fix: `.parse().ok()` turned garbage into None and the client
+        // fell into the read-to-EOF path — silently mis-framing the body
+        // and poisoning the persistent connection.
+        for bad in ["x", "-1", "18446744073709551616", "1 2"] {
+            let raw = format!("HTTP/1.1 200 OK\r\nContent-Length: {bad}\r\n\r\n{{}}");
+            let err = read_response(&mut raw.as_bytes()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{bad:?}");
+            assert!(err.to_string().contains("Content-Length"), "{bad:?}: {err}");
+        }
     }
 
     #[test]

@@ -33,12 +33,25 @@
 //! [`ServiceConfig::idle_timeout`], and recycles a connection after
 //! [`ServiceConfig::max_requests_per_conn`] requests.
 //!
+//! ## Persistence
+//!
+//! With [`ServiceConfig::state_dir`] set, the registry survives restarts:
+//! every graph load writes a versioned, checksummed binary snapshot
+//! (graph + full decomposition, written atomically via temp + fsync +
+//! rename), boots restore all snapshots with **zero** recomputation
+//! (`/healthz` reports `decompositions` / `snapshots_loaded`), and every
+//! `/rank` request appends one JSON line to an append-only journal that
+//! [`persist::replay_journal`] can re-issue. Damaged snapshots degrade
+//! (recompute or skip, with a warning) — they never fail a boot. See
+//! [`persist`] for the format.
+//!
 //! ## Determinism
 //!
 //! For a fixed request, the `/rank` response body is byte-identical
 //! regardless of worker count, rayon thread count, or cache state — the
-//! PR 1 engine-level determinism contract extended across the wire. See
-//! [`server`] for the mechanics.
+//! PR 1 engine-level determinism contract extended across the wire, and
+//! across restarts: a snapshot-restored decomposition is bit-identical
+//! to the one that was saved. See [`server`] for the mechanics.
 //!
 //! ## Quick start
 //!
@@ -66,6 +79,7 @@
 pub mod cache;
 pub mod http;
 pub mod json;
+pub mod persist;
 pub mod registry;
 pub mod server;
 

@@ -1,0 +1,586 @@
+//! Crash-safe registry persistence: versioned, checksummed binary
+//! snapshots of loaded graphs (CSR + full [`BcDecomposition`]) plus an
+//! append-only request journal.
+//!
+//! ## Snapshot format (version 1)
+//!
+//! ```text
+//! magic    8 bytes  b"SAPHSNAP"
+//! version  u32      SNAPSHOT_VERSION
+//! graph section:    u64 payload length | payload | u32 CRC-32 (IEEE)
+//!   payload = name (length-prefixed UTF-8) + Graph (saphyra_graph::binio)
+//! dec section:      u64 payload length | payload | u32 CRC-32 (IEEE)
+//!   payload = BcDecomposition (saphyra::bc::write_decomposition,
+//!             carries its own DEC_FORMAT_VERSION)
+//! ```
+//!
+//! All integers little-endian. The two sections are checksummed
+//! *independently*: a damaged graph section makes the snapshot unusable
+//! (there is nothing to decompose), but a damaged or version-mismatched
+//! decomposition section degrades gracefully — the graph is still
+//! restored and the caller recomputes the decomposition, trading the
+//! startup win for correctness, never a crash.
+//!
+//! ## Atomic writes
+//!
+//! [`save_snapshot`] writes to a dot-prefixed temp file in the target
+//! directory, `fsync`s it, `rename`s it over the destination, and
+//! `fsync`s the directory. A crash at any point leaves either the old
+//! snapshot or the new one — never a torn file (a leftover `.tmp` is
+//! ignored by the `*.snap` boot scan).
+//!
+//! ## Journal
+//!
+//! One JSON line per `/rank` request, appended in a single `write`:
+//!
+//! ```json
+//! {"ts":1722268800,"status":200,"cache":"miss","request":{"graph":"g","targets":[1,2],...}}
+//! ```
+//!
+//! `ts` is unix seconds, `cache` the `X-Saphyra-Cache` disposition
+//! (`null` for rejected requests), and `request` the parsed request body
+//! re-serialized canonically (`null` when the body was not valid JSON).
+//! Because `f64`s serialize with shortest-round-trip precision, replaying
+//! a journal line reconstructs the exact request bit pattern —
+//! [`replay_journal`] drives the recorded requests back through a
+//! [`Service`] and checks the statuses match.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use saphyra::bc::{self, BcDecomposition};
+use saphyra_graph::binio;
+use saphyra_graph::wire::{self, Reader};
+use saphyra_graph::Graph;
+
+use crate::http::Request;
+use crate::json::Json;
+use crate::server::Service;
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"SAPHSNAP";
+/// Snapshot container format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+/// File name of the append-only request journal inside a state dir.
+pub const JOURNAL_FILE: &str = "journal.log";
+
+/// Persistence failure: I/O or format (with context).
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The bytes do not form a valid snapshot.
+    Format(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Format(m) => write!(f, "invalid snapshot: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn format_err<T>(msg: impl Into<String>) -> Result<T, PersistError> {
+    Err(PersistError::Format(msg.into()))
+}
+
+/// A decoded snapshot. `dec` is `Err(reason)` when only the decomposition
+/// section was damaged or version-mismatched: the graph is intact and the
+/// caller should recompute (and may overwrite the snapshot).
+#[derive(Debug)]
+pub struct LoadedSnapshot {
+    /// Registry name the snapshot was saved under.
+    pub name: String,
+    /// The restored graph.
+    pub graph: Graph,
+    /// The restored decomposition, or the reason it must be recomputed.
+    pub dec: Result<BcDecomposition, String>,
+}
+
+fn put_section(out: &mut Vec<u8>, payload: &[u8]) {
+    wire::put_usize(out, payload.len());
+    out.extend_from_slice(payload);
+    wire::put_u32(out, wire::crc32(payload));
+}
+
+fn take_section<'a>(r: &mut Reader<'a>, what: &str) -> Result<&'a [u8], PersistError> {
+    let len = r
+        .usize_()
+        .map_err(|e| PersistError::Format(format!("{what} section length: {e}")))?;
+    // The section must hold `len` payload bytes PLUS its 4-byte CRC. The
+    // two-sided check matters: with `remaining < 4` a declared length of 0
+    // would pass a naive `len > remaining - 4` guard and the CRC read
+    // below would fail — a snapshot load must never panic on any input.
+    let need = len
+        .checked_add(4)
+        .filter(|&need| need <= r.remaining())
+        .ok_or_else(|| {
+            PersistError::Format(format!(
+                "{what} section truncated: {len} payload bytes + CRC declared, {} available",
+                r.remaining()
+            ))
+        })?;
+    debug_assert!(need <= r.remaining());
+    let payload = r.bytes(len).expect("length checked above");
+    let stored = r.u32().expect("length checked above");
+    let actual = wire::crc32(payload);
+    if stored != actual {
+        return format_err(format!(
+            "{what} section checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        ));
+    }
+    Ok(payload)
+}
+
+/// Serializes one registry entry to snapshot bytes.
+pub fn snapshot_to_bytes(name: &str, graph: &Graph, dec: &BcDecomposition) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    wire::put_u32(&mut out, SNAPSHOT_VERSION);
+
+    let mut graph_payload = Vec::new();
+    wire::put_str(&mut graph_payload, name);
+    binio::write_graph(graph, &mut graph_payload);
+    put_section(&mut out, &graph_payload);
+
+    let mut dec_payload = Vec::new();
+    bc::write_decomposition(dec, &mut dec_payload);
+    put_section(&mut out, &dec_payload);
+    out
+}
+
+/// Decodes snapshot bytes, validating magic, container version and both
+/// section checksums. Graph-section damage is fatal; decomposition-section
+/// damage degrades to `dec: Err(reason)`.
+pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<LoadedSnapshot, PersistError> {
+    let mut r = Reader::new(bytes);
+    let magic = r
+        .bytes(SNAPSHOT_MAGIC.len())
+        .map_err(|_| PersistError::Format("shorter than the magic header".into()))?;
+    if magic != SNAPSHOT_MAGIC {
+        return format_err("bad magic (not a saphyra snapshot)");
+    }
+    let version = r.u32().map_err(|e| PersistError::Format(e.to_string()))?;
+    if version != SNAPSHOT_VERSION {
+        return format_err(format!(
+            "snapshot version {version} != supported {SNAPSHOT_VERSION}"
+        ));
+    }
+
+    let graph_payload = take_section(&mut r, "graph")?;
+    let mut gr = Reader::new(graph_payload);
+    let name = gr
+        .str_()
+        .map_err(|e| PersistError::Format(format!("graph name: {e}")))?;
+    let graph = binio::read_graph(&mut gr).map_err(|e| PersistError::Format(e.to_string()))?;
+    if !gr.is_empty() {
+        return format_err("trailing bytes in graph section");
+    }
+
+    // The decomposition section degrades instead of failing the load.
+    let dec = match take_section(&mut r, "decomposition") {
+        Err(e) => Err(e.to_string()),
+        Ok(payload) => {
+            let mut dr = Reader::new(payload);
+            match bc::read_decomposition(&mut dr, &graph) {
+                Err(e) => Err(e.to_string()),
+                Ok(_) if !dr.is_empty() => Err("trailing bytes in decomposition section".into()),
+                Ok(dec) => Ok(dec),
+            }
+        }
+    };
+    // A v1 container ends exactly after the second section. Trailing bytes
+    // after a *well-formed* decomposition section mean the file is not
+    // v1 (a concatenation, or a future format with more sections) —
+    // reject it rather than silently treating a prefix as the whole
+    // snapshot. When the section itself was damaged the reader position
+    // is meaningless, so that case keeps degrading to recompute.
+    if dec.is_ok() && !r.is_empty() {
+        return format_err(format!(
+            "{} trailing bytes after the decomposition section",
+            r.remaining()
+        ));
+    }
+    Ok(LoadedSnapshot { name, graph, dec })
+}
+
+/// Writes a snapshot to `path` atomically: dot-prefixed temp file in the
+/// same directory, `fsync`, `rename`, `fsync` of the directory. Readers
+/// (and crashes) see either the previous file or the complete new one.
+/// The temp name is unique per process *and* per call — concurrent saves
+/// of the same name must not interleave writes into one temp file, or
+/// the winning `rename` could publish a torn mix of both.
+pub fn save_snapshot(
+    path: &Path,
+    name: &str,
+    graph: &Graph,
+    dec: &BcDecomposition,
+) -> Result<(), PersistError> {
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let bytes = snapshot_to_bytes(name, graph, dec);
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| PersistError::Format(format!("bad snapshot path {path:?}")))?;
+    let tmp_name = format!(
+        ".{file_name}.{}.{}.tmp",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => PathBuf::from(&tmp_name),
+    };
+    let mut f = File::create(&tmp)?;
+    f.write_all(&bytes)?;
+    f.sync_all()?;
+    drop(f);
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    // Persist the rename itself (the new directory entry).
+    if let Some(d) = dir {
+        if let Ok(dirf) = File::open(d) {
+            let _ = dirf.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// The snapshot path for registry entry `name` inside `dir`.
+pub fn snapshot_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.snap"))
+}
+
+/// Whether `name` can name a persisted graph: 1-64 chars of
+/// `[A-Za-z0-9._-]`, no leading dot. The leading-dot rule is load-bearing
+/// for persistence, not cosmetic: snapshots are stored as `<name>.snap`
+/// and [`scan_snapshots`] skips dot-prefixed files (that namespace is
+/// reserved for atomic-write temp files) — a ".g" graph would persist
+/// "successfully" yet silently vanish on the next boot. Both the HTTP
+/// `POST /graphs` path and the offline `snapshot save` CLI enforce this.
+pub fn valid_graph_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+/// Loads and fully validates one snapshot file.
+pub fn load_snapshot(path: &Path) -> Result<LoadedSnapshot, PersistError> {
+    snapshot_from_bytes(&fs::read(path)?)
+}
+
+/// All `*.snap` files in `dir`, name-sorted (deterministic boot order).
+pub fn scan_snapshots(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().and_then(|x| x.to_str()) == Some("snap")
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| !n.starts_with('.'))
+        })
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+/// The append-only request journal of a state directory. Lines are
+/// buffered in memory per call and appended with a single `write`, so
+/// concurrent workers never interleave partial lines.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal of `dir` for appending.
+    pub fn open(dir: &Path) -> io::Result<Journal> {
+        let path = dir.join(JOURNAL_FILE);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record (a newline is added; `line` must not contain
+    /// one — JSON strings escape `\n`, so serialized [`Json`] never does).
+    pub fn append(&self, line: &str) -> io::Result<()> {
+        debug_assert!(!line.contains('\n'));
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        self.file.lock().unwrap().write_all(&buf)
+    }
+}
+
+/// Builds one journal line for a handled `/rank` request.
+pub fn journal_line(ts: u64, status: u16, cache: Option<&str>, request: Option<Json>) -> String {
+    Json::Obj(vec![
+        ("ts".to_string(), Json::from(ts)),
+        ("status".to_string(), Json::from(status as u64)),
+        ("cache".to_string(), cache.map_or(Json::Null, Json::from)),
+        ("request".to_string(), request.unwrap_or(Json::Null)),
+    ])
+    .to_string()
+}
+
+/// Outcome of a journal replay.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Journal lines seen.
+    pub lines: usize,
+    /// Requests re-issued.
+    pub replayed: usize,
+    /// Lines skipped (no recorded request body, e.g. rejected requests).
+    pub skipped: usize,
+    /// Replays whose status differed from the recorded one.
+    pub status_mismatches: usize,
+}
+
+/// Replays every recorded `/rank` request in the journal at `path`
+/// against `service`, comparing response statuses with the recorded ones.
+/// Lines without a `request` object (rejected/unparseable requests) are
+/// skipped. The journal is read fully before the first replay, so it is
+/// safe to replay a service that journals into the same file.
+pub fn replay_journal(path: &Path, service: &Service) -> io::Result<ReplayStats> {
+    let text = fs::read_to_string(path)?;
+    let mut stats = ReplayStats::default();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        stats.lines += 1;
+        let record = match Json::parse(line) {
+            Ok(v) => v,
+            Err(_) => {
+                stats.skipped += 1;
+                continue;
+            }
+        };
+        let Some(request) = record.get("request").filter(|r| r.get("graph").is_some()) else {
+            stats.skipped += 1;
+            continue;
+        };
+        let req = Request {
+            method: "POST".to_string(),
+            path: "/rank".to_string(),
+            headers: Vec::new(),
+            body: request.to_string().into_bytes(),
+        };
+        let (resp, _) = service.handle(&req);
+        stats.replayed += 1;
+        let recorded = record.get("status").and_then(Json::as_u64);
+        if recorded != Some(resp.status as u64) {
+            stats.status_mismatches += 1;
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saphyra_graph::fixtures;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("saphyra_persist_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn snapshot_bytes_round_trip() {
+        let g = fixtures::grid_graph(4, 4);
+        let dec = BcDecomposition::compute(&g);
+        let bytes = snapshot_to_bytes("grid", &g, &dec);
+        let snap = snapshot_from_bytes(&bytes).unwrap();
+        assert_eq!(snap.name, "grid");
+        assert_eq!(snap.graph.num_nodes(), 16);
+        let dec2 = snap.dec.expect("decomposition restores");
+        assert_eq!(dec.gamma.to_bits(), dec2.gamma.to_bits());
+        assert_eq!(dec.bic.edge_bicomp, dec2.bic.edge_bicomp);
+    }
+
+    #[test]
+    fn graph_section_corruption_is_fatal() {
+        let g = fixtures::grid_graph(3, 3);
+        let dec = BcDecomposition::compute(&g);
+        let mut bytes = snapshot_to_bytes("g", &g, &dec);
+        // Flip one payload byte inside the graph section (right after the
+        // magic + version + section length prefix).
+        bytes[SNAPSHOT_MAGIC.len() + 4 + 8 + 3] ^= 0x40;
+        let err = snapshot_from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // Bad magic and bad version are equally fatal.
+        let g2 = snapshot_to_bytes("g", &g, &dec);
+        let mut bad = g2.clone();
+        bad[0] = b'X';
+        assert!(snapshot_from_bytes(&bad).is_err());
+        let mut bad = g2;
+        bad[SNAPSHOT_MAGIC.len()] = 0xFF;
+        assert!(snapshot_from_bytes(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("version"));
+    }
+
+    #[test]
+    fn truncated_sections_error_instead_of_panicking() {
+        // Regression: magic + version + a zero section length with NO room
+        // for the 4-byte CRC used to slip past the length guard and panic
+        // on the CRC read. Any truncation point must yield Err, never a
+        // panic — boots load attacker-placeable files.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+        wire::put_u32(&mut bytes, SNAPSHOT_VERSION);
+        wire::put_usize(&mut bytes, 0); // graph section: len 0, no CRC
+        let err = snapshot_from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        // Every prefix of a valid snapshot errors cleanly too.
+        let g = fixtures::grid_graph(3, 3);
+        let full = snapshot_to_bytes("g", &g, &BcDecomposition::compute(&g));
+        for cut in 0..full.len().min(64) {
+            let _ = snapshot_from_bytes(&full[..cut]); // must not panic
+        }
+    }
+
+    #[test]
+    fn concurrent_saves_of_the_same_name_do_not_tear() {
+        // Regression: a fixed temp-file name let two concurrent saves of
+        // one graph interleave into the same temp file and publish a torn
+        // snapshot. With unique temp names, whatever save wins the rename,
+        // the published file is internally consistent.
+        let dir = tmp_dir("race");
+        let g = fixtures::grid_graph(4, 4);
+        let dec = BcDecomposition::compute(&g);
+        let path = snapshot_path(&dir, "g");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        save_snapshot(&path, "g", &g, &dec).unwrap();
+                    }
+                });
+            }
+        });
+        let snap = load_snapshot(&path).unwrap();
+        assert_eq!(snap.name, "g");
+        assert!(snap.dec.is_ok());
+        // No temp litter survives the stampede.
+        let litter: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(litter.is_empty(), "{litter:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dec_section_corruption_degrades_to_recompute() {
+        let g = fixtures::grid_graph(3, 3);
+        let dec = BcDecomposition::compute(&g);
+        let mut bytes = snapshot_to_bytes("g", &g, &dec);
+        // Flip the LAST payload byte — inside the decomposition section.
+        let len = bytes.len();
+        bytes[len - 5] ^= 0x01;
+        let snap = snapshot_from_bytes(&bytes).unwrap();
+        assert_eq!(snap.name, "g");
+        assert_eq!(snap.graph.num_nodes(), 9);
+        let reason = snap.dec.unwrap_err();
+        assert!(reason.contains("checksum"), "{reason}");
+        // Truncating the dec section entirely also degrades.
+        let g2 = snapshot_to_bytes("g", &g, &BcDecomposition::compute(&g));
+        let truncated = &g2[..g2.len() - 20];
+        let snap = snapshot_from_bytes(truncated).unwrap();
+        assert!(snap.dec.is_err());
+    }
+
+    #[test]
+    fn save_is_atomic_and_scan_finds_it() {
+        let dir = tmp_dir("atomic");
+        let g = fixtures::grid_graph(3, 3);
+        let dec = BcDecomposition::compute(&g);
+        let path = snapshot_path(&dir, "grid");
+        save_snapshot(&path, "grid", &g, &dec).unwrap();
+        // No temp file left behind; the scan sees exactly one snapshot.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp file leaked: {leftovers:?}");
+        assert_eq!(scan_snapshots(&dir).unwrap(), vec![path.clone()]);
+        // Overwriting in place is fine (same atomic path).
+        save_snapshot(&path, "grid", &g, &dec).unwrap();
+        let snap = load_snapshot(&path).unwrap();
+        assert_eq!(snap.name, "grid");
+        // A stray dotfile or non-snap file is not scanned.
+        fs::write(dir.join(".hidden.snap"), b"junk").unwrap();
+        fs::write(dir.join("notes.txt"), b"junk").unwrap();
+        assert_eq!(scan_snapshots(&dir).unwrap().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trailing_garbage_after_a_valid_container_is_rejected() {
+        let g = fixtures::grid_graph(3, 3);
+        let dec = BcDecomposition::compute(&g);
+        let mut bytes = snapshot_to_bytes("g", &g, &dec);
+        // Pristine bytes parse; the same bytes plus appended junk do not.
+        assert!(snapshot_from_bytes(&bytes).is_ok());
+        bytes.extend_from_slice(b"junk");
+        let err = snapshot_from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+        // Two concatenated snapshots are likewise not one snapshot.
+        let mut twice = snapshot_to_bytes("g", &g, &dec);
+        twice.extend_from_slice(&snapshot_to_bytes("g", &g, &dec));
+        assert!(snapshot_from_bytes(&twice).is_err());
+    }
+
+    #[test]
+    fn journal_appends_and_survives_reopen() {
+        let dir = tmp_dir("journal");
+        let j = Journal::open(&dir).unwrap();
+        j.append(&journal_line(1, 200, Some("miss"), None)).unwrap();
+        drop(j);
+        let j = Journal::open(&dir).unwrap();
+        j.append(&journal_line(2, 400, None, None)).unwrap();
+        let text = fs::read_to_string(j.path()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("\"cache\":\"miss\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"status\":400"), "{}", lines[1]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -39,6 +39,15 @@ impl GraphEntry {
     /// Builds the entry (runs the full O(m + n) decomposition once).
     pub fn build(name: impl Into<String>, graph: Graph) -> Self {
         let dec = BcDecomposition::compute(&graph);
+        GraphEntry::from_parts(name, graph, dec)
+    }
+
+    /// Assembles an entry from an already-computed decomposition (e.g. one
+    /// restored from a snapshot). The epoch is always freshly allocated —
+    /// epochs are process-local liveness tokens, never persisted — so a
+    /// cache key minted against any previous load of this name can never
+    /// alias the restored entry.
+    pub fn from_parts(name: impl Into<String>, graph: Graph, dec: BcDecomposition) -> Self {
         GraphEntry {
             name: name.into(),
             graph,
@@ -117,6 +126,19 @@ mod tests {
     fn rebuilt_entries_get_fresh_epochs() {
         let a = GraphEntry::build("g", fixtures::grid_graph(3, 3));
         let b = GraphEntry::build("g", fixtures::grid_graph(3, 3));
+        assert_ne!(a.epoch, b.epoch);
+    }
+
+    #[test]
+    fn restored_entries_get_fresh_epochs_too() {
+        // Snapshot restoration goes through from_parts: every restore —
+        // even of the same bytes — must mint a new epoch, so cache keys
+        // can never alias across a reload or restart.
+        let g = fixtures::grid_graph(3, 3);
+        let dec = saphyra::bc::BcDecomposition::compute(&g);
+        let a = GraphEntry::from_parts("g", g.clone(), dec);
+        let dec = saphyra::bc::BcDecomposition::compute(&g);
+        let b = GraphEntry::from_parts("g", g, dec);
         assert_ne!(a.epoch, b.epoch);
     }
 

@@ -37,10 +37,11 @@
 use std::collections::HashMap;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -54,10 +55,11 @@ use saphyra_graph::{io as graph_io, NodeId};
 use crate::cache::LruCache;
 use crate::http::{read_request, Request, Response};
 use crate::json::Json;
+use crate::persist::{self, valid_graph_name};
 use crate::registry::{GraphEntry, Registry};
 
 /// Service tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker threads handling connections (0 = available parallelism).
     pub workers: usize,
@@ -70,6 +72,14 @@ pub struct ServiceConfig {
     /// Requests served on one connection before the server closes it with
     /// `Connection: close` (0 = unlimited).
     pub max_requests_per_conn: usize,
+    /// State directory for registry persistence. When set, graph loads
+    /// write crash-safe snapshots there ([`crate::persist`]), every
+    /// `/rank` request appends a journal line, and construction restores
+    /// all `*.snap` files into the registry — skipping re-decomposition
+    /// entirely for intact snapshots. `None` disables persistence (the
+    /// pre-PR-4 behavior). Persistence failures degrade with a warning on
+    /// stderr; they never fail a request or a boot.
+    pub state_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -79,6 +89,7 @@ impl Default for ServiceConfig {
             cache_capacity: 128,
             idle_timeout: Duration::from_secs(10),
             max_requests_per_conn: 1024,
+            state_dir: None,
         }
     }
 }
@@ -208,13 +219,33 @@ pub struct Service {
     cache_misses: AtomicU64,
     cache_shared: AtomicU64,
     computations: AtomicU64,
+    decompositions: AtomicU64,
+    snapshots_loaded: AtomicU64,
+    persist: Option<PersistState>,
+    /// Serializes the snapshot-write + registry-insert pair of a graph
+    /// load. Without it, two concurrent same-name loads can finish in
+    /// opposite orders on disk and in memory — the running service would
+    /// then rank one graph and a restart silently restore the other.
+    load_publish: Mutex<()>,
     workers: usize,
     idle_timeout: Duration,
     max_requests_per_conn: usize,
 }
 
+/// Open persistence resources of a service with a state directory.
+#[derive(Debug)]
+struct PersistState {
+    dir: PathBuf,
+    journal: persist::Journal,
+}
+
 impl Service {
-    /// Creates the state for a server with the given configuration.
+    /// Creates the state for a server with the given configuration. With
+    /// [`ServiceConfig::state_dir`] set, the directory is created if
+    /// missing, every snapshot in it is restored into the registry, and
+    /// the request journal is opened for appending. Persistence problems
+    /// (unwritable dir, damaged snapshots) warn on stderr and degrade —
+    /// they never panic and never abort construction.
     pub fn new(cfg: ServiceConfig) -> Self {
         let workers = if cfg.workers == 0 {
             std::thread::available_parallelism()
@@ -223,7 +254,25 @@ impl Service {
         } else {
             cfg.workers
         };
-        Service {
+        let persist = cfg.state_dir.as_ref().and_then(|dir| {
+            let open = std::fs::create_dir_all(dir)
+                .and_then(|()| persist::Journal::open(dir))
+                .map(|journal| PersistState {
+                    dir: dir.clone(),
+                    journal,
+                });
+            match open {
+                Ok(state) => Some(state),
+                Err(e) => {
+                    eprintln!(
+                        "warning: state dir {} unusable ({e}); persistence disabled",
+                        dir.display()
+                    );
+                    None
+                }
+            }
+        });
+        let service = Service {
             registry: Registry::new(),
             cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
             inflight: Mutex::new(HashMap::new()),
@@ -233,10 +282,97 @@ impl Service {
             cache_misses: AtomicU64::new(0),
             cache_shared: AtomicU64::new(0),
             computations: AtomicU64::new(0),
+            decompositions: AtomicU64::new(0),
+            snapshots_loaded: AtomicU64::new(0),
+            persist,
+            load_publish: Mutex::new(()),
             workers,
             idle_timeout: cfg.idle_timeout,
             max_requests_per_conn: cfg.max_requests_per_conn,
+        };
+        // Restore straight from the configured dir, NOT via `persist`: a
+        // readable-but-unwritable state dir (read-only remount, tightened
+        // perms) must still restore every intact snapshot — only the
+        // *write* side (snapshots + journal) degrades.
+        if let Some(dir) = cfg.state_dir.as_ref() {
+            service.restore_from_dir(dir);
         }
+        service
+    }
+
+    /// Restores every `*.snap` snapshot in `dir` into the registry
+    /// (name-sorted). Intact snapshots skip decomposition entirely; a
+    /// snapshot whose decomposition section is damaged or
+    /// version-mismatched falls back to recomputing it from the restored
+    /// graph with a warning (and rewrites the repaired snapshot, so the
+    /// recompute cost is paid once, not on every subsequent boot); a
+    /// snapshot whose graph section is damaged, or whose embedded name
+    /// does not match its file stem, is skipped with a warning. Returns
+    /// `(restored, recomputed)` counts.
+    ///
+    /// `serve --state-dir` boots call this through [`Service::new`]; the
+    /// offline `saphyra snapshot replay` path calls it directly on a
+    /// journal-less service.
+    pub fn restore_from_dir(&self, dir: &Path) -> (usize, usize) {
+        let paths = match persist::scan_snapshots(dir) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("warning: cannot scan {}: {e}", dir.display());
+                return (0, 0);
+            }
+        };
+        let (mut restored, mut recomputed) = (0usize, 0usize);
+        for path in paths {
+            let snap = match persist::load_snapshot(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("warning: skipping snapshot {}: {e}", path.display());
+                    continue;
+                }
+            };
+            // The file stem is the registry's authority on which name a
+            // snapshot serves (`<name>.snap` is what loads write). A file
+            // whose embedded name disagrees — e.g. an offline
+            // `snapshot save --name g other.snap` dropped into the dir —
+            // must not shadow the genuine `g.snap` by scan order.
+            let stem = path.file_stem().and_then(|s| s.to_str());
+            if stem != Some(snap.name.as_str()) {
+                eprintln!(
+                    "warning: skipping snapshot {}: embedded graph name {:?} does not match \
+                     the file stem",
+                    path.display(),
+                    snap.name
+                );
+                continue;
+            }
+            let entry = match snap.dec {
+                Ok(dec) => {
+                    self.snapshots_loaded.fetch_add(1, Ordering::Relaxed);
+                    restored += 1;
+                    GraphEntry::from_parts(snap.name, snap.graph, dec)
+                }
+                Err(reason) => {
+                    eprintln!(
+                        "warning: snapshot {}: decomposition unusable ({reason}); recomputing",
+                        path.display()
+                    );
+                    self.decompositions.fetch_add(1, Ordering::Relaxed);
+                    recomputed += 1;
+                    let entry = GraphEntry::build(snap.name, snap.graph);
+                    // Self-heal: rewrite the repaired snapshot so the next
+                    // boot restores instead of recomputing again.
+                    match persist::save_snapshot(&path, &entry.name, &entry.graph, &entry.dec) {
+                        Ok(()) => eprintln!("repaired snapshot {}", path.display()),
+                        Err(e) => {
+                            eprintln!("warning: cannot rewrite {}: {e}", path.display())
+                        }
+                    }
+                    entry
+                }
+            };
+            self.registry.insert(entry);
+        }
+        (restored, recomputed)
     }
 
     /// The graph registry (pre-loading graphs before `serve` is handy in
@@ -272,6 +408,20 @@ impl Service {
         self.connections.load(Ordering::Relaxed)
     }
 
+    /// Lifetime count of graph decompositions this service computed
+    /// (graph loads plus snapshot-fallback recomputes). A service booted
+    /// purely from intact snapshots reports 0 — the whole point of
+    /// persistence.
+    pub fn decompositions(&self) -> u64 {
+        self.decompositions.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of registry entries restored from snapshots without
+    /// recomputation.
+    pub fn snapshots_loaded(&self) -> u64 {
+        self.snapshots_loaded.load(Ordering::Relaxed)
+    }
+
     /// Routes one request. The boolean asks the runtime to shut down.
     pub fn handle(&self, req: &Request) -> (Response, bool) {
         self.requests.fetch_add(1, Ordering::Relaxed);
@@ -279,7 +429,20 @@ impl Service {
             ("GET", "/healthz") => self.healthz(),
             ("GET", "/graphs") => self.list_graphs(),
             ("POST", "/graphs") => self.load_graph(req),
-            ("POST", "/rank") => self.rank(req),
+            ("POST", "/rank") => {
+                // Parse the body exactly once; ranking and the journal
+                // both consume the same parsed value.
+                let body = req
+                    .body_str()
+                    .map_err(|e| e.to_string())
+                    .and_then(|t| Json::parse(t).map_err(|e| format!("invalid JSON body: {e}")));
+                let resp = match &body {
+                    Ok(json) => self.rank(json),
+                    Err(e) => error_response(400, e.clone()),
+                };
+                self.journal_rank(body.ok(), &resp);
+                resp
+            }
             ("POST", "/shutdown") => {
                 let body = obj(vec![("status", Json::from("shutting down"))]).to_string();
                 return (Response::json(200, body), true);
@@ -304,9 +467,32 @@ impl Service {
             ("cache_misses", Json::from(self.cache_misses())),
             ("cache_shared", Json::from(self.cache_shared())),
             ("computations", Json::from(self.computations())),
+            ("decompositions", Json::from(self.decompositions())),
+            ("snapshots_loaded", Json::from(self.snapshots_loaded())),
         ])
         .to_string();
         Response::json(200, body)
+    }
+
+    /// Appends one journal line for a handled `/rank` request (no-op
+    /// without a state dir). `request` is the already-parsed body (`None`
+    /// when it was not valid JSON). Journal failures warn; the response
+    /// already computed is served regardless.
+    fn journal_rank(&self, request: Option<Json>, resp: &Response) {
+        let Some(p) = &self.persist else { return };
+        let ts = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let cache = resp
+            .headers
+            .iter()
+            .find(|(k, _)| k == "X-Saphyra-Cache")
+            .map(|(_, v)| v.as_str());
+        let line = persist::journal_line(ts, resp.status, cache, request);
+        if let Err(e) = p.journal.append(&line) {
+            eprintln!("warning: journal append failed: {e}");
+        }
     }
 
     fn list_graphs(&self) -> Response {
@@ -326,10 +512,8 @@ impl Service {
         let name = match body.get("name").and_then(Json::as_str) {
             Some(n) if valid_graph_name(n) => n.to_string(),
             Some(n) => {
-                return error_response(
-                    400,
-                    format!("invalid graph name {n:?} (want 1-64 chars of [A-Za-z0-9._-])"),
-                )
+                let why = "want 1-64 chars of [A-Za-z0-9._-], no leading dot";
+                return error_response(400, format!("invalid graph name {n:?} ({why})"));
             }
             None => return error_response(400, "missing required string field \"name\""),
         };
@@ -370,8 +554,33 @@ impl Service {
         };
 
         let entry = GraphEntry::build(name.clone(), graph);
+        self.decompositions.fetch_add(1, Ordering::Relaxed);
         let info = graph_info(&entry);
+        // Publish atomically with respect to other loads: snapshot write
+        // and registry insert must land in the same order for every
+        // loader, or disk and memory could end up holding different
+        // graphs under one name. The expensive decomposition above stays
+        // outside the critical section.
+        let publish = self.load_publish.lock().unwrap();
+        // Snapshot before publishing: a crash right after the write leaves
+        // a snapshot for a load the client never saw confirmed — harmless
+        // (the next boot restores it); the reverse order could confirm a
+        // load that a restart then forgets.
+        let persisted = match &self.persist {
+            None => None,
+            Some(p) => {
+                let path = persist::snapshot_path(&p.dir, &name);
+                match persist::save_snapshot(&path, &name, &entry.graph, &entry.dec) {
+                    Ok(()) => Some(true),
+                    Err(e) => {
+                        eprintln!("warning: cannot snapshot {}: {e}", path.display());
+                        Some(false)
+                    }
+                }
+            }
+        };
         let replaced = self.registry.insert(entry);
+        drop(publish);
         if replaced {
             // Correctness is already guaranteed by the epoch in RankKey
             // (old-entry results can never alias the new load); dropping
@@ -382,11 +591,14 @@ impl Service {
             unreachable!()
         };
         fields.push(("replaced".to_string(), Json::Bool(replaced)));
+        if let Some(persisted) = persisted {
+            fields.push(("persisted".to_string(), Json::Bool(persisted)));
+        }
         Response::json(200, Json::Obj(fields).to_string())
     }
 
-    fn rank(&self, req: &Request) -> Response {
-        let p = match self.parse_rank_request(req) {
+    fn rank(&self, body: &Json) -> Response {
+        let p = match self.parse_rank_request(body) {
             Ok(p) => p,
             Err(resp) => return *resp,
         };
@@ -466,13 +678,9 @@ impl Service {
         Response::json(200, body.as_str()).with_header("X-Saphyra-Cache", "miss")
     }
 
-    fn parse_rank_request(&self, req: &Request) -> Result<RankParams, Box<Response>> {
+    /// Validates an already-parsed `/rank` body into [`RankParams`].
+    fn parse_rank_request(&self, body: &Json) -> Result<RankParams, Box<Response>> {
         let bad = |msg: String| Box::new(error_response(400, msg));
-        let body = req
-            .body_str()
-            .map_err(|e| bad(e.to_string()))
-            .and_then(|t| Json::parse(t).map_err(|e| bad(format!("invalid JSON body: {e}"))))?;
-
         let graph = body
             .get("graph")
             .and_then(Json::as_str)
@@ -498,10 +706,10 @@ impl Service {
             targets.push(id as NodeId);
         }
 
-        let eps = opt_f64(&body, "eps", 0.01).map_err(&bad)?;
-        let delta = opt_f64(&body, "delta", 0.01).map_err(&bad)?;
-        let seed = opt_u64(&body, "seed", 2022).map_err(&bad)?;
-        let khops = opt_u64(&body, "khops", 5).map_err(&bad)? as usize;
+        let eps = opt_f64(body, "eps", 0.01).map_err(&bad)?;
+        let delta = opt_f64(body, "delta", 0.01).map_err(&bad)?;
+        let seed = opt_u64(body, "seed", 2022).map_err(&bad)?;
+        let khops = opt_u64(body, "khops", 5).map_err(&bad)? as usize;
 
         params::check_eps(eps).map_err(&bad)?;
         params::check_delta(delta).map_err(&bad)?;
@@ -537,14 +745,6 @@ fn opt_u64(body: &Json, key: &str, default: u64) -> Result<u64, String> {
             .as_u64()
             .ok_or_else(|| format!("field {key:?} must be a non-negative integer <= 2^53")),
     }
-}
-
-fn valid_graph_name(name: &str) -> bool {
-    !name.is_empty()
-        && name.len() <= 64
-        && name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
 }
 
 fn graph_info(entry: &GraphEntry) -> Json {
@@ -1089,6 +1289,7 @@ mod tests {
             r#"{}"#,
             r#"{"name":"x"}"#,
             r#"{"name":"../etc","path":"/etc/passwd"}"#,
+            r#"{"name":".g","network":"flickr"}"#, // leading dot: the boot scan would skip its snapshot
             r#"{"name":"x","network":"nope"}"#,
             r#"{"name":"x","network":"flickr","size":"huge"}"#,
             r#"{"name":"x","path":"/nonexistent/file.txt"}"#,

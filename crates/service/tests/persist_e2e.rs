@@ -1,0 +1,427 @@
+//! End-to-end registry-persistence tests: restart from snapshots with
+//! *zero* recomputation, graceful degradation on damaged snapshot
+//! sections, journal appending and replay — all over real TCP sockets.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use saphyra_service::http::request;
+use saphyra_service::json::Json;
+use saphyra_service::persist;
+use saphyra_service::server::{serve, Service, ServiceConfig};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh per-test state directory.
+fn state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "saphyra_persist_e2e_{tag}_{}_{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg_with(dir: &std::path::Path) -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        cache_capacity: 16,
+        state_dir: Some(dir.to_path_buf()),
+        ..ServiceConfig::default()
+    }
+}
+
+const RANK_BODY: &str =
+    r#"{"graph":"g","targets":[1,5,9,13],"measure":"bc","eps":0.15,"delta":0.1,"seed":42}"#;
+
+fn health(addr: &str) -> Json {
+    let resp = request(addr, "GET", "/healthz", None).unwrap();
+    Json::parse(&resp.body).unwrap()
+}
+
+fn counter(h: &Json, key: &str) -> u64 {
+    h.get(key).and_then(Json::as_u64).unwrap()
+}
+
+#[test]
+fn restart_from_snapshot_is_byte_identical_with_zero_decompositions() {
+    let dir = state_dir("restart");
+
+    // First life: load a graph (decomposing it once), rank, shut down.
+    let first_body;
+    {
+        let handle = serve("127.0.0.1:0", cfg_with(&dir)).unwrap();
+        let addr = handle.addr().to_string();
+        let resp = request(
+            &addr,
+            "POST",
+            "/graphs",
+            Some(r#"{"name":"g","network":"flickr","size":"tiny","seed":5}"#),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = Json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("persisted").unwrap().as_bool(), Some(true));
+
+        let resp = request(&addr, "POST", "/rank", Some(RANK_BODY)).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        first_body = resp.body;
+
+        let h = health(&addr);
+        assert_eq!(counter(&h, "decompositions"), 1);
+        assert_eq!(counter(&h, "snapshots_loaded"), 0);
+        handle.shutdown_and_join();
+    }
+    assert!(persist::snapshot_path(&dir, "g").exists());
+
+    // Second life: the registry must come back from the snapshot alone —
+    // zero decompositions — and serve byte-identical rank responses.
+    {
+        let handle = serve("127.0.0.1:0", cfg_with(&dir)).unwrap();
+        let addr = handle.addr().to_string();
+        let h = health(&addr);
+        assert_eq!(counter(&h, "graphs"), 1, "snapshot not restored");
+        assert_eq!(
+            counter(&h, "decompositions"),
+            0,
+            "restart recomputed a decomposition"
+        );
+        assert_eq!(counter(&h, "snapshots_loaded"), 1);
+
+        let resp = request(&addr, "POST", "/rank", Some(RANK_BODY)).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        // Fresh process, fresh cache: this is a cold computation from the
+        // restored decomposition, not a replayed cache entry.
+        assert_eq!(resp.header("x-saphyra-cache"), Some("miss"));
+        assert_eq!(
+            resp.body, first_body,
+            "restored decomposition ranked differently"
+        );
+        // Ranking used the restored entry; still no decomposition ran.
+        assert_eq!(counter(&health(&addr), "decompositions"), 0);
+        handle.shutdown_and_join();
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn damaged_dec_section_recomputes_and_still_serves() {
+    let dir = state_dir("dec_corrupt");
+    let baseline;
+    {
+        let handle = serve("127.0.0.1:0", cfg_with(&dir)).unwrap();
+        let addr = handle.addr().to_string();
+        request(
+            &addr,
+            "POST",
+            "/graphs",
+            Some(r#"{"name":"g","network":"flickr","size":"tiny","seed":5}"#),
+        )
+        .unwrap();
+        baseline = request(&addr, "POST", "/rank", Some(RANK_BODY))
+            .unwrap()
+            .body;
+        handle.shutdown_and_join();
+    }
+
+    // Flip a byte inside the decomposition payload (5 bytes from the end:
+    // past the payload start, before the trailing 4-byte CRC).
+    let path = persist::snapshot_path(&dir, "g");
+    let mut bytes = fs::read(&path).unwrap();
+    let n = bytes.len();
+    bytes[n - 5] ^= 0x01;
+    fs::write(&path, bytes).unwrap();
+
+    let handle = serve("127.0.0.1:0", cfg_with(&dir)).unwrap();
+    let addr = handle.addr().to_string();
+    let h = health(&addr);
+    assert_eq!(counter(&h, "graphs"), 1, "graph must survive dec damage");
+    assert_eq!(counter(&h, "decompositions"), 1, "fallback must recompute");
+    assert_eq!(counter(&h, "snapshots_loaded"), 0);
+    // The recomputed decomposition is identical math: same bytes out.
+    let resp = request(&addr, "POST", "/rank", Some(RANK_BODY)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(resp.body, baseline);
+    handle.shutdown_and_join();
+
+    // Self-healing: the fallback rewrote the repaired snapshot, so the
+    // NEXT boot restores with zero recomputation again.
+    assert!(persist::load_snapshot(&path).unwrap().dec.is_ok());
+    let handle = serve("127.0.0.1:0", cfg_with(&dir)).unwrap();
+    let addr = handle.addr().to_string();
+    let h = health(&addr);
+    assert_eq!(counter(&h, "decompositions"), 0, "repair did not stick");
+    assert_eq!(counter(&h, "snapshots_loaded"), 1);
+    handle.shutdown_and_join();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_with_mismatched_embedded_name_cannot_shadow_the_real_one() {
+    let dir = state_dir("shadow");
+    {
+        let handle = serve("127.0.0.1:0", cfg_with(&dir)).unwrap();
+        let addr = handle.addr().to_string();
+        request(
+            &addr,
+            "POST",
+            "/graphs",
+            Some(r#"{"name":"g","network":"flickr","size":"tiny","seed":5}"#),
+        )
+        .unwrap();
+        handle.shutdown_and_join();
+    }
+    // Forge a later-sorting snapshot whose EMBEDDED name is also "g" but
+    // holds a different graph: by scan order it would replace the genuine
+    // g.snap in the registry if embedded names were trusted.
+    let decoy_graph = saphyra_graph::fixtures::grid_graph(3, 3);
+    let decoy_dec = saphyra::bc::BcDecomposition::compute(&decoy_graph);
+    persist::save_snapshot(
+        &persist::snapshot_path(&dir, "zz"),
+        "g",
+        &decoy_graph,
+        &decoy_dec,
+    )
+    .unwrap();
+
+    let handle = serve("127.0.0.1:0", cfg_with(&dir)).unwrap();
+    let addr = handle.addr().to_string();
+    let h = health(&addr);
+    assert_eq!(counter(&h, "graphs"), 1, "decoy must be skipped, g kept");
+    let resp = request(&addr, "GET", "/graphs", None).unwrap();
+    let v = Json::parse(&resp.body).unwrap();
+    let graphs = v.get("graphs").unwrap().as_arr().unwrap();
+    assert_eq!(graphs[0].get("name").unwrap().as_str(), Some("g"));
+    // The real flickr-tiny graph (600 nodes), not the 9-node decoy.
+    assert_eq!(graphs[0].get("nodes").unwrap().as_u64(), Some(600));
+    handle.shutdown_and_join();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn read_only_state_dir_still_restores_snapshots() {
+    let dir = state_dir("readonly");
+    {
+        let handle = serve("127.0.0.1:0", cfg_with(&dir)).unwrap();
+        let addr = handle.addr().to_string();
+        request(
+            &addr,
+            "POST",
+            "/graphs",
+            Some(r#"{"name":"g","network":"flickr","size":"tiny","seed":5}"#),
+        )
+        .unwrap();
+        handle.shutdown_and_join();
+    }
+    // Strip the write bit: the journal cannot open, but the snapshots are
+    // still readable — a boot must restore them, not start empty.
+    let mut perms = fs::metadata(&dir).unwrap().permissions();
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::PermissionsExt;
+        perms.set_mode(0o555);
+        fs::set_permissions(&dir, perms.clone()).unwrap();
+    }
+    let handle = serve("127.0.0.1:0", cfg_with(&dir)).unwrap();
+    let addr = handle.addr().to_string();
+    let h = health(&addr);
+    assert_eq!(counter(&h, "graphs"), 1, "read-only dir lost the registry");
+    assert_eq!(counter(&h, "snapshots_loaded"), 1);
+    assert_eq!(counter(&h, "decompositions"), 0);
+    let resp = request(&addr, "POST", "/rank", Some(RANK_BODY)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    handle.shutdown_and_join();
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::PermissionsExt;
+        perms.set_mode(0o755);
+        fs::set_permissions(&dir, perms).unwrap();
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn damaged_graph_section_is_skipped_not_fatal() {
+    let dir = state_dir("graph_corrupt");
+    {
+        let handle = serve("127.0.0.1:0", cfg_with(&dir)).unwrap();
+        let addr = handle.addr().to_string();
+        request(
+            &addr,
+            "POST",
+            "/graphs",
+            Some(r#"{"name":"g","network":"flickr","size":"tiny","seed":5}"#),
+        )
+        .unwrap();
+        handle.shutdown_and_join();
+    }
+
+    // Corrupt the graph section (just past magic + version + length).
+    let path = persist::snapshot_path(&dir, "g");
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[25] ^= 0xFF;
+    fs::write(&path, bytes).unwrap();
+
+    // The boot survives; the snapshot is just skipped.
+    let handle = serve("127.0.0.1:0", cfg_with(&dir)).unwrap();
+    let addr = handle.addr().to_string();
+    let h = health(&addr);
+    assert_eq!(counter(&h, "graphs"), 0, "damaged snapshot must be skipped");
+    assert_eq!(counter(&h, "snapshots_loaded"), 0);
+    // The server still works: loading the graph again overwrites the
+    // damaged snapshot with a good one.
+    let resp = request(
+        &addr,
+        "POST",
+        "/graphs",
+        Some(r#"{"name":"g","network":"flickr","size":"tiny","seed":5}"#),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    handle.shutdown_and_join();
+    assert!(persist::load_snapshot(&path).unwrap().dec.is_ok());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_records_requests_and_replays_cleanly() {
+    let dir = state_dir("journal");
+    {
+        let handle = serve("127.0.0.1:0", cfg_with(&dir)).unwrap();
+        let addr = handle.addr().to_string();
+        request(
+            &addr,
+            "POST",
+            "/graphs",
+            Some(r#"{"name":"g","network":"flickr","size":"tiny","seed":5}"#),
+        )
+        .unwrap();
+        // Two distinct rankings, one repeat (cache hit), one rejected.
+        for body in [
+            RANK_BODY,
+            r#"{"graph":"g","targets":[2,3],"eps":0.2,"delta":0.1,"seed":7}"#,
+            RANK_BODY,
+        ] {
+            assert_eq!(
+                request(&addr, "POST", "/rank", Some(body)).unwrap().status,
+                200
+            );
+        }
+        let resp = request(
+            &addr,
+            "POST",
+            "/rank",
+            Some(r#"{"graph":"nope","targets":[1]}"#),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 404);
+        handle.shutdown_and_join();
+    }
+
+    // Journal shape: one line per /rank request, cache disposition kept.
+    let journal = dir.join(persist::JOURNAL_FILE);
+    let text = fs::read_to_string(&journal).unwrap();
+    let lines: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+    assert_eq!(lines.len(), 4, "{text}");
+    let cache_of = |i: usize| lines[i].get("cache").unwrap().as_str().map(String::from);
+    assert_eq!(cache_of(0).as_deref(), Some("miss"));
+    assert_eq!(cache_of(1).as_deref(), Some("miss"));
+    assert_eq!(cache_of(2).as_deref(), Some("hit"));
+    assert_eq!(lines[3].get("cache"), Some(&Json::Null));
+    assert_eq!(lines[3].get("status").unwrap().as_u64(), Some(404));
+    assert_eq!(
+        lines[0]
+            .get("request")
+            .unwrap()
+            .get("graph")
+            .unwrap()
+            .as_str(),
+        Some("g")
+    );
+
+    // Replay against a journal-less service restored from the snapshots:
+    // every recorded request (including the 404) reproduces its status.
+    let service = Service::new(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let (restored, recomputed) = service.restore_from_dir(&dir);
+    assert_eq!((restored, recomputed), (1, 0));
+    let stats = persist::replay_journal(&journal, &service).unwrap();
+    assert_eq!(stats.lines, 4);
+    assert_eq!(stats.replayed, 4);
+    assert_eq!(stats.skipped, 0);
+    assert_eq!(stats.status_mismatches, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_same_name_loads_leave_disk_and_memory_agreeing() {
+    // Regression: snapshot write and registry insert used to be unordered
+    // across loaders — thread A's snapshot could land last on disk while
+    // thread B's entry landed last in memory, so a restart would silently
+    // restore a different graph than the one being served.
+    use saphyra_service::http::Request;
+    let dir = state_dir("publish_race");
+    let svc = Service::new(cfg_with(&dir));
+    std::thread::scope(|scope| {
+        for seed in 0..8u64 {
+            let svc = &svc;
+            scope.spawn(move || {
+                let body =
+                    format!(r#"{{"name":"g","network":"flickr","size":"tiny","seed":{seed}}}"#);
+                let (resp, _) = svc.handle(&Request {
+                    method: "POST".to_string(),
+                    path: "/graphs".to_string(),
+                    headers: Vec::new(),
+                    body: body.into_bytes(),
+                });
+                assert_eq!(resp.status, 200, "{}", resp.body);
+            });
+        }
+    });
+    // Whatever interleaving happened, the snapshot on disk and the entry
+    // in memory must describe the same graph.
+    let snap = persist::load_snapshot(&persist::snapshot_path(&dir, "g")).unwrap();
+    let entry = svc.registry().get("g").unwrap();
+    let edges = |g: &saphyra_graph::Graph| {
+        let mut buf = Vec::new();
+        saphyra_graph::io::write_edge_list(g, &mut buf).unwrap();
+        buf
+    };
+    assert_eq!(
+        edges(&snap.graph),
+        edges(&entry.graph),
+        "disk and memory diverged under concurrent same-name loads"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restart_mints_fresh_epochs_for_restored_entries() {
+    let dir = state_dir("epochs");
+    {
+        let handle = serve("127.0.0.1:0", cfg_with(&dir)).unwrap();
+        let addr = handle.addr().to_string();
+        request(
+            &addr,
+            "POST",
+            "/graphs",
+            Some(r#"{"name":"g","network":"flickr","size":"tiny","seed":5}"#),
+        )
+        .unwrap();
+        handle.shutdown_and_join();
+    }
+    // Two services restored from the same snapshot in one process: their
+    // entries must not share an epoch (epochs are never persisted).
+    let restore = || {
+        let s = Service::new(ServiceConfig::default());
+        s.restore_from_dir(&dir);
+        s.registry().get("g").unwrap().epoch
+    };
+    let (a, b) = (restore(), restore());
+    assert_ne!(a, b, "restored entries reused a persisted epoch");
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -7,7 +7,11 @@
 //!                   [--eps 0.01] [--delta 0.01] [--seed 7] [--khops 5]
 //! saphyra-cli rank  <edge-list> --random 100 [...]
 //! saphyra-cli gen   <flickr|livejournal|usa-road|orkut> <tiny|small|full> <out-file>
-//! saphyra-cli serve <addr> [--workers N] [--cache N]
+//! saphyra-cli serve <addr> [--workers N] [--cache N] [--state-dir DIR]
+//! saphyra-cli snapshot save <edge-list> <out.snap> [--name G]
+//! saphyra-cli snapshot load <file.snap>
+//! saphyra-cli snapshot verify <file.snap>
+//! saphyra-cli snapshot replay <state-dir>
 //! saphyra-cli query <addr> health
 //! saphyra-cli query <addr> graphs
 //! saphyra-cli query <addr> load --name G (--path <edge-list> | --gen <network>:<size>) [--seed S]
@@ -18,9 +22,16 @@
 //!
 //! `serve` runs the long-lived ranking service of [`saphyra_service`]
 //! (bind to port 0 for an ephemeral port; the bound address is printed as
-//! `listening on <addr>`). `query` is the tiny client used by tests/CI; it
-//! talks over one persistent (keep-alive) connection, and `rank --repeat N`
-//! replays the same request N times on it, printing one body per line.
+//! `listening on <addr>`). With `--state-dir` the registry persists across
+//! restarts: graph loads write crash-safe snapshots, `/rank` requests
+//! append to a journal, and boots restore every snapshot without
+//! recomputing decompositions. `snapshot` drives the same persistence code
+//! paths offline: `save` precomputes a snapshot from an edge list, `load`
+//! and `verify` inspect one, `replay` re-issues a state dir's journaled
+//! requests against its snapshots. `query` is the tiny client used by
+//! tests/CI; it talks over one persistent (keep-alive) connection, and
+//! `rank --repeat N` replays the same request N times on it, printing one
+//! body per line.
 
 use std::process::ExitCode;
 
@@ -61,7 +72,9 @@ enum Command {
         addr: String,
         workers: usize,
         cache: usize,
+        state_dir: Option<String>,
     },
+    Snapshot(SnapshotCmd),
     Query {
         addr: String,
         method: &'static str,
@@ -77,6 +90,25 @@ enum Command {
 enum TargetSpec {
     List(Vec<NodeId>),
     Random(usize),
+}
+
+/// Offline snapshot operations (same code paths as `serve --state-dir`).
+#[derive(Debug, Clone, PartialEq)]
+enum SnapshotCmd {
+    Save {
+        input: String,
+        out: String,
+        name: Option<String>,
+    },
+    Load {
+        path: String,
+    },
+    Verify {
+        path: String,
+    },
+    Replay {
+        dir: String,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,6 +221,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         "serve" => {
             let addr = it.next().ok_or("serve: missing bind address")?.clone();
             let (mut workers, mut cache) = (0usize, 128usize);
+            let mut state_dir = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--workers" => {
@@ -197,6 +230,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                             .map_err(|e| format!("--workers: {e}"))?;
                     }
                     "--cache" => cache = next_parse(&mut it, "--cache")?,
+                    "--state-dir" => {
+                        state_dir = Some(it.next().ok_or("--state-dir needs a value")?.clone())
+                    }
                     other => return Err(format!("serve: unknown flag {other}")),
                 }
             }
@@ -204,7 +240,48 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 addr,
                 workers,
                 cache,
+                state_dir,
             })
+        }
+        "snapshot" => {
+            let action = it.next().ok_or("snapshot: missing action")?;
+            let cmd = match action.as_str() {
+                "save" => {
+                    let input = it.next().ok_or("snapshot save: missing edge-list")?.clone();
+                    let out = it
+                        .next()
+                        .ok_or("snapshot save: missing output path")?
+                        .clone();
+                    let mut name = None;
+                    while let Some(flag) = it.next() {
+                        match flag.as_str() {
+                            "--name" => {
+                                name = Some(it.next().ok_or("--name needs a value")?.clone())
+                            }
+                            other => return Err(format!("snapshot save: unknown flag {other}")),
+                        }
+                    }
+                    SnapshotCmd::Save { input, out, name }
+                }
+                "load" => SnapshotCmd::Load {
+                    path: it.next().ok_or("snapshot load: missing path")?.clone(),
+                },
+                "verify" => SnapshotCmd::Verify {
+                    path: it.next().ok_or("snapshot verify: missing path")?.clone(),
+                },
+                "replay" => SnapshotCmd::Replay {
+                    dir: it
+                        .next()
+                        .ok_or("snapshot replay: missing state dir")?
+                        .clone(),
+                },
+                other => {
+                    return Err(format!(
+                        "snapshot: unknown action {other}; expected save|load|verify|replay"
+                    ))
+                }
+            };
+            Ok(Command::Snapshot(cmd))
         }
         "query" => {
             let addr = it.next().ok_or("query: missing service address")?.clone();
@@ -212,7 +289,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             parse_query(addr, action, &mut it)
         }
         other => Err(format!(
-            "unknown command {other}; expected info|exact|rank|gen|serve|query"
+            "unknown command {other}; expected info|exact|rank|gen|serve|snapshot|query"
         )),
     }
 }
@@ -453,19 +530,26 @@ fn run(cmd: Command) -> Result<(), String> {
             addr,
             workers,
             cache,
+            state_dir,
         } => {
             let cfg = saphyra_service::ServiceConfig {
                 workers,
                 cache_capacity: cache,
+                state_dir: state_dir.map(std::path::PathBuf::from),
                 ..Default::default()
             };
             let handle = saphyra_service::serve(&addr, cfg)
                 .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            let restored = handle.service().snapshots_loaded();
+            if restored > 0 {
+                println!("restored {restored} graph(s) from snapshots");
+            }
             println!("listening on {}", handle.addr());
             handle.join();
             println!("shut down");
             Ok(())
         }
+        Command::Snapshot(cmd) => run_snapshot(cmd),
         Command::Query {
             addr,
             method,
@@ -483,6 +567,121 @@ fn run(cmd: Command) -> Result<(), String> {
                 if resp.status != 200 {
                     return Err(format!("service returned HTTP {}", resp.status));
                 }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Offline snapshot operations — the same [`saphyra_service::persist`]
+/// code paths `serve --state-dir` uses, runnable without a server.
+fn run_snapshot(cmd: SnapshotCmd) -> Result<(), String> {
+    use saphyra_service::persist;
+    use std::path::Path;
+    use std::time::Instant;
+    match cmd {
+        SnapshotCmd::Save { input, out, name } => {
+            let g = load(&input)?;
+            // Default the registry name to the snapshot's file stem, the
+            // name `serve --state-dir` would restore it under.
+            let stem = Path::new(&out)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| format!("cannot derive a graph name from {out:?}; pass --name"))?
+                .to_string();
+            let name = name.unwrap_or_else(|| stem.clone());
+            // A snapshot only restores if its name is valid AND matches
+            // its file stem — enforce both here, the same way the HTTP
+            // load path does, instead of writing a file `serve
+            // --state-dir` would silently skip.
+            if !saphyra_service::persist::valid_graph_name(&name) {
+                return Err(format!(
+                    "snapshot save: invalid graph name {name:?} (want 1-64 chars of \
+                     [A-Za-z0-9._-], no leading dot)"
+                ));
+            }
+            if name != stem {
+                return Err(format!(
+                    "snapshot save: graph name {name:?} does not match the output file stem \
+                     {stem:?} — `serve --state-dir` would skip this snapshot at boot; \
+                     write it as {name}.snap or drop --name"
+                ));
+            }
+            let t0 = Instant::now();
+            let dec = saphyra::bc::BcDecomposition::compute(&g);
+            let dt = t0.elapsed();
+            persist::save_snapshot(Path::new(&out), &name, &g, &dec).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {out} (graph {name:?}: {} nodes, {} edges, {} bicomps; decomposed in {dt:.1?})",
+                g.num_nodes(),
+                g.num_edges(),
+                dec.bic.num_bicomps
+            );
+            Ok(())
+        }
+        SnapshotCmd::Load { path } => {
+            let t0 = Instant::now();
+            let snap = persist::load_snapshot(Path::new(&path)).map_err(|e| e.to_string())?;
+            let dec = match snap.dec {
+                Ok(dec) => dec,
+                Err(reason) => {
+                    // Same degradation as a `serve --state-dir` boot.
+                    eprintln!("warning: decomposition unusable ({reason}); recomputing");
+                    saphyra::bc::BcDecomposition::compute(&snap.graph)
+                }
+            };
+            println!("graph            {}", snap.name);
+            println!("nodes            {}", snap.graph.num_nodes());
+            println!("edges            {}", snap.graph.num_edges());
+            println!("bi-components    {}", dec.bic.num_bicomps);
+            println!("gamma (Eq. 19)   {:.6}", dec.gamma);
+            println!("loaded in        {:.1?}", t0.elapsed());
+            Ok(())
+        }
+        SnapshotCmd::Verify { path } => {
+            // Strict: a snapshot whose decomposition section is damaged
+            // still *boots* (with recomputation), but it does not verify.
+            let snap = persist::load_snapshot(Path::new(&path)).map_err(|e| e.to_string())?;
+            if let Err(reason) = snap.dec {
+                return Err(format!("decomposition section unusable: {reason}"));
+            }
+            println!(
+                "ok: {path} (graph {:?}, {} nodes, {} edges, format v{})",
+                snap.name,
+                snap.graph.num_nodes(),
+                snap.graph.num_edges(),
+                persist::SNAPSHOT_VERSION
+            );
+            Ok(())
+        }
+        SnapshotCmd::Replay { dir } => {
+            let dir = Path::new(&dir);
+            // A journal-less service: replay must not append to the very
+            // journal it is reading.
+            let service = saphyra_service::Service::new(saphyra_service::ServiceConfig {
+                workers: 1,
+                ..Default::default()
+            });
+            let (restored, recomputed) = service.restore_from_dir(dir);
+            if restored + recomputed == 0 {
+                return Err(format!("no usable snapshots in {}", dir.display()));
+            }
+            let journal = dir.join(persist::JOURNAL_FILE);
+            let stats = persist::replay_journal(&journal, &service)
+                .map_err(|e| format!("cannot replay {}: {e}", journal.display()))?;
+            println!(
+                "replayed {} of {} journal line(s) against {} snapshot graph(s); {} skipped, {} status mismatch(es)",
+                stats.replayed,
+                stats.lines,
+                restored + recomputed,
+                stats.skipped,
+                stats.status_mismatches
+            );
+            if stats.status_mismatches > 0 {
+                return Err(format!(
+                    "{} replayed request(s) returned a different status than recorded",
+                    stats.status_mismatches
+                ));
             }
             Ok(())
         }
@@ -654,10 +853,17 @@ mod tests {
             Command::Serve {
                 addr: "127.0.0.1:0".into(),
                 workers: 2,
-                cache: 9
+                cache: 9,
+                state_dir: None
             }
         );
+        let c = parse_args(&sv(&["serve", "127.0.0.1:0", "--state-dir", "/tmp/sd"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Serve { state_dir: Some(d), .. } if d == "/tmp/sd"
+        ));
         assert!(parse_args(&sv(&["serve", "127.0.0.1:0", "--workers", "0"])).is_err());
+        assert!(parse_args(&sv(&["serve", "127.0.0.1:0", "--state-dir"])).is_err());
 
         let c = parse_args(&sv(&["query", "h:1", "health"])).unwrap();
         assert!(matches!(
@@ -838,6 +1044,82 @@ mod tests {
         assert!(q(&["rank", "--graph", "nope", "--targets", "1"]).is_err());
         q(&["shutdown"]).unwrap();
         handle.join();
+    }
+
+    #[test]
+    fn parses_snapshot_actions() {
+        let c = parse_args(&sv(&["snapshot", "save", "g.txt", "g.snap", "--name", "g"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Snapshot(SnapshotCmd::Save {
+                input: "g.txt".into(),
+                out: "g.snap".into(),
+                name: Some("g".into())
+            })
+        );
+        assert_eq!(
+            parse_args(&sv(&["snapshot", "verify", "g.snap"])).unwrap(),
+            Command::Snapshot(SnapshotCmd::Verify {
+                path: "g.snap".into()
+            })
+        );
+        assert_eq!(
+            parse_args(&sv(&["snapshot", "replay", "state"])).unwrap(),
+            Command::Snapshot(SnapshotCmd::Replay {
+                dir: "state".into()
+            })
+        );
+        assert!(parse_args(&sv(&["snapshot"])).is_err());
+        assert!(parse_args(&sv(&["snapshot", "frobnicate"])).is_err());
+        assert!(parse_args(&sv(&["snapshot", "save", "g.txt"])).is_err());
+    }
+
+    #[test]
+    fn snapshot_save_load_verify_round_trip() {
+        let dir = std::env::temp_dir().join(format!("saphyra_cli_snap_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("grid.txt");
+        saphyra_graph::io::save_edge_list(&saphyra_graph::fixtures::grid_graph(4, 4), &edges)
+            .unwrap();
+        let snap = dir.join("grid.snap");
+        let s = |args: &[&str]| run(parse_args(&sv(args)).unwrap());
+        s(&[
+            "snapshot",
+            "save",
+            edges.to_str().unwrap(),
+            snap.to_str().unwrap(),
+        ])
+        .unwrap();
+        s(&["snapshot", "verify", snap.to_str().unwrap()]).unwrap();
+        s(&["snapshot", "load", snap.to_str().unwrap()]).unwrap();
+        // Names that could never restore are rejected up front: a
+        // dot-prefixed stem (the boot scan skips dotfiles) and a --name
+        // that disagrees with the output file stem.
+        let hidden = dir.join(".hidden.snap");
+        assert!(s(&[
+            "snapshot",
+            "save",
+            edges.to_str().unwrap(),
+            hidden.to_str().unwrap()
+        ])
+        .is_err());
+        assert!(!hidden.exists());
+        assert!(s(&[
+            "snapshot",
+            "save",
+            edges.to_str().unwrap(),
+            snap.to_str().unwrap(),
+            "--name",
+            "other"
+        ])
+        .is_err());
+        // A corrupted file fails verify with a checksum error.
+        let mut bytes = std::fs::read(&snap).unwrap();
+        bytes[40] ^= 0xFF;
+        std::fs::write(&snap, bytes).unwrap();
+        assert!(s(&["snapshot", "verify", snap.to_str().unwrap()]).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
