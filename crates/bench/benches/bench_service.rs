@@ -11,6 +11,15 @@
 //! client thread), so the keep-alive win on the cache-hit fast path is an
 //! explicit number in the bench output, alongside the observed cache
 //! hit/miss/shared and computation counts.
+//!
+//! Two reactor-era scenarios ride along: **pipelined** rounds (each
+//! client writes its whole batch before reading any response — the
+//! event-driven runtime's request-bounded worker pool must keep up) and a
+//! **slow-loris** round (64 parked idle connections while the hot
+//! keep-alive round runs — under the old thread-per-connection runtime
+//! this collapsed throughput to the idle-timeout rate). The keep-alive vs
+//! pipelined before/after table is also recorded in `BENCH_service.json`
+//! at the workspace root.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -90,6 +99,30 @@ fn fire_round(addr: &str, keep_alive: bool, seed_of: impl Fn(usize) -> u64 + Syn
     t0.elapsed().as_secs_f64()
 }
 
+/// Fires `REQUESTS_PER_ROUND` identical hot requests, each client thread
+/// pipelining its whole share over one connection (all requests written
+/// before any response is read); returns elapsed seconds.
+fn fire_round_pipelined(addr: &str, seed: u64) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENT_THREADS {
+            scope.spawn(move || {
+                let mut client = Client::new(addr);
+                let body = rank_body(seed);
+                let batch: Vec<(&str, &str, Option<&str>)> = (0..REQUESTS_PER_ROUND
+                    / CLIENT_THREADS)
+                    .map(|_| ("POST", "/rank", Some(body.as_str())))
+                    .collect();
+                let responses = client.pipeline(&batch).expect("pipeline");
+                for r in &responses {
+                    assert_eq!(r.status, 200, "{}", r.body);
+                }
+            });
+        }
+    });
+    t0.elapsed().as_secs_f64()
+}
+
 fn bench_service(c: &mut Criterion) {
     let (handle, addr) = start_server(0);
 
@@ -160,6 +193,71 @@ fn bench_service(c: &mut Criterion) {
         );
     }
     eprintln!();
+
+    // Before/after table: plain keep-alive (request-response round trips)
+    // vs pipelined (batch written up front) on the same hot request, best
+    // of 3 rounds each to shave scheduler noise. Recorded in
+    // BENCH_service.json so the numbers live in the repo, not a scrollback.
+    let best = |f: &dyn Fn() -> f64| (0..3).map(|_| f()).fold(f64::INFINITY, f64::min);
+    let ka_dt = best(&|| fire_round(&addr, true, |_| 31));
+    let pipe_dt = best(&|| fire_round_pipelined(&addr, 31));
+    let (ka_rps, pipe_rps) = (
+        REQUESTS_PER_ROUND as f64 / ka_dt,
+        REQUESTS_PER_ROUND as f64 / pipe_dt,
+    );
+
+    // Slow-loris: 64 idle connections parked while the hot keep-alive
+    // round runs. Under the reactor runtime they are invisible to the
+    // worker pool; under the old one-worker-per-connection runtime this
+    // round collapsed to the idle-timeout rate.
+    let idles: Vec<_> = (0..64)
+        .map(|_| std::net::TcpStream::connect(&addr).expect("idle connect"))
+        .collect();
+    while service.open_connections() < 64 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let loris_dt = best(&|| fire_round(&addr, true, |_| 31));
+    let loris_rps = REQUESTS_PER_ROUND as f64 / loris_dt;
+    drop(idles);
+
+    eprintln!("keep-alive vs pipelined (hot cache path, best of 3 rounds):");
+    eprintln!("{:>24} {:>12}", "scenario", "req/s");
+    eprintln!("{:>24} {ka_rps:>12.0}", "keep-alive");
+    eprintln!(
+        "{:>24} {pipe_rps:>12.0}  ({:.2}x)",
+        "pipelined",
+        pipe_rps / ka_rps
+    );
+    eprintln!(
+        "{:>24} {loris_rps:>12.0}  ({:.2}x of quiet)",
+        "keep-alive+64 idle",
+        loris_rps / ka_rps
+    );
+    eprintln!();
+
+    let json = format!(
+        "{{\"clients\":{CLIENT_THREADS},\"requests_per_round\":{REQUESTS_PER_ROUND},\
+         \"keepalive_rps\":{ka_rps:.0},\"pipelined_rps\":{pipe_rps:.0},\
+         \"pipelined_speedup\":{:.3},\"slowloris_idle_conns\":64,\
+         \"slowloris_rps\":{loris_rps:.0},\"slowloris_ratio\":{:.3}}}\n",
+        pipe_rps / ka_rps,
+        loris_rps / ka_rps
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json");
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("warning: cannot write {}: {e}", out.display());
+    }
+
+    // The acceptance bar: pipelining must not lose to plain keep-alive,
+    // and parked idle connections must not collapse active throughput.
+    assert!(
+        pipe_rps >= ka_rps * 0.95,
+        "pipelined hot throughput regressed: {pipe_rps:.0} vs keep-alive {ka_rps:.0} req/s"
+    );
+    assert!(
+        loris_rps >= ka_rps * 0.5,
+        "64 idle connections halved hot throughput: {loris_rps:.0} vs {ka_rps:.0} req/s"
+    );
 
     handle.shutdown_and_join();
 }

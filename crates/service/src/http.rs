@@ -2,8 +2,19 @@
 //! service and its test/CI client: request-line + headers + Content-Length
 //! bodies, persistent connections (`Connection: keep-alive` by default,
 //! honoring `Connection: close` from either side).
+//!
+//! Request parsing is **sans-IO**: [`RequestParser`] is an incremental
+//! state machine fed raw byte slices, reporting [`ParseStatus::NeedMore`]
+//! or [`ParseStatus::Complete`] with the number of bytes consumed. The
+//! same machine backs both the blocking one-shot [`read_request`] (kept
+//! for tests and simple callers) and the server's event-driven reactor,
+//! which feeds it whatever a nonblocking read produced — so a request
+//! split at any byte boundary parses identically to one that arrived
+//! whole. Response serialization is buffer-producing
+//! ([`Response::to_bytes`]); writing the buffer to a socket is the
+//! caller's business.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -50,35 +61,170 @@ impl Request {
     }
 }
 
-/// Reads one request from the stream. `Ok(None)` means the peer closed the
-/// connection before sending anything.
-///
-/// The request head is read through a [`Read::take`] capped at
-/// [`MAX_HEAD_BYTES`], so a peer streaming an endless header line cannot
-/// buffer unbounded memory — the cap bounds allocation *before* any line is
-/// materialized, not after.
-pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
-    let mut head = reader.by_ref().take(MAX_HEAD_BYTES as u64);
-    let head_err = |head: &io::Take<&mut R>| {
-        if head.limit() == 0 {
-            io::Error::new(io::ErrorKind::InvalidData, "request head too large")
-        } else {
-            io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed mid-headers",
-            )
-        }
-    };
+/// Outcome of feeding bytes to a [`RequestParser`].
+#[derive(Debug)]
+pub enum ParseStatus {
+    /// The buffer does not yet hold a complete request; feed a longer
+    /// prefix of the same stream.
+    NeedMore,
+    /// One complete request. `consumed` is how many bytes of the buffer it
+    /// occupied; the remainder (if any) starts the next request.
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer belonging to this request.
+        consumed: usize,
+    },
+}
 
-    let mut line = String::new();
-    if head.read_line(&mut line)? == 0 {
-        return Ok(None);
+#[derive(Debug)]
+enum ParseState {
+    /// Still hunting for the blank line ending the head. `scanned` is how
+    /// far the terminator scan got on previous feeds, so re-feeding a
+    /// growing buffer stays O(head), not O(head²).
+    Head { scanned: usize },
+    /// Head parsed; waiting for `head_len + body_len` total bytes.
+    Body {
+        method: String,
+        path: String,
+        headers: Vec<(String, String)>,
+        head_len: usize,
+        body_len: usize,
+    },
+}
+
+/// Incremental, sans-IO HTTP/1.1 request parser.
+///
+/// Feed it the unconsumed prefix of a connection's byte stream (the same
+/// buffer, growing, until [`ParseStatus::Complete`]); it never does I/O
+/// and never consumes implicitly — the caller drains `consumed` bytes on
+/// completion and may immediately re-feed the remainder (pipelining).
+/// Errors (oversized head/body, malformed request line, conflicting
+/// Content-Length) are terminal: the connection should be closed.
+///
+/// A torn or truncated prefix of a valid request is always classified
+/// [`ParseStatus::NeedMore`], never an error and never a panic — on EOF
+/// the *caller* decides that NeedMore means `UnexpectedEof`.
+#[derive(Debug)]
+pub struct RequestParser {
+    state: ParseState,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        RequestParser::new()
     }
-    if !line.ends_with('\n') {
-        // A head truncated at the cap (or a peer that died mid-line) must
-        // fail here, not parse a mangled method/path from the fragment.
-        return Err(head_err(&head));
+}
+
+impl RequestParser {
+    /// A parser positioned at the start of a request.
+    pub fn new() -> RequestParser {
+        RequestParser {
+            state: ParseState::Head { scanned: 0 },
+        }
     }
+
+    /// Parses the request starting at `buf[0]`. See the type docs for the
+    /// buffer contract.
+    pub fn parse(&mut self, buf: &[u8]) -> io::Result<ParseStatus> {
+        loop {
+            match &mut self.state {
+                ParseState::Head { scanned } => {
+                    // Resume the terminator scan two bytes early: the
+                    // blank line ("\n\n" or "\n\r\n") may straddle the
+                    // previous feed boundary.
+                    let from = scanned.saturating_sub(2);
+                    let Some(head_len) = find_head_end(buf, from) else {
+                        if buf.len() >= MAX_HEAD_BYTES {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                "request head too large",
+                            ));
+                        }
+                        *scanned = buf.len();
+                        return Ok(ParseStatus::NeedMore);
+                    };
+                    if head_len > MAX_HEAD_BYTES {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "request head too large",
+                        ));
+                    }
+                    let (method, path, headers, body_len) = parse_head(&buf[..head_len])?;
+                    self.state = ParseState::Body {
+                        method,
+                        path,
+                        headers,
+                        head_len,
+                        body_len,
+                    };
+                }
+                ParseState::Body {
+                    head_len, body_len, ..
+                } => {
+                    let total = *head_len + *body_len;
+                    if buf.len() < total {
+                        return Ok(ParseStatus::NeedMore);
+                    }
+                    let ParseState::Body {
+                        method,
+                        path,
+                        headers,
+                        head_len,
+                        body_len,
+                    } = std::mem::replace(&mut self.state, ParseState::Head { scanned: 0 })
+                    else {
+                        unreachable!()
+                    };
+                    let body = buf[head_len..head_len + body_len].to_vec();
+                    return Ok(ParseStatus::Complete {
+                        request: Request {
+                            method,
+                            path,
+                            headers,
+                            body,
+                        },
+                        consumed: head_len + body_len,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Whether any bytes of the current request have been recognized (a
+    /// non-empty torn prefix). Lets callers distinguish "peer closed
+    /// between requests" from "peer died mid-request" at EOF.
+    pub fn mid_body(&self) -> bool {
+        matches!(self.state, ParseState::Body { .. })
+    }
+}
+
+/// Finds the end of the request head (index one past the blank line) in
+/// `buf`, scanning from `from`. The head terminator is an empty line:
+/// `\n\n` or `\n\r\n`.
+fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
+    let mut i = from;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match buf.get(i + 1) {
+                Some(b'\n') => return Some(i + 2),
+                Some(b'\r') if buf.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses a complete head (request line + headers + blank line) into
+/// `(method, path, headers, body_len)`.
+#[allow(clippy::type_complexity)]
+fn parse_head(head: &[u8]) -> io::Result<(String, String, Vec<(String, String)>, usize)> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "request head is not UTF-8"))?;
+    let mut lines = text.split('\n');
+    let line = lines.next().unwrap_or("");
     let mut parts = line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m.to_ascii_uppercase(), p.to_string()),
@@ -91,12 +237,8 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
     };
 
     let mut headers = Vec::new();
-    loop {
-        line.clear();
-        if head.read_line(&mut line)? == 0 || !line.ends_with('\n') {
-            return Err(head_err(&head));
-        }
-        let trimmed = line.trim_end_matches(['\r', '\n']);
+    for line in lines {
+        let trimmed = line.trim_end_matches('\r');
         if trimmed.is_empty() {
             break;
         }
@@ -123,22 +265,62 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
                 .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))?,
         );
     }
-    let content_length = content_length.unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
+    let body_len = content_length.unwrap_or(0);
+    if body_len > MAX_BODY_BYTES {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "request body too large",
         ));
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    Ok((method, path, headers, body_len))
+}
 
-    Ok(Some(Request {
-        method,
-        path,
-        headers,
-        body,
-    }))
+/// Reads one request from the stream (blocking one-shot path over the
+/// same [`RequestParser`] the reactor drives). `Ok(None)` means the peer
+/// closed the connection before sending anything.
+///
+/// The parser caps the head at [`MAX_HEAD_BYTES`] *before* materializing
+/// it, so a peer streaming an endless header line cannot buffer unbounded
+/// memory. Bytes past the end of the request are left unconsumed in
+/// `reader` (keep-alive: they start the next request).
+pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
+    let mut parser = RequestParser::new();
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return if buf.is_empty() {
+                Ok(None)
+            } else if parser.mid_body() {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ))
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-headers",
+                ))
+            };
+        }
+        let prev = buf.len();
+        let n = chunk.len();
+        buf.extend_from_slice(chunk);
+        match parser.parse(&buf) {
+            Ok(ParseStatus::Complete { request, consumed }) => {
+                // Only the bytes this request actually used leave the
+                // reader; the excess of the current chunk stays buffered
+                // for the next call.
+                reader.consume(consumed - prev);
+                return Ok(Some(request));
+            }
+            Ok(ParseStatus::NeedMore) => reader.consume(n),
+            Err(e) => {
+                reader.consume(n);
+                return Err(e);
+            }
+        }
+    }
 }
 
 /// An HTTP response about to be written.
@@ -168,17 +350,20 @@ impl Response {
         self
     }
 
-    /// Serializes the response. `keep_alive` selects the `Connection`
-    /// header; the server passes `false` on the last response of a
-    /// connection (client asked to close, per-connection request cap hit,
-    /// or shutdown) so well-behaved clients stop reusing it.
+    /// Serializes the response into one contiguous buffer. `keep_alive`
+    /// selects the `Connection` header; the server passes `false` on the
+    /// last response of a connection (client asked to close,
+    /// per-connection request cap hit, or shutdown) so well-behaved
+    /// clients stop reusing it.
     ///
-    /// The whole response is buffered and written in a **single** `write`:
-    /// on a persistent connection, trickling header fragments as separate
-    /// small segments triggers the Nagle/delayed-ACK interaction (~40 ms
-    /// per request once the socket leaves quickack mode) — that would
-    /// erase the keep-alive win entirely.
-    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+    /// Buffer-producing on purpose: the reactor queues these bytes into a
+    /// per-connection write buffer and drains them as the socket accepts
+    /// them, and the blocking path pushes the whole buffer in a **single**
+    /// `write` — on a persistent connection, trickling header fragments as
+    /// separate small segments triggers the Nagle/delayed-ACK interaction
+    /// (~40 ms per request once the socket leaves quickack mode), which
+    /// would erase the keep-alive win entirely.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
         use std::fmt::Write as _;
         let mut out = String::with_capacity(self.body.len() + 256);
         let _ = write!(
@@ -193,7 +378,13 @@ impl Response {
             let _ = write!(out, "{name}: {value}\r\n");
         }
         let _ = write!(out, "\r\n{}", self.body);
-        w.write_all(out.as_bytes())?;
+        out.into_bytes()
+    }
+
+    /// Serializes and writes the response in a single `write` (blocking
+    /// convenience over [`Response::to_bytes`]).
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+        w.write_all(&self.to_bytes(keep_alive))?;
         w.flush()
     }
 }
@@ -290,6 +481,59 @@ impl Client {
         self.request_once(method, path, body, true)
     }
 
+    /// Sends every request back-to-back over one persistent connection
+    /// **before reading any response** (HTTP/1.1 pipelining), then reads
+    /// all responses in order. The server guarantees responses come back
+    /// in request order, so `result[i]` answers `requests[i]`.
+    ///
+    /// No stale-connection retry: a pipelined batch is all-or-nothing —
+    /// on any error the pooled connection is dropped and the error
+    /// surfaced, so a request is never silently executed twice.
+    pub fn pipeline(
+        &mut self,
+        requests: &[(&str, &str, Option<&str>)],
+    ) -> io::Result<Vec<ClientResponse>> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.ensure_conn()?;
+        let mut out = String::new();
+        for &(method, path, body) in requests {
+            write_request_head(&mut out, &self.addr, method, path, body, true);
+        }
+        let reader = self.conn.as_mut().unwrap();
+        let run = |reader: &mut BufReader<TcpStream>| -> io::Result<(Vec<ClientResponse>, bool)> {
+            reader.get_mut().write_all(out.as_bytes())?;
+            reader.get_mut().flush()?;
+            let mut responses = Vec::with_capacity(requests.len());
+            let mut reusable = true;
+            for _ in 0..requests.len() {
+                if !reusable {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-pipeline",
+                    ));
+                }
+                let (resp, r) = read_response(reader)?;
+                reusable = r;
+                responses.push(resp);
+            }
+            Ok((responses, reusable))
+        };
+        match run(reader) {
+            Ok((responses, reusable)) => {
+                if !reusable {
+                    self.conn = None;
+                }
+                Ok(responses)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
     fn request_once(
         &mut self,
         method: &str,
@@ -297,26 +541,10 @@ impl Client {
         body: Option<&str>,
         keep_alive: bool,
     ) -> io::Result<ClientResponse> {
-        if self.conn.is_none() {
-            let stream = TcpStream::connect(&self.addr)?;
-            stream.set_read_timeout(Some(self.timeout))?;
-            stream.set_write_timeout(Some(self.timeout))?;
-            // Requests are written whole and are latency-sensitive: never
-            // let Nagle hold a segment back waiting for a delayed ACK.
-            stream.set_nodelay(true)?;
-            self.conn = Some(BufReader::new(stream));
-        }
+        self.ensure_conn()?;
         let reader = self.conn.as_mut().unwrap();
-        let body = body.unwrap_or("");
-        // Single write per request — see Response::write_to on why
-        // fragmenting the head into small segments is pathological on
-        // persistent connections.
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
-            self.addr,
-            body.len(),
-            if keep_alive { "keep-alive" } else { "close" }
-        );
+        let mut head = String::new();
+        write_request_head(&mut head, &self.addr, method, path, body, keep_alive);
         let result = reader
             .get_mut()
             .write_all(head.as_bytes())
@@ -335,6 +563,43 @@ impl Client {
             }
         }
     }
+
+    /// Dials the server if no pooled connection is live.
+    fn ensure_conn(&mut self) -> io::Result<()> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            // Requests are written whole and are latency-sensitive: never
+            // let Nagle hold a segment back waiting for a delayed ACK.
+            stream.set_nodelay(true)?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        Ok(())
+    }
+}
+
+/// Serializes one request (head + body) into `out`. Shared by the
+/// request-response and pipelined paths so their wire format cannot
+/// diverge; the caller sends the buffer in a single write — see
+/// [`Response::to_bytes`] on why fragmenting the head is pathological on
+/// persistent connections.
+fn write_request_head(
+    out: &mut String,
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    keep_alive: bool,
+) {
+    use std::fmt::Write as _;
+    let body = body.unwrap_or("");
+    let _ = write!(
+        out,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
+    );
 }
 
 /// Whether an error from a reused pooled connection means the server had
@@ -466,6 +731,89 @@ mod tests {
         assert_eq!(req.path, "/rank");
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.body_str().unwrap(), "{\"a\":1}");
+    }
+
+    #[test]
+    fn parser_is_incremental_and_tracks_consumed() {
+        let raw = b"POST /rank HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}extra";
+        let mut parser = RequestParser::new();
+        // Every strict prefix of the request proper is NeedMore.
+        let request_len = raw.len() - 5;
+        for cut in 0..request_len {
+            let mut p = RequestParser::new();
+            assert!(
+                matches!(p.parse(&raw[..cut]).unwrap(), ParseStatus::NeedMore),
+                "cut {cut}"
+            );
+        }
+        // Byte-at-a-time feeding of one parser instance completes exactly
+        // once, at exactly the request boundary, leaving "extra" alone.
+        let mut done = None;
+        for cut in 0..=raw.len() {
+            match parser.parse(&raw[..cut]).unwrap() {
+                ParseStatus::NeedMore => assert!(done.is_none()),
+                ParseStatus::Complete { request, consumed } => {
+                    done = Some((request, consumed));
+                    break;
+                }
+            }
+        }
+        let (req, consumed) = done.expect("never completed");
+        assert_eq!(consumed, request_len);
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/rank");
+        assert_eq!(req.body_str().unwrap(), "{\"a\":1}");
+        // The parser reset itself: the remainder parses as a new head.
+        assert!(matches!(
+            parser.parse(&raw[consumed..]).unwrap(),
+            ParseStatus::NeedMore
+        ));
+    }
+
+    #[test]
+    fn parser_carves_pipelined_requests_at_exact_boundaries() {
+        let raw: &[u8] = b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /c HTTP/1.1\r\n\r\n";
+        let mut parser = RequestParser::new();
+        let mut start = 0;
+        let mut got = Vec::new();
+        while start < raw.len() {
+            match parser.parse(&raw[start..]).unwrap() {
+                ParseStatus::Complete { request, consumed } => {
+                    start += consumed;
+                    got.push(request.path);
+                }
+                ParseStatus::NeedMore => panic!("incomplete at {start}"),
+            }
+        }
+        assert_eq!(got, ["/a", "/b", "/c"]);
+        assert_eq!(start, raw.len());
+    }
+
+    #[test]
+    fn parser_errors_match_one_shot_classification() {
+        // Oversized declared body.
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = RequestParser::new().parse(raw.as_bytes()).unwrap_err();
+        assert_eq!(err.to_string(), "request body too large");
+        // Conflicting Content-Length.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 2\r\n\r\n";
+        let err = RequestParser::new().parse(raw).unwrap_err();
+        assert_eq!(err.to_string(), "multiple Content-Length headers");
+        // Unterminated head at the cap.
+        let flood = format!("GET /{} HTTP/1.1", "a".repeat(MAX_HEAD_BYTES * 2));
+        let err = RequestParser::new().parse(flood.as_bytes()).unwrap_err();
+        assert_eq!(err.to_string(), "request head too large");
+        // Bare-\n framing parses like \r\n framing.
+        let mut p = RequestParser::new();
+        let raw = b"GET /x HTTP/1.1\nhost: h\n\n";
+        let ParseStatus::Complete { request, consumed } = p.parse(raw).unwrap() else {
+            panic!("bare-newline head did not complete");
+        };
+        assert_eq!(consumed, raw.len());
+        assert_eq!(request.header("host"), Some("h"));
     }
 
     #[test]

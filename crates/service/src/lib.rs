@@ -1,8 +1,11 @@
 //! # saphyra_service
 //!
 //! A long-lived HTTP/1.1 JSON ranking service over the SaPHyRa engine —
-//! std-only (`std::net::TcpListener` + a thread pool; no external
-//! dependencies, matching the offline build environment).
+//! std-only (an `epoll`-driven reactor plus a request-bounded compute
+//! pool; the `epoll`/`poll(2)` bindings in [`reactor`] are direct
+//! `extern "C"` declarations against the libc std already links, so
+//! there are no external dependencies, matching the offline build
+//! environment).
 //!
 //! ## Endpoints
 //!
@@ -26,12 +29,19 @@
 //!
 //! ## Connections
 //!
-//! Connections are persistent (HTTP/1.1 keep-alive): clients can pipeline
-//! many requests over one TCP connection via [`http::Client`], which keeps
-//! the TCP setup cost off the cache-hit path. The server honors
-//! `Connection: close`, closes connections idle past
-//! [`ServiceConfig::idle_timeout`], and recycles a connection after
-//! [`ServiceConfig::max_requests_per_conn`] requests.
+//! Connections are persistent (HTTP/1.1 keep-alive) and owned by a
+//! single reactor thread; **workers bound requests, not connections**,
+//! so parked idle clients cost the compute pool nothing and
+//! [`ServiceConfig::workers`] sizes to CPU. Requests pipeline up to
+//! [`ServiceConfig::pipeline_depth`] per connection with responses
+//! always in request order; [`http::Client`] keeps one pooled
+//! connection (and [`http::Client::pipeline`] batches requests over
+//! it), which keeps the TCP setup cost off the cache-hit path. The
+//! server honors `Connection: close`, closes connections idle past
+//! [`ServiceConfig::idle_timeout`] (via a timer wheel — no polling),
+//! recycles a connection after
+//! [`ServiceConfig::max_requests_per_conn`] requests, and sheds
+//! connections beyond [`ServiceConfig::max_connections`].
 //!
 //! ## Persistence
 //!
@@ -80,6 +90,7 @@ pub mod cache;
 pub mod http;
 pub mod json;
 pub mod persist;
+pub mod reactor;
 pub mod registry;
 pub mod server;
 

@@ -311,20 +311,45 @@ pub fn scan_snapshots(dir: &Path) -> io::Result<Vec<PathBuf>> {
 /// The append-only request journal of a state directory. Lines are
 /// buffered in memory per call and appended with a single `write`, so
 /// concurrent workers never interleave partial lines.
+///
+/// With a rotation bound set ([`Journal::open_with_limit`]), an append
+/// that would push the file past the bound first renames it to
+/// [`rotated_journal_path`] — a single atomic `rename` replacing any
+/// previous rotation — and continues in a fresh file. At most two
+/// generations exist at any time, so the disk footprint is bounded by
+/// roughly twice the limit. [`replay_journals`] replays rotated + current
+/// in order.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
-    file: Mutex<File>,
+    max_bytes: Option<u64>,
+    file: Mutex<JournalFile>,
+}
+
+#[derive(Debug)]
+struct JournalFile {
+    file: File,
+    len: u64,
 }
 
 impl Journal {
-    /// Opens (creating if needed) the journal of `dir` for appending.
+    /// Opens (creating if needed) the journal of `dir` for appending,
+    /// without a rotation bound (the pre-rotation behavior).
     pub fn open(dir: &Path) -> io::Result<Journal> {
+        Journal::open_with_limit(dir, None)
+    }
+
+    /// Opens the journal of `dir` with an optional rotation bound in
+    /// bytes. A bound smaller than one line still works: every append
+    /// rotates, keeping exactly the last line in the current file.
+    pub fn open_with_limit(dir: &Path, max_bytes: Option<u64>) -> io::Result<Journal> {
         let path = dir.join(JOURNAL_FILE);
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let len = file.metadata()?.len();
         Ok(Journal {
             path,
-            file: Mutex::new(file),
+            max_bytes,
+            file: Mutex::new(JournalFile { file, len }),
         })
     }
 
@@ -335,13 +360,43 @@ impl Journal {
 
     /// Appends one record (a newline is added; `line` must not contain
     /// one — JSON strings escape `\n`, so serialized [`Json`] never does).
+    /// Rotates first when the bound would be crossed.
     pub fn append(&self, line: &str) -> io::Result<()> {
         debug_assert!(!line.contains('\n'));
         let mut buf = Vec::with_capacity(line.len() + 1);
         buf.extend_from_slice(line.as_bytes());
         buf.push(b'\n');
-        self.file.lock().unwrap().write_all(&buf)
+        let mut inner = self.file.lock().unwrap();
+        if let Some(max) = self.max_bytes {
+            if inner.len > 0 && inner.len + buf.len() as u64 > max {
+                // Rotate under the lock: the rename and the reopen are one
+                // atomic step as far as other appenders are concerned. A
+                // crash between them loses no data — the rotated file
+                // holds everything written so far, and the next open
+                // simply creates a fresh current file.
+                fs::rename(&self.path, rotated_journal_path(&self.path))?;
+                inner.file = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.path)?;
+                inner.len = 0;
+            }
+        }
+        inner.file.write_all(&buf)?;
+        inner.len += buf.len() as u64;
+        Ok(())
     }
+}
+
+/// Where [`Journal::append`] rotates a full journal to: `<journal>.1`
+/// next to the current file.
+pub fn rotated_journal_path(journal: &Path) -> PathBuf {
+    let mut name = journal
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".1");
+    journal.with_file_name(name)
 }
 
 /// Builds one journal line for a handled `/rank` request.
@@ -366,6 +421,27 @@ pub struct ReplayStats {
     pub skipped: usize,
     /// Replays whose status differed from the recorded one.
     pub status_mismatches: usize,
+}
+
+/// Replays the full journal history of a state directory: the rotated
+/// generation (`journal.log.1`, if present) first, then the current
+/// `journal.log` — i.e. every surviving record in the order it was
+/// appended. Stats are summed across both files.
+pub fn replay_journals(dir: &Path, service: &Service) -> io::Result<ReplayStats> {
+    let current = dir.join(JOURNAL_FILE);
+    let rotated = rotated_journal_path(&current);
+    let mut stats = ReplayStats::default();
+    for path in [rotated, current] {
+        if !path.exists() {
+            continue;
+        }
+        let s = replay_journal(&path, service)?;
+        stats.lines += s.lines;
+        stats.replayed += s.replayed;
+        stats.skipped += s.skipped;
+        stats.status_mismatches += s.status_mismatches;
+    }
+    Ok(stats)
 }
 
 /// Replays every recorded `/rank` request in the journal at `path`
@@ -566,6 +642,71 @@ mod tests {
         let mut twice = snapshot_to_bytes("g", &g, &dec);
         twice.extend_from_slice(&snapshot_to_bytes("g", &g, &dec));
         assert!(snapshot_from_bytes(&twice).is_err());
+    }
+
+    #[test]
+    fn journal_rotates_at_the_byte_bound_and_keeps_two_generations() {
+        let dir = tmp_dir("rotate");
+        // Each line is ~40 bytes; bound at 100 → rotation every 2-3 lines.
+        let j = Journal::open_with_limit(&dir, Some(100)).unwrap();
+        let current = dir.join(JOURNAL_FILE);
+        let rotated = rotated_journal_path(&current);
+        for ts in 0..10u64 {
+            j.append(&journal_line(ts, 200, Some("miss"), None))
+                .unwrap();
+        }
+        // Both generations exist, neither exceeds the bound, and together
+        // they hold a contiguous SUFFIX of the appended lines in order
+        // (older lines age out two-generations deep — the bound is the
+        // whole point).
+        assert!(rotated.exists(), "no rotation happened");
+        let cur_len = fs::metadata(&current).unwrap().len();
+        let rot_len = fs::metadata(&rotated).unwrap().len();
+        assert!(cur_len <= 100, "current grew past the bound: {cur_len}");
+        assert!(rot_len <= 100, "rotated grew past the bound: {rot_len}");
+        let mut all = fs::read_to_string(&rotated).unwrap();
+        all.push_str(&fs::read_to_string(&current).unwrap());
+        let ts_seen: Vec<u64> = all
+            .lines()
+            .map(|l| {
+                Json::parse(l)
+                    .unwrap()
+                    .get("ts")
+                    .and_then(Json::as_u64)
+                    .unwrap()
+            })
+            .collect();
+        let expect: Vec<u64> = (10 - ts_seen.len() as u64..10).collect();
+        assert_eq!(ts_seen, expect, "surviving lines out of order or gapped");
+        assert!(ts_seen.len() < 10, "nothing was ever dropped — bound dead?");
+
+        // Reopen mid-history: the length bookkeeping restarts from the
+        // on-disk size, so the next rotation still happens on time.
+        drop(j);
+        let j = Journal::open_with_limit(&dir, Some(100)).unwrap();
+        for ts in 10..14u64 {
+            j.append(&journal_line(ts, 200, Some("hit"), None)).unwrap();
+        }
+        assert!(fs::metadata(&current).unwrap().len() <= 100);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_append_and_replay_honor_a_tiny_bound() {
+        // A bound smaller than one line: every append rotates; the system
+        // degrades to "remember the last two lines", never an error.
+        let dir = tmp_dir("tinybound");
+        let j = Journal::open_with_limit(&dir, Some(1)).unwrap();
+        for ts in 0..3u64 {
+            j.append(&journal_line(ts, 200, None, None)).unwrap();
+        }
+        let current = fs::read_to_string(dir.join(JOURNAL_FILE)).unwrap();
+        let rotated = fs::read_to_string(rotated_journal_path(&dir.join(JOURNAL_FILE))).unwrap();
+        assert_eq!(current.lines().count(), 1);
+        assert_eq!(rotated.lines().count(), 1);
+        assert!(current.contains("\"ts\":2"), "{current}");
+        assert!(rotated.contains("\"ts\":1"), "{rotated}");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

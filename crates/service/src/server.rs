@@ -25,23 +25,33 @@
 //!
 //! ## Connection model
 //!
-//! Connections are persistent (HTTP/1.1 keep-alive): each worker runs a
-//! per-connection request loop until the client sends `Connection: close`
-//! or disconnects, the idle read timeout elapses between requests, or the
-//! per-connection request cap is reached (the last response then carries
-//! `Connection: close`). Workers therefore bound concurrent *connections*,
-//! not requests — size [`ServiceConfig::workers`] to the expected client
-//! count, and keep the idle timeout finite so abandoned connections hand
-//! their worker back.
+//! Connections are persistent (HTTP/1.1 keep-alive) and are **owned by a
+//! single reactor thread**, not by workers: the reactor drives every
+//! socket nonblocking through an `epoll`/`poll` readiness loop
+//! ([`crate::reactor`]), runs the per-connection state machine (read
+//! buffer → incremental [`crate::http::RequestParser`] → dispatch → write
+//! buffer), and hands **complete requests** to a pure compute pool over a
+//! channel. Workers therefore bound concurrent *requests*: ten thousand
+//! parked idle connections cost the pool nothing, and
+//! [`ServiceConfig::workers`] sizes to CPU, not to client count.
+//!
+//! Requests are **pipelined**: the parser keeps consuming buffered
+//! requests (up to [`ServiceConfig::pipeline_depth`] in flight per
+//! connection) while earlier responses drain, and responses are written
+//! strictly in request arrival order per connection, whatever order the
+//! workers finish in. Idle timeouts ride a timer wheel and shutdown wakes
+//! the reactor through a self-pipe — there is no timed polling loop
+//! anywhere in the connection path.
 
-use std::collections::HashMap;
-use std::io::{self, BufReader};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, SystemTime};
+use std::time::{Duration, Instant, SystemTime};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -53,25 +63,40 @@ use saphyra_gen::datasets::{SimNetwork, SizeClass};
 use saphyra_graph::{io as graph_io, NodeId};
 
 use crate::cache::LruCache;
-use crate::http::{read_request, Request, Response};
+use crate::http::{ParseStatus, Request, RequestParser, Response};
 use crate::json::Json;
 use crate::persist::{self, valid_graph_name};
+use crate::reactor::{new_poller, Event, Poller, TimerWheel, WakePipe};
 use crate::registry::{GraphEntry, Registry};
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Worker threads handling connections (0 = available parallelism).
+    /// Worker threads computing responses (0 = available parallelism).
+    /// Workers bound concurrent *requests*, not connections — idle
+    /// connections are parked in the reactor and cost no worker.
     pub workers: usize,
     /// Completed-ranking cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
-    /// How long a persistent connection may sit idle between requests
-    /// before the server closes it (also bounds how long a worker can be
-    /// held by a silent client).
+    /// How long a persistent connection may sit idle (no request bytes
+    /// arriving, nothing owed to the client) before the reactor closes it.
     pub idle_timeout: Duration,
     /// Requests served on one connection before the server closes it with
     /// `Connection: close` (0 = unlimited).
     pub max_requests_per_conn: usize,
+    /// Open-connection cap: connections accepted beyond it are closed
+    /// immediately (0 = unlimited). Purely a memory/fd bound — parked
+    /// connections no longer hold workers.
+    pub max_connections: usize,
+    /// Requests that may be parsed-and-in-flight per connection before
+    /// the reactor stops reading from it (HTTP/1.1 pipelining depth;
+    /// clamped to ≥ 1). Responses always return in request order.
+    pub pipeline_depth: usize,
+    /// Journal rotation bound: when appending a line would push
+    /// `journal.log` past this many bytes, it is first rotated to
+    /// `journal.log.1` (atomically, replacing any previous rotation).
+    /// `None` keeps the pre-rotation append-forever behavior.
+    pub journal_max_bytes: Option<u64>,
     /// State directory for registry persistence. When set, graph loads
     /// write crash-safe snapshots there ([`crate::persist`]), every
     /// `/rank` request appends a journal line, and construction restores
@@ -89,6 +114,9 @@ impl Default for ServiceConfig {
             cache_capacity: 128,
             idle_timeout: Duration::from_secs(10),
             max_requests_per_conn: 1024,
+            max_connections: 4096,
+            pipeline_depth: 32,
+            journal_max_bytes: None,
             state_dir: None,
         }
     }
@@ -215,6 +243,8 @@ pub struct Service {
     inflight: Mutex<HashMap<RankKey, Arc<Inflight>>>,
     requests: AtomicU64,
     connections: AtomicU64,
+    open_connections: AtomicU64,
+    pipelined: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_shared: AtomicU64,
@@ -230,6 +260,8 @@ pub struct Service {
     workers: usize,
     idle_timeout: Duration,
     max_requests_per_conn: usize,
+    max_connections: usize,
+    pipeline_depth: usize,
 }
 
 /// Open persistence resources of a service with a state directory.
@@ -256,7 +288,7 @@ impl Service {
         };
         let persist = cfg.state_dir.as_ref().and_then(|dir| {
             let open = std::fs::create_dir_all(dir)
-                .and_then(|()| persist::Journal::open(dir))
+                .and_then(|()| persist::Journal::open_with_limit(dir, cfg.journal_max_bytes))
                 .map(|journal| PersistState {
                     dir: dir.clone(),
                     journal,
@@ -278,6 +310,8 @@ impl Service {
             inflight: Mutex::new(HashMap::new()),
             requests: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            pipelined: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             cache_shared: AtomicU64::new(0),
@@ -289,6 +323,8 @@ impl Service {
             workers,
             idle_timeout: cfg.idle_timeout,
             max_requests_per_conn: cfg.max_requests_per_conn,
+            max_connections: cfg.max_connections,
+            pipeline_depth: cfg.pipeline_depth.max(1),
         };
         // Restore straight from the configured dir, NOT via `persist`: a
         // readable-but-unwritable state dir (read-only remount, tightened
@@ -408,6 +444,18 @@ impl Service {
         self.connections.load(Ordering::Relaxed)
     }
 
+    /// Currently open connections (gauge: accepted minus closed).
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of requests parsed off a connection while an
+    /// earlier response on the same connection was still in flight
+    /// (pipelining actually happening, not merely allowed).
+    pub fn pipelined(&self) -> u64 {
+        self.pipelined.load(Ordering::Relaxed)
+    }
+
     /// Lifetime count of graph decompositions this service computed
     /// (graph loads plus snapshot-fallback recomputes). A service booted
     /// purely from intact snapshots reports 0 — the whole point of
@@ -463,6 +511,8 @@ impl Service {
                 Json::from(self.requests.load(Ordering::Relaxed)),
             ),
             ("connections", Json::from(self.connections())),
+            ("open_connections", Json::from(self.open_connections())),
+            ("pipelined", Json::from(self.pipelined())),
             ("cache_hits", Json::from(self.cache_hits())),
             ("cache_misses", Json::from(self.cache_misses())),
             ("cache_shared", Json::from(self.cache_shared())),
@@ -830,19 +880,19 @@ fn compute_rank_body(entry: &GraphEntry, p: &RankParams) -> String {
     .to_string()
 }
 
-/// Shutdown latch shared by the acceptor and the workers: setting the flag
-/// plus a self-connect unblocks the blocking `accept`.
+/// Shutdown latch shared by the reactor, the workers and the handle:
+/// setting the flag and writing the self-pipe wakes the reactor out of
+/// its blocking wait immediately — no self-connect, no poll interval.
 #[derive(Debug)]
 struct ShutdownSignal {
     flag: AtomicBool,
-    addr: SocketAddr,
+    wake: Arc<WakePipe>,
 }
 
 impl ShutdownSignal {
     fn trigger(&self) {
         if !self.flag.swap(true, Ordering::SeqCst) {
-            // Wake the acceptor; errors are fine (it may already be gone).
-            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+            self.wake.wake();
         }
     }
 
@@ -857,7 +907,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     service: Arc<Service>,
     shutdown: Arc<ShutdownSignal>,
-    acceptor: JoinHandle<()>,
+    reactor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -880,7 +930,7 @@ impl ServerHandle {
     /// Blocks until the server shuts down (via [`ServerHandle::shutdown`]
     /// or `POST /shutdown`), then joins every thread.
     pub fn join(self) {
-        let _ = self.acceptor.join();
+        let _ = self.reactor.join();
         for w in self.workers {
             let _ = w.join();
         }
@@ -893,59 +943,124 @@ impl ServerHandle {
     }
 }
 
-/// Binds `addr` and starts the acceptor + worker threads. Returns
+/// Binds `addr` and starts the reactor + worker threads. Returns
 /// immediately; use [`ServerHandle::join`] to block.
 pub fn serve(addr: &str, cfg: ServiceConfig) -> io::Result<ServerHandle> {
     serve_with(addr, Arc::new(Service::new(cfg)))
 }
 
+/// Poller token of the self-pipe read end.
+const TOKEN_WAKE: u64 = 0;
+/// Poller token of the listening socket.
+const TOKEN_LISTENER: u64 = 1;
+/// Poller tokens `TOKEN_BASE + slot` address connection slots.
+const TOKEN_BASE: u64 = 2;
+
+/// A complete request on its way to the compute pool.
+struct Job {
+    conn: usize,
+    gen: u64,
+    seq: u64,
+    req: Request,
+}
+
+/// A computed response on its way back to the reactor.
+struct Completion {
+    conn: usize,
+    gen: u64,
+    seq: u64,
+    resp: Response,
+    shut: bool,
+}
+
 /// [`serve`] with externally constructed state (lets tests and benches
 /// pre-load graphs into the registry before the first request).
+///
+/// The runtime this starts is one **reactor thread** owning every socket
+/// (nonblocking, readiness-driven) plus [`ServiceConfig::workers`] compute
+/// threads that only ever see complete requests — see the module docs'
+/// connection model.
 pub fn serve_with(addr: &str, service: Arc<Service>) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
+    let wake = Arc::new(WakePipe::new()?);
     let shutdown = Arc::new(ShutdownSignal {
         flag: AtomicBool::new(false),
-        addr: local,
+        wake: Arc::clone(&wake),
     });
 
-    let (tx, rx) = mpsc::channel::<TcpStream>();
-    let rx = Arc::new(Mutex::new(rx));
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let (done_tx, done_rx) = mpsc::channel::<Completion>();
     let worker_count = service.workers;
     let mut workers = Vec::with_capacity(worker_count);
     for i in 0..worker_count {
-        let rx = Arc::clone(&rx);
+        let job_rx = Arc::clone(&job_rx);
+        let done_tx = done_tx.clone();
+        let wake = Arc::clone(&wake);
         let service = Arc::clone(&service);
-        let shutdown = Arc::clone(&shutdown);
         workers.push(
             std::thread::Builder::new()
                 .name(format!("saphyra-worker-{i}"))
                 .spawn(move || loop {
-                    let stream = match rx.lock().unwrap().recv() {
-                        Ok(s) => s,
-                        Err(_) => break, // acceptor gone
+                    // Workers are a pure compute pool: complete request
+                    // in, finished response out, reactor woken. They hold
+                    // no sockets and never block on I/O.
+                    let job = match job_rx.lock().unwrap().recv() {
+                        Ok(j) => j,
+                        Err(_) => break, // reactor gone and queue drained
                     };
-                    handle_connection(&service, &shutdown, stream);
+                    let (resp, shut) = service.handle(&job.req);
+                    let sent = done_tx.send(Completion {
+                        conn: job.conn,
+                        gen: job.gen,
+                        seq: job.seq,
+                        resp,
+                        shut,
+                    });
+                    if sent.is_err() {
+                        break;
+                    }
+                    wake.wake();
                 })?,
         );
     }
+    drop(done_tx);
 
-    let acceptor = {
+    let mut poller = new_poller();
+    poller.register(wake.read_fd(), TOKEN_WAKE, true, false)?;
+    poller.register(listener.as_raw_fd(), TOKEN_LISTENER, true, false)?;
+    // Tick fine enough that an idle timeout is detected within ~1/16 of
+    // itself; 256 slots cover 16 timeouts per rotation before wrapping.
+    let tick =
+        (service.idle_timeout / 16).clamp(Duration::from_millis(1), Duration::from_millis(250));
+    let wheel = TimerWheel::new(tick, 256);
+
+    let reactor = {
+        let service = Arc::clone(&service);
         let shutdown = Arc::clone(&shutdown);
+        let wake = Arc::clone(&wake);
         std::thread::Builder::new()
-            .name("saphyra-acceptor".to_string())
+            .name("saphyra-reactor".to_string())
             .spawn(move || {
-                for stream in listener.incoming() {
-                    if shutdown.is_set() {
-                        break;
-                    }
-                    if let Ok(stream) = stream {
-                        if tx.send(stream).is_err() {
-                            break;
-                        }
-                    }
+                Reactor {
+                    poller,
+                    listener: Some(listener),
+                    wake,
+                    service,
+                    shutdown,
+                    job_tx,
+                    done_rx,
+                    conns: Vec::new(),
+                    free: Vec::new(),
+                    free_pending: Vec::new(),
+                    wheel,
+                    next_gen: 1,
+                    open: 0,
+                    shutting_down: false,
                 }
-                // Dropping `tx` here drains the workers.
+                .run();
             })?
     };
 
@@ -953,95 +1068,570 @@ pub fn serve_with(addr: &str, service: Arc<Service>) -> io::Result<ServerHandle>
         addr: local,
         service,
         shutdown,
-        acceptor,
+        reactor,
         workers,
     })
 }
 
-/// How often an idle worker wakes to re-check the shutdown flag while
-/// waiting for a connection's next request. Bounds shutdown latency when
-/// workers are parked on idle persistent connections.
-const IDLE_POLL: Duration = Duration::from_millis(200);
-
-fn is_timeout(e: &io::Error) -> bool {
-    matches!(
-        e.kind(),
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-    )
+/// Per-connection state machine, owned exclusively by the reactor.
+struct Conn {
+    stream: TcpStream,
+    /// Liveness token: completions and timers carry it, so events for a
+    /// dead connection (or a reused slot) are discarded, never misrouted.
+    gen: u64,
+    parser: RequestParser,
+    /// Bytes read off the socket; `read_pos..` is the unconsumed tail.
+    /// Consumption advances the cursor and compacts once per event round
+    /// — per-request `drain(..)` front-shifts would make a large
+    /// pipelined burst quadratic in memmove cost.
+    read_buf: Vec<u8>,
+    read_pos: usize,
+    /// Serialized responses being drained into the socket.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Out-of-order completions parked until their turn; the bool forces
+    /// `Connection: close` (reactor-synthesized error responses).
+    pending: BTreeMap<u64, (Response, bool)>,
+    /// Next request sequence number to assign (dispatch order).
+    next_seq: u64,
+    /// Next response sequence number to write (== arrival order).
+    next_write: u64,
+    /// Requests dispatched to workers and not yet completed.
+    inflight: usize,
+    /// Requests dispatched over the connection's lifetime (cap bookkeeping).
+    served: usize,
+    /// Sequence number of the connection's final request, once known
+    /// (client sent `Connection: close`, or the request cap was hit).
+    close_after: Option<u64>,
+    /// No more reading/parsing; flush what is owed, then close.
+    draining: bool,
+    /// A `Connection: close` response has been staged; later responses
+    /// are dropped (the client was told the connection is done).
+    sent_close: bool,
+    /// The peer closed its write side (read returned 0). Buffered and
+    /// in-flight requests are still served — a write-then-half-close
+    /// client keeps its read side open for the responses — and the
+    /// connection closes once nothing more is owed.
+    peer_eof: bool,
+    want_read: bool,
+    want_write: bool,
+    /// Last byte-level progress in either direction (idle-timeout base).
+    last_activity: Instant,
 }
 
-/// Serves one persistent connection: a request loop that ends when the
-/// client closes or asks to (`Connection: close`), the idle timeout
-/// elapses, the per-connection request cap is reached, or shutdown is
-/// requested. The final response of a connection carries
-/// `Connection: close` so clients stop reusing it.
-///
-/// Between requests the worker waits for the next request's first byte in
-/// short [`IDLE_POLL`] slices (no bytes are consumed while polling), so it
-/// observes both the shutdown flag and the idle-timeout budget promptly;
-/// once a request starts arriving, the full idle timeout bounds the read.
-fn handle_connection(service: &Service, shutdown: &ShutdownSignal, stream: TcpStream) {
-    use std::io::BufRead;
-
-    service.connections.fetch_add(1, Ordering::Relaxed);
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
-    // Responses are written whole; Nagle would only add delayed-ACK
-    // latency on persistent connections.
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut stream = stream;
-    let mut served = 0usize;
-    let poll = service.idle_timeout.min(IDLE_POLL);
-    loop {
-        // Idle phase: poll for the next request without consuming bytes.
-        let mut idled = Duration::ZERO;
-        let _ = stream.set_read_timeout(Some(poll));
-        loop {
-            if shutdown.is_set() {
-                return;
-            }
-            match reader.fill_buf() {
-                Ok([]) => return, // peer closed between requests
-                Ok(_) => break,   // next request has started arriving
-                Err(e) if is_timeout(&e) => {
-                    idled += poll;
-                    if idled >= service.idle_timeout {
-                        return; // idle timeout: close quietly
-                    }
-                }
-                Err(_) => return,
-            }
+impl Conn {
+    fn new(stream: TcpStream, gen: u64, now: Instant) -> Conn {
+        Conn {
+            stream,
+            gen,
+            parser: RequestParser::new(),
+            read_buf: Vec::new(),
+            read_pos: 0,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            pending: BTreeMap::new(),
+            next_seq: 0,
+            next_write: 0,
+            inflight: 0,
+            served: 0,
+            close_after: None,
+            draining: false,
+            sent_close: false,
+            peer_eof: false,
+            want_read: true,
+            want_write: false,
+            last_activity: now,
         }
-        let _ = stream.set_read_timeout(Some(service.idle_timeout));
-        match read_request(&mut reader) {
-            Ok(Some(req)) => {
-                served += 1;
-                let (resp, shut) = service.handle(&req);
-                let at_cap =
-                    service.max_requests_per_conn != 0 && served >= service.max_requests_per_conn;
-                let keep_alive = !req.wants_close() && !shut && !at_cap && !shutdown.is_set();
-                let write_ok = resp.write_to(&mut stream, keep_alive).is_ok();
-                // Trigger even when the response write failed: the request
-                // WAS handled, and a /shutdown whose client died must still
-                // stop the server.
-                if shut {
-                    shutdown.trigger();
-                }
-                if !write_ok || !keep_alive {
+    }
+
+    /// Whether any read bytes are still unconsumed by the parser.
+    fn has_input(&self) -> bool {
+        self.read_pos < self.read_buf.len()
+    }
+
+    /// Discards all unconsumed input.
+    fn clear_input(&mut self) {
+        self.read_buf.clear();
+        self.read_pos = 0;
+    }
+
+    /// Response bytes staged but not yet accepted by the socket.
+    fn write_backlog(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    /// Whether another request may be dispatched right now: not past the
+    /// final request, pipelining depth free, and the peer draining its
+    /// responses (an undrained write backlog means the client stopped
+    /// reading — parsing on regardless would buffer responses without
+    /// bound).
+    fn can_dispatch(&self, depth: usize) -> bool {
+        !self.draining
+            && self.close_after.is_none()
+            && self.inflight + self.pending.len() < depth
+            && self.write_backlog() < WRITE_BACKPRESSURE
+    }
+}
+
+/// Per-connection cap on staged-but-unwritten response bytes before the
+/// reactor stops parsing further requests from that connection. Bounds
+/// the memory a pipelining client that never reads its responses can pin
+/// (the kernel socket buffer absorbs the rest of the pushback).
+const WRITE_BACKPRESSURE: usize = 256 * 1024;
+
+/// The event loop: readiness events in, jobs out, completions back,
+/// responses written in request order per connection.
+struct Reactor {
+    poller: Box<dyn Poller>,
+    /// `None` once shutdown began (the socket is closed to new connects).
+    listener: Option<TcpListener>,
+    wake: Arc<WakePipe>,
+    service: Arc<Service>,
+    shutdown: Arc<ShutdownSignal>,
+    job_tx: mpsc::Sender<Job>,
+    done_rx: mpsc::Receiver<Completion>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    /// Slots freed during the current event batch. Reused only *after*
+    /// the batch: a stale event for a just-closed slot must hit `None`,
+    /// not a brand-new connection that claimed the slot mid-batch.
+    free_pending: Vec<usize>,
+    wheel: TimerWheel,
+    next_gen: u64,
+    open: usize,
+    shutting_down: bool,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut fired: Vec<(u64, u64)> = Vec::new();
+        loop {
+            self.drain_completions();
+            if self.shutdown.is_set() {
+                self.begin_shutdown();
+                if self.open == 0 {
                     break;
                 }
             }
-            Ok(None) => break, // peer closed (also the shutdown self-wake)
-            // Timeout mid-request: the peer stalled; close quietly.
-            Err(e) if is_timeout(&e) => break,
-            Err(e) => {
-                let _ = error_response(400, format!("malformed request: {e}"))
-                    .write_to(&mut stream, false);
+            let timeout = self.wheel.next_wakeup(Instant::now());
+            if let Err(e) = self.poller.wait(timeout, &mut events) {
+                eprintln!("warning: reactor wait failed ({e}); shutting down");
+                self.shutdown.trigger();
                 break;
             }
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_WAKE => self.wake.drain(),
+                    TOKEN_LISTENER => self.accept_ready(),
+                    t => {
+                        let idx = (t - TOKEN_BASE) as usize;
+                        if ev.readable || ev.hangup {
+                            self.read_ready(idx);
+                        }
+                        if ev.writable {
+                            // advance flushes first; its parse step then
+                            // sees the drained backlog and may unblock
+                            // buffered requests.
+                            self.advance(idx);
+                        }
+                        if ev.hangup {
+                            // Peer fully gone: anything unread was drained
+                            // above, anything unwritten is undeliverable.
+                            self.close_conn(idx);
+                        }
+                    }
+                }
+            }
+            fired.clear();
+            self.wheel.expire(Instant::now(), &mut fired);
+            for &(token, gen) in &fired {
+                self.timer_fired((token - TOKEN_BASE) as usize, gen);
+            }
+            self.free.append(&mut self.free_pending);
+        }
+        // Dropping self drops `job_tx`: workers finish what is queued,
+        // then exit on the disconnected channel.
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let max = self.service.max_connections;
+                    if max != 0 && self.open >= max {
+                        // Over the cap: close immediately. The client sees
+                        // a clean EOF and can retry or back off.
+                        drop(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Responses are queued whole; Nagle would only add
+                    // delayed-ACK latency on persistent connections.
+                    let _ = stream.set_nodelay(true);
+                    let idx = match self.free.pop() {
+                        Some(i) => i,
+                        None => {
+                            self.conns.push(None);
+                            self.conns.len() - 1
+                        }
+                    };
+                    let token = TOKEN_BASE + idx as u64;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, true, false)
+                        .is_err()
+                    {
+                        self.free.push(idx);
+                        continue;
+                    }
+                    let gen = self.next_gen;
+                    self.next_gen += 1;
+                    let now = Instant::now();
+                    self.wheel
+                        .schedule(token, gen, now + self.service.idle_timeout);
+                    self.conns[idx] = Some(Conn::new(stream, gen, now));
+                    self.open += 1;
+                    self.service.connections.fetch_add(1, Ordering::Relaxed);
+                    self.service
+                        .open_connections
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn read_ready(&mut self, idx: usize) {
+        {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            if conn.draining || conn.close_after.is_some() || conn.peer_eof {
+                return; // past the final request; hangup handling closes us
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        // Half-close: the peer is done *sending*. Its read
+                        // side may well be open (write-then-shutdown(WR)
+                        // one-shot clients) — serve what is buffered and
+                        // in flight, then close.
+                        conn.peer_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.read_buf.extend_from_slice(&chunk[..n]);
+                        conn.last_activity = Instant::now();
+                        if n < chunk.len() {
+                            break; // socket very likely drained; LT re-arms
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        // Hard error (reset): nothing is deliverable.
+                        self.close_conn(idx);
+                        return;
+                    }
+                }
+            }
+        }
+        self.advance(idx);
+    }
+
+    /// Parse whatever is buffered, discard bytes that can never complete
+    /// (torn trailing prefix after a peer half-close), and flush. The one
+    /// entry point after any event that may have changed a connection's
+    /// parse/dispatch/write state.
+    fn advance(&mut self, idx: usize) {
+        // Flush first: dispatch capacity (can_dispatch) counts the write
+        // backlog, so requests blocked on it must see the post-drain
+        // state — responses only ever enter the backlog via completions,
+        // never via the parse below, so one leading flush is exact.
+        self.flush(idx);
+        self.parse_buffered(idx);
+        let depth = self.service.pipeline_depth;
+        if let Some(conn) = self.conns[idx].as_mut() {
+            // parse_buffered stopped with input left over. If the peer
+            // can never send another byte and the stop reason was the
+            // parser wanting more (not depth/backpressure, not a final
+            // request), the leftover is a torn prefix that will never
+            // complete — drop it so the owed-nothing close can happen.
+            if conn.peer_eof && conn.can_dispatch(depth) {
+                conn.clear_input();
+            }
+            // Compact the consumed prefix away — once per event round,
+            // not once per request.
+            if conn.read_pos > 0 {
+                if conn.has_input() {
+                    conn.read_buf.drain(..conn.read_pos);
+                } else {
+                    conn.read_buf.clear();
+                }
+                conn.read_pos = 0;
+            }
+        }
+        self.flush(idx);
+    }
+
+    /// Parses every complete buffered request up to the pipelining depth
+    /// (and write-backlog bound) and hands them to the compute pool.
+    fn parse_buffered(&mut self, idx: usize) {
+        loop {
+            let depth = self.service.pipeline_depth;
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            if !conn.has_input() || !conn.can_dispatch(depth) {
+                return;
+            }
+            match conn.parser.parse(&conn.read_buf[conn.read_pos..]) {
+                Ok(ParseStatus::NeedMore) => return,
+                Ok(ParseStatus::Complete { request, consumed }) => {
+                    conn.read_pos += consumed;
+                    conn.served += 1;
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    let prior_in_flight = conn.inflight > 0
+                        || !conn.pending.is_empty()
+                        || conn.write_pos < conn.write_buf.len();
+                    if prior_in_flight {
+                        self.service.pipelined.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let cap = self.service.max_requests_per_conn;
+                    if request.wants_close() || (cap != 0 && conn.served >= cap) {
+                        conn.close_after = Some(seq);
+                    }
+                    conn.inflight += 1;
+                    let job = Job {
+                        conn: idx,
+                        gen: conn.gen,
+                        seq,
+                        req: request,
+                    };
+                    if self.job_tx.send(job).is_err() {
+                        // Compute pool gone (worker panic storm): fail the
+                        // request rather than hanging the connection.
+                        conn.inflight -= 1;
+                        conn.pending
+                            .insert(seq, (error_response(500, "worker pool unavailable"), true));
+                        return;
+                    }
+                }
+                Err(e) => {
+                    // Malformed request: answer 400 after everything owed,
+                    // then close. Nothing further is read — the stream
+                    // position is unreliable past a framing error.
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.pending.insert(
+                        seq,
+                        (error_response(400, format!("malformed request: {e}")), true),
+                    );
+                    conn.close_after = Some(seq);
+                    conn.clear_input();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Stages due responses (in request order) into the write buffer and
+    /// drains it into the socket; closes the connection when it is
+    /// draining and nothing more is owed.
+    fn flush(&mut self, idx: usize) {
+        let shutting = self.shutting_down || self.shutdown.is_set();
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return;
+        };
+        loop {
+            if conn.sent_close {
+                // The client has been told the connection is done;
+                // anything still parked is undeliverable.
+                conn.pending.clear();
+                break;
+            }
+            let seq = conn.next_write;
+            let Some((resp, force_close)) = conn.pending.remove(&seq) else {
+                break;
+            };
+            conn.next_write += 1;
+            let last_owed = conn.pending.is_empty() && conn.inflight == 0;
+            // A half-closed peer only counts as "done" once its buffered
+            // bytes are consumed too — with the pipeline depth saturated,
+            // read_buf may still hold complete requests this connection
+            // owes answers to.
+            let done_serving = conn.draining || (conn.peer_eof && !conn.has_input());
+            let keep_alive = !(force_close
+                || conn.close_after == Some(seq)
+                || ((shutting || done_serving) && last_owed));
+            if conn.write_pos > 0 && conn.write_pos == conn.write_buf.len() {
+                conn.write_buf.clear();
+                conn.write_pos = 0;
+            }
+            conn.write_buf.extend_from_slice(&resp.to_bytes(keep_alive));
+            if !keep_alive {
+                conn.sent_close = true;
+                conn.draining = true;
+                conn.clear_input();
+            }
+        }
+        let mut dead = false;
+        while conn.write_pos < conn.write_buf.len() {
+            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.write_pos += n;
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        let drained = conn.write_pos == conn.write_buf.len();
+        if drained && !conn.write_buf.is_empty() {
+            conn.write_buf.clear();
+            conn.write_pos = 0;
+        }
+        // Close when nothing more can be owed: the connection is
+        // draining, or the peer half-closed and every byte it ever sent
+        // has been parsed, answered and written.
+        let done_serving = conn.draining || (conn.peer_eof && !conn.has_input());
+        let close_now =
+            dead || (done_serving && drained && conn.inflight == 0 && conn.pending.is_empty());
+        if close_now {
+            self.close_conn(idx);
+        } else {
+            self.sync_interest(idx);
+        }
+    }
+
+    /// Mirrors the connection's desired readiness interest to the poller.
+    /// Reads pause while the pipelining depth or the write backlog is
+    /// saturated (backpressure: the kernel buffer, then the client,
+    /// absorb the excess) and after the final request; writes arm only
+    /// while bytes are queued.
+    fn sync_interest(&mut self, idx: usize) {
+        let depth = self.service.pipeline_depth;
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return;
+        };
+        let want_read = !conn.peer_eof && conn.can_dispatch(depth);
+        let want_write = conn.write_pos < conn.write_buf.len();
+        if want_read != conn.want_read || want_write != conn.want_write {
+            conn.want_read = want_read;
+            conn.want_write = want_write;
+            let fd = conn.stream.as_raw_fd();
+            let _ = self
+                .poller
+                .modify(fd, TOKEN_BASE + idx as u64, want_read, want_write);
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        while let Ok(done) = self.done_rx.try_recv() {
+            if done.shut {
+                // Trigger even when the requesting connection died: the
+                // request WAS handled, and a /shutdown whose client went
+                // away must still stop the server.
+                self.shutdown.trigger();
+            }
+            {
+                let Some(conn) = self.conns[done.conn].as_mut() else {
+                    continue;
+                };
+                if conn.gen != done.gen {
+                    continue;
+                }
+                conn.inflight -= 1;
+                conn.last_activity = Instant::now();
+                conn.pending.insert(done.seq, (done.resp, false));
+            }
+            // advance's leading flush writes this response (freeing its
+            // depth slot), its parse dispatches any buffered follow-ups,
+            // and its trailing flush stages whatever that parse produced
+            // (a 400 on a malformed follow-up, a half-closed peer's last
+            // response) — without the trailing flush such a response
+            // would strand in `pending` with no further event arriving.
+            self.advance(done.conn);
+        }
+    }
+
+    fn timer_fired(&mut self, idx: usize, gen: u64) {
+        let idle = self.service.idle_timeout;
+        let now = Instant::now();
+        let token = TOKEN_BASE + idx as u64;
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return;
+        };
+        if conn.gen != gen {
+            return;
+        }
+        if conn.inflight > 0 {
+            // A slow computation is not an idle connection; check back in
+            // one timeout.
+            self.wheel.schedule(token, gen, now + idle);
+            return;
+        }
+        let due = conn.last_activity + idle;
+        if now >= due {
+            // Idle past the budget (between requests, or stalled
+            // mid-request/mid-response): close quietly.
+            self.close_conn(idx);
+        } else {
+            self.wheel.schedule(token, gen, due);
+        }
+    }
+
+    /// Stops accepting and puts every connection into draining: flush
+    /// what is owed, then close. Parked idle connections close right
+    /// here — this is what makes shutdown prompt with any number of
+    /// keep-alive clients attached.
+    fn begin_shutdown(&mut self) {
+        if self.shutting_down {
+            return;
+        }
+        self.shutting_down = true;
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+            drop(listener);
+        }
+        for idx in 0..self.conns.len() {
+            if let Some(conn) = self.conns[idx].as_mut() {
+                conn.draining = true;
+                conn.clear_input();
+            } else {
+                continue;
+            }
+            self.flush(idx);
+        }
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        if let Some(conn) = self.conns[idx].take() {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            drop(conn);
+            self.open -= 1;
+            self.service
+                .open_connections
+                .fetch_sub(1, Ordering::Relaxed);
+            self.free_pending.push(idx);
         }
     }
 }

@@ -358,6 +358,72 @@ fn journal_records_requests_and_replays_cleanly() {
 }
 
 #[test]
+fn journal_rotates_mid_stream_and_replay_covers_both_generations() {
+    let dir = state_dir("rotation");
+    // A bound of ~3 journal lines (each /rank line here is ~150 bytes):
+    // the request stream below must cross it mid-stream.
+    let cfg = ServiceConfig {
+        journal_max_bytes: Some(512),
+        ..cfg_with(&dir)
+    };
+    let handle = serve("127.0.0.1:0", cfg).unwrap();
+    let addr = handle.addr().to_string();
+    let resp = request(
+        &addr,
+        "POST",
+        "/graphs",
+        Some(r#"{"name":"g","network":"flickr","size":"tiny","seed":5}"#),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    // 10 distinct rank requests; every one is journaled.
+    for seed in 0..10u64 {
+        let body =
+            format!(r#"{{"graph":"g","targets":[1,5,9],"eps":0.2,"delta":0.1,"seed":{seed}}}"#);
+        let resp = request(&addr, "POST", "/rank", Some(&body)).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+    handle.shutdown_and_join();
+
+    // Rotation happened mid-stream: both generations exist, the current
+    // file respects the bound, and the combined tail is contiguous.
+    let current = dir.join(persist::JOURNAL_FILE);
+    let rotated = persist::rotated_journal_path(&current);
+    assert!(rotated.exists(), "journal never rotated");
+    assert!(fs::metadata(&current).unwrap().len() <= 512);
+    assert!(fs::metadata(&rotated).unwrap().len() <= 512);
+    let mut all = fs::read_to_string(&rotated).unwrap();
+    all.push_str(&fs::read_to_string(&current).unwrap());
+    let seeds: Vec<u64> = all
+        .lines()
+        .map(|l| {
+            Json::parse(l)
+                .unwrap()
+                .get("request")
+                .unwrap()
+                .get("seed")
+                .and_then(Json::as_u64)
+                .unwrap()
+        })
+        .collect();
+    assert!(!seeds.is_empty() && seeds.len() < 10, "{seeds:?}");
+    let expect: Vec<u64> = (10 - seeds.len() as u64..10).collect();
+    assert_eq!(seeds, expect, "rotated+current must be the ordered tail");
+
+    // replay_journals walks rotated then current, in order, cleanly.
+    let service = Service::new(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let (restored, recomputed) = service.restore_from_dir(&dir);
+    assert_eq!((restored, recomputed), (1, 0));
+    let stats = persist::replay_journals(&dir, &service).unwrap();
+    assert_eq!(stats.replayed, seeds.len());
+    assert_eq!(stats.status_mismatches, 0, "{stats:?}");
+}
+
+#[test]
 fn concurrent_same_name_loads_leave_disk_and_memory_agreeing() {
     // Regression: snapshot write and registry insert used to be unordered
     // across loaders — thread A's snapshot could land last on disk while

@@ -326,6 +326,328 @@ fn wire_level_validation_errors() {
 }
 
 #[test]
+fn pipelined_requests_return_in_order_with_identical_bytes() {
+    let (handle, addr) = start(2);
+    load_flickr(&addr, "g", 5);
+
+    // One-shot baselines for four distinct requests.
+    let bodies: Vec<String> = (0..4)
+        .map(|s| format!(r#"{{"graph":"g","targets":[2,7,11],"eps":0.2,"delta":0.1,"seed":{s}}}"#))
+        .collect();
+    let baselines: Vec<String> = bodies
+        .iter()
+        .map(|b| {
+            let r = request(&addr, "POST", "/rank", Some(b)).unwrap();
+            assert_eq!(r.status, 200, "{}", r.body);
+            r.body
+        })
+        .collect();
+
+    // The same four requests, plus repeats, pipelined over ONE connection:
+    // all written before any response is read. Responses must come back in
+    // request order with byte-identical bodies.
+    let before = handle.service().connections();
+    let mut client = Client::new(addr.clone());
+    let batch: Vec<(&str, &str, Option<&str>)> = (0..12)
+        .map(|i| ("POST", "/rank", Some(bodies[i % 4].as_str())))
+        .collect();
+    let responses = client.pipeline(&batch).unwrap();
+    assert_eq!(responses.len(), 12);
+    for (i, resp) in responses.iter().enumerate() {
+        assert_eq!(resp.status, 200, "pipelined {i}: {}", resp.body);
+        assert_eq!(
+            resp.body,
+            baselines[i % 4],
+            "pipelined response {i} diverged or came back out of order"
+        );
+    }
+    assert_eq!(
+        handle.service().connections() - before,
+        1,
+        "the whole batch must ride one connection"
+    );
+    // The server observed real pipelining: requests parsed while earlier
+    // responses were still in flight.
+    assert!(
+        handle.service().pipelined() > 0,
+        "no request was parsed while a prior response was in flight"
+    );
+
+    // /healthz reports both new fields (the gauge counts at least this
+    // client's own live connection).
+    let resp = client.request("GET", "/healthz", None).unwrap();
+    let v = Json::parse(&resp.body).unwrap();
+    assert!(v.get("open_connections").unwrap().as_u64().unwrap() >= 1);
+    assert!(v.get("pipelined").unwrap().as_u64().unwrap() > 0);
+    drop(client);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn pipelining_respects_connection_close_mid_batch() {
+    let (handle, addr) = start(2);
+    // A pipelined batch whose first request asks to close: the server
+    // answers it with `Connection: close` and drops the rest.
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    use std::io::{Read, Write};
+    let two = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n";
+    stream.write_all(two).unwrap();
+    let mut all = Vec::new();
+    stream.read_to_end(&mut all).unwrap(); // server closes after one response
+    let text = String::from_utf8(all).unwrap();
+    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+    assert!(text.contains("Connection: close\r\n"), "{text}");
+    assert_eq!(
+        text.matches("HTTP/1.1").count(),
+        1,
+        "second request must be dropped after Connection: close: {text}"
+    );
+    handle.shutdown_and_join();
+}
+
+/// The tentpole acceptance number: with 2 workers, 64 parked idle
+/// keep-alive connections must not starve active clients — their
+/// cache-hit throughput stays within 2x of a quiet-server baseline
+/// (under the old runtime the idle connections held every worker and the
+/// active clients stalled until idle timeouts fired).
+#[test]
+fn idle_connections_do_not_starve_active_clients() {
+    let cfg = ServiceConfig {
+        workers: 2,
+        cache_capacity: 64,
+        ..ServiceConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", cfg).expect("bind");
+    let addr = handle.addr().to_string();
+    load_flickr(&addr, "g", 5);
+
+    // Warm the cache so the measured path is pure cache-hit traffic.
+    let warm = request(&addr, "POST", "/rank", Some(RANK_BODY)).unwrap();
+    assert_eq!(warm.status, 200, "{}", warm.body);
+
+    let active_round = |addr: &str| {
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(move || {
+                    let mut client = Client::new(addr);
+                    for _ in 0..25 {
+                        let r = client.request("POST", "/rank", Some(RANK_BODY)).unwrap();
+                        assert_eq!(r.status, 200);
+                    }
+                });
+            }
+        });
+        t0.elapsed()
+    };
+
+    // Baseline: no idle connections. One throwaway round first so thread
+    // spin-up and allocator warm-up hit both measurements equally.
+    active_round(&addr);
+    let quiet = active_round(&addr);
+
+    // Park 64 idle keep-alive connections (they never send a byte).
+    let idles: Vec<_> = (0..64)
+        .map(|_| std::net::TcpStream::connect(&addr).unwrap())
+        .collect();
+    // Let the reactor accept them all before measuring.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while handle.service().open_connections() < 64 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "reactor failed to accept parked connections: {}",
+            handle.service().open_connections()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let loris = active_round(&addr);
+    drop(idles);
+
+    assert!(
+        loris < quiet * 2,
+        "64 idle connections starved 8 active clients: quiet {quiet:?} vs slow-loris {loris:?}"
+    );
+    handle.shutdown_and_join();
+}
+
+/// Pipelined cache-hit throughput must not fall below plain keep-alive
+/// request-response throughput: batching removes a full client-server
+/// round trip per request, it can only help.
+#[test]
+fn pipelined_throughput_not_worse_than_keep_alive() {
+    let (handle, addr) = start(2);
+    let n = 384;
+    let mut client = Client::new(addr.clone());
+    // Warm up the connection and the cache path.
+    client.request("GET", "/healthz", None).unwrap();
+
+    let t0 = std::time::Instant::now();
+    for _ in 0..n {
+        let r = client.request("GET", "/healthz", None).unwrap();
+        assert_eq!(r.status, 200);
+    }
+    let keep_alive = t0.elapsed();
+
+    let batch: Vec<(&str, &str, Option<&str>)> =
+        (0..n).map(|_| ("GET", "/healthz", None)).collect();
+    let t0 = std::time::Instant::now();
+    let responses = client.pipeline(&batch).unwrap();
+    let pipelined = t0.elapsed();
+    assert_eq!(responses.len(), n);
+
+    // Generous slack: the assertion is "pipelining is not a regression",
+    // the bench reports the actual multiple (typically several x).
+    assert!(
+        pipelined <= keep_alive * 3 / 2,
+        "pipelined {n} requests slower than request-response keep-alive: \
+         {pipelined:?} vs {keep_alive:?}"
+    );
+    drop(client);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn write_then_half_close_client_still_gets_its_responses() {
+    // Regression: a client that writes its request(s) and then shuts down
+    // its write side before reading (`printf ... | nc`-style one-shots)
+    // must still be answered — the blocking runtime served this, and an
+    // early reactor draft closed on EOF with requests still buffered or
+    // in flight.
+    use std::io::{Read, Write};
+    let (handle, addr) = start(2);
+
+    // Single request, FIN racing right behind it.
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut text = String::new();
+    s.read_to_string(&mut text).unwrap();
+    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+    assert!(text.contains("\"status\":\"ok\""), "{text}");
+
+    // A pipelined burst then FIN: every request gets its response, in
+    // order, and the connection closes afterwards without waiting out
+    // the idle timeout.
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(
+        b"GET /healthz HTTP/1.1\r\n\r\nGET /graphs HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n",
+    )
+    .unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+    let t0 = std::time::Instant::now();
+    let mut text = String::new();
+    s.read_to_string(&mut text).unwrap();
+    assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 3, "{text}");
+    assert!(text.contains("\"graphs\""), "{text}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "half-closed connection waited out the idle timeout: {:?}",
+        t0.elapsed()
+    );
+
+    // A torn trailing request after a served one is discarded quietly.
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.1\r\n\r\nGET /torn HTT")
+        .unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut text = String::new();
+    s.read_to_string(&mut text).unwrap();
+    assert_eq!(text.matches("HTTP/1.1").count(), 1, "{text}");
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn depth_limited_followup_parsed_on_completion_is_still_answered() {
+    // Regression: with pipeline_depth=1, a follow-up request (or a
+    // malformed one needing a 400) only gets parsed when the first
+    // request's completion frees the depth slot — the response staged by
+    // that parse must still be flushed, not stranded until the idle
+    // timeout closes the socket under it.
+    use std::io::{Read, Write};
+    let cfg = ServiceConfig {
+        workers: 1,
+        pipeline_depth: 1,
+        ..ServiceConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", cfg).expect("bind");
+    let addr = handle.addr().to_string();
+
+    // Valid + valid burst.
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let t0 = std::time::Instant::now();
+    let mut text = String::new();
+    s.read_to_string(&mut text).unwrap();
+    assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 2, "{text}");
+    assert!(t0.elapsed() < Duration::from_secs(5), "{:?}", t0.elapsed());
+
+    // Valid + malformed burst: the 400 must arrive after the 200.
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.1\r\n\r\nGARBAGE\r\n\r\n")
+        .unwrap();
+    let t0 = std::time::Instant::now();
+    let mut text = String::new();
+    s.read_to_string(&mut text).unwrap();
+    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+    assert!(text.contains("HTTP/1.1 400 Bad Request"), "{text}");
+    assert!(text.contains("malformed request"), "{text}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "400 stranded until idle timeout: {:?}",
+        t0.elapsed()
+    );
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn max_connections_cap_sheds_excess_connections() {
+    let cfg = ServiceConfig {
+        workers: 1,
+        max_connections: 2,
+        ..ServiceConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", cfg).expect("bind");
+    let addr = handle.addr().to_string();
+
+    let mut c1 = Client::new(addr.clone());
+    let mut c2 = Client::new(addr.clone());
+    assert_eq!(c1.request("GET", "/healthz", None).unwrap().status, 200);
+    assert_eq!(c2.request("GET", "/healthz", None).unwrap().status, 200);
+
+    // A third connection is accepted and immediately closed: the client
+    // sees EOF before any response.
+    let mut c3 = Client::new(addr.clone()).with_timeout(Duration::from_secs(5));
+    let err = c3.request("GET", "/healthz", None);
+    assert!(err.is_err(), "third connection must be shed at the cap");
+
+    // Capped shedding is not counted as a served connection, and the
+    // gauge stays at the cap.
+    assert_eq!(handle.service().connections(), 2);
+    assert_eq!(handle.service().open_connections(), 2);
+
+    // Dropping one frees capacity for a newcomer.
+    drop(c1);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while handle.service().open_connections() >= 2 {
+        assert!(std::time::Instant::now() < deadline, "close not observed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut c4 = Client::new(addr.clone());
+    assert_eq!(c4.request("GET", "/healthz", None).unwrap().status, 200);
+    drop((c2, c4));
+    handle.shutdown_and_join();
+}
+
+#[test]
 fn shutdown_endpoint_stops_the_server() {
     let (handle, addr) = start(2);
     let resp = request(&addr, "POST", "/shutdown", None).unwrap();

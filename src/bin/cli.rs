@@ -8,6 +8,7 @@
 //! saphyra-cli rank  <edge-list> --random 100 [...]
 //! saphyra-cli gen   <flickr|livejournal|usa-road|orkut> <tiny|small|full> <out-file>
 //! saphyra-cli serve <addr> [--workers N] [--cache N] [--state-dir DIR]
+//!                   [--max-connections N] [--pipeline-depth N] [--journal-max-bytes N]
 //! saphyra-cli snapshot save <edge-list> <out.snap> [--name G]
 //! saphyra-cli snapshot load <file.snap>
 //! saphyra-cli snapshot verify <file.snap>
@@ -72,6 +73,9 @@ enum Command {
         addr: String,
         workers: usize,
         cache: usize,
+        max_connections: usize,
+        pipeline_depth: usize,
+        journal_max_bytes: Option<u64>,
         state_dir: Option<String>,
     },
     Snapshot(SnapshotCmd),
@@ -221,6 +225,10 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         "serve" => {
             let addr = it.next().ok_or("serve: missing bind address")?.clone();
             let (mut workers, mut cache) = (0usize, 128usize);
+            let defaults = saphyra_service::ServiceConfig::default();
+            let mut max_connections = defaults.max_connections;
+            let mut pipeline_depth = defaults.pipeline_depth;
+            let mut journal_max_bytes = None;
             let mut state_dir = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -230,6 +238,22 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                             .map_err(|e| format!("--workers: {e}"))?;
                     }
                     "--cache" => cache = next_parse(&mut it, "--cache")?,
+                    "--max-connections" => {
+                        max_connections = next_parse(&mut it, "--max-connections")?
+                    }
+                    "--pipeline-depth" => {
+                        pipeline_depth = next_parse(&mut it, "--pipeline-depth")?;
+                        if pipeline_depth == 0 {
+                            return Err("--pipeline-depth must be >= 1".to_string());
+                        }
+                    }
+                    "--journal-max-bytes" => {
+                        let n: u64 = next_parse(&mut it, "--journal-max-bytes")?;
+                        if n == 0 {
+                            return Err("--journal-max-bytes must be >= 1".to_string());
+                        }
+                        journal_max_bytes = Some(n);
+                    }
                     "--state-dir" => {
                         state_dir = Some(it.next().ok_or("--state-dir needs a value")?.clone())
                     }
@@ -240,6 +264,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 addr,
                 workers,
                 cache,
+                max_connections,
+                pipeline_depth,
+                journal_max_bytes,
                 state_dir,
             })
         }
@@ -530,11 +557,17 @@ fn run(cmd: Command) -> Result<(), String> {
             addr,
             workers,
             cache,
+            max_connections,
+            pipeline_depth,
+            journal_max_bytes,
             state_dir,
         } => {
             let cfg = saphyra_service::ServiceConfig {
                 workers,
                 cache_capacity: cache,
+                max_connections,
+                pipeline_depth,
+                journal_max_bytes,
                 state_dir: state_dir.map(std::path::PathBuf::from),
                 ..Default::default()
             };
@@ -666,9 +699,10 @@ fn run_snapshot(cmd: SnapshotCmd) -> Result<(), String> {
             if restored + recomputed == 0 {
                 return Err(format!("no usable snapshots in {}", dir.display()));
             }
-            let journal = dir.join(persist::JOURNAL_FILE);
-            let stats = persist::replay_journal(&journal, &service)
-                .map_err(|e| format!("cannot replay {}: {e}", journal.display()))?;
+            // Rotated generation first, then the current journal —
+            // append order across the whole surviving history.
+            let stats = persist::replay_journals(dir, &service)
+                .map_err(|e| format!("cannot replay journal of {}: {e}", dir.display()))?;
             println!(
                 "replayed {} of {} journal line(s) against {} snapshot graph(s); {} skipped, {} status mismatch(es)",
                 stats.replayed,
@@ -848,12 +882,16 @@ mod tests {
             "9",
         ]))
         .unwrap();
+        let defaults = saphyra_service::ServiceConfig::default();
         assert_eq!(
             c,
             Command::Serve {
                 addr: "127.0.0.1:0".into(),
                 workers: 2,
                 cache: 9,
+                max_connections: defaults.max_connections,
+                pipeline_depth: defaults.pipeline_depth,
+                journal_max_bytes: None,
                 state_dir: None
             }
         );
@@ -862,8 +900,30 @@ mod tests {
             c,
             Command::Serve { state_dir: Some(d), .. } if d == "/tmp/sd"
         ));
+        let c = parse_args(&sv(&[
+            "serve",
+            "127.0.0.1:0",
+            "--max-connections",
+            "77",
+            "--pipeline-depth",
+            "4",
+            "--journal-max-bytes",
+            "4096",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Serve {
+                max_connections: 77,
+                pipeline_depth: 4,
+                journal_max_bytes: Some(4096),
+                ..
+            }
+        ));
         assert!(parse_args(&sv(&["serve", "127.0.0.1:0", "--workers", "0"])).is_err());
         assert!(parse_args(&sv(&["serve", "127.0.0.1:0", "--state-dir"])).is_err());
+        assert!(parse_args(&sv(&["serve", "127.0.0.1:0", "--pipeline-depth", "0"])).is_err());
+        assert!(parse_args(&sv(&["serve", "127.0.0.1:0", "--journal-max-bytes", "0"])).is_err());
 
         let c = parse_args(&sv(&["query", "h:1", "health"])).unwrap();
         assert!(matches!(
