@@ -20,6 +20,12 @@
 //! this collapsed throughput to the idle-timeout rate). The keep-alive vs
 //! pipelined before/after table is also recorded in `BENCH_service.json`
 //! at the workspace root.
+//!
+//! The **distinct_cold_targets** round measures cross-request batching: 8
+//! clients fire barrier-synced waves of cold k-path requests with
+//! pairwise-disjoint target sets (same seed within a wave), against a
+//! gathering server and an unbatched one; the batched arm must be ≥ 2x,
+//! since one shared walk stream replaces 8 independent ones.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -51,9 +57,20 @@ fn config() -> Criterion {
 }
 
 fn start_server(workers: usize) -> (saphyra_service::ServerHandle, String) {
+    // Gathering off: the legacy cold rounds measure per-request sampling
+    // cost, and a nonzero window would tax every distinct-seed request
+    // with a sleep it can never amortize (distinct seeds never coalesce).
+    start_server_with_window(workers, Duration::ZERO)
+}
+
+fn start_server_with_window(
+    workers: usize,
+    batch_window: Duration,
+) -> (saphyra_service::ServerHandle, String) {
     let cfg = ServiceConfig {
         workers,
         cache_capacity: 256,
+        batch_window,
         ..ServiceConfig::default()
     };
     let service = Arc::new(Service::new(cfg));
@@ -67,6 +84,42 @@ fn start_server(workers: usize) -> (saphyra_service::ServerHandle, String) {
 
 fn rank_body(seed: u64) -> String {
     format!(r#"{{"graph":"bench","targets":[1,5,9,13,21,34],"eps":0.2,"delta":0.1,"seed":{seed}}}"#)
+}
+
+/// A cold k-path request for the `distinct_cold_targets` round: sampling
+/// (not routing) dominates at this ε, and k-path is the measure whose
+/// batched estimator genuinely shares draws — one walk stream scores every
+/// subscriber's target set.
+fn kpath_body(targets: &str, seed: u64) -> String {
+    format!(
+        r#"{{"graph":"bench","targets":{targets},"measure":"kpath","khops":8,"eps":0.005,"delta":0.1,"seed":{seed}}}"#
+    )
+}
+
+/// Barrier-synced waves: all `CLIENT_THREADS` keep-alive clients release
+/// together, each posting a COLD k-path request with its own disjoint
+/// target set and the wave's common seed (fresh seed per wave, so nothing
+/// is ever cached). Returns elapsed seconds for all waves.
+fn fire_distinct_target_waves(addr: &str, sets: &[String], waves: usize, seed_base: u64) -> f64 {
+    let barrier = std::sync::Barrier::new(CLIENT_THREADS);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for set in sets.iter().take(CLIENT_THREADS) {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut client = Client::new(addr);
+                for w in 0..waves {
+                    barrier.wait();
+                    let body = kpath_body(set, seed_base + w as u64);
+                    let resp = client
+                        .request("POST", "/rank", Some(&body))
+                        .expect("request");
+                    assert_eq!(resp.status, 200, "{}", resp.body);
+                }
+            });
+        }
+    });
+    t0.elapsed().as_secs_f64()
 }
 
 /// Fires `REQUESTS_PER_ROUND` requests from `CLIENT_THREADS` concurrent
@@ -235,11 +288,47 @@ fn bench_service(c: &mut Criterion) {
     );
     eprintln!();
 
+    // ISSUE satellite `distinct_cold_targets`: 8 clients, pairwise-disjoint
+    // target sets, one cold k-path request each per barrier-synced wave.
+    // Batched server (gather window) vs unbatched (window 0), fresh server
+    // per arm so caches and counters are clean. Batching must at least
+    // double throughput: one shared walk stream scores all 8 target sets
+    // instead of 8 independent streams drawing 8x the walks.
+    let sets: Vec<String> = (0..CLIENT_THREADS)
+        .map(|i| format!("[{},{},{}]", 3 * i, 3 * i + 1, 3 * i + 2))
+        .collect();
+    let waves = 6;
+    let (b_handle, b_addr) = start_server_with_window(CLIENT_THREADS, Duration::from_millis(5));
+    let batched_dt = fire_distinct_target_waves(&b_addr, &sets, waves, 7_000_000);
+    let batch_passes = b_handle.service().sample_passes();
+    let batch_members = b_handle.service().batched();
+    b_handle.shutdown_and_join();
+    let (u_handle, u_addr) = start_server_with_window(CLIENT_THREADS, Duration::ZERO);
+    let unbatched_dt = fire_distinct_target_waves(&u_addr, &sets, waves, 7_000_000);
+    u_handle.shutdown_and_join();
+    let total = (CLIENT_THREADS * waves) as f64;
+    let (batched_rps, unbatched_rps) = (total / batched_dt, total / unbatched_dt);
+    let batch_speedup = batched_rps / unbatched_rps;
+    eprintln!(
+        "distinct_cold_targets ({CLIENT_THREADS} disjoint target sets, kpath, {waves} cold waves):"
+    );
+    eprintln!("{:>24} {:>12}", "scenario", "req/s");
+    eprintln!("{:>24} {unbatched_rps:>12.1}", "unbatched (window 0)");
+    eprintln!(
+        "{:>24} {batched_rps:>12.1}  ({batch_speedup:.2}x, {batch_passes} passes / {} batched)",
+        "batched (window 5ms)", batch_members
+    );
+    eprintln!();
+
     let json = format!(
         "{{\"clients\":{CLIENT_THREADS},\"requests_per_round\":{REQUESTS_PER_ROUND},\
          \"keepalive_rps\":{ka_rps:.0},\"pipelined_rps\":{pipe_rps:.0},\
          \"pipelined_speedup\":{:.3},\"slowloris_idle_conns\":64,\
-         \"slowloris_rps\":{loris_rps:.0},\"slowloris_ratio\":{:.3}}}\n",
+         \"slowloris_rps\":{loris_rps:.0},\"slowloris_ratio\":{:.3},\
+         \"distinct_cold_targets\":{{\"waves\":{waves},\
+         \"unbatched_rps\":{unbatched_rps:.1},\"batched_rps\":{batched_rps:.1},\
+         \"batch_speedup\":{batch_speedup:.3},\"sample_passes\":{batch_passes},\
+         \"batched_members\":{batch_members}}}}}\n",
         pipe_rps / ka_rps,
         loris_rps / ka_rps
     );
@@ -257,6 +346,11 @@ fn bench_service(c: &mut Criterion) {
     assert!(
         loris_rps >= ka_rps * 0.5,
         "64 idle connections halved hot throughput: {loris_rps:.0} vs {ka_rps:.0} req/s"
+    );
+    assert!(
+        batch_speedup >= 2.0,
+        "cross-request batching under 2x on distinct cold targets: \
+         batched {batched_rps:.1} vs unbatched {unbatched_rps:.1} req/s ({batch_speedup:.2}x)"
     );
 
     handle.shutdown_and_join();

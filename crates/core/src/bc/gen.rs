@@ -14,6 +14,15 @@
 //! so concurrent workers draw without locks or allocation. Accept/reject
 //! telemetry flows back through relaxed atomic counters (totals only —
 //! per-worker interleaving is irrelevant).
+//!
+//! Unlike the k-path walk, `Gen_bc` is **not** a
+//! [`crate::framework::SharedDraw`] problem: the rejection loop consults
+//! the target set (`path_in_exact_subspace`), so the very RNG consumption
+//! of a draw is personalized — two subscribers with different targets
+//! diverge after the first rejected path. Cross-request batching therefore
+//! fuses BC subscribers at the *schedule* level only (one parallel pass
+//! per doubling round via [`crate::framework::estimate_risks_multi`]),
+//! never at the draw level.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

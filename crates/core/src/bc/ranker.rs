@@ -9,7 +9,7 @@ use super::exact2hop::{build_a_index, exact_bc};
 use super::gen::BcApproxProblem;
 use super::outreach::{bca_values, gamma, Outreach};
 use super::vcbound::{vc_bounds_from, VcBoundReport, VcPrecomp};
-use crate::framework::{AdaptiveOutcome, ExactPart};
+use crate::framework::{saphyra_estimate_batch, AdaptiveOutcome, BatchSubscriber, ExactPart};
 
 /// Accuracy configuration of a SaPHyRa_bc run.
 #[derive(Debug, Clone, Copy)]
@@ -290,6 +290,152 @@ impl BcDecomposition {
             approx_part,
             stats,
         }
+    }
+
+    /// Ranks several target subsets at once through one fused sampling
+    /// stream (the batched-service path).
+    ///
+    /// ISP draws are *personalized* — the rejection step consults each
+    /// subset's exact subspace — so draws cannot be shared across
+    /// subscribers; instead the doubling schedules are fused into one
+    /// parallel pass per round, with per-subscriber stopping. Every
+    /// estimate is bit-identical to [`BcDecomposition::rank_subset`] run
+    /// alone against an `rng` yielding the same master seed.
+    pub fn rank_subset_multi(
+        &self,
+        graph: &Graph,
+        sets: &[Vec<NodeId>],
+        cfg: &SaphyraBcConfig,
+        rng: &mut dyn RngCore,
+    ) -> Vec<BcEstimate> {
+        let n = graph.num_nodes();
+        let a_indexes: Vec<Vec<u32>> = sets.iter().map(|t| build_a_index(n, t)).collect();
+        let vcs: Vec<VcBoundReport> = sets
+            .iter()
+            .map(|t| vc_bounds_from(&self.vc_precomp, graph, &self.bic, t))
+            .collect();
+        let mut probs: Vec<BcApproxProblem> = sets
+            .iter()
+            .zip(&a_indexes)
+            .zip(&vcs)
+            .map(|((t, ai), vc)| {
+                BcApproxProblem::new(graph, &self.bic, &self.outreach, t, ai, vc.vc_subset)
+            })
+            .collect();
+
+        // Per-set prelude, mirroring `rank_subset` line by line: η, the
+        // exact oracle (or the ablation), and ε/(γη). Sets with no PISP
+        // mass never reach the sampling engine.
+        let mut exact_parts: Vec<Option<(ExactPart, u64)>> = Vec::with_capacity(sets.len());
+        let mut gamma_etas = vec![0.0f64; sets.len()];
+        let mut sampled: Vec<usize> = Vec::new();
+        for i in 0..sets.len() {
+            let eta = probs[i].pisp().eta;
+            gamma_etas[i] = self.gamma * eta;
+            if probs[i].pisp().is_empty() || gamma_etas[i] <= 0.0 {
+                exact_parts.push(None);
+                continue;
+            }
+            let part = if cfg.use_exact_subspace {
+                let exact = exact_bc(graph, &self.bic, &self.outreach, &sets[i], &a_indexes[i]);
+                let lambda_hat = (exact.lambda_raw / gamma_etas[i]).clamp(0.0, 1.0);
+                let exact_risks: Vec<f64> =
+                    exact.exact_raw.iter().map(|&x| x / gamma_etas[i]).collect();
+                (
+                    ExactPart {
+                        lambda_hat,
+                        exact_risks,
+                    },
+                    exact.work,
+                )
+            } else {
+                probs[i].reject_exact = false;
+                (ExactPart::trivial(sets[i].len()), 0)
+            };
+            exact_parts.push(Some(part));
+            sampled.push(i);
+        }
+
+        let subs: Vec<BatchSubscriber<BcApproxProblem>> = sampled
+            .iter()
+            .map(|&i| BatchSubscriber {
+                problem: &probs[i],
+                exact: &exact_parts[i].as_ref().expect("sampled set").0,
+                eps: cfg.eps / gamma_etas[i],
+                delta: cfg.delta,
+            })
+            .collect();
+        let mut ests = saphyra_estimate_batch(&subs, cfg.adaptive, rng).into_iter();
+        drop(subs);
+
+        (0..sets.len())
+            .map(|i| {
+                let targets = &sets[i];
+                let k = targets.len();
+                let eta = probs[i].pisp().eta;
+                let gamma_eta = gamma_etas[i];
+                let bca_part: Vec<f64> = targets.iter().map(|&v| self.bca[v as usize]).collect();
+                let Some((exact_part, exact_work)) = &exact_parts[i] else {
+                    // No PISP mass: betweenness of the targets is exactly bcₐ.
+                    let stats = BcRunStats {
+                        gamma: self.gamma,
+                        eta,
+                        lambda_hat: 0.0,
+                        vc: vcs[i],
+                        eps_inner: cfg.eps,
+                        samples: 0,
+                        pilot_samples: 0,
+                        rejected: 0,
+                        exact_work: 0,
+                        converged_early: true,
+                        nmax: 0,
+                        rounds: 0,
+                    };
+                    return BcEstimate {
+                        targets: targets.clone(),
+                        bc: bca_part.clone(),
+                        bca_part,
+                        exact_path_part: vec![0.0; k],
+                        approx_part: vec![0.0; k],
+                        stats,
+                    };
+                };
+                let est = ests.next().expect("one estimate per sampled set");
+                let exact_path_part: Vec<f64> =
+                    est.exact_part.iter().map(|&x| gamma_eta * x).collect();
+                let approx_part: Vec<f64> = est
+                    .approx_part
+                    .iter()
+                    .map(|&x| gamma_eta * est.lambda * x)
+                    .collect();
+                let bc: Vec<f64> = (0..k)
+                    .map(|j| bca_part[j] + exact_path_part[j] + approx_part[j])
+                    .collect();
+                let outcome: &AdaptiveOutcome = &est.outcome;
+                let stats = BcRunStats {
+                    gamma: self.gamma,
+                    eta,
+                    lambda_hat: exact_part.lambda_hat,
+                    vc: vcs[i],
+                    eps_inner: cfg.eps / gamma_eta,
+                    samples: outcome.samples_used,
+                    pilot_samples: outcome.pilot_samples,
+                    rejected: probs[i].rejected(),
+                    exact_work: *exact_work,
+                    converged_early: outcome.converged_early,
+                    nmax: outcome.nmax,
+                    rounds: outcome.rounds_run,
+                };
+                BcEstimate {
+                    targets: targets.clone(),
+                    bc,
+                    bca_part,
+                    exact_path_part,
+                    approx_part,
+                    stats,
+                }
+            })
+            .collect()
     }
 
     /// SaPHyRa_bc-full: ranks every node of the graph (the paper's

@@ -20,7 +20,8 @@ use saphyra_graph::bfs::{BfsWorkspace, INFINITY};
 use saphyra_graph::{Graph, NodeId};
 
 use crate::framework::{
-    saphyra_estimate_weighted, ExactPart, SaphyraEstimate, WeightedHrProblem, WeightedHrSampler,
+    saphyra_estimate_weighted, saphyra_estimate_weighted_batch, BatchSubscriber, ExactPart,
+    SaphyraEstimate, WeightedHrProblem, WeightedHrSampler,
 };
 
 const NONE: u32 = u32::MAX;
@@ -159,6 +160,21 @@ pub struct HarmonicEstimate {
     pub inner: SaphyraEstimate,
 }
 
+/// Degenerate `A = V` estimate: the exact part already covers everything.
+fn exact_only_harmonic(targets: &[NodeId], exact: ExactPart) -> HarmonicEstimate {
+    HarmonicEstimate {
+        targets: targets.to_vec(),
+        hc: exact.exact_risks.clone(),
+        inner: SaphyraEstimate {
+            combined: exact.exact_risks.clone(),
+            exact_part: exact.exact_risks,
+            approx_part: vec![0.0; targets.len()],
+            lambda: 0.0,
+            outcome: crate::framework::AdaptiveOutcome::empty(),
+        },
+    }
+}
+
 /// Ranks `targets` by harmonic centrality with an (ε, δ) guarantee.
 pub fn rank_harmonic(
     g: &Graph,
@@ -170,18 +186,7 @@ pub fn rank_harmonic(
     assert!(!targets.is_empty());
     let exact = harmonic_exact_part(g, targets);
     if targets.len() == g.num_nodes() {
-        // Degenerate: the exact part already covers everything.
-        return HarmonicEstimate {
-            targets: targets.to_vec(),
-            hc: exact.exact_risks.clone(),
-            inner: SaphyraEstimate {
-                combined: exact.exact_risks.clone(),
-                exact_part: exact.exact_risks,
-                approx_part: vec![0.0; targets.len()],
-                lambda: 0.0,
-                outcome: crate::framework::AdaptiveOutcome::empty(),
-            },
-        };
+        return exact_only_harmonic(targets, exact);
     }
     let prob = HarmonicApproxProblem::new(g, targets);
     let inner = saphyra_estimate_weighted(&prob, &exact, eps, delta, rng);
@@ -190,6 +195,65 @@ pub fn rank_harmonic(
         hc: inner.combined.clone(),
         inner,
     }
+}
+
+/// Ranks several target sets at once through one fused sampling stream.
+///
+/// Harmonic sources are drawn uniformly from `V ∖ A`, which differs per
+/// target set, so draws cannot be shared across subscribers — but the
+/// doubling schedules are: every round runs a single parallel pass over
+/// all demanded blocks, and subscribers whose ε target is met detach
+/// while the pass keeps serving stricter ones. Each `(est, eps)` pair is
+/// bit-identical to [`rank_harmonic`] run alone with the same `rng` seed.
+pub fn rank_harmonic_multi(
+    g: &Graph,
+    sets: &[Vec<NodeId>],
+    eps: f64,
+    delta: f64,
+    rng: &mut dyn RngCore,
+) -> Vec<HarmonicEstimate> {
+    let n = g.num_nodes();
+    let exacts: Vec<ExactPart> = sets
+        .iter()
+        .map(|t| {
+            assert!(!t.is_empty());
+            harmonic_exact_part(g, t)
+        })
+        .collect();
+    // Degenerate A = V sets never reach the sampling engine (there is no
+    // approximate subspace to build a problem over).
+    let sampled: Vec<usize> = (0..sets.len()).filter(|&i| sets[i].len() != n).collect();
+    let probs: Vec<HarmonicApproxProblem> = sampled
+        .iter()
+        .map(|&i| HarmonicApproxProblem::new(g, &sets[i]))
+        .collect();
+    let subs: Vec<BatchSubscriber<HarmonicApproxProblem>> = probs
+        .iter()
+        .zip(&sampled)
+        .map(|(problem, &i)| BatchSubscriber {
+            problem,
+            exact: &exacts[i],
+            eps,
+            delta,
+        })
+        .collect();
+    let mut inners = saphyra_estimate_weighted_batch(&subs, true, rng).into_iter();
+    let mut slots: Vec<Option<SaphyraEstimate>> = (0..sets.len()).map(|_| None).collect();
+    for &i in &sampled {
+        slots[i] = inners.next();
+    }
+    sets.iter()
+        .zip(exacts)
+        .zip(slots)
+        .map(|((targets, exact), inner)| match inner {
+            Some(inner) => HarmonicEstimate {
+                targets: targets.clone(),
+                hc: inner.combined.clone(),
+                inner,
+            },
+            None => exact_only_harmonic(targets, exact),
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -12,13 +12,11 @@
 //! returned estimates are **bit-identical for every thread count**.
 
 use rand::RngCore;
-use saphyra_stats::{
-    allocate_deltas, bernoulli_sample_variance, doubling_rounds, empirical_bernstein_epsilon,
-    vc_sample_bound, C_VC,
-};
+use saphyra_stats::{vc_sample_bound, C_VC};
 
-use super::batch::{chunks_used, sample_hit_counts, STREAM_MAIN, STREAM_PILOT};
+use super::batch::sample_hit_counts;
 use super::problem::HrProblem;
+use super::tracker::{pilot_budget, Tracker};
 
 /// Tuning knobs of the adaptive estimator.
 #[derive(Debug, Clone, Copy)]
@@ -109,6 +107,12 @@ impl AdaptiveOutcome {
 /// The caller's `rng` is consumed for a single master seed; all sample
 /// blocks are then drawn in parallel through [`HrProblem::sampler`] heads
 /// with deterministic per-chunk RNG streams.
+///
+/// The schedule itself — pilot, δᵢ allocation, doubling rounds, Bernstein
+/// checks, forced `N_max` finish — lives in [`Tracker`]; this function is
+/// the degenerate one-subscriber stream: demand a block, draw it, absorb
+/// it. The multi-subscriber drivers in [`super::multi`] run the very same
+/// trackers against one shared pass.
 pub fn estimate_risks<P: HrProblem + ?Sized>(
     problem: &P,
     cfg: &AdaptiveConfig,
@@ -119,100 +123,14 @@ pub fn estimate_risks<P: HrProblem + ?Sized>(
         return AdaptiveOutcome::empty();
     }
     let master = rng.next_u64();
-    let ln_inv_delta = (1.0 / cfg.delta).ln();
-    let vc = problem.vc_dimension().max(1);
-    let n0 = ((cfg.c_vc / (cfg.eps_prime * cfg.eps_prime) * ln_inv_delta).ceil() as usize)
-        .max(cfg.min_pilot);
-    let nmax = vc_sample_bound(cfg.eps_prime, cfg.delta, vc).max(n0);
-
-    if !cfg.adaptive {
-        // Fixed-size ablation: the plain Lemma 4 estimator.
-        let hits = sample_hit_counts(problem, k, master, STREAM_MAIN, 0, nmax);
-        return AdaptiveOutcome {
-            estimates: hits.iter().map(|&h| h as f64 / nmax as f64).collect(),
-            samples_used: nmax,
-            pilot_samples: 0,
-            rounds_run: 0,
-            n0,
-            nmax,
-            converged_early: false,
-            achieved_eps: cfg.eps_prime,
-        };
+    let n0 = pilot_budget(cfg);
+    let nmax = vc_sample_bound(cfg.eps_prime, cfg.delta, problem.vc_dimension().max(1)).max(n0);
+    let mut tracker = Tracker::<u64>::new(k, cfg, n0, nmax);
+    while let Some(d) = tracker.demand() {
+        let block = sample_hit_counts(problem, k, master, d.stream, d.first_chunk, d.count);
+        tracker.absorb(&block);
     }
-
-    // Pilot pass (line 9 / §III-C): independent samples estimating each
-    // hypothesis' variance for the δᵢ allocation.
-    let pilot_hits = sample_hit_counts(problem, k, master, STREAM_PILOT, 0, n0);
-    let pilot_vars: Vec<f64> = pilot_hits
-        .iter()
-        .map(|&h| bernoulli_sample_variance(h, n0 as u64))
-        .collect();
-
-    let rounds = doubling_rounds(n0, nmax);
-    let deltas = allocate_deltas(&pilot_vars, nmax, cfg.eps_prime, cfg.delta / rounds as f64);
-
-    // Main loop (lines 10-18): fresh samples, doubling with early stop.
-    // Every round extends STREAM_MAIN past the chunks already drawn; the
-    // round boundaries are a deterministic function of the counts alone,
-    // so the union of drawn chunks — and therefore every estimate below —
-    // does not depend on the worker count.
-    let mut hits = vec![0u64; k];
-    let mut n = 0usize;
-    let mut next_chunk = 0u64;
-    let mut target = n0.min(nmax);
-    let mut converged_early = false;
-    let mut achieved_eps;
-    let mut rounds_run = 0usize;
-    loop {
-        let block = target - n;
-        let block_hits = sample_hit_counts(problem, k, master, STREAM_MAIN, next_chunk, block);
-        next_chunk += chunks_used(block);
-        for (h, b) in hits.iter_mut().zip(block_hits) {
-            *h += b;
-        }
-        n = target;
-        rounds_run += 1;
-        let mut max_eps = 0.0f64;
-        for i in 0..k {
-            let var = bernoulli_sample_variance(hits[i], n as u64);
-            let e = empirical_bernstein_epsilon(n.max(2), deltas[i].min(0.5), var);
-            if e > max_eps {
-                max_eps = e;
-            }
-        }
-        achieved_eps = max_eps;
-        if max_eps <= cfg.eps_prime {
-            converged_early = true;
-            break;
-        }
-        if target >= nmax {
-            // Forced stop: Lemma 4 guarantees ε′ at N_max.
-            break;
-        }
-        if rounds_run >= rounds {
-            // Bernstein budget exhausted: run straight to N_max.
-            let block = nmax - n;
-            let block_hits = sample_hit_counts(problem, k, master, STREAM_MAIN, next_chunk, block);
-            for (h, b) in hits.iter_mut().zip(block_hits) {
-                *h += b;
-            }
-            n = nmax;
-            break;
-        }
-        target = (2 * target).min(nmax);
-    }
-
-    let estimates: Vec<f64> = hits.iter().map(|&h| h as f64 / n as f64).collect();
-    AdaptiveOutcome {
-        estimates,
-        samples_used: n,
-        pilot_samples: n0,
-        rounds_run,
-        n0,
-        nmax,
-        converged_early,
-        achieved_eps,
-    }
+    tracker.finish()
 }
 
 #[cfg(test)]

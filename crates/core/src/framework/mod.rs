@@ -4,12 +4,16 @@
 
 mod adaptive;
 mod batch;
+mod multi;
 mod problem;
+mod tracker;
 mod variance;
 mod weighted;
 
 pub use adaptive::{estimate_risks, AdaptiveConfig, AdaptiveOutcome};
-pub use problem::{ExactPart, HrProblem, HrSampler};
+pub use multi::{estimate_risks_multi, estimate_risks_shared, estimate_weighted_risks_multi};
+pub use problem::{ExactPart, HrProblem, HrSampler, SharedDraw};
+pub use tracker::{BlockAcc, Demand, Tracker};
 pub use variance::{partitioned_variance_ratio, variance_reduction_factor};
 pub use weighted::{
     estimate_weighted_risks, saphyra_estimate_weighted, WeightedHrProblem, WeightedHrSampler,
@@ -78,18 +82,17 @@ pub fn saphyra_estimate_cfg<P: HrProblem + ?Sized>(
     assert_eq!(k, problem.num_hypotheses(), "exact part size mismatch");
     let lambda = (1.0 - exact.lambda_hat).clamp(0.0, 1.0);
     if lambda <= f64::EPSILON {
-        return SaphyraEstimate {
-            combined: exact.exact_risks.clone(),
-            exact_part: exact.exact_risks.clone(),
-            approx_part: vec![0.0; k],
-            lambda,
-            outcome: AdaptiveOutcome::empty(),
-        };
+        return exact_only_estimate(exact, lambda);
     }
-    let eps_prime = eps / lambda;
-    let mut cfg = AdaptiveConfig::new(eps_prime, delta);
+    let mut cfg = AdaptiveConfig::new(eps / lambda, delta);
     cfg.adaptive = adaptive;
     let outcome = estimate_risks(problem, &cfg, rng);
+    combine_estimate(exact, lambda, outcome)
+}
+
+/// Eq. 8: `ℓᵢ = ℓ̂ᵢ + λ·ℓ̃ᵢ`, assembled from the exact part and one
+/// sampling outcome.
+fn combine_estimate(exact: &ExactPart, lambda: f64, outcome: AdaptiveOutcome) -> SaphyraEstimate {
     let combined: Vec<f64> = exact
         .exact_risks
         .iter()
@@ -103,6 +106,128 @@ pub fn saphyra_estimate_cfg<P: HrProblem + ?Sized>(
         lambda,
         outcome,
     }
+}
+
+/// Degenerate `λ ≈ 0` estimate: the exact part covers the whole space.
+fn exact_only_estimate(exact: &ExactPart, lambda: f64) -> SaphyraEstimate {
+    SaphyraEstimate {
+        combined: exact.exact_risks.clone(),
+        exact_part: exact.exact_risks.clone(),
+        approx_part: vec![0.0; exact.exact_risks.len()],
+        lambda,
+        outcome: AdaptiveOutcome::empty(),
+    }
+}
+
+/// One subscriber of a batched SaPHyRa run: a problem, its already-computed
+/// exact part, and its accuracy target on the *combined* risk.
+pub struct BatchSubscriber<'a, P: ?Sized> {
+    /// The approximate-subspace problem.
+    pub problem: &'a P,
+    /// Output of the `Exact(·)` oracle for this subscriber.
+    pub exact: &'a ExactPart,
+    /// Target accuracy ε on the combined risk.
+    pub eps: f64,
+    /// Failure probability δ.
+    pub delta: f64,
+}
+
+/// Shared plumbing of the batched pipelines: compute each subscriber's
+/// `λ`, route the `λ > 0` ones through `engine` (with per-subscriber
+/// `ε′ = ε/λ` configs and one shared master seed), and assemble Eq. 8 per
+/// subscriber. Degenerate subscribers (`λ ≈ 0`) never sample.
+fn saphyra_batch_with<P: ?Sized>(
+    subs: &[BatchSubscriber<'_, P>],
+    adaptive: bool,
+    rng: &mut dyn rand::RngCore,
+    engine: impl FnOnce(&[&P], &[AdaptiveConfig], u64) -> Vec<AdaptiveOutcome>,
+) -> Vec<SaphyraEstimate> {
+    let master = rng.next_u64();
+    let lambdas: Vec<f64> = subs
+        .iter()
+        .map(|s| (1.0 - s.exact.lambda_hat).clamp(0.0, 1.0))
+        .collect();
+    let sampled: Vec<usize> = (0..subs.len())
+        .filter(|&i| lambdas[i] > f64::EPSILON)
+        .collect();
+    let problems: Vec<&P> = sampled.iter().map(|&i| subs[i].problem).collect();
+    let cfgs: Vec<AdaptiveConfig> = sampled
+        .iter()
+        .map(|&i| {
+            let mut cfg = AdaptiveConfig::new(subs[i].eps / lambdas[i], subs[i].delta);
+            cfg.adaptive = adaptive;
+            cfg
+        })
+        .collect();
+    let outcomes = engine(&problems, &cfgs, master);
+    let mut outcomes: Vec<Option<AdaptiveOutcome>> = outcomes.into_iter().map(Some).collect();
+    let mut by_sub: Vec<Option<AdaptiveOutcome>> = (0..subs.len()).map(|_| None).collect();
+    for (slot, &i) in sampled.iter().enumerate() {
+        by_sub[i] = outcomes[slot].take();
+    }
+    subs.iter()
+        .zip(lambdas)
+        .zip(by_sub)
+        .map(|((s, lambda), outcome)| match outcome {
+            Some(o) => combine_estimate(s.exact, lambda, o),
+            None => exact_only_estimate(s.exact, lambda),
+        })
+        .collect()
+}
+
+/// Batched [`saphyra_estimate`]: every subscriber's result — estimates,
+/// telemetry, and achieved ε — is bit-identical to a solo run against an
+/// `rng` yielding the same master seed, no matter who else is batched.
+/// Draws are fused into one pass per round but not shared across
+/// subscribers (each problem samples through its own `Gen(·)`).
+pub fn saphyra_estimate_batch<P: HrProblem + ?Sized>(
+    subs: &[BatchSubscriber<'_, P>],
+    adaptive: bool,
+    rng: &mut dyn rand::RngCore,
+) -> Vec<SaphyraEstimate> {
+    for s in subs {
+        assert_eq!(
+            s.exact.exact_risks.len(),
+            s.problem.num_hypotheses(),
+            "exact part size mismatch"
+        );
+    }
+    saphyra_batch_with(subs, adaptive, rng, estimate_risks_multi)
+}
+
+/// Batched [`saphyra_estimate`] with **shared draws** for [`SharedDraw`]
+/// problems over one common sample space: each demanded sample block is
+/// drawn once and scored by every subscriber that needs it. Same
+/// bit-identity guarantee as [`saphyra_estimate_batch`].
+pub fn saphyra_estimate_batch_shared<P: SharedDraw + ?Sized>(
+    subs: &[BatchSubscriber<'_, P>],
+    adaptive: bool,
+    rng: &mut dyn rand::RngCore,
+) -> Vec<SaphyraEstimate> {
+    for s in subs {
+        assert_eq!(
+            s.exact.exact_risks.len(),
+            s.problem.num_hypotheses(),
+            "exact part size mismatch"
+        );
+    }
+    saphyra_batch_with(subs, adaptive, rng, estimate_risks_shared)
+}
+
+/// Batched [`saphyra_estimate_weighted`] (fractional losses, fused pass).
+pub fn saphyra_estimate_weighted_batch<P: WeightedHrProblem + ?Sized>(
+    subs: &[BatchSubscriber<'_, P>],
+    adaptive: bool,
+    rng: &mut dyn rand::RngCore,
+) -> Vec<SaphyraEstimate> {
+    for s in subs {
+        assert_eq!(
+            s.exact.exact_risks.len(),
+            s.problem.num_hypotheses(),
+            "exact part size mismatch"
+        );
+    }
+    saphyra_batch_with(subs, adaptive, rng, estimate_weighted_risks_multi)
 }
 
 #[cfg(test)]

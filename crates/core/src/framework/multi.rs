@@ -1,0 +1,325 @@
+//! Multi-subscriber adaptive estimation: one pass over sample blocks feeds
+//! many independent (est, ε) trackers with per-subscriber stopping rules.
+//!
+//! Each subscriber is a [`Tracker`] (the demand/absorb form of Algorithm
+//! 1's loop). The drivers here step all trackers in lockstep rounds: every
+//! round collects the active subscribers' [`Demand`]s, executes them as
+//! **one** parallel pass, and feeds each block back. A subscriber whose ε
+//! target is met detaches while the pass keeps serving stricter ones.
+//! Because a demand is a pure coordinate into the counter-based RNG
+//! streams, each subscriber sees exactly the draws it would have seen
+//! running alone under the same master seed — outcomes are bit-identical
+//! to per-subscriber [`super::adaptive::estimate_risks`] runs, for every
+//! thread count and every batch composition.
+//!
+//! Three executors back the drivers:
+//!
+//! * [`estimate_risks_multi`] / [`estimate_weighted_risks_multi`] — fused
+//!   scheduling: all subscribers' blocks fan out over one rayon pass, but
+//!   each block is drawn through its own problem's sampler (required when
+//!   draws depend on the hypothesis set, as for personalized-ISP
+//!   betweenness and harmonic closeness).
+//! * [`estimate_risks_shared`] — genuine draw sharing for [`SharedDraw`]
+//!   problems: overlapping chunk demands are unioned, each chunk's
+//!   artifacts are drawn **once**, and every demanding subscriber scores
+//!   them. Serving `s` subscribers costs one draw pass plus `s` cheap
+//!   score scans instead of `s` draw passes.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use rayon::prelude::*;
+use saphyra_stats::{hoeffding_samples, stream, vc_sample_bound};
+
+use super::adaptive::{AdaptiveConfig, AdaptiveOutcome};
+use super::batch::LossAcc;
+use super::problem::{HrProblem, SharedDraw};
+use super::tracker::{pilot_budget, BlockAcc, Demand, Tracker};
+use super::weighted::WeightedHrProblem;
+
+/// Steps trackers in lockstep rounds against a block executor until every
+/// subscriber detaches.
+fn drive<T: BlockAcc>(
+    mut trackers: Vec<Tracker<T>>,
+    exec: impl Fn(&[(usize, Demand)]) -> Vec<Vec<T>>,
+) -> Vec<AdaptiveOutcome> {
+    loop {
+        let reqs: Vec<(usize, Demand)> = trackers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.demand().map(|d| (i, d)))
+            .collect();
+        if reqs.is_empty() {
+            break;
+        }
+        let blocks = exec(&reqs);
+        debug_assert_eq!(blocks.len(), reqs.len());
+        for (&(sub, _), block) in reqs.iter().zip(&blocks) {
+            trackers[sub].absorb(block);
+        }
+    }
+    trackers.into_iter().map(Tracker::finish).collect()
+}
+
+/// Executes hit-count demands as one rayon pass. Each demand's chunk range
+/// is split into groups exactly like the solo path; integer counts merge
+/// exactly under any grouping, so per-subscriber totals are bit-identical
+/// to solo runs.
+fn run_hit_blocks<'a, P: HrProblem + ?Sized>(
+    problems: &[&'a P],
+    master: u64,
+    reqs: &[(usize, Demand)],
+) -> Vec<Vec<u64>> {
+    let ks: Vec<usize> = problems.iter().map(|p| p.num_hypotheses()).collect();
+    // unit = (request index, chunk sub-range)
+    let mut units: Vec<(usize, Range<usize>)> = Vec::new();
+    for (ri, &(_, d)) in reqs.iter().enumerate() {
+        if d.count == 0 {
+            continue;
+        }
+        let chunks = stream::num_chunks(d.count, stream::CHUNK);
+        for r in stream::group_bounds(chunks, stream::int_groups()) {
+            units.push((ri, r));
+        }
+    }
+    let partials: Vec<Vec<u64>> = (0..units.len())
+        .into_par_iter()
+        .map_init(
+            || {
+                let samplers: Vec<Option<Box<dyn super::problem::HrSampler + 'a>>> =
+                    problems.iter().map(|_| None).collect();
+                (samplers, Vec::<u32>::new())
+            },
+            |(samplers, hits), u| {
+                let (ri, range) = &units[u as usize];
+                let (sub, d) = reqs[*ri];
+                let mut counts = vec![0u64; ks[sub]];
+                let sampler = samplers[sub].get_or_insert_with(|| problems[sub].sampler());
+                for c in range.clone() {
+                    let mut rng = stream::chunk_rng(master, d.stream, d.first_chunk + c as u64);
+                    let len = stream::chunk_len(d.count, stream::CHUNK, c);
+                    for _ in 0..len {
+                        hits.clear();
+                        sampler.sample_hits_into(&mut rng, hits);
+                        for &i in hits.iter() {
+                            counts[i as usize] += 1;
+                        }
+                    }
+                }
+                counts
+            },
+        )
+        .collect();
+    let mut totals: Vec<Vec<u64>> = reqs.iter().map(|&(s, _)| vec![0u64; ks[s]]).collect();
+    for ((ri, _), part) in units.iter().zip(partials) {
+        for (t, x) in totals[*ri].iter_mut().zip(part) {
+            *t += x;
+        }
+    }
+    totals
+}
+
+/// Executes weighted-loss demands as one rayon pass. Each demand keeps its
+/// own solo grouping ([`stream::f64_groups`] of *its* `k`) and its groups
+/// merge left-to-right, so the `f64` association order — and therefore the
+/// bits — match a solo [`super::weighted::estimate_weighted_risks`] run.
+fn run_loss_blocks<'a, P: WeightedHrProblem + ?Sized>(
+    problems: &[&'a P],
+    master: u64,
+    reqs: &[(usize, Demand)],
+) -> Vec<Vec<LossAcc>> {
+    let ks: Vec<usize> = problems.iter().map(|p| p.num_hypotheses()).collect();
+    let mut units: Vec<(usize, Range<usize>)> = Vec::new();
+    for (ri, &(sub, d)) in reqs.iter().enumerate() {
+        if d.count == 0 {
+            continue;
+        }
+        let chunks = stream::num_chunks(d.count, stream::CHUNK);
+        let groups = stream::f64_groups(ks[sub] * std::mem::size_of::<LossAcc>());
+        for r in stream::group_bounds(chunks, groups) {
+            units.push((ri, r));
+        }
+    }
+    let partials: Vec<Vec<LossAcc>> = (0..units.len())
+        .into_par_iter()
+        .map_init(
+            || {
+                let samplers: Vec<Option<Box<dyn super::weighted::WeightedHrSampler + 'a>>> =
+                    problems.iter().map(|_| None).collect();
+                (samplers, Vec::<(u32, f64)>::new())
+            },
+            |(samplers, buf), u| {
+                let (ri, range) = &units[u as usize];
+                let (sub, d) = reqs[*ri];
+                let mut accs = vec![LossAcc::default(); ks[sub]];
+                let sampler = samplers[sub].get_or_insert_with(|| problems[sub].sampler());
+                for c in range.clone() {
+                    let mut rng = stream::chunk_rng(master, d.stream, d.first_chunk + c as u64);
+                    let len = stream::chunk_len(d.count, stream::CHUNK, c);
+                    for _ in 0..len {
+                        buf.clear();
+                        sampler.sample_losses_into(&mut rng, buf);
+                        for &(i, x) in buf.iter() {
+                            accs[i as usize].push(x);
+                        }
+                    }
+                }
+                accs
+            },
+        )
+        .collect();
+    // Units of one request arrive in group order; merging in unit order is
+    // the same left-to-right association the solo path uses.
+    let mut totals: Vec<Vec<LossAcc>> = reqs
+        .iter()
+        .map(|&(s, _)| vec![LossAcc::default(); ks[s]])
+        .collect();
+    for ((ri, _), part) in units.iter().zip(partials) {
+        for (t, p) in totals[*ri].iter_mut().zip(&part) {
+            t.add(p);
+        }
+    }
+    totals
+}
+
+/// Executes hit-count demands with **shared draws**: the union of demanded
+/// `(stream, chunk)` coordinates is drawn once, and every subscriber that
+/// demanded a chunk scores its prefix of the chunk's artifacts.
+///
+/// Correctness leans on the [`SharedDraw`] contract: drawing is
+/// target-independent and scoring consumes no RNG, so the first `len`
+/// artifacts of a chunk are the same values a solo run would have drawn,
+/// regardless of how many extra samples stricter subscribers demanded from
+/// the same chunk.
+fn run_shared_blocks<P: SharedDraw + ?Sized>(
+    problems: &[&P],
+    master: u64,
+    reqs: &[(usize, Demand)],
+) -> Vec<Vec<u64>> {
+    let ks: Vec<usize> = problems.iter().map(|p| p.num_hypotheses()).collect();
+    // (stream, chunk) → demanding (request index, samples needed).
+    let mut by_chunk: BTreeMap<(u64, u64), Vec<(usize, usize)>> = BTreeMap::new();
+    for (ri, &(_, d)) in reqs.iter().enumerate() {
+        if d.count == 0 {
+            continue;
+        }
+        let chunks = stream::num_chunks(d.count, stream::CHUNK);
+        for c in 0..chunks {
+            let len = stream::chunk_len(d.count, stream::CHUNK, c);
+            by_chunk
+                .entry((d.stream, d.first_chunk + c as u64))
+                .or_default()
+                .push((ri, len));
+        }
+    }
+    // (stream, chunk) paired with its demanders: (request index, samples needed).
+    type ChunkUnit = ((u64, u64), Vec<(usize, usize)>);
+    let chunk_units: Vec<ChunkUnit> = by_chunk.into_iter().collect();
+    let groups = stream::group_bounds(chunk_units.len(), stream::int_groups());
+    let partials: Vec<Vec<Vec<u64>>> = (0..groups.len())
+        .into_par_iter()
+        .map_init(
+            || (Vec::<u32>::new(), Vec::<u32>::new()), // (artifact, hits)
+            |(buf, hits), gi| {
+                let range = &groups[gi as usize];
+                let mut counts: Vec<Vec<u64>> =
+                    reqs.iter().map(|&(s, _)| vec![0u64; ks[s]]).collect();
+                for u in range.clone() {
+                    let ((stream_id, chunk), demanders) = &chunk_units[u];
+                    let mut rng = stream::chunk_rng(master, *stream_id, *chunk);
+                    let max_len = demanders.iter().map(|&(_, l)| l).max().unwrap_or(0);
+                    // Any demander's problem can draw — the contract makes
+                    // them interchangeable.
+                    let drawer = problems[reqs[demanders[0].0].0];
+                    for s in 0..max_len {
+                        buf.clear();
+                        drawer.draw_artifact(&mut rng, buf);
+                        for &(ri, len) in demanders.iter() {
+                            if s >= len {
+                                continue;
+                            }
+                            hits.clear();
+                            problems[reqs[ri].0].score_artifact(buf, hits);
+                            for &i in hits.iter() {
+                                counts[ri][i as usize] += 1;
+                            }
+                        }
+                    }
+                }
+                counts
+            },
+        )
+        .collect();
+    let mut totals: Vec<Vec<u64>> = reqs.iter().map(|&(s, _)| vec![0u64; ks[s]]).collect();
+    for part in partials {
+        for (t, p) in totals.iter_mut().zip(part) {
+            for (a, b) in t.iter_mut().zip(p) {
+                *a += b;
+            }
+        }
+    }
+    totals
+}
+
+fn hit_trackers<P: HrProblem + ?Sized>(
+    problems: &[&P],
+    cfgs: &[AdaptiveConfig],
+) -> Vec<Tracker<u64>> {
+    assert_eq!(problems.len(), cfgs.len(), "one config per subscriber");
+    problems
+        .iter()
+        .zip(cfgs)
+        .map(|(p, cfg)| {
+            let n0 = pilot_budget(cfg);
+            let nmax = vc_sample_bound(cfg.eps_prime, cfg.delta, p.vc_dimension().max(1)).max(n0);
+            Tracker::new(p.num_hypotheses(), cfg, n0, nmax)
+        })
+        .collect()
+}
+
+/// Batched [`super::adaptive::estimate_risks`]: one fused pass per round
+/// serves every subscriber, each with its own stopping rule. Subscriber
+/// `i`'s outcome is bit-identical to `estimate_risks(problems[i],
+/// &cfgs[i], rng)` with an `rng` yielding the same `master`.
+pub fn estimate_risks_multi<P: HrProblem + ?Sized>(
+    problems: &[&P],
+    cfgs: &[AdaptiveConfig],
+    master: u64,
+) -> Vec<AdaptiveOutcome> {
+    let trackers = hit_trackers(problems, cfgs);
+    drive(trackers, |reqs| run_hit_blocks(problems, master, reqs))
+}
+
+/// Batched [`super::adaptive::estimate_risks`] with shared draws (for
+/// [`SharedDraw`] problems over one common sample space): overlapping
+/// chunk demands are drawn once and scored by every subscriber. Same
+/// bit-identity guarantee as [`estimate_risks_multi`].
+pub fn estimate_risks_shared<P: SharedDraw + ?Sized>(
+    problems: &[&P],
+    cfgs: &[AdaptiveConfig],
+    master: u64,
+) -> Vec<AdaptiveOutcome> {
+    let trackers = hit_trackers(problems, cfgs);
+    drive(trackers, |reqs| run_shared_blocks(problems, master, reqs))
+}
+
+/// Batched [`super::weighted::estimate_weighted_risks`]: the fused
+/// fractional-loss analogue of [`estimate_risks_multi`].
+pub fn estimate_weighted_risks_multi<P: WeightedHrProblem + ?Sized>(
+    problems: &[&P],
+    cfgs: &[AdaptiveConfig],
+    master: u64,
+) -> Vec<AdaptiveOutcome> {
+    assert_eq!(problems.len(), cfgs.len(), "one config per subscriber");
+    let trackers: Vec<Tracker<LossAcc>> = problems
+        .iter()
+        .zip(cfgs)
+        .map(|(p, cfg)| {
+            let k = p.num_hypotheses();
+            let n0 = pilot_budget(cfg);
+            let nmax = hoeffding_samples(cfg.eps_prime, cfg.delta, k).max(n0);
+            Tracker::new(k, cfg, n0, nmax)
+        })
+        .collect();
+    drive(trackers, |reqs| run_loss_blocks(problems, master, reqs))
+}

@@ -89,6 +89,35 @@ pub trait HrProblem: Sync {
     }
 }
 
+/// A problem whose `Gen(·)` draw is **independent of the hypothesis set**,
+/// split into a draw half and a score half so one drawn sample can be
+/// scored by many subscribers.
+///
+/// The k-path walk is the canonical case: the walk (start node, length,
+/// neighbor steps) consumes RNG but never looks at the targets; only the
+/// cheap hit scan does. Problems like personalized-ISP betweenness (whose
+/// rejection step consults the target set mid-draw) or harmonic closeness
+/// (whose sources are uniform over `V ∖ A`) cannot implement this.
+///
+/// # Contract
+///
+/// For every implementor, `{ draw_artifact(rng, buf); score_artifact(&buf,
+/// hits) }` must consume exactly the RNG values — and push exactly the hit
+/// indices — that [`HrSampler::sample_hits_into`] would on the same `rng`.
+/// And because the batched engine lets problems score *each other's*
+/// artifacts, `draw_artifact` must behave identically for every problem
+/// instance over the same shared sample space (same graph, same walk
+/// parameters): it may read the hypothesis set for nothing.
+pub trait SharedDraw: HrProblem {
+    /// Draws one sample's target-independent artifact (e.g. the walk's
+    /// node sequence) into `buf` (cleared first).
+    fn draw_artifact(&self, rng: &mut dyn RngCore, buf: &mut Vec<u32>);
+
+    /// Scores a drawn artifact against *this* problem's hypotheses,
+    /// appending hit indices to `hits` (which arrives empty).
+    fn score_artifact(&self, artifact: &[u32], hits: &mut Vec<u32>);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

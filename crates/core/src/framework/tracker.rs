@@ -1,0 +1,347 @@
+//! The per-subscriber half of the adaptive engine: a demand/absorb state
+//! machine carrying one (est, ε) estimate through Algorithm 1's schedule.
+//!
+//! [`super::adaptive::estimate_risks`] used to own the whole loop — pilot
+//! pass, δᵢ allocation, doubling rounds, Bernstein checks, forced `N_max`
+//! finish. Splitting the loop from the drawing lets one *block producer*
+//! serve many independent trackers: a tracker announces the next block it
+//! needs as a [`Demand`] (a `(stream, first_chunk, count)` coordinate into
+//! the counter-based RNG streams of [`saphyra_stats::stream`]), absorbs the
+//! resulting accumulators, and advances its own stopping rule. A tracker
+//! whose ε target is met detaches (demands nothing) while stricter
+//! subscribers keep the stream going. The demand sequence of a lone tracker
+//! is exactly the block sequence the old monolithic loop drew, so the
+//! refactor is bit-identical by construction.
+//!
+//! The accumulator kind is generic ([`BlockAcc`]): `u64` hit counts for 0-1
+//! losses (Bernoulli variance shortcut) and [`LossAcc`] moment pairs for
+//! fractional losses.
+
+use saphyra_stats::{
+    allocate_deltas, bernoulli_sample_variance, doubling_rounds, empirical_bernstein_epsilon,
+};
+
+use super::adaptive::{AdaptiveConfig, AdaptiveOutcome};
+use super::batch::{chunks_used, LossAcc, STREAM_MAIN, STREAM_PILOT};
+
+/// One block of samples a tracker wants drawn: `count` samples starting at
+/// chunk `first_chunk` of logical stream `stream`. Pure coordinates into
+/// the counter-based RNG space — *who* draws the block cannot change its
+/// contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Demand {
+    /// Logical stream id ([`STREAM_PILOT`] or [`STREAM_MAIN`]).
+    pub stream: u64,
+    /// First chunk of the block.
+    pub first_chunk: u64,
+    /// Samples to draw.
+    pub count: usize,
+}
+
+/// A per-hypothesis block accumulator the tracker can reason about:
+/// mergeable, with a sample variance and a mean.
+pub trait BlockAcc: Clone + Send {
+    /// The additive identity.
+    fn zero() -> Self;
+    /// Adds another block's contribution.
+    fn add(&mut self, other: &Self);
+    /// Unbiased sample variance over `n` observations.
+    fn variance(&self, n: usize) -> f64;
+    /// Mean loss over `n` observations.
+    fn mean(&self, n: usize) -> f64;
+}
+
+impl BlockAcc for u64 {
+    fn zero() -> Self {
+        0
+    }
+    fn add(&mut self, other: &Self) {
+        *self += *other;
+    }
+    fn variance(&self, n: usize) -> f64 {
+        bernoulli_sample_variance(*self, n as u64)
+    }
+    fn mean(&self, n: usize) -> f64 {
+        *self as f64 / n as f64
+    }
+}
+
+impl BlockAcc for LossAcc {
+    fn zero() -> Self {
+        LossAcc::default()
+    }
+    fn add(&mut self, other: &Self) {
+        self.sum += other.sum;
+        self.sumsq += other.sumsq;
+    }
+    fn variance(&self, n: usize) -> f64 {
+        self.sample_variance(n)
+    }
+    fn mean(&self, n: usize) -> f64 {
+        self.sum / n as f64
+    }
+}
+
+/// Pilot budget `N₀ = c/ε′² ln(1/δ)` (Algorithm 1 line 6), floored at
+/// `min_pilot`.
+pub(crate) fn pilot_budget(cfg: &AdaptiveConfig) -> usize {
+    let ln_inv_delta = (1.0 / cfg.delta).ln();
+    ((cfg.c_vc / (cfg.eps_prime * cfg.eps_prime) * ln_inv_delta).ceil() as usize).max(cfg.min_pilot)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Non-adaptive ablation: one `N_max` block, no checks.
+    Fixed,
+    /// Pilot variance pass (line 9).
+    Pilot,
+    /// Doubling rounds with Bernstein checks (lines 10-18).
+    Main,
+    /// Bernstein budget exhausted: one final block straight to `N_max`.
+    Forced,
+    /// Detached — the estimate is settled.
+    Done,
+}
+
+/// One subscriber's estimation state: the demand/absorb form of
+/// Algorithm 1's loop. See the module docs for the protocol.
+#[derive(Debug, Clone)]
+pub struct Tracker<T: BlockAcc> {
+    cfg: AdaptiveConfig,
+    k: usize,
+    n0: usize,
+    nmax: usize,
+    rounds: usize,
+    phase: Phase,
+    totals: Vec<T>,
+    deltas: Vec<f64>,
+    n: usize,
+    next_chunk: u64,
+    target: usize,
+    rounds_run: usize,
+    converged_early: bool,
+    achieved_eps: f64,
+}
+
+impl<T: BlockAcc> Tracker<T> {
+    /// A tracker for `k` hypotheses under `cfg`, with precomputed budgets
+    /// (`nmax` already floored at `n0`; the `N_max` formula differs between
+    /// the 0-1 VC bound and the weighted Hoeffding bound, so the caller
+    /// supplies it).
+    pub fn new(k: usize, cfg: &AdaptiveConfig, n0: usize, nmax: usize) -> Self {
+        debug_assert!(nmax >= n0);
+        let phase = if k == 0 {
+            Phase::Done
+        } else if !cfg.adaptive {
+            Phase::Fixed
+        } else {
+            Phase::Pilot
+        };
+        Tracker {
+            cfg: *cfg,
+            k,
+            n0,
+            nmax,
+            rounds: doubling_rounds(n0, nmax),
+            phase,
+            totals: vec![T::zero(); k],
+            deltas: Vec::new(),
+            n: 0,
+            next_chunk: 0,
+            target: 0,
+            rounds_run: 0,
+            converged_early: false,
+            achieved_eps: 0.0,
+        }
+    }
+
+    /// The next block this subscriber needs, or `None` once detached.
+    pub fn demand(&self) -> Option<Demand> {
+        match self.phase {
+            Phase::Fixed => Some(Demand {
+                stream: STREAM_MAIN,
+                first_chunk: 0,
+                count: self.nmax,
+            }),
+            Phase::Pilot => Some(Demand {
+                stream: STREAM_PILOT,
+                first_chunk: 0,
+                count: self.n0,
+            }),
+            Phase::Main => Some(Demand {
+                stream: STREAM_MAIN,
+                first_chunk: self.next_chunk,
+                count: self.target - self.n,
+            }),
+            Phase::Forced => Some(Demand {
+                stream: STREAM_MAIN,
+                first_chunk: self.next_chunk,
+                count: self.nmax - self.n,
+            }),
+            Phase::Done => None,
+        }
+    }
+
+    /// Whether the subscriber has detached from the stream.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// Feeds back the accumulators of the block last demanded and advances
+    /// the stopping rule.
+    pub fn absorb(&mut self, block: &[T]) {
+        debug_assert_eq!(block.len(), self.k);
+        match self.phase {
+            Phase::Fixed => {
+                self.totals = block.to_vec();
+                self.n = self.nmax;
+                self.achieved_eps = self.cfg.eps_prime;
+                self.phase = Phase::Done;
+            }
+            Phase::Pilot => {
+                // The pilot block informs the δᵢ allocation (Eq. 13) and is
+                // then discarded — main-phase estimates stay independent.
+                let pilot_vars: Vec<f64> = block.iter().map(|a| a.variance(self.n0)).collect();
+                self.deltas = allocate_deltas(
+                    &pilot_vars,
+                    self.nmax,
+                    self.cfg.eps_prime,
+                    self.cfg.delta / self.rounds as f64,
+                );
+                self.target = self.n0.min(self.nmax);
+                self.phase = Phase::Main;
+            }
+            Phase::Main => {
+                let block_len = self.target - self.n;
+                self.next_chunk += chunks_used(block_len);
+                for (t, b) in self.totals.iter_mut().zip(block) {
+                    t.add(b);
+                }
+                self.n = self.target;
+                self.rounds_run += 1;
+                let mut max_eps = 0.0f64;
+                for (t, &d) in self.totals.iter().zip(&self.deltas) {
+                    let e =
+                        empirical_bernstein_epsilon(self.n.max(2), d.min(0.5), t.variance(self.n));
+                    if e > max_eps {
+                        max_eps = e;
+                    }
+                }
+                self.achieved_eps = max_eps;
+                if max_eps <= self.cfg.eps_prime {
+                    self.converged_early = true;
+                    self.phase = Phase::Done;
+                } else if self.target >= self.nmax {
+                    // Forced stop: Lemma 4 guarantees ε′ at N_max.
+                    self.phase = Phase::Done;
+                } else if self.rounds_run >= self.rounds {
+                    // Bernstein budget exhausted: run straight to N_max.
+                    self.phase = Phase::Forced;
+                } else {
+                    self.target = (2 * self.target).min(self.nmax);
+                }
+            }
+            Phase::Forced => {
+                for (t, b) in self.totals.iter_mut().zip(block) {
+                    t.add(b);
+                }
+                self.n = self.nmax;
+                self.phase = Phase::Done;
+            }
+            Phase::Done => unreachable!("absorb on a detached tracker"),
+        }
+    }
+
+    /// Finalizes the outcome. Call once the tracker is done (a tracker that
+    /// never sampled — `k = 0` — yields the empty outcome, like the
+    /// monolithic loop's early return).
+    pub fn finish(self) -> AdaptiveOutcome {
+        debug_assert!(self.is_done());
+        if self.k == 0 {
+            return AdaptiveOutcome::empty();
+        }
+        AdaptiveOutcome {
+            estimates: self.totals.iter().map(|t| t.mean(self.n)).collect(),
+            samples_used: self.n,
+            pilot_samples: if self.cfg.adaptive { self.n0 } else { 0 },
+            rounds_run: self.rounds_run,
+            n0: self.n0,
+            nmax: self.nmax,
+            converged_early: self.converged_early,
+            achieved_eps: self.achieved_eps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_phase_is_one_block() {
+        let cfg = AdaptiveConfig::new(0.1, 0.1).with_fixed_budget();
+        let mut t = Tracker::<u64>::new(2, &cfg, 100, 500);
+        let d = t.demand().unwrap();
+        assert_eq!(
+            d,
+            Demand {
+                stream: STREAM_MAIN,
+                first_chunk: 0,
+                count: 500
+            }
+        );
+        t.absorb(&[50, 10]);
+        assert!(t.is_done());
+        let out = t.finish();
+        assert_eq!(out.samples_used, 500);
+        assert_eq!(out.pilot_samples, 0);
+        assert!(!out.converged_early);
+        assert_eq!(out.estimates, vec![0.1, 0.02]);
+    }
+
+    #[test]
+    fn pilot_then_main_demands_advance_the_cursor() {
+        let cfg = AdaptiveConfig::new(0.05, 0.1);
+        let n0 = pilot_budget(&cfg);
+        let mut t = Tracker::<u64>::new(1, &cfg, n0, 8 * n0);
+        let d = t.demand().unwrap();
+        assert_eq!(d.stream, STREAM_PILOT);
+        assert_eq!(d.count, n0);
+        // High pilot variance: deltas allocated, main phase starts at n0.
+        t.absorb(&[(n0 / 2) as u64]);
+        let d = t.demand().unwrap();
+        assert_eq!(d.stream, STREAM_MAIN);
+        assert_eq!(d.first_chunk, 0);
+        assert_eq!(d.count, n0);
+        // A noisy block keeps it going: the next demand starts past the
+        // chunks just drawn and doubles the total.
+        t.absorb(&[(n0 / 2) as u64]);
+        if let Some(d2) = t.demand() {
+            assert_eq!(d2.first_chunk, chunks_used(n0));
+            assert_eq!(d2.count, n0); // target doubled: block = 2n0 - n0
+        }
+    }
+
+    #[test]
+    fn zero_hypotheses_detaches_immediately() {
+        let cfg = AdaptiveConfig::new(0.1, 0.1);
+        let t = Tracker::<u64>::new(0, &cfg, 16, 16);
+        assert!(t.is_done());
+        assert!(t.demand().is_none());
+        assert_eq!(t.finish().samples_used, 0);
+    }
+
+    #[test]
+    fn zero_variance_converges_at_first_check() {
+        let cfg = AdaptiveConfig::new(0.05, 0.1);
+        let n0 = pilot_budget(&cfg);
+        let mut t = Tracker::<u64>::new(3, &cfg, n0, 10 * n0);
+        t.absorb(&[0, 0, 0]); // pilot: zero variance
+        t.absorb(&[0, 0, 0]); // first main block: Bernstein check passes
+        assert!(t.is_done());
+        let out = t.finish();
+        assert!(out.converged_early);
+        assert_eq!(out.samples_used, n0);
+        assert_eq!(out.rounds_run, 1);
+    }
+}

@@ -17,13 +17,12 @@
 //! bit-identical for every thread count.
 
 use rand::RngCore;
-use saphyra_stats::{
-    allocate_deltas, doubling_rounds, empirical_bernstein_epsilon, hoeffding_samples,
-};
+use saphyra_stats::hoeffding_samples;
 
 use super::adaptive::{AdaptiveConfig, AdaptiveOutcome};
-use super::batch::{chunks_used, sample_loss_accs, LossAcc, STREAM_MAIN, STREAM_PILOT};
+use super::batch::{sample_loss_accs, LossAcc};
 use super::problem::ExactPart;
+use super::tracker::{pilot_budget, Tracker};
 use super::SaphyraEstimate;
 
 /// A per-worker drawing head for one [`WeightedHrProblem`] (the
@@ -57,7 +56,9 @@ pub trait WeightedHrProblem: Sync {
 /// The adaptive estimator of Algorithm 1 for fractional losses.
 ///
 /// The caller's `rng` contributes one master seed; sample blocks are drawn
-/// by the parallel batch engine.
+/// by the parallel batch engine. Like the 0-1 estimator, the schedule is a
+/// [`Tracker`] driven as a one-subscriber stream (the worst-case budget
+/// falls back to Hoeffding over `k` hypotheses instead of the VC bound).
 pub fn estimate_weighted_risks<P: WeightedHrProblem + ?Sized>(
     problem: &P,
     cfg: &AdaptiveConfig,
@@ -68,90 +69,14 @@ pub fn estimate_weighted_risks<P: WeightedHrProblem + ?Sized>(
         return AdaptiveOutcome::empty();
     }
     let master = rng.next_u64();
-    let ln_inv_delta = (1.0 / cfg.delta).ln();
-    let n0 = ((cfg.c_vc / (cfg.eps_prime * cfg.eps_prime) * ln_inv_delta).ceil() as usize)
-        .max(cfg.min_pilot);
+    let n0 = pilot_budget(cfg);
     let nmax = hoeffding_samples(cfg.eps_prime, cfg.delta, k).max(n0);
-
-    if !cfg.adaptive {
-        let accs = sample_loss_accs(problem, k, master, STREAM_MAIN, 0, nmax);
-        return AdaptiveOutcome {
-            estimates: accs.iter().map(|a| a.sum / nmax as f64).collect(),
-            samples_used: nmax,
-            pilot_samples: 0,
-            rounds_run: 0,
-            n0,
-            nmax,
-            converged_early: false,
-            achieved_eps: cfg.eps_prime,
-        };
+    let mut tracker = Tracker::<LossAcc>::new(k, cfg, n0, nmax);
+    while let Some(d) = tracker.demand() {
+        let block = sample_loss_accs(problem, k, master, d.stream, d.first_chunk, d.count);
+        tracker.absorb(&block);
     }
-
-    // Pilot pass for the δᵢ allocation (Eq. 13).
-    let pilot = sample_loss_accs(problem, k, master, STREAM_PILOT, 0, n0);
-    let pilot_vars: Vec<f64> = pilot.iter().map(|a| a.sample_variance(n0)).collect();
-    let rounds = doubling_rounds(n0, nmax);
-    let deltas = allocate_deltas(&pilot_vars, nmax, cfg.eps_prime, cfg.delta / rounds as f64);
-
-    let mut accs = vec![LossAcc::default(); k];
-    let mut n = 0usize;
-    let mut next_chunk = 0u64;
-    let mut target = n0.min(nmax);
-    let mut converged_early = false;
-    let mut achieved_eps;
-    let mut rounds_run = 0usize;
-    loop {
-        let block = target - n;
-        let block_accs = sample_loss_accs(problem, k, master, STREAM_MAIN, next_chunk, block);
-        next_chunk += chunks_used(block);
-        for (a, b) in accs.iter_mut().zip(&block_accs) {
-            a.sum += b.sum;
-            a.sumsq += b.sumsq;
-        }
-        n = target;
-        rounds_run += 1;
-        let mut max_eps = 0.0f64;
-        for i in 0..k {
-            let e = empirical_bernstein_epsilon(
-                n.max(2),
-                deltas[i].min(0.5),
-                accs[i].sample_variance(n),
-            );
-            if e > max_eps {
-                max_eps = e;
-            }
-        }
-        achieved_eps = max_eps;
-        if max_eps <= cfg.eps_prime {
-            converged_early = true;
-            break;
-        }
-        if target >= nmax {
-            break;
-        }
-        if rounds_run >= rounds {
-            let block = nmax - n;
-            let block_accs = sample_loss_accs(problem, k, master, STREAM_MAIN, next_chunk, block);
-            for (a, b) in accs.iter_mut().zip(&block_accs) {
-                a.sum += b.sum;
-                a.sumsq += b.sumsq;
-            }
-            n = nmax;
-            break;
-        }
-        target = (2 * target).min(nmax);
-    }
-
-    AdaptiveOutcome {
-        estimates: accs.iter().map(|a| a.sum / n as f64).collect(),
-        samples_used: n,
-        pilot_samples: n0,
-        rounds_run,
-        n0,
-        nmax,
-        converged_early,
-        achieved_eps,
-    }
+    tracker.finish()
 }
 
 /// The full SaPHyRa pipeline for fractional-loss problems (combination rule

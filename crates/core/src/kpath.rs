@@ -20,7 +20,10 @@ use rand::Rng;
 use rand::RngCore;
 use saphyra_graph::{Graph, NodeId};
 
-use crate::framework::{saphyra_estimate, ExactPart, HrProblem, HrSampler, SaphyraEstimate};
+use crate::framework::{
+    saphyra_estimate, saphyra_estimate_batch_shared, BatchSubscriber, ExactPart, HrProblem,
+    HrSampler, SaphyraEstimate, SharedDraw,
+};
 
 const NONE: u32 = u32::MAX;
 
@@ -80,6 +83,10 @@ impl<'a> KPathApproxProblem<'a> {
 }
 
 /// One `l ≥ 2` uniform-neighbor walk into `walk` (cleared first).
+///
+/// This is the *draw half* of the k-path sample: it consumes RNG but never
+/// reads the target set, which is what lets the batched engine share one
+/// walk stream across subscribers with different targets ([`SharedDraw`]).
 fn walk_into<R: Rng + ?Sized>(g: &Graph, k: usize, walk: &mut Vec<NodeId>, rng: &mut R) {
     let n = g.num_nodes();
     let l = rng.gen_range(2..=k);
@@ -96,6 +103,19 @@ fn walk_into<R: Rng + ?Sized>(g: &Graph, k: usize, walk: &mut Vec<NodeId>, rng: 
     }
 }
 
+/// The *score half*: 0-1 losses — each target visited after the start
+/// counts once per sample. Consumes no RNG.
+fn score_walk(a_index: &[u32], walk: &[NodeId], hits: &mut Vec<u32>) {
+    for &v in &walk[1..] {
+        let ai = a_index[v as usize];
+        if ai != NONE {
+            hits.push(ai);
+        }
+    }
+    hits.sort_unstable();
+    hits.dedup();
+}
+
 /// Per-worker drawing head of the k-path problem: borrows the shared
 /// index, owns the walk buffer.
 pub struct KPathSampler<'p> {
@@ -107,16 +127,10 @@ pub struct KPathSampler<'p> {
 
 impl HrSampler for KPathSampler<'_> {
     fn sample_hits_into(&mut self, rng: &mut dyn RngCore, hits: &mut Vec<u32>) {
+        // Draw + score through the same halves the SharedDraw impl uses,
+        // so the split contract holds structurally.
         walk_into(self.g, self.k, &mut self.walk, rng);
-        // 0-1 losses: each visited target counts once per sample.
-        for i in 1..self.walk.len() {
-            let ai = self.a_index[self.walk[i] as usize];
-            if ai != NONE {
-                hits.push(ai);
-            }
-        }
-        hits.sort_unstable();
-        hits.dedup();
+        score_walk(self.a_index, &self.walk, hits);
     }
 }
 
@@ -139,6 +153,16 @@ impl HrProblem for KPathApproxProblem<'_> {
         // start (Lemma 5).
         let pi_max = self.k.min(self.num_targets) as u32;
         crate::bc::vcbound::log2_floor_plus1(pi_max)
+    }
+}
+
+impl SharedDraw for KPathApproxProblem<'_> {
+    fn draw_artifact(&self, rng: &mut dyn RngCore, buf: &mut Vec<u32>) {
+        walk_into(self.g, self.k, buf, rng);
+    }
+
+    fn score_artifact(&self, artifact: &[u32], hits: &mut Vec<u32>) {
+        score_walk(&self.a_index, artifact, hits);
     }
 }
 
@@ -171,6 +195,49 @@ pub fn rank_kpath(
         kpc: inner.combined.clone(),
         inner,
     }
+}
+
+/// Ranks several target sets at once against **one shared walk stream**.
+///
+/// k-path is the measure where cross-request batching is strongest: the
+/// random walk ([`SharedDraw::draw_artifact`]) never looks at the target
+/// set, so every subscriber scores the *same* walks. Each `(est, eps)`
+/// pair is bit-identical to [`rank_kpath`] run alone with the same `rng`
+/// seed — a subscriber whose ε target is met detaches while the stream
+/// keeps serving stricter ones.
+pub fn rank_kpath_multi(
+    g: &Graph,
+    sets: &[Vec<NodeId>],
+    k: usize,
+    eps: f64,
+    delta: f64,
+    rng: &mut dyn RngCore,
+) -> Vec<KPathEstimate> {
+    assert!(k >= 2, "k-path ranking needs k >= 2");
+    let exacts: Vec<ExactPart> = sets.iter().map(|t| kpath_exact_part(g, t, k)).collect();
+    let probs: Vec<KPathApproxProblem> = sets
+        .iter()
+        .map(|t| KPathApproxProblem::new(g, t, k))
+        .collect();
+    let subs: Vec<BatchSubscriber<KPathApproxProblem>> = probs
+        .iter()
+        .zip(&exacts)
+        .map(|(problem, exact)| BatchSubscriber {
+            problem,
+            exact,
+            eps,
+            delta,
+        })
+        .collect();
+    let inners = saphyra_estimate_batch_shared(&subs, true, rng);
+    sets.iter()
+        .zip(inners)
+        .map(|(targets, inner)| KPathEstimate {
+            targets: targets.clone(),
+            kpc: inner.combined.clone(),
+            inner,
+        })
+        .collect()
 }
 
 /// Direct Monte-Carlo estimator over the *full* walk space (`l ∈ 1..=k`),

@@ -1,17 +1,22 @@
 //! A small LRU cache for completed rankings.
 //!
 //! Capacity is bounded and eviction is least-recently-used. Lookups and
-//! inserts bump a monotone tick; eviction scans for the minimum tick —
-//! O(capacity), which is irrelevant next to the cost of the rankings the
-//! cache fronts (a miss costs milliseconds to seconds of sampling).
+//! inserts bump a monotone tick; a `BTreeMap` keyed by tick mirrors the
+//! main map, so the eviction victim is `pop_first()` — O(log n) — instead
+//! of a full O(capacity) scan per insert. The tick index is maintained
+//! eagerly: every touch removes the entry's old tick and inserts the new
+//! one, so the two maps always hold exactly the same entries.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 
 /// Bounded LRU map.
 #[derive(Debug)]
 pub struct LruCache<K, V> {
     map: HashMap<K, (u64, V)>,
+    /// Recency index: tick → key, oldest first. Ticks are unique (the
+    /// counter only ever increments), so a plain map suffices.
+    by_tick: BTreeMap<u64, K>,
     capacity: usize,
     tick: u64,
 }
@@ -22,6 +27,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn new(capacity: usize) -> Self {
         LruCache {
             map: HashMap::new(),
+            by_tick: BTreeMap::new(),
             capacity,
             tick: 0,
         }
@@ -33,6 +39,8 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         let tick = self.tick;
         match self.map.get_mut(key) {
             Some((t, v)) => {
+                self.by_tick.remove(t);
+                self.by_tick.insert(tick, key.clone());
                 *t = tick;
                 Some(v)
             }
@@ -47,23 +55,28 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             return;
         }
         self.tick += 1;
-        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
-            if let Some(oldest) = self
-                .map
-                .iter()
-                .min_by_key(|(_, (t, _))| *t)
-                .map(|(k, _)| k.clone())
-            {
+        if let Some((old_tick, _)) = self.map.get(&key) {
+            self.by_tick.remove(old_tick);
+        } else if self.map.len() >= self.capacity {
+            if let Some((_, oldest)) = self.by_tick.pop_first() {
                 self.map.remove(&oldest);
             }
         }
+        self.by_tick.insert(self.tick, key.clone());
         self.map.insert(key, (self.tick, value));
     }
 
     /// Drops every entry failing the predicate (used to purge a reloaded
     /// graph's stale rankings).
     pub fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) {
-        self.map.retain(|k, _| keep(k));
+        let by_tick = &mut self.by_tick;
+        self.map.retain(|k, (t, _)| {
+            let keep_it = keep(k);
+            if !keep_it {
+                by_tick.remove(t);
+            }
+            keep_it
+        });
     }
 
     /// Current number of entries.
@@ -119,5 +132,54 @@ mod tests {
         c.retain(|k| k.0 != "g1");
         assert_eq!(c.len(), 1);
         assert_eq!(c.get(&("g2", 2)), Some(&2));
+        // The tick index shed the purged entry too: filling the cache now
+        // evicts in pure recency order with no ghost of g1 resurfacing.
+        c.insert(("g3", 3), 3);
+        c.insert(("g4", 4), 4);
+        c.insert(("g5", 5), 5);
+        assert_eq!(c.len(), 4);
+        c.insert(("g6", 6), 6);
+        assert_eq!(c.get(&("g2", 2)), None, "g2 was the oldest survivor");
+        assert_eq!(c.len(), 4);
+    }
+
+    /// Pins the full LRU ordering across a mixed get/insert/reinsert
+    /// sequence: eviction follows recency-of-*use*, not insertion order,
+    /// and every touch (hit, overwrite) moves the entry to the back.
+    #[test]
+    fn eviction_follows_recency_order_exactly() {
+        let mut c = LruCache::new(3);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("c", 3);
+        // Recency (old → new): a, b, c.
+        assert_eq!(c.get(&"a"), Some(&1)); // a, to the back: b, c, a
+        c.insert("b", 20); // overwrite, to the back: c, a, b
+        c.insert("d", 4); // evicts c (oldest): a, b, d
+        assert_eq!(c.get(&"c"), None);
+        c.insert("e", 5); // evicts a: b, d, e
+        assert_eq!(c.get(&"a"), None);
+        c.insert("f", 6); // evicts b: d, e, f
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"d"), Some(&4));
+        assert_eq!(c.get(&"e"), Some(&5));
+        assert_eq!(c.get(&"f"), Some(&6));
+        assert_eq!(c.len(), 3);
+    }
+
+    /// The tick index and the main map stay in lockstep: after a long
+    /// randomized-ish workload the cache still holds exactly `capacity`
+    /// entries and every held key is retrievable.
+    #[test]
+    fn index_stays_consistent_under_churn() {
+        let mut c = LruCache::new(8);
+        for round in 0u64..200 {
+            c.insert(round % 13, round);
+            c.get(&((round * 7) % 13));
+            assert!(c.len() <= 8);
+        }
+        assert_eq!(c.len(), 8);
+        let held: Vec<u64> = (0..13).filter(|k| c.get(k).is_some()).collect();
+        assert_eq!(held.len(), 8);
     }
 }

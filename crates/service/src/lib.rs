@@ -24,8 +24,13 @@
 //! `(graph, measure, targets, eps, delta, seed, khops)`, so repeated
 //! queries are O(1) and replay byte-identical bodies. Identical requests
 //! racing a cold cache collapse behind one in-flight computation
-//! (single-flight; the `X-Saphyra-Cache` header reports `hit`, `miss`, or
-//! `shared`).
+//! (single-flight), and cold requests that differ **only in their target
+//! set** coalesce into one shared sample stream during a short gather
+//! window ([`ServiceConfig::batch_window`]): one pass over the sample
+//! blocks scores every in-flight query's targets, with each member's body
+//! bit-identical to a quiet-server run. The `X-Saphyra-Cache` header
+//! reports `hit`, `miss`, `shared`, or `batched`; `/healthz` counts
+//! `batched` members and total `sample_passes`.
 //!
 //! ## Connections
 //!

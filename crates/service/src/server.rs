@@ -10,7 +10,13 @@
 //! formatting is Rust's shortest round-trip `Display`. Cache hits replay
 //! the stored body verbatim, so they cannot break the contract; whether a
 //! response was served from cache is reported out-of-band in the
-//! `X-Saphyra-Cache` header (`hit` / `miss`).
+//! `X-Saphyra-Cache` header (`hit` / `miss` / `shared` / `batched`).
+//!
+//! Cross-request batching preserves the contract: every computation runs
+//! through the batched estimators (`rank_subset_multi` & co.), which are
+//! bit-identical *per subscriber* to solo runs with the same seed — so the
+//! bytes of a response are the same whether its batch had one member or
+//! eight. Batching changes only scheduling, never content.
 //!
 //! ## Concurrency model
 //!
@@ -22,6 +28,17 @@
 //! cache are collapsed behind one in-flight computation (single-flight):
 //! the first request computes, the rest block on a condvar and replay the
 //! same bytes (`X-Saphyra-Cache: shared`).
+//!
+//! Cold requests that differ **only in their target set** — same graph,
+//! measure, ε, δ, seed and k — coalesce one level higher: the first such
+//! request opens a gather window of [`ServiceConfig::batch_window`], later
+//! arrivals enroll, and when the window closes the leader runs **one**
+//! shared sample pass that scores every member's target set
+//! (`X-Saphyra-Cache: batched`, counted in `/healthz` as `batched` /
+//! `sample_passes`). Members park on their own in-flight slots, so
+//! single-flight, caching and batching compose: identical requests
+//! collapse first, distinct-target ones batch, and every member's body is
+//! cached under its own key.
 //!
 //! ## Connection model
 //!
@@ -56,8 +73,8 @@ use std::time::{Duration, Instant, SystemTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use saphyra::bc::SaphyraBcConfig;
-use saphyra::closeness::rank_harmonic;
-use saphyra::kpath::rank_kpath;
+use saphyra::closeness::rank_harmonic_multi;
+use saphyra::kpath::rank_kpath_multi;
 use saphyra::params;
 use saphyra_gen::datasets::{SimNetwork, SizeClass};
 use saphyra_graph::{io as graph_io, NodeId};
@@ -105,6 +122,14 @@ pub struct ServiceConfig {
     /// pre-PR-4 behavior). Persistence failures degrade with a warning on
     /// stderr; they never fail a request or a boot.
     pub state_dir: Option<PathBuf>,
+    /// Gather window for cross-request batching: how long the first cold
+    /// `/rank` request of a `(graph, measure, eps, delta, seed, khops)`
+    /// class holds its computation open for other *distinct-target*
+    /// requests of the same class to coalesce into one shared sample
+    /// stream. Zero disables gathering (every cold request computes as a
+    /// batch of one). Batching never changes response bytes — each
+    /// member's body is bit-identical to a quiet-server run.
+    pub batch_window: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -118,6 +143,7 @@ impl Default for ServiceConfig {
             pipeline_depth: 32,
             journal_max_bytes: None,
             state_dir: None,
+            batch_window: Duration::from_millis(2),
         }
     }
 }
@@ -212,15 +238,6 @@ struct InflightGuard<'a> {
     slot: Arc<Inflight>,
 }
 
-impl InflightGuard<'_> {
-    /// Publishes the computed body to waiters (the guard's drop then only
-    /// removes the map entry).
-    fn publish(&self, body: Arc<String>) {
-        *self.slot.done.lock().unwrap() = Some(Some(body));
-        self.slot.cv.notify_all();
-    }
-}
-
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
         let mut done = self.slot.done.lock().unwrap();
@@ -233,6 +250,62 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
+/// The coalescing class of a `/rank` request: [`RankKey`] minus the target
+/// set. Cold requests that agree on everything *except* targets can share
+/// one sample stream — the batched estimators score every target set from
+/// the same master seed and are bit-identical per member to solo runs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct BatchKey {
+    graph: String,
+    epoch: u64,
+    measure: Measure,
+    eps_bits: u64,
+    delta_bits: u64,
+    seed: u64,
+    khops: usize,
+}
+
+/// An open gather window: the members enrolled so far. The first request
+/// of a class opens the window (becoming the batch leader) and seals it
+/// after [`ServiceConfig::batch_window`]; enrollment happens under the
+/// `Service::batches` lock, so a request that found the window in the map
+/// is always enrolled before the leader removes it.
+#[derive(Debug, Default)]
+struct Batch {
+    members: Mutex<Vec<BatchMember>>,
+}
+
+/// One enrolled request: its cache key, its target set, and its in-flight
+/// slot. The leader publishes the member's computed body straight into the
+/// slot — the member (and any same-key single-flight waiters parked on it)
+/// wakes exactly as if it had computed alone.
+#[derive(Debug)]
+struct BatchMember {
+    key: RankKey,
+    targets: Vec<NodeId>,
+    slot: Arc<Inflight>,
+}
+
+/// Answers every still-parked member with "leader died" if the batch
+/// computation unwinds. Members' own [`InflightGuard`]s only cover their
+/// own slots — and they are blocked waiting, so without this a panicking
+/// leader would strand them forever.
+struct BatchGuard<'a> {
+    members: &'a [BatchMember],
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        for m in self.members {
+            let mut done = m.slot.done.lock().unwrap();
+            if done.is_none() {
+                *done = Some(None);
+                m.slot.cv.notify_all();
+            }
+        }
+    }
+}
+
 /// Shared service state: registry, cache, in-flight map, counters. Routing
 /// lives in [`Service::handle`], which is pure with respect to the network
 /// layer and therefore directly testable.
@@ -241,6 +314,7 @@ pub struct Service {
     registry: Registry,
     cache: Mutex<LruCache<RankKey, Arc<String>>>,
     inflight: Mutex<HashMap<RankKey, Arc<Inflight>>>,
+    batches: Mutex<HashMap<BatchKey, Arc<Batch>>>,
     requests: AtomicU64,
     connections: AtomicU64,
     open_connections: AtomicU64,
@@ -249,6 +323,8 @@ pub struct Service {
     cache_misses: AtomicU64,
     cache_shared: AtomicU64,
     computations: AtomicU64,
+    batched: AtomicU64,
+    sample_passes: AtomicU64,
     decompositions: AtomicU64,
     snapshots_loaded: AtomicU64,
     persist: Option<PersistState>,
@@ -262,6 +338,7 @@ pub struct Service {
     max_requests_per_conn: usize,
     max_connections: usize,
     pipeline_depth: usize,
+    batch_window: Duration,
 }
 
 /// Open persistence resources of a service with a state directory.
@@ -308,6 +385,7 @@ impl Service {
             registry: Registry::new(),
             cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
             inflight: Mutex::new(HashMap::new()),
+            batches: Mutex::new(HashMap::new()),
             requests: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             open_connections: AtomicU64::new(0),
@@ -316,6 +394,8 @@ impl Service {
             cache_misses: AtomicU64::new(0),
             cache_shared: AtomicU64::new(0),
             computations: AtomicU64::new(0),
+            batched: AtomicU64::new(0),
+            sample_passes: AtomicU64::new(0),
             decompositions: AtomicU64::new(0),
             snapshots_loaded: AtomicU64::new(0),
             persist,
@@ -325,6 +405,7 @@ impl Service {
             max_requests_per_conn: cfg.max_requests_per_conn,
             max_connections: cfg.max_connections,
             pipeline_depth: cfg.pipeline_depth.max(1),
+            batch_window: cfg.batch_window,
         };
         // Restore straight from the configured dir, NOT via `persist`: a
         // readable-but-unwritable state dir (read-only remount, tightened
@@ -439,6 +520,20 @@ impl Service {
         self.computations.load(Ordering::Relaxed)
     }
 
+    /// Lifetime count of `/rank` requests whose computation was coalesced
+    /// into a shared sample pass with at least one other request (batch
+    /// members in batches of size ≥ 2, leaders included).
+    pub fn batched(&self) -> u64 {
+        self.batched.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of sample passes run: one per sealed batch, whatever
+    /// its size. `computations - sample_passes` is the work saved by
+    /// cross-request batching.
+    pub fn sample_passes(&self) -> u64 {
+        self.sample_passes.load(Ordering::Relaxed)
+    }
+
     /// Lifetime count of TCP connections accepted.
     pub fn connections(&self) -> u64 {
         self.connections.load(Ordering::Relaxed)
@@ -517,6 +612,8 @@ impl Service {
             ("cache_misses", Json::from(self.cache_misses())),
             ("cache_shared", Json::from(self.cache_shared())),
             ("computations", Json::from(self.computations())),
+            ("batched", Json::from(self.batched())),
+            ("sample_passes", Json::from(self.sample_passes())),
             ("decompositions", Json::from(self.decompositions())),
             ("snapshots_loaded", Json::from(self.snapshots_loaded())),
         ])
@@ -719,13 +816,108 @@ impl Service {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
         self.computations.fetch_add(1, Ordering::Relaxed);
 
-        // Compute outside every lock; the guard publishes the bytes to any
-        // waiters and clears the in-flight entry even if this panics.
-        let body = Arc::new(compute_rank_body(&entry, &p));
-        self.cache.lock().unwrap().insert(key, Arc::clone(&body));
-        guard.publish(Arc::clone(&body));
+        // Cross-request batching: cold requests that differ *only* in
+        // their target set coalesce into one shared sample stream. The
+        // first request of a class opens a gather window and becomes the
+        // batch leader; later ones enroll and park on their own in-flight
+        // slot, exactly like single-flight waiters. Enrollment happens
+        // under the batches lock (lock order: batches → batch members), so
+        // a request that found the window in the map is always enrolled
+        // before the leader seals it.
+        let bkey = BatchKey {
+            graph: p.graph.clone(),
+            epoch: entry.epoch,
+            measure: p.measure,
+            eps_bits: p.eps.to_bits(),
+            delta_bits: p.delta.to_bits(),
+            seed: p.seed,
+            khops: p.khops,
+        };
+        let member = BatchMember {
+            key: key.clone(),
+            targets: p.targets.clone(),
+            slot: Arc::clone(&guard.slot),
+        };
+        let led = {
+            let mut batches = self.batches.lock().unwrap();
+            match batches.get(&bkey) {
+                Some(batch) => {
+                    batch.members.lock().unwrap().push(member);
+                    None
+                }
+                None => {
+                    let batch = Arc::new(Batch::default());
+                    batch.members.lock().unwrap().push(member);
+                    batches.insert(bkey.clone(), Arc::clone(&batch));
+                    Some(batch)
+                }
+            }
+        };
+
+        let Some(batch) = led else {
+            // Joined an open window: the leader computes our body from the
+            // shared stream and publishes it to our slot; our own guard
+            // then clears the in-flight entry, and any same-key waiters
+            // replay the bytes as "shared".
+            let mut done = guard.slot.done.lock().unwrap();
+            while done.is_none() {
+                done = guard.slot.cv.wait(done).unwrap();
+            }
+            let result = done.as_ref().unwrap().clone();
+            drop(done);
+            return match result {
+                Some(body) => {
+                    Response::json(200, body.as_str()).with_header("X-Saphyra-Cache", "batched")
+                }
+                None => error_response(500, "ranking computation failed"),
+            };
+        };
+
+        // Leader: hold the window open, then seal — remove the class from
+        // the map (new arrivals open a fresh window) and snapshot the
+        // members.
+        if !self.batch_window.is_zero() {
+            std::thread::sleep(self.batch_window);
+        }
+        let members = {
+            let mut batches = self.batches.lock().unwrap();
+            batches.remove(&bkey);
+            let mut members = batch.members.lock().unwrap();
+            std::mem::take(&mut *members)
+        };
+        self.sample_passes.fetch_add(1, Ordering::Relaxed);
+        let shared_pass = members.len() >= 2;
+        if shared_pass {
+            self.batched
+                .fetch_add(members.len() as u64, Ordering::Relaxed);
+        }
+
+        // Compute outside every lock. `bguard` answers still-parked
+        // members with 500 if this unwinds; the leader's own `guard`
+        // covers its slot as before.
+        let bguard = BatchGuard { members: &members };
+        let sets: Vec<Vec<NodeId>> = members.iter().map(|m| m.targets.clone()).collect();
+        let bodies = compute_rank_bodies(&entry, &p, &sets);
+        debug_assert_eq!(bodies.len(), members.len());
+        let mut own = None;
+        for (m, body) in members.iter().zip(bodies) {
+            let body = Arc::new(body);
+            self.cache
+                .lock()
+                .unwrap()
+                .insert(m.key.clone(), Arc::clone(&body));
+            if m.key == key {
+                own = Some(Arc::clone(&body));
+            }
+            let mut done = m.slot.done.lock().unwrap();
+            *done = Some(Some(body));
+            m.slot.cv.notify_all();
+        }
+        drop(bguard); // every slot is published; the sweep finds nothing
         drop(guard);
-        Response::json(200, body.as_str()).with_header("X-Saphyra-Cache", "miss")
+        let body = own.expect("leader is enrolled in its own batch");
+        let state = if shared_pass { "batched" } else { "miss" };
+        Response::json(200, body.as_str()).with_header("X-Saphyra-Cache", state)
     }
 
     /// Validates an already-parsed `/rank` body into [`RankParams`].
@@ -807,77 +999,97 @@ fn graph_info(entry: &GraphEntry) -> Json {
     ])
 }
 
-/// Computes the deterministic `/rank` response body.
-fn compute_rank_body(entry: &GraphEntry, p: &RankParams) -> String {
+/// Computes the deterministic `/rank` response bodies for one batch: one
+/// master seed, one batched estimator pass over every target set, one body
+/// per set. A batch of one *is* the quiet-server path — the batched
+/// estimators are bit-identical per subscriber to solo runs with the same
+/// seed (pinned by `crates/core/tests/batched_determinism.rs`), so a
+/// response never depends on who else was in flight. `p` carries the
+/// fields every member shares (everything but the targets).
+fn compute_rank_bodies(entry: &GraphEntry, p: &RankParams, sets: &[Vec<NodeId>]) -> Vec<String> {
     let mut rng = StdRng::seed_from_u64(p.seed);
-    let (scores, stats) = match p.measure {
-        Measure::Betweenness => {
-            let est = entry.dec.rank_subset(
+    let per_set: Vec<(Vec<f64>, Json)> = match p.measure {
+        Measure::Betweenness => entry
+            .dec
+            .rank_subset_multi(
                 &entry.graph,
-                &p.targets,
+                sets,
                 &SaphyraBcConfig::new(p.eps, p.delta),
                 &mut rng,
-            );
-            let stats = obj(vec![
-                ("samples", Json::from(est.stats.samples)),
-                ("nmax", Json::from(est.stats.nmax)),
-                ("converged_early", Json::from(est.stats.converged_early)),
-                ("vc_subset", Json::from(est.stats.vc.vc_subset)),
-                ("lambda_hat", Json::Num(est.stats.lambda_hat)),
-            ]);
-            (est.bc, stats)
-        }
-        Measure::KPath => {
-            let est = rank_kpath(&entry.graph, &p.targets, p.khops, p.eps, p.delta, &mut rng);
-            let stats = obj(vec![
-                ("samples", Json::from(est.inner.outcome.samples_used)),
-                ("nmax", Json::from(est.inner.outcome.nmax)),
-                (
-                    "converged_early",
-                    Json::from(est.inner.outcome.converged_early),
-                ),
-                ("lambda", Json::Num(est.inner.lambda)),
-            ]);
-            (est.kpc, stats)
-        }
-        Measure::Harmonic => {
-            let est = rank_harmonic(&entry.graph, &p.targets, p.eps, p.delta, &mut rng);
-            let stats = obj(vec![
-                ("samples", Json::from(est.inner.outcome.samples_used)),
-                ("nmax", Json::from(est.inner.outcome.nmax)),
-                (
-                    "converged_early",
-                    Json::from(est.inner.outcome.converged_early),
-                ),
-                ("lambda", Json::Num(est.inner.lambda)),
-            ]);
-            (est.hc, stats)
-        }
+            )
+            .into_iter()
+            .map(|est| {
+                let stats = obj(vec![
+                    ("samples", Json::from(est.stats.samples)),
+                    ("nmax", Json::from(est.stats.nmax)),
+                    ("converged_early", Json::from(est.stats.converged_early)),
+                    ("vc_subset", Json::from(est.stats.vc.vc_subset)),
+                    ("lambda_hat", Json::Num(est.stats.lambda_hat)),
+                ]);
+                (est.bc, stats)
+            })
+            .collect(),
+        Measure::KPath => rank_kpath_multi(&entry.graph, sets, p.khops, p.eps, p.delta, &mut rng)
+            .into_iter()
+            .map(|est| {
+                let stats = obj(vec![
+                    ("samples", Json::from(est.inner.outcome.samples_used)),
+                    ("nmax", Json::from(est.inner.outcome.nmax)),
+                    (
+                        "converged_early",
+                        Json::from(est.inner.outcome.converged_early),
+                    ),
+                    ("lambda", Json::Num(est.inner.lambda)),
+                ]);
+                (est.kpc, stats)
+            })
+            .collect(),
+        Measure::Harmonic => rank_harmonic_multi(&entry.graph, sets, p.eps, p.delta, &mut rng)
+            .into_iter()
+            .map(|est| {
+                let stats = obj(vec![
+                    ("samples", Json::from(est.inner.outcome.samples_used)),
+                    ("nmax", Json::from(est.inner.outcome.nmax)),
+                    (
+                        "converged_early",
+                        Json::from(est.inner.outcome.converged_early),
+                    ),
+                    ("lambda", Json::Num(est.inner.lambda)),
+                ]);
+                (est.hc, stats)
+            })
+            .collect(),
     };
-    let ranks = saphyra_stats::ranks_by_value(&scores);
 
-    obj(vec![
-        ("graph", Json::from(p.graph.as_str())),
-        ("measure", Json::from(p.measure.as_str())),
-        ("eps", Json::Num(p.eps)),
-        ("delta", Json::Num(p.delta)),
-        ("seed", Json::from(p.seed)),
-        ("khops", Json::from(p.khops)),
-        (
-            "targets",
-            Json::Arr(p.targets.iter().map(|&t| Json::from(t)).collect()),
-        ),
-        (
-            "scores",
-            Json::Arr(scores.iter().map(|&x| Json::Num(x)).collect()),
-        ),
-        (
-            "ranks",
-            Json::Arr(ranks.iter().map(|&r| Json::from(r)).collect()),
-        ),
-        ("stats", stats),
-    ])
-    .to_string()
+    per_set
+        .into_iter()
+        .zip(sets)
+        .map(|((scores, stats), targets)| {
+            let ranks = saphyra_stats::ranks_by_value(&scores);
+            obj(vec![
+                ("graph", Json::from(p.graph.as_str())),
+                ("measure", Json::from(p.measure.as_str())),
+                ("eps", Json::Num(p.eps)),
+                ("delta", Json::Num(p.delta)),
+                ("seed", Json::from(p.seed)),
+                ("khops", Json::from(p.khops)),
+                (
+                    "targets",
+                    Json::Arr(targets.iter().map(|&t| Json::from(t)).collect()),
+                ),
+                (
+                    "scores",
+                    Json::Arr(scores.iter().map(|&x| Json::Num(x)).collect()),
+                ),
+                (
+                    "ranks",
+                    Json::Arr(ranks.iter().map(|&r| Json::from(r)).collect()),
+                ),
+                ("stats", stats),
+            ])
+            .to_string()
+        })
+        .collect()
 }
 
 /// Shutdown latch shared by the reactor, the workers and the handle:
@@ -1776,6 +1988,112 @@ mod tests {
             }
         });
         assert_eq!(svc.computations(), 4, "distinct keys must all compute");
+    }
+
+    fn service_with_grid_window(window: Duration) -> Service {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            cache_capacity: 16,
+            batch_window: window,
+            ..ServiceConfig::default()
+        });
+        svc.registry().insert(GraphEntry::build(
+            "grid",
+            saphyra_graph::fixtures::grid_graph(5, 5),
+        ));
+        svc
+    }
+
+    /// The tentpole property, per measure: concurrent cold requests with
+    /// distinct target sets run ONE shared sample pass, every response
+    /// reports `batched`, and every body is byte-identical to what a quiet
+    /// server (no other traffic, window zero) produces for that request.
+    #[test]
+    fn batching_coalesces_distinct_targets_into_one_pass() {
+        let sets = ["[0,1]", "[5,6]", "[12,17]", "[20,24]"];
+        for measure in ["bc", "kpath", "harmonic"] {
+            let svc = service_with_grid_window(Duration::from_millis(300));
+            let bodies: Vec<String> = sets
+                .iter()
+                .map(|t| {
+                    format!(
+                        r#"{{"graph":"grid","targets":{t},"measure":"{measure}","eps":0.1,"delta":0.1,"seed":9}}"#
+                    )
+                })
+                .collect();
+            let responses: Vec<Response> = std::thread::scope(|scope| {
+                let handles: Vec<_> = bodies
+                    .iter()
+                    .map(|b| {
+                        let svc = &svc;
+                        scope.spawn(move || svc.handle(&post("/rank", b)).0)
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert_eq!(
+                svc.sample_passes(),
+                1,
+                "{measure}: expected one shared pass"
+            );
+            assert_eq!(svc.batched(), 4, "{measure}");
+            assert_eq!(svc.computations(), 4, "{measure}");
+            for (r, req) in responses.iter().zip(&bodies) {
+                assert_eq!(r.status, 200, "{}", r.body);
+                assert!(
+                    r.headers
+                        .iter()
+                        .any(|(k, v)| k == "X-Saphyra-Cache" && v == "batched"),
+                    "{measure}: member not marked batched"
+                );
+                let quiet = service_with_grid_window(Duration::ZERO);
+                let (qr, _) = quiet.handle(&post("/rank", req));
+                assert_eq!(
+                    r.body, qr.body,
+                    "{measure}: batched bytes diverged from a quiet-server run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_window_batches_of_one_report_miss() {
+        let svc = service_with_grid_window(Duration::ZERO);
+        let body = r#"{"graph":"grid","targets":[6,12,18],"eps":0.1,"delta":0.1,"seed":7}"#;
+        let (r, _) = svc.handle(&post("/rank", body));
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r
+            .headers
+            .iter()
+            .any(|(k, v)| k == "X-Saphyra-Cache" && v == "miss"));
+        assert_eq!(svc.sample_passes(), 1);
+        assert_eq!(svc.batched(), 0);
+        // A batch of one is the canonical computation: the default-window
+        // service produces the same bytes for the same request.
+        let dflt = service_with_grid();
+        let (rd, _) = dflt.handle(&post("/rank", body));
+        assert_eq!(r.body, rd.body);
+    }
+
+    /// Requests in different accuracy classes (here: distinct ε) never
+    /// share a stream, even inside one gather window.
+    #[test]
+    fn batching_respects_accuracy_class() {
+        let svc = service_with_grid_window(Duration::from_millis(200));
+        std::thread::scope(|scope| {
+            for eps in ["0.1", "0.2"] {
+                let svc = &svc;
+                let body = format!(
+                    r#"{{"graph":"grid","targets":[6,12],"eps":{eps},"delta":0.1,"seed":5}}"#
+                );
+                scope.spawn(move || {
+                    let (r, _) = svc.handle(&post("/rank", &body));
+                    assert_eq!(r.status, 200, "{}", r.body);
+                });
+            }
+        });
+        assert_eq!(svc.sample_passes(), 2, "distinct eps must not coalesce");
+        assert_eq!(svc.batched(), 0);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! End-to-end service tests over real TCP sockets: the wire-level
 //! determinism contract, persistent-connection (keep-alive) semantics,
-//! single-flight collapsing, cache isolation between graphs under
-//! concurrency, and graceful shutdown.
+//! single-flight collapsing, cross-request batching (one shared sample
+//! pass for concurrent distinct-target requests, byte-identical to quiet
+//! runs), cache isolation between graphs under concurrency, and graceful
+//! shutdown.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -201,6 +203,87 @@ fn single_flight_collapses_identical_cold_requests_on_the_wire() {
             Some("miss" | "shared" | "hit")
         ));
     }
+    handle.shutdown_and_join();
+}
+
+/// The batching acceptance property on the wire: 8 concurrent cold
+/// requests with pairwise-distinct target sets — same graph, measure, ε,
+/// δ, seed — coalesce into ONE shared sample pass, every response is
+/// marked `batched`, and every body is byte-identical to what a quiet
+/// server (no other traffic) returns for the same request.
+#[test]
+fn batched_distinct_targets_one_pass_and_quiet_server_bytes() {
+    let n = 8usize;
+    let bodies: Vec<String> = (0..n)
+        .map(|i| {
+            format!(
+                r#"{{"graph":"g","targets":[{},{},{}],"measure":"bc","eps":0.15,"delta":0.1,"seed":42}}"#,
+                2 * i,
+                2 * i + 1,
+                30 + i
+            )
+        })
+        .collect();
+
+    // Quiet-server baselines: the same requests, zero concurrency.
+    let mut baselines = Vec::new();
+    {
+        let (handle, addr) = start(1);
+        load_flickr(&addr, "g", 5);
+        for b in &bodies {
+            let r = request(&addr, "POST", "/rank", Some(b)).unwrap();
+            assert_eq!(r.status, 200, "{}", r.body);
+            baselines.push(r.body);
+        }
+        handle.shutdown_and_join();
+    }
+
+    // Batching server: one worker per request so every member can park in
+    // the gather window, and a window comfortably wider than the time the
+    // 8 client threads need to connect and send.
+    let cfg = ServiceConfig {
+        workers: n,
+        cache_capacity: 64,
+        batch_window: Duration::from_millis(300),
+        ..ServiceConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", cfg).expect("bind");
+    let addr = handle.addr().to_string();
+    load_flickr(&addr, "g", 5);
+
+    let mut threads = Vec::new();
+    for (i, body) in bodies.iter().enumerate() {
+        let addr = addr.clone();
+        let body = body.clone();
+        threads.push(std::thread::spawn(move || {
+            (i, request(&addr, "POST", "/rank", Some(&body)).unwrap())
+        }));
+    }
+    for t in threads {
+        let (i, resp) = t.join().unwrap();
+        assert_eq!(resp.status, 200, "request {i}: {}", resp.body);
+        assert_eq!(
+            resp.header("x-saphyra-cache"),
+            Some("batched"),
+            "request {i} missed the batch"
+        );
+        assert_eq!(
+            resp.body, baselines[i],
+            "request {i}: batched bytes diverged from the quiet server"
+        );
+    }
+    assert_eq!(
+        handle.service().sample_passes(),
+        1,
+        "{n} distinct-target requests must share one sample pass"
+    );
+    assert_eq!(handle.service().computations(), n as u64);
+
+    // /healthz reports the batching counters.
+    let resp = request(&addr, "GET", "/healthz", None).unwrap();
+    let v = Json::parse(&resp.body).unwrap();
+    assert_eq!(v.get("batched").unwrap().as_u64(), Some(n as u64));
+    assert_eq!(v.get("sample_passes").unwrap().as_u64(), Some(1));
     handle.shutdown_and_join();
 }
 

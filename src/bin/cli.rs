@@ -9,6 +9,7 @@
 //! saphyra-cli gen   <flickr|livejournal|usa-road|orkut> <tiny|small|full> <out-file>
 //! saphyra-cli serve <addr> [--workers N] [--cache N] [--state-dir DIR]
 //!                   [--max-connections N] [--pipeline-depth N] [--journal-max-bytes N]
+//!                   [--batch-window-ms N]
 //! saphyra-cli snapshot save <edge-list> <out.snap> [--name G]
 //! saphyra-cli snapshot load <file.snap>
 //! saphyra-cli snapshot verify <file.snap>
@@ -77,6 +78,9 @@ enum Command {
         pipeline_depth: usize,
         journal_max_bytes: Option<u64>,
         state_dir: Option<String>,
+        /// Gather window (ms) for cross-request batching of cold `/rank`
+        /// requests that differ only in targets; 0 disables gathering.
+        batch_window_ms: u64,
     },
     Snapshot(SnapshotCmd),
     Query {
@@ -230,6 +234,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut pipeline_depth = defaults.pipeline_depth;
             let mut journal_max_bytes = None;
             let mut state_dir = None;
+            let mut batch_window_ms = defaults.batch_window.as_millis() as u64;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--workers" => {
@@ -257,6 +262,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--state-dir" => {
                         state_dir = Some(it.next().ok_or("--state-dir needs a value")?.clone())
                     }
+                    "--batch-window-ms" => {
+                        batch_window_ms = next_parse(&mut it, "--batch-window-ms")?;
+                    }
                     other => return Err(format!("serve: unknown flag {other}")),
                 }
             }
@@ -268,6 +276,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 pipeline_depth,
                 journal_max_bytes,
                 state_dir,
+                batch_window_ms,
             })
         }
         "snapshot" => {
@@ -561,6 +570,7 @@ fn run(cmd: Command) -> Result<(), String> {
             pipeline_depth,
             journal_max_bytes,
             state_dir,
+            batch_window_ms,
         } => {
             let cfg = saphyra_service::ServiceConfig {
                 workers,
@@ -569,6 +579,7 @@ fn run(cmd: Command) -> Result<(), String> {
                 pipeline_depth,
                 journal_max_bytes,
                 state_dir: state_dir.map(std::path::PathBuf::from),
+                batch_window: std::time::Duration::from_millis(batch_window_ms),
                 ..Default::default()
             };
             let handle = saphyra_service::serve(&addr, cfg)
@@ -892,9 +903,18 @@ mod tests {
                 max_connections: defaults.max_connections,
                 pipeline_depth: defaults.pipeline_depth,
                 journal_max_bytes: None,
-                state_dir: None
+                state_dir: None,
+                batch_window_ms: defaults.batch_window.as_millis() as u64,
             }
         );
+        let c = parse_args(&sv(&["serve", "127.0.0.1:0", "--batch-window-ms", "250"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Serve {
+                batch_window_ms: 250,
+                ..
+            }
+        ));
         let c = parse_args(&sv(&["serve", "127.0.0.1:0", "--state-dir", "/tmp/sd"])).unwrap();
         assert!(matches!(
             c,
