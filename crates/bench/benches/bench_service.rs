@@ -26,6 +26,11 @@
 //! pairwise-disjoint target sets (same seed within a wave), against a
 //! gathering server and an unbatched one; the batched arm must be ≥ 2x,
 //! since one shared walk stream replaces 8 independent ones.
+//!
+//! The **sharded_rank** round prices the sharded topology: the same cold
+//! round served through a router fanning sampling rounds out to two shard
+//! backends vs the standalone server, plus the router's per-round merge
+//! cost from its `/healthz` telemetry. Recorded in `BENCH_service.json`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -34,7 +39,7 @@ use std::time::{Duration, Instant};
 use criterion::{criterion_group, criterion_main, Criterion};
 use saphyra_service::http::{request, Client};
 use saphyra_service::persist;
-use saphyra_service::server::{serve_with, Service, ServiceConfig};
+use saphyra_service::server::{serve_with, Role, Service, ServiceConfig};
 use saphyra_service::GraphEntry;
 
 const CLIENT_THREADS: usize = 8;
@@ -320,6 +325,69 @@ fn bench_service(c: &mut Criterion) {
     );
     eprintln!();
 
+    // ISSUE satellite `sharded_rank`: router + 2 shards serving the same
+    // graph split, against the standalone server above. Cold seeds on both
+    // sides so every request actually samples; the router's extra cost is
+    // wire round trips per sampling round plus the partial-accumulator
+    // merges, which its pool telemetry times.
+    let shard_servers: Vec<_> = (0..2)
+        .map(|_| {
+            let cfg = ServiceConfig {
+                workers: 2,
+                cache_capacity: 64,
+                role: Role::Shard,
+                ..ServiceConfig::default()
+            };
+            serve_with("127.0.0.1:0", Arc::new(Service::new(cfg))).expect("bind shard")
+        })
+        .collect();
+    let router_cfg = ServiceConfig {
+        workers: 2,
+        cache_capacity: 64,
+        role: Role::Router,
+        shards: shard_servers.iter().map(|s| s.addr().to_string()).collect(),
+        ..ServiceConfig::default()
+    };
+    let router =
+        serve_with("127.0.0.1:0", Arc::new(Service::new(router_cfg))).expect("bind router");
+    let r_addr = router.addr().to_string();
+    let mut rc = Client::new(r_addr.as_str());
+    // The generator rebuilds the exact graph the standalone server holds.
+    let loaded = rc
+        .request(
+            "POST",
+            "/graphs",
+            Some(r#"{"name":"bench","network":"flickr","size":"tiny","seed":1,"split":true}"#),
+        )
+        .expect("split load");
+    assert_eq!(loaded.status, 200, "{}", loaded.body);
+    let base = round_seed.fetch_add(2 * REQUESTS_PER_ROUND as u64, Ordering::Relaxed);
+    let sharded_dt = fire_round(&r_addr, true, |i| base + i as u64);
+    let solo_dt = fire_round(&addr, true, |i| base + REQUESTS_PER_ROUND as u64 + i as u64);
+    let (sharded_rps, solo_rps) = (
+        REQUESTS_PER_ROUND as f64 / sharded_dt,
+        REQUESTS_PER_ROUND as f64 / solo_dt,
+    );
+    let health = rc.request("GET", "/healthz", None).expect("healthz");
+    let hj = saphyra_service::json::Json::parse(&health.body).expect("healthz json");
+    let merge_rounds = hj.get("sharded_rounds").unwrap().as_u64().unwrap();
+    let merge_nanos = hj.get("sharded_merge_nanos").unwrap().as_u64().unwrap();
+    assert!(merge_rounds > 0, "router never fanned a round out");
+    let merge_us_per_round = merge_nanos as f64 / merge_rounds as f64 / 1e3;
+    drop(rc);
+    router.shutdown_and_join();
+    for s in shard_servers {
+        s.shutdown_and_join();
+    }
+    eprintln!("sharded_rank (cold bc round, router + 2 shards vs standalone):");
+    eprintln!("{:>24} {:>12}", "scenario", "req/s");
+    eprintln!("{:>24} {solo_rps:>12.1}", "standalone");
+    eprintln!(
+        "{:>24} {sharded_rps:>12.1}  ({:.2}x, {merge_rounds} rounds, {merge_us_per_round:.1} us/round merge)",
+        "router-proxied", sharded_rps / solo_rps
+    );
+    eprintln!();
+
     let json = format!(
         "{{\"clients\":{CLIENT_THREADS},\"requests_per_round\":{REQUESTS_PER_ROUND},\
          \"keepalive_rps\":{ka_rps:.0},\"pipelined_rps\":{pipe_rps:.0},\
@@ -328,9 +396,14 @@ fn bench_service(c: &mut Criterion) {
          \"distinct_cold_targets\":{{\"waves\":{waves},\
          \"unbatched_rps\":{unbatched_rps:.1},\"batched_rps\":{batched_rps:.1},\
          \"batch_speedup\":{batch_speedup:.3},\"sample_passes\":{batch_passes},\
-         \"batched_members\":{batch_members}}}}}\n",
+         \"batched_members\":{batch_members}}},\
+         \"sharded_rank\":{{\"shards\":2,\"standalone_rps\":{solo_rps:.1},\
+         \"router_rps\":{sharded_rps:.1},\"router_ratio\":{:.3},\
+         \"sharded_rounds\":{merge_rounds},\
+         \"merge_us_per_round\":{merge_us_per_round:.1}}}}}\n",
         pipe_rps / ka_rps,
-        loris_rps / ka_rps
+        loris_rps / ka_rps,
+        sharded_rps / solo_rps
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json");
     if let Err(e) = std::fs::write(&out, json) {

@@ -9,7 +9,10 @@ use super::exact2hop::{build_a_index, exact_bc};
 use super::gen::BcApproxProblem;
 use super::outreach::{bca_values, gamma, Outreach};
 use super::vcbound::{vc_bounds_from, VcBoundReport, VcPrecomp};
-use crate::framework::{saphyra_estimate_batch, AdaptiveOutcome, BatchSubscriber, ExactPart};
+use crate::framework::{
+    saphyra_estimate_batch_with, AdaptiveConfig, AdaptiveOutcome, BatchSubscriber, ExactPart,
+    ExecError,
+};
 
 /// Accuracy configuration of a SaPHyRa_bc run.
 #[derive(Debug, Clone, Copy)]
@@ -308,6 +311,36 @@ impl BcDecomposition {
         cfg: &SaphyraBcConfig,
         rng: &mut dyn RngCore,
     ) -> Vec<BcEstimate> {
+        self.rank_subset_multi_with(graph, sets, cfg, rng, |_, problems, cfgs, master| {
+            Ok(crate::framework::estimate_risks_multi(
+                problems, cfgs, master,
+            ))
+        })
+        .expect("local execution is infallible")
+    }
+
+    /// [`BcDecomposition::rank_subset_multi`] against a caller-supplied
+    /// estimation engine (e.g. a sharded [`crate::framework::BlockExec`]).
+    ///
+    /// The engine receives the subscribers that actually sample — sets
+    /// surviving both the PISP prefilter (non-empty PISP, `γη > 0`) and the
+    /// `λ > 0` check — with their **original set indices**, so a remote
+    /// executor can tell its backends which target set each demand belongs
+    /// to. Engines honoring the [`crate::framework::BlockExec`] contract
+    /// yield estimates bit-identical to [`BcDecomposition::rank_subset_multi`].
+    pub fn rank_subset_multi_with(
+        &self,
+        graph: &Graph,
+        sets: &[Vec<NodeId>],
+        cfg: &SaphyraBcConfig,
+        rng: &mut dyn RngCore,
+        engine: impl FnOnce(
+            &[usize],
+            &[&dyn crate::framework::HrProblem],
+            &[AdaptiveConfig],
+            u64,
+        ) -> Result<Vec<AdaptiveOutcome>, ExecError>,
+    ) -> Result<Vec<BcEstimate>, ExecError> {
         let n = graph.num_nodes();
         let a_indexes: Vec<Vec<u32>> = sets.iter().map(|t| build_a_index(n, t)).collect();
         let vcs: Vec<VcBoundReport> = sets
@@ -365,10 +398,20 @@ impl BcDecomposition {
                 delta: cfg.delta,
             })
             .collect();
-        let mut ests = saphyra_estimate_batch(&subs, cfg.adaptive, rng).into_iter();
+        let ests = saphyra_estimate_batch_with(&subs, cfg.adaptive, rng, {
+            let sampled = &sampled;
+            move |inner, problems, cfgs, master| {
+                // `inner` indexes `subs`; translate to original set indices.
+                let orig: Vec<usize> = inner.iter().map(|&j| sampled[j]).collect();
+                let dyns: Vec<&dyn crate::framework::HrProblem> =
+                    problems.iter().map(|&p| p as _).collect();
+                engine(&orig, &dyns, cfgs, master)
+            }
+        })?;
+        let mut ests = ests.into_iter();
         drop(subs);
 
-        (0..sets.len())
+        Ok((0..sets.len())
             .map(|i| {
                 let targets = &sets[i];
                 let k = targets.len();
@@ -435,7 +478,7 @@ impl BcDecomposition {
                     stats,
                 }
             })
-            .collect()
+            .collect())
     }
 
     /// SaPHyRa_bc-full: ranks every node of the graph (the paper's

@@ -20,7 +20,7 @@ use saphyra_graph::bfs::{BfsWorkspace, INFINITY};
 use saphyra_graph::{Graph, NodeId};
 
 use crate::framework::{
-    saphyra_estimate_weighted, saphyra_estimate_weighted_batch, BatchSubscriber, ExactPart,
+    saphyra_estimate_weighted, saphyra_estimate_weighted_batch_with, BatchSubscriber, ExactPart,
     SaphyraEstimate, WeightedHrProblem, WeightedHrSampler,
 };
 
@@ -212,6 +212,37 @@ pub fn rank_harmonic_multi(
     delta: f64,
     rng: &mut dyn RngCore,
 ) -> Vec<HarmonicEstimate> {
+    rank_harmonic_multi_with(g, sets, eps, delta, rng, |_, problems, cfgs, master| {
+        Ok(crate::framework::estimate_weighted_risks_multi(
+            problems, cfgs, master,
+        ))
+    })
+    .expect("local execution is infallible")
+}
+
+/// [`rank_harmonic_multi`] against a caller-supplied estimation engine
+/// (e.g. a sharded [`crate::framework::BlockExec`] over
+/// [`crate::framework::LossAcc`] partials).
+///
+/// The engine receives the subscribers that actually sample — sets
+/// surviving both the `A = V` prefilter and the `λ > 0` check — with their
+/// **original set indices**. Engines honoring the executor contract
+/// (units from [`crate::framework::loss_unit_ranges`], merged in unit
+/// order) yield estimates bit-identical to [`rank_harmonic_multi`].
+pub fn rank_harmonic_multi_with(
+    g: &Graph,
+    sets: &[Vec<NodeId>],
+    eps: f64,
+    delta: f64,
+    rng: &mut dyn RngCore,
+    engine: impl FnOnce(
+        &[usize],
+        &[&dyn WeightedHrProblem],
+        &[crate::framework::AdaptiveConfig],
+        u64,
+    )
+        -> Result<Vec<crate::framework::AdaptiveOutcome>, crate::framework::ExecError>,
+) -> Result<Vec<HarmonicEstimate>, crate::framework::ExecError> {
     let n = g.num_nodes();
     let exacts: Vec<ExactPart> = sets
         .iter()
@@ -237,12 +268,22 @@ pub fn rank_harmonic_multi(
             delta,
         })
         .collect();
-    let mut inners = saphyra_estimate_weighted_batch(&subs, true, rng).into_iter();
+    let inners = saphyra_estimate_weighted_batch_with(&subs, true, rng, {
+        let sampled = &sampled;
+        move |inner, problems, cfgs, master| {
+            // `inner` indexes `subs`; translate to original set indices.
+            let orig: Vec<usize> = inner.iter().map(|&j| sampled[j]).collect();
+            let dyns: Vec<&dyn WeightedHrProblem> = problems.iter().map(|&p| p as _).collect();
+            engine(&orig, &dyns, cfgs, master)
+        }
+    })?;
+    let mut inners = inners.into_iter();
     let mut slots: Vec<Option<SaphyraEstimate>> = (0..sets.len()).map(|_| None).collect();
     for &i in &sampled {
         slots[i] = inners.next();
     }
-    sets.iter()
+    Ok(sets
+        .iter()
         .zip(exacts)
         .zip(slots)
         .map(|((targets, exact), inner)| match inner {
@@ -253,7 +294,7 @@ pub fn rank_harmonic_multi(
             },
             None => exact_only_harmonic(targets, exact),
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]

@@ -72,8 +72,13 @@ pub(crate) fn sample_hit_counts<P: HrProblem + ?Sized>(
 }
 
 /// Streaming first and second moments of one hypothesis' losses.
-#[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct LossAcc {
+///
+/// Public so remote executors can carry per-unit partials over the wire:
+/// the pair merges exactly (field-wise sums) and, merged in the fixed unit
+/// order of [`super::multi::loss_unit_ranges`], reproduces the local `f64`
+/// association order bit-for-bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LossAcc {
     /// `Σ x`.
     pub sum: f64,
     /// `Σ x²`.

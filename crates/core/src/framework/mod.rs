@@ -11,7 +11,13 @@ mod variance;
 mod weighted;
 
 pub use adaptive::{estimate_risks, AdaptiveConfig, AdaptiveOutcome};
-pub use multi::{estimate_risks_multi, estimate_risks_shared, estimate_weighted_risks_multi};
+pub use batch::LossAcc;
+pub use multi::{
+    demand_chunks, estimate_risks_multi, estimate_risks_multi_exec, estimate_risks_shared,
+    estimate_weighted_risks_multi, estimate_weighted_risks_multi_exec, exec_hit_unit,
+    exec_loss_unit, loss_unit_ranges, BlockExec, ExecError, LocalExec, LocalLossExec,
+    LocalSharedExec,
+};
 pub use problem::{ExactPart, HrProblem, HrSampler, SharedDraw};
 pub use tracker::{BlockAcc, Demand, Tracker};
 pub use variance::{partitioned_variance_ratio, variance_reduction_factor};
@@ -136,12 +142,22 @@ pub struct BatchSubscriber<'a, P: ?Sized> {
 /// `λ`, route the `λ > 0` ones through `engine` (with per-subscriber
 /// `ε′ = ε/λ` configs and one shared master seed), and assemble Eq. 8 per
 /// subscriber. Degenerate subscribers (`λ ≈ 0`) never sample.
+///
+/// The engine also receives `sampled` — the *original* subscriber index of
+/// each problem it was handed — so remote executors can tell their
+/// backends which subscriber each demand belongs to. An engine failure
+/// (e.g. an unreachable shard) aborts the whole batch.
 fn saphyra_batch_with<P: ?Sized>(
     subs: &[BatchSubscriber<'_, P>],
     adaptive: bool,
     rng: &mut dyn rand::RngCore,
-    engine: impl FnOnce(&[&P], &[AdaptiveConfig], u64) -> Vec<AdaptiveOutcome>,
-) -> Vec<SaphyraEstimate> {
+    engine: impl FnOnce(
+        &[usize],
+        &[&P],
+        &[AdaptiveConfig],
+        u64,
+    ) -> Result<Vec<AdaptiveOutcome>, ExecError>,
+) -> Result<Vec<SaphyraEstimate>, ExecError> {
     let master = rng.next_u64();
     let lambdas: Vec<f64> = subs
         .iter()
@@ -159,20 +175,73 @@ fn saphyra_batch_with<P: ?Sized>(
             cfg
         })
         .collect();
-    let outcomes = engine(&problems, &cfgs, master);
+    let outcomes = engine(&sampled, &problems, &cfgs, master)?;
     let mut outcomes: Vec<Option<AdaptiveOutcome>> = outcomes.into_iter().map(Some).collect();
     let mut by_sub: Vec<Option<AdaptiveOutcome>> = (0..subs.len()).map(|_| None).collect();
     for (slot, &i) in sampled.iter().enumerate() {
         by_sub[i] = outcomes[slot].take();
     }
-    subs.iter()
+    Ok(subs
+        .iter()
         .zip(lambdas)
         .zip(by_sub)
         .map(|((s, lambda), outcome)| match outcome {
             Some(o) => combine_estimate(s.exact, lambda, o),
             None => exact_only_estimate(s.exact, lambda),
         })
-        .collect()
+        .collect())
+}
+
+fn check_batch_sizes<P: ?Sized>(
+    subs: &[BatchSubscriber<'_, P>],
+    num_hypotheses: impl Fn(&P) -> usize,
+) {
+    for s in subs {
+        assert_eq!(
+            s.exact.exact_risks.len(),
+            num_hypotheses(s.problem),
+            "exact part size mismatch"
+        );
+    }
+}
+
+/// [`saphyra_estimate_batch`] against a caller-supplied estimation engine.
+///
+/// The engine is handed the `λ > 0` subscribers' problems and configs
+/// *plus* their original subscriber indices, and typically wraps
+/// [`estimate_risks_multi_exec`] around a remote [`BlockExec`]. Engines
+/// honoring the executor contract produce results bit-identical to
+/// [`saphyra_estimate_batch`]; engine errors abort the batch.
+pub fn saphyra_estimate_batch_with<P: HrProblem + ?Sized>(
+    subs: &[BatchSubscriber<'_, P>],
+    adaptive: bool,
+    rng: &mut dyn rand::RngCore,
+    engine: impl FnOnce(
+        &[usize],
+        &[&P],
+        &[AdaptiveConfig],
+        u64,
+    ) -> Result<Vec<AdaptiveOutcome>, ExecError>,
+) -> Result<Vec<SaphyraEstimate>, ExecError> {
+    check_batch_sizes(subs, |p| p.num_hypotheses());
+    saphyra_batch_with(subs, adaptive, rng, engine)
+}
+
+/// [`saphyra_estimate_weighted_batch`] against a caller-supplied engine —
+/// the fractional-loss analogue of [`saphyra_estimate_batch_with`].
+pub fn saphyra_estimate_weighted_batch_with<P: WeightedHrProblem + ?Sized>(
+    subs: &[BatchSubscriber<'_, P>],
+    adaptive: bool,
+    rng: &mut dyn rand::RngCore,
+    engine: impl FnOnce(
+        &[usize],
+        &[&P],
+        &[AdaptiveConfig],
+        u64,
+    ) -> Result<Vec<AdaptiveOutcome>, ExecError>,
+) -> Result<Vec<SaphyraEstimate>, ExecError> {
+    check_batch_sizes(subs, |p| p.num_hypotheses());
+    saphyra_batch_with(subs, adaptive, rng, engine)
 }
 
 /// Batched [`saphyra_estimate`]: every subscriber's result — estimates,
@@ -185,14 +254,10 @@ pub fn saphyra_estimate_batch<P: HrProblem + ?Sized>(
     adaptive: bool,
     rng: &mut dyn rand::RngCore,
 ) -> Vec<SaphyraEstimate> {
-    for s in subs {
-        assert_eq!(
-            s.exact.exact_risks.len(),
-            s.problem.num_hypotheses(),
-            "exact part size mismatch"
-        );
-    }
-    saphyra_batch_with(subs, adaptive, rng, estimate_risks_multi)
+    saphyra_estimate_batch_with(subs, adaptive, rng, |_, problems, cfgs, master| {
+        Ok(estimate_risks_multi(problems, cfgs, master))
+    })
+    .expect("local execution is infallible")
 }
 
 /// Batched [`saphyra_estimate`] with **shared draws** for [`SharedDraw`]
@@ -204,14 +269,11 @@ pub fn saphyra_estimate_batch_shared<P: SharedDraw + ?Sized>(
     adaptive: bool,
     rng: &mut dyn rand::RngCore,
 ) -> Vec<SaphyraEstimate> {
-    for s in subs {
-        assert_eq!(
-            s.exact.exact_risks.len(),
-            s.problem.num_hypotheses(),
-            "exact part size mismatch"
-        );
-    }
-    saphyra_batch_with(subs, adaptive, rng, estimate_risks_shared)
+    check_batch_sizes(subs, |p| p.num_hypotheses());
+    saphyra_batch_with(subs, adaptive, rng, |_, problems, cfgs, master| {
+        Ok(estimate_risks_shared(problems, cfgs, master))
+    })
+    .expect("local execution is infallible")
 }
 
 /// Batched [`saphyra_estimate_weighted`] (fractional losses, fused pass).
@@ -220,14 +282,10 @@ pub fn saphyra_estimate_weighted_batch<P: WeightedHrProblem + ?Sized>(
     adaptive: bool,
     rng: &mut dyn rand::RngCore,
 ) -> Vec<SaphyraEstimate> {
-    for s in subs {
-        assert_eq!(
-            s.exact.exact_risks.len(),
-            s.problem.num_hypotheses(),
-            "exact part size mismatch"
-        );
-    }
-    saphyra_batch_with(subs, adaptive, rng, estimate_weighted_risks_multi)
+    saphyra_estimate_weighted_batch_with(subs, adaptive, rng, |_, problems, cfgs, master| {
+        Ok(estimate_weighted_risks_multi(problems, cfgs, master))
+    })
+    .expect("local execution is infallible")
 }
 
 #[cfg(test)]

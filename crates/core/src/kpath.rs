@@ -21,8 +21,8 @@ use rand::RngCore;
 use saphyra_graph::{Graph, NodeId};
 
 use crate::framework::{
-    saphyra_estimate, saphyra_estimate_batch_shared, BatchSubscriber, ExactPart, HrProblem,
-    HrSampler, SaphyraEstimate, SharedDraw,
+    saphyra_estimate, saphyra_estimate_batch_shared, saphyra_estimate_batch_with, BatchSubscriber,
+    ExactPart, ExecError, HrProblem, HrSampler, SaphyraEstimate, SharedDraw,
 };
 
 const NONE: u32 = u32::MAX;
@@ -238,6 +238,62 @@ pub fn rank_kpath_multi(
             inner,
         })
         .collect()
+}
+
+/// [`rank_kpath_multi`] against a caller-supplied estimation engine (e.g.
+/// a sharded [`crate::framework::BlockExec`]).
+///
+/// The engine receives the `λ > 0` subscribers with their original set
+/// indices (k-path has no measure-level prefilter — `λ̂ = 1/k < 1` always —
+/// so they are simply `0..sets.len()`). The engine runs the *per-problem*
+/// hit path rather than the shared-draw path; the two are bit-identical
+/// for [`SharedDraw`] problems (drawing is target-independent and scoring
+/// consumes no RNG, so per-demand hit counts — and therefore every tracker
+/// decision — coincide), which is also covered by a test in
+/// `tests/other_measures.rs`.
+pub fn rank_kpath_multi_with(
+    g: &Graph,
+    sets: &[Vec<NodeId>],
+    k: usize,
+    eps: f64,
+    delta: f64,
+    rng: &mut dyn RngCore,
+    engine: impl FnOnce(
+        &[usize],
+        &[&dyn HrProblem],
+        &[crate::framework::AdaptiveConfig],
+        u64,
+    ) -> Result<Vec<crate::framework::AdaptiveOutcome>, ExecError>,
+) -> Result<Vec<KPathEstimate>, ExecError> {
+    assert!(k >= 2, "k-path ranking needs k >= 2");
+    let exacts: Vec<ExactPart> = sets.iter().map(|t| kpath_exact_part(g, t, k)).collect();
+    let probs: Vec<KPathApproxProblem> = sets
+        .iter()
+        .map(|t| KPathApproxProblem::new(g, t, k))
+        .collect();
+    let subs: Vec<BatchSubscriber<KPathApproxProblem>> = probs
+        .iter()
+        .zip(&exacts)
+        .map(|(problem, exact)| BatchSubscriber {
+            problem,
+            exact,
+            eps,
+            delta,
+        })
+        .collect();
+    let inners = saphyra_estimate_batch_with(&subs, true, rng, |inner, problems, cfgs, master| {
+        let dyns: Vec<&dyn HrProblem> = problems.iter().map(|&p| p as _).collect();
+        engine(inner, &dyns, cfgs, master)
+    })?;
+    Ok(sets
+        .iter()
+        .zip(inners)
+        .map(|(targets, inner)| KPathEstimate {
+            targets: targets.clone(),
+            kpc: inner.combined.clone(),
+            inner,
+        })
+        .collect())
 }
 
 /// Direct Monte-Carlo estimator over the *full* walk space (`l ∈ 1..=k`),

@@ -64,6 +64,37 @@ pub fn check_targets(targets: &[NodeId], num_nodes: usize) -> Result<(), String>
     Ok(())
 }
 
+/// Checks a shard address list for a router (`--shards`): non-empty, no
+/// duplicates, and never the router's own listen address (a router fanning
+/// work out to itself would deadlock its own accept loop).
+///
+/// Addresses are compared textually after trimming — `host:port`
+/// canonicalization (DNS, `0.0.0.0` vs `127.0.0.1`) is out of scope here;
+/// the check catches the configuration mistakes that are unambiguous from
+/// the strings alone.
+pub fn check_shard_addrs(addrs: &[String], self_addr: &str) -> Result<(), String> {
+    if addrs.is_empty() {
+        return Err("shard list must not be empty (pass --shards host:port,...)".to_string());
+    }
+    let self_addr = self_addr.trim();
+    for (i, a) in addrs.iter().enumerate() {
+        let a = a.trim();
+        if a.is_empty() {
+            return Err("shard address must not be empty".to_string());
+        }
+        if !a.contains(':') {
+            return Err(format!("shard address '{a}' must be host:port"));
+        }
+        if !self_addr.is_empty() && a == self_addr {
+            return Err(format!("shard address '{a}' is the router's own address"));
+        }
+        if addrs[..i].iter().any(|b| b.trim() == a) {
+            return Err(format!("duplicate shard address '{a}'"));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +125,26 @@ mod tests {
         assert!(check_targets(&[0, 4], 5).is_ok());
         assert!(check_targets(&[5], 5).is_err());
         assert!(check_targets(&[1, 1], 5).is_err());
+    }
+
+    fn addrs(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn shard_addr_lists() {
+        let me = "127.0.0.1:7000";
+        assert!(check_shard_addrs(&addrs(&[]), me).is_err(), "empty list");
+        assert!(check_shard_addrs(&addrs(&["127.0.0.1:7001", "127.0.0.1:7002"]), me).is_ok());
+        // Duplicates, including whitespace-insensitive ones.
+        assert!(check_shard_addrs(&addrs(&["h:1", "h:1"]), me).is_err());
+        assert!(check_shard_addrs(&addrs(&["h:1", " h:1 "]), me).is_err());
+        // Self-address.
+        assert!(check_shard_addrs(&addrs(&["127.0.0.1:7000"]), me).is_err());
+        // Malformed entries.
+        assert!(check_shard_addrs(&addrs(&[""]), me).is_err());
+        assert!(check_shard_addrs(&addrs(&["noport"]), me).is_err());
+        // Unknown self address skips only the self check.
+        assert!(check_shard_addrs(&addrs(&["h:1"]), "").is_ok());
     }
 }

@@ -16,6 +16,19 @@
 //! | POST   | `/graphs`   | `{"name", "path"}` or `{"name", "network", "size"?, "seed"?}` |
 //! | POST   | `/rank`     | `{"graph", "targets", "measure"?, "eps"?, "delta"?, "seed"?, "khops"?}` |
 //! | POST   | `/shutdown` | — (graceful stop) |
+//! | POST   | `/shard/exec` | internal (shard role): binary sampling round → partial accumulators |
+//!
+//! ## Roles
+//!
+//! [`ServiceConfig::role`] selects the node's place in a sharded
+//! deployment: `Standalone` (default) serves everything locally; `Shard`
+//! additionally answers the internal `/shard/exec` endpoint; `Router`
+//! places whole graphs on shards (crc32 of the name) and proxies their
+//! requests, or — for `"split": true` loads — loads the graph everywhere
+//! and drives each `/rank`'s sampling rounds across all shards via
+//! [`shard::ShardedExec`], merging partial accumulators so the response
+//! bytes match a standalone server exactly. See [`shard`] for the wire
+//! protocol and the determinism contract.
 //!
 //! Loading a graph builds its [`saphyra::bc::BcDecomposition`] — bicomps,
 //! block-cut tree, out-reach/ISP tables, bcₐ, γ, VC-bound precomputation —
@@ -98,7 +111,8 @@ pub mod persist;
 pub mod reactor;
 pub mod registry;
 pub mod server;
+pub mod shard;
 
 pub use http::{request, Client, ClientResponse};
 pub use registry::{GraphEntry, Registry};
-pub use server::{serve, serve_with, ServerHandle, Service, ServiceConfig};
+pub use server::{serve, serve_with, Role, ServerHandle, Service, ServiceConfig};

@@ -73,8 +73,11 @@ use std::time::{Duration, Instant, SystemTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use saphyra::bc::SaphyraBcConfig;
-use saphyra::closeness::rank_harmonic_multi;
-use saphyra::kpath::rank_kpath_multi;
+use saphyra::closeness::{rank_harmonic_multi, rank_harmonic_multi_with};
+use saphyra::framework::{
+    estimate_risks_multi_exec, estimate_weighted_risks_multi_exec, ExecError,
+};
+use saphyra::kpath::{rank_kpath_multi, rank_kpath_multi_with};
 use saphyra::params;
 use saphyra_gen::datasets::{SimNetwork, SizeClass};
 use saphyra_graph::{io as graph_io, NodeId};
@@ -85,6 +88,61 @@ use crate::json::Json;
 use crate::persist::{self, valid_graph_name};
 use crate::reactor::{new_poller, Event, Poller, TimerWheel, WakePipe};
 use crate::registry::{GraphEntry, Registry};
+use crate::shard::{self, ShardPool, ShardedExec};
+
+/// What a node does with the registry and the `/rank` path.
+///
+/// - `Standalone` (the default): owns graphs, computes every ranking
+///   in-process — the pre-sharding behavior, unchanged.
+/// - `Router`: owns the registry *view*. Whole graphs are placed on one
+///   shard by hashing the graph name and `/rank`/`/graphs` are proxied
+///   there; graphs loaded with `"split": true` live on every shard and
+///   the router drives their estimation rounds across all of them
+///   ([`crate::shard::ShardedExec`]), merging partial accumulators so
+///   results are bit-identical to a standalone run.
+/// - `Shard`: a standalone node that additionally serves the internal
+///   binary `POST /shard/exec` endpoint for routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Role {
+    /// Compute everything locally (default).
+    #[default]
+    Standalone,
+    /// Place graphs on shards and route/drive requests to them.
+    Router,
+    /// Standalone plus the internal `/shard/exec` endpoint.
+    Shard,
+}
+
+impl Role {
+    /// Lowercase wire/CLI spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Role::Standalone => "standalone",
+            Role::Router => "router",
+            Role::Shard => "shard",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<Role> {
+        match s {
+            "standalone" => Some(Role::Standalone),
+            "router" => Some(Role::Router),
+            "shard" => Some(Role::Shard),
+            _ => None,
+        }
+    }
+}
+
+/// Where a router placed a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Placement {
+    /// The whole graph lives on one shard; requests are proxied.
+    Remote(usize),
+    /// The graph lives on every shard (and on the router, which owns the
+    /// decomposition and drives sharded estimation).
+    Split,
+}
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -130,6 +188,11 @@ pub struct ServiceConfig {
     /// batch of one). Batching never changes response bytes — each
     /// member's body is bit-identical to a quiet-server run.
     pub batch_window: Duration,
+    /// What this node does with the registry and `/rank` (see [`Role`]).
+    pub role: Role,
+    /// Shard backend addresses (`host:port`), router role only. Validate
+    /// with [`saphyra::params::check_shard_addrs`] before serving.
+    pub shards: Vec<String>,
 }
 
 impl Default for ServiceConfig {
@@ -144,6 +207,8 @@ impl Default for ServiceConfig {
             journal_max_bytes: None,
             state_dir: None,
             batch_window: Duration::from_millis(2),
+            role: Role::Standalone,
+            shards: Vec::new(),
         }
     }
 }
@@ -333,6 +398,11 @@ pub struct Service {
     /// opposite orders on disk and in memory — the running service would
     /// then rank one graph and a restart silently restore the other.
     load_publish: Mutex<()>,
+    role: Role,
+    /// Shard backends (router role only).
+    shards: Option<ShardPool>,
+    /// Router-side registry view: where each loaded graph lives.
+    placements: Mutex<BTreeMap<String, Placement>>,
     workers: usize,
     idle_timeout: Duration,
     max_requests_per_conn: usize,
@@ -400,6 +470,9 @@ impl Service {
             snapshots_loaded: AtomicU64::new(0),
             persist,
             load_publish: Mutex::new(()),
+            role: cfg.role,
+            shards: (cfg.role == Role::Router).then(|| ShardPool::new(cfg.shards.clone())),
+            placements: Mutex::new(BTreeMap::new()),
             workers,
             idle_timeout: cfg.idle_timeout,
             max_requests_per_conn: cfg.max_requests_per_conn,
@@ -570,8 +643,30 @@ impl Service {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let resp = match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => self.healthz(),
-            ("GET", "/graphs") => self.list_graphs(),
-            ("POST", "/graphs") => self.load_graph(req),
+            ("GET", "/graphs") => match self.role {
+                Role::Router => self.router_list_graphs(),
+                _ => self.list_graphs(),
+            },
+            ("POST", "/graphs") => {
+                let body = req
+                    .body_str()
+                    .map_err(|e| e.to_string())
+                    .and_then(|t| Json::parse(t).map_err(|e| format!("invalid JSON body: {e}")));
+                match &body {
+                    Ok(json) => self.load_graph(json),
+                    Err(e) => error_response(400, e.clone()),
+                }
+            }
+            ("POST", "/shard/exec") => {
+                if self.role == Role::Shard {
+                    shard::handle_exec(&self.registry, &req.body)
+                } else {
+                    error_response(
+                        400,
+                        "/shard/exec is internal to shard nodes (start with --role shard)",
+                    )
+                }
+            }
             ("POST", "/rank") => {
                 // Parse the body exactly once; ranking and the journal
                 // both consume the same parsed value.
@@ -580,7 +675,10 @@ impl Service {
                     .map_err(|e| e.to_string())
                     .and_then(|t| Json::parse(t).map_err(|e| format!("invalid JSON body: {e}")));
                 let resp = match &body {
-                    Ok(json) => self.rank(json),
+                    Ok(json) => match self.router_proxy_rank(json) {
+                        Some(proxied) => proxied,
+                        None => self.rank(json),
+                    },
                     Err(e) => error_response(400, e.clone()),
                 };
                 self.journal_rank(body.ok(), &resp);
@@ -597,8 +695,25 @@ impl Service {
     }
 
     fn healthz(&self) -> Response {
+        let (rounds, merge_nanos) = self
+            .shards
+            .as_ref()
+            .map(|p| {
+                (
+                    p.stats().rounds.load(Ordering::Relaxed),
+                    p.stats().merge_nanos.load(Ordering::Relaxed),
+                )
+            })
+            .unwrap_or((0, 0));
         let body = obj(vec![
             ("status", Json::from("ok")),
+            ("role", Json::from(self.role.as_str())),
+            (
+                "shards",
+                Json::from(self.shards.as_ref().map_or(0, ShardPool::len)),
+            ),
+            ("sharded_rounds", Json::from(rounds)),
+            ("sharded_merge_nanos", Json::from(merge_nanos)),
             ("graphs", Json::from(self.registry.len())),
             ("workers", Json::from(self.workers)),
             (
@@ -647,15 +762,29 @@ impl Service {
         Response::json(200, obj(vec![("graphs", Json::Arr(graphs))]).to_string())
     }
 
-    fn load_graph(&self, req: &Request) -> Response {
-        let body = match req
-            .body_str()
-            .map_err(|e| e.to_string())
-            .and_then(|t| Json::parse(t).map_err(|e| format!("invalid JSON body: {e}")))
-        {
-            Ok(v) => v,
-            Err(e) => return error_response(400, e),
+    /// Routes a parsed `POST /graphs` body by role: routers place the
+    /// graph on shards ([`Service::router_load_graph`]); other roles load
+    /// locally, rejecting the router-only `"split"` flag.
+    fn load_graph(&self, body: &Json) -> Response {
+        let split = match body.get("split") {
+            None => false,
+            Some(v) => match v.as_bool() {
+                Some(b) => b,
+                None => return error_response(400, "field \"split\" must be a boolean"),
+            },
         };
+        if self.role == Role::Router {
+            return self.router_load_graph(body, split);
+        }
+        if split {
+            return error_response(400, "\"split\": true requires a router (--role router)");
+        }
+        self.load_graph_local(body)
+    }
+
+    /// Loads a graph into this node's own registry (the standalone path,
+    /// and what a router does for its local copy of a split graph).
+    fn load_graph_local(&self, body: &Json) -> Response {
         let name = match body.get("name").and_then(Json::as_str) {
             Some(n) if valid_graph_name(n) => n.to_string(),
             Some(n) => {
@@ -686,7 +815,7 @@ impl Service {
                 let Ok(size) = size.parse::<SizeClass>() else {
                     return error_response(400, format!("unknown size class {size:?}"));
                 };
-                let seed = match opt_u64(&body, "seed", 2022) {
+                let seed = match opt_u64(body, "seed", 2022) {
                     Ok(s) => s,
                     Err(e) => return error_response(400, e),
                 };
@@ -742,6 +871,204 @@ impl Service {
             fields.push(("persisted".to_string(), Json::Bool(persisted)));
         }
         Response::json(200, Json::Obj(fields).to_string())
+    }
+
+    /// Router placement for `POST /graphs`: whole graphs go to one shard
+    /// (graph name hashed with the snapshot CRC — stable across restarts
+    /// and router instances); `"split": true` graphs are loaded on the
+    /// router (which owns the decomposition and drives estimation) *and*
+    /// on every shard.
+    fn router_load_graph(&self, body: &Json, split: bool) -> Response {
+        let pool = self.shards.as_ref().expect("router always has a pool");
+        // The CLI validates `--shards` at parse time; embedders building a
+        // `ServiceConfig` directly get the same checks here, as a 400.
+        if let Err(e) = saphyra::params::check_shard_addrs(pool.addrs(), "") {
+            return error_response(400, format!("shard configuration invalid: {e}"));
+        }
+        let name = match body.get("name").and_then(Json::as_str) {
+            Some(n) if valid_graph_name(n) => n.to_string(),
+            Some(n) => {
+                let why = "want 1-64 chars of [A-Za-z0-9._-], no leading dot";
+                return error_response(400, format!("invalid graph name {n:?} ({why})"));
+            }
+            None => return error_response(400, "missing required string field \"name\""),
+        };
+        // Shards load the graph whole; "split" is router-only vocabulary.
+        let forwarded = match body {
+            Json::Obj(fields) => {
+                let kept: Vec<(String, Json)> = fields
+                    .iter()
+                    .filter(|(k, _)| k != "split")
+                    .cloned()
+                    .collect();
+                Json::Obj(kept).to_string()
+            }
+            _ => body.to_string(),
+        };
+
+        if split {
+            let local = self.load_graph_local(body);
+            if local.status != 200 {
+                return local;
+            }
+            // Every shard must hold the graph before the placement is
+            // published; a failed shard leaves the graph served locally
+            // (correct, just not sharded) and the load reported failed.
+            for (i, addr) in pool.addrs().iter().enumerate() {
+                let ok = match pool.request(i, "POST", "/graphs", Some(&forwarded)) {
+                    Err(e) => Err(format!("shard {addr}: {e}")),
+                    Ok(r) if r.status != 200 => {
+                        Err(format!("shard {addr}: HTTP {}: {}", r.status, r.body))
+                    }
+                    Ok(_) => Ok(()),
+                };
+                if let Err(e) = ok {
+                    return error_response(503, format!("split load of {name:?} failed: {e}"));
+                }
+            }
+            self.placements
+                .lock()
+                .unwrap()
+                .insert(name, Placement::Split);
+            let Ok(Json::Obj(mut fields)) = Json::parse(local.body_str()) else {
+                unreachable!("load_graph_local emits a JSON object");
+            };
+            fields.push(("split".to_string(), Json::Bool(true)));
+            fields.push(("shards".to_string(), Json::from(pool.len())));
+            return Response::json(200, Json::Obj(fields).to_string());
+        }
+
+        let idx = saphyra_graph::wire::crc32(name.as_bytes()) as usize % pool.len();
+        let addr = &pool.addrs()[idx];
+        match pool.request(idx, "POST", "/graphs", Some(&forwarded)) {
+            Err(e) => error_response(503, format!("shard {addr}: {e}")),
+            Ok(r) if r.status != 200 => Response::json(r.status, r.body),
+            Ok(r) => {
+                self.placements
+                    .lock()
+                    .unwrap()
+                    .insert(name, Placement::Remote(idx));
+                match Json::parse(&r.body) {
+                    Ok(Json::Obj(mut fields)) => {
+                        fields.push(("shard".to_string(), Json::from(addr.as_str())));
+                        Response::json(200, Json::Obj(fields).to_string())
+                    }
+                    _ => Response::json(200, r.body),
+                }
+            }
+        }
+    }
+
+    /// The router's merged registry view: split graphs from its own
+    /// registry, whole graphs from the shard that owns them (one
+    /// `GET /graphs` per owning shard). An unreachable shard fails the
+    /// listing with 503 — the view would otherwise silently lie.
+    fn router_list_graphs(&self) -> Response {
+        let pool = self.shards.as_ref().expect("router always has a pool");
+        let placements = self.placements.lock().unwrap().clone();
+        let needed: Vec<usize> = {
+            let mut idxs: Vec<usize> = placements
+                .values()
+                .filter_map(|p| match p {
+                    Placement::Remote(i) => Some(*i),
+                    Placement::Split => None,
+                })
+                .collect();
+            idxs.sort_unstable();
+            idxs.dedup();
+            idxs
+        };
+        let mut shard_infos: HashMap<usize, HashMap<String, Json>> = HashMap::new();
+        for i in needed {
+            let addr = &pool.addrs()[i];
+            let listing = match pool.request(i, "GET", "/graphs", None) {
+                Err(e) => return error_response(503, format!("shard {addr}: {e}")),
+                Ok(r) if r.status != 200 => {
+                    return error_response(503, format!("shard {addr}: HTTP {}", r.status))
+                }
+                Ok(r) => r,
+            };
+            let mut by_name = HashMap::new();
+            if let Ok(json) = Json::parse(&listing.body) {
+                if let Some(graphs) = json.get("graphs").and_then(Json::as_arr) {
+                    for g in graphs {
+                        if let Some(n) = g.get("name").and_then(Json::as_str) {
+                            by_name.insert(n.to_string(), g.clone());
+                        }
+                    }
+                }
+            }
+            shard_infos.insert(i, by_name);
+        }
+        let graphs: Vec<Json> = placements
+            .iter()
+            .filter_map(|(name, placement)| match placement {
+                Placement::Split => self.registry.get(name).map(|entry| {
+                    let Json::Obj(mut fields) = graph_info(&entry) else {
+                        unreachable!()
+                    };
+                    fields.push(("split".to_string(), Json::Bool(true)));
+                    Json::Obj(fields)
+                }),
+                Placement::Remote(i) => {
+                    let addr = pool.addrs()[*i].as_str();
+                    let info = shard_infos.get(i).and_then(|m| m.get(name));
+                    Some(match info {
+                        Some(Json::Obj(fields)) => {
+                            let mut fields = fields.clone();
+                            fields.push(("shard".to_string(), Json::from(addr)));
+                            Json::Obj(fields)
+                        }
+                        _ => obj(vec![
+                            ("name", Json::from(name.as_str())),
+                            ("shard", Json::from(addr)),
+                            ("error", Json::from("missing on shard")),
+                        ]),
+                    })
+                }
+            })
+            .collect();
+        Response::json(200, obj(vec![("graphs", Json::Arr(graphs))]).to_string())
+    }
+
+    /// Router fast path for `POST /rank`: a graph placed whole on one
+    /// shard is proxied there verbatim (the shard batches, single-flights
+    /// and caches as usual; its cache header is relayed). Returns `None`
+    /// when the request should be computed here — split graphs (driven
+    /// across shards by [`Service::rank`]) and non-router roles.
+    fn router_proxy_rank(&self, body: &Json) -> Option<Response> {
+        if self.role != Role::Router {
+            return None;
+        }
+        let name = body.get("graph").and_then(Json::as_str)?;
+        let idx = match self.placements.lock().unwrap().get(name) {
+            Some(Placement::Remote(i)) => *i,
+            _ => return None,
+        };
+        let pool = self.shards.as_ref().expect("router always has a pool");
+        let addr = &pool.addrs()[idx];
+        Some(
+            match pool.request(idx, "POST", "/rank", Some(&body.to_string())) {
+                Err(e) => error_response(503, format!("shard {addr}: {e}")),
+                Ok(r) => {
+                    let cache = r.header("X-Saphyra-Cache").map(str::to_string);
+                    let mut resp = Response::json(r.status, r.body);
+                    if let Some(cache) = cache {
+                        resp = resp.with_header("X-Saphyra-Cache", &cache);
+                    }
+                    resp
+                }
+            },
+        )
+    }
+
+    /// The shard pool to drive `name`'s estimation across, if this node
+    /// is a router and the graph was loaded split.
+    fn sharded_pool_for(&self, name: &str) -> Option<&ShardPool> {
+        match self.placements.lock().unwrap().get(name) {
+            Some(Placement::Split) => self.shards.as_ref(),
+            _ => None,
+        }
     }
 
     fn rank(&self, body: &Json) -> Response {
@@ -897,7 +1224,19 @@ impl Service {
         // covers its slot as before.
         let bguard = BatchGuard { members: &members };
         let sets: Vec<Vec<NodeId>> = members.iter().map(|m| m.targets.clone()).collect();
-        let bodies = compute_rank_bodies(&entry, &p, &sets);
+        let pool = self.sharded_pool_for(&p.graph);
+        let bodies = match compute_rank_bodies(&entry, &p, &sets, pool) {
+            Ok(bodies) => bodies,
+            Err(e) => {
+                // Dropping the guards answers every parked member and
+                // same-key waiter ("leader died" → 500); the leader's own
+                // response names the failed shard. Nothing is cached — a
+                // retry after the shard recovers recomputes.
+                drop(bguard);
+                drop(guard);
+                return error_response(503, format!("sharded execution failed: {e}"));
+            }
+        };
         debug_assert_eq!(bodies.len(), members.len());
         let mut own = None;
         for (m, body) in members.iter().zip(bodies) {
@@ -1006,62 +1345,153 @@ fn graph_info(entry: &GraphEntry) -> Json {
 /// seed (pinned by `crates/core/tests/batched_determinism.rs`), so a
 /// response never depends on who else was in flight. `p` carries the
 /// fields every member shares (everything but the targets).
-fn compute_rank_bodies(entry: &GraphEntry, p: &RankParams, sets: &[Vec<NodeId>]) -> Vec<String> {
+///
+/// With `pool` set (router ranking a split graph), the sampling passes run
+/// through a [`ShardedExec`] fanning work units out to the shard backends;
+/// the [`saphyra::framework::BlockExec`] contract makes the bodies
+/// byte-identical to the local path, so sharding never shows in a
+/// response. A shard failure surfaces as `Err` (the caller answers 503).
+fn compute_rank_bodies(
+    entry: &GraphEntry,
+    p: &RankParams,
+    sets: &[Vec<NodeId>],
+    pool: Option<&ShardPool>,
+) -> Result<Vec<String>, ExecError> {
     let mut rng = StdRng::seed_from_u64(p.seed);
+    let fingerprint = (
+        entry.graph.num_nodes() as u64,
+        entry.graph.num_edges() as u64,
+    );
     let per_set: Vec<(Vec<f64>, Json)> = match p.measure {
-        Measure::Betweenness => entry
-            .dec
-            .rank_subset_multi(
-                &entry.graph,
-                sets,
-                &SaphyraBcConfig::new(p.eps, p.delta),
-                &mut rng,
-            )
-            .into_iter()
-            .map(|est| {
-                let stats = obj(vec![
-                    ("samples", Json::from(est.stats.samples)),
-                    ("nmax", Json::from(est.stats.nmax)),
-                    ("converged_early", Json::from(est.stats.converged_early)),
-                    ("vc_subset", Json::from(est.stats.vc.vc_subset)),
-                    ("lambda_hat", Json::Num(est.stats.lambda_hat)),
-                ]);
-                (est.bc, stats)
-            })
-            .collect(),
-        Measure::KPath => rank_kpath_multi(&entry.graph, sets, p.khops, p.eps, p.delta, &mut rng)
-            .into_iter()
-            .map(|est| {
-                let stats = obj(vec![
-                    ("samples", Json::from(est.inner.outcome.samples_used)),
-                    ("nmax", Json::from(est.inner.outcome.nmax)),
-                    (
-                        "converged_early",
-                        Json::from(est.inner.outcome.converged_early),
-                    ),
-                    ("lambda", Json::Num(est.inner.lambda)),
-                ]);
-                (est.kpc, stats)
-            })
-            .collect(),
-        Measure::Harmonic => rank_harmonic_multi(&entry.graph, sets, p.eps, p.delta, &mut rng)
-            .into_iter()
-            .map(|est| {
-                let stats = obj(vec![
-                    ("samples", Json::from(est.inner.outcome.samples_used)),
-                    ("nmax", Json::from(est.inner.outcome.nmax)),
-                    (
-                        "converged_early",
-                        Json::from(est.inner.outcome.converged_early),
-                    ),
-                    ("lambda", Json::Num(est.inner.lambda)),
-                ]);
-                (est.hc, stats)
-            })
-            .collect(),
+        Measure::Betweenness => {
+            let cfg = SaphyraBcConfig::new(p.eps, p.delta);
+            let ests = match pool {
+                None => entry
+                    .dec
+                    .rank_subset_multi(&entry.graph, sets, &cfg, &mut rng),
+                Some(pool) => entry.dec.rank_subset_multi_with(
+                    &entry.graph,
+                    sets,
+                    &cfg,
+                    &mut rng,
+                    |orig, problems, cfgs, master| {
+                        let sub_sets = orig.iter().map(|&i| sets[i].clone()).collect();
+                        let mut exec = ShardedExec::new(
+                            pool,
+                            &entry.name,
+                            fingerprint,
+                            shard::MEASURE_BC,
+                            p.khops,
+                            cfg.use_exact_subspace,
+                            sub_sets,
+                            master,
+                        );
+                        estimate_risks_multi_exec(problems, cfgs, &mut exec)
+                    },
+                )?,
+            };
+            ests.into_iter()
+                .map(|est| {
+                    let stats = obj(vec![
+                        ("samples", Json::from(est.stats.samples)),
+                        ("nmax", Json::from(est.stats.nmax)),
+                        ("converged_early", Json::from(est.stats.converged_early)),
+                        ("vc_subset", Json::from(est.stats.vc.vc_subset)),
+                        ("lambda_hat", Json::Num(est.stats.lambda_hat)),
+                    ]);
+                    (est.bc, stats)
+                })
+                .collect()
+        }
+        Measure::KPath => {
+            let ests = match pool {
+                None => rank_kpath_multi(&entry.graph, sets, p.khops, p.eps, p.delta, &mut rng),
+                // The hit-unit engine: bit-identical to the shared-draw
+                // local pass because k-path drawing is target-independent
+                // and scoring is RNG-free (pinned by
+                // `kpath_hit_engine_matches_shared` in
+                // `tests/other_measures.rs`).
+                Some(pool) => rank_kpath_multi_with(
+                    &entry.graph,
+                    sets,
+                    p.khops,
+                    p.eps,
+                    p.delta,
+                    &mut rng,
+                    |orig, problems, cfgs, master| {
+                        let sub_sets = orig.iter().map(|&i| sets[i].clone()).collect();
+                        let mut exec = ShardedExec::new(
+                            pool,
+                            &entry.name,
+                            fingerprint,
+                            shard::MEASURE_KPATH,
+                            p.khops,
+                            true,
+                            sub_sets,
+                            master,
+                        );
+                        estimate_risks_multi_exec(problems, cfgs, &mut exec)
+                    },
+                )?,
+            };
+            ests.into_iter()
+                .map(|est| {
+                    let stats = obj(vec![
+                        ("samples", Json::from(est.inner.outcome.samples_used)),
+                        ("nmax", Json::from(est.inner.outcome.nmax)),
+                        (
+                            "converged_early",
+                            Json::from(est.inner.outcome.converged_early),
+                        ),
+                        ("lambda", Json::Num(est.inner.lambda)),
+                    ]);
+                    (est.kpc, stats)
+                })
+                .collect()
+        }
+        Measure::Harmonic => {
+            let ests = match pool {
+                None => rank_harmonic_multi(&entry.graph, sets, p.eps, p.delta, &mut rng),
+                Some(pool) => rank_harmonic_multi_with(
+                    &entry.graph,
+                    sets,
+                    p.eps,
+                    p.delta,
+                    &mut rng,
+                    |orig, problems, cfgs, master| {
+                        let sub_sets = orig.iter().map(|&i| sets[i].clone()).collect();
+                        let mut exec = ShardedExec::new(
+                            pool,
+                            &entry.name,
+                            fingerprint,
+                            shard::MEASURE_HARMONIC,
+                            p.khops,
+                            true,
+                            sub_sets,
+                            master,
+                        );
+                        estimate_weighted_risks_multi_exec(problems, cfgs, &mut exec)
+                    },
+                )?,
+            };
+            ests.into_iter()
+                .map(|est| {
+                    let stats = obj(vec![
+                        ("samples", Json::from(est.inner.outcome.samples_used)),
+                        ("nmax", Json::from(est.inner.outcome.nmax)),
+                        (
+                            "converged_early",
+                            Json::from(est.inner.outcome.converged_early),
+                        ),
+                        ("lambda", Json::Num(est.inner.lambda)),
+                    ]);
+                    (est.hc, stats)
+                })
+                .collect()
+        }
     };
 
-    per_set
+    Ok(per_set
         .into_iter()
         .zip(sets)
         .map(|((scores, stats), targets)| {
@@ -1089,7 +1519,7 @@ fn compute_rank_bodies(entry: &GraphEntry, p: &RankParams, sets: &[Vec<NodeId>])
             ])
             .to_string()
         })
-        .collect()
+        .collect())
 }
 
 /// Shutdown latch shared by the reactor, the workers and the handle:
@@ -1889,12 +2319,12 @@ mod tests {
         let (resp, shut) = svc.handle(&get("/healthz"));
         assert_eq!(resp.status, 200);
         assert!(!shut);
-        let v = Json::parse(&resp.body).unwrap();
+        let v = Json::parse(resp.body_str()).unwrap();
         assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
         assert_eq!(v.get("graphs").unwrap().as_u64(), Some(1));
 
         let (resp, _) = svc.handle(&get("/graphs"));
-        let v = Json::parse(&resp.body).unwrap();
+        let v = Json::parse(resp.body_str()).unwrap();
         let graphs = v.get("graphs").unwrap().as_arr().unwrap();
         assert_eq!(graphs.len(), 1);
         assert_eq!(graphs[0].get("name").unwrap().as_str(), Some("grid"));
@@ -1906,7 +2336,7 @@ mod tests {
         let svc = service_with_grid();
         let body = r#"{"graph":"grid","targets":[6,12,18],"eps":0.1,"delta":0.1,"seed":7}"#;
         let (r1, _) = svc.handle(&post("/rank", body));
-        assert_eq!(r1.status, 200, "{}", r1.body);
+        assert_eq!(r1.status, 200, "{}", r1.body_str());
         assert!(r1
             .headers
             .iter()
@@ -1920,7 +2350,7 @@ mod tests {
         assert_eq!(svc.cache_hits(), 1);
         assert_eq!(svc.cache_misses(), 1);
 
-        let v = Json::parse(&r1.body).unwrap();
+        let v = Json::parse(r1.body_str()).unwrap();
         assert_eq!(v.get("measure").unwrap().as_str(), Some("bc"));
         assert_eq!(v.get("scores").unwrap().as_arr().unwrap().len(), 3);
         assert_eq!(v.get("ranks").unwrap().as_arr().unwrap().len(), 3);
@@ -1957,7 +2387,7 @@ mod tests {
             .count();
         assert_eq!(misses, 1, "exactly one request must be the leader");
         for r in &responses {
-            assert_eq!(r.status, 200, "{}", r.body);
+            assert_eq!(r.status, 200, "{}", r.body_str());
             assert_eq!(r.body, responses[0].body, "shared bytes diverged");
             // Non-leaders either waited on the in-flight computation
             // ("shared") or arrived after it landed in the cache ("hit").
@@ -1983,7 +2413,7 @@ mod tests {
                 let svc = &svc;
                 scope.spawn(move || {
                     let (r, _) = svc.handle(&post("/rank", body));
-                    assert_eq!(r.status, 200, "{}", r.body);
+                    assert_eq!(r.status, 200, "{}", r.body_str());
                 });
             }
         });
@@ -2039,7 +2469,7 @@ mod tests {
             assert_eq!(svc.batched(), 4, "{measure}");
             assert_eq!(svc.computations(), 4, "{measure}");
             for (r, req) in responses.iter().zip(&bodies) {
-                assert_eq!(r.status, 200, "{}", r.body);
+                assert_eq!(r.status, 200, "{}", r.body_str());
                 assert!(
                     r.headers
                         .iter()
@@ -2061,7 +2491,7 @@ mod tests {
         let svc = service_with_grid_window(Duration::ZERO);
         let body = r#"{"graph":"grid","targets":[6,12,18],"eps":0.1,"delta":0.1,"seed":7}"#;
         let (r, _) = svc.handle(&post("/rank", body));
-        assert_eq!(r.status, 200, "{}", r.body);
+        assert_eq!(r.status, 200, "{}", r.body_str());
         assert!(r
             .headers
             .iter()
@@ -2088,7 +2518,7 @@ mod tests {
                 );
                 scope.spawn(move || {
                     let (r, _) = svc.handle(&post("/rank", &body));
-                    assert_eq!(r.status, 200, "{}", r.body);
+                    assert_eq!(r.status, 200, "{}", r.body_str());
                 });
             }
         });
@@ -2104,8 +2534,8 @@ mod tests {
                 r#"{{"graph":"grid","targets":[2,12,22],"measure":"{measure}","eps":0.2,"delta":0.1,"seed":3}}"#
             );
             let (r, _) = svc.handle(&post("/rank", &body));
-            assert_eq!(r.status, 200, "{measure}: {}", r.body);
-            let v = Json::parse(&r.body).unwrap();
+            assert_eq!(r.status, 200, "{measure}: {}", r.body_str());
+            let v = Json::parse(r.body_str()).unwrap();
             assert_eq!(v.get("measure").unwrap().as_str(), Some(measure));
         }
     }
@@ -2134,14 +2564,20 @@ mod tests {
             (r#"{"graph":"grid","targets":[1.5]}"#, 400), // fractional id
         ] {
             let (r, _) = svc.handle(&post("/rank", body));
-            assert_eq!(r.status, want, "body {body}: got {} ({})", r.status, r.body);
+            assert_eq!(
+                r.status,
+                want,
+                "body {body}: got {} ({})",
+                r.status,
+                r.body_str()
+            );
         }
         // khops is ignored (not validated) for non-kpath measures.
         let (r, _) = svc.handle(&post(
             "/rank",
             r#"{"graph":"grid","targets":[1],"khops":1,"eps":0.3,"delta":0.1}"#,
         ));
-        assert_eq!(r.status, 200, "{}", r.body);
+        assert_eq!(r.status, 200, "{}", r.body_str());
     }
 
     #[test]
@@ -2155,15 +2591,15 @@ mod tests {
             "/graphs",
             r#"{"name":"fl","network":"flickr","size":"tiny","seed":5}"#,
         ));
-        assert_eq!(r.status, 200, "{}", r.body);
-        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body_str());
+        let v = Json::parse(r.body_str()).unwrap();
         assert_eq!(v.get("replaced").unwrap().as_bool(), Some(false));
         let nodes = v.get("nodes").unwrap().as_u64().unwrap();
         assert!(nodes > 10);
 
         let rank = r#"{"graph":"fl","targets":[1,2,3],"eps":0.2,"delta":0.1,"seed":1}"#;
         let (r1, _) = svc.handle(&post("/rank", rank));
-        assert_eq!(r1.status, 200, "{}", r1.body);
+        assert_eq!(r1.status, 200, "{}", r1.body_str());
 
         // Reload under the same name with a different seed: stale rankings
         // must not survive.
@@ -2172,7 +2608,7 @@ mod tests {
             r#"{"name":"fl","network":"flickr","size":"tiny","seed":6}"#,
         ));
         assert_eq!(
-            Json::parse(&r.body)
+            Json::parse(r.body_str())
                 .unwrap()
                 .get("replaced")
                 .unwrap()
@@ -2204,7 +2640,7 @@ mod tests {
             r#"{"name":"x","path":"p","network":"flickr"}"#,
         ] {
             let (r, _) = svc.handle(&post("/graphs", body));
-            assert_eq!(r.status, 400, "body {body}: {}", r.body);
+            assert_eq!(r.status, 400, "body {body}: {}", r.body_str());
         }
     }
 
@@ -2228,5 +2664,29 @@ mod tests {
         let (r, shut) = svc.handle(&post("/shutdown", ""));
         assert_eq!(r.status, 200);
         assert!(shut);
+    }
+
+    #[test]
+    fn graphs_listing_reports_counts() {
+        let svc = Service::new(ServiceConfig::default());
+        let entry = GraphEntry::build("grid", saphyra_graph::fixtures::grid_graph(4, 4));
+        let (nodes, edges, bicomps) = (
+            entry.graph.num_nodes() as u64,
+            entry.graph.num_edges() as u64,
+            entry.dec.bic.num_bicomps as u64,
+        );
+        svc.registry().insert(entry);
+
+        let (r, _) = svc.handle(&get("/graphs"));
+        assert_eq!(r.status, 200);
+        let json = Json::parse(r.body_str()).unwrap();
+        let graphs = json.get("graphs").unwrap().as_arr().unwrap();
+        assert_eq!(graphs.len(), 1);
+        let info = &graphs[0];
+        assert_eq!(info.get("name").unwrap().as_str(), Some("grid"));
+        assert_eq!(info.get("nodes").unwrap().as_u64(), Some(nodes));
+        assert_eq!(info.get("edges").unwrap().as_u64(), Some(edges));
+        assert_eq!(info.get("bicomps").unwrap().as_u64(), Some(bicomps));
+        assert!(info.get("gamma").unwrap().as_f64().is_some());
     }
 }

@@ -444,7 +444,7 @@ fn concurrent_same_name_loads_leave_disk_and_memory_agreeing() {
                     headers: Vec::new(),
                     body: body.into_bytes(),
                 });
-                assert_eq!(resp.status, 200, "{}", resp.body);
+                assert_eq!(resp.status, 200, "{}", resp.body_str());
             });
         }
     });

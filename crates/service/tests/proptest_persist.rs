@@ -34,8 +34,8 @@ fn rank_response(entry: GraphEntry, body: &str) -> String {
         headers: Vec::new(),
         body: body.as_bytes().to_vec(),
     });
-    assert_eq!(resp.status, 200, "{}", resp.body);
-    resp.body
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    resp.body_str().to_string()
 }
 
 proptest! {

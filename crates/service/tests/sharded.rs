@@ -1,0 +1,265 @@
+//! Sharded serving e2e (in-process processes-worth of servers on real
+//! sockets): a router driving split graphs across shard backends must
+//! serve `/rank` bodies byte-identical to a standalone server, survive
+//! idle-timeout disconnects between rounds, and degrade to clean 503s —
+//! never hangs — when a shard dies.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use saphyra_service::http::{Client, Request};
+use saphyra_service::server::{serve_with, Role, ServerHandle, Service, ServiceConfig};
+
+fn start(role: Role, shards: Vec<String>, idle: Duration) -> ServerHandle {
+    let cfg = ServiceConfig {
+        workers: 2,
+        cache_capacity: 32,
+        idle_timeout: idle,
+        role,
+        shards,
+        ..ServiceConfig::default()
+    };
+    serve_with("127.0.0.1:0", Arc::new(Service::new(cfg))).expect("bind ephemeral port")
+}
+
+const IDLE: Duration = Duration::from_secs(10);
+
+/// Router + `n` shards, all on ephemeral ports.
+fn start_cluster(n: usize, idle: Duration) -> (ServerHandle, Vec<ServerHandle>) {
+    let shards: Vec<ServerHandle> = (0..n)
+        .map(|_| start(Role::Shard, Vec::new(), idle))
+        .collect();
+    let addrs: Vec<String> = shards.iter().map(|s| s.addr().to_string()).collect();
+    let router = start(Role::Router, addrs, idle);
+    (router, shards)
+}
+
+const LOAD: &str = r#"{"name":"g","network":"flickr","size":"tiny","seed":7}"#;
+const LOAD_SPLIT: &str = r#"{"name":"g","network":"flickr","size":"tiny","seed":7,"split":true}"#;
+
+fn rank_body(measure: &str, seed: u64) -> String {
+    format!(
+        r#"{{"graph":"g","measure":"{measure}","targets":[0,3,9,17,40],"eps":0.2,"delta":0.1,"seed":{seed},"khops":4}}"#
+    )
+}
+
+/// The same request served by a socket-less standalone service (the
+/// pre-sharding code path, bit-for-bit).
+fn standalone_bytes(rank: &str) -> String {
+    let svc = Service::new(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let post = |path: &str, body: &str| {
+        svc.handle(&Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        })
+        .0
+    };
+    let loaded = post("/graphs", LOAD);
+    assert_eq!(loaded.status, 200, "{}", loaded.body_str());
+    let resp = post("/rank", rank);
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    resp.body_str().to_string()
+}
+
+#[test]
+fn split_rank_is_byte_identical_to_standalone_for_every_measure() {
+    let (router, shards) = start_cluster(2, IDLE);
+    let mut client = Client::new(router.addr().to_string());
+
+    let loaded = client.request("POST", "/graphs", Some(LOAD_SPLIT)).unwrap();
+    assert_eq!(loaded.status, 200, "{}", loaded.body);
+    assert!(loaded.body.contains("\"split\":true"), "{}", loaded.body);
+    assert!(loaded.body.contains("\"shards\":2"), "{}", loaded.body);
+
+    for measure in ["bc", "kpath", "harmonic"] {
+        let body = rank_body(measure, 11);
+        let via_router = client.request("POST", "/rank", Some(&body)).unwrap();
+        assert_eq!(via_router.status, 200, "{measure}: {}", via_router.body);
+        assert_eq!(via_router.header("X-Saphyra-Cache"), Some("miss"));
+        assert_eq!(
+            via_router.body,
+            standalone_bytes(&body),
+            "{measure}: sharded bytes diverge from standalone"
+        );
+        // Replays hit the router's own cache.
+        let again = client.request("POST", "/rank", Some(&body)).unwrap();
+        assert_eq!(again.header("X-Saphyra-Cache"), Some("hit"));
+        assert_eq!(again.body, via_router.body);
+    }
+
+    // The router actually fanned rounds out (and timed its merges).
+    let health = client.request("GET", "/healthz", None).unwrap();
+    assert!(
+        health.body.contains("\"role\":\"router\""),
+        "{}",
+        health.body
+    );
+    let json = saphyra_service::json::Json::parse(&health.body).unwrap();
+    assert!(json.get("sharded_rounds").unwrap().as_u64().unwrap() > 0);
+
+    // The split graph shows in the merged registry view.
+    let graphs = client.request("GET", "/graphs", None).unwrap();
+    assert_eq!(graphs.status, 200);
+    assert!(graphs.body.contains("\"split\":true"), "{}", graphs.body);
+
+    drop(client);
+    router.shutdown_and_join();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
+#[test]
+fn whole_graph_placement_proxies_rank_and_merges_listing() {
+    let (router, shards) = start_cluster(2, IDLE);
+    let mut client = Client::new(router.addr().to_string());
+
+    // No "split": the router places the whole graph on one shard.
+    let loaded = client.request("POST", "/graphs", Some(LOAD)).unwrap();
+    assert_eq!(loaded.status, 200, "{}", loaded.body);
+    assert!(loaded.body.contains("\"shard\":"), "{}", loaded.body);
+
+    let body = rank_body("bc", 13);
+    let via_router = client.request("POST", "/rank", Some(&body)).unwrap();
+    assert_eq!(via_router.status, 200, "{}", via_router.body);
+    // The shard's cache header is relayed through the proxy.
+    assert_eq!(via_router.header("X-Saphyra-Cache"), Some("miss"));
+    assert_eq!(via_router.body, standalone_bytes(&body));
+    let again = client.request("POST", "/rank", Some(&body)).unwrap();
+    assert_eq!(again.header("X-Saphyra-Cache"), Some("hit"));
+
+    // The merged view reports the owning shard and the graph counters.
+    let graphs = client.request("GET", "/graphs", None).unwrap();
+    assert_eq!(graphs.status, 200);
+    assert!(graphs.body.contains("\"shard\":"), "{}", graphs.body);
+    assert!(graphs.body.contains("\"nodes\":"), "{}", graphs.body);
+    assert!(graphs.body.contains("\"bicomps\":"), "{}", graphs.body);
+
+    drop(client);
+    router.shutdown_and_join();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
+#[test]
+fn dead_shard_mid_stream_yields_clean_503_not_a_hang() {
+    let (router, mut shards) = start_cluster(2, IDLE);
+    let mut client = Client::new(router.addr().to_string());
+
+    let loaded = client.request("POST", "/graphs", Some(LOAD_SPLIT)).unwrap();
+    assert_eq!(loaded.status, 200, "{}", loaded.body);
+    let warm = rank_body("bc", 21);
+    assert_eq!(
+        client.request("POST", "/rank", Some(&warm)).unwrap().status,
+        200
+    );
+
+    // Kill the first backend (chunk splits always feed shard 0 first,
+    // so it is guaranteed a share of every round), then issue a *cold*
+    // request (fresh seed): the fan-out must fail fast with a JSON 503
+    // naming the shard.
+    let victim = shards.remove(0);
+    let victim_addr = victim.addr().to_string();
+    victim.shutdown_and_join();
+    let cold = rank_body("bc", 22);
+    let resp = client.request("POST", "/rank", Some(&cold)).unwrap();
+    assert_eq!(resp.status, 503, "{}", resp.body);
+    let json = saphyra_service::json::Json::parse(&resp.body).unwrap();
+    let msg = json.get("error").unwrap().as_str().unwrap().to_string();
+    assert!(
+        msg.contains(&victim_addr),
+        "error does not name the shard: {msg}"
+    );
+
+    // Cached results survive the outage; nothing was poisoned.
+    let cached = client.request("POST", "/rank", Some(&warm)).unwrap();
+    assert_eq!(cached.status, 200);
+    assert_eq!(cached.header("X-Saphyra-Cache"), Some("hit"));
+
+    drop(client);
+    router.shutdown_and_join();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
+#[test]
+fn router_redials_shards_after_idle_timeout() {
+    // Shards that hang up idle connections between requests: the pooled
+    // clients must transparently redial (stale-connection retry) so a
+    // later multi-round estimation still completes — and still matches
+    // standalone bytes.
+    let (router, shards) = start_cluster(2, Duration::from_millis(150));
+    let mut client = Client::new(router.addr().to_string());
+
+    let loaded = client.request("POST", "/graphs", Some(LOAD_SPLIT)).unwrap();
+    assert_eq!(loaded.status, 200, "{}", loaded.body);
+    let first = rank_body("harmonic", 31);
+    assert_eq!(
+        client
+            .request("POST", "/rank", Some(&first))
+            .unwrap()
+            .status,
+        200
+    );
+
+    // Let every shard close the router's idle /shard/exec connections.
+    std::thread::sleep(Duration::from_millis(500));
+
+    let second = rank_body("harmonic", 32);
+    let resp = client.request("POST", "/rank", Some(&second)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(resp.body, standalone_bytes(&second));
+
+    drop(client);
+    router.shutdown_and_join();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
+#[test]
+fn role_validation_without_sockets() {
+    let post = |svc: &Service, path: &str, body: &str| {
+        svc.handle(&Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        })
+        .0
+    };
+
+    // "split" on a standalone node is a 400, not a silent local load.
+    let standalone = Service::new(ServiceConfig::default());
+    let resp = post(&standalone, "/graphs", LOAD_SPLIT);
+    assert_eq!(resp.status, 400, "{}", resp.body_str());
+    assert!(resp.body_str().contains("router"), "{}", resp.body_str());
+
+    // /shard/exec on a non-shard node is a 400.
+    let resp = post(&standalone, "/shard/exec", "junk");
+    assert_eq!(resp.status, 400, "{}", resp.body_str());
+
+    // Invalid shard pools (empty, duplicated) are a 400 at load time —
+    // the same `saphyra::params::check_shard_addrs` the CLI runs.
+    for shards in [Vec::new(), vec!["h:1".to_string(), "h:1".to_string()]] {
+        let router = Service::new(ServiceConfig {
+            role: Role::Router,
+            shards,
+            ..ServiceConfig::default()
+        });
+        let resp = post(&router, "/graphs", LOAD);
+        assert_eq!(resp.status, 400, "{}", resp.body_str());
+        assert!(
+            resp.body_str().contains("shard configuration invalid"),
+            "{}",
+            resp.body_str()
+        );
+    }
+}

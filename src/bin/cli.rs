@@ -9,14 +9,15 @@
 //! saphyra-cli gen   <flickr|livejournal|usa-road|orkut> <tiny|small|full> <out-file>
 //! saphyra-cli serve <addr> [--workers N] [--cache N] [--state-dir DIR]
 //!                   [--max-connections N] [--pipeline-depth N] [--journal-max-bytes N]
-//!                   [--batch-window-ms N]
+//!                   [--batch-window-ms N] [--role standalone|router|shard]
+//!                   [--shards host:port,host:port,...]
 //! saphyra-cli snapshot save <edge-list> <out.snap> [--name G]
 //! saphyra-cli snapshot load <file.snap>
 //! saphyra-cli snapshot verify <file.snap>
 //! saphyra-cli snapshot replay <state-dir>
 //! saphyra-cli query <addr> health
 //! saphyra-cli query <addr> graphs
-//! saphyra-cli query <addr> load --name G (--path <edge-list> | --gen <network>:<size>) [--seed S]
+//! saphyra-cli query <addr> load --name G (--path <edge-list> | --gen <network>:<size>) [--seed S] [--split]
 //! saphyra-cli query <addr> rank --graph G --targets 1,2,3 [--measure M]
 //!                   [--eps 0.01] [--delta 0.01] [--seed 7] [--khops 5] [--repeat N]
 //! saphyra-cli query <addr> shutdown
@@ -81,6 +82,10 @@ enum Command {
         /// Gather window (ms) for cross-request batching of cold `/rank`
         /// requests that differ only in targets; 0 disables gathering.
         batch_window_ms: u64,
+        /// Node role in a sharded deployment (standalone by default).
+        role: saphyra_service::Role,
+        /// Shard backend addresses (`--shards`, routers only).
+        shards: Vec<String>,
     },
     Snapshot(SnapshotCmd),
     Query {
@@ -235,6 +240,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut journal_max_bytes = None;
             let mut state_dir = None;
             let mut batch_window_ms = defaults.batch_window.as_millis() as u64;
+            let mut role = saphyra_service::Role::Standalone;
+            let mut shards: Vec<String> = Vec::new();
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--workers" => {
@@ -265,8 +272,27 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--batch-window-ms" => {
                         batch_window_ms = next_parse(&mut it, "--batch-window-ms")?;
                     }
+                    "--role" => {
+                        let v = it.next().ok_or("--role needs a value")?;
+                        role = saphyra_service::Role::parse(v).ok_or(format!(
+                            "--role: unknown role {v:?}; want standalone|router|shard"
+                        ))?;
+                    }
+                    "--shards" => {
+                        let v = it.next().ok_or("--shards needs a value")?;
+                        shards = v.split(',').map(|s| s.trim().to_string()).collect();
+                    }
                     other => return Err(format!("serve: unknown flag {other}")),
                 }
+            }
+            if role == saphyra_service::Role::Router {
+                saphyra::params::check_shard_addrs(&shards, &addr)
+                    .map_err(|e| format!("--shards: {e}"))?;
+            } else if !shards.is_empty() {
+                return Err(format!(
+                    "--shards only applies to --role router (role is {})",
+                    role.as_str()
+                ));
             }
             Ok(Command::Serve {
                 addr,
@@ -277,6 +303,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 journal_max_bytes,
                 state_dir,
                 batch_window_ms,
+                role,
+                shards,
             })
         }
         "snapshot" => {
@@ -367,12 +395,14 @@ fn parse_query<'a>(
         "shutdown" => query("POST", "/shutdown", None, 1),
         "load" => {
             let (mut name, mut path, mut gen, mut seed) = (None, None, None, None::<u64>);
+            let mut split = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--name" => name = Some(it.next().ok_or("--name needs a value")?.clone()),
                     "--path" => path = Some(it.next().ok_or("--path needs a value")?.clone()),
                     "--gen" => gen = Some(it.next().ok_or("--gen needs a value")?.clone()),
                     "--seed" => seed = Some(check_json_seed(next_parse(it, "--seed")?)?),
+                    "--split" => split = true,
                     other => return Err(format!("load: unknown flag {other}")),
                 }
             }
@@ -394,6 +424,9 @@ fn parse_query<'a>(
             }
             if let Some(s) = seed {
                 fields.push(("seed".to_string(), Json::from(s)));
+            }
+            if split {
+                fields.push(("split".to_string(), Json::Bool(true)));
             }
             query("POST", "/graphs", Some(Json::Obj(fields).to_string()), 1)
         }
@@ -571,6 +604,8 @@ fn run(cmd: Command) -> Result<(), String> {
             journal_max_bytes,
             state_dir,
             batch_window_ms,
+            role,
+            shards,
         } => {
             let cfg = saphyra_service::ServiceConfig {
                 workers,
@@ -580,6 +615,8 @@ fn run(cmd: Command) -> Result<(), String> {
                 journal_max_bytes,
                 state_dir: state_dir.map(std::path::PathBuf::from),
                 batch_window: std::time::Duration::from_millis(batch_window_ms),
+                role,
+                shards,
                 ..Default::default()
             };
             let handle = saphyra_service::serve(&addr, cfg)
@@ -905,6 +942,8 @@ mod tests {
                 journal_max_bytes: None,
                 state_dir: None,
                 batch_window_ms: defaults.batch_window.as_millis() as u64,
+                role: saphyra_service::Role::Standalone,
+                shards: Vec::new(),
             }
         );
         let c = parse_args(&sv(&["serve", "127.0.0.1:0", "--batch-window-ms", "250"])).unwrap();
@@ -945,6 +984,58 @@ mod tests {
         assert!(parse_args(&sv(&["serve", "127.0.0.1:0", "--pipeline-depth", "0"])).is_err());
         assert!(parse_args(&sv(&["serve", "127.0.0.1:0", "--journal-max-bytes", "0"])).is_err());
 
+        // Sharded roles.
+        let c = parse_args(&sv(&[
+            "serve",
+            "127.0.0.1:7000",
+            "--role",
+            "router",
+            "--shards",
+            "127.0.0.1:7001,127.0.0.1:7002",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Serve { role: saphyra_service::Role::Router, ref shards, .. }
+                if shards == &["127.0.0.1:7001".to_string(), "127.0.0.1:7002".to_string()]
+        ));
+        let c = parse_args(&sv(&["serve", "127.0.0.1:0", "--role", "shard"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Serve {
+                role: saphyra_service::Role::Shard,
+                ..
+            }
+        ));
+        // Bad role spelling.
+        assert!(parse_args(&sv(&["serve", "127.0.0.1:0", "--role", "primary"])).is_err());
+        // A router must name shards; the list must be well-formed.
+        assert!(parse_args(&sv(&["serve", "127.0.0.1:0", "--role", "router"])).is_err());
+        assert!(parse_args(&sv(&[
+            "serve",
+            "127.0.0.1:7000",
+            "--role",
+            "router",
+            "--shards",
+            "127.0.0.1:7001,127.0.0.1:7001",
+        ]))
+        .is_err());
+        // A router fanning out to itself would deadlock.
+        assert!(parse_args(&sv(&[
+            "serve",
+            "127.0.0.1:7000",
+            "--role",
+            "router",
+            "--shards",
+            "127.0.0.1:7000",
+        ]))
+        .is_err());
+        // Shards on non-router roles are rejected.
+        assert!(parse_args(&sv(
+            &["serve", "127.0.0.1:0", "--shards", "127.0.0.1:7001",]
+        ))
+        .is_err());
+
         let c = parse_args(&sv(&["query", "h:1", "health"])).unwrap();
         assert!(matches!(
             c,
@@ -979,6 +1070,27 @@ mod tests {
                     r#"{"name":"g","network":"flickr","size":"tiny","seed":5}"#
                 );
             }
+            other => panic!("wrong parse: {other:?}"),
+        }
+
+        // --split rides along in the load body (routers split the graph
+        // across their shards; other roles reject the flag server-side).
+        let c = parse_args(&sv(&[
+            "query",
+            "h:1",
+            "load",
+            "--name",
+            "g",
+            "--gen",
+            "flickr:tiny",
+            "--split",
+        ]))
+        .unwrap();
+        match c {
+            Command::Query { body, .. } => assert_eq!(
+                body.unwrap(),
+                r#"{"name":"g","network":"flickr","size":"tiny","split":true}"#
+            ),
             other => panic!("wrong parse: {other:?}"),
         }
 

@@ -4,7 +4,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use saphyra::closeness::{harmonic_exact, rank_harmonic};
-use saphyra::kpath::{kpath_direct_monte_carlo, rank_kpath};
+use saphyra::framework::{estimate_risks_multi_exec, LocalExec};
+use saphyra::kpath::{
+    kpath_direct_monte_carlo, rank_kpath, rank_kpath_multi, rank_kpath_multi_with,
+};
 use saphyra_gen::datasets::{flickr_sim, road_sim, SizeClass};
 use saphyra_stats::spearman_vs_truth;
 
@@ -52,6 +55,49 @@ fn kpath_framework_agrees_with_direct_monte_carlo() {
     let reference = kpath_direct_monte_carlo(&g, &targets, k, 300_000, &mut rng);
     for (i, (&a, &b)) in est.kpc.iter().zip(&reference).enumerate() {
         assert!((a - b).abs() < 0.02, "target {i}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn kpath_hit_engine_matches_shared() {
+    // The shared-draw stream (`rank_kpath_multi`) and the per-problem hit
+    // engine (`rank_kpath_multi_with` over a `BlockExec`) must produce
+    // bit-identical estimates: walk drawing never looks at the target set
+    // and scoring consumes no RNG, so per-demand hit counts coincide.
+    // This is the contract that lets a router answer a split graph's
+    // k-path request through shard backends without changing a byte.
+    let g = flickr_sim(SizeClass::Tiny, 7);
+    let n = g.num_nodes() as u32;
+    let sets = vec![
+        (0..n).step_by(23).collect::<Vec<u32>>(),
+        (1..n).step_by(41).collect::<Vec<u32>>(),
+        vec![0, n / 2, n - 1],
+    ];
+    let k = 4;
+    for seed in [3u64, 11, 29] {
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let shared = rank_kpath_multi(&g, &sets, k, 0.05, 0.1, &mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        let via_exec = rank_kpath_multi_with(
+            &g,
+            &sets,
+            k,
+            0.05,
+            0.1,
+            &mut rng_b,
+            |_orig, problems, cfgs, master| {
+                estimate_risks_multi_exec(problems, cfgs, &mut LocalExec::new(problems, master))
+            },
+        )
+        .unwrap();
+        for (a, b) in shared.iter().zip(&via_exec) {
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+            assert_eq!(bits(&a.kpc), bits(&b.kpc), "seed {seed}: estimates diverge");
+            assert_eq!(
+                a.inner.outcome.samples_used, b.inner.outcome.samples_used,
+                "seed {seed}"
+            );
+        }
     }
 }
 
