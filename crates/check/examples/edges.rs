@@ -1,0 +1,23 @@
+//! Dumps the service crate's lock-nesting graph — every `A -> B` edge
+//! where lock class `B` is acquired while `A` is held, with the function
+//! and line that creates it. Useful when extending the declared hierarchy
+//! in `check/invariants.toml`:
+//!
+//! ```sh
+//! cargo run -p saphyra-check --example edges
+//! ```
+
+fn main() {
+    let root = saphyra_check::default_root();
+    let files = saphyra_check::workspace_sources(&root).unwrap();
+    let service: Vec<&saphyra_check::scan::SourceFile> = files
+        .iter()
+        .filter(|sf| saphyra_check::lockorder_in_scope(&sf.rel))
+        .collect();
+    for e in saphyra_check::lints::lockorder::nesting_edges(&service) {
+        println!(
+            "EDGE {} -> {}   ({}:{} fn {})",
+            e.from, e.to, e.file, e.line, e.func
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Seeded violation: a result folded in `HashMap` iteration order, which
+//! varies per process and would break response byte-identity.
+
+use std::collections::HashMap;
+
+pub fn checksum(scores: &HashMap<u32, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (k, v) in scores.iter() {
+        acc = acc * 31.0 + *k as f64 + v;
+    }
+    acc
+}

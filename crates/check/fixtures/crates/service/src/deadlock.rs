@@ -1,0 +1,21 @@
+//! Seeded violation: two functions acquire the same pair of locks in
+//! opposite orders — a textbook ABBA deadlock.
+
+use std::sync::Mutex;
+
+pub struct State {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub fn forward(s: &State) {
+    let ga = s.a.lock().unwrap();
+    let mut gb = s.b.lock().unwrap();
+    *gb += *ga;
+}
+
+pub fn backward(s: &State) {
+    let gb = s.b.lock().unwrap();
+    let mut ga = s.a.lock().unwrap();
+    *ga += *gb;
+}

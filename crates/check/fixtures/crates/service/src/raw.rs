@@ -1,0 +1,6 @@
+//! Seeded violation: an `unsafe` block with no adjacent `// SAFETY:`
+//! justification.
+
+pub fn reinterpret(v: &[u8; 4]) -> u32 {
+    unsafe { std::ptr::read_unaligned(v.as_ptr().cast::<u32>()) }
+}

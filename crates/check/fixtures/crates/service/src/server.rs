@@ -1,0 +1,9 @@
+//! Seeded violation: `unwrap` (and indexing) on the request path — one
+//! malformed body panics a compute worker.
+
+pub fn handle(body: &str) -> usize {
+    let parsed: Option<usize> = body.trim().parse().ok();
+    let n = parsed.unwrap();
+    let bytes = body.as_bytes();
+    n + bytes[0] as usize
+}

@@ -1,0 +1,222 @@
+//! The ratcheting allowlist: pre-existing findings live in
+//! `check/baseline.toml`; anything beyond it fails, anything no longer
+//! present is stale and must be removed (so the baseline only ever
+//! shrinks unless a justified entry is added deliberately).
+//!
+//! Entries are keyed by *content* — `(lint, file, func, pattern)` with a
+//! count — not by line number, so unrelated edits that shift lines do not
+//! churn the file, while adding one more `unwrap()` to a baselined
+//! function still fails.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use crate::toml_min;
+use crate::Finding;
+
+/// Aggregation key for findings and baseline entries.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Key {
+    pub lint: String,
+    pub file: String,
+    pub func: String,
+    pub pattern: String,
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} fn {} pattern {}",
+            self.lint, self.file, self.func, self.pattern
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// key → (allowed count, justification note).
+    pub entries: BTreeMap<Key, (usize, String)>,
+}
+
+/// Outcome of comparing current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct Delta {
+    /// Findings beyond the allowed count (key, allowed, found).
+    pub new: Vec<(Key, usize, usize)>,
+    /// Baseline entries with fewer findings than allowed (key, allowed, found).
+    pub stale: Vec<(Key, usize, usize)>,
+}
+
+impl Delta {
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+pub fn aggregate(findings: &[Finding]) -> BTreeMap<Key, usize> {
+    let mut out = BTreeMap::new();
+    for f in findings {
+        *out.entry(Key {
+            lint: f.lint.to_string(),
+            file: f.file.clone(),
+            func: f.func.clone(),
+            pattern: f.pattern.clone(),
+        })
+        .or_insert(0) += 1;
+    }
+    out
+}
+
+impl Baseline {
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Baseline::default()),
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let tables = toml_min::parse(text).map_err(|e| e.to_string())?;
+        let mut entries = BTreeMap::new();
+        for t in tables {
+            if t.name != "allow" {
+                return Err(format!("unexpected table [[{}]]", t.name));
+            }
+            let field = |k: &str| {
+                t.str_field(k)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("[[allow]] entry missing `{k}`"))
+            };
+            let key = Key {
+                lint: field("lint")?,
+                file: field("file")?,
+                func: field("func")?,
+                pattern: field("pattern")?,
+            };
+            let count = t
+                .int_field("count")
+                .ok_or_else(|| "[[allow]] entry missing `count`".to_string())?;
+            let note = t.str_field("note").unwrap_or("").to_string();
+            if entries
+                .insert(key.clone(), (count as usize, note))
+                .is_some()
+            {
+                return Err(format!("duplicate baseline entry: {key}"));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Compares current findings to the allowlist, both directions.
+    pub fn compare(&self, findings: &[Finding]) -> Delta {
+        let current = aggregate(findings);
+        let mut delta = Delta::default();
+        for (key, &found) in &current {
+            let allowed = self.entries.get(key).map(|(c, _)| *c).unwrap_or(0);
+            if found > allowed {
+                delta.new.push((key.clone(), allowed, found));
+            }
+        }
+        for (key, (allowed, _)) in &self.entries {
+            let found = current.get(key).copied().unwrap_or(0);
+            if found < *allowed {
+                delta.stale.push((key.clone(), *allowed, found));
+            }
+        }
+        delta
+    }
+
+    /// Renders a baseline that exactly matches `findings`, carrying over
+    /// notes from `self` for keys that survive.
+    pub fn render_from(&self, findings: &[Finding]) -> String {
+        let mut out = String::from(
+            "# saphyra-check allowlist baseline.\n\
+             #\n\
+             # Each entry permits `count` findings for (lint, file, func, pattern);\n\
+             # anything beyond it fails `--deny-new`, and entries no longer matched\n\
+             # are reported stale so the ratchet only moves one way. Regenerate with\n\
+             # `cargo run -p saphyra-check -- --write-baseline` after burning down a\n\
+             # finding; add `note` to justify entries that are deliberate.\n",
+        );
+        for (key, found) in aggregate(findings) {
+            let note = self
+                .entries
+                .get(&key)
+                .map(|(_, n)| n.clone())
+                .unwrap_or_default();
+            out.push_str("\n[[allow]]\n");
+            out.push_str(&format!("lint = \"{}\"\n", toml_min::escape(&key.lint)));
+            out.push_str(&format!("file = \"{}\"\n", toml_min::escape(&key.file)));
+            out.push_str(&format!("func = \"{}\"\n", toml_min::escape(&key.func)));
+            out.push_str(&format!(
+                "pattern = \"{}\"\n",
+                toml_min::escape(&key.pattern)
+            ));
+            out.push_str(&format!("count = {found}\n"));
+            if !note.is_empty() {
+                out.push_str(&format!("note = \"{}\"\n", toml_min::escape(&note)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: &'static str, file: &str, func: &str, pattern: &str) -> Finding {
+        Finding {
+            lint,
+            file: file.to_string(),
+            line: 1,
+            func: func.to_string(),
+            pattern: pattern.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn new_and_stale_both_detected() {
+        let base = Baseline::parse(
+            "[[allow]]\nlint = \"panic-path\"\nfile = \"a.rs\"\nfunc = \"f\"\npattern = \"unwrap\"\ncount = 1\n\
+             [[allow]]\nlint = \"panic-path\"\nfile = \"b.rs\"\nfunc = \"g\"\npattern = \"index\"\ncount = 2\n",
+        )
+        .unwrap();
+        let findings = vec![
+            finding("panic-path", "a.rs", "f", "unwrap"),
+            finding("panic-path", "a.rs", "f", "unwrap"),
+        ];
+        let delta = base.compare(&findings);
+        assert_eq!(delta.new.len(), 1, "a.rs went 1 → 2");
+        assert_eq!(delta.stale.len(), 1, "b.rs entry no longer matches");
+        assert!(!delta.is_clean());
+    }
+
+    #[test]
+    fn exact_match_is_clean_and_round_trips() {
+        let findings = vec![
+            finding("determinism", "c.rs", "h", "hash-iteration"),
+            finding("determinism", "c.rs", "h", "hash-iteration"),
+        ];
+        let rendered = Baseline::default().render_from(&findings);
+        let base = Baseline::parse(&rendered).unwrap();
+        assert!(base.compare(&findings).is_clean());
+        assert!(!base.compare(&[]).is_clean());
+    }
+
+    #[test]
+    fn notes_survive_regeneration() {
+        let base = Baseline::parse(
+            "[[allow]]\nlint = \"l\"\nfile = \"f.rs\"\nfunc = \"x\"\npattern = \"p\"\ncount = 9\nnote = \"why\"\n",
+        )
+        .unwrap();
+        let rendered = base.render_from(&[finding("l", "f.rs", "x", "p")]);
+        assert!(rendered.contains("note = \"why\""));
+        assert!(rendered.contains("count = 1"));
+    }
+}

@@ -1,0 +1,187 @@
+//! `saphyra-check` — the workspace invariant analyzer.
+//!
+//! An offline, dependency-free static-analysis pass over this repo's own
+//! sources (a small token-level scanner, no syn/rustc) enforcing the four
+//! invariant families the determinism contract rests on:
+//!
+//! | lint          | scope                          | guards against |
+//! |---------------|--------------------------------|----------------|
+//! | `determinism` | `core`/`stats`/`graph`         | hash-order / wall-clock / thread-id / pointer values reaching results |
+//! | `lock-order`  | `crates/service`               | deadlocks: nesting cycles & hierarchy contradictions |
+//! | `unsafe-audit`| whole workspace incl. `vendor` | `unsafe` without a `// SAFETY:` justification |
+//! | `panic-path`  | `server.rs`/`shard.rs`/`http.rs` | `unwrap`/`expect`/indexing that can kill a worker |
+//!
+//! Pre-existing debt lives in `check/baseline.toml`; the lock hierarchy is
+//! declared in `check/invariants.toml`. `cargo run -p saphyra-check --
+//! --deny-new` fails on any unbaselined finding *and* any stale baseline
+//! entry, so the allowlist only ratchets down.
+
+pub mod baseline;
+pub mod lints;
+pub mod report;
+pub mod scan;
+pub mod toml_min;
+
+use std::path::{Path, PathBuf};
+
+use scan::SourceFile;
+
+/// One lint violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub lint: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Enclosing function name, or `<file>` for item-level code.
+    pub func: String,
+    /// Stable pattern key used for baselining (e.g. `unwrap`, `cycle:a->b`).
+    pub pattern: String,
+    pub message: String,
+}
+
+/// Which lints apply to a workspace-relative path.
+pub fn determinism_in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/stats/src/")
+        || rel.starts_with("crates/graph/src/")
+}
+
+pub fn lockorder_in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/service/src/")
+}
+
+pub fn panicpath_in_scope(rel: &str) -> bool {
+    matches!(
+        rel,
+        "crates/service/src/server.rs"
+            | "crates/service/src/shard.rs"
+            | "crates/service/src/http.rs"
+    )
+}
+
+/// The unsafe audit covers everything we compile, vendor stubs included.
+pub fn unsafe_in_scope(_rel: &str) -> bool {
+    true
+}
+
+/// Result of analyzing a source tree.
+#[derive(Debug)]
+pub struct Analysis {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+/// Scans every `.rs` file under the workspace's source roots.
+pub fn workspace_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut rels = Vec::new();
+    for dir in source_roots(root)? {
+        collect_rs(root, &dir, &mut rels)?;
+    }
+    rels.sort();
+    rels.iter()
+        .map(|rel| SourceFile::load(root, rel).map_err(|e| format!("{rel}: {e}")))
+        .collect()
+}
+
+fn source_roots(root: &Path) -> Result<Vec<String>, String> {
+    let mut roots = vec!["src".to_string()];
+    for parent in ["crates", "vendor"] {
+        let dir = root.join(parent);
+        let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| e.to_string())?;
+            if entry.path().join("src").is_dir() {
+                let name = entry.file_name().to_string_lossy().to_string();
+                roots.push(format!("{parent}/{name}/src"));
+            }
+        }
+    }
+    roots.sort();
+    Ok(roots)
+}
+
+fn collect_rs(root: &Path, rel_dir: &str, out: &mut Vec<String>) -> Result<(), String> {
+    let dir = root.join(rel_dir);
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let name = entry.file_name().to_string_lossy().to_string();
+        let rel = format!("{rel_dir}/{name}");
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(root, &rel, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Runs all four lint families over pre-scanned sources.
+pub fn run_lints(
+    files: &[SourceFile],
+    hierarchy: Option<&lints::lockorder::Hierarchy>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for sf in files {
+        if determinism_in_scope(&sf.rel) {
+            findings.extend(lints::determinism::run(sf));
+        }
+        if unsafe_in_scope(&sf.rel) {
+            findings.extend(lints::unsafe_audit::run(sf));
+        }
+        if panicpath_in_scope(&sf.rel) {
+            findings.extend(lints::panicpath::run(sf));
+        }
+    }
+    let service: Vec<&SourceFile> = files
+        .iter()
+        .filter(|sf| lockorder_in_scope(&sf.rel))
+        .collect();
+    findings.extend(lints::lockorder::run(&service, hierarchy));
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.lint, &a.pattern).cmp(&(&b.file, b.line, b.lint, &b.pattern))
+    });
+    findings
+}
+
+/// Full workspace analysis: scan sources, load the declared hierarchy,
+/// run every lint.
+pub fn analyze(root: &Path) -> Result<Analysis, String> {
+    let files = workspace_sources(root)?;
+    let hierarchy = load_hierarchy(root)?;
+    let findings = run_lints(&files, hierarchy.as_ref());
+    Ok(Analysis {
+        files_scanned: files.len(),
+        findings,
+    })
+}
+
+pub fn load_hierarchy(root: &Path) -> Result<Option<lints::lockorder::Hierarchy>, String> {
+    let path = invariants_path(root);
+    match std::fs::read_to_string(&path) {
+        Ok(text) => lints::lockorder::parse_hierarchy(&text)
+            .map(Some)
+            .map_err(|e| format!("{}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+pub fn baseline_path(root: &Path) -> PathBuf {
+    root.join("check/baseline.toml")
+}
+
+pub fn invariants_path(root: &Path) -> PathBuf {
+    root.join("check/invariants.toml")
+}
+
+/// The workspace root when running via cargo (`crates/check/../..`).
+pub fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}

@@ -1,0 +1,316 @@
+//! Determinism lints for estimation code.
+//!
+//! The service's contract is that solo == batched == sharded responses are
+//! byte-identical, so anything order- or wall-clock-dependent inside the
+//! estimation crates (`core`, `stats`, `graph`) is a latent bug:
+//!
+//! * `hash-iteration` — iterating a `HashMap`/`HashSet` (`for .. in`,
+//!   `.iter()`, `.keys()`, `.values()`, `.drain()`, `.retain()`,
+//!   `.into_iter()`): iteration order varies per process, so any value
+//!   derived from it can change bytes across runs or shard layouts.
+//!   Membership-only use (`insert`/`contains`/`get`/`len`) is fine and
+//!   not flagged.
+//! * `instant-now` / `system-time` — wall-clock reads.
+//! * `thread-id` — `thread::current().id()` (varies with pool layout).
+//! * `pointer-key` — `as *const` / `as *mut` / `.as_ptr()` casts, the
+//!   usual ingredient of address-keyed maps whose order is ASLR-dependent.
+//!
+//! Test code is *included*: a hash-order-dependent assertion is a flaky
+//! test, and the byte-identity suites are themselves part of the contract.
+
+use std::collections::BTreeSet;
+
+use crate::scan::SourceFile;
+use crate::Finding;
+
+pub const LINT: &str = "determinism";
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+pub fn run(sf: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let toks = &sf.toks;
+    let hash_idents = hash_bound_idents(sf);
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // Wall clock: Instant::now / SystemTime (any use).
+        if t.is("Instant") && seq(toks, i + 1, &[":", ":", "now"]) {
+            findings.push(finding(
+                sf,
+                i,
+                "instant-now",
+                "wall-clock read (Instant::now)",
+            ));
+        }
+        if t.is("SystemTime") {
+            findings.push(finding(
+                sf,
+                i,
+                "system-time",
+                "wall-clock read (SystemTime)",
+            ));
+        }
+        // thread::current().id()
+        if t.is("current")
+            && i >= 3
+            && toks[i - 1].is(":")
+            && toks[i - 2].is(":")
+            && toks[i - 3].is("thread")
+            && seq(toks, i + 1, &["(", ")", ".", "id"])
+        {
+            findings.push(finding(sf, i, "thread-id", "thread id leaks pool layout"));
+        }
+        // Pointer-as-key ingredients: `as *const` / `as *mut` / `.as_ptr()`.
+        if t.is("as") && seq(toks, i + 1, &["*", "const"])
+            || t.is("as") && seq(toks, i + 1, &["*", "mut"])
+        {
+            findings.push(finding(
+                sf,
+                i,
+                "pointer-key",
+                "raw-pointer cast (address-dependent value)",
+            ));
+        }
+        if t.is("as_ptr") && i >= 1 && toks[i - 1].is(".") && seq(toks, i + 1, &["(", ")"]) {
+            findings.push(finding(
+                sf,
+                i,
+                "pointer-key",
+                "pointer extraction (address-dependent value)",
+            ));
+        }
+        // Iteration over a known HashMap/HashSet binding, visible either
+        // from the enclosing function's own `let`s or file-level items.
+        let visible = |name: &str| {
+            hash_idents.contains(&(sf.fn_name_at(i), name.to_string()))
+                || hash_idents.contains(&("<file>".to_string(), name.to_string()))
+        };
+        if visible(&t.text) {
+            // `x.iter()` and friends.
+            if seq_any_method(toks, i) {
+                findings.push(finding(
+                    sf,
+                    i,
+                    "hash-iteration",
+                    &format!("iteration over hash-ordered `{}`", t.text),
+                ));
+            }
+            // `for pat in [&[mut]] x` — x terminates the iterable expression.
+            if is_for_iterable(toks, i) {
+                findings.push(finding(
+                    sf,
+                    i,
+                    "hash-iteration",
+                    &format!("for-loop over hash-ordered `{}`", t.text),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// `x . iter (` and friends immediately after token `i`.
+fn seq_any_method(toks: &[crate::scan::Tok], i: usize) -> bool {
+    if !toks.get(i + 1).is_some_and(|t| t.is(".")) {
+        return false;
+    }
+    let Some(m) = toks.get(i + 2) else {
+        return false;
+    };
+    ITER_METHODS.contains(&m.text.as_str()) && toks.get(i + 3).is_some_and(|t| t.is("("))
+}
+
+/// True when token `i` is the iterable of a `for .. in <expr>` where the
+/// expression is just `x`, `&x` or `&mut x` followed by the loop `{`.
+fn is_for_iterable(toks: &[crate::scan::Tok], i: usize) -> bool {
+    if !toks.get(i + 1).is_some_and(|t| t.is("{")) {
+        return false;
+    }
+    let mut j = i;
+    while j > 0 && (toks[j - 1].is("&") || toks[j - 1].is("mut")) {
+        j -= 1;
+    }
+    j > 0 && toks[j - 1].is("in")
+}
+
+/// Identifiers bound to a `HashMap`/`HashSet`, keyed by the scope they are
+/// visible from: either `let [mut] x = ... Hash{Map,Set} ...;` or a
+/// `x: Hash{Map,Set}<...>` type ascription (let, field, or param). The
+/// scope is the enclosing function's name, or `<file>` for item-level
+/// bindings (struct fields), so a `counts` HashMap in one test cannot
+/// taint an identically named BTreeMap in another.
+fn hash_bound_idents(sf: &SourceFile) -> BTreeSet<(String, String)> {
+    let toks = &sf.toks;
+    let mut out = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].is("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is("mut")) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j) else { continue };
+            if !name
+                .text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphabetic() || c == '_')
+            {
+                continue;
+            }
+            // Scan the initializer up to `;` for a hash type mention.
+            let mut k = j + 1;
+            let mut depth = 0i32;
+            while k < toks.len() {
+                let t = &toks[k];
+                if t.is("(") || t.is("[") || t.is("{") {
+                    depth += 1;
+                } else if t.is(")") || t.is("]") || t.is("}") {
+                    depth -= 1;
+                } else if depth == 0 && t.is(";") {
+                    break;
+                } else if t.is("HashMap") || t.is("HashSet") {
+                    out.insert((sf.fn_name_at(j), name.text.clone()));
+                    break;
+                }
+                k += 1;
+            }
+        }
+        // `name : [& [mut]] [path ::] Hash{Map,Set}` ascriptions.
+        if (toks[i].is("HashMap") || toks[i].is("HashSet")) && i >= 2 {
+            let mut j = i;
+            // Walk back over `std :: collections ::`-style paths.
+            while j >= 2 && toks[j - 1].is(":") && toks[j - 2].is(":") {
+                j -= 3; // skip `ident ::`
+            }
+            // ... then reference sigils: `&`, `&mut`, `&'a` (a lifetime
+            // tokenizes as `'` + ident).
+            loop {
+                if j >= 1 && (toks[j - 1].is("&") || toks[j - 1].is("mut")) {
+                    j -= 1;
+                } else if j >= 2 && toks[j - 2].is("'") {
+                    j -= 2;
+                } else {
+                    break;
+                }
+            }
+            if j >= 2 && toks[j - 1].is(":") && !toks[j - 2].is(":") {
+                out.insert((sf.fn_name_at(j - 2), toks[j - 2].text.clone()));
+            }
+        }
+    }
+    out
+}
+
+fn seq(toks: &[crate::scan::Tok], from: usize, expect: &[&str]) -> bool {
+    expect
+        .iter()
+        .enumerate()
+        .all(|(k, e)| toks.get(from + k).is_some_and(|t| t.is(e)))
+}
+
+fn finding(sf: &SourceFile, i: usize, pattern: &str, message: &str) -> Finding {
+    Finding {
+        lint: LINT,
+        file: sf.rel.clone(),
+        line: sf.toks[i].line,
+        func: sf.fn_name_at(i),
+        pattern: pattern.to_string(),
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Vec<Finding> {
+        run(&SourceFile::parse("fake/core.rs", src))
+    }
+
+    #[test]
+    fn flags_iteration_not_membership() {
+        let src = "fn f() {\n\
+                   let mut m = std::collections::HashMap::new();\n\
+                   m.insert(1, 2);\n\
+                   let _ = m.get(&1);\n\
+                   for (k, v) in &m { println!(\"{k}{v}\"); }\n\
+                   let _: Vec<_> = m.keys().collect();\n\
+                   }\n";
+        let f = check(src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.pattern == "hash-iteration"));
+        assert_eq!(f[0].func, "f");
+    }
+
+    #[test]
+    fn flags_typed_field_iteration() {
+        let src = "struct S { seen: std::collections::HashSet<u32> }\n\
+                   impl S { fn g(&self) -> usize { self.seen.iter().count() } }\n";
+        let f = check(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn flags_clock_and_pointer() {
+        let src = "fn f(x: &u32) -> u64 {\n\
+                   let t = Instant::now();\n\
+                   let _ = SystemTime::now();\n\
+                   let id = std::thread::current().id();\n\
+                   (x as *const u32) as u64 + t.elapsed().as_nanos() as u64\n\
+                   }\n";
+        let pats: Vec<_> = check(src).into_iter().map(|f| f.pattern).collect();
+        assert!(pats.contains(&"instant-now".to_string()), "{pats:?}");
+        assert!(pats.contains(&"system-time".to_string()));
+        assert!(pats.contains(&"thread-id".to_string()));
+        assert!(pats.contains(&"pointer-key".to_string()));
+    }
+
+    #[test]
+    fn reference_param_ascriptions_are_tracked() {
+        let src = "fn f<'a>(scores: &'a HashMap<u32, f64>, m: &mut HashSet<u8>) -> f64 {\n\
+                   let mut acc = 0.0;\n\
+                   for (k, v) in scores.iter() { acc += *k as f64 + v; }\n\
+                   for x in m.drain() { acc += x as f64; }\n\
+                   acc\n\
+                   }\n";
+        let f = check(src);
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn bindings_are_scoped_per_function() {
+        // `counts` is a HashMap in `a` but a BTreeMap in `b`; only the
+        // iteration inside `a` is hash-ordered.
+        let src = "fn a() {\n\
+                   let mut counts = std::collections::HashMap::new();\n\
+                   for k in counts.keys() { println!(\"{k}\"); }\n\
+                   }\n\
+                   fn b() {\n\
+                   let mut counts = std::collections::BTreeMap::new();\n\
+                   for k in counts.keys() { println!(\"{k}\"); }\n\
+                   }\n";
+        let f = check(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].func, "a");
+    }
+
+    #[test]
+    fn btree_is_clean() {
+        let src = "fn f() {\n\
+                   let mut m = std::collections::BTreeMap::new();\n\
+                   m.insert(1, 2);\n\
+                   for (k, v) in &m { println!(\"{k}{v}\"); }\n\
+                   }\n";
+        assert!(check(src).is_empty());
+    }
+}

@@ -1,0 +1,4 @@
+pub mod determinism;
+pub mod lockorder;
+pub mod panicpath;
+pub mod unsafe_audit;

@@ -1,0 +1,136 @@
+//! Panic-path lint for request-handling code.
+//!
+//! A panic on the request path kills a compute worker or wedges a reactor
+//! connection slot, so in the handler files (`server.rs`, `shard.rs`,
+//! `http.rs`) every `.unwrap()`, `.expect(..)` and direct `x[i]` index is
+//! a finding unless allowlisted with a justification (poison-tolerant
+//! helpers like `lock_ok` / `unwrap_or_else` / `get(..)` are the fixes).
+//!
+//! Test modules are skipped — panicking is how tests fail.
+
+use crate::scan::SourceFile;
+use crate::Finding;
+
+pub const LINT: &str = "panic-path";
+
+pub fn run(sf: &SourceFile) -> Vec<Finding> {
+    let toks = &sf.toks;
+    let mut findings = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if sf.is_test_line(t.line) {
+            continue;
+        }
+        let dot = i >= 1 && toks[i - 1].is(".");
+        if dot && t.is("unwrap") && toks.get(i + 1).is_some_and(|p| p.is("(")) {
+            findings.push(finding(sf, i, "unwrap", "`.unwrap()` on the request path"));
+        }
+        if dot && t.is("expect") && toks.get(i + 1).is_some_and(|p| p.is("(")) {
+            findings.push(finding(
+                sf,
+                i,
+                "expect",
+                "`.expect(..)` on the request path",
+            ));
+        }
+        // Direct indexing: `expr[` where expr ends in an identifier, `)`
+        // or `]` — panics on out-of-bounds. Excludes attributes (`#[`),
+        // macros (`vec![`), slice types (`&[u8]`) and array literals,
+        // whose `[` follows punctuation.
+        if t.is("[") && i >= 1 {
+            let p = &toks[i - 1];
+            let is_recv = p.is(")")
+                || p.is("]")
+                || p.text
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            let is_macro = i >= 2 && toks[i - 2].is("!");
+            // `&'a [T]`: the token before `[` is the lifetime's identifier.
+            let is_lifetime = i >= 2 && toks[i - 2].is("'");
+            // `mut` / keywords before `[` start slice patterns, not indexing.
+            let is_kw = matches!(
+                p.text.as_str(),
+                "mut" | "let" | "in" | "return" | "as" | "else"
+            );
+            if is_recv && !is_macro && !is_kw && !is_lifetime {
+                findings.push(finding(
+                    sf,
+                    i,
+                    "index",
+                    "direct indexing can panic on the request path",
+                ));
+            }
+        }
+    }
+    findings
+}
+
+fn finding(sf: &SourceFile, i: usize, pattern: &str, message: &str) -> Finding {
+    Finding {
+        lint: LINT,
+        file: sf.rel.clone(),
+        line: sf.toks[i].line,
+        func: sf.fn_name_at(i),
+        pattern: pattern.to_string(),
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterns(src: &str) -> Vec<String> {
+        run(&SourceFile::parse("h.rs", src))
+            .into_iter()
+            .map(|f| f.pattern)
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_expect_index_flagged() {
+        let src = "fn f(v: &[u8], m: &M) -> u8 {\n\
+                   let x = m.lock().unwrap();\n\
+                   let y = m.get().expect(\"present\");\n\
+                   v[3]\n\
+                   }\n";
+        let p = patterns(src);
+        assert_eq!(p, vec!["unwrap", "expect", "index"], "{p:?}");
+    }
+
+    #[test]
+    fn recovering_forms_are_clean() {
+        let src = "fn f(v: &[u8], m: &M) -> Option<u8> {\n\
+                   let g = m.lock().unwrap_or_else(|e| e.into_inner());\n\
+                   v.get(3).copied()\n\
+                   }\n";
+        assert!(patterns(src).is_empty());
+    }
+
+    #[test]
+    fn types_attrs_macros_not_indexing() {
+        let src = "#[derive(Debug)]\n\
+                   fn f(b: &[u8]) -> Vec<u8> {\n\
+                   let v: [u8; 4] = [0; 4];\n\
+                   let w = vec![1, 2];\n\
+                   let s = &b[..];\n\
+                   w\n\
+                   }\n";
+        // `&b[..]` IS a direct index (can panic on ranges) — but `b` here
+        // is the receiver, so exactly one finding.
+        assert_eq!(patterns(src), vec!["index"]);
+    }
+
+    #[test]
+    fn lifetime_slice_types_are_not_indexing() {
+        let src = "struct G<'a> { members: &'a [Member] }\n";
+        assert!(patterns(src).is_empty());
+    }
+
+    #[test]
+    fn tests_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x().unwrap(); }\n}\n";
+        assert!(patterns(src).is_empty());
+    }
+}

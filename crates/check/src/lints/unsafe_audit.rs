@@ -1,0 +1,120 @@
+//! Unsafe audit: every `unsafe` block / impl / fn must carry an adjacent
+//! `// SAFETY:` comment stating why the invariants hold.
+//!
+//! "Adjacent" means: on the same line as the `unsafe` token, or in the
+//! contiguous run of comment-only lines directly above it. The walk also
+//! steps over intervening lines that themselves contain `unsafe` (so two
+//! back-to-back `unsafe impl`s can each carry their own comment without a
+//! blank line between), but any other code line breaks adjacency — a
+//! SAFETY comment three statements up does not count.
+
+use crate::scan::SourceFile;
+use crate::Finding;
+
+pub const LINT: &str = "unsafe-audit";
+
+pub fn run(sf: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut flagged_lines = std::collections::BTreeSet::new();
+    for (i, t) in sf.toks.iter().enumerate() {
+        if !t.is("unsafe") {
+            continue;
+        }
+        if !flagged_lines.insert(t.line) {
+            continue; // one finding per line even with several unsafe tokens
+        }
+        if has_adjacent_safety(sf, t.line) {
+            continue;
+        }
+        findings.push(Finding {
+            lint: LINT,
+            file: sf.rel.clone(),
+            line: t.line,
+            func: sf.fn_name_at(i),
+            pattern: "missing-safety-comment".to_string(),
+            message: "`unsafe` without an adjacent `// SAFETY:` comment".to_string(),
+        });
+    }
+    findings
+}
+
+fn has_adjacent_safety(sf: &SourceFile, line: usize) -> bool {
+    let info = |l: usize| sf.lines.get(l);
+    if info(line).is_some_and(|li| li.comment.contains("SAFETY:")) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let Some(li) = info(l) else { break };
+        let comment_only = li.tokens == 0 && !li.comment.trim().is_empty();
+        if comment_only {
+            if li.comment.contains("SAFETY:") {
+                return true;
+            }
+            continue;
+        }
+        // Step over a neighbouring unsafe line (its own comment sits above).
+        let has_unsafe = sf.toks.iter().any(|t| t.line == l && t.is("unsafe"));
+        if has_unsafe {
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Vec<Finding> {
+        run(&SourceFile::parse("r.rs", src))
+    }
+
+    #[test]
+    fn annotated_block_is_clean() {
+        let src = "fn f() {\n    // SAFETY: fd is owned and open.\n    unsafe { close(fd) };\n}\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn unannotated_block_is_flagged() {
+        let src = "fn f() {\n    unsafe { close(fd) };\n}\n";
+        let f = check(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].pattern, "missing-safety-comment");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn multiline_comment_run_counts() {
+        let src = "// SAFETY: the buffer outlives the call\n// and len is checked above.\nunsafe impl Send for X {}\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn non_safety_comment_does_not_count() {
+        let src = "// fds are owned for the struct's lifetime.\nunsafe impl Send for X {}\n";
+        assert_eq!(check(src).len(), 1);
+    }
+
+    #[test]
+    fn back_to_back_impls_each_need_their_own() {
+        let src = "// SAFETY: ownership transfers with the struct.\nunsafe impl Send for X {}\nunsafe impl Sync for X {}\n";
+        // The Sync impl walks over the Send line and finds Send's comment:
+        // adjacency is satisfied for both.
+        assert!(check(src).is_empty());
+        let src2 =
+            "unsafe impl Send for X {}\n// SAFETY: only for Sync.\nunsafe impl Sync for X {}\n";
+        let f = check(src2);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn intervening_code_breaks_adjacency() {
+        let src = "// SAFETY: far away.\nfn noop() {}\nunsafe impl Send for X {}\n";
+        assert_eq!(check(src).len(), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! CLI for the workspace invariant analyzer.
+//!
+//! ```text
+//! cargo run -p saphyra-check                  # report; fail on new findings
+//! cargo run -p saphyra-check -- --deny-new    # CI mode: also fail on stale entries
+//! cargo run -p saphyra-check -- --write-baseline
+//! cargo run -p saphyra-check -- --format json
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use saphyra_check::baseline::Baseline;
+use saphyra_check::{analyze, baseline_path, default_root, report};
+
+struct Args {
+    root: PathBuf,
+    deny_new: bool,
+    write_baseline: bool,
+    json: bool,
+    baseline: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: default_root(),
+        deny_new: false,
+        write_baseline: false,
+        json: false,
+        baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny-new" => args.deny_new = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a path")?);
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?));
+            }
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--help" | "-h" => {
+                return Err(
+                    "usage: saphyra-check [--root DIR] [--baseline FILE] [--deny-new] \
+                     [--write-baseline] [--format text|json]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = match analyze(&args.root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("saphyra-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| baseline_path(&args.root));
+    let base = match Baseline::load(&base_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("saphyra-check: baseline: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.write_baseline {
+        let rendered = base.render_from(&analysis.findings);
+        if let Err(e) = std::fs::write(&base_path, rendered) {
+            eprintln!("saphyra-check: write {}: {e}", base_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} findings across {} files scanned)",
+            base_path.display(),
+            analysis.findings.len(),
+            analysis.files_scanned
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.json {
+        print!("{}", report::json(&analysis.findings));
+    }
+
+    let delta = base.compare(&analysis.findings);
+    if !delta.new.is_empty() || !delta.stale.is_empty() {
+        eprint!("{}", report::delta_text(&delta));
+    }
+    // Show the offending sites for anything new.
+    if !delta.new.is_empty() && !args.json {
+        let new_keys: Vec<_> = delta.new.iter().map(|(k, _, _)| k).collect();
+        let offenders: Vec<_> = analysis
+            .findings
+            .iter()
+            .filter(|f| {
+                new_keys.iter().any(|k| {
+                    k.lint == f.lint
+                        && k.file == f.file
+                        && k.func == f.func
+                        && k.pattern == f.pattern
+                })
+            })
+            .cloned()
+            .collect();
+        eprint!("{}", report::text(&offenders));
+    }
+
+    let fail = !delta.new.is_empty() || (args.deny_new && !delta.stale.is_empty());
+    if fail {
+        eprintln!(
+            "saphyra-check: FAILED — {} new, {} stale (baseline {})",
+            delta.new.len(),
+            delta.stale.len(),
+            base_path.display()
+        );
+        ExitCode::FAILURE
+    } else {
+        // In JSON mode stdout is machine-readable; keep the summary off it.
+        let summary = format!(
+            "saphyra-check: ok — {} findings, all baselined; {} files scanned",
+            analysis.findings.len(),
+            analysis.files_scanned
+        );
+        if args.json {
+            eprintln!("{summary}");
+        } else {
+            println!("{summary}");
+        }
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,84 @@
+//! Finding output: human text and machine-readable JSON.
+
+use crate::baseline::Delta;
+use crate::Finding;
+
+pub fn text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {} (fn {}, pattern {})\n",
+            f.file, f.line, f.lint, f.message, f.func, f.pattern
+        ));
+    }
+    out
+}
+
+pub fn json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"lint\":\"{}\",\"file\":\"{}\",\"line\":{},\"func\":\"{}\",\"pattern\":\"{}\",\"message\":\"{}\"}}",
+            esc(f.lint),
+            esc(&f.file),
+            f.line,
+            esc(&f.func),
+            esc(&f.pattern),
+            esc(&f.message)
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+pub fn delta_text(delta: &Delta) -> String {
+    let mut out = String::new();
+    for (key, allowed, found) in &delta.new {
+        out.push_str(&format!(
+            "NEW   {key}: found {found}, baseline allows {allowed}\n"
+        ));
+    }
+    for (key, allowed, found) in &delta.stale {
+        out.push_str(&format!(
+            "STALE {key}: baseline allows {allowed}, found {found} — remove or shrink the entry\n"
+        ));
+    }
+    out
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes() {
+        let f = Finding {
+            lint: "panic-path",
+            file: "a\"b.rs".to_string(),
+            line: 3,
+            func: "f".to_string(),
+            pattern: "unwrap".to_string(),
+            message: "line\nbreak".to_string(),
+        };
+        let j = json(&[f]);
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("line\\nbreak"));
+    }
+}

@@ -1,0 +1,534 @@
+//! A small line/token-level Rust scanner — no syn, no rustc.
+//!
+//! The lints in this crate need four things from a source file, none of
+//! which require full parsing:
+//!
+//! * a token stream (identifiers + single-char punctuation) with line
+//!   numbers, with comments stripped and string/char-literal bodies
+//!   blanked so `"foo.lock()"` in a log message is never a finding;
+//! * the comment text per line (the unsafe audit looks for `SAFETY:`);
+//! * matched-brace structure, so guards can be scoped and `fn` bodies
+//!   delimited;
+//! * `#[cfg(test)]` regions, so hot-path lints can skip test code.
+//!
+//! The scanner is deliberately heuristic: it understands line comments,
+//! nested block comments, string/raw-string/byte-string/char literals and
+//! lifetimes, which is enough to be exact on this workspace's sources.
+//! It does not attempt macro expansion or type inference.
+
+use std::fmt;
+use std::path::Path;
+
+/// One token: an identifier/number or a single punctuation character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl Tok {
+    pub fn is(&self, s: &str) -> bool {
+        self.text == s
+    }
+}
+
+/// Per-line facts retained after tokenization.
+#[derive(Debug, Clone, Default)]
+pub struct LineInfo {
+    /// Comment text on this line (line comments and any block-comment
+    /// fragment), concatenated. Empty when the line has no comment.
+    pub comment: String,
+    /// Number of tokens on this line; 0 + nonempty comment = comment-only.
+    pub tokens: usize,
+}
+
+/// A `fn` item with a brace-delimited body.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token index of the body's `{`.
+    pub body_open: usize,
+    /// Token index of the body's matching `}`.
+    pub body_close: usize,
+}
+
+/// A scanned source file.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (baseline key).
+    pub rel: String,
+    pub toks: Vec<Tok>,
+    pub lines: Vec<LineInfo>,
+    /// For each `{` token index, the index of its matching `}`.
+    pub brace_match: Vec<Option<usize>>,
+    pub fns: Vec<FnSpan>,
+    /// Inclusive 1-based line ranges covered by `#[cfg(test)]` items.
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl fmt::Debug for SourceFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SourceFile")
+            .field("rel", &self.rel)
+            .field("toks", &self.toks.len())
+            .field("fns", &self.fns.len())
+            .finish()
+    }
+}
+
+impl SourceFile {
+    pub fn parse(rel: &str, source: &str) -> SourceFile {
+        let (toks, lines) = tokenize(source);
+        let brace_match = match_braces(&toks);
+        let fns = find_fns(&toks, &brace_match);
+        let test_ranges = find_test_ranges(&toks, &brace_match);
+        SourceFile {
+            rel: rel.to_string(),
+            toks,
+            lines,
+            brace_match,
+            fns,
+            test_ranges,
+        }
+    }
+
+    pub fn load(root: &Path, rel: &str) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        Ok(SourceFile::parse(rel, &text))
+    }
+
+    /// True when the 1-based `line` falls inside a `#[cfg(test)]` item.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// The innermost `fn` containing token index `i`, if any.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.fn_tok <= i && i <= f.body_close)
+            .min_by_key(|f| f.body_close - f.fn_tok)
+    }
+
+    /// Name of the innermost enclosing fn, or `"<file>"` for item-level code.
+    pub fn fn_name_at(&self, i: usize) -> String {
+        self.enclosing_fn(i)
+            .map(|f| f.name.clone())
+            .unwrap_or_else(|| "<file>".to_string())
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Splits source into tokens and per-line comment records, blanking the
+/// bodies of string/char literals and dropping comments from the token
+/// stream (their text is kept per line for the SAFETY audit).
+fn tokenize(source: &str) -> (Vec<Tok>, Vec<LineInfo>) {
+    let mut toks = Vec::new();
+    let mut lines: Vec<LineInfo> = vec![LineInfo::default()];
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            ensure_line(&mut lines, line);
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let li = ensure_line(&mut lines, line);
+            li.comment.push_str(&text);
+            li.comment.push(' ');
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1;
+            let mut frag = String::from("/*");
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    frag.push_str("/*");
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    frag.push_str("*/");
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        let li = ensure_line(&mut lines, line);
+                        li.comment.push_str(&frag);
+                        li.comment.push(' ');
+                        frag.clear();
+                        line += 1;
+                        ensure_line(&mut lines, line);
+                    } else {
+                        frag.push(chars[i]);
+                    }
+                    i += 1;
+                }
+            }
+            let li = ensure_line(&mut lines, line);
+            li.comment.push_str(&frag);
+            li.comment.push(' ');
+            continue;
+        }
+        // Raw string: r"..." / r#"..."# / br#"..."# (any # count).
+        if (c == 'r' || c == 'b')
+            && !prev_is_ident(&chars, i)
+            && raw_string_hashes(&chars, i).is_some()
+        {
+            let (body_start, hashes) = raw_string_hashes(&chars, i).unwrap();
+            i = body_start;
+            let closer: String = std::iter::once('"')
+                .chain(std::iter::repeat_n('#', hashes))
+                .collect();
+            let closer: Vec<char> = closer.chars().collect();
+            while i < chars.len() {
+                if chars[i] == '\n' {
+                    line += 1;
+                    ensure_line(&mut lines, line);
+                    i += 1;
+                    continue;
+                }
+                if chars[i] == '"' && chars[i..].starts_with(&closer[..]) {
+                    i += closer.len();
+                    break;
+                }
+                i += 1;
+            }
+            push_tok(&mut toks, "\"\"", line, ensure_line(&mut lines, line));
+            continue;
+        }
+        // Plain or byte string.
+        if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"') && !prev_is_ident(&chars, i)) {
+            if c == 'b' {
+                i += 1;
+            }
+            i += 1; // opening quote
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        ensure_line(&mut lines, line);
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            push_tok(&mut toks, "\"\"", line, ensure_line(&mut lines, line));
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(n) if is_ident_char(n) => chars.get(i + 2) == Some(&'\''),
+                Some(_) => true, // '(' , '&' , ' ' ... all char literals
+                None => false,
+            };
+            if is_char {
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '\'' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                push_tok(&mut toks, "''", line, ensure_line(&mut lines, line));
+            } else {
+                // Lifetime: emit the quote, the identifier follows normally.
+                push_tok(&mut toks, "'", line, ensure_line(&mut lines, line));
+                i += 1;
+            }
+            continue;
+        }
+        // Identifier / number.
+        if is_ident_char(c) {
+            let start = i;
+            while i < chars.len() && is_ident_char(chars[i]) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            push_tok(&mut toks, &text, line, ensure_line(&mut lines, line));
+            continue;
+        }
+        // Single punctuation char.
+        push_tok(
+            &mut toks,
+            &c.to_string(),
+            line,
+            ensure_line(&mut lines, line),
+        );
+        i += 1;
+    }
+    (toks, lines)
+}
+
+fn ensure_line(lines: &mut Vec<LineInfo>, line: usize) -> &mut LineInfo {
+    while lines.len() < line + 1 {
+        lines.push(LineInfo::default());
+    }
+    &mut lines[line]
+}
+
+fn push_tok(toks: &mut Vec<Tok>, text: &str, line: usize, li: &mut LineInfo) {
+    li.tokens += 1;
+    toks.push(Tok {
+        text: text.to_string(),
+        line,
+    });
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && is_ident_char(chars[i - 1])
+}
+
+/// If `chars[i..]` begins a raw (byte) string, returns (index just past the
+/// opening quote, number of `#`s).
+fn raw_string_hashes(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((j + 1, hashes))
+    } else {
+        None
+    }
+}
+
+fn match_braces(toks: &[Tok]) -> Vec<Option<usize>> {
+    let mut out = vec![None; toks.len()];
+    let mut stack = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is("{") {
+            stack.push(i);
+        } else if t.is("}") {
+            if let Some(open) = stack.pop() {
+                out[open] = Some(i);
+            }
+        }
+    }
+    out
+}
+
+const KEYWORDS_AFTER_FN: &[&str] = &["fn"];
+
+fn find_fns(toks: &[Tok], brace_match: &[Option<usize>]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    for i in 0..toks.len() {
+        if !KEYWORDS_AFTER_FN.contains(&toks[i].text.as_str()) {
+            continue;
+        }
+        // `fn` must be followed by an identifier (rules out `Fn` traits,
+        // which tokenize as `Fn`, and bare `fn` pointer types `fn(`).
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if !name_tok.text.chars().next().is_some_and(is_ident_char) {
+            continue;
+        }
+        // Scan the signature for the body `{` (or `;` for trait decls),
+        // skipping parenthesized params and default-arg groups.
+        let mut paren = 0i32;
+        let mut j = i + 2;
+        let mut body_open = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is("(") || t.is("[") {
+                paren += 1;
+            } else if t.is(")") || t.is("]") {
+                paren -= 1;
+            } else if paren == 0 && t.is("{") {
+                body_open = Some(j);
+                break;
+            } else if paren == 0 && t.is(";") {
+                break;
+            }
+            j += 1;
+        }
+        if let Some(open) = body_open {
+            if let Some(close) = brace_match[open] {
+                fns.push(FnSpan {
+                    name: name_tok.text.clone(),
+                    line: toks[i].line,
+                    fn_tok: i,
+                    body_open: open,
+                    body_close: close,
+                });
+            }
+        }
+    }
+    fns
+}
+
+/// Finds `#[cfg(test)]`-gated items and returns their line ranges.
+fn find_test_ranges(toks: &[Tok], brace_match: &[Option<usize>]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < toks.len() {
+        let is_cfg_test = toks[i].is("#")
+            && toks[i + 1].is("[")
+            && toks[i + 2].is("cfg")
+            && toks[i + 3].is("(")
+            && toks[i + 4].is("test")
+            && toks[i + 5].is(")")
+            && toks[i + 6].is("]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = toks[i].line;
+        // Skip any further attributes, then find the item's body.
+        let mut j = i + 7;
+        while j < toks.len() && toks[j].is("#") {
+            // Skip the whole `[...]` group.
+            if toks.get(j + 1).is_some_and(|t| t.is("[")) {
+                let mut depth = 0i32;
+                j += 1;
+                while j < toks.len() {
+                    if toks[j].is("[") {
+                        depth += 1;
+                    } else if toks[j].is("]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            } else {
+                j += 1;
+            }
+        }
+        // Find the first `{` (item body) before a `;` (e.g. a gated `use`).
+        let mut open = None;
+        while j < toks.len() {
+            if toks[j].is("{") {
+                open = Some(j);
+                break;
+            }
+            if toks[j].is(";") {
+                break;
+            }
+            j += 1;
+        }
+        if let Some(open) = open {
+            if let Some(close) = brace_match[open] {
+                out.push((start_line, toks[close].line));
+                i = close;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = r##"
+fn f() {
+    let s = "contains .lock() and unwrap()"; // trailing note
+    /* block .lock() */
+    let r = r#"raw .unwrap()"#;
+    let c = '{';
+}
+"##;
+        let sf = SourceFile::parse("x.rs", src);
+        assert!(!sf.toks.iter().any(|t| t.is("lock")));
+        assert!(!sf.toks.iter().any(|t| t.is("unwrap")));
+        // Braces stayed balanced despite the '{' char literal.
+        assert_eq!(sf.fns.len(), 1);
+        assert_eq!(sf.fns[0].name, "f");
+        assert!(sf.lines[3].comment.contains("trailing note"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn g() {}";
+        let sf = SourceFile::parse("x.rs", src);
+        assert_eq!(sf.fns.len(), 1);
+        assert_eq!(sf.fns[0].name, "g");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn h<'a>(x: &'a str) -> &'a str { x }";
+        let sf = SourceFile::parse("x.rs", src);
+        assert_eq!(sf.fns.len(), 1);
+        assert!(sf.toks.iter().any(|t| t.is("str")));
+    }
+
+    #[test]
+    fn cfg_test_ranges_cover_mod() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let sf = SourceFile::parse("x.rs", src);
+        assert_eq!(sf.test_ranges.len(), 1);
+        assert!(!sf.is_test_line(1));
+        assert!(sf.is_test_line(4));
+    }
+
+    #[test]
+    fn enclosing_fn_prefers_innermost() {
+        let src = "fn outer() {\n    fn inner() {\n        let x = 1;\n    }\n}\n";
+        let sf = SourceFile::parse("x.rs", src);
+        let idx = sf.toks.iter().position(|t| t.is("x")).unwrap();
+        assert_eq!(sf.fn_name_at(idx), "inner");
+    }
+
+    #[test]
+    fn multiline_signature_finds_body() {
+        let src = "fn long(\n    a: u32,\n    b: u32,\n) -> u32 {\n    a + b\n}\n";
+        let sf = SourceFile::parse("x.rs", src);
+        assert_eq!(sf.fns.len(), 1);
+        assert_eq!(sf.toks[sf.fns[0].body_open].line, 4);
+    }
+}

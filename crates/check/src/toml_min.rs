@@ -1,0 +1,165 @@
+//! A minimal TOML subset reader/writer — just enough for the baseline and
+//! invariants files, keeping the crate dependency-free.
+//!
+//! Supported grammar: `#` comments, blank lines, `[[table]]` array-of-table
+//! headers, and `key = value` pairs where value is a double-quoted string
+//! (with `\"` / `\\` / `\n` escapes) or an integer. That is the entire
+//! format `check/baseline.toml` and `check/invariants.toml` use; anything
+//! else is a parse error, not silently ignored.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+/// One `[[name]]` entry with its key/value pairs.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub name: String,
+    pub entries: BTreeMap<String, Value>,
+}
+
+impl Table {
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).and_then(Value::as_str)
+    }
+    pub fn int_field(&self, key: &str) -> Option<i64> {
+        self.entries.get(key).and_then(Value::as_int)
+    }
+}
+
+#[derive(Debug)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+pub fn parse(text: &str) -> Result<Vec<Table>, ParseError> {
+    let mut tables: Vec<Table> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let Some(name) = rest.strip_suffix("]]") else {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("malformed table header: {line}"),
+                });
+            };
+            tables.push(Table {
+                name: name.trim().to_string(),
+                entries: BTreeMap::new(),
+            });
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(ParseError {
+                line: lineno,
+                message: format!("expected `key = value`: {line}"),
+            });
+        };
+        let key = line[..eq].trim().to_string();
+        let value = parse_value(line[eq + 1..].trim()).map_err(|m| ParseError {
+            line: lineno,
+            message: m,
+        })?;
+        let Some(table) = tables.last_mut() else {
+            return Err(ParseError {
+                line: lineno,
+                message: "key/value outside any [[table]]".to_string(),
+            });
+        };
+        table.entries.insert(key, value);
+    }
+    Ok(tables)
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    if let Some(body) = s.strip_prefix('"') {
+        let Some(body) = body.strip_suffix('"') else {
+            return Err(format!("unterminated string: {s}"));
+        };
+        let mut out = String::new();
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    other => return Err(format!("bad escape \\{other:?}")),
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        return Ok(Value::Str(out));
+    }
+    s.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| format!("expected quoted string or integer: {s}"))
+}
+
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let text = "# header\n[[allow]]\nlint = \"panic-path\"\ncount = 3\n\n[[allow]]\nnote = \"a \\\"q\\\" here\"\n";
+        let tables = parse(text).unwrap();
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].str_field("lint"), Some("panic-path"));
+        assert_eq!(tables[0].int_field("count"), Some(3));
+        assert_eq!(tables[1].str_field("note"), Some("a \"q\" here"));
+    }
+
+    #[test]
+    fn rejects_junk() {
+        assert!(parse("just words\n").is_err());
+        assert!(parse("[[bad\n").is_err());
+        assert!(parse("k = v_unquoted\n").is_err());
+        assert!(parse("orphan = 1\n").is_err());
+    }
+}

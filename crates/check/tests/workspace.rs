@@ -1,0 +1,43 @@
+//! The shipped `check/baseline.toml` exactly matches the workspace's
+//! current findings: zero new, zero stale. This is the test that keeps
+//! the allowlist honest — burning down a finding without regenerating the
+//! baseline fails here, as does sneaking in a new violation.
+
+use saphyra_check::baseline::Baseline;
+use saphyra_check::{analyze, baseline_path, default_root, Finding};
+
+#[test]
+fn shipped_baseline_exactly_matches_findings() {
+    let root = default_root();
+    let analysis = analyze(&root).expect("workspace analysis");
+    assert!(analysis.files_scanned > 50, "scan missed the workspace?");
+    let baseline = Baseline::load(&baseline_path(&root)).expect("baseline");
+    let delta = baseline.compare(&analysis.findings);
+    assert!(
+        delta.is_clean(),
+        "baseline drift — new: {:?}, stale: {:?}",
+        delta.new,
+        delta.stale
+    );
+}
+
+/// An injected violation beyond the allowed count is reported as new —
+/// the `--deny-new` CI gate actually gates.
+#[test]
+fn injected_violation_fails_the_gate() {
+    let root = default_root();
+    let analysis = analyze(&root).expect("workspace analysis");
+    let baseline = Baseline::load(&baseline_path(&root)).expect("baseline");
+    let mut findings = analysis.findings.clone();
+    findings.push(Finding {
+        lint: "panic-path",
+        file: "crates/service/src/server.rs".to_string(),
+        line: 1,
+        func: "rank".to_string(),
+        pattern: "unwrap".to_string(),
+        message: "injected".to_string(),
+    });
+    let delta = baseline.compare(&findings);
+    assert_eq!(delta.new.len(), 1, "{:?}", delta.new);
+    assert!(delta.stale.is_empty());
+}

@@ -421,13 +421,13 @@ mod tests {
         let a_index = build_a_index(6, &targets);
         let mut prob = BcApproxProblem::new(&g, &bic, &or, &targets, &a_index, 2);
         let probs = enumerate_pair_probs(&g, &bic, &or, prob.pisp());
-        let mut expect = std::collections::HashMap::new();
+        let mut expect = std::collections::BTreeMap::new();
         for (_, s, t, q) in probs {
             *expect.entry((s, t)).or_insert(0.0) += q;
         }
         let mut rng = StdRng::seed_from_u64(21);
         let trials = 100_000;
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for _ in 0..trials {
             let p = prob.sample_isp_path(&mut rng);
             *counts.entry((p[0], *p.last().unwrap())).or_insert(0usize) += 1;
@@ -439,6 +439,25 @@ mod tests {
                 "pair ({s},{t}): {got} vs {q}"
             );
         }
+    }
+
+    #[test]
+    fn sampled_path_stream_is_byte_identical_per_seed() {
+        // The determinism contract: the Gen(·) draw stream may depend only
+        // on the seed — never on map iteration order or address layout.
+        // Two fresh problem instances must emit identical path sequences.
+        let g = fixtures::two_triangles_bridge();
+        let (bic, or) = setup(&g);
+        let targets = vec![2u32];
+        let a_index = build_a_index(6, &targets);
+        let draw = || {
+            let mut prob = BcApproxProblem::new(&g, &bic, &or, &targets, &a_index, 2);
+            let mut rng = StdRng::seed_from_u64(77);
+            (0..2000)
+                .map(|_| prob.sample_isp_path(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
     }
 
     #[test]

@@ -223,15 +223,15 @@ mod tests {
         let (bic, or) = setup(&g);
         let p = Pisp::new(&bic, &or, &[D, G]);
         let probs = enumerate_pair_probs(&g, &bic, &or, &p);
-        let mut expect: std::collections::HashMap<(u32, u32, u32), f64> =
-            std::collections::HashMap::new();
+        let mut expect: std::collections::BTreeMap<(u32, u32, u32), f64> =
+            std::collections::BTreeMap::new();
         for (b, s, t, q) in probs {
             *expect.entry((b, s, t)).or_insert(0.0) += q;
         }
         let mut rng = StdRng::seed_from_u64(17);
         let trials = 200_000usize;
-        let mut counts: std::collections::HashMap<(u32, u32, u32), usize> =
-            std::collections::HashMap::new();
+        let mut counts: std::collections::BTreeMap<(u32, u32, u32), usize> =
+            std::collections::BTreeMap::new();
         for _ in 0..trials {
             let (b, s, t) = p.sample_pair(&bic, &mut rng);
             assert_ne!(s, t);

@@ -459,7 +459,7 @@ mod tests {
         assert_eq!(r.dist, 3);
         assert_eq!(r.sigma_st, 3.0);
         let mut rng = StdRng::seed_from_u64(9);
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         let trials = 6000;
         for _ in 0..trials {
             let p = bb.sample_path(&g, r, &mut rng, |_| true);

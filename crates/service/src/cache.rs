@@ -79,6 +79,15 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         });
     }
 
+    /// Drops every entry. This is the poison-recovery path: a panic while
+    /// the cache lock was held may have interrupted the two-map update
+    /// sequence (`map` + `by_tick`), and an empty cache is the only state
+    /// guaranteed consistent — losing it costs cold misses, nothing more.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.by_tick.clear();
+    }
+
     /// Current number of entries.
     pub fn len(&self) -> usize {
         self.map.len()

@@ -112,6 +112,7 @@ pub mod reactor;
 pub mod registry;
 pub mod server;
 pub mod shard;
+pub mod sync;
 
 pub use http::{request, Client, ClientResponse};
 pub use registry::{GraphEntry, Registry};

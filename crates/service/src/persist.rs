@@ -59,6 +59,7 @@ use saphyra_graph::Graph;
 use crate::http::Request;
 use crate::json::Json;
 use crate::server::Service;
+use crate::sync::LockExt;
 
 /// Magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"SAPHSNAP";
@@ -366,7 +367,7 @@ impl Journal {
         let mut buf = Vec::with_capacity(line.len() + 1);
         buf.extend_from_slice(line.as_bytes());
         buf.push(b'\n');
-        let mut inner = self.file.lock().unwrap();
+        let mut inner = self.file.lock_ok();
         if let Some(max) = self.max_bytes {
             if inner.len > 0 && inner.len + buf.len() as u64 > max {
                 // Rotate under the lock: the rename and the reopen are one

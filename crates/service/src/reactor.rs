@@ -392,9 +392,13 @@ pub struct WakePipe {
     w: RawFd,
 }
 
-// The fds are owned for the struct's lifetime and both ends are
-// nonblocking; concurrent wake() writes are single-byte and atomic.
+// SAFETY: both raw fds are owned exclusively by this struct for its whole
+// lifetime (closed only in Drop), so sending it to another thread just
+// transfers descriptor ownership with it.
 unsafe impl Send for WakePipe {}
+// SAFETY: the only operations through a shared reference are write() on the
+// nonblocking write end (wake) and read() on the read end (drain); concurrent
+// single-byte pipe writes are atomic, and drain tolerates any interleaving.
 unsafe impl Sync for WakePipe {}
 
 impl WakePipe {

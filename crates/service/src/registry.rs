@@ -12,6 +12,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+use crate::sync::RwLockExt;
+
 use saphyra::bc::BcDecomposition;
 use saphyra_graph::Graph;
 
@@ -72,32 +74,31 @@ impl Registry {
 
     /// Fetches a graph by name.
     pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
-        self.inner.read().unwrap().get(name).cloned()
+        self.inner.read_ok().get(name).cloned()
     }
 
     /// Inserts (or replaces) an entry; returns whether a previous entry
     /// with the same name was replaced.
     pub fn insert(&self, entry: GraphEntry) -> bool {
         self.inner
-            .write()
-            .unwrap()
+            .write_ok()
             .insert(entry.name.clone(), Arc::new(entry))
             .is_some()
     }
 
     /// All entries in name order.
     pub fn list(&self) -> Vec<Arc<GraphEntry>> {
-        self.inner.read().unwrap().values().cloned().collect()
+        self.inner.read_ok().values().cloned().collect()
     }
 
     /// Number of loaded graphs.
     pub fn len(&self) -> usize {
-        self.inner.read().unwrap().len()
+        self.inner.read_ok().len()
     }
 
     /// Whether no graph is loaded.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().unwrap().is_empty()
+        self.inner.read_ok().is_empty()
     }
 }
 

@@ -89,6 +89,7 @@ use crate::persist::{self, valid_graph_name};
 use crate::reactor::{new_poller, Event, Poller, TimerWheel, WakePipe};
 use crate::registry::{GraphEntry, Registry};
 use crate::shard::{self, ShardPool, ShardedExec};
+use crate::sync::{CondvarExt, LockExt};
 
 /// What a node does with the registry and the `/rank` path.
 ///
@@ -305,13 +306,13 @@ struct InflightGuard<'a> {
 
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
-        let mut done = self.slot.done.lock().unwrap();
+        let mut done = self.slot.done.lock_ok();
         if done.is_none() {
             *done = Some(None); // leader died without a body
             self.slot.cv.notify_all();
         }
         drop(done);
-        self.service.inflight.lock().unwrap().remove(&self.key);
+        self.service.inflight.lock_ok().remove(&self.key);
     }
 }
 
@@ -362,7 +363,7 @@ struct BatchGuard<'a> {
 impl Drop for BatchGuard<'_> {
     fn drop(&mut self) {
         for m in self.members {
-            let mut done = m.slot.done.lock().unwrap();
+            let mut done = m.slot.done.lock_ok();
             if done.is_none() {
                 *done = Some(None);
                 m.slot.cv.notify_all();
@@ -837,7 +838,7 @@ impl Service {
         // loader, or disk and memory could end up holding different
         // graphs under one name. The expensive decomposition above stays
         // outside the critical section.
-        let publish = self.load_publish.lock().unwrap();
+        let publish = self.load_publish.lock_ok();
         // Snapshot before publishing: a crash right after the write leaves
         // a snapshot for a load the client never saw confirmed — harmless
         // (the next boot restores it); the reverse order could confirm a
@@ -861,7 +862,9 @@ impl Service {
             // Correctness is already guaranteed by the epoch in RankKey
             // (old-entry results can never alias the new load); dropping
             // the dead entries here is memory hygiene.
-            self.cache.lock().unwrap().retain(|k| k.graph != name);
+            self.cache
+                .lock_repair(|c| c.clear())
+                .retain(|k| k.graph != name);
         }
         let Json::Obj(mut fields) = info else {
             unreachable!()
@@ -879,7 +882,11 @@ impl Service {
     /// router (which owns the decomposition and drives estimation) *and*
     /// on every shard.
     fn router_load_graph(&self, body: &Json, split: bool) -> Response {
-        let pool = self.shards.as_ref().expect("router always has a pool");
+        // `shards` is Some for every Router by construction; answer 500
+        // instead of panicking if an embedder ever builds one without.
+        let Some(pool) = self.shards.as_ref() else {
+            return error_response(500, "router misconfigured: no shard pool");
+        };
         // The CLI validates `--shards` at parse time; embedders building a
         // `ServiceConfig` directly get the same checks here, as a 400.
         if let Err(e) = saphyra::params::check_shard_addrs(pool.addrs(), "") {
@@ -926,10 +933,7 @@ impl Service {
                     return error_response(503, format!("split load of {name:?} failed: {e}"));
                 }
             }
-            self.placements
-                .lock()
-                .unwrap()
-                .insert(name, Placement::Split);
+            self.placements.lock_ok().insert(name, Placement::Split);
             let Ok(Json::Obj(mut fields)) = Json::parse(local.body_str()) else {
                 unreachable!("load_graph_local emits a JSON object");
             };
@@ -945,8 +949,7 @@ impl Service {
             Ok(r) if r.status != 200 => Response::json(r.status, r.body),
             Ok(r) => {
                 self.placements
-                    .lock()
-                    .unwrap()
+                    .lock_ok()
                     .insert(name, Placement::Remote(idx));
                 match Json::parse(&r.body) {
                     Ok(Json::Obj(mut fields)) => {
@@ -964,8 +967,10 @@ impl Service {
     /// `GET /graphs` per owning shard). An unreachable shard fails the
     /// listing with 503 — the view would otherwise silently lie.
     fn router_list_graphs(&self) -> Response {
-        let pool = self.shards.as_ref().expect("router always has a pool");
-        let placements = self.placements.lock().unwrap().clone();
+        let Some(pool) = self.shards.as_ref() else {
+            return error_response(500, "router misconfigured: no shard pool");
+        };
+        let placements = self.placements.lock_ok().clone();
         let needed: Vec<usize> = {
             let mut idxs: Vec<usize> = placements
                 .values()
@@ -1041,11 +1046,13 @@ impl Service {
             return None;
         }
         let name = body.get("graph").and_then(Json::as_str)?;
-        let idx = match self.placements.lock().unwrap().get(name) {
+        let idx = match self.placements.lock_ok().get(name) {
             Some(Placement::Remote(i)) => *i,
             _ => return None,
         };
-        let pool = self.shards.as_ref().expect("router always has a pool");
+        let Some(pool) = self.shards.as_ref() else {
+            return Some(error_response(500, "router misconfigured: no shard pool"));
+        };
         let addr = &pool.addrs()[idx];
         Some(
             match pool.request(idx, "POST", "/rank", Some(&body.to_string())) {
@@ -1065,7 +1072,7 @@ impl Service {
     /// The shard pool to drive `name`'s estimation across, if this node
     /// is a router and the graph was loaded split.
     fn sharded_pool_for(&self, name: &str) -> Option<&ShardPool> {
-        match self.placements.lock().unwrap().get(name) {
+        match self.placements.lock_ok().get(name) {
             Some(Placement::Split) => self.shards.as_ref(),
             _ => None,
         }
@@ -1096,7 +1103,7 @@ impl Service {
             seed: p.seed,
             khops: p.khops,
         };
-        if let Some(body) = self.cache.lock().unwrap().get(&key).cloned() {
+        if let Some(body) = self.cache.lock_repair(|c| c.clear()).get(&key).cloned() {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Response::json(200, body.as_str()).with_header("X-Saphyra-Cache", "hit");
         }
@@ -1107,8 +1114,8 @@ impl Service {
         // leader finishes (cache insert + map removal) between our cache
         // miss above and the map lookup here.
         let guard = {
-            let mut inflight = self.inflight.lock().unwrap();
-            if let Some(body) = self.cache.lock().unwrap().get(&key).cloned() {
+            let mut inflight = self.inflight.lock_ok();
+            if let Some(body) = self.cache.lock_repair(|c| c.clear()).get(&key).cloned() {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return Response::json(200, body.as_str()).with_header("X-Saphyra-Cache", "hit");
             }
@@ -1116,11 +1123,15 @@ impl Service {
                 Some(slot) => {
                     let slot = Arc::clone(slot);
                     drop(inflight);
-                    let mut done = slot.done.lock().unwrap();
-                    while done.is_none() {
-                        done = slot.cv.wait(done).unwrap();
-                    }
-                    return match done.as_ref().unwrap() {
+                    let mut done = slot.done.lock_ok();
+                    let result = loop {
+                        match done.as_ref() {
+                            Some(r) => break r.clone(),
+                            None => done = slot.cv.wait_ok(done),
+                        }
+                    };
+                    drop(done);
+                    return match result {
                         Some(body) => {
                             self.cache_shared.fetch_add(1, Ordering::Relaxed);
                             Response::json(200, body.as_str())
@@ -1166,15 +1177,15 @@ impl Service {
             slot: Arc::clone(&guard.slot),
         };
         let led = {
-            let mut batches = self.batches.lock().unwrap();
+            let mut batches = self.batches.lock_ok();
             match batches.get(&bkey) {
                 Some(batch) => {
-                    batch.members.lock().unwrap().push(member);
+                    batch.members.lock_ok().push(member);
                     None
                 }
                 None => {
                     let batch = Arc::new(Batch::default());
-                    batch.members.lock().unwrap().push(member);
+                    batch.members.lock_ok().push(member);
                     batches.insert(bkey.clone(), Arc::clone(&batch));
                     Some(batch)
                 }
@@ -1186,11 +1197,13 @@ impl Service {
             // shared stream and publishes it to our slot; our own guard
             // then clears the in-flight entry, and any same-key waiters
             // replay the bytes as "shared".
-            let mut done = guard.slot.done.lock().unwrap();
-            while done.is_none() {
-                done = guard.slot.cv.wait(done).unwrap();
-            }
-            let result = done.as_ref().unwrap().clone();
+            let mut done = guard.slot.done.lock_ok();
+            let result = loop {
+                match done.as_ref() {
+                    Some(r) => break r.clone(),
+                    None => done = guard.slot.cv.wait_ok(done),
+                }
+            };
             drop(done);
             return match result {
                 Some(body) => {
@@ -1207,9 +1220,9 @@ impl Service {
             std::thread::sleep(self.batch_window);
         }
         let members = {
-            let mut batches = self.batches.lock().unwrap();
+            let mut batches = self.batches.lock_ok();
             batches.remove(&bkey);
-            let mut members = batch.members.lock().unwrap();
+            let mut members = batch.members.lock_ok();
             std::mem::take(&mut *members)
         };
         self.sample_passes.fetch_add(1, Ordering::Relaxed);
@@ -1242,19 +1255,23 @@ impl Service {
         for (m, body) in members.iter().zip(bodies) {
             let body = Arc::new(body);
             self.cache
-                .lock()
-                .unwrap()
+                .lock_repair(|c| c.clear())
                 .insert(m.key.clone(), Arc::clone(&body));
             if m.key == key {
                 own = Some(Arc::clone(&body));
             }
-            let mut done = m.slot.done.lock().unwrap();
+            let mut done = m.slot.done.lock_ok();
             *done = Some(Some(body));
             m.slot.cv.notify_all();
         }
         drop(bguard); // every slot is published; the sweep finds nothing
         drop(guard);
-        let body = own.expect("leader is enrolled in its own batch");
+        // The leader pushed itself into the batch before sealing, so its
+        // own body is always among those published; 500 beats a panic if
+        // that invariant ever breaks.
+        let Some(body) = own else {
+            return error_response(500, "batch leader lost its own enrollment");
+        };
         let state = if shared_pass { "batched" } else { "miss" };
         Response::json(200, body.as_str()).with_header("X-Saphyra-Cache", state)
     }
@@ -1649,7 +1666,7 @@ pub fn serve_with(addr: &str, service: Arc<Service>) -> io::Result<ServerHandle>
                     // Workers are a pure compute pool: complete request
                     // in, finished response out, reactor woken. They hold
                     // no sockets and never block on I/O.
-                    let job = match job_rx.lock().unwrap().recv() {
+                    let job = match job_rx.lock_ok().recv() {
                         Ok(j) => j,
                         Err(_) => break, // reactor gone and queue drained
                     };
@@ -2311,6 +2328,37 @@ mod tests {
             saphyra_graph::fixtures::grid_graph(5, 5),
         ));
         svc
+    }
+
+    /// A worker that panics while holding the single-flight table (or the
+    /// cache) poisons the lock; the request path must recover instead of
+    /// cascading the panic through every other worker.
+    #[test]
+    fn poisoned_locks_do_not_kill_request_handling() {
+        let svc = Arc::new(service_with_grid());
+        let s = Arc::clone(&svc);
+        let _ = std::thread::spawn(move || {
+            let _g = s.inflight.lock().unwrap();
+            panic!("simulated worker crash holding inflight");
+        })
+        .join();
+        let s = Arc::clone(&svc);
+        let _ = std::thread::spawn(move || {
+            let _g = s.cache.lock().unwrap();
+            panic!("simulated worker crash holding cache");
+        })
+        .join();
+
+        let body = r#"{"graph":"grid","targets":[3,7],"eps":0.2,"delta":0.2,"seed":5}"#;
+        let (r1, _) = svc.handle(&post("/rank", body));
+        assert_eq!(r1.status, 200, "{}", r1.body_str());
+        // The repaired (cleared) cache fills back up and serves hits.
+        let (r2, _) = svc.handle(&post("/rank", body));
+        assert_eq!(r2.body, r1.body);
+        assert!(r2
+            .headers
+            .iter()
+            .any(|(k, v)| k == "X-Saphyra-Cache" && v == "hit"));
     }
 
     #[test]

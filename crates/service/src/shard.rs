@@ -50,6 +50,7 @@ use saphyra_graph::NodeId;
 use crate::http::{Client, ClientResponse, Response};
 use crate::json::Json;
 use crate::registry::Registry;
+use crate::sync::LockExt;
 
 /// Wire format version of `/shard/exec` requests and responses.
 pub const WIRE_VERSION: u8 = 1;
@@ -136,7 +137,7 @@ impl ShardPool {
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<ClientResponse> {
-        self.clients[i].lock().unwrap().request(method, path, body)
+        self.clients[i].lock_ok().request(method, path, body)
     }
 }
 
@@ -268,8 +269,7 @@ impl<'a> ShardedExec<'a> {
                         let addr = &self.pool.addrs[i];
                         let body = self.encode_request(acc, units);
                         let resp = self.pool.clients[i]
-                            .lock()
-                            .unwrap()
+                            .lock_ok()
                             .request_bytes("POST", "/shard/exec", &body)
                             .map_err(|e| ExecError(format!("shard {addr}: {e}")))?;
                         if resp.status != 200 {

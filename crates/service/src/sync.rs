@@ -1,0 +1,154 @@
+//! Poison-tolerant lock helpers for the request path.
+//!
+//! A panic while holding a `Mutex` poisons it; the default
+//! `.lock().unwrap()` then panics in *every other thread* that touches the
+//! lock, so one bad request could take down the whole compute pool. These
+//! extension methods recover instead:
+//!
+//! * [`LockExt::lock_ok`] — recover the guard via
+//!   `PoisonError::into_inner`. Correct for structures whose invariants
+//!   hold between individual operations (maps of `Arc`s, slot options,
+//!   condvar-paired state): a panic can interrupt a *sequence* of our
+//!   updates, but each container operation is internally complete.
+//! * [`LockExt::lock_repair`] — recover and run a repair closure on the
+//!   data first. For structures with multi-step internal invariants (the
+//!   LRU cache updates two internal maps per touch), dropping the state is
+//!   the only safe recovery; losing a cache is just cold misses.
+//! * [`RwLockExt::read_ok`] / [`RwLockExt::write_ok`] — same recovery for
+//!   `RwLock` (the graph registry).
+//! * [`CondvarExt::wait_ok`] — same recovery around a condvar wait.
+//!
+//! `saphyra-check`'s lock-order lint recognizes these method names as
+//! acquisitions, so converting a site keeps it in the nesting analysis.
+
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+pub trait LockExt<T> {
+    /// Locks, recovering the guard from a poisoned mutex as-is.
+    fn lock_ok(&self) -> MutexGuard<'_, T>;
+    /// Locks; on poison, runs `repair` on the data before returning it.
+    fn lock_repair(&self, repair: impl FnOnce(&mut T)) -> MutexGuard<'_, T>;
+}
+
+impl<T> LockExt<T> for Mutex<T> {
+    fn lock_ok(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_repair(&self, repair: impl FnOnce(&mut T)) -> MutexGuard<'_, T> {
+        match self.lock() {
+            Ok(g) => g,
+            Err(e) => {
+                let mut g = e.into_inner();
+                repair(&mut g);
+                // The data is consistent again; clear the flag so later
+                // `lock()` callers (e.g. tests) see a healthy mutex.
+                self.clear_poison();
+                g
+            }
+        }
+    }
+}
+
+pub trait RwLockExt<T> {
+    fn read_ok(&self) -> RwLockReadGuard<'_, T>;
+    fn write_ok(&self) -> RwLockWriteGuard<'_, T>;
+}
+
+impl<T> RwLockExt<T> for RwLock<T> {
+    fn read_ok(&self) -> RwLockReadGuard<'_, T> {
+        self.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_ok(&self) -> RwLockWriteGuard<'_, T> {
+        self.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+pub trait CondvarExt {
+    /// Waits on the condvar, recovering the guard if the mutex was
+    /// poisoned while we slept.
+    fn wait_ok<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T>;
+}
+
+impl CondvarExt for Condvar {
+    fn wait_ok<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    fn poison<T: Send + 'static>(m: &Arc<Mutex<T>>) {
+        let m2 = Arc::clone(m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+    }
+
+    #[test]
+    fn lock_ok_recovers_data() {
+        let m = Arc::new(Mutex::new(41));
+        poison(&m);
+        *m.lock_ok() += 1;
+        assert_eq!(*m.lock_ok(), 42);
+    }
+
+    #[test]
+    fn lock_repair_runs_fix_and_clears_poison() {
+        let m = Arc::new(Mutex::new(vec![1, 2, 3]));
+        poison(&m);
+        assert!(m.lock_repair(|v| v.clear()).is_empty());
+        assert!(!m.is_poisoned(), "repair clears the poison flag");
+        // A healthy mutex is repaired by... nothing; data is untouched.
+        m.lock_ok().push(9);
+        assert_eq!(*m.lock_repair(|v| v.clear()), vec![9]);
+    }
+
+    #[test]
+    fn rwlock_recovery() {
+        let l = Arc::new(RwLock::new(7));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*l.read_ok(), 7);
+        *l.write_ok() += 1;
+        assert_eq!(*l.read_ok(), 8);
+    }
+
+    #[test]
+    fn condvar_wait_survives_poison() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock_ok();
+            while !*ready {
+                ready = cv.wait_ok(ready);
+            }
+            true
+        });
+        let p3 = Arc::clone(&pair);
+        let _ = std::thread::spawn(move || {
+            let (m, _cv) = &*p3;
+            let _g = m.lock().unwrap();
+            panic!("poison while waiter sleeps");
+        })
+        .join();
+        {
+            let (m, cv) = &*pair;
+            *m.lock_ok() = true;
+            cv.notify_all();
+        }
+        assert!(waiter.join().unwrap());
+    }
+}
