@@ -447,7 +447,7 @@ fn bench_cold_start(c: &mut Criterion) {
     saphyra_graph::io::save_edge_list(&graph, &edge_path).expect("write edge list");
     let dec = saphyra::bc::BcDecomposition::compute(&graph);
     let snap_path = persist::snapshot_path(&dir, "bench");
-    persist::save_snapshot(&snap_path, "bench", &graph, &dec).expect("write snapshot");
+    persist::save_snapshot(&snap_path, "bench", &graph, &dec, 0).expect("write snapshot");
 
     let decompose = || {
         let g = saphyra_graph::io::load_edge_list(&edge_path).expect("load");

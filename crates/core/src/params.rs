@@ -64,6 +64,34 @@ pub fn check_targets(targets: &[NodeId], num_nodes: usize) -> Result<(), String>
     Ok(())
 }
 
+/// Checks an edge delta for `PATCH /graphs/<name>`: at least one change,
+/// no self-loops, endpoints in `0..n` (deltas never grow the node set).
+/// Mirrors the graph layer's own validation
+/// ([`saphyra_graph::EdgeDelta::normalized`]) so front ends reject garbage
+/// with a 400 before acquiring any publication lock.
+pub fn check_edge_delta(
+    insert: &[(NodeId, NodeId)],
+    delete: &[(NodeId, NodeId)],
+    num_nodes: usize,
+) -> Result<(), String> {
+    if insert.is_empty() && delete.is_empty() {
+        return Err("empty delta: no edges to insert or delete".to_string());
+    }
+    for (kind, list) in [("insert", insert), ("delete", delete)] {
+        for &(u, v) in list {
+            if u == v {
+                return Err(format!("{kind} edge ({u}, {v}) is a self-loop"));
+            }
+            if let Some(&x) = [u, v].iter().find(|&&x| x as usize >= num_nodes) {
+                return Err(format!(
+                    "{kind} endpoint {x} out of range (n = {num_nodes})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Checks a shard address list for a router (`--shards`): non-empty, no
 /// duplicates, and never the router's own listen address (a router fanning
 /// work out to itself would deadlock its own accept loop).
@@ -125,6 +153,17 @@ mod tests {
         assert!(check_targets(&[0, 4], 5).is_ok());
         assert!(check_targets(&[5], 5).is_err());
         assert!(check_targets(&[1, 1], 5).is_err());
+    }
+
+    #[test]
+    fn edge_deltas() {
+        assert!(check_edge_delta(&[], &[], 5).is_err(), "empty delta");
+        assert!(check_edge_delta(&[(0, 1)], &[], 5).is_ok());
+        assert!(check_edge_delta(&[], &[(4, 0)], 5).is_ok());
+        assert!(check_edge_delta(&[(2, 2)], &[], 5).is_err(), "self-loop");
+        assert!(check_edge_delta(&[], &[(3, 3)], 5).is_err(), "self-loop");
+        assert!(check_edge_delta(&[(0, 5)], &[], 5).is_err(), "out of range");
+        assert!(check_edge_delta(&[], &[(9, 0)], 5).is_err(), "out of range");
     }
 
     fn addrs(list: &[&str]) -> Vec<String> {

@@ -1,10 +1,13 @@
 //! Property-based invariants of the SaPHyRa_bc machinery on random graphs.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use saphyra::bc::{
-    bca_values, build_a_index, exact2hop::exact_bc_bruteforce, exact_bc, gamma, Outreach, Pisp,
+    bca_values, build_a_index, exact2hop::exact_bc_bruteforce, exact_bc, gamma, BcDecomposition,
+    Outreach, Pisp, SaphyraBcConfig,
 };
-use saphyra_graph::{Bicomps, BlockCutTree, Graph, GraphBuilder};
+use saphyra_graph::{Bicomps, BlockCutTree, EdgeDelta, Graph, GraphBuilder};
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (3usize..=14).prop_flat_map(|n| {
@@ -117,5 +120,99 @@ proptest! {
         let out = exact_bc(&g, &bic, &or, &targets, &a_index);
         let lambda_hat = out.lambda_raw / gamma_eta;
         prop_assert!((0.0..=1.0 + 1e-9).contains(&lambda_hat), "λ̂ = {lambda_hat}");
+    }
+}
+
+/// Canonicalizes raw proptest edge lists into a valid delta against `g`:
+/// drops self-loops, orients `u < v`, dedups, and resolves insert/delete
+/// conflicts in favor of the insert (mirroring nothing — conflicts are a
+/// 400 at the API edge, so test inputs must simply avoid them).
+fn clean_delta(g: &Graph, insert: Vec<(u32, u32)>, delete: Vec<(u32, u32)>) -> EdgeDelta {
+    let n = g.num_nodes() as u32;
+    let canon = |list: Vec<(u32, u32)>| -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = list
+            .into_iter()
+            .filter(|&(u, v)| u != v && u < n && v < n)
+            .map(|(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    };
+    let insert = canon(insert);
+    let mut delete = canon(delete);
+    delete.retain(|e| !insert.contains(e));
+    EdgeDelta { insert, delete }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn apply_delta_matches_from_scratch(
+        g in arb_graph(),
+        raw_ins in proptest::collection::vec((0u32..14, 0u32..14), 0..6),
+        raw_del in proptest::collection::vec((0u32..14, 0u32..14), 0..6),
+    ) {
+        let delta = clean_delta(&g, raw_ins, raw_del);
+        prop_assume!(!delta.is_empty());
+        let dec = BcDecomposition::compute(&g);
+        let out = dec.apply_delta(&g, &delta).unwrap();
+        let scratch = BcDecomposition::compute(&out.graph);
+        prop_assert!(out.dec.structurally_eq(&scratch),
+            "incremental decomposition diverged from rebuild");
+    }
+
+    #[test]
+    fn untouched_component_rankings_survive_patch(
+        a in 3usize..=7,
+        b in 3usize..=7,
+        edges_a in proptest::collection::vec((0u32..7, 0u32..7), 1..12),
+        edges_b in proptest::collection::vec((0u32..7, 0u32..7), 1..12),
+        raw_ins in proptest::collection::vec((0u32..7, 0u32..7), 0..4),
+        raw_del in proptest::collection::vec((0u32..7, 0u32..7), 0..4),
+    ) {
+        // Two node blocks with no edges between them: A = [0, a), B = [a, a+b).
+        // The delta is confined to A, so every B target must rank
+        // bit-identically before and after the patch (the service relies on
+        // this to keep clean cache entries alive across PATCH).
+        let n = a + b;
+        let mut edges: Vec<(u32, u32)> = edges_a
+            .into_iter()
+            .map(|(u, v)| (u % a as u32, v % a as u32))
+            .collect();
+        edges.extend(
+            edges_b
+                .into_iter()
+                .map(|(u, v)| (a as u32 + u % b as u32, a as u32 + v % b as u32)),
+        );
+        let g = GraphBuilder::new(n).edges(edges).build().unwrap();
+        let mut delta = clean_delta(
+            &g,
+            raw_ins.into_iter().map(|(u, v)| (u % a as u32, v % a as u32)).collect(),
+            raw_del.into_iter().map(|(u, v)| (u % a as u32, v % a as u32)).collect(),
+        );
+        if delta.is_empty() {
+            delta.insert = vec![(0, 1)];
+        }
+
+        let dec = BcDecomposition::compute(&g);
+        let out = dec.apply_delta(&g, &delta).unwrap();
+        let targets: Vec<u32> = (a as u32..n as u32).collect();
+        for &t in &targets {
+            prop_assert!(!out.dirty_nodes[t as usize],
+                "target {t} in the isolated block was marked dirty");
+        }
+
+        let cfg = SaphyraBcConfig::new(0.2, 0.1);
+        let before = dec.rank_subset(&g, &targets, &cfg, &mut StdRng::seed_from_u64(7));
+        let after = out.dec.rank_subset(&out.graph, &targets, &cfg, &mut StdRng::seed_from_u64(7));
+        for (x, y) in before.bc.iter().zip(&after.bc) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "bc bits changed for clean target");
+        }
+        prop_assert_eq!(before.stats.samples, after.stats.samples);
+        prop_assert_eq!(before.stats.nmax, after.stats.nmax);
+        prop_assert_eq!(before.stats.vc.vc_subset, after.stats.vc.vc_subset);
+        prop_assert_eq!(before.stats.lambda_hat.to_bits(), after.stats.lambda_hat.to_bits());
     }
 }

@@ -1,0 +1,655 @@
+//! Batched edge inserts/deletes with incremental biconnected-component
+//! maintenance.
+//!
+//! The service's `PATCH /graphs/<name>` path lands here: a delta is a set of
+//! undirected edges to add and remove. Applying it produces a fresh CSR
+//! (edge ids are the lexicographic rank of the canonical edge list, so a
+//! delta renumbers ids globally — [`AppliedDelta::edge_map`] carries the
+//! old → new correspondence) and a new [`Bicomps`] in which only the
+//! connected components whose vertex sets intersect the delta are
+//! re-decomposed. Untouched components keep their per-edge labels — spliced
+//! through the renumbering — which is what lets every consumer downstream
+//! (block-cut tree, out-reach, VC diameter bounds) carry derived state over
+//! unchanged, the delta discipline differential dataflow applies to derived
+//! relations.
+//!
+//! The incremental labeling is *exactly* the labeling
+//! [`Bicomps::compute`] produces on the patched graph — components are
+//! numbered in DFS pop order with roots visited in ascending node order, and
+//! both the per-component pop order (structural) and the root order are
+//! preserved by splicing — so decompositions stay byte-identical to a
+//! from-scratch rebuild (debug builds assert it).
+
+use crate::bicomp::{BicompDfs, Bicomps, UNSET};
+use crate::csr::{Graph, NodeId};
+
+/// Sentinel in [`AppliedDelta::edge_map`] / [`AppliedDelta::bicomp_map`]:
+/// the edge was deleted, or the component was dirtied and re-decomposed.
+pub const UNMAPPED: u32 = u32::MAX;
+
+/// A canonical (sorted, deduplicated, `u < v`) undirected edge list.
+pub type EdgeList = Vec<(NodeId, NodeId)>;
+
+/// A batch of undirected edge changes. Endpoint order and duplicates are
+/// irrelevant (edges are canonicalized); inserting an existing edge or
+/// deleting a missing one is a no-op.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeDelta {
+    /// Edges to add.
+    pub insert: Vec<(NodeId, NodeId)>,
+    /// Edges to remove.
+    pub delete: Vec<(NodeId, NodeId)>,
+}
+
+/// Why a delta was rejected before touching the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// `(u, u)` edges are dropped by construction and cannot be patched in.
+    SelfLoop(NodeId),
+    /// An endpoint is `>= num_nodes` (deltas never grow the node set).
+    EndpointOutOfRange {
+        /// The offending endpoint.
+        node: u64,
+        /// The graph's node count.
+        n: u64,
+    },
+    /// Both change lists are empty.
+    Empty,
+    /// The same canonical edge appears in both `insert` and `delete`.
+    Conflict(NodeId, NodeId),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::SelfLoop(u) => write!(f, "self-loop ({u}, {u}) in delta"),
+            DeltaError::EndpointOutOfRange { node, n } => {
+                write!(f, "endpoint {node} out of range for {n} nodes")
+            }
+            DeltaError::Empty => write!(f, "empty delta: no edges to insert or delete"),
+            DeltaError::Conflict(u, v) => {
+                write!(f, "edge ({u}, {v}) appears in both insert and delete")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl EdgeDelta {
+    /// Whether both change lists are empty.
+    pub fn is_empty(&self) -> bool {
+        self.insert.is_empty() && self.delete.is_empty()
+    }
+
+    fn canon(list: &[(NodeId, NodeId)], n: usize) -> Result<Vec<(NodeId, NodeId)>, DeltaError> {
+        let mut out = Vec::with_capacity(list.len());
+        for &(u, v) in list {
+            if let Some(&node) = [u, v].iter().find(|&&x| x as usize >= n) {
+                return Err(DeltaError::EndpointOutOfRange {
+                    node: node as u64,
+                    n: n as u64,
+                });
+            }
+            if u == v {
+                return Err(DeltaError::SelfLoop(u));
+            }
+            out.push(if u < v { (u, v) } else { (v, u) });
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Validates against a graph on `n` nodes and returns the canonical
+    /// (sorted, deduplicated, `u < v`) insert and delete lists.
+    pub fn normalized(&self, n: usize) -> Result<(EdgeList, EdgeList), DeltaError> {
+        if self.is_empty() {
+            return Err(DeltaError::Empty);
+        }
+        let ins = Self::canon(&self.insert, n)?;
+        let del = Self::canon(&self.delete, n)?;
+        let (mut i, mut j) = (0, 0);
+        while i < ins.len() && j < del.len() {
+            match ins[i].cmp(&del[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return Err(DeltaError::Conflict(ins[i].0, ins[i].1)),
+            }
+        }
+        Ok((ins, del))
+    }
+}
+
+/// The result of applying an [`EdgeDelta`]: the patched graph, its
+/// decomposition, and the correspondence to the pre-patch state that lets
+/// callers splice derived per-edge / per-component data.
+#[derive(Debug)]
+pub struct AppliedDelta {
+    /// The patched graph.
+    pub graph: Graph,
+    /// Its biconnected components — identical to
+    /// `Bicomps::compute(&graph)`, with only dirty components re-derived.
+    pub bicomps: Bicomps,
+    /// Old edge id → new edge id ([`UNMAPPED`] for deleted edges).
+    pub edge_map: Vec<u32>,
+    /// Old bicomp id → new bicomp id for components in *untouched*
+    /// connected components; [`UNMAPPED`] where the region was dirtied and
+    /// re-decomposed (derived data must be recomputed there).
+    pub bicomp_map: Vec<u32>,
+    /// Per node of the patched graph: whether it lies in a connected
+    /// component that intersects the delta. Rankings whose targets avoid
+    /// every dirty node are unaffected by the patch.
+    pub dirty_nodes: Vec<bool>,
+    /// Edges actually added (inserts of existing edges are no-ops).
+    pub inserted: usize,
+    /// Edges actually removed (deletes of missing edges are no-ops).
+    pub deleted: usize,
+}
+
+/// Applies `delta` to `g` (whose decomposition is `bic`), rebuilding only
+/// the adjacency ranges of endpoints the delta touches and re-deriving
+/// articulation structure only for the connected components whose vertex
+/// sets intersect it.
+pub fn apply(g: &Graph, bic: &Bicomps, delta: &EdgeDelta) -> Result<AppliedDelta, DeltaError> {
+    let n = g.num_nodes();
+    let (ins, del) = delta.normalized(n)?;
+
+    // Effective change lists: inserting an existing edge or deleting a
+    // missing one is a no-op and must not dirty anything.
+    let ins: Vec<(NodeId, NodeId)> = ins
+        .into_iter()
+        .filter(|&(u, v)| !g.has_edge(u, v))
+        .collect();
+    let del: Vec<(NodeId, NodeId)> = del.into_iter().filter(|&(u, v)| g.has_edge(u, v)).collect();
+    let (inserted, deleted) = (ins.len(), del.len());
+
+    if inserted == 0 && deleted == 0 {
+        return Ok(AppliedDelta {
+            graph: g.clone(),
+            bicomps: bic.clone(),
+            edge_map: (0..g.num_edges() as u32).collect(),
+            bicomp_map: (0..bic.num_bicomps as u32).collect(),
+            dirty_nodes: vec![false; n],
+            inserted,
+            deleted,
+        });
+    }
+
+    // Merge the old canonical edge list (id order *is* lexicographic order)
+    // with the sorted inserts, dropping deletes. Ids renumber globally; the
+    // merge order yields both direction maps for free.
+    let old_m = g.num_edges();
+    let new_m = old_m + inserted - deleted;
+    let mut edge_map = vec![UNMAPPED; old_m];
+    let mut old_of_new = vec![UNMAPPED; new_m];
+    let mut new_edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(new_m);
+    {
+        let (mut di, mut ii) = (0usize, 0usize);
+        for (u, v, eid) in g.edges() {
+            while ii < ins.len() && ins[ii] < (u, v) {
+                new_edges.push(ins[ii]);
+                ii += 1;
+            }
+            if di < del.len() && del[di] == (u, v) {
+                di += 1;
+                continue;
+            }
+            edge_map[eid as usize] = new_edges.len() as u32;
+            old_of_new[new_edges.len()] = eid;
+            new_edges.push((u, v));
+        }
+        new_edges.extend_from_slice(&ins[ii..]);
+        debug_assert_eq!(di, del.len());
+        debug_assert_eq!(new_edges.len(), new_m);
+    }
+
+    // Adjacency endpoints the delta touches.
+    let mut touched = vec![false; n];
+    for &(u, v) in ins.iter().chain(del.iter()) {
+        touched[u as usize] = true;
+        touched[v as usize] = true;
+    }
+
+    // New CSR offsets from degree adjustments.
+    let mut offsets = vec![0usize; n + 1];
+    for v in 0..n {
+        offsets[v + 1] = g.degree(v as NodeId);
+    }
+    for &(u, v) in &del {
+        offsets[u as usize + 1] -= 1;
+        offsets[v as usize + 1] -= 1;
+    }
+    for &(u, v) in &ins {
+        offsets[u as usize + 1] += 1;
+        offsets[v as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+
+    // Directed slots of the inserted edges, grouped by node.
+    let mut ins_slots: Vec<(NodeId, NodeId, u32)> = Vec::with_capacity(2 * inserted);
+    for (i, &(u, v)) in new_edges.iter().enumerate() {
+        if old_of_new[i] == UNMAPPED {
+            ins_slots.push((u, v, i as u32));
+            ins_slots.push((v, u, i as u32));
+        }
+    }
+    ins_slots.sort_unstable();
+
+    // Fill pass: untouched nodes copy their slice (ids renumbered through
+    // the map, neighbor order unchanged); touched nodes merge surviving old
+    // slots with inserted slots — both already sorted by neighbor.
+    let mut neighbors = vec![0 as NodeId; 2 * new_m];
+    let mut edge_ids = vec![0u32; 2 * new_m];
+    for v in 0..n as NodeId {
+        let mut w = offsets[v as usize];
+        if !touched[v as usize] {
+            for slot in g.slot_range(v) {
+                neighbors[w] = g.neighbor_at(slot);
+                edge_ids[w] = edge_map[g.edge_id_at(slot) as usize];
+                w += 1;
+            }
+        } else {
+            let lo = ins_slots.partition_point(|&(x, _, _)| x < v);
+            let hi = ins_slots.partition_point(|&(x, _, _)| x <= v);
+            let mut it = ins_slots[lo..hi].iter().peekable();
+            for slot in g.slot_range(v) {
+                let mapped = edge_map[g.edge_id_at(slot) as usize];
+                if mapped == UNMAPPED {
+                    continue;
+                }
+                let nb = g.neighbor_at(slot);
+                while let Some(&&(_, inb, iid)) = it.peek() {
+                    if inb < nb {
+                        neighbors[w] = inb;
+                        edge_ids[w] = iid;
+                        w += 1;
+                        it.next();
+                    } else {
+                        break;
+                    }
+                }
+                neighbors[w] = nb;
+                edge_ids[w] = mapped;
+                w += 1;
+            }
+            for &(_, inb, iid) in it {
+                neighbors[w] = inb;
+                edge_ids[w] = iid;
+                w += 1;
+            }
+        }
+        debug_assert_eq!(w, offsets[v as usize + 1]);
+    }
+    let graph = Graph::from_parts(offsets, neighbors, edge_ids, new_m);
+
+    // Dirty region: every node reachable from a touched endpoint in the
+    // *patched* graph. A new component either contains a touched node (then
+    // every fragment of a split and every side of a merge does too — each
+    // boundary edge of the delta has an endpoint in it) or is bit-identical
+    // to its old self.
+    let mut dirty_nodes = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for v in 0..n {
+        if touched[v] && !dirty_nodes[v] {
+            dirty_nodes[v] = true;
+            stack.push(v as NodeId);
+            while let Some(x) = stack.pop() {
+                for &y in graph.neighbors(x) {
+                    if !dirty_nodes[y as usize] {
+                        dirty_nodes[y as usize] = true;
+                        stack.push(y);
+                    }
+                }
+            }
+        }
+    }
+
+    // Old connected components (roots ascending, matching compute()'s DFS
+    // root order) and each one's bicomp id range — contiguous, because the
+    // decomposition DFS finishes a connected component before the next root.
+    let mut old_comp = vec![u32::MAX; n];
+    let mut nc_old = 0u32;
+    for v in 0..n {
+        if old_comp[v] != u32::MAX {
+            continue;
+        }
+        old_comp[v] = nc_old;
+        stack.push(v as NodeId);
+        while let Some(x) = stack.pop() {
+            for &y in g.neighbors(x) {
+                if old_comp[y as usize] == u32::MAX {
+                    old_comp[y as usize] = nc_old;
+                    stack.push(y);
+                }
+            }
+        }
+        nc_old += 1;
+    }
+    let mut comp_b_lo = vec![u32::MAX; nc_old as usize];
+    let mut comp_b_hi = vec![0u32; nc_old as usize];
+    let mut comp_b_count = vec![0u32; nc_old as usize];
+    for b in 0..bic.num_bicomps as u32 {
+        let rep = bic.nodes_of(b)[0];
+        let c = old_comp[rep as usize] as usize;
+        comp_b_lo[c] = comp_b_lo[c].min(b);
+        comp_b_hi[c] = comp_b_hi[c].max(b);
+        comp_b_count[c] += 1;
+    }
+    debug_assert!((0..nc_old as usize)
+        .all(|c| comp_b_lo[c] == u32::MAX || comp_b_hi[c] - comp_b_lo[c] + 1 == comp_b_count[c]));
+
+    // Label pass. Dirty components run the real DFS; untouched components
+    // reserve the same number of consecutive labels compute() would assign
+    // here and splice the old ones in their old (= structural pop) order.
+    let mut dfs = BicompDfs::new(n, new_m);
+    let mut bicomp_map = vec![UNMAPPED; bic.num_bicomps];
+    for root in 0..n as NodeId {
+        if dfs.disc[root as usize] != UNSET || graph.degree(root) == 0 {
+            continue;
+        }
+        if dirty_nodes[root as usize] {
+            dfs.run_root(&graph, root);
+        } else {
+            let c = old_comp[root as usize] as usize;
+            debug_assert_ne!(comp_b_lo[c], u32::MAX, "edged component has bicomps");
+            let (lo, hi) = (comp_b_lo[c], comp_b_hi[c]);
+            let base = dfs.num_bicomps as u32;
+            for b in lo..=hi {
+                bicomp_map[b as usize] = base + (b - lo);
+            }
+            dfs.num_bicomps += (hi - lo + 1) as usize;
+            // Mark the component visited without re-deriving anything.
+            dfs.disc[root as usize] = 0;
+            stack.push(root);
+            while let Some(x) = stack.pop() {
+                for &y in graph.neighbors(x) {
+                    if dfs.disc[y as usize] == UNSET {
+                        dfs.disc[y as usize] = 0;
+                        stack.push(y);
+                    }
+                }
+            }
+        }
+    }
+    let num_bicomps = dfs.num_bicomps;
+    let mut edge_bicomp = dfs.edge_bicomp;
+    for (i, lbl) in edge_bicomp.iter_mut().enumerate() {
+        if *lbl == UNSET {
+            let old_id = old_of_new[i];
+            debug_assert_ne!(old_id, UNMAPPED, "unlabeled edges are survivors");
+            *lbl = bicomp_map[bic.edge_bicomp[old_id as usize] as usize];
+            debug_assert_ne!(*lbl, UNMAPPED, "survivor lies in an untouched component");
+        }
+    }
+
+    let bicomps = Bicomps::assemble(&graph, num_bicomps, edge_bicomp);
+    debug_assert_eq!(
+        bicomps,
+        Bicomps::compute(&graph),
+        "incremental decomposition diverged from a from-scratch rebuild"
+    );
+
+    Ok(AppliedDelta {
+        graph,
+        bicomps,
+        edge_map,
+        bicomp_map,
+        dirty_nodes,
+        inserted,
+        deleted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::GraphBuilder;
+
+    fn ins(edges: &[(NodeId, NodeId)]) -> EdgeDelta {
+        EdgeDelta {
+            insert: edges.to_vec(),
+            delete: vec![],
+        }
+    }
+
+    fn del(edges: &[(NodeId, NodeId)]) -> EdgeDelta {
+        EdgeDelta {
+            insert: vec![],
+            delete: edges.to_vec(),
+        }
+    }
+
+    /// Applies `delta` and cross-checks the result against from-scratch
+    /// construction of the patched edge list.
+    fn check(g: &Graph, delta: &EdgeDelta) -> AppliedDelta {
+        let bic = Bicomps::compute(g);
+        let applied = apply(g, &bic, delta).unwrap();
+
+        // Graph equals a builder rebuild of (old − del + ins).
+        let mut b = GraphBuilder::new(g.num_nodes());
+        let (ins, del) = delta.normalized(g.num_nodes()).unwrap();
+        for (u, v, _) in g.edges() {
+            if del.binary_search(&(u, v)).is_err() {
+                b.push(u, v);
+            }
+        }
+        for &(u, v) in &ins {
+            b.push(u, v);
+        }
+        let want = b.build().unwrap();
+        assert_eq!(applied.graph.num_edges(), want.num_edges());
+        for v in g.nodes() {
+            assert_eq!(applied.graph.neighbors(v), want.neighbors(v), "node {v}");
+            for slot in applied.graph.slot_range(v) {
+                assert_eq!(
+                    applied.graph.edge_id_at(slot),
+                    want.edge_id_at(slot),
+                    "slot {slot}"
+                );
+            }
+        }
+
+        // Decomposition equals from-scratch (also debug_asserted inside).
+        assert_eq!(applied.bicomps, Bicomps::compute(&applied.graph));
+
+        // edge_map consistency: survivors keep their endpoints.
+        for (u, v, eid) in g.edges() {
+            let mapped = applied.edge_map[eid as usize];
+            if del.binary_search(&(u, v)).is_ok() {
+                assert_eq!(mapped, UNMAPPED);
+            } else {
+                assert_eq!(applied.graph.edge_id(u, v), Some(mapped));
+            }
+        }
+
+        // bicomp_map consistency: mapped components have identical node
+        // sets, and unmapped ones intersect the dirty region.
+        for ob in 0..bic.num_bicomps as u32 {
+            match applied.bicomp_map[ob as usize] {
+                UNMAPPED => assert!(bic
+                    .nodes_of(ob)
+                    .iter()
+                    .any(|&v| applied.dirty_nodes[v as usize])),
+                nb => assert_eq!(bic.nodes_of(ob), applied.bicomps.nodes_of(nb)),
+            }
+        }
+        applied
+    }
+
+    #[test]
+    fn insert_bridge_merges_components() {
+        // disconnected_mix: triangle {0,1,2} + edge {3,4} + isolated 5.
+        let g = fixtures::disconnected_mix();
+        let applied = check(&g, &ins(&[(2, 3)]));
+        assert_eq!(applied.inserted, 1);
+        assert_eq!(applied.deleted, 0);
+        // Both merged components are dirty; node 5 stays clean.
+        assert!(applied.dirty_nodes[0] && applied.dirty_nodes[4]);
+        assert!(!applied.dirty_nodes[5]);
+    }
+
+    #[test]
+    fn delete_splits_component() {
+        let g = fixtures::two_triangles_bridge();
+        let applied = check(&g, &del(&[(2, 3)]));
+        assert_eq!(applied.deleted, 1);
+        // The whole former component is dirty.
+        assert!(applied.dirty_nodes.iter().all(|&d| d));
+    }
+
+    #[test]
+    fn untouched_component_is_spliced_not_recomputed() {
+        // Two far-apart structures: patch one, the other's blocks map over.
+        let mut b = GraphBuilder::new(9);
+        // Component A: triangle 0-1-2 with a tail 2-3.
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (2, 3)] {
+            b.push(u, v);
+        }
+        // Component B: square 4-5-6-7 with a tail 7-8.
+        for &(u, v) in &[(4, 5), (5, 6), (6, 7), (4, 7), (7, 8)] {
+            b.push(u, v);
+        }
+        let g = b.build().unwrap();
+        let bic = Bicomps::compute(&g);
+        let applied = check(&g, &ins(&[(1, 3)]));
+        for v in 4..9 {
+            assert!(!applied.dirty_nodes[v]);
+        }
+        // Every component B block survived through the map.
+        for ob in 0..bic.num_bicomps as u32 {
+            let in_b = bic.nodes_of(ob)[0] >= 4;
+            assert_eq!(applied.bicomp_map[ob as usize] != UNMAPPED, in_b);
+        }
+    }
+
+    #[test]
+    fn noop_changes_nothing() {
+        let g = fixtures::paper_fig2();
+        let bic = Bicomps::compute(&g);
+        // Insert an existing edge + delete a missing one: effective no-op.
+        let delta = EdgeDelta {
+            insert: vec![(0, 1)],
+            delete: vec![(0, 9)],
+        };
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 9));
+        let applied = apply(&g, &bic, &delta).unwrap();
+        assert_eq!(applied.inserted, 0);
+        assert_eq!(applied.deleted, 0);
+        assert!(applied.dirty_nodes.iter().all(|&d| !d));
+        assert_eq!(applied.graph.num_edges(), g.num_edges());
+        assert_eq!(applied.bicomps, bic);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let g = fixtures::path_graph(4);
+        let bic = Bicomps::compute(&g);
+        let err = |d: &EdgeDelta| apply(&g, &bic, d).unwrap_err();
+        assert_eq!(err(&EdgeDelta::default()), DeltaError::Empty);
+        assert_eq!(err(&ins(&[(1, 1)])), DeltaError::SelfLoop(1));
+        assert_eq!(
+            err(&del(&[(0, 7)])),
+            DeltaError::EndpointOutOfRange { node: 7, n: 4 }
+        );
+        assert_eq!(
+            err(&EdgeDelta {
+                insert: vec![(0, 3)],
+                delete: vec![(3, 0)],
+            }),
+            DeltaError::Conflict(0, 3)
+        );
+    }
+
+    #[test]
+    fn duplicate_and_reversed_edges_canonicalize() {
+        let g = fixtures::path_graph(5);
+        let applied = check(
+            &g,
+            &ins(&[(4, 0), (0, 4), (4, 0)]), // one canonical edge (0, 4)
+        );
+        assert_eq!(applied.inserted, 1);
+        assert!(applied.graph.has_edge(0, 4));
+    }
+
+    #[test]
+    fn mixed_batches_on_fixtures_match_rebuild() {
+        for g in [
+            fixtures::paper_fig2(),
+            fixtures::grid_graph(4, 4),
+            fixtures::lollipop_graph(5, 4),
+            fixtures::disconnected_mix(),
+            fixtures::star_graph(7),
+        ] {
+            let n = g.num_nodes() as NodeId;
+            // A few deterministic mixed batches.
+            let present: Vec<(NodeId, NodeId)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+            let d1 = EdgeDelta {
+                insert: vec![(0, n - 1)],
+                delete: vec![present[0]],
+            };
+            check(&g, &d1);
+            let d2 = EdgeDelta {
+                insert: vec![(1, n - 2), (0, n / 2)],
+                delete: vec![present[present.len() / 2], *present.last().unwrap()],
+            };
+            check(&g, &d2);
+        }
+    }
+
+    #[test]
+    fn randomized_batches_match_from_scratch() {
+        // Deterministic xorshift so the graph crate needs no RNG dep.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..30 {
+            let n = 6 + (next() % 14) as usize;
+            let mut b = GraphBuilder::new(n);
+            for u in 0..n as NodeId {
+                for v in (u + 1)..n as NodeId {
+                    if next() % 100 < 22 {
+                        b.push(u, v);
+                    }
+                }
+            }
+            let g = b.build().unwrap();
+            let present: Vec<(NodeId, NodeId)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+            let mut delta = EdgeDelta::default();
+            for _ in 0..1 + next() % 4 {
+                let u = (next() % n as u64) as NodeId;
+                let v = (next() % n as u64) as NodeId;
+                if u != v
+                    && delta
+                        .delete
+                        .iter()
+                        .all(|&(a, b)| (a, b) != (u.min(v), u.max(v)))
+                {
+                    delta.insert.push((u, v));
+                }
+            }
+            for _ in 0..next() % 3 {
+                if present.is_empty() {
+                    break;
+                }
+                let e = present[(next() % present.len() as u64) as usize];
+                if delta.insert.iter().all(|&(a, b)| (a.min(b), a.max(b)) != e) {
+                    delta.delete.push(e);
+                }
+            }
+            if delta.is_empty() {
+                continue;
+            }
+            check(&g, &delta);
+            let _ = round;
+        }
+    }
+}

@@ -36,6 +36,7 @@ pub mod brandes;
 pub mod builder;
 pub mod connectivity;
 pub mod csr;
+pub mod delta;
 pub mod diameter;
 pub mod error;
 pub mod fixtures;
@@ -48,4 +49,5 @@ pub use blockcut::BlockCutTree;
 pub use builder::GraphBuilder;
 pub use connectivity::Components;
 pub use csr::{Graph, NodeId};
+pub use delta::{AppliedDelta, DeltaError, EdgeDelta};
 pub use error::GraphError;

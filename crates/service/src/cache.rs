@@ -49,21 +49,35 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 
     /// Inserts `key → value`, evicting the least-recently-used entry when
-    /// full. A no-op when capacity is 0.
-    pub fn insert(&mut self, key: K, value: V) {
+    /// full. A no-op when capacity is 0. Returns the evicted key, if any,
+    /// so callers maintaining an external index over the cache's keys
+    /// (the registry's [`crate::registry::KeyIndex`]) can keep it exact.
+    pub fn insert(&mut self, key: K, value: V) -> Option<K> {
         if self.capacity == 0 {
-            return;
+            return None;
         }
         self.tick += 1;
+        let mut evicted = None;
         if let Some((old_tick, _)) = self.map.get(&key) {
             self.by_tick.remove(old_tick);
         } else if self.map.len() >= self.capacity {
             if let Some((_, oldest)) = self.by_tick.pop_first() {
                 self.map.remove(&oldest);
+                evicted = Some(oldest);
             }
         }
         self.by_tick.insert(self.tick, key.clone());
         self.map.insert(key, (self.tick, value));
+        evicted
+    }
+
+    /// Removes one entry, returning its value. Unlike [`LruCache::retain`]
+    /// this is O(log n), not a full scan — scoped invalidation walks the
+    /// reverse index and removes exactly the keys it names.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (tick, value) = self.map.remove(key)?;
+        self.by_tick.remove(&tick);
+        Some(value)
     }
 
     /// Drops every entry failing the predicate (used to purge a reloaded
@@ -174,6 +188,23 @@ mod tests {
         assert_eq!(c.get(&"e"), Some(&5));
         assert_eq!(c.get(&"f"), Some(&6));
         assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn insert_reports_the_evicted_key_and_remove_is_exact() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.insert("a", 1), None);
+        assert_eq!(c.insert("b", 2), None);
+        assert_eq!(c.insert("a", 10), None, "overwrite evicts nothing");
+        // b is now the LRU victim.
+        assert_eq!(c.insert("c", 3), Some("b"));
+        assert_eq!(c.remove(&"a"), Some(10));
+        assert_eq!(c.remove(&"a"), None);
+        assert_eq!(c.len(), 1);
+        // The tick index shed the removed entry: filling up again evicts
+        // c (the only survivor), never a ghost of a.
+        c.insert("d", 4);
+        assert_eq!(c.insert("e", 5), Some("c"));
     }
 
     /// The tick index and the main map stay in lockstep: after a long

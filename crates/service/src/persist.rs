@@ -2,17 +2,24 @@
 //! snapshots of loaded graphs (CSR + full [`BcDecomposition`]) plus an
 //! append-only request journal.
 //!
-//! ## Snapshot format (version 1)
+//! ## Snapshot format (version 2)
 //!
 //! ```text
 //! magic    8 bytes  b"SAPHSNAP"
 //! version  u32      SNAPSHOT_VERSION
 //! graph section:    u64 payload length | payload | u32 CRC-32 (IEEE)
 //!   payload = name (length-prefixed UTF-8) + Graph (saphyra_graph::binio)
+//!             + u64 delta_seq (v2+; v1 payloads end after the graph and
+//!             load with delta_seq = 0)
 //! dec section:      u64 payload length | payload | u32 CRC-32 (IEEE)
 //!   payload = BcDecomposition (saphyra::bc::write_decomposition,
 //!             carries its own DEC_FORMAT_VERSION)
 //! ```
+//!
+//! `delta_seq` counts the journaled edge deltas (`PATCH /graphs/<name>`)
+//! already folded into the snapshotted graph, so boot replay applies only
+//! patch records with `seq > delta_seq` — snapshot + journal suffix
+//! reconstructs the live graph with zero re-uploads.
 //!
 //! All integers little-endian. The two sections are checksummed
 //! *independently*: a damaged graph section makes the snapshot unusable
@@ -63,8 +70,11 @@ use crate::sync::LockExt;
 
 /// Magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"SAPHSNAP";
-/// Snapshot container format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Snapshot container format version. Version 2 added `delta_seq` to the
+/// graph section; version-1 files still load (with `delta_seq = 0`).
+pub const SNAPSHOT_VERSION: u32 = 2;
+/// Oldest snapshot container version this build still reads.
+pub const SNAPSHOT_MIN_VERSION: u32 = 1;
 /// File name of the append-only request journal inside a state dir.
 pub const JOURNAL_FILE: &str = "journal.log";
 
@@ -109,6 +119,9 @@ pub struct LoadedSnapshot {
     pub graph: Graph,
     /// The restored decomposition, or the reason it must be recomputed.
     pub dec: Result<BcDecomposition, String>,
+    /// How many journaled edge deltas the snapshotted graph already
+    /// contains (0 for version-1 snapshots, which predate deltas).
+    pub delta_seq: u64,
 }
 
 fn put_section(out: &mut Vec<u8>, payload: &[u8]) {
@@ -146,8 +159,16 @@ fn take_section<'a>(r: &mut Reader<'a>, what: &str) -> Result<&'a [u8], PersistE
     Ok(payload)
 }
 
-/// Serializes one registry entry to snapshot bytes.
-pub fn snapshot_to_bytes(name: &str, graph: &Graph, dec: &BcDecomposition) -> Vec<u8> {
+/// Serializes one registry entry to snapshot bytes (always the current
+/// container version). `delta_seq` is the entry's journaled-delta count —
+/// 0 for a fresh upload, `GraphEntry::delta_seq` when re-snapshotting a
+/// patched graph.
+pub fn snapshot_to_bytes(
+    name: &str,
+    graph: &Graph,
+    dec: &BcDecomposition,
+    delta_seq: u64,
+) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&SNAPSHOT_MAGIC);
     wire::put_u32(&mut out, SNAPSHOT_VERSION);
@@ -155,6 +176,7 @@ pub fn snapshot_to_bytes(name: &str, graph: &Graph, dec: &BcDecomposition) -> Ve
     let mut graph_payload = Vec::new();
     wire::put_str(&mut graph_payload, name);
     binio::write_graph(graph, &mut graph_payload);
+    wire::put_u64(&mut graph_payload, delta_seq);
     put_section(&mut out, &graph_payload);
 
     let mut dec_payload = Vec::new();
@@ -175,9 +197,9 @@ pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<LoadedSnapshot, PersistError>
         return format_err("bad magic (not a saphyra snapshot)");
     }
     let version = r.u32().map_err(|e| PersistError::Format(e.to_string()))?;
-    if version != SNAPSHOT_VERSION {
+    if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return format_err(format!(
-            "snapshot version {version} != supported {SNAPSHOT_VERSION}"
+            "snapshot version {version} outside supported {SNAPSHOT_MIN_VERSION}..={SNAPSHOT_VERSION}"
         ));
     }
 
@@ -187,6 +209,12 @@ pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<LoadedSnapshot, PersistError>
         .str_()
         .map_err(|e| PersistError::Format(format!("graph name: {e}")))?;
     let graph = binio::read_graph(&mut gr).map_err(|e| PersistError::Format(e.to_string()))?;
+    let delta_seq = if version >= 2 {
+        gr.u64()
+            .map_err(|e| PersistError::Format(format!("graph delta_seq: {e}")))?
+    } else {
+        0
+    };
     if !gr.is_empty() {
         return format_err("trailing bytes in graph section");
     }
@@ -215,7 +243,12 @@ pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<LoadedSnapshot, PersistError>
             r.remaining()
         ));
     }
-    Ok(LoadedSnapshot { name, graph, dec })
+    Ok(LoadedSnapshot {
+        name,
+        graph,
+        dec,
+        delta_seq,
+    })
 }
 
 /// Writes a snapshot to `path` atomically: dot-prefixed temp file in the
@@ -229,9 +262,10 @@ pub fn save_snapshot(
     name: &str,
     graph: &Graph,
     dec: &BcDecomposition,
+    delta_seq: u64,
 ) -> Result<(), PersistError> {
     static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let bytes = snapshot_to_bytes(name, graph, dec);
+    let bytes = snapshot_to_bytes(name, graph, dec, delta_seq);
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let file_name = path
         .file_name()
@@ -411,6 +445,99 @@ pub fn journal_line(ts: u64, status: u16, cache: Option<&str>, request: Option<J
     .to_string()
 }
 
+/// A journaled edge delta (`PATCH /graphs/<name>`), decoded from a
+/// journal line of the form
+/// `{"ts":…,"patch":{"graph":"g","seq":3,"insert":[[0,1]],"delete":[]}}`.
+///
+/// `seq` is the graph's delta sequence number *after* the patch was
+/// applied — the first patch against a fresh upload journals `seq: 1`.
+/// Boot replay applies a record only when `seq == entry.delta_seq + 1`,
+/// so records already folded into a snapshot are skipped and a gap
+/// (records rotated away) is detected instead of silently misapplied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchRecord {
+    /// Registry name the delta targets.
+    pub graph: String,
+    /// Delta sequence number after this patch.
+    pub seq: u64,
+    /// Edges inserted.
+    pub insert: Vec<(u32, u32)>,
+    /// Edges deleted.
+    pub delete: Vec<(u32, u32)>,
+}
+
+fn edges_json(edges: &[(u32, u32)]) -> Json {
+    Json::Arr(
+        edges
+            .iter()
+            .map(|&(u, v)| Json::Arr(vec![Json::from(u), Json::from(v)]))
+            .collect(),
+    )
+}
+
+fn edges_from_json(v: &Json) -> Option<Vec<(u32, u32)>> {
+    v.as_arr()?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr()?;
+            match pair {
+                [u, v] => Some((u.as_u64()? as u32, v.as_u64()? as u32)),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Builds one journal line for an applied `PATCH /graphs/<name>` delta.
+pub fn patch_line(ts: u64, record: &PatchRecord) -> String {
+    Json::Obj(vec![
+        ("ts".to_string(), Json::from(ts)),
+        (
+            "patch".to_string(),
+            Json::Obj(vec![
+                ("graph".to_string(), Json::from(record.graph.as_str())),
+                ("seq".to_string(), Json::from(record.seq)),
+                ("insert".to_string(), edges_json(&record.insert)),
+                ("delete".to_string(), edges_json(&record.delete)),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+/// Decodes a parsed journal line into a [`PatchRecord`], or `None` when
+/// the line is not a (well-formed) patch record.
+pub fn parse_patch_record(record: &Json) -> Option<PatchRecord> {
+    let patch = record.get("patch")?;
+    Some(PatchRecord {
+        graph: patch.get("graph")?.as_str()?.to_string(),
+        seq: patch.get("seq")?.as_u64()?,
+        insert: edges_from_json(patch.get("insert")?)?,
+        delete: edges_from_json(patch.get("delete")?)?,
+    })
+}
+
+/// Every patch record surviving in the journal history of `dir`, in
+/// append order (rotated generation first, then current). Non-patch
+/// lines (`/rank` records) and malformed lines are skipped.
+pub fn read_patch_records(dir: &Path) -> io::Result<Vec<PatchRecord>> {
+    let current = dir.join(JOURNAL_FILE);
+    let rotated = rotated_journal_path(&current);
+    let mut out = Vec::new();
+    for path in [rotated, current] {
+        if !path.exists() {
+            continue;
+        }
+        let text = fs::read_to_string(&path)?;
+        out.extend(
+            text.lines()
+                .filter_map(|l| Json::parse(l).ok())
+                .filter_map(|v| parse_patch_record(&v)),
+        );
+    }
+    Ok(out)
+}
+
 /// Outcome of a journal replay.
 #[derive(Debug, Default, PartialEq, Eq)]
 pub struct ReplayStats {
@@ -499,7 +626,7 @@ mod tests {
     fn snapshot_bytes_round_trip() {
         let g = fixtures::grid_graph(4, 4);
         let dec = BcDecomposition::compute(&g);
-        let bytes = snapshot_to_bytes("grid", &g, &dec);
+        let bytes = snapshot_to_bytes("grid", &g, &dec, 0);
         let snap = snapshot_from_bytes(&bytes).unwrap();
         assert_eq!(snap.name, "grid");
         assert_eq!(snap.graph.num_nodes(), 16);
@@ -512,14 +639,14 @@ mod tests {
     fn graph_section_corruption_is_fatal() {
         let g = fixtures::grid_graph(3, 3);
         let dec = BcDecomposition::compute(&g);
-        let mut bytes = snapshot_to_bytes("g", &g, &dec);
+        let mut bytes = snapshot_to_bytes("g", &g, &dec, 0);
         // Flip one payload byte inside the graph section (right after the
         // magic + version + section length prefix).
         bytes[SNAPSHOT_MAGIC.len() + 4 + 8 + 3] ^= 0x40;
         let err = snapshot_from_bytes(&bytes).unwrap_err();
         assert!(err.to_string().contains("checksum"), "{err}");
         // Bad magic and bad version are equally fatal.
-        let g2 = snapshot_to_bytes("g", &g, &dec);
+        let g2 = snapshot_to_bytes("g", &g, &dec, 0);
         let mut bad = g2.clone();
         bad[0] = b'X';
         assert!(snapshot_from_bytes(&bad).is_err());
@@ -545,7 +672,7 @@ mod tests {
         assert!(err.to_string().contains("truncated"), "{err}");
         // Every prefix of a valid snapshot errors cleanly too.
         let g = fixtures::grid_graph(3, 3);
-        let full = snapshot_to_bytes("g", &g, &BcDecomposition::compute(&g));
+        let full = snapshot_to_bytes("g", &g, &BcDecomposition::compute(&g), 0);
         for cut in 0..full.len().min(64) {
             let _ = snapshot_from_bytes(&full[..cut]); // must not panic
         }
@@ -565,7 +692,7 @@ mod tests {
             for _ in 0..4 {
                 scope.spawn(|| {
                     for _ in 0..8 {
-                        save_snapshot(&path, "g", &g, &dec).unwrap();
+                        save_snapshot(&path, "g", &g, &dec, 0).unwrap();
                     }
                 });
             }
@@ -587,7 +714,7 @@ mod tests {
     fn dec_section_corruption_degrades_to_recompute() {
         let g = fixtures::grid_graph(3, 3);
         let dec = BcDecomposition::compute(&g);
-        let mut bytes = snapshot_to_bytes("g", &g, &dec);
+        let mut bytes = snapshot_to_bytes("g", &g, &dec, 0);
         // Flip the LAST payload byte — inside the decomposition section.
         let len = bytes.len();
         bytes[len - 5] ^= 0x01;
@@ -597,7 +724,7 @@ mod tests {
         let reason = snap.dec.unwrap_err();
         assert!(reason.contains("checksum"), "{reason}");
         // Truncating the dec section entirely also degrades.
-        let g2 = snapshot_to_bytes("g", &g, &BcDecomposition::compute(&g));
+        let g2 = snapshot_to_bytes("g", &g, &BcDecomposition::compute(&g), 0);
         let truncated = &g2[..g2.len() - 20];
         let snap = snapshot_from_bytes(truncated).unwrap();
         assert!(snap.dec.is_err());
@@ -609,7 +736,7 @@ mod tests {
         let g = fixtures::grid_graph(3, 3);
         let dec = BcDecomposition::compute(&g);
         let path = snapshot_path(&dir, "grid");
-        save_snapshot(&path, "grid", &g, &dec).unwrap();
+        save_snapshot(&path, "grid", &g, &dec, 0).unwrap();
         // No temp file left behind; the scan sees exactly one snapshot.
         let leftovers: Vec<_> = fs::read_dir(&dir)
             .unwrap()
@@ -619,7 +746,7 @@ mod tests {
         assert!(leftovers.is_empty(), "temp file leaked: {leftovers:?}");
         assert_eq!(scan_snapshots(&dir).unwrap(), vec![path.clone()]);
         // Overwriting in place is fine (same atomic path).
-        save_snapshot(&path, "grid", &g, &dec).unwrap();
+        save_snapshot(&path, "grid", &g, &dec, 0).unwrap();
         let snap = load_snapshot(&path).unwrap();
         assert_eq!(snap.name, "grid");
         // A stray dotfile or non-snap file is not scanned.
@@ -633,15 +760,15 @@ mod tests {
     fn trailing_garbage_after_a_valid_container_is_rejected() {
         let g = fixtures::grid_graph(3, 3);
         let dec = BcDecomposition::compute(&g);
-        let mut bytes = snapshot_to_bytes("g", &g, &dec);
+        let mut bytes = snapshot_to_bytes("g", &g, &dec, 0);
         // Pristine bytes parse; the same bytes plus appended junk do not.
         assert!(snapshot_from_bytes(&bytes).is_ok());
         bytes.extend_from_slice(b"junk");
         let err = snapshot_from_bytes(&bytes).unwrap_err();
         assert!(err.to_string().contains("trailing"), "{err}");
         // Two concatenated snapshots are likewise not one snapshot.
-        let mut twice = snapshot_to_bytes("g", &g, &dec);
-        twice.extend_from_slice(&snapshot_to_bytes("g", &g, &dec));
+        let mut twice = snapshot_to_bytes("g", &g, &dec, 0);
+        twice.extend_from_slice(&snapshot_to_bytes("g", &g, &dec, 0));
         assert!(snapshot_from_bytes(&twice).is_err());
     }
 
@@ -707,6 +834,102 @@ mod tests {
         assert_eq!(rotated.lines().count(), 1);
         assert!(current.contains("\"ts\":2"), "{current}");
         assert!(rotated.contains("\"ts\":1"), "{rotated}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_round_trips_delta_seq_and_reads_v1_as_zero() {
+        let g = fixtures::grid_graph(3, 3);
+        let dec = BcDecomposition::compute(&g);
+        let snap = snapshot_from_bytes(&snapshot_to_bytes("g", &g, &dec, 7)).unwrap();
+        assert_eq!(snap.delta_seq, 7);
+        assert!(snap.dec.is_ok());
+
+        // Hand-roll a version-1 container: same sections, no delta_seq in
+        // the graph payload. It must load with delta_seq = 0 (nothing in
+        // the journal predates it).
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&SNAPSHOT_MAGIC);
+        wire::put_u32(&mut v1, 1);
+        let mut graph_payload = Vec::new();
+        wire::put_str(&mut graph_payload, "g");
+        binio::write_graph(&g, &mut graph_payload);
+        put_section(&mut v1, &graph_payload);
+        let mut dec_payload = Vec::new();
+        bc::write_decomposition(&dec, &mut dec_payload);
+        put_section(&mut v1, &dec_payload);
+        let snap = snapshot_from_bytes(&v1).unwrap();
+        assert_eq!(snap.name, "g");
+        assert_eq!(snap.delta_seq, 0);
+        assert!(snap.dec.is_ok());
+
+        // A v2 graph section truncated before the delta_seq is an error,
+        // not a silent zero.
+        let bytes = snapshot_to_bytes("g", &g, &dec, 3);
+        let mut r = Reader::new(&bytes[SNAPSHOT_MAGIC.len() + 4..]);
+        let payload = take_section(&mut r, "graph").unwrap();
+        let short = &payload[..payload.len() - 8];
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&SNAPSHOT_MAGIC);
+        wire::put_u32(&mut bad, SNAPSHOT_VERSION);
+        put_section(&mut bad, short);
+        put_section(&mut bad, &[]);
+        let err = snapshot_from_bytes(&bad).unwrap_err();
+        assert!(err.to_string().contains("delta_seq"), "{err}");
+    }
+
+    #[test]
+    fn patch_records_round_trip_through_the_journal() {
+        let dir = tmp_dir("patchlog");
+        let j = Journal::open(&dir).unwrap();
+        let rec = PatchRecord {
+            graph: "g".to_string(),
+            seq: 1,
+            insert: vec![(0, 4), (2, 3)],
+            delete: vec![(1, 2)],
+        };
+        // Interleave with rank lines: the scan must pick out only patches.
+        j.append(&journal_line(10, 200, Some("miss"), None))
+            .unwrap();
+        j.append(&patch_line(11, &rec)).unwrap();
+        let rec2 = PatchRecord {
+            seq: 2,
+            insert: vec![],
+            delete: vec![(0, 4)],
+            ..rec.clone()
+        };
+        j.append(&patch_line(12, &rec2)).unwrap();
+        j.append("not json at all").unwrap();
+        let records = read_patch_records(&dir).unwrap();
+        assert_eq!(records, vec![rec, rec2]);
+        // Malformed patch objects decode to None, not garbage.
+        assert!(parse_patch_record(&Json::parse(r#"{"patch":{"graph":"g"}}"#).unwrap()).is_none());
+        assert!(parse_patch_record(
+            &Json::parse(r#"{"patch":{"graph":"g","seq":1,"insert":[[0]],"delete":[]}}"#).unwrap()
+        )
+        .is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn patch_records_survive_rotation_in_order() {
+        let dir = tmp_dir("patchrot");
+        let j = Journal::open_with_limit(&dir, Some(120)).unwrap();
+        for seq in 1..=6u64 {
+            let rec = PatchRecord {
+                graph: "g".to_string(),
+                seq,
+                insert: vec![(0, seq as u32)],
+                delete: vec![],
+            };
+            j.append(&patch_line(seq, &rec)).unwrap();
+        }
+        let records = read_patch_records(&dir).unwrap();
+        assert!(!records.is_empty());
+        // Whatever survived the bound is a contiguous in-order suffix.
+        let seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
+        let expect: Vec<u64> = (7 - seqs.len() as u64..=6).collect();
+        assert_eq!(seqs, expect);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -72,7 +72,7 @@ use std::time::{Duration, Instant, SystemTime};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use saphyra::bc::SaphyraBcConfig;
+use saphyra::bc::{DeltaOutcome, SaphyraBcConfig};
 use saphyra::closeness::{rank_harmonic_multi, rank_harmonic_multi_with};
 use saphyra::framework::{
     estimate_risks_multi_exec, estimate_weighted_risks_multi_exec, ExecError,
@@ -80,14 +80,14 @@ use saphyra::framework::{
 use saphyra::kpath::{rank_kpath_multi, rank_kpath_multi_with};
 use saphyra::params;
 use saphyra_gen::datasets::{SimNetwork, SizeClass};
-use saphyra_graph::{io as graph_io, NodeId};
+use saphyra_graph::{io as graph_io, EdgeDelta, NodeId};
 
 use crate::cache::LruCache;
 use crate::http::{ParseStatus, Request, RequestParser, Response};
 use crate::json::Json;
 use crate::persist::{self, valid_graph_name};
 use crate::reactor::{new_poller, Event, Poller, TimerWheel, WakePipe};
-use crate::registry::{GraphEntry, Registry};
+use crate::registry::{GraphEntry, KeyIndex, Registry};
 use crate::shard::{self, ShardPool, ShardedExec};
 use crate::sync::{CondvarExt, LockExt};
 
@@ -194,6 +194,12 @@ pub struct ServiceConfig {
     /// Shard backend addresses (`host:port`), router role only. Validate
     /// with [`saphyra::params::check_shard_addrs`] before serving.
     pub shards: Vec<String>,
+    /// Re-snapshot cadence for `PATCH /graphs/<name>`: every this-many
+    /// applied deltas (per graph), the patched graph is written out as a
+    /// fresh snapshot, so a restart replays at most this many journaled
+    /// patch records per graph instead of the whole history. Clamped to
+    /// ≥ 1; 1 snapshots on every patch.
+    pub resnapshot_deltas: usize,
 }
 
 impl Default for ServiceConfig {
@@ -210,6 +216,7 @@ impl Default for ServiceConfig {
             batch_window: Duration::from_millis(2),
             role: Role::Standalone,
             shards: Vec::new(),
+            resnapshot_deltas: 16,
         }
     }
 }
@@ -379,6 +386,11 @@ impl Drop for BatchGuard<'_> {
 pub struct Service {
     registry: Registry,
     cache: Mutex<LruCache<RankKey, Arc<String>>>,
+    /// Reverse index graph → live cache keys, kept an exact mirror of
+    /// `cache` by mutating both under the cache lock (order:
+    /// `server.cache` → `registry.by_graph`). Reload purges and `PATCH`
+    /// invalidation walk it instead of scanning the whole cache.
+    cache_index: KeyIndex<RankKey>,
     inflight: Mutex<HashMap<RankKey, Arc<Inflight>>>,
     batches: Mutex<HashMap<BatchKey, Arc<Batch>>>,
     requests: AtomicU64,
@@ -393,6 +405,8 @@ pub struct Service {
     sample_passes: AtomicU64,
     decompositions: AtomicU64,
     snapshots_loaded: AtomicU64,
+    patches: AtomicU64,
+    patches_replayed: AtomicU64,
     persist: Option<PersistState>,
     /// Serializes the snapshot-write + registry-insert pair of a graph
     /// load. Without it, two concurrent same-name loads can finish in
@@ -410,6 +424,7 @@ pub struct Service {
     max_connections: usize,
     pipeline_depth: usize,
     batch_window: Duration,
+    resnapshot_deltas: usize,
 }
 
 /// Open persistence resources of a service with a state directory.
@@ -455,6 +470,7 @@ impl Service {
         let service = Service {
             registry: Registry::new(),
             cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+            cache_index: KeyIndex::new(),
             inflight: Mutex::new(HashMap::new()),
             batches: Mutex::new(HashMap::new()),
             requests: AtomicU64::new(0),
@@ -469,6 +485,8 @@ impl Service {
             sample_passes: AtomicU64::new(0),
             decompositions: AtomicU64::new(0),
             snapshots_loaded: AtomicU64::new(0),
+            patches: AtomicU64::new(0),
+            patches_replayed: AtomicU64::new(0),
             persist,
             load_publish: Mutex::new(()),
             role: cfg.role,
@@ -480,6 +498,7 @@ impl Service {
             max_connections: cfg.max_connections,
             pipeline_depth: cfg.pipeline_depth.max(1),
             batch_window: cfg.batch_window,
+            resnapshot_deltas: cfg.resnapshot_deltas.max(1),
         };
         // Restore straight from the configured dir, NOT via `persist`: a
         // readable-but-unwritable state dir (read-only remount, tightened
@@ -487,6 +506,7 @@ impl Service {
         // *write* side (snapshots + journal) degrades.
         if let Some(dir) = cfg.state_dir.as_ref() {
             service.restore_from_dir(dir);
+            service.replay_patch_records(dir);
         }
         service
     }
@@ -540,7 +560,7 @@ impl Service {
                 Ok(dec) => {
                     self.snapshots_loaded.fetch_add(1, Ordering::Relaxed);
                     restored += 1;
-                    GraphEntry::from_parts(snap.name, snap.graph, dec)
+                    GraphEntry::from_parts_seq(snap.name, snap.graph, dec, snap.delta_seq)
                 }
                 Err(reason) => {
                     eprintln!(
@@ -549,10 +569,18 @@ impl Service {
                     );
                     self.decompositions.fetch_add(1, Ordering::Relaxed);
                     recomputed += 1;
-                    let entry = GraphEntry::build(snap.name, snap.graph);
+                    let dec = saphyra::bc::BcDecomposition::compute(&snap.graph);
+                    let entry =
+                        GraphEntry::from_parts_seq(snap.name, snap.graph, dec, snap.delta_seq);
                     // Self-heal: rewrite the repaired snapshot so the next
                     // boot restores instead of recomputing again.
-                    match persist::save_snapshot(&path, &entry.name, &entry.graph, &entry.dec) {
+                    match persist::save_snapshot(
+                        &path,
+                        &entry.name,
+                        &entry.graph,
+                        &entry.dec,
+                        entry.delta_seq,
+                    ) {
                         Ok(()) => eprintln!("repaired snapshot {}", path.display()),
                         Err(e) => {
                             eprintln!("warning: cannot rewrite {}: {e}", path.display())
@@ -564,6 +592,75 @@ impl Service {
             self.registry.insert(entry);
         }
         (restored, recomputed)
+    }
+
+    /// Re-applies journaled `PATCH /graphs/<name>` deltas on top of the
+    /// restored snapshots — the read side of delta journaling. A record is
+    /// applied only when its sequence number is exactly one past the
+    /// entry's `delta_seq`: records the snapshot already contains are
+    /// skipped, and a gap (older records rotated away after the matching
+    /// re-snapshot was lost) is reported instead of misapplied — the graph
+    /// then serves at its snapshot state, never a wrong one. Returns the
+    /// number of deltas applied.
+    ///
+    /// `serve --state-dir` boots call this through [`Service::new`] right
+    /// after [`Service::restore_from_dir`]; the offline `snapshot replay`
+    /// CLI does the same before replaying `/rank` records.
+    pub fn replay_patch_records(&self, dir: &Path) -> usize {
+        let records = match persist::read_patch_records(dir) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot read patch records in {}: {e}",
+                    dir.display()
+                );
+                return 0;
+            }
+        };
+        let mut applied = 0;
+        for rec in records {
+            let Some(entry) = self.registry.get(&rec.graph) else {
+                // The graph's snapshot is gone (or never existed); its
+                // surviving patch records are orphans.
+                continue;
+            };
+            if rec.seq <= entry.delta_seq {
+                continue; // already folded into the snapshot
+            }
+            if rec.seq != entry.delta_seq + 1 {
+                eprintln!(
+                    "warning: patch journal gap for {:?}: have seq {}, next surviving record \
+                     is {} — serving the snapshot state",
+                    rec.graph, entry.delta_seq, rec.seq
+                );
+                continue;
+            }
+            let delta = EdgeDelta {
+                insert: rec.insert.clone(),
+                delete: rec.delete.clone(),
+            };
+            match entry.dec.apply_delta(&entry.graph, &delta) {
+                Ok(out) => {
+                    self.registry.insert(GraphEntry::from_parts_seq(
+                        rec.graph.clone(),
+                        out.graph,
+                        out.dec,
+                        rec.seq,
+                    ));
+                    self.patches.fetch_add(1, Ordering::Relaxed);
+                    self.patches_replayed.fetch_add(1, Ordering::Relaxed);
+                    applied += 1;
+                }
+                Err(e) => {
+                    eprintln!(
+                        "warning: journaled patch seq {} for {:?} no longer applies ({e}); \
+                         serving the graph as of seq {}",
+                        rec.seq, rec.graph, entry.delta_seq
+                    );
+                }
+            }
+        }
+        applied
     }
 
     /// The graph registry (pre-loading graphs before `serve` is handy in
@@ -639,6 +736,28 @@ impl Service {
         self.snapshots_loaded.load(Ordering::Relaxed)
     }
 
+    /// Lifetime count of edge-delta patches applied (`PATCH
+    /// /graphs/<name>`), boot replay included.
+    pub fn patches(&self) -> u64 {
+        self.patches.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of journaled patch records re-applied at boot.
+    pub fn patches_replayed(&self) -> u64 {
+        self.patches_replayed.load(Ordering::Relaxed)
+    }
+
+    /// Locks the ranking cache, recovering from poison by clearing **both**
+    /// the cache and its reverse index — the index mirrors the cache's key
+    /// set exactly, so an emptied cache with a populated index would leak
+    /// dead keys into every later scoped invalidation.
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, LruCache<RankKey, Arc<String>>> {
+        self.cache.lock_repair(|c| {
+            c.clear();
+            self.cache_index.clear();
+        })
+    }
+
     /// Routes one request. The boolean asks the runtime to shut down.
     pub fn handle(&self, req: &Request) -> (Response, bool) {
         self.requests.fetch_add(1, Ordering::Relaxed);
@@ -689,6 +808,18 @@ impl Service {
                 let body = obj(vec![("status", Json::from("shutting down"))]).to_string();
                 return (Response::json(200, body), true);
             }
+            ("PATCH", path) => match path.strip_prefix("/graphs/").filter(|n| !n.is_empty()) {
+                None => error_response(404, format!("no such endpoint {}", req.path)),
+                Some(name) => {
+                    let body = req.body_str().map_err(|e| e.to_string()).and_then(|t| {
+                        Json::parse(t).map_err(|e| format!("invalid JSON body: {e}"))
+                    });
+                    match &body {
+                        Ok(json) => self.patch_graph(name, json),
+                        Err(e) => error_response(400, e.clone()),
+                    }
+                }
+            },
             ("GET" | "POST", _) => error_response(404, format!("no such endpoint {}", req.path)),
             _ => error_response(405, format!("method {} not allowed", req.method)),
         };
@@ -732,6 +863,8 @@ impl Service {
             ("sample_passes", Json::from(self.sample_passes())),
             ("decompositions", Json::from(self.decompositions())),
             ("snapshots_loaded", Json::from(self.snapshots_loaded())),
+            ("patches", Json::from(self.patches())),
+            ("patches_replayed", Json::from(self.patches_replayed())),
         ])
         .to_string();
         Response::json(200, body)
@@ -847,7 +980,7 @@ impl Service {
             None => None,
             Some(p) => {
                 let path = persist::snapshot_path(&p.dir, &name);
-                match persist::save_snapshot(&path, &name, &entry.graph, &entry.dec) {
+                match persist::save_snapshot(&path, &name, &entry.graph, &entry.dec, 0) {
                     Ok(()) => Some(true),
                     Err(e) => {
                         eprintln!("warning: cannot snapshot {}: {e}", path.display());
@@ -861,10 +994,15 @@ impl Service {
         if replaced {
             // Correctness is already guaranteed by the epoch in RankKey
             // (old-entry results can never alias the new load); dropping
-            // the dead entries here is memory hygiene.
-            self.cache
-                .lock_repair(|c| c.clear())
-                .retain(|k| k.graph != name);
+            // the dead entries here is memory hygiene. The purge is scoped
+            // through the reverse index to exactly the reloaded graph's
+            // keys — other graphs' hot entries survive untouched (a full
+            // retain scan would also evict nothing else, but at O(cache)
+            // per reload and with the index left stale).
+            let mut cache = self.lock_cache();
+            for k in self.cache_index.take(&name) {
+                cache.remove(&k);
+            }
         }
         let Json::Obj(mut fields) = info else {
             unreachable!()
@@ -874,6 +1012,232 @@ impl Service {
             fields.push(("persisted".to_string(), Json::Bool(persisted)));
         }
         Response::json(200, Json::Obj(fields).to_string())
+    }
+
+    /// Routes a parsed `PATCH /graphs/<name>` body by role: routers fan
+    /// the delta to the owning shard(s)
+    /// ([`Service::router_patch_graph`]); other roles apply it locally.
+    fn patch_graph(&self, name: &str, body: &Json) -> Response {
+        if self.role == Role::Router {
+            return self.router_patch_graph(name, body);
+        }
+        self.patch_graph_local(name, body)
+    }
+
+    /// Applies an edge delta to a loaded graph: incremental decomposition
+    /// refresh ([`saphyra::bc::BcDecomposition::apply_delta`] — only
+    /// components the delta touches are re-derived), registry swap under a
+    /// fresh epoch, delta journaling, periodic re-snapshotting, and
+    /// component-scoped cache invalidation. Rankings whose targets all lie
+    /// in untouched connected components are byte-identical on the patched
+    /// graph (pinned by `untouched_component_rankings_survive_patch` in
+    /// `crates/core/tests/proptest_bc.rs`), so their cached bodies are
+    /// re-keyed under the new epoch and keep serving hits; everything else
+    /// for this graph is purged.
+    fn patch_graph_local(&self, name: &str, body: &Json) -> Response {
+        let (insert, delete) = match (opt_edges(body, "insert"), opt_edges(body, "delete")) {
+            (Ok(i), Ok(d)) => (i, d),
+            (Err(e), _) | (_, Err(e)) => return error_response(400, e),
+        };
+        // Validate against the current node count before taking the
+        // publication lock, so garbage never serializes behind real work;
+        // the delta layer re-validates authoritatively during apply.
+        {
+            let Some(entry) = self.registry.get(name) else {
+                return error_response(404, format!("unknown graph {name:?} (POST /graphs first)"));
+            };
+            if let Err(e) = params::check_edge_delta(&insert, &delete, entry.graph.num_nodes()) {
+                return error_response(400, e);
+            }
+        }
+        let delta = EdgeDelta { insert, delete };
+
+        // Publication critical section, shared with graph loads: apply,
+        // journal append, optional re-snapshot and registry swap must land
+        // in the same order for every writer, or disk and memory could
+        // disagree about the graph a name serves.
+        let publish = self.load_publish.lock_ok();
+        // Re-fetch under the lock — a concurrent load or patch may have
+        // swapped the entry after the validation peek above.
+        let Some(entry) = self.registry.get(name) else {
+            return error_response(404, format!("unknown graph {name:?} (POST /graphs first)"));
+        };
+        let out = match entry.dec.apply_delta(&entry.graph, &delta) {
+            Ok(out) => out,
+            Err(e) => return error_response(400, e.to_string()),
+        };
+        let DeltaOutcome {
+            graph,
+            dec,
+            dirty_nodes,
+            inserted,
+            deleted,
+        } = out;
+        let new_seq = entry.delta_seq + 1;
+        let old_epoch = entry.epoch;
+
+        // Journal before publishing (the same rationale as snapshotting
+        // before a load's registry insert): a crash right after the append
+        // leaves a record for a patch the client never saw confirmed —
+        // harmless, the next boot replays it; the reverse order could
+        // confirm a patch a restart then forgets.
+        let journaled = self.persist.as_ref().map(|p| {
+            let ts = SystemTime::now()
+                .duration_since(SystemTime::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            let rec = persist::PatchRecord {
+                graph: name.to_string(),
+                seq: new_seq,
+                insert: delta.insert.clone(),
+                delete: delta.delete.clone(),
+            };
+            match p.journal.append(&persist::patch_line(ts, &rec)) {
+                Ok(()) => true,
+                Err(e) => {
+                    eprintln!("warning: journal append failed: {e}");
+                    false
+                }
+            }
+        });
+        // Re-snapshot every `resnapshot_deltas` applied deltas: the
+        // sequence number is monotone and persisted, so the cadence
+        // survives restarts, and a failed write simply retries at the
+        // next multiple (boot replay covers the gap from the journal).
+        let persisted = self.persist.as_ref().and_then(|p| {
+            if new_seq % self.resnapshot_deltas as u64 != 0 {
+                return None;
+            }
+            let path = persist::snapshot_path(&p.dir, name);
+            match persist::save_snapshot(&path, name, &graph, &dec, new_seq) {
+                Ok(()) => Some(true),
+                Err(e) => {
+                    eprintln!("warning: cannot snapshot {}: {e}", path.display());
+                    Some(false)
+                }
+            }
+        });
+
+        let new_entry = GraphEntry::from_parts_seq(name.to_string(), graph, dec, new_seq);
+        let new_epoch = new_entry.epoch;
+        let nodes = new_entry.graph.num_nodes();
+        let edges = new_entry.graph.num_edges();
+        self.registry.insert(new_entry);
+        self.patches.fetch_add(1, Ordering::Relaxed);
+
+        // Component-scoped invalidation, still under the publication lock
+        // so two patches of one graph cannot interleave their re-keying.
+        // The reverse index hands over exactly this graph's keys; each one
+        // is either re-keyed under the fresh epoch (every target clean) or
+        // dropped. In-flight computations against the old entry may insert
+        // old-epoch keys after this sweep — those are correct under their
+        // own epoch and unreachable to new requests, pure LRU fodder.
+        let (kept, purged) = {
+            let mut cache = self.lock_cache();
+            let (mut kept, mut purged) = (0usize, 0usize);
+            for k in self.cache_index.take(name) {
+                let Some(cached) = cache.remove(&k) else {
+                    continue;
+                };
+                let clean = k.epoch == old_epoch
+                    && k.targets
+                        .iter()
+                        .all(|&t| !dirty_nodes.get(t as usize).copied().unwrap_or(true));
+                if clean {
+                    let mut nk = k;
+                    nk.epoch = new_epoch;
+                    if let Some(evicted) = cache.insert(nk.clone(), cached) {
+                        self.cache_index.remove(&evicted.graph, &evicted);
+                    }
+                    self.cache_index.insert(name, nk);
+                    kept += 1;
+                } else {
+                    purged += 1;
+                }
+            }
+            (kept, purged)
+        };
+        // Open gather windows keyed to the old epoch can no longer gain
+        // members (new requests mint new-epoch keys and open fresh
+        // windows); dropping the map entries is hygiene — a leader
+        // mid-flight holds its own Arc and completes under old-epoch keys.
+        self.batches
+            .lock_ok()
+            .retain(|k, _| !(k.graph == name && k.epoch == old_epoch));
+        drop(publish);
+
+        let mut fields = vec![
+            ("graph".to_string(), Json::from(name)),
+            ("nodes".to_string(), Json::from(nodes)),
+            ("edges".to_string(), Json::from(edges)),
+            ("inserted".to_string(), Json::from(inserted)),
+            ("deleted".to_string(), Json::from(deleted)),
+            ("delta_seq".to_string(), Json::from(new_seq)),
+            ("cache_kept".to_string(), Json::from(kept)),
+            ("cache_purged".to_string(), Json::from(purged)),
+        ];
+        if let Some(journaled) = journaled {
+            fields.push(("journaled".to_string(), Json::Bool(journaled)));
+        }
+        if let Some(persisted) = persisted {
+            fields.push(("persisted".to_string(), Json::Bool(persisted)));
+        }
+        Response::json(200, Json::Obj(fields).to_string())
+    }
+
+    /// Router placement for `PATCH /graphs/<name>`: whole graphs forward
+    /// the delta verbatim to the owning shard; split graphs patch the
+    /// router's local copy first (one authoritative validation, and the
+    /// response payload) and then fan the delta to every shard. The
+    /// router's registry swap bumps the `(nodes, edges)` fingerprint sent
+    /// with every sharded work unit, so a shard that missed the fan-out
+    /// answers later rounds with a fingerprint mismatch instead of
+    /// silently computing on a stale graph.
+    fn router_patch_graph(&self, name: &str, body: &Json) -> Response {
+        let Some(pool) = self.shards.as_ref() else {
+            return error_response(500, "router misconfigured: no shard pool");
+        };
+        let placement = self.placements.lock_ok().get(name).copied();
+        let path = format!("/graphs/{name}");
+        match placement {
+            None => error_response(404, format!("unknown graph {name:?} (POST /graphs first)")),
+            Some(Placement::Remote(idx)) => {
+                let Some(addr) = pool.addrs().get(idx) else {
+                    return error_response(500, "router misconfigured: placement has no shard");
+                };
+                match pool.request(idx, "PATCH", &path, Some(&body.to_string())) {
+                    Err(e) => error_response(503, format!("shard {addr}: {e}")),
+                    Ok(r) => Response::json(r.status, r.body),
+                }
+            }
+            Some(Placement::Split) => {
+                let local = self.patch_graph_local(name, body);
+                if local.status != 200 {
+                    return local;
+                }
+                let forwarded = body.to_string();
+                for (i, addr) in pool.addrs().iter().enumerate() {
+                    let ok = match pool.request(i, "PATCH", &path, Some(&forwarded)) {
+                        Err(e) => Err(format!("shard {addr}: {e}")),
+                        Ok(r) if r.status != 200 => {
+                            Err(format!("shard {addr}: HTTP {}: {}", r.status, r.body))
+                        }
+                        Ok(_) => Ok(()),
+                    };
+                    if let Err(e) = ok {
+                        // The router's copy is already patched; the stale
+                        // shard fails sharded rounds loudly (fingerprint
+                        // mismatch) until it is patched or reloaded.
+                        return error_response(503, format!("split patch of {name:?} failed: {e}"));
+                    }
+                }
+                let Ok(Json::Obj(mut fields)) = Json::parse(local.body_str()) else {
+                    unreachable!("patch_graph_local emits a JSON object");
+                };
+                fields.push(("shards".to_string(), Json::from(pool.len())));
+                Response::json(200, Json::Obj(fields).to_string())
+            }
+        }
     }
 
     /// Router placement for `POST /graphs`: whole graphs go to one shard
@@ -1103,7 +1467,7 @@ impl Service {
             seed: p.seed,
             khops: p.khops,
         };
-        if let Some(body) = self.cache.lock_repair(|c| c.clear()).get(&key).cloned() {
+        if let Some(body) = self.lock_cache().get(&key).cloned() {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Response::json(200, body.as_str()).with_header("X-Saphyra-Cache", "hit");
         }
@@ -1115,7 +1479,7 @@ impl Service {
         // miss above and the map lookup here.
         let guard = {
             let mut inflight = self.inflight.lock_ok();
-            if let Some(body) = self.cache.lock_repair(|c| c.clear()).get(&key).cloned() {
+            if let Some(body) = self.lock_cache().get(&key).cloned() {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return Response::json(200, body.as_str()).with_header("X-Saphyra-Cache", "hit");
             }
@@ -1254,9 +1618,17 @@ impl Service {
         let mut own = None;
         for (m, body) in members.iter().zip(bodies) {
             let body = Arc::new(body);
-            self.cache
-                .lock_repair(|c| c.clear())
-                .insert(m.key.clone(), Arc::clone(&body));
+            {
+                // Cache insert and index update under one cache-lock hold
+                // (order: server.cache → registry.by_graph), so the index
+                // stays an exact mirror — including when the insert evicts
+                // an LRU victim, whose index entry is dropped here.
+                let mut cache = self.lock_cache();
+                if let Some(evicted) = cache.insert(m.key.clone(), Arc::clone(&body)) {
+                    self.cache_index.remove(&evicted.graph, &evicted);
+                }
+                self.cache_index.insert(&m.key.graph, m.key.clone());
+            }
             if m.key == key {
                 own = Some(Arc::clone(&body));
             }
@@ -1343,6 +1715,35 @@ fn opt_u64(body: &Json, key: &str, default: u64) -> Result<u64, String> {
             .as_u64()
             .ok_or_else(|| format!("field {key:?} must be a non-negative integer <= 2^53")),
     }
+}
+
+/// Parses an optional `[[u, v], ...]` edge-pair array field of a `PATCH`
+/// body. A missing field is an empty list; anything else malformed names
+/// the field in the error.
+fn opt_edges(body: &Json, key: &str) -> Result<Vec<(NodeId, NodeId)>, String> {
+    let Some(v) = body.get(key) else {
+        return Ok(Vec::new());
+    };
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| format!("field {key:?} must be an array of [u, v] pairs"))?;
+    let mut out = Vec::with_capacity(arr.len());
+    for pair in arr {
+        let bad = || format!("field {key:?} entries must be [u, v] node-id pairs, got {pair}");
+        let [u, v] = pair.as_arr().ok_or_else(bad)? else {
+            return Err(bad());
+        };
+        let u = u
+            .as_u64()
+            .filter(|&x| x <= u32::MAX as u64)
+            .ok_or_else(bad)?;
+        let v = v
+            .as_u64()
+            .filter(|&x| x <= u32::MAX as u64)
+            .ok_or_else(bad)?;
+        out.push((u as NodeId, v as NodeId));
+    }
+    Ok(out)
 }
 
 fn graph_info(entry: &GraphEntry) -> Json {
@@ -2317,6 +2718,43 @@ mod tests {
         }
     }
 
+    fn patch_req(name: &str, body: &str) -> Request {
+        Request {
+            method: "PATCH".to_string(),
+            path: format!("/graphs/{name}"),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// Two connected components on 12 nodes: A = {0..5}, B = {6..11}.
+    fn two_component_graph() -> saphyra_graph::Graph {
+        saphyra_graph::GraphBuilder::new(12)
+            .edges(vec![
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (0, 3),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (9, 10),
+                (10, 11),
+                (6, 9),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    fn cache_header(resp: &Response) -> Option<&str> {
+        resp.headers
+            .iter()
+            .find(|(k, _)| k == "X-Saphyra-Cache")
+            .map(|(_, v)| v.as_str())
+    }
+
     fn service_with_grid() -> Service {
         let svc = Service::new(ServiceConfig {
             workers: 1,
@@ -2736,5 +3174,204 @@ mod tests {
         assert_eq!(info.get("edges").unwrap().as_u64(), Some(edges));
         assert_eq!(info.get("bicomps").unwrap().as_u64(), Some(bicomps));
         assert!(info.get("gamma").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn patch_rejects_garbage() {
+        let svc = service_with_grid();
+        // Route-level misses first.
+        let (r, _) = svc.handle(&patch_req("nope", r#"{"insert":[[0,1]]}"#));
+        assert_eq!(r.status, 404, "{}", r.body_str());
+        let (r, _) = svc.handle(&Request {
+            method: "PATCH".to_string(),
+            path: "/graphs/".to_string(),
+            headers: Vec::new(),
+            body: b"{}".to_vec(),
+        });
+        assert_eq!(r.status, 404);
+        let (r, _) = svc.handle(&Request {
+            method: "PATCH".to_string(),
+            path: "/rank".to_string(),
+            headers: Vec::new(),
+            body: b"{}".to_vec(),
+        });
+        assert_eq!(r.status, 404);
+
+        for body in [
+            r#"{"#,                                   // malformed JSON
+            r#"{}"#,                                  // empty delta
+            r#"{"insert":[],"delete":[]}"#,           // still empty
+            r#"{"insert":"x"}"#,                      // not an array
+            r#"{"insert":[[1]]}"#,                    // pair of one
+            r#"{"insert":[[1,2,3]]}"#,                // pair of three
+            r#"{"insert":[["a","b"]]}"#,              // non-numeric endpoints
+            r#"{"insert":[[1.5,2]]}"#,                // fractional id
+            r#"{"insert":[[3,3]]}"#,                  // self-loop
+            r#"{"insert":[[0,999]]}"#,                // out of range
+            r#"{"delete":[[999,0]]}"#,                // out of range (delete side)
+            r#"{"insert":[[0,1]],"delete":[[1,0]]}"#, // conflict
+        ] {
+            let (r, _) = svc.handle(&patch_req("grid", body));
+            assert_eq!(r.status, 400, "body {body}: {} {}", r.status, r.body_str());
+        }
+        // Nothing above touched the entry.
+        let entry = svc.registry().get("grid").unwrap();
+        assert_eq!(entry.delta_seq, 0);
+        assert_eq!(svc.patches(), 0);
+    }
+
+    /// The tentpole, end to end in one process: a PATCH swaps the entry
+    /// under a fresh epoch, bumps `delta_seq`, and invalidates exactly the
+    /// cached rankings whose targets live in a dirtied component — clean
+    /// ones are re-keyed and keep serving hits with identical bytes, and
+    /// other graphs' entries are untouched.
+    #[test]
+    fn patch_applies_delta_and_scopes_cache_invalidation() {
+        let svc = service_with_grid();
+        svc.registry()
+            .insert(GraphEntry::build("two", two_component_graph()));
+
+        // Warm three cache entries: component A of "two", component B of
+        // "two", and one on the unrelated "grid" graph.
+        let body_a = r#"{"graph":"two","targets":[1,2],"eps":0.2,"delta":0.2,"seed":3}"#;
+        let body_b = r#"{"graph":"two","targets":[6,7,8],"eps":0.2,"delta":0.2,"seed":3}"#;
+        let body_g = r#"{"graph":"grid","targets":[6,12],"eps":0.2,"delta":0.2,"seed":3}"#;
+        let (ra, _) = svc.handle(&post("/rank", body_a));
+        let (rb, _) = svc.handle(&post("/rank", body_b));
+        let (rg, _) = svc.handle(&post("/rank", body_g));
+        for r in [&ra, &rb, &rg] {
+            assert_eq!(r.status, 200, "{}", r.body_str());
+            assert_eq!(cache_header(r), Some("miss"));
+        }
+        let old_epoch = svc.registry().get("two").unwrap().epoch;
+
+        // Patch component A only: +2 edges, -1 edge.
+        let (p, _) = svc.handle(&patch_req(
+            "two",
+            r#"{"insert":[[0,5],[1,4]],"delete":[[0,3]]}"#,
+        ));
+        assert_eq!(p.status, 200, "{}", p.body_str());
+        let v = Json::parse(p.body_str()).unwrap();
+        assert_eq!(v.get("graph").unwrap().as_str(), Some("two"));
+        assert_eq!(v.get("nodes").unwrap().as_u64(), Some(12));
+        assert_eq!(v.get("edges").unwrap().as_u64(), Some(13));
+        assert_eq!(v.get("inserted").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("deleted").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("delta_seq").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("cache_kept").unwrap().as_u64(), Some(1), "B survives");
+        assert_eq!(v.get("cache_purged").unwrap().as_u64(), Some(1), "A purged");
+
+        let entry = svc.registry().get("two").unwrap();
+        assert_ne!(entry.epoch, old_epoch, "patch must mint a fresh epoch");
+        assert_eq!(entry.delta_seq, 1);
+        assert_eq!(entry.graph.num_edges(), 13);
+        assert_eq!(svc.patches(), 1);
+        assert_eq!(svc.patches_replayed(), 0);
+
+        // Untouched component B: still a hit, byte-identical. Dirtied
+        // component A: recomputed. Unrelated graph: untouched.
+        let (rb2, _) = svc.handle(&post("/rank", body_b));
+        assert_eq!(cache_header(&rb2), Some("hit"), "{}", rb2.body_str());
+        assert_eq!(rb2.body, rb.body, "untouched-component bytes changed");
+        let (ra2, _) = svc.handle(&post("/rank", body_a));
+        assert_eq!(cache_header(&ra2), Some("miss"), "{}", ra2.body_str());
+        let (rg2, _) = svc.handle(&post("/rank", body_g));
+        assert_eq!(cache_header(&rg2), Some("hit"));
+        assert_eq!(rg2.body, rg.body);
+
+        // A second patch of component A re-keys B's entry again and purges
+        // the ranking just computed against component A.
+        let (p2, _) = svc.handle(&patch_req(
+            "two",
+            r#"{"insert":[[0,3]],"delete":[[0,5],[1,4]]}"#,
+        ));
+        assert_eq!(p2.status, 200, "{}", p2.body_str());
+        let v = Json::parse(p2.body_str()).unwrap();
+        assert_eq!(v.get("delta_seq").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("edges").unwrap().as_u64(), Some(12));
+        assert_eq!(v.get("cache_kept").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("cache_purged").unwrap().as_u64(), Some(1));
+        let (rb3, _) = svc.handle(&post("/rank", body_b));
+        assert_eq!(cache_header(&rb3), Some("hit"));
+        assert_eq!(rb3.body, rb.body);
+
+        // The index mirrors the cache: "two" holds the re-keyed B entry
+        // plus nothing stale (A's purged keys are gone).
+        assert_eq!(svc.cache_index.count_of("two"), 1);
+        assert_eq!(svc.cache_index.count_of("grid"), 1);
+    }
+
+    /// A patch whose delta dirties a component must also drop that
+    /// graph's open gather windows keyed to the replaced epoch.
+    #[test]
+    fn patch_drops_stale_batch_windows() {
+        let svc = service_with_grid_window(Duration::from_secs(30));
+        svc.registry()
+            .insert(GraphEntry::build("two", two_component_graph()));
+        let old_epoch = svc.registry().get("two").unwrap().epoch;
+        // Forge an open window under the current epoch, as a leader
+        // would leave while waiting out a long batch window.
+        let batch_key = BatchKey {
+            graph: "two".to_string(),
+            epoch: old_epoch,
+            measure: Measure::Betweenness,
+            eps_bits: 0.2f64.to_bits(),
+            delta_bits: 0.2f64.to_bits(),
+            seed: 3,
+            khops: 0,
+        };
+        svc.batches
+            .lock_ok()
+            .insert(batch_key.clone(), Arc::new(Batch::default()));
+        let (p, _) = svc.handle(&patch_req("two", r#"{"insert":[[2,5]]}"#));
+        assert_eq!(p.status, 200, "{}", p.body_str());
+        assert!(
+            !svc.batches.lock_ok().contains_key(&batch_key),
+            "stale-epoch batch window survived the patch"
+        );
+    }
+
+    /// Regression for the reload path: replacing ONE graph must purge only
+    /// that graph's cached rankings, not the whole cache.
+    #[test]
+    fn reload_purges_only_the_reloaded_graph() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            cache_capacity: 8,
+            ..ServiceConfig::default()
+        });
+        for (name, seed) in [("a", 5), ("b", 6)] {
+            let body =
+                format!(r#"{{"name":"{name}","network":"flickr","size":"tiny","seed":{seed}}}"#);
+            let (r, _) = svc.handle(&post("/graphs", &body));
+            assert_eq!(r.status, 200, "{}", r.body_str());
+        }
+        let rank_a = r#"{"graph":"a","targets":[1,2,3],"eps":0.2,"delta":0.2,"seed":1}"#;
+        let rank_b = r#"{"graph":"b","targets":[1,2,3],"eps":0.2,"delta":0.2,"seed":1}"#;
+        let (ra, _) = svc.handle(&post("/rank", rank_a));
+        let (rb, _) = svc.handle(&post("/rank", rank_b));
+        assert_eq!(ra.status, 200, "{}", ra.body_str());
+        assert_eq!(rb.status, 200, "{}", rb.body_str());
+
+        // Reload "a" under a different seed.
+        let (r, _) = svc.handle(&post(
+            "/graphs",
+            r#"{"name":"a","network":"flickr","size":"tiny","seed":7}"#,
+        ));
+        assert_eq!(r.status, 200, "{}", r.body_str());
+
+        // "b" still hits with identical bytes; "a" is gone from the cache.
+        let (rb2, _) = svc.handle(&post("/rank", rank_b));
+        assert_eq!(
+            cache_header(&rb2),
+            Some("hit"),
+            "reload of \"a\" purged \"b\"'s cache entry"
+        );
+        assert_eq!(rb2.body, rb.body);
+        let (ra2, _) = svc.handle(&post("/rank", rank_a));
+        assert_eq!(cache_header(&ra2), Some("miss"));
+        assert_ne!(ra2.body, ra.body, "stale ranking served after reload");
+        assert_eq!(svc.cache_index.count_of("a"), 1);
+        assert_eq!(svc.cache_index.count_of("b"), 1);
     }
 }

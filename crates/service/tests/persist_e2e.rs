@@ -183,6 +183,7 @@ fn snapshot_with_mismatched_embedded_name_cannot_shadow_the_real_one() {
         "g",
         &decoy_graph,
         &decoy_dec,
+        0,
     )
     .unwrap();
 
@@ -462,6 +463,138 @@ fn concurrent_same_name_loads_leave_disk_and_memory_agreeing() {
         edges(&entry.graph),
         "disk and memory diverged under concurrent same-name loads"
     );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The delta-journaling read path: journaled `PATCH` deltas replay on
+/// restart from the snapshot alone — zero re-uploads, zero full
+/// decompositions — and the replayed graph ranks byte-identically to the
+/// patched graph the first life served.
+#[test]
+fn patched_graphs_survive_restart_via_journal_replay() {
+    let dir = state_dir("patch_replay");
+    let post_patch_body;
+    {
+        let handle = serve("127.0.0.1:0", cfg_with(&dir)).unwrap();
+        let addr = handle.addr().to_string();
+        let resp = request(
+            &addr,
+            "POST",
+            "/graphs",
+            Some(r#"{"name":"g","network":"flickr","size":"tiny","seed":5}"#),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+
+        // Two patches, well under the default re-snapshot cadence (16):
+        // the snapshot on disk stays at seq 0, the journal carries both.
+        let resp = request(
+            &addr,
+            "PATCH",
+            "/graphs/g",
+            Some(r#"{"insert":[[0,7],[3,11]]}"#),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = Json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("delta_seq").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("journaled").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("persisted"), None, "seq 1 must not re-snapshot yet");
+        let resp = request(&addr, "PATCH", "/graphs/g", Some(r#"{"delete":[[0,7]]}"#)).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = Json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("delta_seq").unwrap().as_u64(), Some(2));
+
+        let resp = request(&addr, "POST", "/rank", Some(RANK_BODY)).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        post_patch_body = resp.body;
+        handle.shutdown_and_join();
+    }
+    assert_eq!(persist::read_patch_records(&dir).unwrap().len(), 2);
+    assert_eq!(
+        persist::load_snapshot(&persist::snapshot_path(&dir, "g"))
+            .unwrap()
+            .delta_seq,
+        0
+    );
+
+    // Second life: snapshot restores the upload-time graph, patch replay
+    // walks it to seq 2. No POST /graphs, no full decomposition.
+    {
+        let handle = serve("127.0.0.1:0", cfg_with(&dir)).unwrap();
+        let addr = handle.addr().to_string();
+        let h = health(&addr);
+        assert_eq!(counter(&h, "graphs"), 1);
+        assert_eq!(counter(&h, "snapshots_loaded"), 1);
+        assert_eq!(
+            counter(&h, "decompositions"),
+            0,
+            "replay must be incremental"
+        );
+        assert_eq!(counter(&h, "patches_replayed"), 2);
+
+        let resp = request(&addr, "POST", "/rank", Some(RANK_BODY)).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert_eq!(resp.header("x-saphyra-cache"), Some("miss"));
+        assert_eq!(
+            resp.body, post_patch_body,
+            "replayed deltas ranked differently from the patched first life"
+        );
+        // The replayed entry continues the sequence, not restarts it.
+        let resp = request(&addr, "PATCH", "/graphs/g", Some(r#"{"delete":[[3,11]]}"#)).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = Json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("delta_seq").unwrap().as_u64(), Some(3));
+        handle.shutdown_and_join();
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// With `resnapshot_deltas = 1` every patch folds into the snapshot, so a
+/// restart restores the patched graph directly and replays nothing — the
+/// journal records are recognized as already contained (`seq <= delta_seq`).
+#[test]
+fn resnapshot_folds_deltas_so_replay_skips_them() {
+    let dir = state_dir("resnap");
+    let cfg = ServiceConfig {
+        resnapshot_deltas: 1,
+        ..cfg_with(&dir)
+    };
+    {
+        let handle = serve("127.0.0.1:0", cfg.clone()).unwrap();
+        let addr = handle.addr().to_string();
+        request(
+            &addr,
+            "POST",
+            "/graphs",
+            Some(r#"{"name":"g","network":"flickr","size":"tiny","seed":5}"#),
+        )
+        .unwrap();
+        let resp = request(
+            &addr,
+            "PATCH",
+            "/graphs/g",
+            Some(r#"{"insert":[[0,7],[3,11]]}"#),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = Json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("journaled").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("persisted").unwrap().as_bool(), Some(true));
+        handle.shutdown_and_join();
+    }
+    // The snapshot itself now sits at seq 1...
+    let snap = persist::load_snapshot(&persist::snapshot_path(&dir, "g")).unwrap();
+    assert_eq!(snap.delta_seq, 1);
+    // ...so the boot replays zero of the (still present) patch records.
+    assert_eq!(persist::read_patch_records(&dir).unwrap().len(), 1);
+    let handle = serve("127.0.0.1:0", cfg).unwrap();
+    let addr = handle.addr().to_string();
+    let h = health(&addr);
+    assert_eq!(counter(&h, "graphs"), 1);
+    assert_eq!(counter(&h, "snapshots_loaded"), 1);
+    assert_eq!(counter(&h, "patches_replayed"), 0);
+    handle.shutdown_and_join();
     let _ = fs::remove_dir_all(&dir);
 }
 

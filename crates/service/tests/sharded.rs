@@ -114,6 +114,102 @@ fn split_rank_is_byte_identical_to_standalone_for_every_measure() {
     }
 }
 
+/// The same load + patch + rank sequence served by a socket-less
+/// standalone service — the reference bytes for patched sharded serving.
+fn standalone_patched_bytes(delta: &str, rank: &str) -> String {
+    let svc = Service::new(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let send = |method: &str, path: &str, body: &str| {
+        svc.handle(&Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        })
+        .0
+    };
+    assert_eq!(send("POST", "/graphs", LOAD).status, 200);
+    let patched = send("PATCH", "/graphs/g", delta);
+    assert_eq!(patched.status, 200, "{}", patched.body_str());
+    let resp = send("POST", "/rank", rank);
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    resp.body_str().to_string()
+}
+
+/// `PATCH` through the router. Split placement: the router patches its own
+/// copy (the authoritative validation + response) and fans the delta to
+/// every shard, so post-patch sharded ranking still matches a standalone
+/// server that applied the same delta. Whole-graph placement: the PATCH is
+/// proxied verbatim to the owning shard.
+#[test]
+fn router_patch_fans_out_and_stays_byte_identical() {
+    const DELTA: &str = r#"{"insert":[[0,9],[3,17]],"delete":[[0,3]]}"#;
+    let (router, shards) = start_cluster(2, IDLE);
+    let mut client = Client::new(router.addr().to_string());
+
+    // No placement yet: 404, not a fan-out of garbage.
+    let resp = client.request("PATCH", "/graphs/g", Some(DELTA)).unwrap();
+    assert_eq!(resp.status, 404, "{}", resp.body);
+
+    let loaded = client.request("POST", "/graphs", Some(LOAD_SPLIT)).unwrap();
+    assert_eq!(loaded.status, 200, "{}", loaded.body);
+    let patched = client.request("PATCH", "/graphs/g", Some(DELTA)).unwrap();
+    assert_eq!(patched.status, 200, "{}", patched.body);
+    assert!(patched.body.contains("\"shards\":2"), "{}", patched.body);
+    assert!(patched.body.contains("\"delta_seq\":1"), "{}", patched.body);
+
+    for measure in ["bc", "harmonic"] {
+        let body = rank_body(measure, 41);
+        let via_router = client.request("POST", "/rank", Some(&body)).unwrap();
+        assert_eq!(via_router.status, 200, "{measure}: {}", via_router.body);
+        assert_eq!(
+            via_router.body,
+            standalone_patched_bytes(DELTA, &body),
+            "{measure}: post-patch sharded bytes diverge from standalone"
+        );
+    }
+
+    // Bad deltas are rejected by the router's own copy before any fan-out.
+    let resp = client
+        .request("PATCH", "/graphs/g", Some(r#"{"insert":[[5,5]]}"#))
+        .unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body);
+
+    drop(client);
+    router.shutdown_and_join();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
+#[test]
+fn router_patch_proxies_whole_graph_placement() {
+    const DELTA: &str = r#"{"insert":[[1,30]]}"#;
+    let (router, shards) = start_cluster(2, IDLE);
+    let mut client = Client::new(router.addr().to_string());
+
+    let loaded = client.request("POST", "/graphs", Some(LOAD)).unwrap();
+    assert_eq!(loaded.status, 200, "{}", loaded.body);
+    let patched = client.request("PATCH", "/graphs/g", Some(DELTA)).unwrap();
+    assert_eq!(patched.status, 200, "{}", patched.body);
+    // The shard's response body is relayed verbatim — no "shards" field.
+    assert!(patched.body.contains("\"delta_seq\":1"), "{}", patched.body);
+    assert!(!patched.body.contains("\"shards\""), "{}", patched.body);
+
+    let body = rank_body("bc", 43);
+    let via_router = client.request("POST", "/rank", Some(&body)).unwrap();
+    assert_eq!(via_router.status, 200, "{}", via_router.body);
+    assert_eq!(via_router.body, standalone_patched_bytes(DELTA, &body));
+
+    drop(client);
+    router.shutdown_and_join();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
 #[test]
 fn whole_graph_placement_proxies_rank_and_merges_listing() {
     let (router, shards) = start_cluster(2, IDLE);

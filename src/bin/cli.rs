@@ -9,7 +9,8 @@
 //! saphyra-cli gen   <flickr|livejournal|usa-road|orkut> <tiny|small|full> <out-file>
 //! saphyra-cli serve <addr> [--workers N] [--cache N] [--state-dir DIR]
 //!                   [--max-connections N] [--pipeline-depth N] [--journal-max-bytes N]
-//!                   [--batch-window-ms N] [--role standalone|router|shard]
+//!                   [--resnapshot-deltas N] [--batch-window-ms N]
+//!                   [--role standalone|router|shard]
 //!                   [--shards host:port,host:port,...]
 //! saphyra-cli snapshot save <edge-list> <out.snap> [--name G]
 //! saphyra-cli snapshot load <file.snap>
@@ -18,6 +19,7 @@
 //! saphyra-cli query <addr> health
 //! saphyra-cli query <addr> graphs
 //! saphyra-cli query <addr> load --name G (--path <edge-list> | --gen <network>:<size>) [--seed S] [--split]
+//! saphyra-cli query <addr> patch G [--insert u,v]... [--delete u,v]...
 //! saphyra-cli query <addr> rank --graph G --targets 1,2,3 [--measure M]
 //!                   [--eps 0.01] [--delta 0.01] [--seed 7] [--khops 5] [--repeat N]
 //! saphyra-cli query <addr> shutdown
@@ -30,11 +32,13 @@
 //! append to a journal, and boots restore every snapshot without
 //! recomputing decompositions. `snapshot` drives the same persistence code
 //! paths offline: `save` precomputes a snapshot from an edge list, `load`
-//! and `verify` inspect one, `replay` re-issues a state dir's journaled
-//! requests against its snapshots. `query` is the tiny client used by
-//! tests/CI; it talks over one persistent (keep-alive) connection, and
-//! `rank --repeat N` replays the same request N times on it, printing one
-//! body per line.
+//! and `verify` inspect one, `replay` applies a state dir's journaled
+//! patch deltas and then re-issues its journaled requests against its
+//! snapshots. `query` is the tiny client used by tests/CI; it talks over
+//! one persistent (keep-alive) connection, `rank --repeat N` replays the
+//! same request N times on it (printing one body per line), and `patch`
+//! sends an edge delta (`PATCH /graphs/<name>`) built from repeated
+//! `--insert u,v` / `--delete u,v` flags.
 
 use std::process::ExitCode;
 
@@ -79,6 +83,9 @@ enum Command {
         pipeline_depth: usize,
         journal_max_bytes: Option<u64>,
         state_dir: Option<String>,
+        /// Fold journaled `PATCH` deltas into a fresh snapshot every this
+        /// many applied deltas per graph.
+        resnapshot_deltas: usize,
         /// Gather window (ms) for cross-request batching of cold `/rank`
         /// requests that differ only in targets; 0 disables gathering.
         batch_window_ms: u64,
@@ -91,7 +98,7 @@ enum Command {
     Query {
         addr: String,
         method: &'static str,
-        path: &'static str,
+        path: String,
         body: Option<String>,
         /// Send the request this many times over one persistent connection
         /// (printing each body); used by CI to exercise keep-alive.
@@ -239,6 +246,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut pipeline_depth = defaults.pipeline_depth;
             let mut journal_max_bytes = None;
             let mut state_dir = None;
+            let mut resnapshot_deltas = defaults.resnapshot_deltas;
             let mut batch_window_ms = defaults.batch_window.as_millis() as u64;
             let mut role = saphyra_service::Role::Standalone;
             let mut shards: Vec<String> = Vec::new();
@@ -268,6 +276,12 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--state-dir" => {
                         state_dir = Some(it.next().ok_or("--state-dir needs a value")?.clone())
+                    }
+                    "--resnapshot-deltas" => {
+                        resnapshot_deltas = next_parse(&mut it, "--resnapshot-deltas")?;
+                        if resnapshot_deltas == 0 {
+                            return Err("--resnapshot-deltas must be >= 1".to_string());
+                        }
                     }
                     "--batch-window-ms" => {
                         batch_window_ms = next_parse(&mut it, "--batch-window-ms")?;
@@ -302,6 +316,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 pipeline_depth,
                 journal_max_bytes,
                 state_dir,
+                resnapshot_deltas,
                 batch_window_ms,
                 role,
                 shards,
@@ -380,7 +395,7 @@ fn parse_query<'a>(
     it: &mut impl Iterator<Item = &'a String>,
 ) -> Result<Command, String> {
     use saphyra_service::json::Json;
-    let query = |method, path, body: Option<String>, repeat| {
+    let query = |method, path: String, body: Option<String>, repeat| {
         Ok(Command::Query {
             addr,
             method,
@@ -390,9 +405,9 @@ fn parse_query<'a>(
         })
     };
     match action {
-        "health" => query("GET", "/healthz", None, 1),
-        "graphs" => query("GET", "/graphs", None, 1),
-        "shutdown" => query("POST", "/shutdown", None, 1),
+        "health" => query("GET", "/healthz".to_string(), None, 1),
+        "graphs" => query("GET", "/graphs".to_string(), None, 1),
+        "shutdown" => query("POST", "/shutdown".to_string(), None, 1),
         "load" => {
             let (mut name, mut path, mut gen, mut seed) = (None, None, None, None::<u64>);
             let mut split = false;
@@ -428,7 +443,55 @@ fn parse_query<'a>(
             if split {
                 fields.push(("split".to_string(), Json::Bool(true)));
             }
-            query("POST", "/graphs", Some(Json::Obj(fields).to_string()), 1)
+            query(
+                "POST",
+                "/graphs".to_string(),
+                Some(Json::Obj(fields).to_string()),
+                1,
+            )
+        }
+        "patch" => {
+            let name = it.next().ok_or("patch: missing graph name")?.clone();
+            // The name becomes a path segment: reject anything the service
+            // would never have accepted as a graph name (and that could
+            // otherwise smuggle '/' or '?' into the request line).
+            if !saphyra_service::persist::valid_graph_name(&name) {
+                return Err(format!(
+                    "patch: invalid graph name {name:?} (want 1-64 chars of [A-Za-z0-9._-], \
+                     no leading dot)"
+                ));
+            }
+            let (mut insert, mut delete) = (Vec::new(), Vec::new());
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--insert" => insert.push(parse_edge_pair(it, "--insert")?),
+                    "--delete" => delete.push(parse_edge_pair(it, "--delete")?),
+                    other => return Err(format!("patch: unknown flag {other}")),
+                }
+            }
+            if insert.is_empty() && delete.is_empty() {
+                return Err("patch: need at least one --insert u,v or --delete u,v".to_string());
+            }
+            let edges = |list: &[(NodeId, NodeId)]| {
+                Json::Arr(
+                    list.iter()
+                        .map(|&(u, v)| Json::Arr(vec![Json::from(u), Json::from(v)]))
+                        .collect(),
+                )
+            };
+            let mut fields = Vec::new();
+            if !insert.is_empty() {
+                fields.push(("insert".to_string(), edges(&insert)));
+            }
+            if !delete.is_empty() {
+                fields.push(("delete".to_string(), edges(&delete)));
+            }
+            query(
+                "PATCH",
+                format!("/graphs/{name}"),
+                Some(Json::Obj(fields).to_string()),
+                1,
+            )
         }
         "rank" => {
             let mut graph = None;
@@ -483,12 +546,35 @@ fn parse_query<'a>(
                 ("seed".to_string(), Json::from(seed)),
                 ("khops".to_string(), Json::from(khops)),
             ]);
-            query("POST", "/rank", Some(body.to_string()), repeat)
+            query("POST", "/rank".to_string(), Some(body.to_string()), repeat)
         }
         other => Err(format!(
-            "query: unknown action {other}; expected health|graphs|load|rank|shutdown"
+            "query: unknown action {other}; expected health|graphs|load|patch|rank|shutdown"
         )),
     }
+}
+
+/// Parses one `--insert`/`--delete` operand of `query patch`: a `u,v`
+/// endpoint pair. Self-loops fail fast client-side — no edge delta ever
+/// accepts them, so there is no point putting one on the wire.
+fn parse_edge_pair<'a>(
+    it: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<(NodeId, NodeId), String> {
+    let val = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    let (u, v) = val
+        .split_once(',')
+        .ok_or_else(|| format!("{flag}: want u,v (e.g. 3,7), got {val:?}"))?;
+    let parse = |s: &str| {
+        s.trim()
+            .parse::<NodeId>()
+            .map_err(|_| format!("{flag}: cannot parse node id {:?}", s.trim()))
+    };
+    let (u, v) = (parse(u)?, parse(v)?);
+    if u == v {
+        return Err(format!("{flag}: {u},{v} is a self-loop"));
+    }
+    Ok((u, v))
 }
 
 fn next_parse<'a, T: std::str::FromStr>(
@@ -603,6 +689,7 @@ fn run(cmd: Command) -> Result<(), String> {
             pipeline_depth,
             journal_max_bytes,
             state_dir,
+            resnapshot_deltas,
             batch_window_ms,
             role,
             shards,
@@ -614,6 +701,7 @@ fn run(cmd: Command) -> Result<(), String> {
                 pipeline_depth,
                 journal_max_bytes,
                 state_dir: state_dir.map(std::path::PathBuf::from),
+                resnapshot_deltas,
                 batch_window: std::time::Duration::from_millis(batch_window_ms),
                 role,
                 shards,
@@ -642,7 +730,7 @@ fn run(cmd: Command) -> Result<(), String> {
             let mut client = saphyra_service::Client::new(addr.as_str());
             for _ in 0..repeat {
                 let resp = client
-                    .request(method, path, body.as_deref())
+                    .request(method, &path, body.as_deref())
                     .map_err(|e| format!("cannot reach {addr}: {e}"))?;
                 println!("{}", resp.body);
                 if resp.status != 200 {
@@ -691,7 +779,8 @@ fn run_snapshot(cmd: SnapshotCmd) -> Result<(), String> {
             let t0 = Instant::now();
             let dec = saphyra::bc::BcDecomposition::compute(&g);
             let dt = t0.elapsed();
-            persist::save_snapshot(Path::new(&out), &name, &g, &dec).map_err(|e| e.to_string())?;
+            persist::save_snapshot(Path::new(&out), &name, &g, &dec, 0)
+                .map_err(|e| e.to_string())?;
             println!(
                 "wrote {out} (graph {name:?}: {} nodes, {} edges, {} bicomps; decomposed in {dt:.1?})",
                 g.num_nodes(),
@@ -746,6 +835,13 @@ fn run_snapshot(cmd: SnapshotCmd) -> Result<(), String> {
             let (restored, recomputed) = service.restore_from_dir(dir);
             if restored + recomputed == 0 {
                 return Err(format!("no usable snapshots in {}", dir.display()));
+            }
+            // Journaled edge deltas first — exactly what a `serve
+            // --state-dir` boot does — so the /rank records that follow
+            // replay against the graphs they were recorded against.
+            let patched = service.replay_patch_records(dir);
+            if patched > 0 {
+                println!("applied {patched} journaled patch delta(s)");
             }
             // Rotated generation first, then the current journal —
             // append order across the whole surviving history.
@@ -941,6 +1037,7 @@ mod tests {
                 pipeline_depth: defaults.pipeline_depth,
                 journal_max_bytes: None,
                 state_dir: None,
+                resnapshot_deltas: defaults.resnapshot_deltas,
                 batch_window_ms: defaults.batch_window.as_millis() as u64,
                 role: saphyra_service::Role::Standalone,
                 shards: Vec::new(),
@@ -983,6 +1080,15 @@ mod tests {
         assert!(parse_args(&sv(&["serve", "127.0.0.1:0", "--state-dir"])).is_err());
         assert!(parse_args(&sv(&["serve", "127.0.0.1:0", "--pipeline-depth", "0"])).is_err());
         assert!(parse_args(&sv(&["serve", "127.0.0.1:0", "--journal-max-bytes", "0"])).is_err());
+        let c = parse_args(&sv(&["serve", "127.0.0.1:0", "--resnapshot-deltas", "4"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Serve {
+                resnapshot_deltas: 4,
+                ..
+            }
+        ));
+        assert!(parse_args(&sv(&["serve", "127.0.0.1:0", "--resnapshot-deltas", "0"])).is_err());
 
         // Sharded roles.
         let c = parse_args(&sv(&[
@@ -1037,15 +1143,18 @@ mod tests {
         .is_err());
 
         let c = parse_args(&sv(&["query", "h:1", "health"])).unwrap();
-        assert!(matches!(
-            c,
+        match c {
             Command::Query {
-                method: "GET",
-                path: "/healthz",
+                method,
+                path,
                 body: None,
                 ..
+            } => {
+                assert_eq!(method, "GET");
+                assert_eq!(path, "/healthz");
             }
-        ));
+            other => panic!("wrong parse: {other:?}"),
+        }
 
         let c = parse_args(&sv(&[
             "query",
@@ -1196,6 +1305,49 @@ mod tests {
     }
 
     #[test]
+    fn parses_query_patch() {
+        let c = parse_args(&sv(&[
+            "query", "h:1", "patch", "g", "--insert", "1,2", "--insert", "3,4", "--delete", "0,5",
+        ]))
+        .unwrap();
+        match c {
+            Command::Query {
+                method, path, body, ..
+            } => {
+                assert_eq!(method, "PATCH");
+                assert_eq!(path, "/graphs/g");
+                assert_eq!(
+                    body.unwrap(),
+                    r#"{"insert":[[1,2],[3,4]],"delete":[[0,5]]}"#
+                );
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Insert-only and delete-only bodies omit the empty list.
+        let c = parse_args(&sv(&["query", "h:1", "patch", "g", "--delete", "7,9"])).unwrap();
+        match c {
+            Command::Query { body, .. } => assert_eq!(body.unwrap(), r#"{"delete":[[7,9]]}"#),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Garbage fails client-side, before anything goes on the wire.
+        for args in [
+            vec!["query", "h:1", "patch"],                             // no name
+            vec!["query", "h:1", "patch", "g"],                        // empty delta
+            vec!["query", "h:1", "patch", "g", "--insert"],            // no value
+            vec!["query", "h:1", "patch", "g", "--insert", "1"],       // not a pair
+            vec!["query", "h:1", "patch", "g", "--insert", "1,2,3"],   // too many
+            vec!["query", "h:1", "patch", "g", "--insert", "a,b"],     // non-numeric
+            vec!["query", "h:1", "patch", "g", "--insert", "1.5,2"],   // fractional
+            vec!["query", "h:1", "patch", "g", "--insert", "4,4"],     // self-loop
+            vec!["query", "h:1", "patch", "g", "--frobnicate", "1,2"], // unknown flag
+            vec!["query", "h:1", "patch", "a/b", "--insert", "1,2"],   // path smuggling
+            vec!["query", "h:1", "patch", ".g", "--insert", "1,2"],    // invalid name
+        ] {
+            assert!(parse_args(&sv(&args)).is_err(), "{args:?} accepted");
+        }
+    }
+
+    #[test]
     fn end_to_end_serve_query_round_trip() {
         // Start the service in-process on an ephemeral port, then drive it
         // exclusively through the `query` command path.
@@ -1232,8 +1384,14 @@ mod tests {
             "3",
         ])
         .unwrap();
-        // Unknown graph surfaces as a non-200 error.
+        // Patch the loaded graph through the same client path, then rank
+        // again on the patched graph.
+        q(&["patch", "g", "--insert", "0,7", "--delete", "0,7"]).unwrap_err(); // conflict: 400
+        q(&["patch", "g", "--insert", "0,7", "--insert", "3,11"]).unwrap();
+        q(&["rank", "--graph", "g", "--targets", "1,2,3", "--eps", "0.2"]).unwrap();
+        // Unknown graph surfaces as a non-200 error (patch and rank alike).
         assert!(q(&["rank", "--graph", "nope", "--targets", "1"]).is_err());
+        assert!(q(&["patch", "nope", "--insert", "1,2"]).is_err());
         q(&["shutdown"]).unwrap();
         handle.join();
     }
