@@ -1,0 +1,18 @@
+//! Seeded violation: a raw `mmap(2)` FFI call with no adjacent
+//! `// SAFETY:` justification — the exact hazard the zero-copy snapshot
+//! path must never reintroduce.
+
+pub fn map_file(fd: i32, len: usize) -> *mut core::ffi::c_void {
+    unsafe { mmap(core::ptr::null_mut(), len, 1, 2, fd, 0) }
+}
+
+extern "C" {
+    fn mmap(
+        addr: *mut core::ffi::c_void,
+        len: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        off: i64,
+    ) -> *mut core::ffi::c_void;
+}

@@ -18,6 +18,7 @@ fn findings() -> Vec<Finding> {
         "crates/service/src/deadlock.rs",
         "crates/service/src/server.rs",
         "crates/service/src/raw.rs",
+        "crates/graph/src/mmap_raw.rs",
     ];
     let files: Vec<SourceFile> = rels
         .iter()
@@ -71,6 +72,18 @@ fn seeded_unannotated_unsafe_detected() {
     let hits = with("unsafe-audit", |f| f.file == "crates/service/src/raw.rs");
     assert_eq!(hits.len(), 1, "{hits:?}");
     assert_eq!(hits[0].func, "reinterpret");
+}
+
+/// The zero-copy snapshot path's specific hazard: a raw `mmap` call whose
+/// `unsafe` block carries no `// SAFETY:` justification must be caught —
+/// the real bindings in `crates/graph/src/mmap.rs` stay clean only
+/// because this lint keeps them honest.
+#[test]
+fn seeded_unannotated_mmap_call_detected() {
+    let hits = with("unsafe-audit", |f| f.file == "crates/graph/src/mmap_raw.rs");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].func, "map_file");
+    assert_eq!(hits[0].pattern, "missing-safety-comment");
 }
 
 /// The fixture set produces exactly the seeded findings and nothing else —

@@ -24,11 +24,19 @@ fn err<T>(msg: impl Into<String>) -> Result<T, WireError> {
 // ---------------------------------------------------------------------------
 
 /// Appends the binary encoding of `g`.
+///
+/// Offsets are written through [`Graph::csr_offsets`]'s sequential decode,
+/// so plain- and succinct-backed graphs produce identical bytes (the
+/// length-prefixed `u64` layout of `wire::put_vec_usize`).
 pub fn write_graph(g: &Graph, out: &mut Vec<u8>) {
-    let (offsets, neighbors, edge_ids) = g.csr_parts();
+    let (neighbors, edge_ids) = g.csr_slots();
     wire::put_usize(out, g.num_nodes());
     wire::put_usize(out, g.num_edges());
-    wire::put_vec_usize(out, offsets);
+    let offsets = g.csr_offsets();
+    wire::put_usize(out, offsets.len());
+    for off in offsets.iter() {
+        wire::put_usize(out, off);
+    }
     wire::put_vec_u32(out, neighbors);
     wire::put_vec_u32(out, edge_ids);
 }
@@ -40,13 +48,25 @@ pub fn write_graph(g: &Graph, out: &mut Vec<u8>) {
 pub fn read_graph(r: &mut Reader) -> Result<Graph, WireError> {
     let n = r.usize_()?;
     let m = r.usize_()?;
-    if n > u32::MAX as usize {
-        return err(format!("node count {n} exceeds the u32 id space"));
-    }
     let offsets = r.vec_usize()?;
     let neighbors = r.vec_u32()?;
     let edge_ids = r.vec_u32()?;
+    graph_from_arrays(n, m, offsets, neighbors, edge_ids)
+}
 
+/// Builds a graph from raw untrusted CSR arrays with the same full
+/// validation as [`read_graph`] — also the byte-decode fallback of the
+/// mmap snapshot tier, which stores the arrays outside the wire format.
+pub fn graph_from_arrays(
+    n: usize,
+    m: usize,
+    offsets: Vec<usize>,
+    neighbors: Vec<NodeId>,
+    edge_ids: Vec<u32>,
+) -> Result<Graph, WireError> {
+    if n > u32::MAX as usize {
+        return err(format!("node count {n} exceeds the u32 id space"));
+    }
     if offsets.len() != n + 1 {
         return err(format!(
             "offsets length {} != n + 1 = {}",
@@ -281,11 +301,23 @@ mod tests {
             let g2 = read_graph(&mut Reader::new(&buf)).unwrap();
             assert_eq!(g.num_nodes(), g2.num_nodes());
             assert_eq!(g.num_edges(), g2.num_edges());
-            let (o1, n1, e1) = g.csr_parts();
-            let (o2, n2, e2) = g2.csr_parts();
+            let o1: Vec<usize> = g.csr_offsets().iter().collect();
+            let o2: Vec<usize> = g2.csr_offsets().iter().collect();
             assert_eq!(o1, o2);
-            assert_eq!(n1, n2);
-            assert_eq!(e1, e2);
+            assert_eq!(g.csr_slots(), g2.csr_slots());
+        }
+    }
+
+    #[test]
+    fn succinct_backed_graph_encodes_identically() {
+        for g in graphs() {
+            let mut buf = Vec::new();
+            write_graph(&g, &mut buf);
+            let mut compacted = g.clone();
+            compacted.compact();
+            let mut buf2 = Vec::new();
+            write_graph(&compacted, &mut buf2);
+            assert_eq!(buf, buf2, "succinct backing changed the encoding");
         }
     }
 

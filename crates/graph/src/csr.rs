@@ -6,9 +6,131 @@
 //! `(v → u)`; both slots carry the same *undirected edge id* so that
 //! edge-partitioning algorithms (biconnected components, §IV-A) can label
 //! edges once and look the label up from either direction in O(1).
+//!
+//! Offsets live behind [`CsrOffsets`]: plain `Vec<usize>` on the build and
+//! delta paths, or the Elias–Fano form ([`crate::succinct`]) on the serving
+//! path after [`Graph::compact`]. Slot arrays live behind
+//! [`crate::succinct::U32s`] so a snapshot-mapped graph serves zero-copy
+//! straight from the page cache.
+
+use crate::succinct::{EliasFano, U32s};
 
 /// Node identifier. Always `< Graph::num_nodes()`.
 pub type NodeId = u32;
+
+/// CSR offset storage: plain words or the succinct Elias–Fano form.
+///
+/// Both variants answer `offsets[i]` and the hot-path adjacent pair
+/// `(offsets[v], offsets[v + 1])`; the succinct form costs one sampled
+/// select per lookup in exchange for ~a tenth of the plain bytes.
+#[derive(Clone, Debug)]
+pub enum CsrOffsets {
+    /// `n + 1` plain offsets (build / delta path).
+    Plain(Vec<usize>),
+    /// Elias–Fano encoding of the same `n + 1` values (serving path).
+    Succinct(EliasFano),
+}
+
+impl CsrOffsets {
+    /// Number of stored offsets (`n + 1`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            CsrOffsets::Plain(v) => v.len(),
+            CsrOffsets::Succinct(ef) => ef.len(),
+        }
+    }
+
+    /// Never true: a graph always stores at least `offsets[0]`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `offsets[i]`.
+    #[inline]
+    pub fn get(&self, i: usize) -> usize {
+        match self {
+            CsrOffsets::Plain(v) => v[i],
+            CsrOffsets::Succinct(ef) => ef.get(i) as usize,
+        }
+    }
+
+    /// `(offsets[v], offsets[v + 1])` — the slot-range hot path; a single
+    /// select in the succinct form.
+    #[inline]
+    pub fn pair(&self, v: usize) -> (usize, usize) {
+        match self {
+            CsrOffsets::Plain(o) => (o[v], o[v + 1]),
+            CsrOffsets::Succinct(ef) => {
+                let (a, b) = ef.pair(v);
+                (a as usize, b as usize)
+            }
+        }
+    }
+
+    /// Bytes occupied by this representation.
+    pub fn byte_len(&self) -> usize {
+        match self {
+            CsrOffsets::Plain(v) => v.len() * std::mem::size_of::<usize>(),
+            CsrOffsets::Succinct(ef) => ef.byte_len(),
+        }
+    }
+
+    /// Whether the succinct representation is active.
+    #[inline]
+    pub fn is_succinct(&self) -> bool {
+        matches!(self, CsrOffsets::Succinct(_))
+    }
+
+    /// Whether the backing storage is a mapped snapshot window.
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            CsrOffsets::Plain(_) => false,
+            CsrOffsets::Succinct(ef) => ef.is_mapped(),
+        }
+    }
+
+    /// Sequential decode of all offsets (serialization path).
+    pub fn iter(&self) -> Box<dyn Iterator<Item = usize> + '_> {
+        match self {
+            CsrOffsets::Plain(v) => Box::new(v.iter().copied()),
+            CsrOffsets::Succinct(ef) => Box::new(ef.iter().map(|v| v as usize)),
+        }
+    }
+}
+
+/// Memory footprint of one graph's CSR arrays, for the `/graphs` and
+/// `/healthz` operator surfaces.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphFootprint {
+    /// Bytes of the offset structure as stored (plain or succinct).
+    pub offsets_bytes: usize,
+    /// Bytes the plain `Vec<usize>` offsets would take (`(n + 1) × 8`).
+    pub plain_offsets_bytes: usize,
+    /// Bytes of the `neighbors` + `edge_ids` slot arrays.
+    pub slot_bytes: usize,
+    /// Whether offsets are in the succinct form.
+    pub succinct: bool,
+    /// Whether any array serves zero-copy from a mapped snapshot.
+    pub mapped: bool,
+}
+
+impl GraphFootprint {
+    /// Total CSR bytes (offsets representation + slot arrays).
+    pub fn csr_bytes(&self) -> usize {
+        self.offsets_bytes + self.slot_bytes
+    }
+
+    /// Bytes of the succinct offset structure (0 when plain).
+    pub fn succinct_bytes(&self) -> usize {
+        if self.succinct {
+            self.offsets_bytes
+        } else {
+            0
+        }
+    }
+}
 
 /// An immutable undirected simple graph in CSR form.
 ///
@@ -18,11 +140,11 @@ pub type NodeId = u32;
 #[derive(Clone, Debug)]
 pub struct Graph {
     /// `offsets[v]..offsets[v + 1]` indexes `neighbors`/`edge_ids` for `v`.
-    offsets: Vec<usize>,
+    offsets: CsrOffsets,
     /// Concatenated sorted adjacency lists; length `2m`.
-    neighbors: Vec<NodeId>,
+    neighbors: U32s,
     /// Undirected edge id per slot; both directions of an edge share an id.
-    edge_ids: Vec<u32>,
+    edge_ids: U32s,
     /// Number of undirected edges `m`.
     num_edges: usize,
 }
@@ -32,7 +154,7 @@ impl Graph {
     ///
     /// Callers must guarantee CSR well-formedness (monotone offsets, sorted
     /// per-node neighbor slices, twin slots sharing edge ids). Only the
-    /// builder and loaders in this crate construct graphs.
+    /// builder and loaders in this crate construct graphs this way.
     pub(crate) fn from_parts(
         offsets: Vec<usize>,
         neighbors: Vec<NodeId>,
@@ -43,17 +165,117 @@ impl Graph {
         debug_assert_eq!(neighbors.len(), edge_ids.len());
         debug_assert_eq!(neighbors.len(), 2 * num_edges);
         Graph {
-            offsets,
-            neighbors,
-            edge_ids,
+            offsets: CsrOffsets::Plain(offsets),
+            neighbors: U32s::Owned(neighbors),
+            edge_ids: U32s::Owned(edge_ids),
             num_edges,
         }
     }
 
-    /// The raw CSR arrays `(offsets, neighbors, edge_ids)`, for the binary
-    /// serializer in [`crate::binio`].
-    pub(crate) fn csr_parts(&self) -> (&[usize], &[NodeId], &[u32]) {
-        (&self.offsets, &self.neighbors, &self.edge_ids)
+    /// Assembles a graph from externally-stored CSR arrays (the mapped
+    /// snapshot load path), re-validating every invariant the accessors
+    /// need to stay panic-free: `n + 1` monotone offsets ending at `2m`,
+    /// slot arrays of length `2m`, neighbor ids `< n`, and edge ids `< m`.
+    ///
+    /// Per-node sortedness and twin-slot consistency are *not* re-checked
+    /// here — the snapshot CRC already vouches for writer output, and a
+    /// violation can only misroute queries, never index out of bounds. The
+    /// byte-decode path ([`crate::binio::read_graph`]) keeps the full
+    /// check for untrusted inputs.
+    pub fn assemble(
+        offsets: CsrOffsets,
+        neighbors: U32s,
+        edge_ids: U32s,
+        num_edges: usize,
+    ) -> Result<Graph, String> {
+        if offsets.is_empty() {
+            return Err("csr: offsets must hold at least one value".to_string());
+        }
+        let n = offsets.len() - 1;
+        let slots = num_edges
+            .checked_mul(2)
+            .ok_or_else(|| "csr: edge count overflow".to_string())?;
+        if neighbors.as_slice().len() != slots || edge_ids.as_slice().len() != slots {
+            return Err(format!(
+                "csr: slot arrays hold {}/{} entries, expected {slots}",
+                neighbors.as_slice().len(),
+                edge_ids.as_slice().len()
+            ));
+        }
+        let mut prev = 0usize;
+        for (i, off) in offsets.iter().enumerate() {
+            if i == 0 && off != 0 {
+                return Err(format!("csr: offsets[0] is {off}, expected 0"));
+            }
+            if off < prev {
+                return Err(format!(
+                    "csr: offsets[{i}] {off} < offsets[{}] {prev}",
+                    i - 1
+                ));
+            }
+            if off > slots {
+                return Err(format!("csr: offsets[{i}] {off} exceeds {slots} slots"));
+            }
+            prev = off;
+        }
+        if prev != slots {
+            return Err(format!("csr: final offset {prev} != {slots} slots"));
+        }
+        if let Some(bad) = neighbors.as_slice().iter().find(|&&v| v as usize >= n) {
+            return Err(format!("csr: neighbor id {bad} out of range for {n} nodes"));
+        }
+        if let Some(bad) = edge_ids
+            .as_slice()
+            .iter()
+            .find(|&&id| id as usize >= num_edges)
+        {
+            return Err(format!(
+                "csr: edge id {bad} out of range for {num_edges} edges"
+            ));
+        }
+        Ok(Graph {
+            offsets,
+            neighbors,
+            edge_ids,
+            num_edges,
+        })
+    }
+
+    /// The offset structure, for the snapshot serializer.
+    pub fn csr_offsets(&self) -> &CsrOffsets {
+        &self.offsets
+    }
+
+    /// The raw slot arrays `(neighbors, edge_ids)`, for serializers.
+    pub fn csr_slots(&self) -> (&[NodeId], &[u32]) {
+        (self.neighbors.as_slice(), self.edge_ids.as_slice())
+    }
+
+    /// Converts plain offsets to the succinct Elias–Fano form in place.
+    ///
+    /// Idempotent; slot arrays are untouched. Serving paths call this after
+    /// decomposition so resident graphs pay succinct bytes; the delta path
+    /// re-inflates by rebuilding through [`Graph::from_parts`].
+    pub fn compact(&mut self) {
+        if let CsrOffsets::Plain(v) = &self.offsets {
+            self.offsets = CsrOffsets::Succinct(EliasFano::from_values(v));
+        }
+    }
+
+    /// Memory footprint of the CSR arrays as currently stored.
+    pub fn footprint(&self) -> GraphFootprint {
+        GraphFootprint {
+            offsets_bytes: self.offsets.byte_len(),
+            plain_offsets_bytes: self.offsets.len() * std::mem::size_of::<usize>(),
+            slot_bytes: self.neighbors.byte_len() + self.edge_ids.byte_len(),
+            succinct: self.offsets.is_succinct(),
+            mapped: self.is_mapped(),
+        }
+    }
+
+    /// Whether any CSR array serves zero-copy from a mapped snapshot.
+    pub fn is_mapped(&self) -> bool {
+        self.offsets.is_mapped() || self.neighbors.is_mapped() || self.edge_ids.is_mapped()
     }
 
     /// Number of nodes `n`.
@@ -71,32 +293,35 @@ impl Graph {
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.offsets[v as usize + 1] - self.offsets[v as usize]
+        let (a, b) = self.offsets.pair(v as usize);
+        b - a
     }
 
     /// Sorted neighbors of `v`.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+        let (a, b) = self.offsets.pair(v as usize);
+        &self.neighbors.as_slice()[a..b]
     }
 
     /// The CSR slot range of `v`; slot `i` pairs `self.neighbor_at(i)` with
     /// `self.edge_id_at(i)`.
     #[inline]
     pub fn slot_range(&self, v: NodeId) -> std::ops::Range<usize> {
-        self.offsets[v as usize]..self.offsets[v as usize + 1]
+        let (a, b) = self.offsets.pair(v as usize);
+        a..b
     }
 
     /// Neighbor stored in CSR slot `slot`.
     #[inline]
     pub fn neighbor_at(&self, slot: usize) -> NodeId {
-        self.neighbors[slot]
+        self.neighbors.as_slice()[slot]
     }
 
     /// Undirected edge id stored in CSR slot `slot`.
     #[inline]
     pub fn edge_id_at(&self, slot: usize) -> u32 {
-        self.edge_ids[slot]
+        self.edge_ids.as_slice()[slot]
     }
 
     /// Whether the undirected edge `{u, v}` exists (binary search).
@@ -107,11 +332,11 @@ impl Graph {
 
     /// The undirected edge id of `{u, v}`, if the edge exists.
     pub fn edge_id(&self, u: NodeId, v: NodeId) -> Option<u32> {
-        let base = self.offsets[u as usize];
-        self.neighbors(u)
+        let (base, end) = self.offsets.pair(u as usize);
+        self.neighbors.as_slice()[base..end]
             .binary_search(&v)
             .ok()
-            .map(|i| self.edge_ids[base + i])
+            .map(|i| self.edge_ids.as_slice()[base + i])
     }
 
     /// Iterates all node ids `0..n`.
@@ -148,6 +373,7 @@ impl Graph {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::builder::GraphBuilder;
 
     #[test]
@@ -212,5 +438,108 @@ mod tests {
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.max_degree(), 0);
         assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn compact_preserves_every_accessor() {
+        let mut g = GraphBuilder::new(6)
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3), (4, 5), (0, 3)])
+            .build()
+            .unwrap();
+        let before: Vec<_> = g.edges().collect();
+        let degrees: Vec<_> = g.nodes().map(|v| g.degree(v)).collect();
+        assert!(!g.csr_offsets().is_succinct());
+        g.compact();
+        assert!(g.csr_offsets().is_succinct());
+        assert_eq!(g.edges().collect::<Vec<_>>(), before);
+        assert_eq!(g.nodes().map(|v| g.degree(v)).collect::<Vec<_>>(), degrees);
+        assert!(g.has_edge(4, 5));
+        assert!(!g.has_edge(1, 3));
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        // Idempotent.
+        g.compact();
+        assert!(g.csr_offsets().is_succinct());
+    }
+
+    #[test]
+    fn compact_on_edgeless_and_isolated_nodes() {
+        let mut g = GraphBuilder::new(4).edges([(1, 2)]).build().unwrap();
+        g.compact();
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.neighbors(1), &[2]);
+
+        let mut empty = GraphBuilder::new(1).build().unwrap();
+        empty.compact();
+        assert_eq!(empty.num_nodes(), 1);
+        assert_eq!(empty.degree(0), 0);
+    }
+
+    #[test]
+    fn footprint_reports_the_tier() {
+        let mut g = GraphBuilder::new(100)
+            .edges((0u32..99).map(|i| (i, i + 1)))
+            .build()
+            .unwrap();
+        let plain = g.footprint();
+        assert!(!plain.succinct);
+        assert!(!plain.mapped);
+        assert_eq!(plain.offsets_bytes, plain.plain_offsets_bytes);
+        assert_eq!(plain.succinct_bytes(), 0);
+        assert_eq!(plain.slot_bytes, 2 * 99 * 2 * 4);
+        g.compact();
+        let tiered = g.footprint();
+        assert!(tiered.succinct);
+        assert!(tiered.offsets_bytes < plain.offsets_bytes);
+        assert_eq!(tiered.succinct_bytes(), tiered.offsets_bytes);
+        assert_eq!(tiered.slot_bytes, plain.slot_bytes);
+    }
+
+    #[test]
+    fn assemble_validates_structure() {
+        use crate::succinct::U32s;
+        let ok = Graph::assemble(
+            CsrOffsets::Plain(vec![0, 2, 4]),
+            U32s::Owned(vec![1, 1, 0, 0]),
+            U32s::Owned(vec![0, 1, 0, 1]),
+            2,
+        );
+        assert!(ok.is_ok());
+
+        // Final offset disagrees with slot count.
+        assert!(Graph::assemble(
+            CsrOffsets::Plain(vec![0, 2, 3]),
+            U32s::Owned(vec![1, 1, 0, 0]),
+            U32s::Owned(vec![0, 1, 0, 1]),
+            2,
+        )
+        .is_err());
+
+        // Non-monotone offsets.
+        assert!(Graph::assemble(
+            CsrOffsets::Plain(vec![0, 3, 2, 4]),
+            U32s::Owned(vec![1, 1, 0, 0]),
+            U32s::Owned(vec![0, 1, 0, 1]),
+            2,
+        )
+        .is_err());
+
+        // Neighbor id out of range.
+        assert!(Graph::assemble(
+            CsrOffsets::Plain(vec![0, 2, 4]),
+            U32s::Owned(vec![1, 9, 0, 0]),
+            U32s::Owned(vec![0, 1, 0, 1]),
+            2,
+        )
+        .is_err());
+
+        // Edge id out of range.
+        assert!(Graph::assemble(
+            CsrOffsets::Plain(vec![0, 2, 4]),
+            U32s::Owned(vec![1, 1, 0, 0]),
+            U32s::Owned(vec![0, 7, 0, 1]),
+            2,
+        )
+        .is_err());
     }
 }

@@ -41,13 +41,16 @@ pub mod diameter;
 pub mod error;
 pub mod fixtures;
 pub mod io;
+pub mod mmap;
 pub mod subgraph;
+pub mod succinct;
 pub mod wire;
 
 pub use bicomp::Bicomps;
 pub use blockcut::BlockCutTree;
 pub use builder::GraphBuilder;
 pub use connectivity::Components;
-pub use csr::{Graph, NodeId};
+pub use csr::{CsrOffsets, Graph, GraphFootprint, NodeId};
 pub use delta::{AppliedDelta, DeltaError, EdgeDelta};
 pub use error::GraphError;
+pub use mmap::MmapRegion;

@@ -1,0 +1,187 @@
+//! Read-only file mappings for zero-copy snapshot serving.
+//!
+//! Mirrors the direct `extern "C"` binding style of the service reactor's
+//! epoll layer: no external crate, just the two syscall wrappers the tier
+//! needs (`mmap`, `munmap`), bound with fixed Linux ABI constants.
+//!
+//! A [`MmapRegion`] maps a whole file `PROT_READ` + `MAP_PRIVATE` and
+//! exposes it as `&[u8]`. Lifetime hazards are contained by construction:
+//!
+//! * the mapping is never writable, so aliasing with other readers is fine;
+//! * snapshot files are only ever replaced via atomic `rename`, never
+//!   truncated in place, so a live mapping keeps the *old inode* readable
+//!   for its whole lifetime and cannot fault on a shrunk file;
+//! * the region owns the mapping and `munmap`s exactly once on drop, and is
+//!   shared between graph storage arrays via `Arc`.
+
+use std::fs::File;
+use std::ops::Deref;
+use std::os::unix::io::AsRawFd;
+
+#[allow(non_camel_case_types)]
+type c_int = i32;
+#[allow(non_camel_case_types)]
+type size_t = usize;
+#[allow(non_camel_case_types)]
+type off_t = i64;
+
+/// `PROT_READ`: pages may be read, never written or executed.
+const PROT_READ: c_int = 0x1;
+/// `MAP_PRIVATE`: copy-on-write visibility; irrelevant for a read-only
+/// mapping but keeps any future stray write from reaching the file.
+const MAP_PRIVATE: c_int = 0x02;
+
+extern "C" {
+    fn mmap(
+        addr: *mut u8,
+        length: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut u8;
+    fn munmap(addr: *mut u8, length: size_t) -> c_int;
+}
+
+/// An owned, read-only, whole-file memory mapping.
+pub struct MmapRegion {
+    ptr: *const u8,
+    len: usize,
+}
+
+impl MmapRegion {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// Fails (with the OS error text) rather than panicking on empty files,
+    /// files larger than the address space, or `mmap` refusal; callers fall
+    /// back to the byte-decode load path.
+    pub fn map(file: &File) -> Result<MmapRegion, String> {
+        let len = file
+            .metadata()
+            .map_err(|e| format!("mmap: stat failed: {e}"))?
+            .len();
+        let len =
+            usize::try_from(len).map_err(|_| "mmap: file exceeds address space".to_string())?;
+        if len == 0 {
+            return Err("mmap: refusing to map an empty file".to_string());
+        }
+        // SAFETY: all arguments are well-formed for the Linux ABI declared
+        // above — a null hint address, a non-zero length no larger than the
+        // file, read-only protection flags, and a file descriptor that is
+        // live for the duration of the call (`file` is borrowed). The
+        // kernel either returns a fresh page-aligned mapping of `len` bytes
+        // (owned by the returned region and unmapped exactly once in
+        // `Drop`) or `MAP_FAILED`, which is checked below.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr.is_null() || ptr as isize == -1 {
+            return Err(format!("mmap failed: {}", std::io::Error::last_os_error()));
+        }
+        Ok(MmapRegion { ptr, len })
+    }
+
+    /// Length of the mapping in bytes (the file length at map time).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false: zero-length files are refused at map time.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for MmapRegion {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        // SAFETY: `ptr` is a live `PROT_READ` mapping of exactly `len`
+        // bytes (established in `map`, released only in `Drop`, which
+        // cannot run while `self` is borrowed). The file behind it is
+        // replaced only by atomic rename — never truncated — so every byte
+        // stays readable; and the mapping is never writable from anywhere,
+        // so the shared slice cannot alias a mutation.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` describe the exact mapping returned by the
+        // successful `mmap` in `map`; it is unmapped here exactly once
+        // (the region is neither `Clone` nor `Copy`). A failure return
+        // only leaks the mapping, which is safe.
+        unsafe {
+            munmap(self.ptr as *mut u8, self.len);
+        }
+    }
+}
+
+// SAFETY: the region is an immutable byte buffer: the pages are mapped
+// read-only, the raw pointer is never handed out mutably, and `munmap`
+// happens once on drop regardless of which thread drops. Sharing or moving
+// it across threads is therefore as safe as sharing an `Arc<[u8]>`.
+unsafe impl Send for MmapRegion {}
+// SAFETY: see `Send` above — all access is read-only through `Deref`.
+unsafe impl Sync for MmapRegion {}
+
+impl std::fmt::Debug for MmapRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmapRegion")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("saphyra-mmap-{tag}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn maps_file_contents_read_only() {
+        let path = temp_path("basic");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let region = MmapRegion::map(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(region.len(), payload.len());
+        assert_eq!(&region[..], &payload[..]);
+        drop(region);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_is_refused_not_panicked() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let err = MmapRegion::map(&File::open(&path).unwrap()).unwrap_err();
+        assert!(err.contains("empty"), "unexpected error: {err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn region_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MmapRegion>();
+    }
+}

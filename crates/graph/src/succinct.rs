@@ -1,0 +1,627 @@
+//! Succinct CSR offset storage: Elias–Fano monotone sequences with
+//! broadword-popcount select, plus the mappable array storage the mmap
+//! snapshot tier shares with the plain CSR slot arrays.
+//!
+//! CSR offsets are a monotone sequence of `n + 1` values in `[0, 2m]` — the
+//! textbook Elias–Fano case. Each value is split into `l` low bits, stored
+//! packed, and a high part encoded in unary in an upper bitvector: value
+//! `i`'s high part `h` sets bit `h + i`. Space is `l + 2..3` bits per value
+//! plus ~0.5 bits of select samples, against 64 bits for the `Vec<usize>`
+//! offsets it replaces. Lookup of `offsets[i]` is one sampled select (at
+//! most [`SELECT_SAMPLE`] popcount words scanned) and the adjacent pair
+//! `(offsets[v], offsets[v + 1])` — the CSR hot path — costs one select
+//! plus a next-set-bit scan.
+//!
+//! All arrays live behind [`Words`] / [`U32s`], which are either owned
+//! vectors (build path) or windows into a shared [`MmapRegion`] (snapshot
+//! serving path) — the same structure works zero-copy off a mapped v3
+//! snapshot file.
+
+use std::sync::Arc;
+
+use crate::mmap::MmapRegion;
+
+/// One select sample is kept every this many set bits.
+pub const SELECT_SAMPLE: usize = 128;
+
+/// A `u64` array that is either owned or a window into a mapped region.
+#[derive(Clone, Debug)]
+pub enum Words {
+    /// Heap-allocated (build / decode path).
+    Owned(Vec<u64>),
+    /// `len` words starting `byte_off` bytes into a shared mapping.
+    Mapped {
+        region: Arc<MmapRegion>,
+        byte_off: usize,
+        len: usize,
+    },
+}
+
+impl Words {
+    /// Wraps a window of a mapped region as a `u64` array.
+    ///
+    /// Fails (→ decode fallback) on big-endian hosts, misaligned offsets,
+    /// or windows that overrun the mapping — never panics.
+    pub fn mapped(region: Arc<MmapRegion>, byte_off: usize, len: usize) -> Result<Words, String> {
+        if cfg!(target_endian = "big") {
+            return Err("mapped words require a little-endian host".to_string());
+        }
+        let bytes = len
+            .checked_mul(8)
+            .and_then(|b| b.checked_add(byte_off))
+            .ok_or_else(|| "mapped words: length overflow".to_string())?;
+        if bytes > region.len() {
+            return Err(format!(
+                "mapped words: window {byte_off}+{len}x8 exceeds region of {} bytes",
+                region.len()
+            ));
+        }
+        if !(region.as_ptr() as usize + byte_off).is_multiple_of(std::mem::align_of::<u64>()) {
+            return Err("mapped words: window is not 8-byte aligned".to_string());
+        }
+        Ok(Words::Mapped {
+            region,
+            byte_off,
+            len,
+        })
+    }
+
+    /// The words as a slice; zero-copy for both variants.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        match self {
+            Words::Owned(v) => v,
+            Words::Mapped {
+                region,
+                byte_off,
+                len,
+            } => {
+                // SAFETY: the constructor proved the window lies inside the
+                // region (`byte_off + len * 8 <= region.len()`), is 8-byte
+                // aligned, and the host is little-endian so the byte
+                // reinterpretation is value-preserving. The region is
+                // read-only and kept alive by the `Arc` for `&self`'s
+                // lifetime, so the slice cannot dangle or alias a write.
+                unsafe {
+                    std::slice::from_raw_parts(region.as_ptr().add(*byte_off) as *const u64, *len)
+                }
+            }
+        }
+    }
+
+    /// Bytes occupied by the array (same for owned and mapped).
+    #[inline]
+    pub fn byte_len(&self) -> usize {
+        self.as_slice().len() * 8
+    }
+
+    /// Whether the storage is a mapped window.
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, Words::Mapped { .. })
+    }
+}
+
+/// A `u32` array that is either owned or a window into a mapped region.
+///
+/// Backs the CSR `neighbors` / `edge_ids` slot arrays.
+#[derive(Clone, Debug)]
+pub enum U32s {
+    Owned(Vec<u32>),
+    Mapped {
+        region: Arc<MmapRegion>,
+        byte_off: usize,
+        len: usize,
+    },
+}
+
+impl U32s {
+    /// Wraps a window of a mapped region as a `u32` array; same failure
+    /// modes (→ decode fallback) as [`Words::mapped`].
+    pub fn mapped(region: Arc<MmapRegion>, byte_off: usize, len: usize) -> Result<U32s, String> {
+        if cfg!(target_endian = "big") {
+            return Err("mapped u32s require a little-endian host".to_string());
+        }
+        let bytes = len
+            .checked_mul(4)
+            .and_then(|b| b.checked_add(byte_off))
+            .ok_or_else(|| "mapped u32s: length overflow".to_string())?;
+        if bytes > region.len() {
+            return Err(format!(
+                "mapped u32s: window {byte_off}+{len}x4 exceeds region of {} bytes",
+                region.len()
+            ));
+        }
+        if !(region.as_ptr() as usize + byte_off).is_multiple_of(std::mem::align_of::<u32>()) {
+            return Err("mapped u32s: window is not 4-byte aligned".to_string());
+        }
+        Ok(U32s::Mapped {
+            region,
+            byte_off,
+            len,
+        })
+    }
+
+    /// The values as a slice; zero-copy for both variants.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        match self {
+            U32s::Owned(v) => v,
+            U32s::Mapped {
+                region,
+                byte_off,
+                len,
+            } => {
+                // SAFETY: mirror of `Words::as_slice` — the constructor
+                // proved in-bounds (`byte_off + len * 4 <= region.len()`),
+                // 4-byte-aligned, little-endian host; the read-only region
+                // is held alive by the `Arc` for the borrow's lifetime.
+                unsafe {
+                    std::slice::from_raw_parts(region.as_ptr().add(*byte_off) as *const u32, *len)
+                }
+            }
+        }
+    }
+
+    /// Bytes occupied by the array.
+    #[inline]
+    pub fn byte_len(&self) -> usize {
+        self.as_slice().len() * 4
+    }
+
+    /// Whether the storage is a mapped window.
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, U32s::Mapped { .. })
+    }
+}
+
+impl MmapRegion {
+    /// Base pointer of the mapping, for alignment checks and window casts.
+    #[inline]
+    pub fn as_ptr(&self) -> *const u8 {
+        self[..].as_ptr()
+    }
+}
+
+/// An Elias–Fano encoded monotone (non-decreasing) sequence.
+#[derive(Clone, Debug)]
+pub struct EliasFano {
+    /// Number of encoded values.
+    len: usize,
+    /// Exclusive upper bound on values (`max + 1` as built).
+    universe: u64,
+    /// Low bits kept verbatim per value.
+    low_bits: u32,
+    /// Packed low bits, `low_bits` per value.
+    low: Words,
+    /// Upper unary bitvector: value `i` with high part `h` sets bit `h + i`.
+    upper: Words,
+    /// `samples[k]` = bit position of set bit number `k * SELECT_SAMPLE`.
+    samples: Words,
+}
+
+impl EliasFano {
+    /// Encodes a non-empty monotone sequence of `usize` values.
+    ///
+    /// # Panics
+    /// Debug-asserts monotonicity; callers (CSR offsets) guarantee it.
+    pub fn from_values(values: &[usize]) -> EliasFano {
+        assert!(!values.is_empty(), "Elias-Fano of an empty sequence");
+        let len = values.len();
+        let universe = *values.last().expect("non-empty") as u64 + 1;
+        let low_bits = if universe > len as u64 {
+            (universe / len as u64).ilog2()
+        } else {
+            0
+        };
+        let mut low = vec![0u64; (len * low_bits as usize).div_ceil(64).max(1)];
+        let high_last = (universe - 1) >> low_bits;
+        let upper_bits = high_last as usize + len;
+        let mut upper = vec![0u64; upper_bits.div_ceil(64).max(1)];
+        let mut samples = Vec::with_capacity(len.div_ceil(SELECT_SAMPLE));
+        let low_mask = if low_bits == 0 {
+            0
+        } else {
+            (1u64 << low_bits) - 1
+        };
+        let mut prev = 0usize;
+        for (i, &v) in values.iter().enumerate() {
+            debug_assert!(v >= prev, "offsets must be monotone");
+            prev = v;
+            if low_bits > 0 {
+                let bit = i * low_bits as usize;
+                let (wi, shift) = (bit / 64, (bit % 64) as u32);
+                low[wi] |= (v as u64 & low_mask) << shift;
+                if shift + low_bits > 64 {
+                    low[wi + 1] |= (v as u64 & low_mask) >> (64 - shift);
+                }
+            }
+            let pos = ((v as u64) >> low_bits) as usize + i;
+            upper[pos / 64] |= 1u64 << (pos % 64);
+            if i % SELECT_SAMPLE == 0 {
+                samples.push(pos as u64);
+            }
+        }
+        EliasFano {
+            len,
+            universe,
+            low_bits,
+            low: Words::Owned(low),
+            upper: Words::Owned(upper),
+            samples: Words::Owned(samples),
+        }
+    }
+
+    /// Reassembles an encoding from stored parts (the mmap load path),
+    /// verifying every structural invariant the accessors rely on:
+    /// array lengths match `len`/`low_bits`, the upper bitvector holds
+    /// exactly `len` set bits, and every stored select sample points at the
+    /// set bit it claims. One sequential pass; never panics on bad input.
+    pub fn from_parts(
+        len: usize,
+        universe: u64,
+        low_bits: u32,
+        low: Words,
+        upper: Words,
+        samples: Words,
+    ) -> Result<EliasFano, String> {
+        if len == 0 {
+            return Err("elias-fano: empty sequence".to_string());
+        }
+        if low_bits > 63 {
+            return Err(format!("elias-fano: low_bits {low_bits} out of range"));
+        }
+        let want_low = len
+            .checked_mul(low_bits as usize)
+            .map(|b| b.div_ceil(64).max(1))
+            .ok_or_else(|| "elias-fano: low size overflow".to_string())?;
+        if low.as_slice().len() != want_low {
+            return Err(format!(
+                "elias-fano: low words {} != expected {want_low}",
+                low.as_slice().len()
+            ));
+        }
+        let want_samples = len.div_ceil(SELECT_SAMPLE);
+        if samples.as_slice().len() != want_samples {
+            return Err(format!(
+                "elias-fano: samples {} != expected {want_samples}",
+                samples.as_slice().len()
+            ));
+        }
+        let high_last = universe.saturating_sub(1) >> low_bits;
+        let want_upper_min = (high_last as usize)
+            .checked_add(len)
+            .map(|b| b.div_ceil(64).max(1))
+            .ok_or_else(|| "elias-fano: upper size overflow".to_string())?;
+        if upper.as_slice().len() != want_upper_min {
+            return Err(format!(
+                "elias-fano: upper words {} != expected {want_upper_min}",
+                upper.as_slice().len()
+            ));
+        }
+        // Single popcount pass: count ones and check each sample's target.
+        let sample_slice = samples.as_slice();
+        let mut ones = 0usize;
+        'scan: for (wi, &w) in upper.as_slice().iter().enumerate() {
+            let mut rest = w;
+            while rest != 0 {
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                if ones >= len {
+                    // Too many set bits — flag and stop before the sample
+                    // index below could run past the samples array.
+                    ones += 1;
+                    break 'scan;
+                }
+                if ones.is_multiple_of(SELECT_SAMPLE) {
+                    let want = (wi * 64 + bit) as u64;
+                    let got = sample_slice[ones / SELECT_SAMPLE];
+                    if got != want {
+                        return Err(format!(
+                            "elias-fano: sample {} is {got}, expected {want}",
+                            ones / SELECT_SAMPLE
+                        ));
+                    }
+                }
+                ones += 1;
+            }
+        }
+        if ones != len {
+            return Err(format!(
+                "elias-fano: upper holds {ones} ones, expected {len}"
+            ));
+        }
+        Ok(EliasFano {
+            len,
+            universe,
+            low_bits,
+            low,
+            upper,
+            samples,
+        })
+    }
+
+    /// Number of encoded values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Never true: construction rejects empty sequences.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exclusive upper bound the sequence was encoded against.
+    #[inline]
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// Low bits kept verbatim per value.
+    #[inline]
+    pub fn low_bits(&self) -> u32 {
+        self.low_bits
+    }
+
+    /// The three backing arrays `(low, upper, samples)`, for serialization.
+    pub fn parts(&self) -> (&Words, &Words, &Words) {
+        (&self.low, &self.upper, &self.samples)
+    }
+
+    /// Total bytes of the three backing arrays.
+    pub fn byte_len(&self) -> usize {
+        self.low.byte_len() + self.upper.byte_len() + self.samples.byte_len()
+    }
+
+    /// Whether any backing array is a mapped window.
+    pub fn is_mapped(&self) -> bool {
+        self.low.is_mapped() || self.upper.is_mapped() || self.samples.is_mapped()
+    }
+
+    /// Low bits of value `i`.
+    #[inline]
+    fn low_value(&self, i: usize) -> u64 {
+        let l = self.low_bits;
+        if l == 0 {
+            return 0;
+        }
+        let low = self.low.as_slice();
+        let bit = i * l as usize;
+        let (wi, shift) = (bit / 64, (bit % 64) as u32);
+        let mut v = low[wi] >> shift;
+        if shift + l > 64 {
+            v |= low[wi + 1] << (64 - shift);
+        }
+        v & ((1u64 << l) - 1)
+    }
+
+    /// Bit position of set bit number `i` in the upper bitvector: jump to
+    /// the nearest select sample, then popcount-scan forward word by word.
+    #[inline]
+    fn select(&self, i: usize) -> usize {
+        let upper = self.upper.as_slice();
+        let pos = self.samples.as_slice()[i / SELECT_SAMPLE] as usize;
+        let mut skip = i % SELECT_SAMPLE;
+        if skip == 0 {
+            return pos;
+        }
+        let mut wi = pos / 64;
+        // Bits strictly after `pos` in its word (the sampled one itself is
+        // bit number `i - skip`).
+        let mut w = upper[wi] & !(u64::MAX >> (63 - (pos % 64)));
+        loop {
+            let c = w.count_ones() as usize;
+            if skip <= c {
+                let mut rest = w;
+                for _ in 1..skip {
+                    rest &= rest - 1;
+                }
+                return wi * 64 + rest.trailing_zeros() as usize;
+            }
+            skip -= c;
+            wi += 1;
+            w = upper[wi];
+        }
+    }
+
+    /// Position of the first set bit strictly after `pos`.
+    #[inline]
+    fn next_one_after(&self, pos: usize) -> usize {
+        let upper = self.upper.as_slice();
+        let mut wi = pos / 64;
+        let b = pos % 64;
+        let mut w = if b == 63 {
+            0
+        } else {
+            upper[wi] & (u64::MAX << (b + 1))
+        };
+        while w == 0 {
+            wi += 1;
+            w = upper[wi];
+        }
+        wi * 64 + w.trailing_zeros() as usize
+    }
+
+    /// Value `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        let pos = self.select(i);
+        (((pos - i) as u64) << self.low_bits) | self.low_value(i)
+    }
+
+    /// Adjacent values `(get(i), get(i + 1))` with a single select — the
+    /// CSR `slot_range` hot path. Requires `i + 1 < len`.
+    #[inline]
+    pub fn pair(&self, i: usize) -> (u64, u64) {
+        debug_assert!(i + 1 < self.len);
+        let pos = self.select(i);
+        let pos2 = self.next_one_after(pos);
+        let a = (((pos - i) as u64) << self.low_bits) | self.low_value(i);
+        let b = (((pos2 - i - 1) as u64) << self.low_bits) | self.low_value(i + 1);
+        (a, b)
+    }
+
+    /// Sequential decode of all values — a linear scan of the upper
+    /// bitvector, used by serialization and load-time validation.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        let upper = self.upper.as_slice();
+        let mut wi = 0usize;
+        let mut w = upper.first().copied().unwrap_or(0);
+        let mut i = 0usize;
+        std::iter::from_fn(move || {
+            if i >= self.len {
+                return None;
+            }
+            loop {
+                if w != 0 {
+                    let pos = wi * 64 + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let v = (((pos - i) as u64) << self.low_bits) | self.low_value(i);
+                    i += 1;
+                    return Some(v);
+                }
+                wi += 1;
+                w = upper[wi];
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_round_trip(values: &[usize]) {
+        let ef = EliasFano::from_values(values);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(ef.get(i), v as u64, "get({i}) of {values:?}");
+        }
+        for i in 0..values.len().saturating_sub(1) {
+            assert_eq!(
+                ef.pair(i),
+                (values[i] as u64, values[i + 1] as u64),
+                "pair({i}) of {values:?}"
+            );
+        }
+        let decoded: Vec<u64> = ef.iter().collect();
+        let want: Vec<u64> = values.iter().map(|&v| v as u64).collect();
+        assert_eq!(decoded, want);
+    }
+
+    #[test]
+    fn single_zero_value() {
+        check_round_trip(&[0]);
+    }
+
+    #[test]
+    fn all_equal_values() {
+        check_round_trip(&[7; 300]);
+    }
+
+    #[test]
+    fn dense_and_sparse_sequences() {
+        check_round_trip(&[0, 0, 1, 2, 2, 2, 3, 10, 10, 11]);
+        check_round_trip(&(0..1000).map(|i| i * 3).collect::<Vec<_>>());
+        check_round_trip(&[0, 1, 1, 1_000_000, 1_000_000, 123_456_789]);
+    }
+
+    #[test]
+    fn crosses_select_sample_boundaries() {
+        // > 2 * SELECT_SAMPLE values with irregular gaps.
+        let mut values = Vec::new();
+        let mut v = 0usize;
+        for i in 0..300 {
+            v += (i * 7) % 13;
+            values.push(v);
+        }
+        check_round_trip(&values);
+    }
+
+    #[test]
+    fn low_bits_straddle_word_boundaries() {
+        // Universe chosen so low_bits lands on a value that makes the
+        // packed low array straddle u64 words (l=5 → straddles at i=12).
+        let values: Vec<usize> = (0..200).map(|i| i * 40).collect();
+        check_round_trip(&values);
+    }
+
+    #[test]
+    fn from_parts_round_trips_own_parts() {
+        let values: Vec<usize> = (0..500).map(|i| i * 11 / 3).collect();
+        let ef = EliasFano::from_values(&values);
+        let (low, upper, samples) = ef.parts();
+        let re = EliasFano::from_parts(
+            ef.len(),
+            ef.universe(),
+            ef.low_bits(),
+            low.clone(),
+            upper.clone(),
+            samples.clone(),
+        )
+        .expect("own parts must validate");
+        assert_eq!(re.iter().collect::<Vec<_>>(), ef.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupt_parts() {
+        let values: Vec<usize> = (0..300).map(|i| i * 2).collect();
+        let ef = EliasFano::from_values(&values);
+        let (low, upper, samples) = ef.parts();
+
+        // Wrong ones count.
+        let mut bad_upper = upper.as_slice().to_vec();
+        bad_upper[0] ^= 1;
+        assert!(EliasFano::from_parts(
+            ef.len(),
+            ef.universe(),
+            ef.low_bits(),
+            low.clone(),
+            Words::Owned(bad_upper),
+            samples.clone(),
+        )
+        .is_err());
+
+        // Lying sample.
+        let mut bad_samples = samples.as_slice().to_vec();
+        bad_samples[1] += 1;
+        assert!(EliasFano::from_parts(
+            ef.len(),
+            ef.universe(),
+            ef.low_bits(),
+            low.clone(),
+            upper.clone(),
+            Words::Owned(bad_samples),
+        )
+        .is_err());
+
+        // Truncated low words.
+        let short_low = low.as_slice()[..low.as_slice().len() - 1].to_vec();
+        assert!(EliasFano::from_parts(
+            ef.len(),
+            ef.universe(),
+            ef.low_bits(),
+            Words::Owned(short_low),
+            upper.clone(),
+            samples.clone(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn space_is_a_small_fraction_of_plain_offsets() {
+        // A CSR-offsets-shaped sequence: 10k values, average gap ~9.
+        let values: Vec<usize> = (0..10_000).map(|i| i * 9 + (i % 5)).collect();
+        let ef = EliasFano::from_values(&values);
+        let plain = values.len() * std::mem::size_of::<usize>();
+        assert!(
+            ef.byte_len() * 8 <= plain,
+            "EF {} bytes vs plain {} bytes",
+            ef.byte_len(),
+            plain
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based equivalence of the succinct memory tier: an Elias–Fano
+//! compacted graph must answer every CSR query exactly like the plain
+//! `Vec<usize>` offsets it replaced, across the degenerate shapes the
+//! serving path meets — empty graphs, isolated nodes, and max-degree skew.
+
+use proptest::prelude::*;
+use proptest::BoxedStrategy;
+use saphyra_graph::succinct::EliasFano;
+use saphyra_graph::{Graph, GraphBuilder};
+
+/// Strategy: a random simple graph with 0..=24 nodes, biased toward the
+/// degenerate shapes the serving path meets: `kind 0` is the empty graph,
+/// uniform arms leave isolated high-id nodes whenever edges cluster low,
+/// and the hub arm produces max-degree skew around node 0.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (0usize..10, 1usize..=24).prop_flat_map(|(kind, n)| -> BoxedStrategy<Graph> {
+        match kind {
+            0 => Just(GraphBuilder::new(0).build().unwrap()).boxed(),
+            1..=6 => proptest::collection::vec((0..n as u32, 0..n as u32), 0..=3 * n)
+                .prop_map(move |edges| GraphBuilder::new(n).edges(edges).build().unwrap())
+                .boxed(),
+            // Star around node 0: one max-degree node, the rest degree <= 1.
+            _ => proptest::collection::vec(0..n as u32, 0..n)
+                .prop_map(move |vs| {
+                    GraphBuilder::new(n)
+                        .edges(vs.into_iter().map(|v| (0, v)))
+                        .build()
+                        .unwrap()
+                })
+                .boxed(),
+        }
+    })
+}
+
+fn plain_offsets(g: &Graph) -> Vec<usize> {
+    g.csr_offsets().iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn succinct_offsets_equal_plain_offsets(g in arb_graph()) {
+        let offsets = plain_offsets(&g);
+        let ef = EliasFano::from_values(&offsets);
+        prop_assert_eq!(ef.len(), offsets.len());
+        for (i, &off) in offsets.iter().enumerate() {
+            prop_assert_eq!(ef.get(i) as usize, off, "offset {i}");
+        }
+        for i in 0..offsets.len() - 1 {
+            let (a, b) = ef.pair(i);
+            prop_assert_eq!((a as usize, b as usize), (offsets[i], offsets[i + 1]));
+        }
+        let decoded: Vec<usize> = ef.iter().map(|v| v as usize).collect();
+        prop_assert_eq!(decoded, offsets);
+    }
+
+    #[test]
+    fn compacted_graph_answers_identically(g in arb_graph()) {
+        let mut c = g.clone();
+        c.compact();
+        prop_assert!(c.csr_offsets().is_succinct());
+        prop_assert_eq!(g.num_nodes(), c.num_nodes());
+        prop_assert_eq!(g.num_edges(), c.num_edges());
+        for v in g.nodes() {
+            prop_assert_eq!(g.degree(v), c.degree(v));
+            prop_assert_eq!(g.neighbors(v), c.neighbors(v));
+            prop_assert_eq!(g.slot_range(v), c.slot_range(v));
+            for u in g.nodes() {
+                prop_assert_eq!(g.edge_id(v, u), c.edge_id(v, u));
+            }
+        }
+        prop_assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            c.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn from_parts_accepts_exactly_its_own_encoding(g in arb_graph()) {
+        let offsets = plain_offsets(&g);
+        let ef = EliasFano::from_values(&offsets);
+        let (low, upper, samples) = ef.parts();
+        let re = EliasFano::from_parts(
+            ef.len(),
+            ef.universe(),
+            ef.low_bits(),
+            low.clone(),
+            upper.clone(),
+            samples.clone(),
+        );
+        prop_assert!(re.is_ok(), "own parts rejected: {:?}", re.err());
+        let re = re.unwrap();
+        prop_assert_eq!(
+            re.iter().collect::<Vec<_>>(),
+            ef.iter().collect::<Vec<_>>()
+        );
+    }
+}

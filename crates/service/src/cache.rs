@@ -48,6 +48,14 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         }
     }
 
+    /// Looks up `key` *without* marking it used: returns the entry's
+    /// current recency tick and value. Warm-cache collection ranks a
+    /// graph's entries by recency without perturbing the very ordering it
+    /// is reading.
+    pub fn peek(&self, key: &K) -> Option<(u64, &V)> {
+        self.map.get(key).map(|(t, v)| (*t, v))
+    }
+
     /// Inserts `key → value`, evicting the least-recently-used entry when
     /// full. A no-op when capacity is 0. Returns the evicted key, if any,
     /// so callers maintaining an external index over the cache's keys
@@ -205,6 +213,20 @@ mod tests {
         // c (the only survivor), never a ghost of a.
         c.insert("d", 4);
         assert_eq!(c.insert("e", 5), Some("c"));
+    }
+
+    #[test]
+    fn peek_reads_without_bumping_recency() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        let (tick_a, &v) = c.peek(&"a").unwrap();
+        assert_eq!(v, 1);
+        let (tick_b, _) = c.peek(&"b").unwrap();
+        assert!(tick_a < tick_b, "insertion order preserved");
+        assert_eq!(c.peek(&"missing"), None);
+        // a stayed least-recently-used: the next insert evicts it.
+        assert_eq!(c.insert("c", 3), Some("a"));
     }
 
     /// The tick index and the main map stay in lockstep: after a long

@@ -2,31 +2,51 @@
 //! snapshots of loaded graphs (CSR + full [`BcDecomposition`]) plus an
 //! append-only request journal.
 //!
-//! ## Snapshot format (version 2)
+//! ## Snapshot format (version 3)
+//!
+//! A page-aligned container designed so the graph section can be served
+//! zero-copy from a read-only `mmap`:
 //!
 //! ```text
-//! magic    8 bytes  b"SAPHSNAP"
-//! version  u32      SNAPSHOT_VERSION
-//! graph section:    u64 payload length | payload | u32 CRC-32 (IEEE)
-//!   payload = name (length-prefixed UTF-8) + Graph (saphyra_graph::binio)
-//!             + u64 delta_seq (v2+; v1 payloads end after the graph and
-//!             load with delta_seq = 0)
-//! dec section:      u64 payload length | payload | u32 CRC-32 (IEEE)
-//!   payload = BcDecomposition (saphyra::bc::write_decomposition,
-//!             carries its own DEC_FORMAT_VERSION)
+//! [   0..   8)  magic          b"SAPHSNAP"
+//! [   8..  12)  u32 version    SNAPSHOT_VERSION
+//! [  12..  16)  u32 flags      reserved, zero
+//! [  16..  24)  u64 delta_seq
+//! [  24..  48)  graph extent   u64 offset | u64 length | u32 CRC-32 | pad
+//! [  48..  72)  warm extent    same shape
+//! [  72..  96)  dec extent     same shape
+//! [  96..    )  name           length-prefixed UTF-8
+//! [       4096) graph section  fixed-field header, Elias-Fano offset
+//!                              arrays, neighbor + edge-id slot arrays —
+//!                              every array naturally aligned in the file
+//! [           ) warm section   cached /rank responses worth pre-warming
+//! [           ) dec section    BcDecomposition (own DEC_FORMAT_VERSION)
 //! ```
+//!
+//! The graph section starts at file offset 4096 (one page) and stores its
+//! arrays little-endian at 8-byte-aligned offsets, so a boot can `mmap`
+//! the file read-only and serve CSR queries straight off the kernel page
+//! cache ([`load_snapshot_mapped`]) — no decode, no heap copy. The
+//! section CRC is verified once at open. Snapshot files are only ever
+//! *replaced* by an atomic rename, never truncated in place, so a live
+//! mapping cannot be torn out from under a reader.
 //!
 //! `delta_seq` counts the journaled edge deltas (`PATCH /graphs/<name>`)
 //! already folded into the snapshotted graph, so boot replay applies only
 //! patch records with `seq > delta_seq` — snapshot + journal suffix
 //! reconstructs the live graph with zero re-uploads.
 //!
-//! All integers little-endian. The two sections are checksummed
+//! All integers little-endian. The three sections are checksummed
 //! *independently*: a damaged graph section makes the snapshot unusable
-//! (there is nothing to decompose), but a damaged or version-mismatched
-//! decomposition section degrades gracefully — the graph is still
-//! restored and the caller recomputes the decomposition, trading the
-//! startup win for correctness, never a crash.
+//! (there is nothing to decompose), a damaged warm section degrades to an
+//! empty warm cache, and a damaged or version-mismatched decomposition
+//! section degrades gracefully — the graph is still restored and the
+//! caller recomputes the decomposition, trading the startup win for
+//! correctness, never a crash.
+//!
+//! Version-1/2 files (sequential `u64 len | payload | u32 CRC` sections
+//! with the graph serialized via `saphyra_graph::binio`) still load
+//! through the byte-decode path.
 //!
 //! ## Atomic writes
 //!
@@ -56,12 +76,13 @@ use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use saphyra::bc::{self, BcDecomposition};
 use saphyra_graph::binio;
+use saphyra_graph::succinct::{EliasFano, U32s, Words};
 use saphyra_graph::wire::{self, Reader};
-use saphyra_graph::Graph;
+use saphyra_graph::{CsrOffsets, Graph, MmapRegion};
 
 use crate::http::Request;
 use crate::json::Json;
@@ -70,11 +91,21 @@ use crate::sync::LockExt;
 
 /// Magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"SAPHSNAP";
-/// Snapshot container format version. Version 2 added `delta_seq` to the
-/// graph section; version-1 files still load (with `delta_seq = 0`).
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// Snapshot container format version. Version 3 made the container
+/// page-aligned and mmap-servable and added the warm-cache section;
+/// version 2 added `delta_seq`. Older files still load via byte decode.
+pub const SNAPSHOT_VERSION: u32 = 3;
 /// Oldest snapshot container version this build still reads.
 pub const SNAPSHOT_MIN_VERSION: u32 = 1;
+/// Bytes reserved for the v3 fixed header (magic, version, extents,
+/// name). The graph section starts here — one page, so arrays stored at
+/// aligned offsets within the section stay aligned in a page-aligned
+/// mapping.
+pub const GRAPH_SECTION_OFFSET: usize = 4096;
+/// Size of the fixed-field prefix of a v3 graph section: `u64` n, m,
+/// ef_len, universe; `u32` low_bits + pad; `u64` low/upper/sample word
+/// counts. 64 bytes, so the arrays that follow start 8-byte aligned.
+const GRAPH_FIELDS_BYTES: usize = 64;
 /// File name of the append-only request journal inside a state dir.
 pub const JOURNAL_FILE: &str = "journal.log";
 
@@ -122,8 +153,90 @@ pub struct LoadedSnapshot {
     /// How many journaled edge deltas the snapshotted graph already
     /// contains (0 for version-1 snapshots, which predate deltas).
     pub delta_seq: u64,
+    /// Cached responses persisted for cache pre-warming. Empty for
+    /// version-1/2 snapshots and when the warm section was damaged.
+    pub warm: Vec<WarmEntry>,
+    /// Whether the graph's CSR arrays serve zero-copy from a mapped
+    /// snapshot file ([`load_snapshot_mapped`] on a v3 container).
+    pub mapped: bool,
 }
 
+/// One cached `/rank` response persisted into a snapshot's warm section,
+/// so a restarted node answers its hottest requests straight from the
+/// page cache instead of recomputing. The fields mirror the service's
+/// ranking-cache key; `measure` is the service's measure code (the
+/// service owns that mapping) and `body` the exact JSON response bytes
+/// served before the restart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmEntry {
+    /// Service measure code (0 = betweenness, 1 = k-path, 2 = harmonic).
+    pub measure: u8,
+    /// Target node set of the cached request.
+    pub targets: Vec<u32>,
+    /// Bit pattern of the request's `eps` (`f64::to_bits`).
+    pub eps_bits: u64,
+    /// Bit pattern of the request's `delta` (`f64::to_bits`).
+    pub delta_bits: u64,
+    /// Sampling seed of the cached request.
+    pub seed: u64,
+    /// `k` for k-path requests (0 otherwise).
+    pub khops: u64,
+    /// The exact response body previously served.
+    pub body: String,
+}
+
+fn warm_to_bytes(entries: &[WarmEntry]) -> Vec<u8> {
+    let mut out = Vec::new();
+    wire::put_u32(&mut out, entries.len() as u32);
+    for e in entries {
+        wire::put_u8(&mut out, e.measure);
+        wire::put_u64(&mut out, e.seed);
+        wire::put_u64(&mut out, e.eps_bits);
+        wire::put_u64(&mut out, e.delta_bits);
+        wire::put_u64(&mut out, e.khops);
+        wire::put_vec_u32(&mut out, &e.targets);
+        wire::put_str(&mut out, &e.body);
+    }
+    out
+}
+
+fn warm_from_bytes(bytes: &[u8]) -> Result<Vec<WarmEntry>, String> {
+    let mut r = Reader::new(bytes);
+    let count = r.u32().map_err(|e| format!("warm count: {e}"))? as usize;
+    if count > r.remaining() {
+        // Every entry takes well over one byte; an impossible count means
+        // damage — refuse before reserving a huge Vec.
+        return Err(format!("warm count {count} exceeds the section size"));
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let entry = (|| -> Result<WarmEntry, wire::WireError> {
+            Ok(WarmEntry {
+                measure: r.u8()?,
+                seed: r.u64()?,
+                eps_bits: r.u64()?,
+                delta_bits: r.u64()?,
+                khops: r.u64()?,
+                targets: r.vec_u32()?,
+                body: r.str_()?,
+            })
+        })()
+        .map_err(|e| format!("warm entry {i}: {e}"))?;
+        out.push(entry);
+    }
+    if !r.is_empty() {
+        return Err(format!(
+            "{} trailing bytes in the warm section",
+            r.remaining()
+        ));
+    }
+    Ok(out)
+}
+
+/// Writer half of the v1/v2 section format (`usize len | payload | crc`).
+/// The v3 writer uses header extents instead; tests still build legacy
+/// containers with this to pin the compatibility path.
+#[cfg(test)]
 fn put_section(out: &mut Vec<u8>, payload: &[u8]) {
     wire::put_usize(out, payload.len());
     out.extend_from_slice(payload);
@@ -159,6 +272,318 @@ fn take_section<'a>(r: &mut Reader<'a>, what: &str) -> Result<&'a [u8], PersistE
     Ok(payload)
 }
 
+/// One section's location in a v3 container: file offset, byte length,
+/// and the CRC-32 of the section bytes.
+#[derive(Debug, Clone, Copy)]
+struct Extent {
+    off: u64,
+    len: u64,
+    crc: u32,
+}
+
+impl Extent {
+    fn end(&self) -> Option<u64> {
+        self.off.checked_add(self.len)
+    }
+}
+
+/// The decoded fixed header of a v3 container.
+#[derive(Debug)]
+struct V3Header {
+    delta_seq: u64,
+    graph: Extent,
+    warm: Extent,
+    dec: Extent,
+    name: String,
+}
+
+fn put_extent(out: &mut Vec<u8>, off: u64, payload: &[u8]) {
+    wire::put_u64(out, off);
+    wire::put_u64(out, payload.len() as u64);
+    wire::put_u32(out, wire::crc32(payload));
+    wire::put_u32(out, 0); // pad: keeps the following extent u64-aligned
+}
+
+fn read_extent(r: &mut Reader<'_>, what: &str) -> Result<Extent, PersistError> {
+    let off = r
+        .u64()
+        .map_err(|e| PersistError::Format(format!("{what} extent offset: {e}")))?;
+    let len = r
+        .u64()
+        .map_err(|e| PersistError::Format(format!("{what} extent length: {e}")))?;
+    let crc = r
+        .u32()
+        .map_err(|e| PersistError::Format(format!("{what} extent checksum: {e}")))?;
+    let _pad = r
+        .u32()
+        .map_err(|e| PersistError::Format(format!("{what} extent padding: {e}")))?;
+    Ok(Extent { off, len, crc })
+}
+
+/// Parses and sanity-checks a v3 fixed header. The header carries no CRC
+/// of its own; the invariants checked here (one-page size, contiguous
+/// extents in graph → warm → dec order) are what stand between a
+/// bit-flipped header and an out-of-bounds slice below.
+fn parse_v3_header(bytes: &[u8]) -> Result<V3Header, PersistError> {
+    if bytes.len() < GRAPH_SECTION_OFFSET {
+        return format_err(format!(
+            "header truncated: {} bytes, a v3 container reserves {GRAPH_SECTION_OFFSET}",
+            bytes.len()
+        ));
+    }
+    let mut r = Reader::new(&bytes[SNAPSHOT_MAGIC.len() + 4..GRAPH_SECTION_OFFSET]);
+    let _flags = r
+        .u32()
+        .map_err(|e| PersistError::Format(format!("header flags: {e}")))?;
+    let delta_seq = r
+        .u64()
+        .map_err(|e| PersistError::Format(format!("header delta_seq: {e}")))?;
+    let graph = read_extent(&mut r, "graph")?;
+    let warm = read_extent(&mut r, "warm")?;
+    let dec = read_extent(&mut r, "dec")?;
+    let name = r
+        .str_()
+        .map_err(|e| PersistError::Format(format!("graph name: {e}")))?;
+    if graph.off != GRAPH_SECTION_OFFSET as u64 {
+        return format_err(format!(
+            "graph section at offset {}, expected {GRAPH_SECTION_OFFSET}",
+            graph.off
+        ));
+    }
+    let graph_end = graph
+        .end()
+        .ok_or_else(|| PersistError::Format("graph extent overflows".into()))?;
+    if warm.off != graph_end {
+        return format_err(format!(
+            "warm section at offset {}, expected {graph_end} (sections must be contiguous)",
+            warm.off
+        ));
+    }
+    let warm_end = warm
+        .end()
+        .ok_or_else(|| PersistError::Format("warm extent overflows".into()))?;
+    if dec.off != warm_end {
+        return format_err(format!(
+            "dec section at offset {}, expected {warm_end} (sections must be contiguous)",
+            dec.off
+        ));
+    }
+    dec.end()
+        .ok_or_else(|| PersistError::Format("dec extent overflows".into()))?;
+    Ok(V3Header {
+        delta_seq,
+        graph,
+        warm,
+        dec,
+        name,
+    })
+}
+
+/// Slices one section out of a v3 container and verifies its CRC.
+fn read_section<'a>(bytes: &'a [u8], ext: &Extent, what: &str) -> Result<&'a [u8], String> {
+    let end = ext
+        .end()
+        .ok_or_else(|| format!("{what} extent overflows"))?;
+    if end > bytes.len() as u64 {
+        return Err(format!(
+            "{what} section truncated: extent ends at byte {end}, file holds {}",
+            bytes.len()
+        ));
+    }
+    let payload = &bytes[ext.off as usize..end as usize];
+    let actual = wire::crc32(payload);
+    if actual != ext.crc {
+        return Err(format!(
+            "{what} section checksum mismatch: stored {:#010x}, computed {actual:#010x}",
+            ext.crc
+        ));
+    }
+    Ok(payload)
+}
+
+/// Field header of a v3 graph section, decoded and size-checked against
+/// the section it came from.
+struct GraphFields {
+    n: usize,
+    m: usize,
+    ef_len: usize,
+    universe: u64,
+    low_bits: u32,
+    low_words: usize,
+    upper_words: usize,
+    sample_words: usize,
+    /// `2m`, the length of each slot array.
+    slots: usize,
+}
+
+fn read_graph_fields(sec: &[u8]) -> Result<GraphFields, String> {
+    fn u64_field(r: &mut Reader<'_>, what: &str) -> Result<u64, String> {
+        r.u64().map_err(|e| format!("graph {what}: {e}"))
+    }
+    let mut r = Reader::new(sec);
+    let n = u64_field(&mut r, "node count")? as usize;
+    let m = u64_field(&mut r, "edge count")? as usize;
+    let ef_len = u64_field(&mut r, "offset count")? as usize;
+    let universe = u64_field(&mut r, "offset universe")?;
+    let low_bits = r.u32().map_err(|e| format!("graph low_bits: {e}"))?;
+    let _pad = r.u32().map_err(|e| format!("graph padding: {e}"))?;
+    let low_words = u64_field(&mut r, "low words")? as usize;
+    let upper_words = u64_field(&mut r, "upper words")? as usize;
+    let sample_words = u64_field(&mut r, "sample words")? as usize;
+    let slots = m
+        .checked_mul(2)
+        .ok_or_else(|| "graph edge count overflows".to_string())?;
+    if Some(ef_len) != n.checked_add(1) {
+        return Err(format!("graph offset count {ef_len} != n + 1 (n = {n})"));
+    }
+    // The declared arrays must fill the section exactly. Checked
+    // arithmetic throughout: every count is attacker-placeable.
+    let want = [low_words, upper_words, sample_words]
+        .iter()
+        .try_fold(GRAPH_FIELDS_BYTES, |acc, &w| {
+            w.checked_mul(8).and_then(|b| acc.checked_add(b))
+        })
+        .and_then(|acc| slots.checked_mul(4)?.checked_mul(2)?.checked_add(acc))
+        .ok_or_else(|| "graph section size overflows".to_string())?;
+    if want != sec.len() {
+        return Err(format!(
+            "graph section holds {} bytes, header declares {want}",
+            sec.len()
+        ));
+    }
+    Ok(GraphFields {
+        n,
+        m,
+        ef_len,
+        universe,
+        low_bits,
+        low_words,
+        upper_words,
+        sample_words,
+        slots,
+    })
+}
+
+/// Serializes a graph into the v3 graph-section layout: the 64-byte field
+/// header, the three Elias–Fano offset arrays, then the neighbor and
+/// edge-id slot arrays. A plain-offset graph is compacted on the fly; a
+/// succinct one serializes its existing encoding verbatim, so the bytes
+/// are identical either way.
+fn graph_section_to_bytes(graph: &Graph) -> Vec<u8> {
+    let n = graph.num_nodes();
+    let m = graph.num_edges();
+    let rebuilt;
+    let ef = match graph.csr_offsets() {
+        CsrOffsets::Succinct(ef) => ef,
+        CsrOffsets::Plain(v) => {
+            rebuilt = EliasFano::from_values(v);
+            &rebuilt
+        }
+    };
+    let (low, upper, samples) = ef.parts();
+    let (low, upper, samples) = (low.as_slice(), upper.as_slice(), samples.as_slice());
+    let (neighbors, edge_ids) = graph.csr_slots();
+    let mut out = Vec::with_capacity(
+        GRAPH_FIELDS_BYTES
+            + 8 * (low.len() + upper.len() + samples.len())
+            + 4 * (neighbors.len() + edge_ids.len()),
+    );
+    wire::put_u64(&mut out, n as u64);
+    wire::put_u64(&mut out, m as u64);
+    wire::put_u64(&mut out, ef.len() as u64);
+    wire::put_u64(&mut out, ef.universe());
+    wire::put_u32(&mut out, ef.low_bits());
+    wire::put_u32(&mut out, 0); // pad to the next u64 boundary
+    wire::put_u64(&mut out, low.len() as u64);
+    wire::put_u64(&mut out, upper.len() as u64);
+    wire::put_u64(&mut out, samples.len() as u64);
+    debug_assert_eq!(out.len(), GRAPH_FIELDS_BYTES);
+    for &w in low {
+        wire::put_u64(&mut out, w);
+    }
+    for &w in upper {
+        wire::put_u64(&mut out, w);
+    }
+    for &w in samples {
+        wire::put_u64(&mut out, w);
+    }
+    for &v in neighbors {
+        wire::put_u32(&mut out, v);
+    }
+    for &id in edge_ids {
+        wire::put_u32(&mut out, id);
+    }
+    out
+}
+
+/// Decodes a v3 graph section into an owned graph, with the *full*
+/// untrusted-input validation of [`binio::graph_from_arrays`] (per-node
+/// sortedness and twin-slot consistency included) — this is the path a
+/// plain `fs::read` load takes, where nothing but the CRC vouches for
+/// the bytes and the CRC may itself be forged along with them.
+fn graph_from_section_bytes(sec: &[u8]) -> Result<Graph, PersistError> {
+    let f = read_graph_fields(sec).map_err(PersistError::Format)?;
+    let mut r = Reader::new(&sec[GRAPH_FIELDS_BYTES..]);
+    let read_words = |r: &mut Reader<'_>, count: usize| -> Result<Vec<u64>, PersistError> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(r.u64().map_err(|e| PersistError::Format(e.to_string()))?);
+        }
+        Ok(out)
+    };
+    let low = read_words(&mut r, f.low_words)?;
+    let upper = read_words(&mut r, f.upper_words)?;
+    let samples = read_words(&mut r, f.sample_words)?;
+    let read_u32s = |r: &mut Reader<'_>, count: usize| -> Result<Vec<u32>, PersistError> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(r.u32().map_err(|e| PersistError::Format(e.to_string()))?);
+        }
+        Ok(out)
+    };
+    let neighbors = read_u32s(&mut r, f.slots)?;
+    let edge_ids = read_u32s(&mut r, f.slots)?;
+    debug_assert!(r.is_empty(), "read_graph_fields matched the section size");
+    let ef = EliasFano::from_parts(
+        f.ef_len,
+        f.universe,
+        f.low_bits,
+        Words::Owned(low),
+        Words::Owned(upper),
+        Words::Owned(samples),
+    )
+    .map_err(PersistError::Format)?;
+    let offsets: Vec<usize> = ef.iter().map(|v| v as usize).collect();
+    binio::graph_from_arrays(f.n, f.m, offsets, neighbors, edge_ids)
+        .map_err(|e| PersistError::Format(e.to_string()))
+}
+
+/// Assembles a graph whose CSR arrays are windows into a mapped v3 file.
+/// `off`/`len` locate the (already CRC-verified) graph section inside
+/// `region`. [`EliasFano::from_parts`] and [`Graph::assemble`] re-check
+/// every invariant the accessors need to stay panic-free.
+fn graph_from_mapped_section(
+    region: &Arc<MmapRegion>,
+    off: usize,
+    len: usize,
+) -> Result<Graph, String> {
+    let f = read_graph_fields(&region[off..off + len])?;
+    let mut pos = off + GRAPH_FIELDS_BYTES;
+    let low = Words::mapped(Arc::clone(region), pos, f.low_words)?;
+    pos += f.low_words * 8;
+    let upper = Words::mapped(Arc::clone(region), pos, f.upper_words)?;
+    pos += f.upper_words * 8;
+    let samples = Words::mapped(Arc::clone(region), pos, f.sample_words)?;
+    pos += f.sample_words * 8;
+    let neighbors = U32s::mapped(Arc::clone(region), pos, f.slots)?;
+    pos += f.slots * 4;
+    let edge_ids = U32s::mapped(Arc::clone(region), pos, f.slots)?;
+    pos += f.slots * 4;
+    debug_assert_eq!(pos, off + len, "read_graph_fields matched the section size");
+    let ef = EliasFano::from_parts(f.ef_len, f.universe, f.low_bits, low, upper, samples)?;
+    Graph::assemble(CsrOffsets::Succinct(ef), neighbors, edge_ids, f.m)
+}
+
 /// Serializes one registry entry to snapshot bytes (always the current
 /// container version). `delta_seq` is the entry's journaled-delta count —
 /// 0 for a fresh upload, `GraphEntry::delta_seq` when re-snapshotting a
@@ -169,25 +594,59 @@ pub fn snapshot_to_bytes(
     dec: &BcDecomposition,
     delta_seq: u64,
 ) -> Vec<u8> {
-    let mut out = Vec::new();
+    snapshot_to_bytes_with_warm(name, graph, dec, delta_seq, &[])
+}
+
+/// [`snapshot_to_bytes`] with a warm-cache section: the given cached
+/// responses ride along in the container and pre-warm the ranking cache
+/// of the node that restores it.
+///
+/// # Panics
+/// If `name` does not satisfy [`valid_graph_name`] — every caller
+/// validates names at the API boundary, and an oversized name would
+/// overflow the fixed one-page header.
+pub fn snapshot_to_bytes_with_warm(
+    name: &str,
+    graph: &Graph,
+    dec: &BcDecomposition,
+    delta_seq: u64,
+    warm: &[WarmEntry],
+) -> Vec<u8> {
+    let graph_bytes = graph_section_to_bytes(graph);
+    let warm_bytes = warm_to_bytes(warm);
+    let mut dec_bytes = Vec::new();
+    bc::write_decomposition(dec, &mut dec_bytes);
+
+    let graph_off = GRAPH_SECTION_OFFSET as u64;
+    let warm_off = graph_off + graph_bytes.len() as u64;
+    let dec_off = warm_off + warm_bytes.len() as u64;
+
+    let mut out = Vec::with_capacity(
+        GRAPH_SECTION_OFFSET + graph_bytes.len() + warm_bytes.len() + dec_bytes.len(),
+    );
     out.extend_from_slice(&SNAPSHOT_MAGIC);
     wire::put_u32(&mut out, SNAPSHOT_VERSION);
-
-    let mut graph_payload = Vec::new();
-    wire::put_str(&mut graph_payload, name);
-    binio::write_graph(graph, &mut graph_payload);
-    wire::put_u64(&mut graph_payload, delta_seq);
-    put_section(&mut out, &graph_payload);
-
-    let mut dec_payload = Vec::new();
-    bc::write_decomposition(dec, &mut dec_payload);
-    put_section(&mut out, &dec_payload);
+    wire::put_u32(&mut out, 0); // flags, reserved
+    wire::put_u64(&mut out, delta_seq);
+    put_extent(&mut out, graph_off, &graph_bytes);
+    put_extent(&mut out, warm_off, &warm_bytes);
+    put_extent(&mut out, dec_off, &dec_bytes);
+    wire::put_str(&mut out, name);
+    assert!(
+        out.len() <= GRAPH_SECTION_OFFSET,
+        "graph name overflows the snapshot header"
+    );
+    out.resize(GRAPH_SECTION_OFFSET, 0);
+    out.extend_from_slice(&graph_bytes);
+    out.extend_from_slice(&warm_bytes);
+    out.extend_from_slice(&dec_bytes);
     out
 }
 
-/// Decodes snapshot bytes, validating magic, container version and both
-/// section checksums. Graph-section damage is fatal; decomposition-section
-/// damage degrades to `dec: Err(reason)`.
+/// Decodes snapshot bytes, validating magic, container version and every
+/// section checksum. Graph-section damage is fatal, warm-section damage
+/// degrades to an empty warm cache, and decomposition-section damage
+/// degrades to `dec: Err(reason)`.
 pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<LoadedSnapshot, PersistError> {
     let mut r = Reader::new(bytes);
     let magic = r
@@ -201,6 +660,9 @@ pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<LoadedSnapshot, PersistError>
         return format_err(format!(
             "snapshot version {version} outside supported {SNAPSHOT_MIN_VERSION}..={SNAPSHOT_VERSION}"
         ));
+    }
+    if version >= 3 {
+        return snapshot_from_bytes_v3(bytes);
     }
 
     let graph_payload = take_section(&mut r, "graph")?;
@@ -248,6 +710,95 @@ pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<LoadedSnapshot, PersistError>
         graph,
         dec,
         delta_seq,
+        warm: Vec::new(),
+        mapped: false,
+    })
+}
+
+/// Decodes a warm section, degrading any damage (bad extent, bad CRC,
+/// malformed entries) to an empty warm cache with a warning — warm data
+/// is a performance hint, never worth failing a boot over.
+fn decode_warm_section(bytes: &[u8], ext: &Extent) -> Vec<WarmEntry> {
+    match read_section(bytes, ext, "warm").and_then(warm_from_bytes) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!(
+                "warning: snapshot warm section damaged ({e}); continuing with an empty warm cache"
+            );
+            Vec::new()
+        }
+    }
+}
+
+/// Decodes a dec section against its graph; any failure degrades to
+/// `Err(reason)` (the caller recomputes).
+fn decode_dec_section(
+    bytes: &[u8],
+    ext: &Extent,
+    graph: &Graph,
+) -> Result<BcDecomposition, String> {
+    let payload = read_section(bytes, ext, "decomposition")?;
+    let mut dr = Reader::new(payload);
+    match bc::read_decomposition(&mut dr, graph) {
+        Err(e) => Err(e.to_string()),
+        Ok(_) if !dr.is_empty() => Err("trailing bytes in decomposition section".into()),
+        Ok(dec) => Ok(dec),
+    }
+}
+
+/// The v3 byte-decode path: fully-validated owned arrays, no mapping.
+/// [`load_snapshot_mapped`] is the zero-copy counterpart.
+fn snapshot_from_bytes_v3(bytes: &[u8]) -> Result<LoadedSnapshot, PersistError> {
+    let h = parse_v3_header(bytes)?;
+    let graph_sec = read_section(bytes, &h.graph, "graph").map_err(PersistError::Format)?;
+    // The dec section ends the container; a longer file is not this
+    // snapshot (a concatenation, or junk appended past the CRCs' reach).
+    let dec_end = h.dec.end().expect("checked in parse_v3_header");
+    if (bytes.len() as u64) > dec_end {
+        return format_err(format!(
+            "{} trailing bytes after the decomposition section",
+            bytes.len() as u64 - dec_end
+        ));
+    }
+    let graph = graph_from_section_bytes(graph_sec)?;
+    let warm = decode_warm_section(bytes, &h.warm);
+    let dec = decode_dec_section(bytes, &h.dec, &graph);
+    Ok(LoadedSnapshot {
+        name: h.name,
+        graph,
+        dec,
+        delta_seq: h.delta_seq,
+        warm,
+        mapped: false,
+    })
+}
+
+/// The zero-copy load path for a mapped v3 container: CRC the graph
+/// section once, then assemble a graph whose CSR arrays are windows into
+/// the mapping. Warm and dec sections are small and decode to owned data
+/// as usual.
+fn snapshot_from_mapped(region: &Arc<MmapRegion>) -> Result<LoadedSnapshot, PersistError> {
+    let bytes: &[u8] = region;
+    let h = parse_v3_header(bytes)?;
+    let graph_sec = read_section(bytes, &h.graph, "graph").map_err(PersistError::Format)?;
+    let dec_end = h.dec.end().expect("checked in parse_v3_header");
+    if (bytes.len() as u64) > dec_end {
+        return format_err(format!(
+            "{} trailing bytes after the decomposition section",
+            bytes.len() as u64 - dec_end
+        ));
+    }
+    let graph = graph_from_mapped_section(region, h.graph.off as usize, graph_sec.len())
+        .map_err(PersistError::Format)?;
+    let warm = decode_warm_section(bytes, &h.warm);
+    let dec = decode_dec_section(bytes, &h.dec, &graph);
+    Ok(LoadedSnapshot {
+        name: h.name,
+        graph,
+        dec,
+        delta_seq: h.delta_seq,
+        warm,
+        mapped: true,
     })
 }
 
@@ -264,8 +815,24 @@ pub fn save_snapshot(
     dec: &BcDecomposition,
     delta_seq: u64,
 ) -> Result<(), PersistError> {
+    save_snapshot_with_warm(path, name, graph, dec, delta_seq, &[])
+}
+
+/// [`save_snapshot`] with a warm-cache section (same atomic write path).
+pub fn save_snapshot_with_warm(
+    path: &Path,
+    name: &str,
+    graph: &Graph,
+    dec: &BcDecomposition,
+    delta_seq: u64,
+    warm: &[WarmEntry],
+) -> Result<(), PersistError> {
+    let bytes = snapshot_to_bytes_with_warm(name, graph, dec, delta_seq, warm);
+    write_snapshot_atomic(path, &bytes)
+}
+
+fn write_snapshot_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
     static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let bytes = snapshot_to_bytes(name, graph, dec, delta_seq);
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let file_name = path
         .file_name()
@@ -281,7 +848,7 @@ pub fn save_snapshot(
         None => PathBuf::from(&tmp_name),
     };
     let mut f = File::create(&tmp)?;
-    f.write_all(&bytes)?;
+    f.write_all(bytes)?;
     f.sync_all()?;
     drop(f);
     if let Err(e) = fs::rename(&tmp, path) {
@@ -321,6 +888,120 @@ pub fn valid_graph_name(name: &str) -> bool {
 /// Loads and fully validates one snapshot file.
 pub fn load_snapshot(path: &Path) -> Result<LoadedSnapshot, PersistError> {
     snapshot_from_bytes(&fs::read(path)?)
+}
+
+/// Loads a snapshot zero-copy where possible: a v3 file is `mmap`ed
+/// read-only and the graph's CSR arrays serve straight off the mapping
+/// (`mapped: true`), with the section CRC verified once here. Anything
+/// that prevents mapping — an older container version, a damaged v3
+/// layout, a big-endian host, the `SAPHYRA_NO_MMAP` escape hatch, or the
+/// mmap syscall failing — falls back to the owned byte-decode path with
+/// a warning. Corruption yields a clean error either way, never
+/// undefined behavior.
+pub fn load_snapshot_mapped(path: &Path) -> Result<LoadedSnapshot, PersistError> {
+    if cfg!(not(unix))
+        || cfg!(target_endian = "big")
+        || std::env::var_os("SAPHYRA_NO_MMAP").is_some()
+    {
+        return load_snapshot(path);
+    }
+    let file = File::open(path)?;
+    let region = match MmapRegion::map(&file) {
+        Ok(r) => Arc::new(r),
+        Err(e) => {
+            eprintln!("warning: cannot mmap snapshot {path:?} ({e}); falling back to byte decode");
+            return load_snapshot(path);
+        }
+    };
+    drop(file); // the mapping outlives the descriptor
+    let bytes: &[u8] = &region;
+    let v3 = bytes.len() >= SNAPSHOT_MAGIC.len() + 4
+        && bytes[..SNAPSHOT_MAGIC.len()] == SNAPSHOT_MAGIC
+        && u32::from_le_bytes(
+            bytes[SNAPSHOT_MAGIC.len()..SNAPSHOT_MAGIC.len() + 4]
+                .try_into()
+                .expect("4 bytes"),
+        ) >= 3;
+    if !v3 {
+        // v1/v2 (or not a snapshot at all): decode owned straight from
+        // the mapping; it is dropped once the copy is done.
+        return snapshot_from_bytes(bytes);
+    }
+    match snapshot_from_mapped(&region) {
+        Ok(snap) => Ok(snap),
+        Err(e) => {
+            eprintln!("warning: mapped load of {path:?} failed ({e}); falling back to byte decode");
+            load_snapshot(path)
+        }
+    }
+}
+
+/// Per-section accounting of one snapshot container — what the
+/// `snapshot verify` CLI reports. Produced by [`inspect_snapshot`] after
+/// a full-validation load, so an `Ok` info implies a loadable snapshot
+/// (possibly with a degraded dec/warm section).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Container version the file was written with.
+    pub version: u32,
+    /// Registry name the snapshot was saved under.
+    pub name: String,
+    /// Journaled deltas already folded in.
+    pub delta_seq: u64,
+    /// Whole-file size in bytes.
+    pub total_bytes: u64,
+    /// Graph section payload bytes.
+    pub graph_bytes: u64,
+    /// Warm section payload bytes (0 for v1/v2 containers).
+    pub warm_bytes: u64,
+    /// Decomposition section payload bytes.
+    pub dec_bytes: u64,
+    /// Warm entries restored (0 when the section was damaged or absent).
+    pub warm_entries: usize,
+    /// Whether the decomposition section decoded (false = boot recomputes).
+    pub dec_ok: bool,
+}
+
+/// Inspects a snapshot file: container version plus per-section byte
+/// sizes, after a full-validation decode.
+pub fn inspect_snapshot(path: &Path) -> Result<SnapshotInfo, PersistError> {
+    inspect_snapshot_bytes(&fs::read(path)?)
+}
+
+/// [`inspect_snapshot`] over in-memory bytes.
+pub fn inspect_snapshot_bytes(bytes: &[u8]) -> Result<SnapshotInfo, PersistError> {
+    let snap = snapshot_from_bytes(bytes)?;
+    let version = u32::from_le_bytes(
+        bytes[SNAPSHOT_MAGIC.len()..SNAPSHOT_MAGIC.len() + 4]
+            .try_into()
+            .expect("snapshot_from_bytes checked the header"),
+    );
+    let (graph_bytes, warm_bytes, dec_bytes) = if version >= 3 {
+        let h = parse_v3_header(bytes)?;
+        (h.graph.len, h.warm.len, h.dec.len)
+    } else {
+        // v1/v2: sequential `u64 len | payload | u32 CRC` sections, both
+        // already validated by the load above.
+        let mut r = Reader::new(&bytes[SNAPSHOT_MAGIC.len() + 4..]);
+        let glen = r
+            .usize_()
+            .map_err(|e| PersistError::Format(e.to_string()))?;
+        r.bytes(glen + 4)
+            .map_err(|e| PersistError::Format(e.to_string()))?;
+        let dlen = r.usize_().unwrap_or(0);
+        (glen as u64, 0, dlen as u64)
+    };
+    Ok(SnapshotInfo {
+        version,
+        name: snap.name,
+        delta_seq: snap.delta_seq,
+        total_bytes: bytes.len() as u64,
+        graph_bytes,
+        warm_bytes,
+        dec_bytes,
+        warm_entries: snap.warm.len(),
+        dec_ok: snap.dec.is_ok(),
+    })
 }
 
 /// All `*.snap` files in `dir`, name-sorted (deterministic boot order).
@@ -640,9 +1321,9 @@ mod tests {
         let g = fixtures::grid_graph(3, 3);
         let dec = BcDecomposition::compute(&g);
         let mut bytes = snapshot_to_bytes("g", &g, &dec, 0);
-        // Flip one payload byte inside the graph section (right after the
-        // magic + version + section length prefix).
-        bytes[SNAPSHOT_MAGIC.len() + 4 + 8 + 3] ^= 0x40;
+        // Flip one payload byte inside the graph section (a few bytes
+        // past the section's fixed field header).
+        bytes[GRAPH_SECTION_OFFSET + GRAPH_FIELDS_BYTES + 3] ^= 0x40;
         let err = snapshot_from_bytes(&bytes).unwrap_err();
         assert!(err.to_string().contains("checksum"), "{err}");
         // Bad magic and bad version are equally fatal.
@@ -660,22 +1341,36 @@ mod tests {
 
     #[test]
     fn truncated_sections_error_instead_of_panicking() {
-        // Regression: magic + version + a zero section length with NO room
-        // for the 4-byte CRC used to slip past the length guard and panic
-        // on the CRC read. Any truncation point must yield Err, never a
-        // panic — boots load attacker-placeable files.
+        // A bare header stub (shorter than the reserved page) must yield
+        // Err, never a panic — boots load attacker-placeable files.
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&SNAPSHOT_MAGIC);
         wire::put_u32(&mut bytes, SNAPSHOT_VERSION);
-        wire::put_usize(&mut bytes, 0); // graph section: len 0, no CRC
+        wire::put_usize(&mut bytes, 0);
         let err = snapshot_from_bytes(&bytes).unwrap_err();
         assert!(err.to_string().contains("truncated"), "{err}");
-        // Every prefix of a valid snapshot errors cleanly too.
+        // Every prefix of a valid snapshot errors cleanly too — cuts
+        // through the header, the header padding, and into the graph
+        // section's field header and arrays.
         let g = fixtures::grid_graph(3, 3);
         let full = snapshot_to_bytes("g", &g, &BcDecomposition::compute(&g), 0);
-        for cut in 0..full.len().min(64) {
-            let _ = snapshot_from_bytes(&full[..cut]); // must not panic
+        for cut in (0..full.len().min(128))
+            .chain(GRAPH_SECTION_OFFSET - 2..full.len().min(GRAPH_SECTION_OFFSET + 200))
+        {
+            assert!(
+                snapshot_from_bytes(&full[..cut]).is_err(),
+                "prefix of {cut} bytes parsed as a whole snapshot"
+            );
         }
+        // The v2 regression that motivated this test: magic + version + a
+        // zero section length with NO room for the 4-byte CRC used to
+        // slip past the length guard and panic on the CRC read.
+        let mut v2 = Vec::new();
+        v2.extend_from_slice(&SNAPSHOT_MAGIC);
+        wire::put_u32(&mut v2, 2);
+        wire::put_usize(&mut v2, 0); // graph section: len 0, no CRC
+        let err = snapshot_from_bytes(&v2).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
     }
 
     #[test]
@@ -865,17 +1560,236 @@ mod tests {
 
         // A v2 graph section truncated before the delta_seq is an error,
         // not a silent zero.
-        let bytes = snapshot_to_bytes("g", &g, &dec, 3);
-        let mut r = Reader::new(&bytes[SNAPSHOT_MAGIC.len() + 4..]);
-        let payload = take_section(&mut r, "graph").unwrap();
-        let short = &payload[..payload.len() - 8];
+        let mut short = Vec::new();
+        wire::put_str(&mut short, "g");
+        binio::write_graph(&g, &mut short); // no delta_seq follows
         let mut bad = Vec::new();
         bad.extend_from_slice(&SNAPSHOT_MAGIC);
-        wire::put_u32(&mut bad, SNAPSHOT_VERSION);
-        put_section(&mut bad, short);
+        wire::put_u32(&mut bad, 2);
+        put_section(&mut bad, &short);
         put_section(&mut bad, &[]);
         let err = snapshot_from_bytes(&bad).unwrap_err();
         assert!(err.to_string().contains("delta_seq"), "{err}");
+    }
+
+    /// Hand-rolls a full version-2 container (the pre-mmap sequential
+    /// format this build no longer writes).
+    fn v2_container(name: &str, g: &Graph, dec: &BcDecomposition, delta_seq: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        wire::put_u32(&mut out, 2);
+        let mut graph_payload = Vec::new();
+        wire::put_str(&mut graph_payload, name);
+        binio::write_graph(g, &mut graph_payload);
+        wire::put_u64(&mut graph_payload, delta_seq);
+        put_section(&mut out, &graph_payload);
+        let mut dec_payload = Vec::new();
+        bc::write_decomposition(dec, &mut dec_payload);
+        put_section(&mut out, &dec_payload);
+        out
+    }
+
+    #[test]
+    fn v2_containers_still_load_fully() {
+        let g = fixtures::grid_graph(4, 4);
+        let dec = BcDecomposition::compute(&g);
+        let snap = snapshot_from_bytes(&v2_container("old", &g, &dec, 5)).unwrap();
+        assert_eq!(snap.name, "old");
+        assert_eq!(snap.delta_seq, 5);
+        assert_eq!(snap.graph.num_nodes(), 16);
+        assert!(snap.dec.is_ok());
+        assert!(snap.warm.is_empty());
+        assert!(!snap.mapped);
+        // The mapped loader takes the decode path for old containers.
+        let dir = tmp_dir("v2compat");
+        let path = snapshot_path(&dir, "old");
+        fs::write(&path, v2_container("old", &g, &dec, 5)).unwrap();
+        let snap = load_snapshot_mapped(&path).unwrap();
+        assert!(!snap.mapped);
+        assert_eq!(snap.delta_seq, 5);
+        assert!(snap.dec.is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mapped_load_serves_the_graph_zero_copy_and_identically() {
+        let dir = tmp_dir("mapped");
+        let g = fixtures::grid_graph(5, 7);
+        let dec = BcDecomposition::compute(&g);
+        let path = snapshot_path(&dir, "g");
+        save_snapshot(&path, "g", &g, &dec, 4).unwrap();
+
+        let mapped = load_snapshot_mapped(&path).unwrap();
+        assert!(mapped.mapped);
+        assert!(mapped.graph.is_mapped());
+        assert!(mapped.graph.csr_offsets().is_succinct());
+        assert_eq!(mapped.name, "g");
+        assert_eq!(mapped.delta_seq, 4);
+        assert!(mapped.dec.is_ok());
+
+        // Byte-for-byte the same answers as the owned decode path.
+        let owned = load_snapshot(&path).unwrap();
+        assert!(!owned.mapped);
+        assert!(!owned.graph.is_mapped());
+        assert_eq!(owned.graph.num_nodes(), mapped.graph.num_nodes());
+        assert_eq!(owned.graph.num_edges(), mapped.graph.num_edges());
+        for v in owned.graph.nodes() {
+            assert_eq!(owned.graph.neighbors(v), mapped.graph.neighbors(v));
+            assert_eq!(owned.graph.slot_range(v), mapped.graph.slot_range(v));
+        }
+        assert_eq!(
+            owned.graph.edges().collect::<Vec<_>>(),
+            mapped.graph.edges().collect::<Vec<_>>()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_mapped_snapshots_fail_cleanly_or_degrade() {
+        // Satellite of the memory tier: truncating a v3 file anywhere
+        // must never be UB through the mapped path — the graph either
+        // assembles fully validated or the load errors; a cut inside the
+        // dec section degrades exactly like the decode path.
+        let dir = tmp_dir("mapcut");
+        let g = fixtures::grid_graph(4, 4);
+        let dec = BcDecomposition::compute(&g);
+        let path = snapshot_path(&dir, "g");
+        save_snapshot(&path, "g", &g, &dec, 0).unwrap();
+        let full = fs::read(&path).unwrap();
+        let info = inspect_snapshot_bytes(&full).unwrap();
+        let graph_end = GRAPH_SECTION_OFFSET + info.graph_bytes as usize;
+
+        let cut_path = dir.join("cut.snap");
+        // Cuts inside header, padding, and graph section: hard error.
+        for cut in [0usize, 10, 96, GRAPH_SECTION_OFFSET, graph_end - 8] {
+            fs::write(&cut_path, &full[..cut]).unwrap();
+            let got = load_snapshot_mapped(&cut_path);
+            assert!(got.is_err(), "cut at {cut} loaded: {got:?}");
+        }
+        // A cut inside the dec section degrades to recompute, still
+        // serving the mapped graph.
+        let dec_cut = full.len() - 10;
+        fs::write(&cut_path, &full[..dec_cut]).unwrap();
+        let snap = load_snapshot_mapped(&cut_path).unwrap();
+        assert!(snap.mapped, "graph section intact, should still map");
+        assert!(snap.dec.is_err());
+        assert_eq!(snap.graph.num_nodes(), 16);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn warm_fixture() -> Vec<WarmEntry> {
+        vec![
+            WarmEntry {
+                measure: 0,
+                targets: vec![1, 2, 3],
+                eps_bits: 0.05f64.to_bits(),
+                delta_bits: 0.1f64.to_bits(),
+                seed: 42,
+                khops: 0,
+                body: r#"{"scores":[0.5,0.25]}"#.to_string(),
+            },
+            WarmEntry {
+                measure: 1,
+                targets: vec![7],
+                eps_bits: 0.02f64.to_bits(),
+                delta_bits: 0.1f64.to_bits(),
+                seed: 7,
+                khops: 4,
+                body: r#"{"scores":[1.0]}"#.to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn warm_entries_round_trip_and_damage_degrades_to_empty() {
+        let g = fixtures::grid_graph(4, 4);
+        let dec = BcDecomposition::compute(&g);
+        let warm = warm_fixture();
+        let bytes = snapshot_to_bytes_with_warm("g", &g, &dec, 2, &warm);
+        let snap = snapshot_from_bytes(&bytes).unwrap();
+        assert_eq!(snap.warm, warm);
+        assert_eq!(snap.delta_seq, 2);
+
+        // Through a file and the mapped path too.
+        let dir = tmp_dir("warm");
+        let path = snapshot_path(&dir, "g");
+        save_snapshot_with_warm(&path, "g", &g, &dec, 2, &warm).unwrap();
+        let snap = load_snapshot_mapped(&path).unwrap();
+        assert!(snap.mapped);
+        assert_eq!(snap.warm, warm);
+
+        // Damage inside the warm section: the load still succeeds, the
+        // graph and dec are intact, the warm cache is simply empty.
+        let mut bad = fs::read(&path).unwrap();
+        let info = inspect_snapshot_bytes(&bad).unwrap();
+        assert!(info.warm_bytes > 4);
+        let warm_off = GRAPH_SECTION_OFFSET + info.graph_bytes as usize;
+        bad[warm_off + 5] ^= 0x10;
+        let snap = snapshot_from_bytes(&bad).unwrap();
+        assert!(snap.warm.is_empty());
+        assert!(snap.dec.is_ok());
+        assert_eq!(snap.graph.num_nodes(), 16);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inspect_reports_version_and_section_sizes() {
+        let g = fixtures::grid_graph(3, 3);
+        let dec = BcDecomposition::compute(&g);
+        let bytes = snapshot_to_bytes_with_warm("g", &g, &dec, 9, &warm_fixture());
+        let info = inspect_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(info.version, SNAPSHOT_VERSION);
+        assert_eq!(info.name, "g");
+        assert_eq!(info.delta_seq, 9);
+        assert_eq!(info.total_bytes, bytes.len() as u64);
+        assert!(info.graph_bytes >= GRAPH_FIELDS_BYTES as u64);
+        assert!(info.warm_bytes > 4, "{info:?}");
+        assert!(info.dec_bytes > 0);
+        assert_eq!(info.warm_entries, 2);
+        assert!(info.dec_ok);
+        assert_eq!(
+            info.total_bytes,
+            GRAPH_SECTION_OFFSET as u64 + info.graph_bytes + info.warm_bytes + info.dec_bytes
+        );
+
+        // v1 containers report their sequential section sizes.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&SNAPSHOT_MAGIC);
+        wire::put_u32(&mut v1, 1);
+        let mut graph_payload = Vec::new();
+        wire::put_str(&mut graph_payload, "old");
+        binio::write_graph(&g, &mut graph_payload);
+        put_section(&mut v1, &graph_payload);
+        let mut dec_payload = Vec::new();
+        bc::write_decomposition(&dec, &mut dec_payload);
+        put_section(&mut v1, &dec_payload);
+        let info = inspect_snapshot_bytes(&v1).unwrap();
+        assert_eq!(info.version, 1);
+        assert_eq!(info.name, "old");
+        assert_eq!(info.graph_bytes, graph_payload.len() as u64);
+        assert_eq!(info.warm_bytes, 0);
+        assert_eq!(info.dec_bytes, dec_payload.len() as u64);
+        assert_eq!(info.warm_entries, 0);
+
+        // Damage is a verdict, not a panic.
+        let mut bad = snapshot_to_bytes("g", &g, &dec, 0);
+        bad[GRAPH_SECTION_OFFSET + 100] ^= 0xFF;
+        assert!(inspect_snapshot_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn compacted_and_plain_graphs_snapshot_identically() {
+        // The writer compacts plain offsets on the fly; a pre-compacted
+        // graph must serialize to byte-identical snapshots so re-saves
+        // never churn.
+        let g = fixtures::grid_graph(4, 5);
+        let dec = BcDecomposition::compute(&g);
+        let mut c = g.clone();
+        c.compact();
+        assert_eq!(
+            snapshot_to_bytes("g", &g, &dec, 1),
+            snapshot_to_bytes("g", &c, &dec, 1)
+        );
     }
 
     #[test]

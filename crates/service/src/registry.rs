@@ -63,12 +63,18 @@ impl GraphEntry {
     /// [`GraphEntry::from_parts`] with an explicit delta sequence number —
     /// the patch path (`seq + 1`) and snapshot restoration (the persisted
     /// seq) use this; fresh uploads start at 0.
+    ///
+    /// The graph is compacted here — after decomposition, which walks the
+    /// plain offsets hot — so every *published* entry serves from the
+    /// succinct memory tier. A no-op for graphs that arrive already
+    /// succinct (mmap-restored snapshots).
     pub fn from_parts_seq(
         name: impl Into<String>,
-        graph: Graph,
+        mut graph: Graph,
         dec: BcDecomposition,
         delta_seq: u64,
     ) -> Self {
+        graph.compact();
         GraphEntry {
             name: name.into(),
             graph,
@@ -165,6 +171,17 @@ impl<K: Eq + Hash + Clone> KeyIndex<K> {
                 map.remove(graph);
             }
         }
+    }
+
+    /// Returns (clones of) every key recorded under `graph` without
+    /// removing them — warm-cache collection enumerates a graph's live
+    /// keys while leaving the index untouched.
+    pub fn keys_of(&self, graph: &str) -> Vec<K> {
+        self.by_graph
+            .lock_ok()
+            .get(graph)
+            .map(|set| set.iter().cloned().collect())
+            .unwrap_or_default()
     }
 
     /// Removes and returns every key recorded under `graph` (scoped
@@ -310,6 +327,33 @@ mod tests {
                 assert!(c.get(&key).is_some(), "index holds dead key {key:?}");
             }
         }
+    }
+
+    #[test]
+    fn entries_publish_compacted_graphs() {
+        // Every constructor funnels through from_parts_seq, which compacts
+        // the CSR offsets into the succinct tier before publication.
+        let e = GraphEntry::build("g", fixtures::grid_graph(4, 4));
+        assert!(e.graph.csr_offsets().is_succinct());
+        let g = fixtures::path_graph(5);
+        let dec = saphyra::bc::BcDecomposition::compute(&g);
+        assert!(GraphEntry::from_parts("g", g, dec)
+            .graph
+            .csr_offsets()
+            .is_succinct());
+    }
+
+    #[test]
+    fn key_index_keys_of_is_non_destructive() {
+        let idx: KeyIndex<(String, u64)> = KeyIndex::new();
+        idx.insert("a", ("a".into(), 1));
+        idx.insert("a", ("a".into(), 2));
+        let mut keys = idx.keys_of("a");
+        keys.sort();
+        assert_eq!(keys, vec![("a".into(), 1), ("a".into(), 2)]);
+        // Unlike take(), the index still holds the keys afterwards.
+        assert_eq!(idx.count_of("a"), 2);
+        assert_eq!(idx.keys_of("missing"), Vec::<(String, u64)>::new());
     }
 
     #[test]

@@ -60,7 +60,7 @@
 //! the reactor through a self-pipe — there is no timed polling loop
 //! anywhere in the connection path.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::{self, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
@@ -221,6 +221,12 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Maximum warm-cache entries persisted per graph on re-snapshot. Bounds
+/// the warm section (each entry is one JSON body plus its key) so
+/// snapshots stay dominated by the graph section, while still covering a
+/// restarted node's whole hot set for realistic request skews.
+const WARM_CAP: usize = 32;
+
 /// Centrality measures the service can rank by.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Measure {
@@ -244,6 +250,29 @@ impl Measure {
             Measure::Betweenness => "bc",
             Measure::KPath => "kpath",
             Measure::Harmonic => "harmonic",
+        }
+    }
+
+    /// Stable wire code used by the snapshot warm section
+    /// ([`persist::WarmEntry::measure`]). The service owns this mapping;
+    /// persist treats the byte as opaque.
+    fn code(&self) -> u8 {
+        match self {
+            Measure::Betweenness => 0,
+            Measure::KPath => 1,
+            Measure::Harmonic => 2,
+        }
+    }
+
+    /// Inverse of [`Measure::code`]. `None` for codes this build does not
+    /// know — a warm entry written by a newer build is dropped, never
+    /// misfiled under the wrong measure.
+    fn from_code(code: u8) -> Option<Measure> {
+        match code {
+            0 => Some(Measure::Betweenness),
+            1 => Some(Measure::KPath),
+            2 => Some(Measure::Harmonic),
+            _ => None,
         }
     }
 }
@@ -393,6 +422,11 @@ pub struct Service {
     cache_index: KeyIndex<RankKey>,
     inflight: Mutex<HashMap<RankKey, Arc<Inflight>>>,
     batches: Mutex<HashMap<BatchKey, Arc<Batch>>>,
+    /// Cache keys whose bodies were restored from a snapshot's warm
+    /// section (`server.warm` in the lock hierarchy, taken after the
+    /// cache lock). A hit on one of these counts in `warm_hits`: the
+    /// restart answered from persisted work instead of recomputing.
+    warm: Mutex<HashSet<RankKey>>,
     requests: AtomicU64,
     connections: AtomicU64,
     open_connections: AtomicU64,
@@ -405,6 +439,7 @@ pub struct Service {
     sample_passes: AtomicU64,
     decompositions: AtomicU64,
     snapshots_loaded: AtomicU64,
+    warm_hits: AtomicU64,
     patches: AtomicU64,
     patches_replayed: AtomicU64,
     persist: Option<PersistState>,
@@ -473,6 +508,7 @@ impl Service {
             cache_index: KeyIndex::new(),
             inflight: Mutex::new(HashMap::new()),
             batches: Mutex::new(HashMap::new()),
+            warm: Mutex::new(HashSet::new()),
             requests: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             open_connections: AtomicU64::new(0),
@@ -485,6 +521,7 @@ impl Service {
             sample_passes: AtomicU64::new(0),
             decompositions: AtomicU64::new(0),
             snapshots_loaded: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
             patches: AtomicU64::new(0),
             patches_replayed: AtomicU64::new(0),
             persist,
@@ -512,13 +549,19 @@ impl Service {
     }
 
     /// Restores every `*.snap` snapshot in `dir` into the registry
-    /// (name-sorted). Intact snapshots skip decomposition entirely; a
-    /// snapshot whose decomposition section is damaged or
-    /// version-mismatched falls back to recomputing it from the restored
-    /// graph with a warning (and rewrites the repaired snapshot, so the
-    /// recompute cost is paid once, not on every subsequent boot); a
-    /// snapshot whose graph section is damaged, or whose embedded name
-    /// does not match its file stem, is skipped with a warning. Returns
+    /// (name-sorted). Version-3 snapshots on unix serve their graph
+    /// sections zero-copy from a private read-only mapping of the file
+    /// ([`persist::load_snapshot_mapped`]); older containers and any
+    /// mapping failure decode into owned memory. Intact snapshots skip
+    /// decomposition entirely; a snapshot whose decomposition section is
+    /// damaged or version-mismatched falls back to recomputing it from
+    /// the restored graph with a warning (and rewrites the repaired
+    /// snapshot, so the recompute cost is paid once, not on every
+    /// subsequent boot); a snapshot whose graph section is damaged, or
+    /// whose embedded name does not match its file stem, is skipped with
+    /// a warning. Warm-section entries are re-inserted into the ranking
+    /// cache under the fresh entry epoch, so the hottest pre-restart
+    /// requests answer without recomputation. Returns
     /// `(restored, recomputed)` counts.
     ///
     /// `serve --state-dir` boots call this through [`Service::new`]; the
@@ -534,7 +577,7 @@ impl Service {
         };
         let (mut restored, mut recomputed) = (0usize, 0usize);
         for path in paths {
-            let snap = match persist::load_snapshot(&path) {
+            let snap = match persist::load_snapshot_mapped(&path) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("warning: skipping snapshot {}: {e}", path.display());
@@ -556,11 +599,19 @@ impl Service {
                 );
                 continue;
             }
-            let entry = match snap.dec {
+            let persist::LoadedSnapshot {
+                name: graph_name,
+                graph,
+                dec,
+                delta_seq,
+                warm,
+                mapped: _,
+            } = snap;
+            let entry = match dec {
                 Ok(dec) => {
                     self.snapshots_loaded.fetch_add(1, Ordering::Relaxed);
                     restored += 1;
-                    GraphEntry::from_parts_seq(snap.name, snap.graph, dec, snap.delta_seq)
+                    GraphEntry::from_parts_seq(graph_name, graph, dec, delta_seq)
                 }
                 Err(reason) => {
                     eprintln!(
@@ -569,17 +620,19 @@ impl Service {
                     );
                     self.decompositions.fetch_add(1, Ordering::Relaxed);
                     recomputed += 1;
-                    let dec = saphyra::bc::BcDecomposition::compute(&snap.graph);
-                    let entry =
-                        GraphEntry::from_parts_seq(snap.name, snap.graph, dec, snap.delta_seq);
-                    // Self-heal: rewrite the repaired snapshot so the next
-                    // boot restores instead of recomputing again.
-                    match persist::save_snapshot(
+                    let dec = saphyra::bc::BcDecomposition::compute(&graph);
+                    let entry = GraphEntry::from_parts_seq(graph_name, graph, dec, delta_seq);
+                    // Self-heal: rewrite the repaired snapshot (warm
+                    // section included — the cached bodies are keyed by
+                    // request parameters, not by the decomposition) so the
+                    // next boot restores instead of recomputing again.
+                    match persist::save_snapshot_with_warm(
                         &path,
                         &entry.name,
                         &entry.graph,
                         &entry.dec,
                         entry.delta_seq,
+                        &warm,
                     ) {
                         Ok(()) => eprintln!("repaired snapshot {}", path.display()),
                         Err(e) => {
@@ -589,9 +642,100 @@ impl Service {
                     entry
                 }
             };
+            let (name, epoch) = (entry.name.clone(), entry.epoch);
             self.registry.insert(entry);
+            self.restore_warm(&name, epoch, warm);
         }
         (restored, recomputed)
+    }
+
+    /// Re-inserts a snapshot's warm-section bodies into the ranking cache
+    /// under `epoch` (the fresh epoch minted for the restored entry — the
+    /// persisted requests were keyed under a dead pre-restart epoch).
+    /// Entries naming a measure code this build does not know are dropped
+    /// with a warning. The restored keys are recorded in the warm set so
+    /// hits on them count in `warm_hits`.
+    fn restore_warm(&self, name: &str, epoch: u64, entries: Vec<persist::WarmEntry>) {
+        for e in entries {
+            let Some(measure) = Measure::from_code(e.measure) else {
+                eprintln!(
+                    "warning: dropping warm entry for {name:?} with unknown measure code {}",
+                    e.measure
+                );
+                continue;
+            };
+            let key = RankKey {
+                graph: name.to_string(),
+                epoch,
+                measure,
+                targets: e.targets,
+                eps_bits: e.eps_bits,
+                delta_bits: e.delta_bits,
+                seed: e.seed,
+                khops: e.khops as usize,
+            };
+            let mut cache = self.lock_cache();
+            if let Some(evicted) = cache.insert(key.clone(), Arc::new(e.body)) {
+                self.cache_index.remove(&evicted.graph, &evicted);
+            }
+            self.cache_index.insert(name, key.clone());
+            self.warm.lock_ok().insert(key);
+        }
+    }
+
+    /// Collects the hottest cached bodies of `graph` (by LRU recency,
+    /// newest first, capped at [`WARM_CAP`]) as snapshot warm entries.
+    /// Reads recency through [`LruCache::peek`], so collection never
+    /// perturbs the ordering it ranks by.
+    fn collect_warm(&self, graph: &str) -> Vec<persist::WarmEntry> {
+        let mut hot: Vec<(u64, RankKey, Arc<String>)> = {
+            let cache = self.lock_cache();
+            self.cache_index
+                .keys_of(graph)
+                .into_iter()
+                .filter_map(|k| cache.peek(&k).map(|(tick, v)| (tick, k, Arc::clone(v))))
+                .collect()
+        };
+        hot.sort_by_key(|(tick, _, _)| std::cmp::Reverse(*tick));
+        hot.truncate(WARM_CAP);
+        hot.into_iter()
+            .map(|(_, k, body)| persist::WarmEntry {
+                measure: k.measure.code(),
+                targets: k.targets,
+                eps_bits: k.eps_bits,
+                delta_bits: k.delta_bits,
+                seed: k.seed,
+                khops: k.khops as u64,
+                body: body.as_str().to_string(),
+            })
+            .collect()
+    }
+
+    /// Rewrites every registered graph's snapshot with its current warm
+    /// section — the `POST /shutdown` path, so the *next* boot serves this
+    /// run's hottest requests from the page cache. No-op (returning 0)
+    /// without persistence. Returns the number of snapshots written.
+    fn write_warm_snapshots(&self) -> usize {
+        let Some(p) = &self.persist else { return 0 };
+        let publish = self.load_publish.lock_ok();
+        let mut written = 0;
+        for entry in self.registry.list() {
+            let warm = self.collect_warm(&entry.name);
+            let path = persist::snapshot_path(&p.dir, &entry.name);
+            match persist::save_snapshot_with_warm(
+                &path,
+                &entry.name,
+                &entry.graph,
+                &entry.dec,
+                entry.delta_seq,
+                &warm,
+            ) {
+                Ok(()) => written += 1,
+                Err(e) => eprintln!("warning: cannot snapshot {}: {e}", path.display()),
+            }
+        }
+        drop(publish);
+        written
     }
 
     /// Re-applies journaled `PATCH /graphs/<name>` deltas on top of the
@@ -747,6 +891,23 @@ impl Service {
         self.patches_replayed.load(Ordering::Relaxed)
     }
 
+    /// Lifetime count of cache hits answered by bodies restored from a
+    /// snapshot's warm section — work a restart did *not* redo.
+    pub fn warm_hits(&self) -> u64 {
+        self.warm_hits.load(Ordering::Relaxed)
+    }
+
+    /// Counts a `/rank` cache hit, additionally crediting `warm_hits`
+    /// when the key's body was restored from a snapshot warm section.
+    /// Callers hold the cache lock (the warm set sits *after* the cache
+    /// in the lock hierarchy: `server.cache` → `server.warm`).
+    fn note_cache_hit(&self, key: &RankKey) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        if self.warm.lock_ok().contains(key) {
+            self.warm_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Locks the ranking cache, recovering from poison by clearing **both**
     /// the cache and its reverse index — the index mirrors the cache's key
     /// set exactly, so an emptied cache with a populated index would leak
@@ -805,7 +966,15 @@ impl Service {
                 resp
             }
             ("POST", "/shutdown") => {
-                let body = obj(vec![("status", Json::from("shutting down"))]).to_string();
+                // Flush warm-enriched snapshots first: the hottest cached
+                // bodies ride the snapshot down so the next boot answers
+                // them from the page cache instead of recomputing.
+                let warm_snapshots = self.write_warm_snapshots();
+                let body = obj(vec![
+                    ("status", Json::from("shutting down")),
+                    ("warm_snapshots", Json::from(warm_snapshots)),
+                ])
+                .to_string();
                 return (Response::json(200, body), true);
             }
             ("PATCH", path) => match path.strip_prefix("/graphs/").filter(|n| !n.is_empty()) {
@@ -837,6 +1006,17 @@ impl Service {
                 )
             })
             .unwrap_or((0, 0));
+        // Memory-tier gauges: bytes the registry's CSR arrays occupy as
+        // stored (succinct offsets counted at their compressed size) and
+        // how many graphs serve zero-copy from mapped snapshots.
+        let (resident_graph_bytes, mmap_graphs) =
+            self.registry
+                .list()
+                .iter()
+                .fold((0usize, 0usize), |(bytes, mapped), e| {
+                    let f = e.graph.footprint();
+                    (bytes + f.csr_bytes(), mapped + usize::from(f.mapped))
+                });
         let body = obj(vec![
             ("status", Json::from("ok")),
             ("role", Json::from(self.role.as_str())),
@@ -865,6 +1045,9 @@ impl Service {
             ("snapshots_loaded", Json::from(self.snapshots_loaded())),
             ("patches", Json::from(self.patches())),
             ("patches_replayed", Json::from(self.patches_replayed())),
+            ("resident_graph_bytes", Json::from(resident_graph_bytes)),
+            ("mmap_graphs", Json::from(mmap_graphs)),
+            ("warm_hits", Json::from(self.warm_hits())),
         ])
         .to_string();
         Response::json(200, body)
@@ -1002,6 +1185,7 @@ impl Service {
             let mut cache = self.lock_cache();
             for k in self.cache_index.take(&name) {
                 cache.remove(&k);
+                self.warm.lock_ok().remove(&k);
             }
         }
         let Json::Obj(mut fields) = info else {
@@ -1100,24 +1284,6 @@ impl Service {
                 }
             }
         });
-        // Re-snapshot every `resnapshot_deltas` applied deltas: the
-        // sequence number is monotone and persisted, so the cadence
-        // survives restarts, and a failed write simply retries at the
-        // next multiple (boot replay covers the gap from the journal).
-        let persisted = self.persist.as_ref().and_then(|p| {
-            if new_seq % self.resnapshot_deltas as u64 != 0 {
-                return None;
-            }
-            let path = persist::snapshot_path(&p.dir, name);
-            match persist::save_snapshot(&path, name, &graph, &dec, new_seq) {
-                Ok(()) => Some(true),
-                Err(e) => {
-                    eprintln!("warning: cannot snapshot {}: {e}", path.display());
-                    Some(false)
-                }
-            }
-        });
-
         let new_entry = GraphEntry::from_parts_seq(name.to_string(), graph, dec, new_seq);
         let new_epoch = new_entry.epoch;
         let nodes = new_entry.graph.num_nodes();
@@ -1137,15 +1303,24 @@ impl Service {
             let (mut kept, mut purged) = (0usize, 0usize);
             for k in self.cache_index.take(name) {
                 let Some(cached) = cache.remove(&k) else {
+                    self.warm.lock_ok().remove(&k);
                     continue;
                 };
                 let clean = k.epoch == old_epoch
                     && k.targets
                         .iter()
                         .all(|&t| !dirty_nodes.get(t as usize).copied().unwrap_or(true));
+                // Warm membership follows the key: a re-keyed body stays
+                // creditable to the warm section, a purged one leaves no
+                // stale member behind. The warm lock is released before
+                // the index calls below (`server.warm` is a leaf).
+                let was_warm = self.warm.lock_ok().remove(&k);
                 if clean {
                     let mut nk = k;
                     nk.epoch = new_epoch;
+                    if was_warm {
+                        self.warm.lock_ok().insert(nk.clone());
+                    }
                     if let Some(evicted) = cache.insert(nk.clone(), cached) {
                         self.cache_index.remove(&evicted.graph, &evicted);
                     }
@@ -1157,6 +1332,38 @@ impl Service {
             }
             (kept, purged)
         };
+        // Re-snapshot every `resnapshot_deltas` applied deltas: the
+        // sequence number is monotone and persisted, so the cadence
+        // survives restarts, and a failed write simply retries at the
+        // next multiple (boot replay covers the gap from the journal —
+        // which is also why this can safely run *after* the cache sweep:
+        // the surviving re-keyed bodies ride into the warm section, and a
+        // crash in between is still replayed from the record appended
+        // above).
+        let persisted = self.persist.as_ref().and_then(|p| {
+            if new_seq % self.resnapshot_deltas as u64 != 0 {
+                return None;
+            }
+            // Still under the publication lock, so this is exactly the
+            // entry inserted above.
+            let entry = self.registry.get(name)?;
+            let warm = self.collect_warm(name);
+            let path = persist::snapshot_path(&p.dir, name);
+            match persist::save_snapshot_with_warm(
+                &path,
+                name,
+                &entry.graph,
+                &entry.dec,
+                new_seq,
+                &warm,
+            ) {
+                Ok(()) => Some(true),
+                Err(e) => {
+                    eprintln!("warning: cannot snapshot {}: {e}", path.display());
+                    Some(false)
+                }
+            }
+        });
         // Open gather windows keyed to the old epoch can no longer gain
         // members (new requests mint new-epoch keys and open fresh
         // windows); dropping the map entries is hygiene — a leader
@@ -1468,7 +1675,7 @@ impl Service {
             khops: p.khops,
         };
         if let Some(body) = self.lock_cache().get(&key).cloned() {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.note_cache_hit(&key);
             return Response::json(200, body.as_str()).with_header("X-Saphyra-Cache", "hit");
         }
 
@@ -1480,7 +1687,7 @@ impl Service {
         let guard = {
             let mut inflight = self.inflight.lock_ok();
             if let Some(body) = self.lock_cache().get(&key).cloned() {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.note_cache_hit(&key);
                 return Response::json(200, body.as_str()).with_header("X-Saphyra-Cache", "hit");
             }
             match inflight.get(&key) {
@@ -1747,12 +1954,16 @@ fn opt_edges(body: &Json, key: &str) -> Result<Vec<(NodeId, NodeId)>, String> {
 }
 
 fn graph_info(entry: &GraphEntry) -> Json {
+    let f = entry.graph.footprint();
     obj(vec![
         ("name", Json::from(entry.name.as_str())),
         ("nodes", Json::from(entry.graph.num_nodes())),
         ("edges", Json::from(entry.graph.num_edges())),
         ("bicomps", Json::from(entry.dec.bic.num_bicomps)),
         ("gamma", Json::Num(entry.dec.gamma)),
+        ("csr_bytes", Json::from(f.csr_bytes())),
+        ("succinct_bytes", Json::from(f.succinct_bytes())),
+        ("mapped", Json::Bool(f.mapped)),
     ])
 }
 

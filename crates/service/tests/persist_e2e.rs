@@ -598,6 +598,67 @@ fn resnapshot_folds_deltas_so_replay_skips_them() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// The warm-cache region: a graceful `POST /shutdown` persists the
+/// hottest cached bodies into the snapshot's warm section; the next boot
+/// re-inserts them under the restored entry's fresh epoch and answers the
+/// same requests as cache hits — byte-identical, zero recomputation —
+/// accounted in `/healthz` as `warm_hits`. On unix the restored graph
+/// also serves zero-copy from the mapped snapshot (`mmap_graphs`).
+#[test]
+fn warm_section_round_trips_hot_responses_across_restart() {
+    let dir = state_dir("warm");
+    let first_body;
+    {
+        let handle = serve("127.0.0.1:0", cfg_with(&dir)).unwrap();
+        let addr = handle.addr().to_string();
+        let resp = request(
+            &addr,
+            "POST",
+            "/graphs",
+            Some(r#"{"name":"g","network":"flickr","size":"tiny","seed":5}"#),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let resp = request(&addr, "POST", "/rank", Some(RANK_BODY)).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        first_body = resp.body;
+        // Graceful shutdown through the HTTP route: this is the path that
+        // flushes warm-enriched snapshots before the server goes down.
+        let resp = request(&addr, "POST", "/shutdown", None).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = Json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("warm_snapshots").unwrap().as_u64(), Some(1));
+        handle.join();
+    }
+    let snap = persist::load_snapshot(&persist::snapshot_path(&dir, "g")).unwrap();
+    assert_eq!(snap.warm.len(), 1, "hot body missing from the warm section");
+
+    {
+        let handle = serve("127.0.0.1:0", cfg_with(&dir)).unwrap();
+        let addr = handle.addr().to_string();
+        let resp = request(&addr, "POST", "/rank", Some(RANK_BODY)).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert_eq!(
+            resp.header("x-saphyra-cache"),
+            Some("hit"),
+            "restart did not answer from the warm section"
+        );
+        assert_eq!(resp.body, first_body, "warm body diverged across restart");
+        let h = health(&addr);
+        assert_eq!(counter(&h, "warm_hits"), 1);
+        assert_eq!(counter(&h, "computations"), 0, "warm hit still recomputed");
+        if cfg!(unix) {
+            assert!(
+                counter(&h, "mmap_graphs") >= 1,
+                "v3 snapshot did not restore zero-copy: {h}"
+            );
+            assert!(counter(&h, "resident_graph_bytes") > 0);
+        }
+        handle.shutdown_and_join();
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn restart_mints_fresh_epochs_for_restored_entries() {
     let dir = state_dir("epochs");

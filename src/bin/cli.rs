@@ -811,17 +811,25 @@ fn run_snapshot(cmd: SnapshotCmd) -> Result<(), String> {
         SnapshotCmd::Verify { path } => {
             // Strict: a snapshot whose decomposition section is damaged
             // still *boots* (with recomputation), but it does not verify.
-            let snap = persist::load_snapshot(Path::new(&path)).map_err(|e| e.to_string())?;
-            if let Err(reason) = snap.dec {
-                return Err(format!("decomposition section unusable: {reason}"));
+            // The report names the version the FILE was written with (not
+            // this build's writer version) and the per-section byte
+            // budget, so an operator can see at a glance where a
+            // snapshot's bytes go.
+            let info = persist::inspect_snapshot(Path::new(&path)).map_err(|e| e.to_string())?;
+            if !info.dec_ok {
+                return Err("decomposition section unusable: a boot would recompute".to_string());
             }
             println!(
-                "ok: {path} (graph {:?}, {} nodes, {} edges, format v{})",
-                snap.name,
-                snap.graph.num_nodes(),
-                snap.graph.num_edges(),
-                persist::SNAPSHOT_VERSION
+                "ok: {path} (graph {:?}, container v{}, delta seq {})",
+                info.name, info.version, info.delta_seq
             );
+            println!("total bytes      {}", info.total_bytes);
+            println!("graph section    {}", info.graph_bytes);
+            println!(
+                "warm section     {} ({} entries)",
+                info.warm_bytes, info.warm_entries
+            );
+            println!("dec section      {}", info.dec_bytes);
             Ok(())
         }
         SnapshotCmd::Replay { dir } => {
